@@ -1,0 +1,257 @@
+package pascalr
+
+// One benchmark per experiment of DESIGN.md / EXPERIMENTS.md. The
+// benchmarks drive the same code paths as cmd/experiments but at fixed
+// small scales so `go test -bench=.` stays fast; use cmd/experiments for
+// scale sweeps.
+
+import (
+	"fmt"
+	"testing"
+
+	"pascalr/internal/baseline"
+	"pascalr/internal/calculus"
+	"pascalr/internal/engine"
+	"pascalr/internal/normalize"
+	"pascalr/internal/optimizer"
+	"pascalr/internal/relation"
+	"pascalr/internal/value"
+	"pascalr/internal/workload"
+)
+
+const benchScale = 25
+
+func benchDB(b *testing.B) (*relation.DB, *calculus.Selection, *calculus.Info) {
+	b.Helper()
+	db := workload.MustUniversity(workload.DefaultConfig(benchScale))
+	sel, info, err := calculus.Check(workload.SampleSelection(), db.Catalog())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return db, sel, info
+}
+
+// BenchmarkE1_Load regenerates the Figure 1 database (experiment E1).
+func BenchmarkE1_Load(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		workload.MustUniversity(workload.DefaultConfig(benchScale))
+	}
+}
+
+// BenchmarkE2_Collection measures the collection phase structures of the
+// sample query (experiment E2): scans, single lists, indexes, indirect
+// joins under strategy 1; the combination phase is excluded by running
+// with all logical optimizations so it stays negligible.
+func BenchmarkE2_Collection(b *testing.B) {
+	db, sel, info := benchDB(b)
+	eng := engine.New(db, nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Eval(sel, info, engine.Options{Strategies: engine.AllStrategies}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE3_Normalize standardizes Example 2.1 into Example 2.2
+// (experiment E3).
+func BenchmarkE3_Normalize(b *testing.B) {
+	_, sel, _ := benchDB(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := normalize.Standardize(sel, normalize.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE4_Adaptation evaluates the sample query against an empty
+// papers relation, exercising the Lemma 1 adaptation (experiment E4).
+func BenchmarkE4_Adaptation(b *testing.B) {
+	db, sel, info := benchDB(b)
+	if err := db.MustRelation("papers").Assign(nil); err != nil {
+		b.Fatal(err)
+	}
+	eng := engine.New(db, nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Eval(sel, info, engine.Options{Strategies: engine.AllStrategies}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE5_RefIndex measures selected-variable lookups rel[keyval]
+// (experiment E5).
+func BenchmarkE5_RefIndex(b *testing.B) {
+	db, _, _ := benchDB(b)
+	employees := db.MustRelation("employees")
+	key := []value.Value{value.Int(1)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		key[0] = value.Int(int64(i%benchScale) + 1)
+		employees.Lookup(key)
+	}
+}
+
+// BenchmarkE6_Phases runs the Example 3.2 fragment through all three
+// phases (experiment E6).
+func BenchmarkE6_Phases(b *testing.B) {
+	db := workload.MustUniversity(workload.DefaultConfig(benchScale))
+	sel, info, err := calculus.Check(workload.SubexprSelection(), db.Catalog())
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng := engine.New(db, nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Eval(sel, info, engine.Options{Strategies: engine.S1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchStrategy runs the sample query under one strategy set.
+func benchStrategy(b *testing.B, strat engine.Strategy) {
+	b.Helper()
+	db, sel, info := benchDB(b)
+	eng := engine.New(db, nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Eval(sel, info, engine.Options{Strategies: strat}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE7_S1 compares scan scheduling (experiment E7).
+func BenchmarkE7_S1(b *testing.B) {
+	b.Run("S0", func(b *testing.B) { benchStrategy(b, 0) })
+	b.Run("S1", func(b *testing.B) { benchStrategy(b, engine.S1) })
+}
+
+// BenchmarkE8_S2 compares unrestricted and restricted indirect joins
+// (experiment E8).
+func BenchmarkE8_S2(b *testing.B) {
+	b.Run("S1", func(b *testing.B) { benchStrategy(b, engine.S1) })
+	b.Run("S1+S2", func(b *testing.B) { benchStrategy(b, engine.S1|engine.S2) })
+}
+
+// BenchmarkE9_S3 compares evaluation with and without extended range
+// expressions (experiment E9).
+func BenchmarkE9_S3(b *testing.B) {
+	b.Run("S1+S2", func(b *testing.B) { benchStrategy(b, engine.S1|engine.S2) })
+	b.Run("S1+S2+S3", func(b *testing.B) { benchStrategy(b, engine.S1|engine.S2|engine.S3) })
+}
+
+// BenchmarkE10_S4 compares evaluation with and without collection-phase
+// quantifier evaluation (experiment E10).
+func BenchmarkE10_S4(b *testing.B) {
+	b.Run("S1+S2+S3", func(b *testing.B) { benchStrategy(b, engine.S1|engine.S2|engine.S3) })
+	b.Run("All", func(b *testing.B) { benchStrategy(b, engine.AllStrategies) })
+}
+
+// BenchmarkE11_Ladder is the headline comparison (experiment E11):
+// naive tuple substitution against the phase algorithm under the
+// strategy ladder.
+func BenchmarkE11_Ladder(b *testing.B) {
+	b.Run("naive", func(b *testing.B) {
+		db, sel, info := benchDB(b)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := baseline.Eval(sel, info, db); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("S0", func(b *testing.B) { benchStrategy(b, 0) })
+	b.Run("S1", func(b *testing.B) { benchStrategy(b, engine.S1) })
+	b.Run("S1+S2", func(b *testing.B) { benchStrategy(b, engine.S1|engine.S2) })
+	b.Run("S1+S2+S3", func(b *testing.B) { benchStrategy(b, engine.S1|engine.S2|engine.S3) })
+	b.Run("All", func(b *testing.B) { benchStrategy(b, engine.AllStrategies) })
+}
+
+// BenchmarkE12_ValueLists exercises the section 4.4 refinements: each
+// operator/quantifier pair over a value list (experiment E12).
+func BenchmarkE12_ValueLists(b *testing.B) {
+	db := New()
+	db.MustExec(`
+TYPE dom = 0..1073741824;
+VAR outer : RELATION <k> OF RECORD k : dom; v : dom END;
+    inner : RELATION <k> OF RECORD k : dom; v : dom END;
+`)
+	var inserts string
+	for i := 0; i < 300; i++ {
+		inserts += fmt.Sprintf("outer :+ [<%d, %d>]; inner :+ [<%d, %d>];\n", i, i%97, i, i%89)
+	}
+	db.MustExec(inserts)
+	for _, c := range []struct{ q, op string }{
+		{"SOME", "<"}, {"ALL", "<"}, {"ALL", "="}, {"SOME", "<>"}, {"SOME", "="}, {"ALL", "<>"},
+	} {
+		src := fmt.Sprintf(`[<o.k> OF EACH o IN outer: %s i IN inner (o.v %s i.v)]`, c.q, c.op)
+		b.Run(c.q+c.op, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := db.Query(src); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE14_CNF compares evaluation of the disjunctive query with
+// and without the CNF range extension (experiment E14).
+func BenchmarkE14_CNF(b *testing.B) {
+	run := func(b *testing.B, strat engine.Strategy) {
+		db := workload.MustUniversity(workload.DefaultConfig(benchScale))
+		sel, info, err := calculus.Check(workload.DisjunctiveSelection(), db.Catalog())
+		if err != nil {
+			b.Fatal(err)
+		}
+		eng := engine.New(db, nil)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.Eval(sel, info, engine.Options{Strategies: strat}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("S1+S2+S3", func(b *testing.B) { run(b, engine.S1|engine.S2|engine.S3) })
+	b.Run("S1+S2+S3+SCNF", func(b *testing.B) { run(b, engine.S1|engine.S2|engine.S3|engine.SCNF) })
+}
+
+// BenchmarkParser measures parsing of the full Figure 1 DDL plus the
+// sample query.
+func BenchmarkParser(b *testing.B) {
+	db := New()
+	db.MustExec(sampleScript)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Query(example21); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOptimizerTransforms measures strategies 3 and 4 as pure
+// transformations.
+func BenchmarkOptimizerTransforms(b *testing.B) {
+	_, sel, _ := benchDB(b)
+	sf, err := normalize.Standardize(sel, normalize.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("S3_Extract", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			optimizer.ExtractRanges(sf)
+		}
+	})
+	b.Run("S4_Eliminate", func(b *testing.B) {
+		extracted, _ := optimizer.ExtractRanges(sf)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			x := optimizer.FromStandardForm(extracted)
+			optimizer.EliminateQuantifiers(x)
+		}
+	})
+}

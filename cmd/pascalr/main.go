@@ -1,0 +1,269 @@
+// Command pascalr is an interactive and batch front-end to the PASCAL/R
+// query processor. It executes PASCAL/R scripts (TYPE/VAR declarations,
+// :=, :+, :- statements) and evaluates selections, optionally printing
+// EXPLAIN plans and cost statistics.
+//
+// Usage:
+//
+//	pascalr -f schema.pas -f data.pas -q "[<e.ename> OF EACH e IN employees: ...]"
+//	pascalr -university 50 -q "..." -strategies s1+s3 -stats
+//	pascalr -university 20 -i         # interactive: statements end with ';'
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"pascalr"
+	"pascalr/internal/value"
+	"pascalr/internal/workload"
+)
+
+type fileList []string
+
+func (f *fileList) String() string     { return strings.Join(*f, ",") }
+func (f *fileList) Set(s string) error { *f = append(*f, s); return nil }
+
+func main() {
+	var files fileList
+	var indexes fileList
+	flag.Var(&files, "f", "PASCAL/R script file (repeatable)")
+	flag.Var(&indexes, "index", "permanent index rel.col (repeatable)")
+	query := flag.String("q", "", "selection expression to evaluate")
+	strategies := flag.String("strategies", "all", "strategy set: s0, all, or e.g. s1+s3")
+	explain := flag.Bool("explain", false, "print the plan instead of evaluating")
+	showStats := flag.Bool("stats", false, "print cost counters after each query")
+	useBaseline := flag.Bool("baseline", false, "evaluate by tuple substitution instead of the engine")
+	university := flag.Int("university", 0, "populate the Figure 1 sample database at this scale")
+	interactive := flag.Bool("i", false, "read statements and queries from stdin")
+	flag.Parse()
+
+	strat, err := pascalr.ParseStrategy(*strategies)
+	if err != nil {
+		fatal(err)
+	}
+
+	db := pascalr.New()
+	db.SetStrategies(strat)
+	if *university > 0 {
+		if err := loadUniversity(db, *university); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("loaded Figure 1 university database at scale %d\n", *university)
+	}
+	for _, f := range files {
+		src, err := os.ReadFile(f)
+		if err != nil {
+			fatal(err)
+		}
+		if err := db.Exec(string(src)); err != nil {
+			fatal(fmt.Errorf("%s: %w", f, err))
+		}
+	}
+	for _, ix := range indexes {
+		rel, col, ok := strings.Cut(ix, ".")
+		if !ok {
+			fatal(fmt.Errorf("bad -index %q, want rel.col", ix))
+		}
+		if err := db.CreateIndex(rel, col); err != nil {
+			fatal(err)
+		}
+	}
+
+	runQuery := func(q string) {
+		opts := []pascalr.Option{pascalr.WithStrategies(strat)}
+		if *useBaseline {
+			opts = append(opts, pascalr.WithBaseline())
+		}
+		if *explain {
+			out, err := db.Explain(q, opts...)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			fmt.Print(out)
+			return
+		}
+		db.ResetStats()
+		res, err := db.Query(q, opts...)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return
+		}
+		fmt.Print(res)
+		if *showStats {
+			printStats(db.Stats())
+		}
+	}
+
+	if *query != "" {
+		runQuery(*query)
+	}
+	if *interactive {
+		repl(db, runQuery)
+	}
+	if *query == "" && !*interactive && len(files) == 0 && *university == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func loadUniversity(db *pascalr.Database, scale int) error {
+	// Build the Figure 1 schema via DDL, then copy the generated data in
+	// through the public API so the CLI exercises the same path users do.
+	gen, err := workload.University(workload.DefaultConfig(scale))
+	if err != nil {
+		return err
+	}
+	maxN := scale
+	if maxN < 99 {
+		maxN = 99
+	}
+	courses := scale/2 + 1
+	maxC := courses
+	if maxC < 99 {
+		maxC = 99
+	}
+	ddl := fmt.Sprintf(`
+TYPE statustype = (student, technician, assistant, professor);
+     nametype   = PACKED ARRAY [1..10] OF char;
+     titletype  = PACKED ARRAY [1..40] OF char;
+     roomtype   = PACKED ARRAY [1..5] OF char;
+     yeartype   = 1900..1999;
+     timetype   = 8000900..18002000;
+     daytype    = (monday, tuesday, wednesday, thursday, friday);
+     leveltype  = (freshman, sophomore, junior, senior);
+     enumbertype = 1..%d;
+     cnumbertype = 1..%d;
+VAR employees : RELATION <enr> OF
+      RECORD enr : enumbertype; ename : nametype; estatus : statustype END;
+    papers : RELATION <ptitle, penr> OF
+      RECORD penr : enumbertype; pyear : yeartype; ptitle : titletype END;
+    courses : RELATION <cnr> OF
+      RECORD cnr : cnumbertype; clevel : leveltype; ctitle : titletype END;
+    timetable : RELATION <tenr, tcnr, tday> OF
+      RECORD tenr : enumbertype; tcnr : cnumbertype; tday : daytype;
+             ttime : timetype; troom : roomtype END;
+`, maxN, maxC)
+	if err := db.Exec(ddl); err != nil {
+		return err
+	}
+	// Copy generated tuples via :+ statements, rendering enumeration
+	// ordinals back to labels through the generator's catalog.
+	var b strings.Builder
+	for _, relName := range []string{"employees", "papers", "courses", "timetable"} {
+		rel, _ := gen.Relation(relName)
+		for _, tup := range rel.Tuples() {
+			b.WriteString(relName + " :+ [<")
+			for i, v := range tup {
+				if i > 0 {
+					b.WriteString(", ")
+				}
+				switch v.Kind() {
+				case value.KindInt:
+					fmt.Fprintf(&b, "%d", v.AsInt())
+				case value.KindString:
+					fmt.Fprintf(&b, "'%s'", strings.ReplaceAll(v.AsString(), "'", "''"))
+				case value.KindEnum:
+					t, _ := gen.Catalog().Type(v.EnumType())
+					b.WriteString(t.Label(v.EnumOrd()))
+				}
+			}
+			b.WriteString(">];\n")
+		}
+	}
+	return db.Exec(b.String())
+}
+
+func printStats(st pascalr.Stats) {
+	rels := make([]string, 0, len(st.ScansOf))
+	for r := range st.ScansOf {
+		rels = append(rels, r)
+	}
+	sort.Strings(rels)
+	fmt.Printf("scans: total=%d", st.TotalScans)
+	for _, r := range rels {
+		fmt.Printf(" %s=%d", r, st.ScansOf[r])
+	}
+	fmt.Printf("\ntuples read=%d probes=%d comparisons=%d ref tuples=%d (peak %d)\n",
+		st.TuplesRead, st.IndexProbes, st.Comparisons, st.RefTuples, st.PeakRefTuples)
+}
+
+func repl(db *pascalr.Database, runQuery func(string)) {
+	fmt.Println("PASCAL/R — statements end with ';', selections start with '[<'.")
+	fmt.Println("Commands: \\q quit, \\d list relations, \\d NAME dump relation.")
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var buf strings.Builder
+	prompt := func() {
+		if buf.Len() == 0 {
+			fmt.Print("pascalr> ")
+		} else {
+			fmt.Print("     ... ")
+		}
+	}
+	prompt()
+	for sc.Scan() {
+		line := sc.Text()
+		trimmed := strings.TrimSpace(line)
+		if buf.Len() == 0 && strings.HasPrefix(trimmed, "\\") {
+			switch {
+			case trimmed == "\\q":
+				return
+			case trimmed == "\\d":
+				for _, r := range db.Relations() {
+					n, _ := db.RelationLen(r)
+					fmt.Printf("%s (%d tuples)\n", r, n)
+				}
+			case strings.HasPrefix(trimmed, "\\d "):
+				res, err := db.Dump(strings.TrimSpace(trimmed[3:]))
+				if err != nil {
+					fmt.Fprintln(os.Stderr, err)
+				} else {
+					fmt.Print(res)
+				}
+			default:
+				fmt.Fprintln(os.Stderr, "unknown command", trimmed)
+			}
+			prompt()
+			continue
+		}
+		buf.WriteString(line)
+		buf.WriteString("\n")
+		full := strings.TrimSpace(buf.String())
+		// A selection on its own evaluates as a query once brackets
+		// balance; statements wait for the terminating semicolon.
+		if strings.HasPrefix(full, "[<") && balanced(full) && !strings.HasSuffix(full, ";") {
+			runQuery(full)
+			buf.Reset()
+		} else if strings.HasSuffix(full, ";") {
+			if err := db.Exec(full); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+			buf.Reset()
+		}
+		prompt()
+	}
+}
+
+func balanced(s string) bool {
+	depth := 0
+	for _, c := range s {
+		switch c {
+		case '[':
+			depth++
+		case ']':
+			depth--
+		}
+	}
+	return depth == 0
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -1,0 +1,90 @@
+// Emptyrelations: Lemma 1 of the paper in action. The standard form of
+// a query with quantifiers assumes non-empty range relations; when
+// papers is empty, ALL p IN papers (...) is vacuously TRUE and the
+// system must adapt the standard form at run time — otherwise the
+// sample query would return all employees instead of the professors
+// (the paper's Example 2.2 caveat).
+//
+// Run with: go run ./examples/emptyrelations
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pascalr"
+)
+
+const query = `
+[<e.ename> OF EACH e IN employees:
+  (e.estatus = professor)
+  AND
+  (ALL p IN papers ((p.pyear <> 1977) OR (e.enr <> p.penr))
+   OR
+   SOME c IN courses ((c.clevel <= sophomore)
+     AND SOME t IN timetable ((c.cnr = t.tcnr) AND (e.enr = t.tenr))))]
+`
+
+func main() {
+	db, err := pascalr.Open(`
+TYPE statustype = (student, technician, assistant, professor);
+     nametype   = PACKED ARRAY [1..10] OF char;
+     titletype  = PACKED ARRAY [1..40] OF char;
+     yeartype   = 1900..1999;
+     daytype    = (monday, tuesday, wednesday, thursday, friday);
+     leveltype  = (freshman, sophomore, junior, senior);
+     enumbertype = 1..99;
+     cnumbertype = 1..99;
+
+VAR employees : RELATION <enr> OF
+      RECORD enr : enumbertype; ename : nametype; estatus : statustype END;
+    papers : RELATION <ptitle, penr> OF
+      RECORD penr : enumbertype; pyear : yeartype; ptitle : titletype END;
+    courses : RELATION <cnr> OF
+      RECORD cnr : cnumbertype; clevel : leveltype; ctitle : titletype END;
+    timetable : RELATION <tenr, tcnr, tday> OF
+      RECORD tenr : enumbertype; tcnr : cnumbertype; tday : daytype END;
+
+employees :+ [<1, 'ada', professor>, <2, 'bob', student>,
+              <3, 'cyd', professor>, <4, 'dan', professor>];
+papers    :+ [<1, 1977, 'a 1977 paper by ada'>,
+              <3, 1980, 'a 1980 paper by cyd'>];
+courses   :+ [<10, sophomore, 'intro'>, <11, senior, 'advanced'>];
+timetable :+ [<1, 11, monday>, <3, 10, tuesday>];
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	show := func(label string) {
+		res, err := db.Query(query)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var names []string
+		for _, row := range res.Rows() {
+			names = append(names, row[0].(string))
+		}
+		fmt.Printf("%-28s -> %v\n", label, names)
+	}
+
+	fmt.Println("professors with no 1977 paper or a sophomore-level course:")
+	show("full database")
+
+	// Empty courses: SOME c over the empty relation is FALSE; only the
+	// ALL p branch can qualify anyone, so the answer is unchanged here
+	// (cyd qualifies through her papers, not only her course).
+	db.MustExec(`courses := [<c.cnr, c.clevel, c.ctitle> OF EACH c IN courses: c.cnr = 99];`)
+	show("courses = []")
+
+	// Empty papers too: ALL p over the empty relation is TRUE, so every
+	// professor qualifies — including ada, whom the 1977 paper excluded
+	// before. An unadapted standard form would return bob as well; the
+	// engine must not.
+	db.MustExec(`papers := [<p.penr, p.pyear, p.ptitle> OF EACH p IN papers: p.pyear = 1900];`)
+	show("papers = courses = []")
+
+	// Empty employees: the free variable has nothing to range over.
+	db.MustExec(`employees :- [<1>, <2>, <3>, <4>];`)
+	show("employees = [] too")
+}

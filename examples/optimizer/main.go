@@ -1,0 +1,70 @@
+// Optimizer: EXPLAIN the paper's sample query under each strategy
+// level, showing the transformations of section 4 — the standard form
+// (Example 2.2), extended range expressions (Example 4.5), and the
+// collection-phase quantifier cascade (Example 4.7) — and the physical
+// scan plans they produce.
+//
+// Run with: go run ./examples/optimizer
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pascalr"
+)
+
+const query = `
+[<e.ename> OF EACH e IN employees:
+  (e.estatus = professor)
+  AND
+  (ALL p IN papers ((p.pyear <> 1977) OR (e.enr <> p.penr))
+   OR
+   SOME c IN courses ((c.clevel <= sophomore)
+     AND SOME t IN timetable ((c.cnr = t.tcnr) AND (e.enr = t.tenr))))]
+`
+
+func main() {
+	db, err := pascalr.Open(`
+TYPE statustype = (student, technician, assistant, professor);
+     nametype   = PACKED ARRAY [1..10] OF char;
+     titletype  = PACKED ARRAY [1..40] OF char;
+     yeartype   = 1900..1999;
+     daytype    = (monday, tuesday, wednesday, thursday, friday);
+     leveltype  = (freshman, sophomore, junior, senior);
+     enumbertype = 1..99;
+     cnumbertype = 1..99;
+
+VAR employees : RELATION <enr> OF
+      RECORD enr : enumbertype; ename : nametype; estatus : statustype END;
+    papers : RELATION <ptitle, penr> OF
+      RECORD penr : enumbertype; pyear : yeartype; ptitle : titletype END;
+    courses : RELATION <cnr> OF
+      RECORD cnr : cnumbertype; clevel : leveltype; ctitle : titletype END;
+    timetable : RELATION <tenr, tcnr, tday> OF
+      RECORD tenr : enumbertype; tcnr : cnumbertype; tday : daytype END;
+
+employees :+ [<1, 'ada', professor>];
+papers    :+ [<1, 1977, 't1'>];
+courses   :+ [<10, sophomore, 'c10'>];
+timetable :+ [<1, 10, monday>];
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, strat := range []pascalr.Strategy{
+		pascalr.NoStrategies,
+		pascalr.S1,
+		pascalr.S1 | pascalr.S2 | pascalr.S3,
+		pascalr.AllStrategies,
+	} {
+		fmt.Printf("================ %s ================\n", strat)
+		out, err := db.Explain(query, pascalr.WithStrategies(strat))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(out)
+		fmt.Println()
+	}
+}

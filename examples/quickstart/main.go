@@ -1,0 +1,69 @@
+// Quickstart: declare a PASCAL/R database, insert elements with the :+
+// operator, and evaluate a selection with quantifiers.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pascalr"
+)
+
+func main() {
+	db := pascalr.New()
+
+	// Figure 1 of the paper, abbreviated: employees and their papers.
+	err := db.Exec(`
+TYPE statustype = (student, technician, assistant, professor);
+     nametype   = PACKED ARRAY [1..10] OF char;
+     yeartype   = 1900..1999;
+     enumbertype = 1..99;
+
+VAR employees : RELATION <enr> OF
+      RECORD enr : enumbertype; ename : nametype; estatus : statustype END;
+    papers : RELATION <ptitle, penr> OF
+      RECORD penr : enumbertype; pyear : yeartype;
+             ptitle : PACKED ARRAY [1..40] OF char END;
+
+employees :+ [<1, 'ada', professor>, <2, 'bob', student>,
+              <3, 'cyd', professor>, <4, 'dan', professor>];
+papers    :+ [<1, 1977, 'on joins'>, <3, 1980, 'on division'>];
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Professors who published no paper in 1977: a universally
+	// quantified selection (ALL over an empty match set is TRUE, so dan,
+	// who has no papers at all, qualifies too).
+	res, err := db.Query(`
+[<e.ename> OF EACH e IN employees:
+   e.estatus = professor AND
+   ALL p IN papers (p.pyear <> 1977 OR p.penr <> e.enr)]`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("professors with no 1977 paper:")
+	fmt.Print(res)
+
+	// The same query by naive tuple substitution gives the same answer.
+	check, err := db.Query(`
+[<e.ename> OF EACH e IN employees:
+   e.estatus = professor AND
+   ALL p IN papers (p.pyear <> 1977 OR p.penr <> e.enr)]`,
+		pascalr.WithBaseline())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("baseline agrees: %v\n", res.Len() == check.Len())
+
+	// Results can be stored back into relation variables.
+	if err := db.Exec(`clean := [<e.ename> OF EACH e IN employees:
+	    ALL p IN papers (p.penr <> e.enr)];`); err != nil {
+		log.Fatal(err)
+	}
+	n, _ := db.RelationLen("clean")
+	fmt.Printf("employees with no papers at all: %d\n", n)
+}

@@ -1,0 +1,326 @@
+package algebra
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"pascalr/internal/stats"
+	"pascalr/internal/value"
+)
+
+// ref is shorthand for a reference with relation id r and slot s.
+func ref(r, s int) value.Value { return value.Ref(r, s, 0) }
+
+func row(vals ...value.Value) []value.Value { return vals }
+
+func mk(t *testing.T, vars []string, rows ...[]value.Value) *RefRel {
+	t.Helper()
+	r := New(vars, nil)
+	for _, rw := range rows {
+		r.Add(rw)
+	}
+	return r
+}
+
+func TestAddDedup(t *testing.T) {
+	st := &stats.Counters{}
+	r := New([]string{"a"}, st)
+	if !r.Add(row(ref(0, 1))) {
+		t.Errorf("first Add returned false")
+	}
+	if r.Add(row(ref(0, 1))) {
+		t.Errorf("duplicate Add returned true")
+	}
+	if r.Len() != 1 {
+		t.Errorf("Len = %d", r.Len())
+	}
+	if st.RefTuples != 1 {
+		t.Errorf("RefTuples = %d", st.RefTuples)
+	}
+	if !r.Has(row(ref(0, 1))) || r.Has(row(ref(0, 2))) {
+		t.Errorf("Has wrong")
+	}
+}
+
+func TestAddCopies(t *testing.T) {
+	r := New([]string{"a"}, nil)
+	rw := row(ref(0, 1))
+	r.Add(rw)
+	rw[0] = ref(0, 9)
+	if !r.Has(row(ref(0, 1))) {
+		t.Errorf("Add retained caller slice")
+	}
+}
+
+func TestDuplicateVarsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("duplicate columns accepted")
+		}
+	}()
+	New([]string{"a", "a"}, nil)
+}
+
+func TestJoinShared(t *testing.T) {
+	// a(x,y): (1,10),(2,20); b(y,z): (10,100),(10,101),(30,300)
+	a := mk(t, []string{"x", "y"},
+		row(ref(0, 1), ref(1, 10)),
+		row(ref(0, 2), ref(1, 20)))
+	b := mk(t, []string{"y", "z"},
+		row(ref(1, 10), ref(2, 100)),
+		row(ref(1, 10), ref(2, 101)),
+		row(ref(1, 30), ref(2, 300)))
+	out := Join(a, b, nil)
+	if !reflect.DeepEqual(out.Vars(), []string{"x", "y", "z"}) {
+		t.Fatalf("vars = %v", out.Vars())
+	}
+	if out.Len() != 2 {
+		t.Fatalf("join produced %d rows", out.Len())
+	}
+	for _, rw := range out.Rows() {
+		if !value.Equal(rw[0], ref(0, 1)) || !value.Equal(rw[1], ref(1, 10)) {
+			t.Errorf("unexpected join row %v", rw)
+		}
+	}
+}
+
+func TestJoinSymmetric(t *testing.T) {
+	// Join must produce the same set regardless of which side is hashed
+	// (i.e., of relative sizes).
+	small := mk(t, []string{"x", "y"}, row(ref(0, 1), ref(1, 10)))
+	big := mk(t, []string{"y", "z"},
+		row(ref(1, 10), ref(2, 1)),
+		row(ref(1, 10), ref(2, 2)),
+		row(ref(1, 11), ref(2, 3)))
+	ab := Join(small, big, nil)
+	// Reverse roles: same shared var, flipped argument order. Column
+	// order differs but contents on shared semantics must match.
+	ba := Join(big, small, nil)
+	if ab.Len() != 2 || ba.Len() != 2 {
+		t.Fatalf("asymmetric join: %d vs %d", ab.Len(), ba.Len())
+	}
+	proj1, err := Project(ab, []string{"x", "y", "z"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proj2, err := Project(ba, []string{"x", "y", "z"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(proj1.SortedKeys(), proj2.SortedKeys()) {
+		t.Errorf("join not symmetric")
+	}
+}
+
+func TestJoinNoSharedIsCartesian(t *testing.T) {
+	a := mk(t, []string{"x"}, row(ref(0, 1)), row(ref(0, 2)))
+	b := mk(t, []string{"y"}, row(ref(1, 1)), row(ref(1, 2)), row(ref(1, 3)))
+	out := Join(a, b, nil)
+	if out.Len() != 6 {
+		t.Errorf("cartesian size = %d", out.Len())
+	}
+	cart := Cartesian(a, b, nil)
+	if !reflect.DeepEqual(cart.SortedKeys(), out.SortedKeys()) {
+		t.Errorf("Cartesian differs from Join")
+	}
+}
+
+func TestCartesianPanicsOnShared(t *testing.T) {
+	a := mk(t, []string{"x"}, row(ref(0, 1)))
+	b := mk(t, []string{"x"}, row(ref(0, 1)))
+	defer func() {
+		if recover() == nil {
+			t.Errorf("Cartesian with shared vars accepted")
+		}
+	}()
+	Cartesian(a, b, nil)
+}
+
+func TestUnion(t *testing.T) {
+	a := mk(t, []string{"x", "y"}, row(ref(0, 1), ref(1, 1)))
+	// Same variables in different column order.
+	b := mk(t, []string{"y", "x"},
+		row(ref(1, 1), ref(0, 1)), // same tuple as a's, permuted
+		row(ref(1, 2), ref(0, 2)))
+	out, err := Union(a, b, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 2 {
+		t.Errorf("union size = %d, want 2 (duplicate must collapse)", out.Len())
+	}
+	// Mismatched vars error.
+	c := mk(t, []string{"z"}, row(ref(2, 1)))
+	if _, err := Union(a, c, nil); err == nil {
+		t.Errorf("union with mismatched vars accepted")
+	}
+	d := mk(t, []string{"x", "z"}, row(ref(0, 1), ref(2, 1)))
+	if _, err := Union(a, d, nil); err == nil {
+		t.Errorf("union with differing var sets accepted")
+	}
+}
+
+func TestProject(t *testing.T) {
+	a := mk(t, []string{"x", "y"},
+		row(ref(0, 1), ref(1, 1)),
+		row(ref(0, 1), ref(1, 2)),
+		row(ref(0, 2), ref(1, 3)))
+	out, err := Project(a, []string{"x"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 2 {
+		t.Errorf("projection size = %d", out.Len())
+	}
+	if _, err := Project(a, []string{"zz"}, nil); err == nil {
+		t.Errorf("projection on absent var accepted")
+	}
+}
+
+func TestDivide(t *testing.T) {
+	// a(x,p): x1 paired with p1,p2; x2 with p1 only.
+	a := mk(t, []string{"x", "p"},
+		row(ref(0, 1), ref(1, 1)),
+		row(ref(0, 1), ref(1, 2)),
+		row(ref(0, 2), ref(1, 1)))
+	divisor := []value.Value{ref(1, 1), ref(1, 2)}
+	out, err := Divide(a, "p", divisor, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 1 || !value.Equal(out.Rows()[0][0], ref(0, 1)) {
+		t.Errorf("division = %v", out.Rows())
+	}
+	// Duplicate divisor entries must not double-count.
+	out, err = Divide(a, "p", []value.Value{ref(1, 1), ref(1, 1)}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 2 {
+		t.Errorf("division with dup divisor = %d rows, want 2", out.Len())
+	}
+	// Empty divisor degrades to projection (documented behaviour).
+	out, err = Divide(a, "p", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 2 {
+		t.Errorf("division by empty = %d rows", out.Len())
+	}
+	// Absent variable errors.
+	if _, err := Divide(a, "zz", divisor, nil); err == nil {
+		t.Errorf("division on absent var accepted")
+	}
+}
+
+func TestDivideMultiColumnRest(t *testing.T) {
+	// Division grouping over two remaining columns.
+	a := mk(t, []string{"x", "y", "p"},
+		row(ref(0, 1), ref(3, 1), ref(1, 1)),
+		row(ref(0, 1), ref(3, 1), ref(1, 2)),
+		row(ref(0, 1), ref(3, 2), ref(1, 1)))
+	out, err := Divide(a, "p", []value.Value{ref(1, 1), ref(1, 2)}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 1 {
+		t.Fatalf("division = %d rows", out.Len())
+	}
+	rw := out.Rows()[0]
+	if !value.Equal(rw[0], ref(0, 1)) || !value.Equal(rw[1], ref(3, 1)) {
+		t.Errorf("division row = %v", rw)
+	}
+}
+
+func TestSemijoin(t *testing.T) {
+	a := mk(t, []string{"x", "y"},
+		row(ref(0, 1), ref(1, 1)),
+		row(ref(0, 2), ref(1, 2)))
+	b := mk(t, []string{"y"}, row(ref(1, 1)))
+	out := Semijoin(a, b, nil)
+	if out.Len() != 1 || !value.Equal(out.Rows()[0][0], ref(0, 1)) {
+		t.Errorf("semijoin = %v", out.Rows())
+	}
+	// No shared vars: b non-empty keeps everything; empty drops all.
+	c := mk(t, []string{"z"}, row(ref(2, 1)))
+	if Semijoin(a, c, nil).Len() != 2 {
+		t.Errorf("semijoin with disjoint non-empty b should keep all")
+	}
+	empty := New([]string{"z"}, nil)
+	if Semijoin(a, empty, nil).Len() != 0 {
+		t.Errorf("semijoin with disjoint empty b should drop all")
+	}
+}
+
+func TestFromRefsAndPairs(t *testing.T) {
+	refs := []value.Value{ref(0, 1), ref(0, 2), ref(0, 1)}
+	r := FromRefs("x", refs, nil)
+	if r.Len() != 2 {
+		t.Errorf("FromRefs = %d", r.Len())
+	}
+	pairs := [][2]value.Value{{ref(0, 1), ref(1, 1)}, {ref(0, 1), ref(1, 1)}}
+	p := FromPairs("x", "y", pairs, nil)
+	if p.Len() != 1 {
+		t.Errorf("FromPairs = %d", p.Len())
+	}
+}
+
+// Property: division is the inverse of Cartesian product — (A × D) ÷ D
+// = A for non-empty D.
+func TestDivideInvertsCartesian(t *testing.T) {
+	f := func(aSlots, dSlots []uint8) bool {
+		if len(dSlots) == 0 {
+			return true
+		}
+		a := New([]string{"x"}, nil)
+		for _, s := range aSlots {
+			a.Add(row(ref(0, int(s))))
+		}
+		var divisor []value.Value
+		d := New([]string{"p"}, nil)
+		for _, s := range dSlots {
+			r := ref(1, int(s))
+			divisor = append(divisor, r)
+			d.Add(row(r))
+		}
+		prod := Cartesian(a, d, nil)
+		q, err := Divide(prod, "p", divisor, nil)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(q.SortedKeys(), a.SortedKeys())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Join is the subset of the Cartesian product that agrees on
+// the shared column.
+func TestJoinSubsetOfCartesian(t *testing.T) {
+	f := func(av, bv []uint8) bool {
+		a := New([]string{"x", "s"}, nil)
+		for i, s := range av {
+			a.Add(row(ref(0, i), ref(9, int(s%4))))
+		}
+		b := New([]string{"s", "y"}, nil)
+		for i, s := range bv {
+			b.Add(row(ref(9, int(s%4)), ref(1, i)))
+		}
+		j := Join(a, b, nil)
+		// Verify each joined row agrees and count against the naive loop.
+		n := 0
+		for _, ra := range a.Rows() {
+			for _, rb := range b.Rows() {
+				if value.Equal(ra[1], rb[0]) {
+					n++
+				}
+			}
+		}
+		return j.Len() == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

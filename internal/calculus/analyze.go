@@ -1,0 +1,226 @@
+package calculus
+
+import "sort"
+
+// Walk visits f and every subformula in depth-first order, including the
+// filters of quantifier ranges. It stops early when fn returns false.
+func Walk(f Formula, fn func(Formula) bool) bool {
+	if f == nil {
+		return true
+	}
+	if !fn(f) {
+		return false
+	}
+	switch g := f.(type) {
+	case *Not:
+		return Walk(g.F, fn)
+	case *And:
+		for _, sub := range g.Fs {
+			if !Walk(sub, fn) {
+				return false
+			}
+		}
+	case *Or:
+		for _, sub := range g.Fs {
+			if !Walk(sub, fn) {
+				return false
+			}
+		}
+	case *Quant:
+		if g.Range.Extended() {
+			if !Walk(g.Range.Filter, fn) {
+				return false
+			}
+		}
+		return Walk(g.Body, fn)
+	}
+	return true
+}
+
+// VarsOfCmp returns the distinct variables a join term mentions, in
+// first-occurrence order: zero for constant terms, one for monadic
+// terms, two for dyadic terms.
+func VarsOfCmp(c *Cmp) []string {
+	var out []string
+	add := func(o Operand) {
+		if fld, ok := o.(Field); ok {
+			for _, v := range out {
+				if v == fld.Var {
+					return
+				}
+			}
+			out = append(out, fld.Var)
+		}
+	}
+	add(c.L)
+	add(c.R)
+	return out
+}
+
+// Monadic reports whether the join term mentions exactly one variable and
+// returns its name.
+func Monadic(c *Cmp) (string, bool) {
+	vars := VarsOfCmp(c)
+	if len(vars) == 1 {
+		return vars[0], true
+	}
+	return "", false
+}
+
+// Dyadic reports whether the join term mentions exactly two variables and
+// returns them in operand order.
+func Dyadic(c *Cmp) (string, string, bool) {
+	vars := VarsOfCmp(c)
+	if len(vars) == 2 {
+		return vars[0], vars[1], true
+	}
+	return "", "", false
+}
+
+// FreeVars returns the variables that occur free in f (mentioned in a
+// join term but not bound by an enclosing quantifier), sorted.
+func FreeVars(f Formula) []string {
+	free := map[string]bool{}
+	var rec func(f Formula, bound map[string]bool)
+	rec = func(f Formula, bound map[string]bool) {
+		switch g := f.(type) {
+		case nil:
+		case *Cmp:
+			for _, v := range VarsOfCmp(g) {
+				if !bound[v] {
+					free[v] = true
+				}
+			}
+		case *Not:
+			rec(g.F, bound)
+		case *And:
+			for _, sub := range g.Fs {
+				rec(sub, bound)
+			}
+		case *Or:
+			for _, sub := range g.Fs {
+				rec(sub, bound)
+			}
+		case *Lit:
+		case *Quant:
+			// The range filter binds its own variable independently.
+			if g.Range.Extended() {
+				inner := map[string]bool{g.Range.FilterVar: true}
+				rec(g.Range.Filter, inner)
+			}
+			b2 := make(map[string]bool, len(bound)+1)
+			for k := range bound {
+				b2[k] = true
+			}
+			b2[g.Var] = true
+			rec(g.Body, b2)
+		}
+	}
+	rec(f, map[string]bool{})
+	out := make([]string, 0, len(free))
+	for v := range free {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// AllVars returns every variable mentioned anywhere in f (bound or
+// free, excluding range-filter variables), sorted.
+func AllVars(f Formula) []string {
+	seen := map[string]bool{}
+	Walk(f, func(sub Formula) bool {
+		switch g := sub.(type) {
+		case *Cmp:
+			for _, v := range VarsOfCmp(g) {
+				seen[v] = true
+			}
+		case *Quant:
+			seen[g.Var] = true
+		}
+		return true
+	})
+	out := make([]string, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// QuantCount returns the number of quantifiers in f (nested anywhere,
+// excluding range filters, which are always quantifier-free).
+func QuantCount(f Formula) int {
+	n := 0
+	Walk(f, func(sub Formula) bool {
+		if _, ok := sub.(*Quant); ok {
+			n++
+		}
+		return true
+	})
+	return n
+}
+
+// HasUniversal reports whether f contains an ALL quantifier anywhere.
+func HasUniversal(f Formula) bool {
+	found := false
+	Walk(f, func(sub Formula) bool {
+		if q, ok := sub.(*Quant); ok && q.All {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// RenameVar replaces every occurrence of variable old with new in f:
+// field references, quantifier declarations, and range-filter variables
+// are all rewritten. The caller must ensure new is not already in use.
+func RenameVar(f Formula, old, new string) Formula {
+	switch g := f.(type) {
+	case nil:
+		return nil
+	case *Cmp:
+		return &Cmp{L: renameOperand(g.L, old, new), Op: g.Op, R: renameOperand(g.R, old, new)}
+	case *Not:
+		return &Not{F: RenameVar(g.F, old, new)}
+	case *And:
+		fs := make([]Formula, len(g.Fs))
+		for i, sub := range g.Fs {
+			fs[i] = RenameVar(sub, old, new)
+		}
+		return &And{Fs: fs}
+	case *Or:
+		fs := make([]Formula, len(g.Fs))
+		for i, sub := range g.Fs {
+			fs[i] = RenameVar(sub, old, new)
+		}
+		return &Or{Fs: fs}
+	case *Lit:
+		return &Lit{Val: g.Val}
+	case *Quant:
+		v := g.Var
+		if v == old {
+			v = new
+		}
+		return &Quant{All: g.All, Var: v, Range: CloneRange(g.Range), Body: RenameVar(g.Body, old, new)}
+	default:
+		panic("calculus: RenameVar of unknown formula")
+	}
+}
+
+func renameOperand(o Operand, old, new string) Operand {
+	if fld, ok := o.(Field); ok && fld.Var == old {
+		return Field{Var: new, Col: fld.Col}
+	}
+	return o
+}
+
+// Equal reports structural equality of two formulas.
+func Equal(a, b Formula) bool {
+	if a == nil || b == nil {
+		return a == nil && b == nil
+	}
+	return a.String() == b.String()
+}

@@ -1,0 +1,231 @@
+// Package calculus defines the abstract syntax of PASCAL/R selection
+// expressions: well-formed formulae of an applied many-sorted first-order
+// predicate calculus whose atomic formulae are join terms (comparisons
+// over the operators =, <>, <, <=, >, >=), with range-coupled variables
+// that are free (EACH v IN rel), existentially quantified (SOME v IN
+// rel), or universally quantified (ALL v IN rel).
+//
+// A Selection is the paper's intensional set definition: a component
+// selection (the projected fields) plus a selection expression
+// constraining the free variables. Range expressions may carry a monadic
+// filter, which is how strategy 3 (extended range expressions)
+// represents [EACH r IN rel: S(r)].
+package calculus
+
+import (
+	"pascalr/internal/value"
+)
+
+// Operand is one side of a join term.
+type Operand interface {
+	isOperand()
+	String() string
+}
+
+// Field references a component of a range-coupled variable, e.g. e.enr.
+type Field struct {
+	Var string
+	Col string
+}
+
+// Const is a literal value.
+type Const struct {
+	Val value.Value
+}
+
+// Label is an identifier the parser could not resolve locally — an
+// enumeration label such as professor. Check resolves Labels to Consts
+// using the types of the surrounding comparison.
+type Label struct {
+	Name string
+}
+
+func (Field) isOperand() {}
+func (Const) isOperand() {}
+func (Label) isOperand() {}
+
+func (f Field) String() string { return f.Var + "." + f.Col }
+func (c Const) String() string { return c.Val.String() }
+func (l Label) String() string { return l.Name }
+
+// Formula is a well-formed formula of the calculus.
+type Formula interface {
+	isFormula()
+	String() string
+}
+
+// Cmp is a join term: a comparison between two operands. Monadic join
+// terms mention one variable (e.estatus = professor); dyadic join terms
+// mention two (e.enr = t.tenr).
+type Cmp struct {
+	L  Operand
+	Op value.CmpOp
+	R  Operand
+}
+
+// Not negates a formula.
+type Not struct {
+	F Formula
+}
+
+// And is an n-ary conjunction.
+type And struct {
+	Fs []Formula
+}
+
+// Or is an n-ary disjunction.
+type Or struct {
+	Fs []Formula
+}
+
+// Lit is a boolean constant formula (TRUE or FALSE). The runtime
+// empty-range adaptation of Lemma 1 introduces these.
+type Lit struct {
+	Val bool
+}
+
+// Quant is a range-coupled quantifier: SOME v IN range (body) or
+// ALL v IN range (body).
+type Quant struct {
+	All   bool
+	Var   string
+	Range *RangeExpr
+	Body  Formula
+}
+
+func (*Cmp) isFormula()   {}
+func (*Not) isFormula()   {}
+func (*And) isFormula()   {}
+func (*Or) isFormula()    {}
+func (*Lit) isFormula()   {}
+func (*Quant) isFormula() {}
+
+// RangeExpr is what a variable ranges over: a database relation,
+// optionally restricted by a monadic filter over FilterVar — the
+// extended range expression of strategy 3,
+// [EACH FilterVar IN Rel: Filter].
+type RangeExpr struct {
+	Rel       string
+	FilterVar string  // name the filter formula uses; "" when Filter is nil
+	Filter    Formula // monadic over FilterVar, or nil
+}
+
+// Extended reports whether the range carries a filter.
+func (r *RangeExpr) Extended() bool { return r != nil && r.Filter != nil }
+
+// Decl couples a free variable to its range: EACH Var IN Range.
+type Decl struct {
+	Var   string
+	Range *RangeExpr
+}
+
+// Selection is a complete PASCAL/R selection:
+// [<proj...> OF EACH v1 IN r1, ... : pred].
+type Selection struct {
+	Proj []Field
+	Free []Decl
+	Pred Formula // nil means TRUE
+}
+
+// NewAnd builds a conjunction, flattening nested Ands and dropping
+// redundant TRUE literals. It returns TRUE for an empty conjunction and
+// the sole conjunct when only one remains.
+func NewAnd(fs ...Formula) Formula {
+	flat := make([]Formula, 0, len(fs))
+	for _, f := range fs {
+		switch g := f.(type) {
+		case *And:
+			flat = append(flat, g.Fs...)
+		case *Lit:
+			if !g.Val {
+				return &Lit{Val: false}
+			}
+			// drop TRUE
+		default:
+			flat = append(flat, f)
+		}
+	}
+	switch len(flat) {
+	case 0:
+		return &Lit{Val: true}
+	case 1:
+		return flat[0]
+	default:
+		return &And{Fs: flat}
+	}
+}
+
+// NewOr builds a disjunction, flattening nested Ors and dropping
+// redundant FALSE literals. It returns FALSE for an empty disjunction and
+// the sole disjunct when only one remains.
+func NewOr(fs ...Formula) Formula {
+	flat := make([]Formula, 0, len(fs))
+	for _, f := range fs {
+		switch g := f.(type) {
+		case *Or:
+			flat = append(flat, g.Fs...)
+		case *Lit:
+			if g.Val {
+				return &Lit{Val: true}
+			}
+			// drop FALSE
+		default:
+			flat = append(flat, f)
+		}
+	}
+	switch len(flat) {
+	case 0:
+		return &Lit{Val: false}
+	case 1:
+		return flat[0]
+	default:
+		return &Or{Fs: flat}
+	}
+}
+
+// Clone returns a deep copy of the formula.
+func Clone(f Formula) Formula {
+	switch g := f.(type) {
+	case nil:
+		return nil
+	case *Cmp:
+		return &Cmp{L: g.L, Op: g.Op, R: g.R}
+	case *Not:
+		return &Not{F: Clone(g.F)}
+	case *And:
+		fs := make([]Formula, len(g.Fs))
+		for i, sub := range g.Fs {
+			fs[i] = Clone(sub)
+		}
+		return &And{Fs: fs}
+	case *Or:
+		fs := make([]Formula, len(g.Fs))
+		for i, sub := range g.Fs {
+			fs[i] = Clone(sub)
+		}
+		return &Or{Fs: fs}
+	case *Lit:
+		return &Lit{Val: g.Val}
+	case *Quant:
+		return &Quant{All: g.All, Var: g.Var, Range: CloneRange(g.Range), Body: Clone(g.Body)}
+	default:
+		panic("calculus: Clone of unknown formula")
+	}
+}
+
+// CloneRange returns a deep copy of a range expression.
+func CloneRange(r *RangeExpr) *RangeExpr {
+	if r == nil {
+		return nil
+	}
+	return &RangeExpr{Rel: r.Rel, FilterVar: r.FilterVar, Filter: Clone(r.Filter)}
+}
+
+// CloneSelection returns a deep copy of a selection.
+func CloneSelection(s *Selection) *Selection {
+	cp := &Selection{Proj: append([]Field(nil), s.Proj...), Pred: Clone(s.Pred)}
+	for _, d := range s.Free {
+		cp.Free = append(cp.Free, Decl{Var: d.Var, Range: CloneRange(d.Range)})
+	}
+	return cp
+}

@@ -1,0 +1,314 @@
+package calculus
+
+import (
+	"fmt"
+
+	"pascalr/internal/schema"
+	"pascalr/internal/value"
+)
+
+// Info carries the results of type-checking a selection.
+type Info struct {
+	// VarRel maps every range-coupled variable (free and quantified,
+	// including range-filter variables) to the schema of its range
+	// relation.
+	VarRel map[string]*schema.RelSchema
+	// Result is the schema of the relation the selection produces. All
+	// components form the key: selections produce sets.
+	Result *schema.RelSchema
+}
+
+// FieldType returns the component type a field reference denotes.
+func (inf *Info) FieldType(f Field) (*schema.Type, error) {
+	rel, ok := inf.VarRel[f.Var]
+	if !ok {
+		return nil, fmt.Errorf("calculus: unknown variable %s", f.Var)
+	}
+	col, ok := rel.Col(f.Col)
+	if !ok {
+		return nil, fmt.Errorf("calculus: relation %s has no component %s", rel.Name, f.Col)
+	}
+	return col.Type, nil
+}
+
+type checker struct {
+	cat  *schema.Catalog
+	info *Info
+}
+
+// Check validates a selection against a catalog and returns a resolved
+// deep copy: enumeration Labels become Consts, every variable is bound
+// to its relation schema, and every join term is verified to compare
+// compatible types. The input selection is not modified.
+//
+// Checking rejects variable shadowing (two declarations of the same
+// name anywhere in the selection); the normalizer relies on globally
+// unique variable names.
+func Check(sel *Selection, cat *schema.Catalog) (*Selection, *Info, error) {
+	cp := CloneSelection(sel)
+	c := &checker{cat: cat, info: &Info{VarRel: make(map[string]*schema.RelSchema)}}
+
+	if len(cp.Proj) == 0 {
+		return nil, nil, fmt.Errorf("calculus: selection has no component selection")
+	}
+	if len(cp.Free) == 0 {
+		return nil, nil, fmt.Errorf("calculus: selection declares no free variables")
+	}
+
+	scope := map[string]bool{}
+	for _, d := range cp.Free {
+		if err := c.declare(d.Var, d.Range, scope); err != nil {
+			return nil, nil, err
+		}
+	}
+	// Only free variables may be projected: quantified variables are
+	// eliminated by the combination phase.
+	for _, p := range cp.Proj {
+		if !scope[p.Var] {
+			return nil, nil, fmt.Errorf("calculus: projected variable %s is not a free variable", p.Var)
+		}
+	}
+	for i := range cp.Free {
+		if err := c.checkRange(cp.Free[i].Range); err != nil {
+			return nil, nil, err
+		}
+	}
+	if cp.Pred != nil {
+		pred, err := c.checkFormula(cp.Pred, scope)
+		if err != nil {
+			return nil, nil, err
+		}
+		cp.Pred = pred
+	}
+
+	result, err := c.resultSchema(cp.Proj)
+	if err != nil {
+		return nil, nil, err
+	}
+	c.info.Result = result
+	return cp, c.info, nil
+}
+
+func (c *checker) declare(v string, r *RangeExpr, scope map[string]bool) error {
+	if v == "" {
+		return fmt.Errorf("calculus: empty variable name")
+	}
+	if _, dup := c.info.VarRel[v]; dup {
+		return fmt.Errorf("calculus: variable %s declared twice (shadowing is not allowed)", v)
+	}
+	rel, ok := c.cat.Relation(r.Rel)
+	if !ok {
+		return fmt.Errorf("calculus: unknown range relation %s", r.Rel)
+	}
+	c.info.VarRel[v] = rel
+	scope[v] = true
+	return nil
+}
+
+// checkRange validates an extended range's filter: it must be a
+// quantifier-free monadic formula over the filter variable.
+func (c *checker) checkRange(r *RangeExpr) error {
+	if !r.Extended() {
+		return nil
+	}
+	if r.FilterVar == "" {
+		return fmt.Errorf("calculus: extended range over %s has no filter variable", r.Rel)
+	}
+	rel, ok := c.cat.Relation(r.Rel)
+	if !ok {
+		return fmt.Errorf("calculus: unknown range relation %s", r.Rel)
+	}
+	hasQuant := false
+	Walk(r.Filter, func(f Formula) bool {
+		if _, ok := f.(*Quant); ok {
+			hasQuant = true
+			return false
+		}
+		return true
+	})
+	if hasQuant {
+		return fmt.Errorf("calculus: range filter over %s must be quantifier-free", r.Rel)
+	}
+	saved, had := c.info.VarRel[r.FilterVar]
+	c.info.VarRel[r.FilterVar] = rel
+	filter, err := c.checkFormula(r.Filter, map[string]bool{r.FilterVar: true})
+	if had {
+		c.info.VarRel[r.FilterVar] = saved
+	}
+	// Keep filter variables in VarRel when they don't collide: the
+	// engine needs their relation schemas too.
+	if err != nil {
+		return fmt.Errorf("calculus: range filter over %s: %w", r.Rel, err)
+	}
+	r.Filter = filter
+	return nil
+}
+
+func (c *checker) checkFormula(f Formula, scope map[string]bool) (Formula, error) {
+	switch g := f.(type) {
+	case *Cmp:
+		return c.checkCmp(g, scope)
+	case *Not:
+		sub, err := c.checkFormula(g.F, scope)
+		if err != nil {
+			return nil, err
+		}
+		return &Not{F: sub}, nil
+	case *And:
+		fs := make([]Formula, len(g.Fs))
+		for i, sub := range g.Fs {
+			cs, err := c.checkFormula(sub, scope)
+			if err != nil {
+				return nil, err
+			}
+			fs[i] = cs
+		}
+		return &And{Fs: fs}, nil
+	case *Or:
+		fs := make([]Formula, len(g.Fs))
+		for i, sub := range g.Fs {
+			cs, err := c.checkFormula(sub, scope)
+			if err != nil {
+				return nil, err
+			}
+			fs[i] = cs
+		}
+		return &Or{Fs: fs}, nil
+	case *Lit:
+		return &Lit{Val: g.Val}, nil
+	case *Quant:
+		inner := make(map[string]bool, len(scope)+1)
+		for k := range scope {
+			inner[k] = true
+		}
+		if err := c.declare(g.Var, g.Range, inner); err != nil {
+			return nil, err
+		}
+		if err := c.checkRange(g.Range); err != nil {
+			return nil, err
+		}
+		body, err := c.checkFormula(g.Body, inner)
+		if err != nil {
+			return nil, err
+		}
+		return &Quant{All: g.All, Var: g.Var, Range: CloneRange(g.Range), Body: body}, nil
+	default:
+		return nil, fmt.Errorf("calculus: unknown formula node %T", f)
+	}
+}
+
+func (c *checker) checkCmp(g *Cmp, scope map[string]bool) (Formula, error) {
+	l, lt, err := c.checkOperand(g.L, scope)
+	if err != nil {
+		return nil, err
+	}
+	r, rt, err := c.checkOperand(g.R, scope)
+	if err != nil {
+		return nil, err
+	}
+	// Resolve labels against the opposite side's type.
+	if lbl, ok := l.(Label); ok {
+		l, lt, err = c.resolveLabel(lbl, rt)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if lbl, ok := r.(Label); ok {
+		r, rt, err = c.resolveLabel(lbl, lt)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if lt == nil || rt == nil {
+		return nil, fmt.Errorf("calculus: cannot infer types in join term %s", g)
+	}
+	if !lt.Comparable(rt) {
+		return nil, fmt.Errorf("calculus: join term %s compares %s with %s", g, lt, rt)
+	}
+	return &Cmp{L: l, Op: g.Op, R: r}, nil
+}
+
+// checkOperand returns the (possibly unresolved) operand and its type;
+// Labels return a nil type to be filled in by resolveLabel.
+func (c *checker) checkOperand(o Operand, scope map[string]bool) (Operand, *schema.Type, error) {
+	switch op := o.(type) {
+	case Field:
+		if !scope[op.Var] {
+			return nil, nil, fmt.Errorf("calculus: variable %s used outside its scope", op.Var)
+		}
+		t, err := c.info.FieldType(op)
+		if err != nil {
+			return nil, nil, err
+		}
+		return op, t, nil
+	case Const:
+		return op, typeOfConst(op.Val), nil
+	case Label:
+		return op, nil, nil
+	default:
+		return nil, nil, fmt.Errorf("calculus: unknown operand %T", o)
+	}
+}
+
+func (c *checker) resolveLabel(lbl Label, other *schema.Type) (Operand, *schema.Type, error) {
+	if other != nil && other.Kind == schema.TEnum {
+		ord, ok := other.Ordinal(lbl.Name)
+		if !ok {
+			return nil, nil, fmt.Errorf("calculus: %s is not a label of enumeration %s", lbl.Name, other.Name)
+		}
+		return Const{Val: value.Enum(other.Name, ord)}, other, nil
+	}
+	v, t, ok := c.cat.EnumValue(lbl.Name)
+	if !ok {
+		return nil, nil, fmt.Errorf("calculus: cannot resolve identifier %s to an enumeration label", lbl.Name)
+	}
+	return Const{Val: v}, t, nil
+}
+
+// typeOfConst synthesizes an anonymous type describing a literal, wide
+// enough to compare against any component of the same kind.
+func typeOfConst(v value.Value) *schema.Type {
+	switch v.Kind() {
+	case value.KindInt:
+		return schema.IntType("", v.AsInt(), v.AsInt())
+	case value.KindString:
+		return schema.StringType("", len(v.AsString()))
+	case value.KindBool:
+		return schema.BoolType()
+	case value.KindEnum:
+		// A synthetic enum type that carries only the name; Comparable
+		// checks names, so this suffices.
+		return &schema.Type{Kind: schema.TEnum, Name: v.EnumType()}
+	default:
+		return nil
+	}
+}
+
+func (c *checker) resultSchema(proj []Field) (*schema.RelSchema, error) {
+	// Column naming: the component name when unique across the
+	// projection, otherwise var_col.
+	colCount := map[string]int{}
+	for _, p := range proj {
+		colCount[p.Col]++
+	}
+	cols := make([]schema.Column, 0, len(proj))
+	key := make([]string, 0, len(proj))
+	seen := map[string]bool{}
+	for _, p := range proj {
+		t, err := c.info.FieldType(p)
+		if err != nil {
+			return nil, err
+		}
+		name := p.Col
+		if colCount[p.Col] > 1 {
+			name = p.Var + "_" + p.Col
+		}
+		if seen[name] {
+			return nil, fmt.Errorf("calculus: duplicate projected component %s", name)
+		}
+		seen[name] = true
+		cols = append(cols, schema.Column{Name: name, Type: t})
+		key = append(key, name)
+	}
+	return schema.NewRelSchema("result", cols, key)
+}

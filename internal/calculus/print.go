@@ -1,0 +1,104 @@
+package calculus
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Printing uses the paper's concrete syntax, with parentheses inserted
+// by precedence: OR binds weakest, then AND, then NOT; quantifiers take a
+// parenthesized body. The output round-trips through the parser.
+
+const (
+	precOr = iota
+	precAnd
+	precNot
+	precAtom
+)
+
+func (f *Cmp) String() string { return fmt.Sprintf("%s %s %s", f.L, f.Op, f.R) }
+func (f *Not) String() string { return "NOT " + paren(f.F, precNot) }
+func (f *Lit) String() string { return map[bool]string{true: "TRUE", false: "FALSE"}[f.Val] }
+func (f *And) String() string { return joinWith(f.Fs, " AND ", precAnd) }
+func (f *Or) String() string  { return joinWith(f.Fs, " OR ", precOr) }
+func (f *Quant) String() string {
+	q := "SOME"
+	if f.All {
+		q = "ALL"
+	}
+	return fmt.Sprintf("%s %s IN %s (%s)", q, f.Var, f.Range, f.Body)
+}
+
+func prec(f Formula) int {
+	switch f.(type) {
+	case *Or:
+		return precOr
+	case *And:
+		return precAnd
+	case *Not:
+		return precNot
+	default:
+		return precAtom
+	}
+}
+
+func paren(f Formula, ctx int) string {
+	if prec(f) < ctx {
+		return "(" + f.String() + ")"
+	}
+	return f.String()
+}
+
+func joinWith(fs []Formula, sep string, ctx int) string {
+	parts := make([]string, len(fs))
+	for i, f := range fs {
+		if _, isQ := f.(*Quant); isQ {
+			// Quantifiers carry an explicitly parenthesized body already,
+			// but wrapping the whole quantifier keeps the printout
+			// unambiguous to human readers inside connective chains.
+			parts[i] = "(" + f.String() + ")"
+		} else {
+			parts[i] = paren(f, ctx)
+		}
+	}
+	return strings.Join(parts, sep)
+}
+
+// String renders the range expression: a bare relation name, or the
+// extended form [EACH v IN rel: filter].
+func (r *RangeExpr) String() string {
+	if r == nil {
+		return "<nil range>"
+	}
+	if !r.Extended() {
+		return r.Rel
+	}
+	return fmt.Sprintf("[EACH %s IN %s: %s]", r.FilterVar, r.Rel, r.Filter)
+}
+
+// String renders the full selection in the paper's concrete syntax.
+func (s *Selection) String() string {
+	var b strings.Builder
+	b.WriteString("[<")
+	for i, p := range s.Proj {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(p.String())
+	}
+	b.WriteString("> OF ")
+	for i, d := range s.Free {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "EACH %s IN %s", d.Var, d.Range)
+	}
+	b.WriteString(": ")
+	if s.Pred == nil {
+		b.WriteString("TRUE")
+	} else {
+		b.WriteString(s.Pred.String())
+	}
+	b.WriteString("]")
+	return b.String()
+}

@@ -1,0 +1,186 @@
+// Package collection implements the collection phase's intermediate
+// structures (section 3.2 of the paper): single lists for monadic join
+// terms, indexes that associate component values with references,
+// indirect joins for dyadic join terms, and the value lists of strategy
+// 4 together with their single-value refinements (section 4.4).
+//
+// The structures are all expressible as PASCAL/R relations over
+// reference components (Figure 2 of the paper); here they get dedicated
+// representations so index probes are cheap.
+package collection
+
+import (
+	"fmt"
+	"sort"
+
+	"pascalr/internal/stats"
+	"pascalr/internal/value"
+)
+
+// SingleList is a unary relation of references to elements satisfying
+// monadic join terms, e.g. sl_prof or sl_csoph in Figure 2.
+type SingleList struct {
+	Var  string
+	refs []value.Value
+	set  map[string]struct{}
+}
+
+// NewSingleList creates an empty single list for a variable.
+func NewSingleList(v string) *SingleList {
+	return &SingleList{Var: v, set: make(map[string]struct{})}
+}
+
+// Add inserts a reference.
+func (sl *SingleList) Add(ref value.Value) {
+	k := value.EncodeKey([]value.Value{ref})
+	if _, dup := sl.set[k]; dup {
+		return
+	}
+	sl.set[k] = struct{}{}
+	sl.refs = append(sl.refs, ref)
+}
+
+// Refs returns the references in insertion order.
+func (sl *SingleList) Refs() []value.Value { return sl.refs }
+
+// Len returns the number of references.
+func (sl *SingleList) Len() int { return len(sl.refs) }
+
+// Has reports whether a reference is present.
+func (sl *SingleList) Has(ref value.Value) bool {
+	_, ok := sl.set[value.EncodeKey([]value.Value{ref})]
+	return ok
+}
+
+// IndexEntry associates one component value with one reference.
+type IndexEntry struct {
+	Val value.Value
+	Ref value.Value
+}
+
+// Index is a (partial) index on one relation: component value ->
+// references, e.g. ind_t_cnr in Figure 2. Equality probes use a hash
+// table; ordered probes (<, <=, >, >=) use a sorted entry list built
+// lazily on first use.
+type Index struct {
+	Rel string
+	Col string
+
+	eq      map[string][]value.Value
+	entries []IndexEntry
+	sorted  bool
+	st      *stats.Counters
+}
+
+// NewIndex creates an empty index over rel.col.
+func NewIndex(rel, col string, st *stats.Counters) *Index {
+	return &Index{Rel: rel, Col: col, eq: make(map[string][]value.Value), st: st}
+}
+
+// Add indexes one element's component value.
+func (ix *Index) Add(v, ref value.Value) {
+	k := value.EncodeKey([]value.Value{v})
+	ix.eq[k] = append(ix.eq[k], ref)
+	ix.entries = append(ix.entries, IndexEntry{Val: v, Ref: ref})
+	ix.sorted = false
+}
+
+// Len returns the number of indexed entries.
+func (ix *Index) Len() int { return len(ix.entries) }
+
+// Entries returns the indexed (value, reference) pairs; callers must not
+// modify them. The order is unspecified.
+func (ix *Index) Entries() []IndexEntry { return ix.entries }
+
+// ProbeEq returns the references whose indexed value equals v.
+func (ix *Index) ProbeEq(v value.Value) []value.Value {
+	ix.st.CountProbes(1)
+	return ix.eq[value.EncodeKey([]value.Value{v})]
+}
+
+// Probe calls fn with every reference whose indexed value iv satisfies
+// "pv op iv" — the probe value on the left, as in a join term
+// probe.col OP index.col. Equality uses the hash table; the ordered
+// operators use binary search over the sorted entries; <> scans.
+func (ix *Index) Probe(op value.CmpOp, pv value.Value, fn func(ref value.Value)) {
+	ix.st.CountProbes(1)
+	switch op {
+	case value.OpEq:
+		for _, ref := range ix.eq[value.EncodeKey([]value.Value{pv})] {
+			fn(ref)
+		}
+	case value.OpNe:
+		for _, e := range ix.entries {
+			ix.st.CountComparisons(1)
+			if !value.Equal(e.Val, pv) {
+				fn(e.Ref)
+			}
+		}
+	default:
+		ix.ensureSorted()
+		// entries sorted ascending by Val; find the range of indexed
+		// values iv with "pv op iv" true.
+		n := len(ix.entries)
+		var lo, hi int // half-open [lo, hi)
+		switch op {
+		case value.OpLt: // pv < iv: iv strictly greater than pv
+			lo = sort.Search(n, func(i int) bool { return value.MustCompare(ix.entries[i].Val, pv) > 0 })
+			hi = n
+		case value.OpLe: // pv <= iv
+			lo = sort.Search(n, func(i int) bool { return value.MustCompare(ix.entries[i].Val, pv) >= 0 })
+			hi = n
+		case value.OpGt: // pv > iv: iv strictly less than pv
+			lo = 0
+			hi = sort.Search(n, func(i int) bool { return value.MustCompare(ix.entries[i].Val, pv) >= 0 })
+		case value.OpGe: // pv >= iv
+			lo = 0
+			hi = sort.Search(n, func(i int) bool { return value.MustCompare(ix.entries[i].Val, pv) > 0 })
+		}
+		for i := lo; i < hi; i++ {
+			fn(ix.entries[i].Ref)
+		}
+	}
+}
+
+func (ix *Index) ensureSorted() {
+	if ix.sorted {
+		return
+	}
+	sort.SliceStable(ix.entries, func(i, j int) bool {
+		return value.MustCompare(ix.entries[i].Val, ix.entries[j].Val) < 0
+	})
+	ix.sorted = true
+}
+
+// IndirectJoin is a binary relation of reference pairs satisfying a
+// dyadic join term, e.g. ij_c_t in Figure 2.
+type IndirectJoin struct {
+	LVar, RVar string
+	pairs      [][2]value.Value
+	set        map[string]struct{}
+}
+
+// NewIndirectJoin creates an empty indirect join between two variables.
+func NewIndirectJoin(lv, rv string) *IndirectJoin {
+	return &IndirectJoin{LVar: lv, RVar: rv, set: make(map[string]struct{})}
+}
+
+// Add inserts a reference pair.
+func (ij *IndirectJoin) Add(l, r value.Value) {
+	k := value.EncodeKey([]value.Value{l, r})
+	if _, dup := ij.set[k]; dup {
+		return
+	}
+	ij.set[k] = struct{}{}
+	ij.pairs = append(ij.pairs, [2]value.Value{l, r})
+}
+
+// Pairs returns the reference pairs in insertion order.
+func (ij *IndirectJoin) Pairs() [][2]value.Value { return ij.pairs }
+
+// Len returns the number of pairs.
+func (ij *IndirectJoin) Len() int { return len(ij.pairs) }
+
+func (ij *IndirectJoin) String() string {
+	return fmt.Sprintf("ij(%s,%s)[%d]", ij.LVar, ij.RVar, ij.Len())
+}

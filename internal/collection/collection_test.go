@@ -1,0 +1,257 @@
+package collection
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pascalr/internal/stats"
+	"pascalr/internal/value"
+)
+
+func ref(s int) value.Value { return value.Ref(0, s, 0) }
+
+func TestSingleList(t *testing.T) {
+	sl := NewSingleList("c")
+	sl.Add(ref(1))
+	sl.Add(ref(2))
+	sl.Add(ref(1)) // duplicate
+	if sl.Len() != 2 {
+		t.Errorf("Len = %d", sl.Len())
+	}
+	if !sl.Has(ref(1)) || sl.Has(ref(3)) {
+		t.Errorf("Has wrong")
+	}
+	if got := sl.Refs(); len(got) != 2 || !value.Equal(got[0], ref(1)) {
+		t.Errorf("Refs = %v", got)
+	}
+}
+
+func TestIndexProbeEq(t *testing.T) {
+	st := &stats.Counters{}
+	ix := NewIndex("timetable", "tcnr", st)
+	ix.Add(value.Int(10), ref(1))
+	ix.Add(value.Int(10), ref(2))
+	ix.Add(value.Int(20), ref(3))
+	if ix.Len() != 3 {
+		t.Errorf("Len = %d", ix.Len())
+	}
+	got := ix.ProbeEq(value.Int(10))
+	if len(got) != 2 {
+		t.Errorf("ProbeEq(10) = %v", got)
+	}
+	if len(ix.ProbeEq(value.Int(99))) != 0 {
+		t.Errorf("ProbeEq(99) non-empty")
+	}
+	if st.IndexProbes != 2 {
+		t.Errorf("probes = %d", st.IndexProbes)
+	}
+}
+
+func collectProbe(ix *Index, op value.CmpOp, pv value.Value) []value.Value {
+	var out []value.Value
+	ix.Probe(op, pv, func(r value.Value) { out = append(out, r) })
+	return out
+}
+
+func TestIndexProbeOperators(t *testing.T) {
+	ix := NewIndex("r", "a", nil)
+	// values 1,3,3,5 with refs 1,2,3,4
+	ix.Add(value.Int(1), ref(1))
+	ix.Add(value.Int(3), ref(2))
+	ix.Add(value.Int(3), ref(3))
+	ix.Add(value.Int(5), ref(4))
+
+	cases := []struct {
+		op   value.CmpOp
+		pv   int64
+		want int
+	}{
+		{value.OpEq, 3, 2},  // iv = 3
+		{value.OpNe, 3, 2},  // iv != 3: 1 and 5
+		{value.OpLt, 3, 1},  // 3 < iv: 5
+		{value.OpLe, 3, 3},  // 3 <= iv: 3,3,5
+		{value.OpGt, 3, 1},  // 3 > iv: 1
+		{value.OpGe, 3, 3},  // 3 >= iv: 1,3,3
+		{value.OpLt, 0, 4},  // all
+		{value.OpGt, 10, 4}, // all
+		{value.OpLt, 9, 0},  // none
+	}
+	for _, c := range cases {
+		got := collectProbe(ix, c.op, value.Int(c.pv))
+		if len(got) != c.want {
+			t.Errorf("Probe(%v, %d) = %d refs, want %d", c.op, c.pv, len(got), c.want)
+		}
+	}
+}
+
+// Property: Probe(op, pv) returns exactly the entries where pv op iv.
+func TestIndexProbeMatchesNaive(t *testing.T) {
+	f := func(vals []int16, probe int16) bool {
+		ix := NewIndex("r", "a", nil)
+		for i, v := range vals {
+			ix.Add(value.Int(int64(v%10)), ref(i))
+		}
+		pv := value.Int(int64(probe % 10))
+		for _, op := range value.AllOps {
+			want := 0
+			for _, v := range vals {
+				ok, _ := op.Apply(pv, value.Int(int64(v%10)))
+				if ok {
+					want++
+				}
+			}
+			if len(collectProbe(ix, op, pv)) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIndirectJoin(t *testing.T) {
+	ij := NewIndirectJoin("c", "t")
+	ij.Add(ref(1), ref(10))
+	ij.Add(ref(1), ref(10)) // duplicate
+	ij.Add(ref(2), ref(20))
+	if ij.Len() != 2 {
+		t.Errorf("Len = %d", ij.Len())
+	}
+	if got := ij.Pairs(); !value.Equal(got[0][0], ref(1)) || !value.Equal(got[1][1], ref(20)) {
+		t.Errorf("Pairs = %v", got)
+	}
+}
+
+func TestValueList(t *testing.T) {
+	vl := NewValueList()
+	if vl.Len() != 0 || vl.Min().IsValid() {
+		t.Errorf("empty list state wrong")
+	}
+	for _, n := range []int64{5, 1, 9, 5, 3} {
+		vl.Add(value.Int(n))
+	}
+	if vl.Len() != 4 {
+		t.Errorf("distinct count = %d", vl.Len())
+	}
+	if vl.Min().AsInt() != 1 || vl.Max().AsInt() != 9 {
+		t.Errorf("min/max = %v/%v", vl.Min(), vl.Max())
+	}
+	if !vl.Has(value.Int(3)) || vl.Has(value.Int(2)) {
+		t.Errorf("Has wrong")
+	}
+}
+
+func mkVL(vals ...int64) *ValueList {
+	vl := NewValueList()
+	for _, v := range vals {
+		vl.Add(value.Int(v))
+	}
+	return vl
+}
+
+func TestMakeQuantPredRefinements(t *testing.T) {
+	vl := mkVL(3, 7, 5)
+
+	// < SOME keeps only the maximum.
+	p, err := MakeQuantPred(vl, value.OpLt, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Size() != 1 {
+		t.Errorf("<SOME size = %d, want 1", p.Size())
+	}
+	if !p.Test(value.Int(6)) || p.Test(value.Int(7)) {
+		t.Errorf("<SOME test wrong")
+	}
+	// < ALL keeps only the minimum.
+	p, _ = MakeQuantPred(vl, value.OpLt, true)
+	if p.Size() != 1 || !p.Test(value.Int(2)) || p.Test(value.Int(3)) {
+		t.Errorf("<ALL wrong")
+	}
+	// > SOME: x greater than the minimum.
+	p, _ = MakeQuantPred(vl, value.OpGt, false)
+	if !p.Test(value.Int(4)) || p.Test(value.Int(3)) {
+		t.Errorf(">SOME wrong")
+	}
+	// >= ALL: x at least the maximum.
+	p, _ = MakeQuantPred(vl, value.OpGe, true)
+	if !p.Test(value.Int(7)) || p.Test(value.Int(6)) {
+		t.Errorf(">=ALL wrong")
+	}
+	// = ALL over several values is constantly false, storing nothing.
+	p, _ = MakeQuantPred(vl, value.OpEq, true)
+	if p.Size() != 0 || p.Test(value.Int(5)) {
+		t.Errorf("=ALL multi wrong: size=%d", p.Size())
+	}
+	// = ALL over a singleton is an equality test.
+	p, _ = MakeQuantPred(mkVL(4), value.OpEq, true)
+	if p.Size() != 1 || !p.Test(value.Int(4)) || p.Test(value.Int(5)) {
+		t.Errorf("=ALL singleton wrong")
+	}
+	// <> SOME over several values is constantly true.
+	p, _ = MakeQuantPred(vl, value.OpNe, false)
+	if p.Size() != 0 || !p.Test(value.Int(5)) {
+		t.Errorf("<>SOME multi wrong")
+	}
+	// <> SOME over a singleton tests inequality.
+	p, _ = MakeQuantPred(mkVL(4), value.OpNe, false)
+	if !p.Test(value.Int(5)) || p.Test(value.Int(4)) {
+		t.Errorf("<>SOME singleton wrong")
+	}
+	// = SOME needs the full set.
+	p, _ = MakeQuantPred(vl, value.OpEq, false)
+	if p.Size() != 3 || !p.Test(value.Int(5)) || p.Test(value.Int(4)) {
+		t.Errorf("=SOME wrong")
+	}
+	// <> ALL is non-membership.
+	p, _ = MakeQuantPred(vl, value.OpNe, true)
+	if !p.Test(value.Int(4)) || p.Test(value.Int(5)) {
+		t.Errorf("<>ALL wrong")
+	}
+	// Empty list errors.
+	if _, err := MakeQuantPred(NewValueList(), value.OpEq, false); err == nil {
+		t.Errorf("empty value list accepted")
+	}
+}
+
+// Property: every QuantPred decision equals the naive quantifier
+// evaluation over the list.
+func TestQuantPredMatchesNaive(t *testing.T) {
+	f := func(vals []uint8, probe uint8) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		vl := NewValueList()
+		for _, v := range vals {
+			vl.Add(value.Int(int64(v % 16)))
+		}
+		x := value.Int(int64(probe % 16))
+		for _, op := range value.AllOps {
+			for _, all := range []bool{false, true} {
+				p, err := MakeQuantPred(vl, op, all)
+				if err != nil {
+					return false
+				}
+				want := all
+				for _, v := range vl.Values() {
+					ok, _ := op.Apply(x, v)
+					if all && !ok {
+						want = false
+					}
+					if !all && ok {
+						want = true
+					}
+				}
+				if p.Test(x) != want {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,360 @@
+// Package engine is the PASCAL/R query evaluation system: the
+// phase-structured algorithm of section 3.3 of the paper (collection,
+// combination, construction) driven by the standardization of section 2
+// and the four optimization strategies of section 4.
+//
+// Evaluation proceeds as follows. The checked selection is standardized
+// into prenex/DNF form (assuming non-empty ranges); strategy 3 extracts
+// monadic terms into extended range expressions; strategy 4 eliminates
+// eligible quantifiers into collection-phase value lists. The physical
+// plan schedules base-relation scans — one per relation under strategy
+// 1, one per intermediate structure otherwise — and runs the collection
+// phase. If any live range turns out empty, the standard form is adapted
+// per Lemma 1 and planning repeats ("the compiler assumes that all range
+// relations are non-empty but provides information to adapt the standard
+// form at runtime if necessary"). The combination phase then joins the
+// collected reference structures into n-tuples per conjunction, unions
+// the disjunction, and evaluates quantifiers right-to-left (projection
+// for SOME, division for ALL). The construction phase dereferences the
+// surviving free-variable references and projects the component
+// selection.
+package engine
+
+import (
+	"fmt"
+	"strings"
+
+	"pascalr/internal/baseline"
+	"pascalr/internal/calculus"
+	"pascalr/internal/normalize"
+	"pascalr/internal/optimizer"
+	"pascalr/internal/relation"
+	"pascalr/internal/stats"
+	"pascalr/internal/value"
+)
+
+// Strategy is a bit set of the paper's optimization strategies.
+type Strategy uint8
+
+// The four strategies of section 4, plus the CNF range extension the
+// paper proposes as future work in section 4.3.
+const (
+	S1   Strategy = 1 << iota // parallel evaluation: one scan per relation
+	S2                        // one-step evaluation of nested subexpressions
+	S3                        // extended range expressions
+	S4                        // quantifier evaluation in the collection phase
+	SCNF                      // conjunctive-normal-form range extension (4.3 outlook)
+)
+
+// AllStrategies enables the paper's four strategies (SCNF, the stated
+// future-work extension, is opted into separately).
+const AllStrategies = S1 | S2 | S3 | S4
+
+// String renders the strategy set, e.g. "S1+S3".
+func (s Strategy) String() string {
+	if s == 0 {
+		return "S0"
+	}
+	var parts []string
+	for i, name := range []string{"S1", "S2", "S3", "S4", "SCNF"} {
+		if s&(1<<i) != 0 {
+			parts = append(parts, name)
+		}
+	}
+	return strings.Join(parts, "+")
+}
+
+// Options configures one evaluation.
+type Options struct {
+	// Strategies selects the optimizations; zero means the unoptimized
+	// standard algorithm.
+	Strategies Strategy
+	// MaxConjunctions bounds DNF growth (0: normalize's default).
+	MaxConjunctions int
+	// MaxRefTuples bounds the reference tuples materialized by the
+	// combination phase (0: unlimited).
+	MaxRefTuples int64
+	// maxAdaptations guards the adaptation loop; set by Eval.
+	maxAdaptations int
+}
+
+// Engine evaluates selections against one database.
+type Engine struct {
+	db *relation.DB
+	st *stats.Counters // caller's sink; may be nil
+}
+
+// New creates an engine. Counters, if non-nil, accumulate across
+// evaluations.
+func New(db *relation.DB, st *stats.Counters) *Engine {
+	return &Engine{db: db, st: st}
+}
+
+// Eval evaluates a checked selection (from calculus.Check) and returns
+// the result relation.
+func (e *Engine) Eval(sel *calculus.Selection, info *calculus.Info, opts Options) (*relation.Relation, error) {
+	x, err := e.prepare(sel, opts)
+	if err != nil {
+		return nil, err
+	}
+	result := relation.New(info.Result, 0xFFFF)
+
+	st := e.st
+	if st == nil {
+		st = &stats.Counters{}
+	}
+	// The database's scan counters must flow into the same sink.
+	prev := e.db.Stats()
+	e.db.SetStats(st)
+	defer e.db.SetStats(prev)
+
+	opts.maxAdaptations = len(x.Prefix) + len(x.Free) + len(x.Specs) + 2
+	p, err := e.collectWithAdaptation(x, st, opts)
+	if err != nil {
+		return nil, err
+	}
+	// An empty free range, or a constant-FALSE matrix, yields the empty
+	// relation.
+	if x.Const != nil && !*x.Const {
+		return result, nil
+	}
+	for _, d := range x.Free {
+		if p.freeRangeEmpty(d.Var) {
+			return result, nil
+		}
+	}
+
+	refs, err := p.combine(opts.MaxRefTuples)
+	if err != nil {
+		return nil, err
+	}
+	if err := e.construct(refs, sel, result); err != nil {
+		return nil, err
+	}
+	return result, nil
+}
+
+// prepare folds empty ranges out of the original formula (Lemma 1: the
+// prenex transformation is only valid for non-empty ranges, so the
+// adaptation must happen before standardization — this is the paper's
+// Example 2.2 caveat, where the unadapted normal form would return all
+// employees instead of the professors), then runs standardization and
+// the logical strategies (3 and 4).
+func (e *Engine) prepare(sel *calculus.Selection, opts Options) (*optimizer.XForm, error) {
+	folded := normalize.Fold(sel.Pred, baseline.Emptiness(e.db))
+	sel = &calculus.Selection{Proj: sel.Proj, Free: sel.Free, Pred: folded}
+	sf, err := normalize.Standardize(sel, normalize.Options{MaxConjunctions: opts.MaxConjunctions})
+	if err != nil {
+		return nil, err
+	}
+	// The CNF extension runs first: its free-variable rule ("every
+	// conjunction restricts the variable") must judge the original
+	// matrix. Plain extraction may remove whole disjuncts (the universal
+	// rule), and a disjunct without the restriction is exactly what makes
+	// the narrowing unsound.
+	if opts.Strategies&SCNF != 0 {
+		sf, _ = optimizer.ExtractRangesCNF(sf)
+	}
+	if opts.Strategies&S3 != 0 {
+		sf, _ = optimizer.ExtractRanges(sf)
+	}
+	x := optimizer.FromStandardForm(sf)
+	if opts.Strategies&S4 != 0 {
+		optimizer.EliminateQuantifiers(x)
+	}
+	return x, nil
+}
+
+// collectWithAdaptation plans and runs the collection phase, re-adapting
+// and re-planning whenever a live range turns out to be empty (Lemma 1).
+func (e *Engine) collectWithAdaptation(x *optimizer.XForm, st *stats.Counters, opts Options) (*plan, error) {
+	for attempt := 0; ; attempt++ {
+		if attempt > opts.maxAdaptations {
+			return nil, fmt.Errorf("engine: adaptation loop did not converge")
+		}
+		p, err := buildPlan(x, e.db, st, opts.Strategies)
+		if err != nil {
+			return nil, err
+		}
+		if err := p.runScans(); err != nil {
+			return nil, err
+		}
+		empties := map[string]bool{}
+		for _, v := range p.emptyLiveVars() {
+			if !p.vars[v].free {
+				empties[v] = true
+			}
+		}
+		if len(empties) == 0 {
+			return p, nil
+		}
+		adaptXForm(x, empties)
+	}
+}
+
+// adaptXForm applies the Lemma 1 rules to the prenex form when prefix
+// ranges turn out empty at run time. After prepare's pre-fold, the only
+// way a prefix range can be empty is through an extended range created
+// by strategy 3, and the adaptation undoes exactly the extraction step
+// that the emptiness invalidated:
+//
+//   - SOME over an empty extended range falsifies every conjunction
+//     containing the variable (each needs a witness satisfying the
+//     extracted filter), restoring the surviving disjuncts that the
+//     rule-2 rewrap assumed;
+//   - ALL over an empty extended range is vacuously TRUE, making the
+//     whole remaining subformula TRUE and discarding the inner prefix.
+//
+// The existential drops run first: they are matrix-local and valid
+// regardless of the other ranges, whereas a universal truncation erases
+// the matrix the drops need to inspect.
+func adaptXForm(x *optimizer.XForm, empty map[string]bool) {
+	for i := len(x.Prefix) - 1; i >= 0; i-- {
+		q := x.Prefix[i]
+		if !empty[q.Var] || q.All {
+			continue
+		}
+		// Existential: drop the conjunctions mentioning the variable.
+		if x.Const != nil {
+			if *x.Const {
+				f := false
+				x.Const = &f
+			}
+		} else {
+			kept := x.Matrix[:0]
+			for _, conj := range x.Matrix {
+				mentions := false
+				for _, a := range conj {
+					for _, av := range a.Vars() {
+						if av == q.Var {
+							mentions = true
+						}
+					}
+				}
+				if !mentions {
+					kept = append(kept, conj)
+				}
+			}
+			x.Matrix = kept
+			if len(kept) == 0 {
+				f := false
+				x.Const = &f
+				x.Matrix = nil
+			}
+		}
+		x.Prefix = append(x.Prefix[:i], x.Prefix[i+1:]...)
+	}
+	for i := len(x.Prefix) - 1; i >= 0; i-- {
+		q := x.Prefix[i]
+		if !empty[q.Var] || !q.All {
+			continue
+		}
+		// Universal: vacuously TRUE; everything to the right vanishes.
+		t := true
+		x.Const = &t
+		x.Matrix = nil
+		x.Prefix = x.Prefix[:i]
+	}
+}
+
+// construct runs the construction phase: dereference the free-variable
+// references of the combination result and project onto the component
+// selection.
+func (e *Engine) construct(refs interface {
+	Vars() []string
+	Rows() [][]value.Value
+}, sel *calculus.Selection, result *relation.Relation) error {
+	cols := make([]int, len(sel.Proj))
+	fieldCols := make([]int, len(sel.Proj))
+	vars := refs.Vars()
+	varIdx := map[string]int{}
+	for i, v := range vars {
+		varIdx[v] = i
+	}
+	for i, pr := range sel.Proj {
+		vi, ok := varIdx[pr.Var]
+		if !ok {
+			return fmt.Errorf("engine: projected variable %s missing from combination result", pr.Var)
+		}
+		cols[i] = vi
+		rel, ok := e.db.Relation(rangeRelOf(sel, pr.Var))
+		if !ok {
+			return fmt.Errorf("engine: unknown relation for variable %s", pr.Var)
+		}
+		ci, ok := rel.Schema().ColIndex(pr.Col)
+		if !ok {
+			return fmt.Errorf("engine: relation %s has no component %s", rel.Name(), pr.Col)
+		}
+		fieldCols[i] = ci
+	}
+	tuple := make([]value.Value, len(sel.Proj))
+	for _, row := range refs.Rows() {
+		for i := range sel.Proj {
+			elem, err := e.db.Deref(row[cols[i]])
+			if err != nil {
+				return err
+			}
+			tuple[i] = elem[fieldCols[i]]
+		}
+		if _, err := result.Insert(tuple); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func rangeRelOf(sel *calculus.Selection, v string) string {
+	for _, d := range sel.Free {
+		if d.Var == v {
+			return d.Range.Rel
+		}
+	}
+	return ""
+}
+
+// Explain renders the logical and physical plan without executing the
+// combination phase. It runs the collection phase's planning only.
+func (e *Engine) Explain(sel *calculus.Selection, opts Options) (string, error) {
+	x, err := e.prepare(sel, opts)
+	if err != nil {
+		return "", err
+	}
+	st := &stats.Counters{}
+	p, err := buildPlan(x, e.db, st, opts.Strategies)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "strategies: %s\n", opts.Strategies)
+	fmt.Fprintf(&b, "transformed query:\n%s", x)
+	fmt.Fprintf(&b, "collection phase (%d scans):\n", len(p.jobs))
+	for i, job := range p.jobs {
+		fmt.Fprintf(&b, "  scan %d: %s (vars %s)\n", i+1, job.rel.Name(), strings.Join(job.vars, ","))
+		for _, t := range job.tasks {
+			fmt.Fprintf(&b, "    - %s\n", t.describe())
+		}
+	}
+	if len(p.deferred) > 0 {
+		b.WriteString("deferred index-index joins:\n")
+		for _, d := range p.deferred {
+			fmt.Fprintf(&b, "  - %s\n", d.key)
+		}
+	}
+	b.WriteString("combination phase:\n")
+	for ci, cp := range p.conjs {
+		fmt.Fprintf(&b, "  conjunction %d: %d indirect joins, %d single lists, %d constant gates\n",
+			ci, len(cp.ijs), len(cp.sls), len(cp.consts))
+	}
+	if n := len(p.x.Prefix); n > 0 {
+		b.WriteString("quantifier elimination (right to left):\n")
+		for i := n - 1; i >= 0; i-- {
+			q := p.x.Prefix[i]
+			op := "project (SOME)"
+			if q.All {
+				op = "divide (ALL)"
+			}
+			fmt.Fprintf(&b, "  - %s: %s\n", q.Var, op)
+		}
+	}
+	return b.String(), nil
+}

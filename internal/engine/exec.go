@@ -1,0 +1,493 @@
+package engine
+
+import (
+	"fmt"
+
+	"pascalr/internal/algebra"
+	"pascalr/internal/value"
+)
+
+// scanTask processes elements during one relation scan.
+type scanTask interface {
+	process(ref value.Value, tuple []value.Value) error
+	finish() error
+	describe() string
+}
+
+// evalPreds evaluates a predicate chain; all must hold.
+func evalPreds(preds []rowPred, tuple []value.Value) (bool, error) {
+	for _, p := range preds {
+		ok, err := p(tuple)
+		if err != nil || !ok {
+			return false, err
+		}
+	}
+	return true, nil
+}
+
+// rangeTask collects the references of a live variable's range —
+// "the collection phase evaluates range expressions".
+type rangeTask struct {
+	p     *plan
+	v     string
+	preds []rowPred // the range filter, if extended
+}
+
+func (t *rangeTask) process(ref value.Value, tuple []value.Value) error {
+	ok, err := evalPreds(t.preds, tuple)
+	if err != nil || !ok {
+		return err
+	}
+	t.p.rangeLst[t.v] = append(t.p.rangeLst[t.v], ref)
+	return nil
+}
+func (t *rangeTask) finish() error    { return nil }
+func (t *rangeTask) describe() string { return "range " + t.v }
+
+// slTask builds a single list.
+type slTask struct {
+	spec       *slSpec
+	rangePreds []rowPred
+}
+
+func (t *slTask) process(ref value.Value, tuple []value.Value) error {
+	ok, err := evalPreds(t.rangePreds, tuple)
+	if err != nil || !ok {
+		return err
+	}
+	ok, err = evalPreds(t.spec.preds, tuple)
+	if err != nil || !ok {
+		return err
+	}
+	t.spec.out.Add(ref)
+	return nil
+}
+func (t *slTask) finish() error    { return nil }
+func (t *slTask) describe() string { return "single-list " + t.spec.key }
+
+// ixTask builds an index over the variable's range.
+type ixTask struct {
+	spec       *ixSpec
+	rangePreds []rowPred
+}
+
+func (t *ixTask) process(ref value.Value, tuple []value.Value) error {
+	ok, err := evalPreds(t.rangePreds, tuple)
+	if err != nil || !ok {
+		return err
+	}
+	t.spec.out.Add(tuple[t.spec.colIdx], ref)
+	return nil
+}
+func (t *ixTask) finish() error    { return nil }
+func (t *ixTask) describe() string { return "index " + t.spec.key }
+
+// groupTask probes earlier-built indexes to produce indirect joins.
+// With mutual restriction (strategy 2), an element emits pairs only when
+// every probe in the group matched.
+type groupTask struct {
+	p          *plan
+	grp        *probeGroup
+	rangePreds []rowPred
+	matchBuf   [][]value.Value
+}
+
+func (t *groupTask) process(ref value.Value, tuple []value.Value) error {
+	ok, err := evalPreds(t.rangePreds, tuple)
+	if err != nil || !ok {
+		return err
+	}
+	ok, err = evalPreds(t.grp.preds, tuple)
+	if err != nil || !ok {
+		return err
+	}
+	if t.matchBuf == nil {
+		t.matchBuf = make([][]value.Value, len(t.grp.probes))
+	}
+	for i, pr := range t.grp.probes {
+		t.matchBuf[i] = t.matchBuf[i][:0]
+		pr.index.probe(t.p, pr.op, tuple[pr.probeCol], func(r value.Value) {
+			t.matchBuf[i] = append(t.matchBuf[i], r)
+		})
+		if t.grp.mutual && len(t.matchBuf[i]) == 0 {
+			return nil // another probe failed: suppress all pairs (4.2)
+		}
+	}
+	for i, pr := range t.grp.probes {
+		for _, r := range t.matchBuf[i] {
+			pr.out.Add(ref, r)
+		}
+	}
+	return nil
+}
+func (t *groupTask) finish() error    { return nil }
+func (t *groupTask) describe() string { return "probe " + t.grp.key }
+
+// specTask feeds a strategy-4 spec while scanning the eliminated
+// variable's range.
+type specTask struct {
+	rt         *specRuntime
+	rangePreds []rowPred
+	monPreds   []rowPred
+	dyCols     []int
+}
+
+func (t *specTask) process(ref value.Value, tuple []value.Value) error {
+	ok, err := evalPreds(t.rangePreds, tuple)
+	if err != nil || !ok {
+		return err
+	}
+	monOK, err := evalPreds(t.monPreds, tuple)
+	if err != nil {
+		return err
+	}
+	t.rt.add(tuple, monOK, t.dyCols)
+	return nil
+}
+func (t *specTask) finish() error { return t.rt.finish() }
+func (t *specTask) describe() string {
+	return fmt.Sprintf("value-list spec%d (%s)", t.rt.spec.ID, t.rt.spec.Var)
+}
+
+// tasksForVar builds the scan tasks of one variable: its range list
+// (live variables), its single lists, indexes, probe groups, and spec
+// feed.
+func (p *plan) tasksForVar(v string) []scanTask {
+	node := p.vars[v]
+	rangePreds, err := p.rangePredsFor(v)
+	if err != nil {
+		// Surfaced during the scan phase via an erroring task.
+		return []scanTask{&errTask{err: err}}
+	}
+	var tasks []scanTask
+	if node.live && p.needRange[v] {
+		tasks = append(tasks, &rangeTask{p: p, v: v, preds: rangePreds})
+	}
+	for _, key := range sortedKeys(p.sls) {
+		if sl := p.sls[key]; sl.v == v {
+			tasks = append(tasks, &slTask{spec: sl, rangePreds: rangePreds})
+		}
+	}
+	for _, key := range sortedKeys(p.ixs) {
+		if ix := p.ixs[key]; ix.v == v && ix.out != nil {
+			tasks = append(tasks, &ixTask{spec: ix, rangePreds: rangePreds})
+		}
+	}
+	for _, key := range sortedKeys(p.groups) {
+		if grp := p.groups[key]; grp.v == v {
+			tasks = append(tasks, &groupTask{p: p, grp: grp, rangePreds: rangePreds})
+		}
+	}
+	if node.rt != nil {
+		task := &specTask{rt: node.rt, rangePreds: rangePreds}
+		spec := node.rt.spec
+		for _, m := range spec.Monadic {
+			pr, err := compileMonadic(m, spec.Var, node.sch, p.st)
+			if err != nil {
+				return []scanTask{&errTask{err: err}}
+			}
+			task.monPreds = append(task.monPreds, pr)
+		}
+		for _, n := range spec.NestedMonadic {
+			rt, ok := p.specRTs[n.Spec]
+			if !ok {
+				return []scanTask{&errTask{err: fmt.Errorf("engine: nested spec of %s unplanned", v)}}
+			}
+			pr, err := compileSemiAtom(n, node.sch, rt, p.st)
+			if err != nil {
+				return []scanTask{&errTask{err: err}}
+			}
+			task.monPreds = append(task.monPreds, pr)
+		}
+		for _, d := range spec.Dyadic {
+			ci, ok := node.sch.ColIndex(d.VnCol)
+			if !ok {
+				return []scanTask{&errTask{err: fmt.Errorf("engine: relation %s has no component %s", node.sch.Name, d.VnCol)}}
+			}
+			task.dyCols = append(task.dyCols, ci)
+		}
+		tasks = append(tasks, task)
+	}
+	return tasks
+}
+
+// errTask defers a planning error into the scan phase.
+type errTask struct{ err error }
+
+func (t *errTask) process(value.Value, []value.Value) error { return t.err }
+func (t *errTask) finish() error                            { return t.err }
+func (t *errTask) describe() string                         { return "error" }
+
+func (p *plan) rangePredsFor(v string) ([]rowPred, error) {
+	node := p.vars[v]
+	pr, err := rangeFilterPred(node.rng, node.sch, p.st)
+	if err != nil {
+		return nil, err
+	}
+	if pr == nil {
+		return nil, nil
+	}
+	return []rowPred{pr}, nil
+}
+
+// runScans executes the collection phase: every job is one scan.
+func (p *plan) runScans() error {
+	for _, job := range p.jobs {
+		var scanErr error
+		job.rel.Scan(func(ref value.Value, tuple []value.Value) bool {
+			for _, t := range job.tasks {
+				if err := t.process(ref, tuple); err != nil {
+					scanErr = err
+					return false
+				}
+			}
+			return true
+		})
+		if scanErr != nil {
+			return scanErr
+		}
+		for _, t := range job.tasks {
+			if err := t.finish(); err != nil {
+				return err
+			}
+		}
+	}
+	// Materialize deferred index-index joins.
+	for _, d := range p.deferred {
+		p.materializeDeferred(d)
+	}
+	p.recordStructures()
+	return nil
+}
+
+// materializeDeferred joins two indexes into an indirect join without
+// touching the base relation again.
+func (p *plan) materializeDeferred(d *deferredIJ) {
+	d.lIx.entriesDo(p, func(v, lref value.Value) {
+		d.rIx.probe(p, d.op, v, func(rref value.Value) {
+			d.out.Add(lref, rref)
+		})
+	})
+}
+
+// emptyLiveVars returns the live variables whose (possibly extended)
+// ranges turned out empty — the Lemma 1 adaptation triggers. Variables
+// without materialized range lists have base ranges, which the
+// pre-fold guarantees non-empty.
+func (p *plan) emptyLiveVars() []string {
+	var out []string
+	for _, v := range p.order {
+		node := p.vars[v]
+		if node.live && p.needRange[v] && len(p.rangeLst[v]) == 0 {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// freeRangeEmpty reports whether a free variable's range is empty,
+// consulting the materialized list when one exists and the base
+// relation otherwise.
+func (p *plan) freeRangeEmpty(v string) bool {
+	if p.needRange[v] {
+		return len(p.rangeLst[v]) == 0
+	}
+	return p.vars[v].rel.Len() == 0
+}
+
+func (p *plan) recordStructures() {
+	for _, key := range sortedKeys(p.sls) {
+		p.st.RecordStructure(key, "single-list", p.sls[key].out.Len())
+	}
+	for _, key := range sortedKeys(p.ixs) {
+		p.st.RecordStructure(key, "index", p.ixs[key].length())
+	}
+	for _, grp := range p.groups {
+		for _, pr := range grp.probes {
+			p.st.RecordStructure("ij|"+grp.v+"-"+pr.index.v, "indirect-join", pr.out.Len())
+		}
+	}
+	for _, d := range p.deferred {
+		p.st.RecordStructure(d.key, "indirect-join", d.out.Len())
+	}
+	for _, rt := range p.specRTs {
+		p.st.RecordStructure(fmt.Sprintf("vl|spec%d|%s", rt.spec.ID, rt.spec.Var), "value-list", rt.Size())
+	}
+}
+
+// liveVars returns free variables then surviving prefix variables.
+func (p *plan) liveVars() []string {
+	out := make([]string, 0, len(p.x.Free)+len(p.x.Prefix))
+	for _, d := range p.x.Free {
+		out = append(out, d.Var)
+	}
+	for _, q := range p.x.Prefix {
+		out = append(out, q.Var)
+	}
+	return out
+}
+
+// combine runs the combination phase: per-conjunction n-tuples of
+// references, union over the disjunction, then quantifier elimination
+// right-to-left (projection for SOME, division for ALL). It returns a
+// reference relation over the free variables.
+func (p *plan) combine(maxRefTuples int64) (*algebra.RefRel, error) {
+	live := p.liveVars()
+	var union *algebra.RefRel
+
+	conjRels := make([]*algebra.RefRel, 0, len(p.conjs))
+	if p.x.Const != nil && *p.x.Const {
+		// Constant TRUE matrix: the n-tuples are the full Cartesian
+		// product of the live ranges; quantifiers then collapse over
+		// their (non-empty) ranges, so only the free variables matter.
+		pieces := make([]*algebra.RefRel, 0, len(p.x.Free))
+		for _, d := range p.x.Free {
+			pieces = append(pieces, algebra.FromRefs(d.Var, p.rangeLst[d.Var], p.st))
+		}
+		joined, err := p.greedyJoin(pieces, maxRefTuples)
+		if err != nil {
+			return nil, err
+		}
+		return joined, nil
+	}
+
+	for ci, cp := range p.conjs {
+		skip := false
+		for _, rt := range cp.consts {
+			if !rt.resolved {
+				return nil, fmt.Errorf("engine: unresolved constant spec in conjunction %d", ci)
+			}
+			if !rt.constVal {
+				skip = true
+				break
+			}
+		}
+		if skip {
+			continue
+		}
+		var pieces []*algebra.RefRel
+		for i, ij := range cp.ijs {
+			pieces = append(pieces, algebra.FromPairs(cp.ijNames[i][0], cp.ijNames[i][1], ij.Pairs(), p.st))
+		}
+		for _, sl := range cp.sls {
+			pieces = append(pieces, algebra.FromRefs(sl.v, sl.out.Refs(), p.st))
+		}
+		// Unconstrained live variables enter as their full range lists —
+		// the Cartesian blow-up the paper's strategies fight.
+		for _, v := range live {
+			if !cp.consumed[v] {
+				pieces = append(pieces, algebra.FromRefs(v, p.rangeLst[v], p.st))
+			}
+		}
+		if len(pieces) == 0 {
+			return nil, fmt.Errorf("engine: conjunction %d has no pieces", ci)
+		}
+		joined, err := p.greedyJoin(pieces, maxRefTuples)
+		if err != nil {
+			return nil, err
+		}
+		p.st.RecordStructure(fmt.Sprintf("conj%d", ci), "refrel", joined.Len())
+		conjRels = append(conjRels, joined)
+	}
+
+	if len(conjRels) == 0 {
+		return algebra.New(freeVarNames(p), p.st), nil
+	}
+	union = conjRels[0]
+	for _, r := range conjRels[1:] {
+		u, err := algebra.Union(union, r, p.st)
+		if err != nil {
+			return nil, err
+		}
+		union = u
+	}
+	p.st.RecordStructure("union", "refrel", union.Len())
+
+	// Quantifiers are evaluated from right to left.
+	for i := len(p.x.Prefix) - 1; i >= 0; i-- {
+		q := p.x.Prefix[i]
+		if q.All {
+			div, err := algebra.Divide(union, q.Var, p.rangeLst[q.Var], p.st)
+			if err != nil {
+				return nil, err
+			}
+			union = div
+		} else {
+			keep := make([]string, 0, len(union.Vars())-1)
+			for _, v := range union.Vars() {
+				if v != q.Var {
+					keep = append(keep, v)
+				}
+			}
+			proj, err := algebra.Project(union, keep, p.st)
+			if err != nil {
+				return nil, err
+			}
+			union = proj
+		}
+		if err := checkBudget(p, maxRefTuples); err != nil {
+			return nil, err
+		}
+	}
+	return union, nil
+}
+
+func freeVarNames(p *plan) []string {
+	out := make([]string, len(p.x.Free))
+	for i, d := range p.x.Free {
+		out[i] = d.Var
+	}
+	return out
+}
+
+// greedyJoin combines pieces into a single reference relation, joining
+// variable-sharing pairs with the smallest size product first and
+// falling back to Cartesian products for disconnected pieces.
+func (p *plan) greedyJoin(pieces []*algebra.RefRel, maxRefTuples int64) (*algebra.RefRel, error) {
+	for len(pieces) > 1 {
+		bi, bj, bestShared, bestProd := -1, -1, false, int64(0)
+		for i := 0; i < len(pieces); i++ {
+			for j := i + 1; j < len(pieces); j++ {
+				sharedVars := false
+				for _, v := range pieces[i].Vars() {
+					if _, ok := pieces[j].ColIdx(v); ok {
+						sharedVars = true
+						break
+					}
+				}
+				prod := int64(pieces[i].Len()) * int64(pieces[j].Len())
+				better := false
+				switch {
+				case bi < 0:
+					better = true
+				case sharedVars != bestShared:
+					better = sharedVars
+				default:
+					better = prod < bestProd
+				}
+				if better {
+					bi, bj, bestShared, bestProd = i, j, sharedVars, prod
+				}
+			}
+		}
+		joined := algebra.Join(pieces[bi], pieces[bj], p.st)
+		next := make([]*algebra.RefRel, 0, len(pieces)-1)
+		for k, r := range pieces {
+			if k != bi && k != bj {
+				next = append(next, r)
+			}
+		}
+		pieces = append(next, joined)
+		if err := checkBudget(p, maxRefTuples); err != nil {
+			return nil, err
+		}
+	}
+	return pieces[0], nil
+}
+
+func checkBudget(p *plan, maxRefTuples int64) error {
+	if maxRefTuples > 0 && p.st != nil && p.st.RefTuples > maxRefTuples {
+		return fmt.Errorf("engine: combination phase exceeded %d reference tuples", maxRefTuples)
+	}
+	return nil
+}

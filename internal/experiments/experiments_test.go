@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsRun executes every experiment at a small scale and
+// checks for the key claims in the output.
+func TestAllExperimentsRun(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Run("all", &buf, []int{8}); err != nil {
+		t.Fatalf("%v\noutput so far:\n%s", err, buf.String())
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"==== E1", "==== E13", "==== E14",
+		"ALL p IN papers, SOME c IN courses, SOME t IN timetable", // E3
+		"indirect-join", // E2
+		"value-list",    // E2/E10
+		"stale",         // E5 header
+		"naive",         // E11
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Run("E99", &buf, []int{5}); err == nil {
+		t.Errorf("unknown experiment accepted")
+	}
+}
+
+func TestExperimentList(t *testing.T) {
+	if len(All()) != 14 {
+		t.Errorf("expected 14 experiments, got %d", len(All()))
+	}
+	seen := map[string]bool{}
+	for _, e := range All() {
+		if seen[e.ID] {
+			t.Errorf("duplicate id %s", e.ID)
+		}
+		seen[e.ID] = true
+		if e.Run == nil || e.Title == "" {
+			t.Errorf("%s incomplete", e.ID)
+		}
+	}
+}
+
+// TestE4AdaptationNumbers pins the Lemma 1 experiment's correctness
+// claim: engine row counts equal the oracle's in every condition.
+func TestE4AdaptationNumbers(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Run("E4", &buf, []int{15}); err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if !strings.Contains(line, "=[]") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// condition, employees, professors, oracle, S0, all
+		if len(fields) >= 6 && (fields[3] != fields[4] || fields[4] != fields[5]) {
+			t.Errorf("engine disagrees with oracle: %s", line)
+		}
+	}
+}

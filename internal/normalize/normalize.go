@@ -1,0 +1,254 @@
+// Package normalize implements the paper's standardization pipeline
+// (section 2): every selection expression is transformed into prenex
+// normal form with a matrix in disjunctive normal form, assuming all
+// range relations are non-empty. The Lemma 1 runtime adaptation for
+// empty ranges is provided by Fold, which the engine applies to the
+// original formula before standardizing whenever a range turns out to
+// be empty.
+//
+// The pipeline is: SimplifyConsts (constant folding) -> NNF (negation
+// normal form; NOT disappears entirely because every comparison operator
+// has an exact complement) -> Prenex (quantifiers pulled to a prefix,
+// valid under the non-emptiness assumption per Lemma 1) -> DNF (the
+// matrix becomes a disjunction of conjunctions of join terms).
+package normalize
+
+import (
+	"fmt"
+
+	"pascalr/internal/calculus"
+)
+
+// QDecl is one quantifier of the prenex prefix, in left-to-right order.
+type QDecl struct {
+	All   bool
+	Var   string
+	Range *calculus.RangeExpr
+}
+
+// String renders the quantifier declaration.
+func (q QDecl) String() string {
+	if q.All {
+		return fmt.Sprintf("ALL %s IN %s", q.Var, q.Range)
+	}
+	return fmt.Sprintf("SOME %s IN %s", q.Var, q.Range)
+}
+
+// StandardForm is the paper's standardized query: free variables, a
+// quantifier prefix, and a DNF matrix of join terms. It is equivalent to
+// the original selection only under the assumption that every range
+// relation (including extended ranges) is non-empty; the engine
+// re-derives it through Fold when that assumption fails.
+type StandardForm struct {
+	Proj   []calculus.Field
+	Free   []calculus.Decl
+	Prefix []QDecl
+	Matrix [][]*calculus.Cmp
+
+	// Const is non-nil when the matrix reduced to a constant: the
+	// selection predicate is TRUE or FALSE for every binding (still under
+	// the non-emptiness assumption for the prefix).
+	Const *bool
+}
+
+// Options bounds the standardization.
+type Options struct {
+	// MaxConjunctions limits DNF growth; 0 means DefaultMaxConjunctions.
+	MaxConjunctions int
+}
+
+// DefaultMaxConjunctions bounds the DNF matrix size.
+const DefaultMaxConjunctions = 4096
+
+func (o Options) maxConj() int {
+	if o.MaxConjunctions > 0 {
+		return o.MaxConjunctions
+	}
+	return DefaultMaxConjunctions
+}
+
+// Standardize converts a checked selection into standard form. The
+// selection's predicate must be fully resolved (no Labels), as
+// calculus.Check guarantees.
+func Standardize(sel *calculus.Selection, opts Options) (*StandardForm, error) {
+	pred := calculus.Clone(sel.Pred)
+	pred = SimplifyConsts(pred)
+	pred = NNF(pred)
+	prefix, matrix, err := Prenex(pred)
+	if err != nil {
+		return nil, err
+	}
+	conjs, constVal, err := DNF(matrix, opts.maxConj())
+	if err != nil {
+		return nil, err
+	}
+	sf := &StandardForm{
+		Proj:   append([]calculus.Field(nil), sel.Proj...),
+		Free:   cloneDecls(sel.Free),
+		Prefix: prefix,
+		Matrix: conjs,
+		Const:  constVal,
+	}
+	return sf, nil
+}
+
+func cloneDecls(ds []calculus.Decl) []calculus.Decl {
+	out := make([]calculus.Decl, len(ds))
+	for i, d := range ds {
+		out[i] = calculus.Decl{Var: d.Var, Range: calculus.CloneRange(d.Range)}
+	}
+	return out
+}
+
+// SimplifyConsts folds comparisons between two constants into boolean
+// literals and propagates literals through the connectives and
+// quantifier bodies. Quantifiers themselves are preserved: SOME v (TRUE)
+// is "v's range is non-empty", which only Fold may decide.
+func SimplifyConsts(f calculus.Formula) calculus.Formula {
+	switch g := f.(type) {
+	case nil:
+		return &calculus.Lit{Val: true}
+	case *calculus.Cmp:
+		l, lok := g.L.(calculus.Const)
+		r, rok := g.R.(calculus.Const)
+		if lok && rok {
+			ok, err := g.Op.Apply(l.Val, r.Val)
+			if err == nil {
+				return &calculus.Lit{Val: ok}
+			}
+		}
+		return &calculus.Cmp{L: g.L, Op: g.Op, R: g.R}
+	case *calculus.Not:
+		sub := SimplifyConsts(g.F)
+		if lit, ok := sub.(*calculus.Lit); ok {
+			return &calculus.Lit{Val: !lit.Val}
+		}
+		return &calculus.Not{F: sub}
+	case *calculus.And:
+		fs := make([]calculus.Formula, 0, len(g.Fs))
+		for _, sub := range g.Fs {
+			fs = append(fs, SimplifyConsts(sub))
+		}
+		return calculus.NewAnd(fs...)
+	case *calculus.Or:
+		fs := make([]calculus.Formula, 0, len(g.Fs))
+		for _, sub := range g.Fs {
+			fs = append(fs, SimplifyConsts(sub))
+		}
+		return calculus.NewOr(fs...)
+	case *calculus.Lit:
+		return &calculus.Lit{Val: g.Val}
+	case *calculus.Quant:
+		return &calculus.Quant{All: g.All, Var: g.Var,
+			Range: calculus.CloneRange(g.Range), Body: SimplifyConsts(g.Body)}
+	default:
+		panic(fmt.Sprintf("normalize: unknown formula %T", f))
+	}
+}
+
+// Fold applies the Lemma 1 empty-range adaptation: a quantifier whose
+// range is empty is replaced by its truth value (SOME over the empty
+// relation is FALSE, ALL over the empty relation is TRUE), and boolean
+// structure is simplified. isEmpty decides emptiness of a range
+// expression — for base ranges it checks the relation, for extended
+// ranges it must account for the filter.
+//
+// Folding proceeds innermost-first so that a quantifier made trivial by
+// a folded inner quantifier is itself simplified.
+func Fold(f calculus.Formula, isEmpty func(*calculus.RangeExpr) bool) calculus.Formula {
+	switch g := f.(type) {
+	case nil:
+		return &calculus.Lit{Val: true}
+	case *calculus.Cmp:
+		return SimplifyConsts(g)
+	case *calculus.Lit:
+		return &calculus.Lit{Val: g.Val}
+	case *calculus.Not:
+		sub := Fold(g.F, isEmpty)
+		if lit, ok := sub.(*calculus.Lit); ok {
+			return &calculus.Lit{Val: !lit.Val}
+		}
+		return &calculus.Not{F: sub}
+	case *calculus.And:
+		fs := make([]calculus.Formula, 0, len(g.Fs))
+		for _, sub := range g.Fs {
+			fs = append(fs, Fold(sub, isEmpty))
+		}
+		return calculus.NewAnd(fs...)
+	case *calculus.Or:
+		fs := make([]calculus.Formula, 0, len(g.Fs))
+		for _, sub := range g.Fs {
+			fs = append(fs, Fold(sub, isEmpty))
+		}
+		return calculus.NewOr(fs...)
+	case *calculus.Quant:
+		if isEmpty(g.Range) {
+			return &calculus.Lit{Val: g.All}
+		}
+		body := Fold(g.Body, isEmpty)
+		if lit, ok := body.(*calculus.Lit); ok {
+			// The range is known non-empty here, so the quantifier is
+			// decided by its body alone: SOME v (TRUE) = TRUE,
+			// ALL v (FALSE) = FALSE, and both agree with the literal.
+			return &calculus.Lit{Val: lit.Val}
+		}
+		return &calculus.Quant{All: g.All, Var: g.Var, Range: calculus.CloneRange(g.Range), Body: body}
+	default:
+		panic(fmt.Sprintf("normalize: unknown formula %T", f))
+	}
+}
+
+// NNF converts a formula to negation normal form. Because the atomic
+// formulae are comparisons over totally ordered domains, NOT is
+// eliminated entirely: NOT (a op b) becomes a (negate op) b, and
+// quantifiers dualize (NOT SOME = ALL NOT, NOT ALL = SOME NOT).
+func NNF(f calculus.Formula) calculus.Formula {
+	return nnf(f, false)
+}
+
+func nnf(f calculus.Formula, neg bool) calculus.Formula {
+	switch g := f.(type) {
+	case nil:
+		return &calculus.Lit{Val: !neg}
+	case *calculus.Cmp:
+		op := g.Op
+		if neg {
+			op = op.Negate()
+		}
+		return &calculus.Cmp{L: g.L, Op: op, R: g.R}
+	case *calculus.Lit:
+		return &calculus.Lit{Val: g.Val != neg}
+	case *calculus.Not:
+		return nnf(g.F, !neg)
+	case *calculus.And:
+		fs := make([]calculus.Formula, 0, len(g.Fs))
+		for _, sub := range g.Fs {
+			fs = append(fs, nnf(sub, neg))
+		}
+		if neg {
+			return calculus.NewOr(fs...)
+		}
+		return calculus.NewAnd(fs...)
+	case *calculus.Or:
+		fs := make([]calculus.Formula, 0, len(g.Fs))
+		for _, sub := range g.Fs {
+			fs = append(fs, nnf(sub, neg))
+		}
+		if neg {
+			return calculus.NewAnd(fs...)
+		}
+		return calculus.NewOr(fs...)
+	case *calculus.Quant:
+		// NOT SOME v IN [S] (B) = ALL v IN [S] (NOT B): the range (and its
+		// filter) is untouched by the negation, per the one-sorted
+		// translation NOT SOME v (S(v) AND B) = ALL v (NOT S(v) OR NOT B).
+		return &calculus.Quant{
+			All:   g.All != neg, // negation dualizes the quantifier
+			Var:   g.Var,
+			Range: calculus.CloneRange(g.Range),
+			Body:  nnf(g.Body, neg),
+		}
+	default:
+		panic(fmt.Sprintf("normalize: unknown formula %T", f))
+	}
+}

@@ -1,0 +1,81 @@
+package normalize
+
+import (
+	"fmt"
+
+	"pascalr/internal/calculus"
+)
+
+// Prenex pulls all quantifiers of an NNF formula into a prefix,
+// preserving their nesting order left-to-right. The result is equivalent
+// to the input under the assumption that every quantifier's range is
+// non-empty:
+//
+//	A AND SOME v IN rel (B) = SOME v IN rel (A AND B)   (Lemma 1 rule 1, always)
+//	A OR  SOME v IN rel (B) = SOME v IN rel (A OR B)    (rule 2, rel non-empty)
+//	A AND ALL  v IN rel (B) = ALL  v IN rel (A AND B)   (rule 3, rel non-empty)
+//	A OR  ALL  v IN rel (B) = ALL  v IN rel (A OR B)    (rule 4, always)
+//
+// The engine re-establishes the assumption at runtime by Folding empty
+// ranges out of the original formula first.
+//
+// The input must be in NNF (no Not nodes) with globally unique variable
+// names, as calculus.Check enforces.
+func Prenex(f calculus.Formula) ([]QDecl, calculus.Formula, error) {
+	prefix, matrix, err := prenex(f)
+	if err != nil {
+		return nil, nil, err
+	}
+	seen := map[string]bool{}
+	for _, q := range prefix {
+		if seen[q.Var] {
+			return nil, nil, fmt.Errorf("normalize: duplicate quantified variable %s (input not uniquely named)", q.Var)
+		}
+		seen[q.Var] = true
+	}
+	return prefix, matrix, nil
+}
+
+func prenex(f calculus.Formula) ([]QDecl, calculus.Formula, error) {
+	switch g := f.(type) {
+	case nil:
+		return nil, &calculus.Lit{Val: true}, nil
+	case *calculus.Cmp, *calculus.Lit:
+		return nil, g, nil
+	case *calculus.Not:
+		return nil, nil, fmt.Errorf("normalize: Prenex requires NNF input, found NOT")
+	case *calculus.And:
+		var prefix []QDecl
+		matrix := make([]calculus.Formula, 0, len(g.Fs))
+		for _, sub := range g.Fs {
+			p, m, err := prenex(sub)
+			if err != nil {
+				return nil, nil, err
+			}
+			prefix = append(prefix, p...)
+			matrix = append(matrix, m)
+		}
+		return prefix, calculus.NewAnd(matrix...), nil
+	case *calculus.Or:
+		var prefix []QDecl
+		matrix := make([]calculus.Formula, 0, len(g.Fs))
+		for _, sub := range g.Fs {
+			p, m, err := prenex(sub)
+			if err != nil {
+				return nil, nil, err
+			}
+			prefix = append(prefix, p...)
+			matrix = append(matrix, m)
+		}
+		return prefix, calculus.NewOr(matrix...), nil
+	case *calculus.Quant:
+		p, m, err := prenex(g.Body)
+		if err != nil {
+			return nil, nil, err
+		}
+		prefix := append([]QDecl{{All: g.All, Var: g.Var, Range: calculus.CloneRange(g.Range)}}, p...)
+		return prefix, m, nil
+	default:
+		return nil, nil, fmt.Errorf("normalize: unknown formula %T", f)
+	}
+}

@@ -1,0 +1,166 @@
+package normalize
+
+import (
+	"fmt"
+	"strings"
+
+	"pascalr/internal/calculus"
+)
+
+// Formula reconstructs the standard form as a calculus formula:
+// the quantifier prefix wrapped around the DNF matrix. Useful for
+// re-evaluating a standard form with the baseline evaluator and for
+// EXPLAIN output.
+func (sf *StandardForm) Formula() calculus.Formula {
+	var matrix calculus.Formula
+	if sf.Const != nil {
+		matrix = &calculus.Lit{Val: *sf.Const}
+	} else {
+		disjuncts := make([]calculus.Formula, 0, len(sf.Matrix))
+		for _, conj := range sf.Matrix {
+			terms := make([]calculus.Formula, 0, len(conj))
+			for _, c := range conj {
+				terms = append(terms, &calculus.Cmp{L: c.L, Op: c.Op, R: c.R})
+			}
+			disjuncts = append(disjuncts, calculus.NewAnd(terms...))
+		}
+		matrix = calculus.NewOr(disjuncts...)
+	}
+	f := matrix
+	for i := len(sf.Prefix) - 1; i >= 0; i-- {
+		q := sf.Prefix[i]
+		f = &calculus.Quant{All: q.All, Var: q.Var, Range: calculus.CloneRange(q.Range), Body: f}
+	}
+	return f
+}
+
+// Selection reconstructs a full selection from the standard form.
+func (sf *StandardForm) Selection() *calculus.Selection {
+	return &calculus.Selection{
+		Proj: append([]calculus.Field(nil), sf.Proj...),
+		Free: cloneDecls(sf.Free),
+		Pred: sf.Formula(),
+	}
+}
+
+// Vars returns all variables of the standard form: free variables first
+// (in declaration order), then the quantifier prefix left-to-right.
+func (sf *StandardForm) Vars() []string {
+	out := make([]string, 0, len(sf.Free)+len(sf.Prefix))
+	for _, d := range sf.Free {
+		out = append(out, d.Var)
+	}
+	for _, q := range sf.Prefix {
+		out = append(out, q.Var)
+	}
+	return out
+}
+
+// RangeOf returns the range expression of a variable (free or
+// quantified).
+func (sf *StandardForm) RangeOf(v string) (*calculus.RangeExpr, bool) {
+	for _, d := range sf.Free {
+		if d.Var == v {
+			return d.Range, true
+		}
+	}
+	for _, q := range sf.Prefix {
+		if q.Var == v {
+			return q.Range, true
+		}
+	}
+	return nil, false
+}
+
+// ConjunctionsWith returns the indexes of the matrix conjunctions that
+// contain at least one term mentioning v. Strategy 4's splitting rule
+// for universal quantifiers depends on this count.
+func (sf *StandardForm) ConjunctionsWith(v string) []int {
+	var out []int
+	for i, conj := range sf.Matrix {
+		for _, c := range conj {
+			if mentions(c, v) {
+				out = append(out, i)
+				break
+			}
+		}
+	}
+	return out
+}
+
+func mentions(c *calculus.Cmp, v string) bool {
+	for _, mv := range calculus.VarsOfCmp(c) {
+		if mv == v {
+			return true
+		}
+	}
+	return false
+}
+
+// NumTerms returns the total number of join terms in the matrix.
+func (sf *StandardForm) NumTerms() int {
+	n := 0
+	for _, conj := range sf.Matrix {
+		n += len(conj)
+	}
+	return n
+}
+
+// Clone returns a deep copy of the standard form.
+func (sf *StandardForm) Clone() *StandardForm {
+	cp := &StandardForm{
+		Proj: append([]calculus.Field(nil), sf.Proj...),
+		Free: cloneDecls(sf.Free),
+	}
+	for _, q := range sf.Prefix {
+		cp.Prefix = append(cp.Prefix, QDecl{All: q.All, Var: q.Var, Range: calculus.CloneRange(q.Range)})
+	}
+	for _, conj := range sf.Matrix {
+		nc := make([]*calculus.Cmp, len(conj))
+		for i, c := range conj {
+			nc[i] = &calculus.Cmp{L: c.L, Op: c.Op, R: c.R}
+		}
+		cp.Matrix = append(cp.Matrix, nc)
+	}
+	if sf.Const != nil {
+		v := *sf.Const
+		cp.Const = &v
+	}
+	return cp
+}
+
+// String renders the standard form in the style of Example 2.2 of the
+// paper.
+func (sf *StandardForm) String() string {
+	var b strings.Builder
+	b.WriteString("[<")
+	for i, p := range sf.Proj {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(p.String())
+	}
+	b.WriteString("> OF\n")
+	for _, d := range sf.Free {
+		fmt.Fprintf(&b, "  EACH %s IN %s\n", d.Var, d.Range)
+	}
+	b.WriteString(" :\n")
+	for _, q := range sf.Prefix {
+		fmt.Fprintf(&b, "  %s\n", q)
+	}
+	if sf.Const != nil {
+		fmt.Fprintf(&b, "    %v\n", map[bool]string{true: "TRUE", false: "FALSE"}[*sf.Const])
+		return b.String()
+	}
+	for i, conj := range sf.Matrix {
+		if i > 0 {
+			b.WriteString("   OR\n")
+		}
+		parts := make([]string, len(conj))
+		for j, c := range conj {
+			parts[j] = "(" + c.String() + ")"
+		}
+		fmt.Fprintf(&b, "    %s\n", strings.Join(parts, " AND "))
+	}
+	return b.String()
+}

@@ -1,0 +1,99 @@
+package optimizer
+
+import (
+	"pascalr/internal/calculus"
+	"pascalr/internal/normalize"
+)
+
+// ExtractRangesCNF implements the generalization the paper proposes as
+// future work in section 4.3: "The current system version supports only
+// conjunctions of join terms as range expression extensions. The use of
+// the more general conjunctive normal form is expected to improve
+// further the efficiency of the system."
+//
+// Where plain extraction moves a monadic term that is common to every
+// relevant conjunction, the CNF extension adds a *disjunctive* filter —
+// the OR over the conjunctions' monadic restrictions — whenever every
+// relevant conjunction restricts the variable monadically at all. The
+// matrix terms stay in place (they are still needed to tell the
+// conjunctions apart); the extension is a pure range narrowing:
+//
+//	SOME v IN rel ((M1(v) AND R1) OR (M2(v) AND R2))
+//	  = SOME v IN [EACH r IN rel: M1(r) OR M2(r)]
+//	       ((M1(v) AND R1) OR (M2(v) AND R2))
+//
+// Any witness of either disjunct satisfies its own monadic part and
+// hence the disjunction, so narrowing loses nothing. Free variables
+// qualify only through some disjunct, so the same reasoning applies
+// when every conjunction (of the whole matrix) restricts them.
+// Universal variables are not eligible: narrowing an ALL range weakens
+// the test.
+//
+// It returns a transformed copy and the number of range filters added.
+func ExtractRangesCNF(sf *normalize.StandardForm) (*normalize.StandardForm, int) {
+	out := sf.Clone()
+	if out.Const != nil {
+		return out, 0
+	}
+	added := 0
+	for _, d := range out.Free {
+		if cnfExtend(out, d.Var, d.Range, true) {
+			added++
+		}
+	}
+	for _, q := range out.Prefix {
+		if q.All {
+			continue
+		}
+		if cnfExtend(out, q.Var, q.Range, false) {
+			added++
+		}
+	}
+	return out, added
+}
+
+// cnfExtend narrows v's range by the OR of the per-conjunction monadic
+// restrictions, when every relevant conjunction has at least one.
+func cnfExtend(sf *normalize.StandardForm, v string, rng *calculus.RangeExpr, everyConj bool) bool {
+	relevant := relevantConjs(sf, v, everyConj)
+	if len(relevant) < 2 {
+		return false // single conjunction: plain extraction already covers it
+	}
+	disjuncts := make([]calculus.Formula, 0, len(relevant))
+	seen := map[string]bool{}
+	for _, ci := range relevant {
+		var mon []calculus.Formula
+		for _, c := range sf.Matrix[ci] {
+			if mv, ok := calculus.Monadic(c); ok && mv == v {
+				mon = append(mon, &calculus.Cmp{L: c.L, Op: c.Op, R: c.R})
+			}
+		}
+		if len(mon) == 0 {
+			return false // this conjunction leaves v unrestricted
+		}
+		d := calculus.NewAnd(mon...)
+		key := d.String()
+		if !seen[key] {
+			seen[key] = true
+			disjuncts = append(disjuncts, d)
+		}
+	}
+	filter := calculus.NewOr(disjuncts...)
+	// A single distinct restriction is what plain extraction moves; the
+	// disjunctive form only helps when the conjunctions differ.
+	if len(disjuncts) < 2 {
+		return false
+	}
+	fv := v
+	if rng.Extended() {
+		fv = rng.FilterVar
+		if fv != v {
+			filter = calculus.RenameVar(filter, v, fv)
+		}
+		rng.Filter = calculus.NewAnd(rng.Filter, filter)
+	} else {
+		rng.FilterVar = fv
+		rng.Filter = filter
+	}
+	return true
+}

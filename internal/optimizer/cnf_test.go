@@ -1,0 +1,115 @@
+package optimizer
+
+import (
+	"strings"
+	"testing"
+
+	"pascalr/internal/calculus"
+	"pascalr/internal/normalize"
+	"pascalr/internal/value"
+	"pascalr/internal/workload"
+)
+
+func mkCmp(v, col string, op value.CmpOp, n int64) *calculus.Cmp {
+	return &calculus.Cmp{L: calculus.Field{Var: v, Col: col}, Op: op, R: calculus.Const{Val: value.Int(n)}}
+}
+
+// TestCNFExtendsFreeRange: a free variable restricted differently per
+// disjunct gets the OR of the restrictions as a range filter, with the
+// matrix left intact.
+func TestCNFExtendsFreeRange(t *testing.T) {
+	sf := &normalize.StandardForm{
+		Proj: []calculus.Field{{Var: "f", Col: "a"}},
+		Free: []calculus.Decl{{Var: "f", Range: &calculus.RangeExpr{Rel: "r0"}}},
+		Matrix: [][]*calculus.Cmp{
+			{mkCmp("f", "a", value.OpEq, 1), mkCmp("f", "b", value.OpGt, 0)},
+			{mkCmp("f", "a", value.OpEq, 2)},
+		},
+	}
+	out, added := ExtractRangesCNF(sf)
+	if added != 1 {
+		t.Fatalf("added = %d", added)
+	}
+	rng := out.Free[0].Range
+	if !rng.Extended() {
+		t.Fatalf("range not extended:\n%s", out)
+	}
+	s := rng.String()
+	if !strings.Contains(s, "f.a = 1 AND f.b > 0") || !strings.Contains(s, "OR") || !strings.Contains(s, "f.a = 2") {
+		t.Errorf("filter = %s", s)
+	}
+	// The matrix keeps its terms.
+	if len(out.Matrix) != 2 || len(out.Matrix[0]) != 2 || len(out.Matrix[1]) != 1 {
+		t.Errorf("matrix changed: %v", out.Matrix)
+	}
+	// Input untouched.
+	if sf.Free[0].Range.Extended() {
+		t.Errorf("input mutated")
+	}
+}
+
+// TestCNFRequiresRestrictionEverywhere: a conjunction that leaves the
+// variable unrestricted blocks the extension.
+func TestCNFRequiresRestrictionEverywhere(t *testing.T) {
+	sf := &normalize.StandardForm{
+		Proj: []calculus.Field{{Var: "f", Col: "a"}},
+		Free: []calculus.Decl{{Var: "f", Range: &calculus.RangeExpr{Rel: "r0"}}},
+		Matrix: [][]*calculus.Cmp{
+			{mkCmp("f", "a", value.OpEq, 1)},
+			{mkCmp("g", "a", value.OpEq, 2)}, // no f restriction here
+		},
+	}
+	sf.Free = append(sf.Free, calculus.Decl{Var: "g", Range: &calculus.RangeExpr{Rel: "r1"}})
+	out, added := ExtractRangesCNF(sf)
+	if added != 0 || out.Free[0].Range.Extended() {
+		t.Errorf("CNF extension applied without restrictions everywhere:\n%s", out)
+	}
+}
+
+// TestCNFSkipsUniversal: ALL ranges must not be narrowed.
+func TestCNFSkipsUniversal(t *testing.T) {
+	sf := &normalize.StandardForm{
+		Proj:   []calculus.Field{{Var: "f", Col: "a"}},
+		Free:   []calculus.Decl{{Var: "f", Range: &calculus.RangeExpr{Rel: "r0"}}},
+		Prefix: []normalize.QDecl{{All: true, Var: "q", Range: &calculus.RangeExpr{Rel: "r1"}}},
+		Matrix: [][]*calculus.Cmp{
+			{mkCmp("q", "a", value.OpEq, 1), mkCmp("f", "a", value.OpGt, 0)},
+			{mkCmp("q", "a", value.OpEq, 2), mkCmp("f", "a", value.OpLt, 9)},
+		},
+	}
+	out, _ := ExtractRangesCNF(sf)
+	if out.Prefix[0].Range.Extended() {
+		t.Errorf("universal range narrowed:\n%s", out)
+	}
+	// The free variable is restricted in both conjunctions, though.
+	if !out.Free[0].Range.Extended() {
+		t.Errorf("free range not extended:\n%s", out)
+	}
+}
+
+// TestCNFComposesWithPlainExtraction on the disjunctive workload query:
+// plain S3 finds nothing to move for t (the day tests differ per
+// conjunction), the CNF pass narrows t's range by their disjunction.
+func TestCNFComposesWithPlainExtraction(t *testing.T) {
+	db := workload.MustUniversity(workload.DefaultConfig(5))
+	sel, _, err := calculus.Check(workload.DisjunctiveSelection(), db.Catalog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sf, err := normalize.Standardize(sel, normalize.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, _ := ExtractRanges(sf)
+	if plain.Prefix[0].Range.Extended() {
+		t.Fatalf("plain extraction should not move disjunct-specific terms:\n%s", plain)
+	}
+	cnf, added := ExtractRangesCNF(plain)
+	if added < 1 || !cnf.Prefix[0].Range.Extended() {
+		t.Fatalf("CNF extension missing:\n%s", cnf)
+	}
+	s := cnf.Prefix[0].Range.String()
+	if !strings.Contains(s, "OR") {
+		t.Errorf("filter not disjunctive: %s", s)
+	}
+}

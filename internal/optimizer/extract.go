@@ -1,0 +1,255 @@
+package optimizer
+
+import (
+	"sort"
+
+	"pascalr/internal/calculus"
+	"pascalr/internal/normalize"
+)
+
+// ExtractRanges applies strategy 3 to a standard form: monadic join
+// terms move out of the matrix into extended range expressions. It
+// returns a transformed copy and the number of term occurrences removed
+// from the matrix.
+//
+// Validity follows the paper's equivalences (section 4.3), with Lemma 1
+// covering the disjuncts that do not mention the variable:
+//
+//   - free variables: a monadic term is extractable iff it appears in
+//     every conjunction — free bindings must satisfy it whichever
+//     disjunct holds;
+//   - existentially quantified variables: extractable iff it appears in
+//     every conjunction containing the variable (SOME rec IN rel
+//     (S AND W) = SOME rec IN [EACH r IN rel: S] (W); disjuncts without
+//     the variable commute with the quantifier when the range is
+//     non-empty, which the engine's runtime adaptation guarantees);
+//   - universally quantified variables: a disjunct consisting of exactly
+//     one monadic term NOT S(v) folds into the range filter S(v) and
+//     disappears from the matrix (ALL rec IN rel (NOT S OR W) = ALL rec
+//     IN [EACH r IN rel: S] (W)) — the transformation Example 4.5 shows
+//     pays off most.
+//
+// Free-variable extraction runs exactly once, on the original matrix:
+// its validity argument pulls the term out through the whole quantifier
+// prefix (rule 3 needs the base ranges non-empty, which the engine's
+// pre-fold guarantees), and that argument breaks for terms that only
+// become "present in every conjunction" after a universal extraction has
+// removed a disjunct — the runtime adaptation could not undo the range
+// restriction when the universal's extended range turns out empty.
+// Quantified-variable extraction is pointwise valid and iterates to a
+// fixpoint: removing a universal disjunct can make terms of existential
+// variables extractable and vice versa.
+func ExtractRanges(sf *normalize.StandardForm) (*normalize.StandardForm, int) {
+	out := sf.Clone()
+	if out.Const != nil {
+		return out, 0
+	}
+	moved := 0
+	for _, d := range out.Free {
+		moved += extractEvery(out, d.Var, d.Range, true)
+		if out.Const != nil {
+			return out, moved
+		}
+	}
+	for {
+		n := extractQuantPass(out)
+		moved += n
+		if n == 0 || out.Const != nil {
+			return out, moved
+		}
+	}
+}
+
+func extractQuantPass(sf *normalize.StandardForm) int {
+	moved := 0
+	for _, q := range sf.Prefix {
+		if q.All {
+			moved += extractUniversal(sf, q.Var, q.Range)
+		} else {
+			moved += extractEvery(sf, q.Var, q.Range, false)
+		}
+		if sf.Const != nil {
+			return moved
+		}
+	}
+	return moved
+}
+
+// extractEvery moves monadic terms of v into its range filter when they
+// appear in every conjunction (free variables: everyConj true) or in
+// every conjunction containing v (existential variables).
+//
+// For free variables an emptied conjunction makes the whole matrix TRUE
+// (the term was conjoined with everything, so the predicate reduces to
+// the range restriction). For existential variables that collapse would
+// be wrong: the conjunction's truth still requires a witness in the
+// extended range, which the runtime adaptation checks — so one
+// (now redundant) term stays behind to keep the witness requirement in
+// the matrix.
+func extractEvery(sf *normalize.StandardForm, v string, rng *calculus.RangeExpr, everyConj bool) int {
+	relevant := relevantConjs(sf, v, everyConj)
+	if len(relevant) == 0 {
+		return 0
+	}
+	// Candidate terms: monadic terms of v present in the first relevant
+	// conjunction; keep those present in all of them.
+	counts := map[string]*calculus.Cmp{}
+	for _, c := range sf.Matrix[relevant[0]] {
+		if mv, ok := calculus.Monadic(c); ok && mv == v {
+			counts[c.String()] = c
+		}
+	}
+	for _, ci := range relevant[1:] {
+		present := map[string]bool{}
+		for _, c := range sf.Matrix[ci] {
+			present[c.String()] = true
+		}
+		for key := range counts {
+			if !present[key] {
+				delete(counts, key)
+			}
+		}
+	}
+	if len(counts) == 0 {
+		return 0
+	}
+	moved := 0
+	keys := make([]string, 0, len(counts))
+	for key := range counts {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		addToFilter(rng, v, counts[key])
+	}
+	for _, ci := range relevant {
+		conj := sf.Matrix[ci]
+		mentions := 0
+		for _, c := range conj {
+			if termMentions(c, v) {
+				mentions++
+			}
+		}
+		for _, key := range keys {
+			if !everyConj && mentions == 1 {
+				break // keep the last v-mention as the witness term
+			}
+			if hasTerm(conj, key) {
+				conj = removeTerm(conj, key)
+				mentions--
+				moved++
+			}
+		}
+		sf.Matrix[ci] = conj
+	}
+	if everyConj {
+		// A conjunction emptied by free-variable extraction makes the
+		// matrix TRUE: the predicate reduced to the range restriction.
+		for _, conj := range sf.Matrix {
+			if len(conj) == 0 {
+				t := true
+				sf.Const = &t
+				sf.Matrix = nil
+				break
+			}
+		}
+	}
+	return moved
+}
+
+// extractUniversal applies the ALL rule: disjuncts that are exactly one
+// monadic term over v fold (negated) into v's range filter and leave the
+// matrix.
+func extractUniversal(sf *normalize.StandardForm, v string, rng *calculus.RangeExpr) int {
+	moved := 0
+	kept := sf.Matrix[:0]
+	for _, conj := range sf.Matrix {
+		if len(conj) == 1 {
+			if mv, ok := calculus.Monadic(conj[0]); ok && mv == v {
+				neg := &calculus.Cmp{L: conj[0].L, Op: conj[0].Op.Negate(), R: conj[0].R}
+				addToFilter(rng, v, neg)
+				moved++
+				continue
+			}
+		}
+		kept = append(kept, conj)
+	}
+	sf.Matrix = kept
+	if moved > 0 && len(sf.Matrix) == 0 {
+		// Every disjunct folded into the filter: the matrix is FALSE, so
+		// the predicate holds only when the extended range is empty —
+		// which the engine's adaptation detects at runtime.
+		f := false
+		sf.Const = &f
+	}
+	return moved
+}
+
+// relevantConjs returns all conjunction indexes (everyConj) or those
+// containing v; it returns nil when the condition can't be met.
+func relevantConjs(sf *normalize.StandardForm, v string, everyConj bool) []int {
+	if everyConj {
+		out := make([]int, len(sf.Matrix))
+		for i := range sf.Matrix {
+			out[i] = i
+		}
+		return out
+	}
+	return sf.ConjunctionsWith(v)
+}
+
+// addToFilter ANDs a monadic term over v into the range's filter,
+// renaming to the filter's own variable and skipping duplicates.
+func addToFilter(rng *calculus.RangeExpr, v string, term *calculus.Cmp) {
+	if rng.Filter == nil {
+		rng.FilterVar = v
+	}
+	t := calculus.Formula(&calculus.Cmp{L: term.L, Op: term.Op, R: term.R})
+	if rng.FilterVar != v {
+		t = calculus.RenameVar(t, v, rng.FilterVar)
+	}
+	if rng.Filter == nil {
+		rng.Filter = t
+		return
+	}
+	// Skip exact duplicates already in the filter.
+	dup := false
+	calculus.Walk(rng.Filter, func(f calculus.Formula) bool {
+		if calculus.Equal(f, t) {
+			dup = true
+			return false
+		}
+		return true
+	})
+	if !dup {
+		rng.Filter = calculus.NewAnd(rng.Filter, t)
+	}
+}
+
+func removeTerm(conj []*calculus.Cmp, key string) []*calculus.Cmp {
+	out := make([]*calculus.Cmp, 0, len(conj))
+	for _, c := range conj {
+		if c.String() != key {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+func hasTerm(conj []*calculus.Cmp, key string) bool {
+	for _, c := range conj {
+		if c.String() == key {
+			return true
+		}
+	}
+	return false
+}
+
+func termMentions(c *calculus.Cmp, v string) bool {
+	for _, mv := range calculus.VarsOfCmp(c) {
+		if mv == v {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,233 @@
+// Package optimizer implements the paper's query transformation
+// strategies on the standard form:
+//
+//   - Strategy 3 (section 4.3, ExtractRanges): extended range
+//     expressions — monadic join terms move from the matrix into the
+//     range expressions of their variables, shrinking range relations
+//     and, for universally quantified variables, removing whole
+//     conjunctions.
+//   - Strategy 4 (section 4.4, EliminateQuantifiers): quantifiers whose
+//     variable depends on at most one other variable are evaluated in
+//     the collection phase via value lists; the quantified variable
+//     disappears from the combination phase entirely. Equal adjacent
+//     quantifiers are swapped to expose eligible variables, reproducing
+//     the Example 4.7 cascade.
+//
+// Strategies 1 and 2 (scan scheduling and one-step evaluation of nested
+// subexpressions) are physical planning concerns and live in the engine.
+package optimizer
+
+import (
+	"fmt"
+	"strings"
+
+	"pascalr/internal/calculus"
+	"pascalr/internal/normalize"
+	"pascalr/internal/value"
+)
+
+// Atom is a matrix entry after optimization: either an ordinary join
+// term or a derived predicate produced by strategy 4.
+type Atom struct {
+	Cmp  *calculus.Cmp
+	Semi *SemiAtom
+}
+
+// Vars returns the variables the atom constrains.
+func (a Atom) Vars() []string {
+	if a.Cmp != nil {
+		return calculus.VarsOfCmp(a.Cmp)
+	}
+	if a.Semi.Var == "" {
+		return nil // constant spec: constrains no surviving variable
+	}
+	return []string{a.Semi.Var}
+}
+
+// String renders the atom.
+func (a Atom) String() string {
+	if a.Cmp != nil {
+		return a.Cmp.String()
+	}
+	return a.Semi.String()
+}
+
+// SemiAtom is a derived monadic predicate over Var, deciding the
+// eliminated quantifier per element of Var's range.
+type SemiAtom struct {
+	Var  string // the remaining variable (vm); "" when the spec is a constant
+	Spec *SemiSpec
+}
+
+// String renders the derived atom.
+func (s *SemiAtom) String() string {
+	q := "SOME"
+	if s.Spec.All {
+		q = "ALL"
+	}
+	var parts []string
+	for _, m := range s.Spec.Monadic {
+		parts = append(parts, m.String())
+	}
+	for _, m := range s.Spec.NestedMonadic {
+		parts = append(parts, m.String())
+	}
+	for _, d := range s.Spec.Dyadic {
+		parts = append(parts, fmt.Sprintf("%s.%s %s %s.%s", s.Var, d.VmCol, d.Op, s.Spec.Var, d.VnCol))
+	}
+	if len(parts) == 0 {
+		parts = []string{"TRUE"}
+	}
+	return fmt.Sprintf("%s %s IN %s (%s)", q, s.Spec.Var, s.Spec.Range, strings.Join(parts, " AND "))
+}
+
+// DyTerm is one dyadic term of an eliminated quantifier, normalized to
+// the orientation vm.VmCol Op vn.VnCol.
+type DyTerm struct {
+	VmCol string
+	Op    value.CmpOp
+	VnCol string
+}
+
+// SemiSpec describes how to evaluate an eliminated quantifier during the
+// collection phase: scan Var's range, keep the elements satisfying the
+// monadic terms (for SOME) or count them (for ALL), collect the dyadic
+// columns into a value list, and derive a predicate over the remaining
+// variable's elements.
+type SemiSpec struct {
+	ID    int
+	Var   string // the eliminated variable (vn)
+	Range *calculus.RangeExpr
+	All   bool
+	// Monadic terms over Var. For SOME they filter the value list; for
+	// ALL they contribute a constant conjunct "every range element
+	// satisfies them".
+	Monadic []*calculus.Cmp
+	// NestedMonadic holds derived atoms over Var from earlier
+	// eliminations — the Example 4.7 cascade, where cset restricts the
+	// construction of tset. They combine with Monadic.
+	NestedMonadic []*SemiAtom
+	// Dyadic terms linking Var with the remaining variable; empty when
+	// the quantified subformula was purely monadic (the derived atom is
+	// then a runtime constant).
+	Dyadic []DyTerm
+}
+
+// ConstOnly reports whether the spec yields a runtime constant (no
+// dyadic terms).
+func (s *SemiSpec) ConstOnly() bool { return len(s.Dyadic) == 0 }
+
+// XForm is a standard form whose matrix may contain derived atoms, plus
+// the specs that feed them. The engine plans collection and combination
+// from this.
+type XForm struct {
+	Proj   []calculus.Field
+	Free   []calculus.Decl
+	Prefix []normalize.QDecl
+	Matrix [][]Atom
+	Const  *bool
+	Specs  []*SemiSpec
+}
+
+// FromStandardForm wraps a standard form in an XForm with plain atoms.
+func FromStandardForm(sf *normalize.StandardForm) *XForm {
+	x := &XForm{
+		Proj:   append([]calculus.Field(nil), sf.Proj...),
+		Free:   append([]calculus.Decl(nil), sf.Free...),
+		Prefix: append([]normalize.QDecl(nil), sf.Prefix...),
+		Const:  sf.Const,
+	}
+	for _, conj := range sf.Matrix {
+		atoms := make([]Atom, len(conj))
+		for i, c := range conj {
+			atoms[i] = Atom{Cmp: c}
+		}
+		x.Matrix = append(x.Matrix, atoms)
+	}
+	return x
+}
+
+// Vars returns free variables then prefix variables, in order.
+func (x *XForm) Vars() []string {
+	out := make([]string, 0, len(x.Free)+len(x.Prefix))
+	for _, d := range x.Free {
+		out = append(out, d.Var)
+	}
+	for _, q := range x.Prefix {
+		out = append(out, q.Var)
+	}
+	return out
+}
+
+// RangeOf returns the range of a free or prefix variable.
+func (x *XForm) RangeOf(v string) (*calculus.RangeExpr, bool) {
+	for _, d := range x.Free {
+		if d.Var == v {
+			return d.Range, true
+		}
+	}
+	for _, q := range x.Prefix {
+		if q.Var == v {
+			return q.Range, true
+		}
+	}
+	return nil, false
+}
+
+// conjunctionsWith returns indexes of conjunctions containing var v.
+func (x *XForm) conjunctionsWith(v string) []int {
+	var out []int
+	for i, conj := range x.Matrix {
+		for _, a := range conj {
+			if atomMentions(a, v) {
+				out = append(out, i)
+				break
+			}
+		}
+	}
+	return out
+}
+
+func atomMentions(a Atom, v string) bool {
+	for _, av := range a.Vars() {
+		if av == v {
+			return true
+		}
+	}
+	return false
+}
+
+// String renders the transformed form for EXPLAIN output.
+func (x *XForm) String() string {
+	var b strings.Builder
+	b.WriteString("[<")
+	for i, p := range x.Proj {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(p.String())
+	}
+	b.WriteString("> OF\n")
+	for _, d := range x.Free {
+		fmt.Fprintf(&b, "  EACH %s IN %s\n", d.Var, d.Range)
+	}
+	b.WriteString(" :\n")
+	for _, q := range x.Prefix {
+		fmt.Fprintf(&b, "  %s\n", q)
+	}
+	if x.Const != nil {
+		fmt.Fprintf(&b, "    %v\n", map[bool]string{true: "TRUE", false: "FALSE"}[*x.Const])
+		return b.String()
+	}
+	for i, conj := range x.Matrix {
+		if i > 0 {
+			b.WriteString("   OR\n")
+		}
+		parts := make([]string, len(conj))
+		for j, a := range conj {
+			parts[j] = "(" + a.String() + ")"
+		}
+		fmt.Fprintf(&b, "    %s\n", strings.Join(parts, " AND "))
+	}
+	return b.String()
+}

@@ -1,0 +1,280 @@
+package optimizer
+
+import (
+	"strings"
+	"testing"
+
+	"pascalr/internal/calculus"
+	"pascalr/internal/normalize"
+	"pascalr/internal/value"
+	"pascalr/internal/workload"
+)
+
+// sampleSF standardizes the paper's Example 2.1 (labels resolved against
+// the Figure 1 catalog).
+func sampleSF(t *testing.T) *normalize.StandardForm {
+	t.Helper()
+	db := workload.MustUniversity(workload.DefaultConfig(5))
+	sel, _, err := calculus.Check(workload.SampleSelection(), db.Catalog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sf, err := normalize.Standardize(sel, normalize.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sf
+}
+
+// TestExtractExample45 reproduces Example 4.5: the professor test moves
+// to e's range, pyear=1977 to p's range (dropping one conjunction), and
+// the level test to c's range.
+func TestExtractExample45(t *testing.T) {
+	sf := sampleSF(t)
+	out, moved := ExtractRanges(sf)
+	if len(out.Matrix) != 2 {
+		t.Fatalf("matrix = %d conjunctions, want 2:\n%s", len(out.Matrix), out)
+	}
+	if moved != 5 {
+		t.Errorf("moved = %d term occurrences, want 5", moved)
+	}
+	// e's range: employees restricted to professors.
+	if !out.Free[0].Range.Extended() || !strings.Contains(out.Free[0].Range.String(), "estatus") {
+		t.Errorf("e range = %s", out.Free[0].Range)
+	}
+	// p's range: papers restricted to pyear = 1977 (the NEGATION of the
+	// removed disjunct's pyear <> 1977).
+	var pRange, cRange, tRange *calculus.RangeExpr
+	for _, q := range out.Prefix {
+		switch q.Var {
+		case "p":
+			pRange = q.Range
+		case "c":
+			cRange = q.Range
+		case "t":
+			tRange = q.Range
+		}
+	}
+	if !pRange.Extended() || !strings.Contains(pRange.String(), "p.pyear = 1977") {
+		t.Errorf("p range = %s", pRange)
+	}
+	if !cRange.Extended() || !strings.Contains(cRange.String(), "clevel") {
+		t.Errorf("c range = %s", cRange)
+	}
+	if tRange.Extended() {
+		t.Errorf("t range should stay unextended: %s", tRange)
+	}
+	// The input must not have been mutated.
+	if len(sf.Matrix) != 3 {
+		t.Errorf("ExtractRanges mutated its input")
+	}
+}
+
+// TestExtractKeepsWitnessTerm checks that existential extraction never
+// removes a variable's last mention from a conjunction: the runtime
+// adaptation identifies witness-requiring conjunctions by those
+// mentions.
+func TestExtractKeepsWitnessTerm(t *testing.T) {
+	mk := func(v, col string, op value.CmpOp, n int64) *calculus.Cmp {
+		return &calculus.Cmp{L: calculus.Field{Var: v, Col: col}, Op: op, R: calculus.Const{Val: value.Int(n)}}
+	}
+	sf := &normalize.StandardForm{
+		Proj:   []calculus.Field{{Var: "f", Col: "a"}},
+		Free:   []calculus.Decl{{Var: "f", Range: &calculus.RangeExpr{Rel: "r0"}}},
+		Prefix: []normalize.QDecl{{Var: "q", Range: &calculus.RangeExpr{Rel: "r1"}}},
+		Matrix: [][]*calculus.Cmp{
+			{mk("f", "a", value.OpGt, 0)},                              // q-free disjunct
+			{mk("q", "a", value.OpLt, 5), mk("q", "b", value.OpEq, 1)}, // q-only disjunct
+		},
+	}
+	out, _ := ExtractRanges(sf)
+	// q's range must be extended with both terms...
+	rng := out.Prefix[0].Range
+	if !rng.Extended() || !strings.Contains(rng.String(), "q.a < 5") || !strings.Contains(rng.String(), "q.b = 1") {
+		t.Errorf("q range = %s", rng)
+	}
+	// ...but the conjunction must keep at least one q-mention.
+	found := false
+	for _, conj := range out.Matrix {
+		for _, c := range conj {
+			for _, v := range calculus.VarsOfCmp(c) {
+				if v == "q" {
+					found = true
+				}
+			}
+		}
+	}
+	if !found {
+		t.Errorf("existential extraction removed the witness mention:\n%s", out)
+	}
+}
+
+// TestNoFreeExtractionAfterUniversal is the regression test for the
+// invalid cascade: a free term that is only "in every conjunction" after
+// the universal extraction removed a disjunct must stay in the matrix.
+func TestNoFreeExtractionAfterUniversal(t *testing.T) {
+	mk := func(v, col string, op value.CmpOp, n int64) *calculus.Cmp {
+		return &calculus.Cmp{L: calculus.Field{Var: v, Col: col}, Op: op, R: calculus.Const{Val: value.Int(n)}}
+	}
+	// Matrix: (q.a > 1) OR (f.b > 5) under ALL q.
+	sf := &normalize.StandardForm{
+		Proj:   []calculus.Field{{Var: "f", Col: "a"}},
+		Free:   []calculus.Decl{{Var: "f", Range: &calculus.RangeExpr{Rel: "r0"}}},
+		Prefix: []normalize.QDecl{{All: true, Var: "q", Range: &calculus.RangeExpr{Rel: "r1"}}},
+		Matrix: [][]*calculus.Cmp{
+			{mk("q", "a", value.OpGt, 1)},
+			{mk("f", "b", value.OpGt, 5)},
+		},
+	}
+	out, _ := ExtractRanges(sf)
+	// The universal disjunct folds into q's range...
+	if !out.Prefix[0].Range.Extended() {
+		t.Fatalf("universal extraction missing:\n%s", out)
+	}
+	// ...and f's term must remain in the matrix with f's range untouched.
+	if out.Free[0].Range.Extended() {
+		t.Errorf("free extraction after universal removal is unsound:\n%s", out)
+	}
+	if len(out.Matrix) != 1 || len(out.Matrix[0]) != 1 {
+		t.Errorf("matrix = %v", out.Matrix)
+	}
+}
+
+// TestUniversalExtractionToConstFalse: when every disjunct folds into
+// the filter, the matrix becomes FALSE (the predicate holds only when
+// the extended range is empty, which the runtime adaptation detects).
+func TestUniversalExtractionToConstFalse(t *testing.T) {
+	mk := func(op value.CmpOp, n int64) *calculus.Cmp {
+		return &calculus.Cmp{L: calculus.Field{Var: "q", Col: "a"}, Op: op, R: calculus.Const{Val: value.Int(n)}}
+	}
+	sf := &normalize.StandardForm{
+		Proj:   []calculus.Field{{Var: "f", Col: "a"}},
+		Free:   []calculus.Decl{{Var: "f", Range: &calculus.RangeExpr{Rel: "r0"}}},
+		Prefix: []normalize.QDecl{{All: true, Var: "q", Range: &calculus.RangeExpr{Rel: "r1"}}},
+		Matrix: [][]*calculus.Cmp{{mk(value.OpGt, 1)}, {mk(value.OpLt, 0)}},
+	}
+	out, moved := ExtractRanges(sf)
+	if moved != 2 || out.Const == nil || *out.Const {
+		t.Errorf("moved=%d const=%v:\n%s", moved, out.Const, out)
+	}
+}
+
+// TestEliminateCascade reproduces Example 4.7: after extraction, all
+// three quantifiers become value lists (cset, tset, pset) and the tset
+// spec carries the cset predicate as a nested monadic atom.
+func TestEliminateCascade(t *testing.T) {
+	sf := sampleSF(t)
+	extracted, _ := ExtractRanges(sf)
+	x := FromStandardForm(extracted)
+	n := EliminateQuantifiers(x)
+	if n != 3 || len(x.Prefix) != 0 {
+		t.Fatalf("eliminated %d, prefix %v:\n%s", n, x.Prefix, x)
+	}
+	if len(x.Specs) != 3 {
+		t.Fatalf("specs = %d", len(x.Specs))
+	}
+	// The elimination order is c (courses), then t (timetable, nesting
+	// c's derived atom), then p (papers).
+	byVar := map[string]*SemiSpec{}
+	for _, s := range x.Specs {
+		byVar[s.Var] = s
+	}
+	if byVar["c"] == nil || byVar["t"] == nil || byVar["p"] == nil {
+		t.Fatalf("spec vars = %v", byVar)
+	}
+	if len(byVar["t"].NestedMonadic) != 1 || byVar["t"].NestedMonadic[0].Spec != byVar["c"] {
+		t.Errorf("tset does not nest cset: %+v", byVar["t"])
+	}
+	if byVar["p"].All != true || byVar["c"].All || byVar["t"].All {
+		t.Errorf("quantifier kinds wrong")
+	}
+	// pset derives an anti-membership (<> with ALL) on e.enr.
+	if len(byVar["p"].Dyadic) != 1 || byVar["p"].Dyadic[0].Op != value.OpNe {
+		t.Errorf("pset dyadic = %+v", byVar["p"].Dyadic)
+	}
+}
+
+// TestUniversalMultiConjunctionIneligible checks the Example 4.6
+// observation: without extraction, p occurs in two conjunctions, so
+// ALL p cannot be evaluated in the collection phase.
+func TestUniversalMultiConjunctionIneligible(t *testing.T) {
+	sf := sampleSF(t)
+	x := FromStandardForm(sf)
+	EliminateQuantifiers(x)
+	for _, q := range x.Prefix {
+		if q.Var == "p" {
+			return
+		}
+	}
+	t.Errorf("ALL p eliminated despite two conjunctions:\n%s", x)
+}
+
+// TestSameRelationIneligible: the value list cannot be completed before
+// the remaining variable's scan when both range over the same relation.
+func TestSameRelationIneligible(t *testing.T) {
+	mk := &calculus.Cmp{
+		L: calculus.Field{Var: "f", Col: "a"}, Op: value.OpEq,
+		R: calculus.Field{Var: "q", Col: "b"},
+	}
+	x := &XForm{
+		Proj:   []calculus.Field{{Var: "f", Col: "a"}},
+		Free:   []calculus.Decl{{Var: "f", Range: &calculus.RangeExpr{Rel: "r0"}}},
+		Prefix: []normalize.QDecl{{Var: "q", Range: &calculus.RangeExpr{Rel: "r0"}}},
+		Matrix: [][]Atom{{{Cmp: mk}}},
+	}
+	if n := EliminateQuantifiers(x); n != 0 {
+		t.Errorf("same-relation quantifier eliminated (%d)", n)
+	}
+}
+
+// TestUnconstrainedQuantifiers: SOME over an unconstrained variable
+// becomes a non-emptiness gate; ALL stays in the prefix (its empty-range
+// case is not expressible per conjunction).
+func TestUnconstrainedQuantifiers(t *testing.T) {
+	fTerm := &calculus.Cmp{
+		L: calculus.Field{Var: "f", Col: "a"}, Op: value.OpGt,
+		R: calculus.Const{Val: value.Int(0)},
+	}
+	mkX := func(all bool) *XForm {
+		return &XForm{
+			Proj:   []calculus.Field{{Var: "f", Col: "a"}},
+			Free:   []calculus.Decl{{Var: "f", Range: &calculus.RangeExpr{Rel: "r0"}}},
+			Prefix: []normalize.QDecl{{All: all, Var: "q", Range: &calculus.RangeExpr{Rel: "r1"}}},
+			Matrix: [][]Atom{{{Cmp: fTerm}}},
+		}
+	}
+	someX := mkX(false)
+	if n := EliminateQuantifiers(someX); n != 1 || len(someX.Specs) != 1 || !someX.Specs[0].ConstOnly() {
+		t.Errorf("unconstrained SOME not turned into a constant gate:\n%s", someX)
+	}
+	allX := mkX(true)
+	if n := EliminateQuantifiers(allX); n != 0 || len(allX.Prefix) != 1 {
+		t.Errorf("unconstrained ALL eliminated:\n%s", allX)
+	}
+}
+
+func TestXFormHelpers(t *testing.T) {
+	sf := sampleSF(t)
+	x := FromStandardForm(sf)
+	if vars := x.Vars(); len(vars) != 4 || vars[0] != "e" {
+		t.Errorf("Vars = %v", vars)
+	}
+	if r, ok := x.RangeOf("p"); !ok || r.Rel != "papers" {
+		t.Errorf("RangeOf(p) = %v %v", r, ok)
+	}
+	if _, ok := x.RangeOf("zz"); ok {
+		t.Errorf("RangeOf(zz) resolved")
+	}
+	s := x.String()
+	if !strings.Contains(s, "ALL p IN papers") || !strings.Contains(s, "OR") {
+		t.Errorf("XForm rendering:\n%s", s)
+	}
+	// Derived atoms render with their quantifier.
+	extracted, _ := ExtractRanges(sf)
+	x2 := FromStandardForm(extracted)
+	EliminateQuantifiers(x2)
+	s2 := x2.String()
+	if !strings.Contains(s2, "SOME t IN timetable") {
+		t.Errorf("derived atom rendering:\n%s", s2)
+	}
+}

@@ -1,0 +1,229 @@
+package optimizer
+
+import (
+	"pascalr/internal/calculus"
+)
+
+// EliminateQuantifiers applies strategy 4: innermost quantified
+// variables that depend on at most one other variable are evaluated in
+// the collection phase. The quantifier disappears from the prefix; its
+// terms are replaced by derived atoms over the remaining variable,
+// backed by a SemiSpec the engine executes as a value list.
+//
+// Eligibility, following section 4.4:
+//
+//   - the variable must belong to the maximal suffix run of
+//     equal quantifiers (equal quantifiers may be swapped freely, which
+//     is how Example 4.7 reorders SOME c SOME t);
+//   - an existentially quantified variable is eliminable when, in every
+//     conjunction containing it, its terms involve at most one other
+//     variable (each conjunction splits independently, Lemma 1 rule 1);
+//   - a universally quantified variable must occur in at most one
+//     conjunction (the paper's splitting condition), with at most one
+//     other variable in it;
+//   - the eliminated variable's range relation must differ from the
+//     remaining variable's, so the value list can be built before the
+//     remaining variable's relation is scanned.
+//
+// Elimination cascades: removing one quantifier turns its dyadic terms
+// into derived monadic atoms, which can make the next variable eligible
+// (the cset/tset/pset chain of Example 4.7). The function iterates until
+// no variable is eligible and returns the number eliminated.
+func EliminateQuantifiers(x *XForm) int {
+	if x.Const != nil {
+		// With a constant matrix every surviving quantifier is decided by
+		// range emptiness alone, which the engine's adaptation handles.
+		return 0
+	}
+	eliminated := 0
+	for {
+		idx, plans := findEligible(x)
+		if idx < 0 {
+			return eliminated
+		}
+		apply(x, idx, plans)
+		eliminated++
+	}
+}
+
+// elimPlan describes the rewrite of one conjunction for an eliminated
+// variable.
+type elimPlan struct {
+	conj int
+	spec *SemiSpec
+	vm   string // remaining variable; "" for a constant spec
+}
+
+// findEligible scans the suffix run of equal quantifiers right-to-left
+// and returns the prefix index of the first eliminable variable along
+// with its per-conjunction rewrite plans.
+func findEligible(x *XForm) (int, []elimPlan) {
+	n := len(x.Prefix)
+	if n == 0 {
+		return -1, nil
+	}
+	runStart := n - 1
+	for runStart > 0 && x.Prefix[runStart-1].All == x.Prefix[n-1].All {
+		runStart--
+	}
+	for i := n - 1; i >= runStart; i-- {
+		if plans, ok := analyze(x, i); ok {
+			return i, plans
+		}
+	}
+	return -1, nil
+}
+
+// analyze decides eligibility of prefix variable i and builds its
+// rewrite plans.
+func analyze(x *XForm, i int) ([]elimPlan, bool) {
+	q := x.Prefix[i]
+	vn := q.Var
+	conjs := x.conjunctionsWith(vn)
+	if len(conjs) == 0 {
+		// Unconstrained variable. SOME vn IN rel (M) with M free of vn is
+		// M AND "rel non-empty"; a constant spec (non-emptiness test in
+		// the collection phase) attached to every conjunction expresses
+		// exactly that. ALL vn IN rel (M) is TRUE for empty rel but M
+		// otherwise — not expressible per conjunction, so universal
+		// unconstrained variables stay in the prefix and are handled by
+		// division and the runtime adaptation.
+		if q.All {
+			return nil, false
+		}
+		spec := &SemiSpec{Var: vn, Range: calculus.CloneRange(q.Range), All: q.All}
+		plans := make([]elimPlan, len(x.Matrix))
+		for ci := range x.Matrix {
+			plans[ci] = elimPlan{conj: ci, spec: spec}
+		}
+		return plans, true
+	}
+	if q.All && len(conjs) > 1 {
+		// Splitting a universal quantifier is possible only when it
+		// occurs in no more than one conjunction (section 4.4 item 2).
+		return nil, false
+	}
+	if q.All && q.Range.Extended() {
+		// Splitting ALL vn (rest AND vn-terms) into rest AND ALL vn
+		// (vn-terms) is Lemma 1 rule 3, valid only for non-empty ranges.
+		// Base ranges are non-empty after the engine's pre-fold, but an
+		// extended range can turn out empty at run time — in which case
+		// the whole quantified subformula is TRUE, not just the vn part.
+		// So with an extended range the conjunction must consist of
+		// vn-terms only.
+		for _, ci := range conjs {
+			for _, a := range x.Matrix[ci] {
+				if !contains(a.Vars(), vn) {
+					return nil, false
+				}
+			}
+		}
+	}
+	var plans []elimPlan
+	for _, ci := range conjs {
+		spec, vm, ok := analyzeConj(x, ci, vn, q.All, q.Range)
+		if !ok {
+			return nil, false
+		}
+		plans = append(plans, elimPlan{conj: ci, spec: spec, vm: vm})
+	}
+	return plans, true
+}
+
+// analyzeConj inspects one conjunction's atoms over vn: eligible when
+// they involve at most one other variable whose range relation differs
+// from vn's.
+func analyzeConj(x *XForm, ci int, vn string, all bool, rng *calculus.RangeExpr) (*SemiSpec, string, bool) {
+	spec := &SemiSpec{Var: vn, Range: calculus.CloneRange(rng), All: all}
+	vm := ""
+	for _, a := range x.Matrix[ci] {
+		vars := a.Vars()
+		if !contains(vars, vn) {
+			continue
+		}
+		switch {
+		case len(vars) == 1: // monadic over vn (plain or derived)
+			if a.Cmp != nil {
+				spec.Monadic = append(spec.Monadic, a.Cmp)
+			} else {
+				spec.NestedMonadic = append(spec.NestedMonadic, a.Semi)
+			}
+		case len(vars) == 2 && a.Cmp != nil:
+			other := vars[0]
+			if other == vn {
+				other = vars[1]
+			}
+			if vm == "" {
+				vm = other
+			} else if vm != other {
+				return nil, "", false // depends on two other variables
+			}
+			dt, ok := orientDyadic(a.Cmp, vn, other)
+			if !ok {
+				return nil, "", false
+			}
+			spec.Dyadic = append(spec.Dyadic, dt)
+		default:
+			return nil, "", false
+		}
+	}
+	if vm != "" {
+		vmRange, ok := x.RangeOf(vm)
+		if !ok || vmRange.Rel == spec.Range.Rel {
+			// Same base relation: the value list could not be completed
+			// before the remaining variable's single scan starts.
+			return nil, "", false
+		}
+	}
+	return spec, vm, true
+}
+
+// orientDyadic normalizes a dyadic term to "vm.col op vn.col".
+func orientDyadic(c *calculus.Cmp, vn, vm string) (DyTerm, bool) {
+	lf, lok := c.L.(calculus.Field)
+	rf, rok := c.R.(calculus.Field)
+	if !lok || !rok {
+		return DyTerm{}, false
+	}
+	switch {
+	case lf.Var == vm && rf.Var == vn:
+		return DyTerm{VmCol: lf.Col, Op: c.Op, VnCol: rf.Col}, true
+	case lf.Var == vn && rf.Var == vm:
+		return DyTerm{VmCol: rf.Col, Op: c.Op.Flip(), VnCol: lf.Col}, true
+	default:
+		return DyTerm{}, false
+	}
+}
+
+// apply rewrites the XForm for the eliminated prefix variable.
+func apply(x *XForm, i int, plans []elimPlan) {
+	vn := x.Prefix[i].Var
+	x.Prefix = append(x.Prefix[:i], x.Prefix[i+1:]...)
+	seen := map[*SemiSpec]bool{}
+	for _, p := range plans {
+		conj := x.Matrix[p.conj]
+		kept := make([]Atom, 0, len(conj))
+		for _, a := range conj {
+			if atomMentions(a, vn) {
+				continue
+			}
+			kept = append(kept, a)
+		}
+		kept = append(kept, Atom{Semi: &SemiAtom{Var: p.vm, Spec: p.spec}})
+		x.Matrix[p.conj] = kept
+		if !seen[p.spec] {
+			seen[p.spec] = true
+			p.spec.ID = len(x.Specs)
+			x.Specs = append(x.Specs, p.spec)
+		}
+	}
+}
+
+func contains(ss []string, v string) bool {
+	for _, s := range ss {
+		if s == v {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,178 @@
+// Package parser implements the concrete PASCAL/R syntax used by the
+// paper: TYPE and VAR sections declaring enumerations, subranges, packed
+// character arrays and RELATION variables, and statements built from
+// selections ([<e.ename> OF EACH e IN employees: wff]) with the
+// assignment (:=), insert (:+), and delete (:-) operators.
+package parser
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokKind uint8
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokInt
+	tokString
+	tokSym // single or multi character symbol, in text
+)
+
+type token struct {
+	kind tokKind
+	text string // identifier (lower-cased), symbol, or string body
+	ival int64
+	pos  int // byte offset, for error messages
+	line int
+}
+
+type lexer struct {
+	src    string
+	off    int
+	line   int
+	tokens []token
+}
+
+// lex tokenizes the whole input up front. PASCAL identifiers and
+// keywords are case-insensitive and are lower-cased here; string
+// literals are single-quoted with ” as the escaped quote. Comments use
+// the PASCAL (* ... *) and { ... } forms.
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src, line: 1}
+	for {
+		l.skipSpace()
+		if l.off >= len(l.src) {
+			l.emit(token{kind: tokEOF, pos: l.off, line: l.line})
+			return l.tokens, nil
+		}
+		c := l.src[l.off]
+		switch {
+		case isIdentStart(rune(c)):
+			l.lexIdent()
+		case c >= '0' && c <= '9':
+			if err := l.lexInt(); err != nil {
+				return nil, err
+			}
+		case c == '\'':
+			if err := l.lexString(); err != nil {
+				return nil, err
+			}
+		default:
+			if err := l.lexSym(); err != nil {
+				return nil, err
+			}
+		}
+	}
+}
+
+func (l *lexer) emit(t token) { l.tokens = append(l.tokens, t) }
+
+func (l *lexer) skipSpace() {
+	for l.off < len(l.src) {
+		c := l.src[l.off]
+		switch {
+		case c == '\n':
+			l.line++
+			l.off++
+		case c == ' ' || c == '\t' || c == '\r':
+			l.off++
+		case c == '{':
+			end := strings.IndexByte(l.src[l.off:], '}')
+			if end < 0 {
+				l.off = len(l.src)
+				return
+			}
+			l.line += strings.Count(l.src[l.off:l.off+end], "\n")
+			l.off += end + 1
+		case c == '(' && l.off+1 < len(l.src) && l.src[l.off+1] == '*':
+			end := strings.Index(l.src[l.off+2:], "*)")
+			if end < 0 {
+				l.off = len(l.src)
+				return
+			}
+			l.line += strings.Count(l.src[l.off:l.off+2+end+2], "\n")
+			l.off += 2 + end + 2
+		default:
+			return
+		}
+	}
+}
+
+func isIdentStart(c rune) bool {
+	return unicode.IsLetter(c) || c == '_'
+}
+
+func (l *lexer) lexIdent() {
+	start := l.off
+	for l.off < len(l.src) {
+		c := rune(l.src[l.off])
+		if !isIdentStart(c) && !unicode.IsDigit(c) {
+			break
+		}
+		l.off++
+	}
+	l.emit(token{kind: tokIdent, text: strings.ToLower(l.src[start:l.off]), pos: start, line: l.line})
+}
+
+func (l *lexer) lexInt() error {
+	start := l.off
+	for l.off < len(l.src) && l.src[l.off] >= '0' && l.src[l.off] <= '9' {
+		// Stop before ".." so subranges like 1..99 lex as INT DOTDOT INT.
+		l.off++
+	}
+	var n int64
+	if _, err := fmt.Sscanf(l.src[start:l.off], "%d", &n); err != nil {
+		return fmt.Errorf("parser: line %d: bad integer literal %q", l.line, l.src[start:l.off])
+	}
+	l.emit(token{kind: tokInt, ival: n, text: l.src[start:l.off], pos: start, line: l.line})
+	return nil
+}
+
+func (l *lexer) lexString() error {
+	start := l.off
+	l.off++ // opening quote
+	var b strings.Builder
+	for {
+		if l.off >= len(l.src) {
+			return fmt.Errorf("parser: line %d: unterminated string literal", l.line)
+		}
+		c := l.src[l.off]
+		if c == '\n' {
+			return fmt.Errorf("parser: line %d: newline in string literal", l.line)
+		}
+		if c == '\'' {
+			if l.off+1 < len(l.src) && l.src[l.off+1] == '\'' {
+				b.WriteByte('\'')
+				l.off += 2
+				continue
+			}
+			l.off++
+			break
+		}
+		b.WriteByte(c)
+		l.off++
+	}
+	l.emit(token{kind: tokString, text: b.String(), pos: start, line: l.line})
+	return nil
+}
+
+// multi-character symbols, longest first.
+var symbols = []string{
+	":=", ":+", ":-", "<=", ">=", "<>", "..",
+	"(", ")", "[", "]", "<", ">", ",", ";", ":", ".", "=", "@",
+}
+
+func (l *lexer) lexSym() error {
+	rest := l.src[l.off:]
+	for _, s := range symbols {
+		if strings.HasPrefix(rest, s) {
+			l.emit(token{kind: tokSym, text: s, pos: l.off, line: l.line})
+			l.off += len(s)
+			return nil
+		}
+	}
+	return fmt.Errorf("parser: line %d: unexpected character %q", l.line, rest[0])
+}

@@ -1,0 +1,673 @@
+package parser
+
+import (
+	"fmt"
+
+	"pascalr/internal/calculus"
+	"pascalr/internal/schema"
+	"pascalr/internal/value"
+)
+
+// Program is a parsed PASCAL/R script: type declarations, relation
+// declarations, and statements, in source order.
+type Program struct {
+	Items []Item
+}
+
+// Item is one program element.
+type Item interface{ isItem() }
+
+// TypeDecl declares a named component type.
+type TypeDecl struct {
+	Name string
+	Type *schema.Type
+}
+
+// RelDecl declares a relation variable.
+type RelDecl struct {
+	Schema *schema.RelSchema
+}
+
+// StmtOp distinguishes the relation operators.
+type StmtOp uint8
+
+// The statement operators.
+const (
+	OpAssign StmtOp = iota // :=
+	OpInsert               // :+
+	OpDelete               // :-
+)
+
+func (op StmtOp) String() string {
+	switch op {
+	case OpAssign:
+		return ":="
+	case OpInsert:
+		return ":+"
+	default:
+		return ":-"
+	}
+}
+
+// Stmt is `target := selection;`, `target :+ tuples;`, or
+// `target :- tuples;`. Exactly one of Sel and Tuples is set (insert
+// accepts either).
+type Stmt struct {
+	Op     StmtOp
+	Target string
+	Sel    *calculus.Selection
+	Tuples [][]Literal
+	Line   int
+}
+
+func (TypeDecl) isItem() {}
+func (RelDecl) isItem()  {}
+func (Stmt) isItem()     {}
+
+// Literal is an unresolved tuple-component literal; ResolveTuple types
+// it against a relation schema.
+type Literal struct {
+	Kind  value.Kind // KindInt, KindString, KindBool; KindInvalid for labels
+	I     int64
+	S     string
+	Label string
+}
+
+// parser walks the token stream.
+type parser struct {
+	toks           []token
+	pos            int
+	types          map[string]*schema.Type // named types declared in this program
+	lookupFallback lookupFn                // catalog lookup for older declarations
+}
+
+type lookupFn func(string) (*schema.Type, bool)
+
+// Parse parses a full program. Named types referenced by declarations
+// are resolved against earlier declarations in the same program and the
+// supplied catalog (which may be nil).
+func Parse(src string, cat *schema.Catalog) (*Program, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, types: map[string]*schema.Type{}}
+	if cat != nil {
+		p.lookupFallback = func(name string) (*schema.Type, bool) { return cat.Type(name) }
+	}
+	prog := &Program{}
+	for !p.atEOF() {
+		switch {
+		case p.peekIdent("type"):
+			p.next()
+			for {
+				decl, err := p.parseTypeDecl()
+				if err != nil {
+					return nil, err
+				}
+				prog.Items = append(prog.Items, decl)
+				if !p.peekTypeDeclStart() {
+					break
+				}
+			}
+		case p.peekIdent("var"):
+			p.next()
+			for {
+				decl, err := p.parseRelDecl()
+				if err != nil {
+					return nil, err
+				}
+				prog.Items = append(prog.Items, decl)
+				if !p.peekRelDeclStart() {
+					break
+				}
+			}
+		default:
+			stmt, err := p.parseStmt()
+			if err != nil {
+				return nil, err
+			}
+			prog.Items = append(prog.Items, stmt)
+		}
+	}
+	return prog, nil
+}
+
+// ParseSelection parses a single selection expression
+// [<fields> OF EACH v IN range, ...: wff].
+func ParseSelection(src string) (*calculus.Selection, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, types: map[string]*schema.Type{}}
+	sel, err := p.parseSelection()
+	if err != nil {
+		return nil, err
+	}
+	if !p.atEOF() {
+		return nil, p.errf("trailing input after selection")
+	}
+	return sel, nil
+}
+
+func (p *parser) lookupType(name string) (*schema.Type, bool) {
+	if t, ok := p.types[name]; ok {
+		return t, true
+	}
+	if p.lookupFallback != nil {
+		return p.lookupFallback(name)
+	}
+	return nil, false
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("parser: line %d: %s", p.cur().line, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) atEOF() bool { return p.cur().kind == tokEOF }
+func (p *parser) next() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) peekSym(s string) bool {
+	t := p.cur()
+	return t.kind == tokSym && t.text == s
+}
+
+func (p *parser) peekIdent(id string) bool {
+	t := p.cur()
+	return t.kind == tokIdent && t.text == id
+}
+
+func (p *parser) expectSym(s string) error {
+	if !p.peekSym(s) {
+		return p.errf("expected %q, found %q", s, p.cur().text)
+	}
+	p.next()
+	return nil
+}
+
+func (p *parser) expectIdentKw(id string) error {
+	if !p.peekIdent(id) {
+		return p.errf("expected %s, found %q", id, p.cur().text)
+	}
+	p.next()
+	return nil
+}
+
+func (p *parser) expectName() (string, error) {
+	t := p.cur()
+	if t.kind != tokIdent {
+		return "", p.errf("expected identifier, found %q", t.text)
+	}
+	if keywords[t.text] {
+		return "", p.errf("reserved word %q used as identifier", t.text)
+	}
+	p.next()
+	return t.text, nil
+}
+
+var keywords = map[string]bool{
+	"type": true, "var": true, "relation": true, "of": true, "record": true,
+	"end": true, "each": true, "in": true, "some": true, "all": true,
+	"and": true, "or": true, "not": true, "true": true, "false": true,
+	"packed": true, "array": true, "char": true, "boolean": true,
+}
+
+// peekTypeDeclStart reports whether the stream continues with another
+// `name = typeexpr ;` inside a TYPE section.
+func (p *parser) peekTypeDeclStart() bool {
+	t := p.cur()
+	if t.kind != tokIdent || keywords[t.text] {
+		return false
+	}
+	return p.pos+1 < len(p.toks) && p.toks[p.pos+1].kind == tokSym && p.toks[p.pos+1].text == "="
+}
+
+// peekRelDeclStart reports whether the stream continues with another
+// `name : RELATION ...` inside a VAR section.
+func (p *parser) peekRelDeclStart() bool {
+	t := p.cur()
+	if t.kind != tokIdent || keywords[t.text] {
+		return false
+	}
+	return p.pos+1 < len(p.toks) && p.toks[p.pos+1].kind == tokSym && p.toks[p.pos+1].text == ":"
+}
+
+func (p *parser) parseTypeDecl() (TypeDecl, error) {
+	name, err := p.expectName()
+	if err != nil {
+		return TypeDecl{}, err
+	}
+	if err := p.expectSym("="); err != nil {
+		return TypeDecl{}, err
+	}
+	t, err := p.parseTypeExpr(name)
+	if err != nil {
+		return TypeDecl{}, err
+	}
+	if err := p.expectSym(";"); err != nil {
+		return TypeDecl{}, err
+	}
+	p.types[name] = t
+	return TypeDecl{Name: name, Type: t}, nil
+}
+
+// parseTypeExpr parses enumerations, subranges, packed character
+// arrays, BOOLEAN, reference types, and named type references. declName
+// names anonymous enumerations.
+func (p *parser) parseTypeExpr(declName string) (*schema.Type, error) {
+	t := p.cur()
+	switch {
+	case p.peekSym("("): // enumeration
+		p.next()
+		var labels []string
+		for {
+			l, err := p.expectName()
+			if err != nil {
+				return nil, err
+			}
+			labels = append(labels, l)
+			if p.peekSym(",") {
+				p.next()
+				continue
+			}
+			break
+		}
+		if err := p.expectSym(")"); err != nil {
+			return nil, err
+		}
+		et, err := schema.EnumType(declName, labels...)
+		if err != nil {
+			return nil, p.errf("%v", err)
+		}
+		return et, nil
+	case t.kind == tokInt || p.peekSym("-"):
+		lo, err := p.parseSignedInt()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSym(".."); err != nil {
+			return nil, err
+		}
+		hi, err := p.parseSignedInt()
+		if err != nil {
+			return nil, err
+		}
+		if hi < lo {
+			return nil, p.errf("empty subrange %d..%d", lo, hi)
+		}
+		return schema.IntType(declName, lo, hi), nil
+	case p.peekIdent("packed"):
+		p.next()
+		if err := p.expectIdentKw("array"); err != nil {
+			return nil, err
+		}
+		if err := p.expectSym("["); err != nil {
+			return nil, err
+		}
+		lo, err := p.parseSignedInt()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSym(".."); err != nil {
+			return nil, err
+		}
+		hi, err := p.parseSignedInt()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSym("]"); err != nil {
+			return nil, err
+		}
+		if err := p.expectIdentKw("of"); err != nil {
+			return nil, err
+		}
+		if err := p.expectIdentKw("char"); err != nil {
+			return nil, err
+		}
+		if lo != 1 || hi < 1 {
+			return nil, p.errf("packed array bounds must be 1..n")
+		}
+		return schema.StringType(declName, int(hi)), nil
+	case p.peekIdent("boolean"):
+		p.next()
+		bt := schema.BoolType()
+		if declName != "" {
+			named := *bt
+			named.Name = declName
+			return &named, nil
+		}
+		return bt, nil
+	case p.peekSym("@"):
+		p.next()
+		rel, err := p.expectName()
+		if err != nil {
+			return nil, err
+		}
+		return schema.RefType(rel), nil
+	case t.kind == tokIdent && !keywords[t.text]:
+		p.next()
+		named, ok := p.lookupType(t.text)
+		if !ok {
+			return nil, p.errf("unknown type %s", t.text)
+		}
+		return named, nil
+	default:
+		return nil, p.errf("expected type expression, found %q", t.text)
+	}
+}
+
+func (p *parser) parseSignedInt() (int64, error) {
+	neg := false
+	if p.peekSym("-") {
+		p.next()
+		neg = true
+	}
+	t := p.cur()
+	if t.kind != tokInt {
+		return 0, p.errf("expected integer, found %q", t.text)
+	}
+	p.next()
+	if neg {
+		return -t.ival, nil
+	}
+	return t.ival, nil
+}
+
+// parseRelDecl parses `name : RELATION <k1,k2> OF RECORD f : t; ... END ;`.
+func (p *parser) parseRelDecl() (RelDecl, error) {
+	name, err := p.expectName()
+	if err != nil {
+		return RelDecl{}, err
+	}
+	if err := p.expectSym(":"); err != nil {
+		return RelDecl{}, err
+	}
+	if err := p.expectIdentKw("relation"); err != nil {
+		return RelDecl{}, err
+	}
+	if err := p.expectSym("<"); err != nil {
+		return RelDecl{}, err
+	}
+	var key []string
+	for {
+		k, err := p.expectName()
+		if err != nil {
+			return RelDecl{}, err
+		}
+		key = append(key, k)
+		if p.peekSym(",") {
+			p.next()
+			continue
+		}
+		break
+	}
+	if err := p.expectSym(">"); err != nil {
+		return RelDecl{}, err
+	}
+	if err := p.expectIdentKw("of"); err != nil {
+		return RelDecl{}, err
+	}
+	if err := p.expectIdentKw("record"); err != nil {
+		return RelDecl{}, err
+	}
+	var cols []schema.Column
+	for {
+		cn, err := p.expectName()
+		if err != nil {
+			return RelDecl{}, err
+		}
+		if err := p.expectSym(":"); err != nil {
+			return RelDecl{}, err
+		}
+		ct, err := p.parseTypeExpr("")
+		if err != nil {
+			return RelDecl{}, err
+		}
+		cols = append(cols, schema.Column{Name: cn, Type: ct})
+		if p.peekSym(";") {
+			p.next()
+			if p.peekIdent("end") {
+				break
+			}
+			continue
+		}
+		break
+	}
+	if err := p.expectIdentKw("end"); err != nil {
+		return RelDecl{}, err
+	}
+	if err := p.expectSym(";"); err != nil {
+		return RelDecl{}, err
+	}
+	rs, err := schema.NewRelSchema(name, cols, key)
+	if err != nil {
+		return RelDecl{}, p.errf("%v", err)
+	}
+	return RelDecl{Schema: rs}, nil
+}
+
+// parseStmt parses `target := selection ;` or `target :+/:- tuples ;`.
+func (p *parser) parseStmt() (Stmt, error) {
+	line := p.cur().line
+	target, err := p.expectName()
+	if err != nil {
+		return Stmt{}, err
+	}
+	var op StmtOp
+	switch {
+	case p.peekSym(":="):
+		op = OpAssign
+	case p.peekSym(":+"):
+		op = OpInsert
+	case p.peekSym(":-"):
+		op = OpDelete
+	default:
+		return Stmt{}, p.errf("expected :=, :+ or :- after %s", target)
+	}
+	p.next()
+	st := Stmt{Op: op, Target: target, Line: line}
+	// A selection starts with [< ; a tuple list with [< too — they are
+	// distinguished by what follows: a selection has `ident . ident` or
+	// the OF keyword after the field list, a tuple literal has literal
+	// values. We look ahead for `OF` at the matching `>`.
+	if p.looksLikeSelection() {
+		sel, err := p.parseSelection()
+		if err != nil {
+			return Stmt{}, err
+		}
+		st.Sel = sel
+	} else {
+		tuples, err := p.parseTupleList()
+		if err != nil {
+			return Stmt{}, err
+		}
+		st.Tuples = tuples
+	}
+	if err := p.expectSym(";"); err != nil {
+		return Stmt{}, err
+	}
+	if st.Op == OpAssign && st.Sel == nil {
+		return Stmt{}, p.errf(":= requires a selection")
+	}
+	if st.Op == OpDelete && st.Sel != nil {
+		return Stmt{}, p.errf(":- requires a tuple list")
+	}
+	return st, nil
+}
+
+// looksLikeSelection distinguishes `[<e.ename> OF ...` from a tuple list
+// `[<1, 'x', professor>]` by scanning ahead for the OF keyword right
+// after the closing `>` of the first bracketed group.
+func (p *parser) looksLikeSelection() bool {
+	i := p.pos
+	if !(p.toks[i].kind == tokSym && p.toks[i].text == "[") {
+		return false
+	}
+	i++
+	if !(p.toks[i].kind == tokSym && p.toks[i].text == "<") {
+		return false
+	}
+	depth := 1
+	for ; p.toks[i].kind != tokEOF; i++ {
+		t := p.toks[i]
+		if t.kind == tokSym && t.text == "<" {
+			continue
+		}
+		if t.kind == tokSym && t.text == ">" {
+			depth--
+			if depth == 0 {
+				return p.toks[i+1].kind == tokIdent && p.toks[i+1].text == "of"
+			}
+		}
+	}
+	return false
+}
+
+// parseTupleList parses `[ <lit, lit, ...>, <...> ]`.
+func (p *parser) parseTupleList() ([][]Literal, error) {
+	if err := p.expectSym("["); err != nil {
+		return nil, err
+	}
+	var tuples [][]Literal
+	for {
+		if err := p.expectSym("<"); err != nil {
+			return nil, err
+		}
+		var tup []Literal
+		for {
+			lit, err := p.parseLiteral()
+			if err != nil {
+				return nil, err
+			}
+			tup = append(tup, lit)
+			if p.peekSym(",") {
+				p.next()
+				continue
+			}
+			break
+		}
+		if err := p.expectSym(">"); err != nil {
+			return nil, err
+		}
+		tuples = append(tuples, tup)
+		if p.peekSym(",") {
+			p.next()
+			continue
+		}
+		break
+	}
+	if err := p.expectSym("]"); err != nil {
+		return nil, err
+	}
+	return tuples, nil
+}
+
+func (p *parser) parseLiteral() (Literal, error) {
+	t := p.cur()
+	switch {
+	case t.kind == tokInt:
+		p.next()
+		return Literal{Kind: value.KindInt, I: t.ival}, nil
+	case p.peekSym("-"):
+		n, err := p.parseSignedInt()
+		if err != nil {
+			return Literal{}, err
+		}
+		return Literal{Kind: value.KindInt, I: n}, nil
+	case t.kind == tokString:
+		p.next()
+		return Literal{Kind: value.KindString, S: t.text}, nil
+	case p.peekIdent("true"), p.peekIdent("false"):
+		p.next()
+		return Literal{Kind: value.KindBool, I: boolToInt(t.text == "true")}, nil
+	case t.kind == tokIdent && !keywords[t.text]:
+		p.next()
+		return Literal{Label: t.text}, nil
+	default:
+		return Literal{}, p.errf("expected literal, found %q", t.text)
+	}
+}
+
+func boolToInt(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// ResolveTuple types a literal tuple against a relation schema,
+// resolving enumeration labels through the column types.
+func ResolveTuple(tup []Literal, sch *schema.RelSchema) ([]value.Value, error) {
+	if len(tup) != len(sch.Cols) {
+		return nil, fmt.Errorf("parser: tuple has %d components, relation %s wants %d",
+			len(tup), sch.Name, len(sch.Cols))
+	}
+	out := make([]value.Value, len(tup))
+	for i, lit := range tup {
+		col := sch.Cols[i]
+		switch {
+		case lit.Label != "":
+			if col.Type.Kind != schema.TEnum {
+				return nil, fmt.Errorf("parser: label %s supplied for non-enumeration component %s", lit.Label, col.Name)
+			}
+			ord, ok := col.Type.Ordinal(lit.Label)
+			if !ok {
+				return nil, fmt.Errorf("parser: %s is not a label of %s", lit.Label, col.Type.Name)
+			}
+			out[i] = value.Enum(col.Type.Name, ord)
+		case lit.Kind == value.KindInt:
+			out[i] = value.Int(lit.I)
+		case lit.Kind == value.KindString:
+			out[i] = value.String_(lit.S)
+		case lit.Kind == value.KindBool:
+			out[i] = value.Bool(lit.I != 0)
+		default:
+			return nil, fmt.Errorf("parser: invalid literal for component %s", col.Name)
+		}
+		if err := col.Type.Check(out[i]); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// KeyTuple types a literal tuple against a relation's key components
+// (for the :- operator).
+func KeyTuple(tup []Literal, sch *schema.RelSchema) ([]value.Value, error) {
+	if len(tup) != len(sch.Key) {
+		return nil, fmt.Errorf("parser: key tuple has %d components, relation %s key wants %d",
+			len(tup), sch.Name, len(sch.Key))
+	}
+	out := make([]value.Value, len(tup))
+	for i, lit := range tup {
+		col, _ := sch.Col(sch.Key[i])
+		switch {
+		case lit.Label != "":
+			if col.Type.Kind != schema.TEnum {
+				return nil, fmt.Errorf("parser: label %s supplied for non-enumeration key %s", lit.Label, col.Name)
+			}
+			ord, ok := col.Type.Ordinal(lit.Label)
+			if !ok {
+				return nil, fmt.Errorf("parser: %s is not a label of %s", lit.Label, col.Type.Name)
+			}
+			out[i] = value.Enum(col.Type.Name, ord)
+		case lit.Kind == value.KindInt:
+			out[i] = value.Int(lit.I)
+		case lit.Kind == value.KindString:
+			out[i] = value.String_(lit.S)
+		case lit.Kind == value.KindBool:
+			out[i] = value.Bool(lit.I != 0)
+		default:
+			return nil, fmt.Errorf("parser: invalid key literal for %s", col.Name)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,338 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+
+	"pascalr/internal/calculus"
+	"pascalr/internal/schema"
+	"pascalr/internal/value"
+)
+
+// figure1DDL is the paper's Figure 1, verbatim modulo whitespace.
+const figure1DDL = `
+TYPE statustype = (student, technician, assistant, professor);
+     nametype   = PACKED ARRAY [1..10] OF char;
+     titletype  = PACKED ARRAY [1..40] OF char;
+     roomtype   = PACKED ARRAY [1..5] OF char;
+     yeartype   = 1900..1999;
+     timetype   = 8000900..18002000;
+     daytype    = (monday, tuesday, wednesday, thursday, friday);
+     leveltype  = (freshman, sophomore, junior, senior);
+     enumbertype = 1..99;
+     cnumbertype = 1..99;
+
+VAR employees : RELATION <enr> OF
+      RECORD
+        enr : enumbertype;
+        ename : nametype;
+        estatus : statustype
+      END;
+    papers : RELATION <ptitle, penr> OF
+      RECORD
+        penr : enumbertype;
+        pyear : yeartype;
+        ptitle : titletype
+      END;
+    courses : RELATION <cnr> OF
+      RECORD
+        cnr : cnumbertype;
+        clevel : leveltype;
+        ctitle : titletype
+      END;
+    timetable : RELATION <tenr, tcnr, tday> OF
+      RECORD
+        tenr : enumbertype;
+        tcnr : cnumbertype;
+        tday : daytype;
+        ttime : timetype;
+        troom : roomtype
+      END;
+`
+
+func TestParseFigure1(t *testing.T) {
+	prog, err := Parse(figure1DDL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var types, rels int
+	for _, item := range prog.Items {
+		switch it := item.(type) {
+		case TypeDecl:
+			types++
+			if it.Name == "statustype" {
+				if ord, ok := it.Type.Ordinal("professor"); !ok || ord != 3 {
+					t.Errorf("statustype professor ordinal = %d, %v", ord, ok)
+				}
+			}
+			if it.Name == "yeartype" && (it.Type.Lo != 1900 || it.Type.Hi != 1999) {
+				t.Errorf("yeartype bounds = %d..%d", it.Type.Lo, it.Type.Hi)
+			}
+			if it.Name == "nametype" && it.Type.MaxLen != 10 {
+				t.Errorf("nametype length = %d", it.Type.MaxLen)
+			}
+		case RelDecl:
+			rels++
+			switch it.Schema.Name {
+			case "timetable":
+				if len(it.Schema.Key) != 3 || len(it.Schema.Cols) != 5 {
+					t.Errorf("timetable schema wrong: %v", it.Schema)
+				}
+			case "papers":
+				if len(it.Schema.Key) != 2 {
+					t.Errorf("papers key = %v", it.Schema.Key)
+				}
+			}
+		}
+	}
+	if types != 10 || rels != 4 {
+		t.Errorf("parsed %d types and %d relations, want 10 and 4", types, rels)
+	}
+}
+
+// example21 is the paper's Example 2.1, verbatim modulo whitespace.
+const example21 = `
+[<e.ename> OF EACH e IN employees:
+  (e.estatus = professor)
+  AND
+  (ALL p IN papers
+     ((p.pyear <> 1977) OR (e.enr <> p.penr))
+   OR
+   SOME c IN courses ((c.clevel <= sophomore)
+     AND
+     SOME t IN timetable
+       ((c.cnr = t.tcnr) AND (e.enr = t.tenr))))]
+`
+
+func TestParseExample21(t *testing.T) {
+	sel, err := ParseSelection(example21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel.Proj) != 1 || sel.Proj[0].Var != "e" || sel.Proj[0].Col != "ename" {
+		t.Errorf("projection = %v", sel.Proj)
+	}
+	if len(sel.Free) != 1 || sel.Free[0].Range.Rel != "employees" {
+		t.Errorf("free decls = %v", sel.Free)
+	}
+	if calculus.QuantCount(sel.Pred) != 3 {
+		t.Errorf("quantifiers = %d", calculus.QuantCount(sel.Pred))
+	}
+	if !calculus.HasUniversal(sel.Pred) {
+		t.Errorf("missing universal quantifier")
+	}
+	// Key structural pieces survive a round-trip through printing.
+	s := sel.String()
+	for _, want := range []string{"ALL p IN papers", "SOME t IN timetable", "p.pyear <> 1977"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("parsed selection missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	// Printing a parsed selection and re-parsing it yields the same tree.
+	sel1, err := ParseSelection(example21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel2, err := ParseSelection(sel1.String())
+	if err != nil {
+		t.Fatalf("re-parse failed: %v\n%s", err, sel1)
+	}
+	if sel1.String() != sel2.String() {
+		t.Errorf("round trip changed selection:\n%s\n%s", sel1, sel2)
+	}
+}
+
+func TestParseExtendedRange(t *testing.T) {
+	src := `[<e.ename> OF EACH e IN [EACH x IN employees: x.estatus = professor]:
+	          SOME p IN [EACH q IN papers: q.pyear = 1977] (p.penr = e.enr)]`
+	sel, err := ParseSelection(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sel.Free[0].Range.Extended() || sel.Free[0].Range.FilterVar != "x" {
+		t.Errorf("free extended range = %v", sel.Free[0].Range)
+	}
+	q := sel.Pred.(*calculus.Quant)
+	if !q.Range.Extended() || q.Range.Rel != "papers" {
+		t.Errorf("quantifier range = %v", q.Range)
+	}
+}
+
+func TestParseStatements(t *testing.T) {
+	src := figure1DDL + `
+employees :+ [<20, 'Highman', technician>];
+employees :+ [<21, 'Jones', professor>, <22, 'Wu', student>];
+employees :- [<20>];
+enames := [<e.ename> OF EACH e IN employees: e.estatus = professor];
+`
+	prog, err := Parse(src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stmts []Stmt
+	for _, item := range prog.Items {
+		if s, ok := item.(Stmt); ok {
+			stmts = append(stmts, s)
+		}
+	}
+	if len(stmts) != 4 {
+		t.Fatalf("parsed %d statements, want 4", len(stmts))
+	}
+	if stmts[0].Op != OpInsert || len(stmts[0].Tuples) != 1 {
+		t.Errorf("stmt 0 = %+v", stmts[0])
+	}
+	if len(stmts[1].Tuples) != 2 {
+		t.Errorf("stmt 1 tuples = %d", len(stmts[1].Tuples))
+	}
+	if stmts[2].Op != OpDelete || len(stmts[2].Tuples[0]) != 1 {
+		t.Errorf("stmt 2 = %+v", stmts[2])
+	}
+	if stmts[3].Op != OpAssign || stmts[3].Sel == nil || stmts[3].Target != "enames" {
+		t.Errorf("stmt 3 = %+v", stmts[3])
+	}
+}
+
+func TestResolveTuple(t *testing.T) {
+	st, _ := schema.EnumType("statustype", "student", "technician", "assistant", "professor")
+	sch := schema.MustRelSchema("employees", []schema.Column{
+		{Name: "enr", Type: schema.IntType("", 1, 99)},
+		{Name: "ename", Type: schema.StringType("", 10)},
+		{Name: "estatus", Type: st},
+	}, []string{"enr"})
+
+	tup, err := ResolveTuple([]Literal{
+		{Kind: value.KindInt, I: 20},
+		{Kind: value.KindString, S: "Highman"},
+		{Label: "technician"},
+	}, sch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tup[0].AsInt() != 20 || tup[2].EnumOrd() != 1 {
+		t.Errorf("resolved tuple = %v", tup)
+	}
+	// Errors: arity, bad label, label for non-enum, subrange violation.
+	if _, err := ResolveTuple([]Literal{{Kind: value.KindInt, I: 1}}, sch); err == nil {
+		t.Errorf("short tuple accepted")
+	}
+	if _, err := ResolveTuple([]Literal{
+		{Kind: value.KindInt, I: 20}, {Kind: value.KindString, S: "x"}, {Label: "janitor"},
+	}, sch); err == nil {
+		t.Errorf("unknown label accepted")
+	}
+	if _, err := ResolveTuple([]Literal{
+		{Kind: value.KindInt, I: 20}, {Label: "professor"}, {Label: "professor"},
+	}, sch); err == nil {
+		t.Errorf("label for string column accepted")
+	}
+	if _, err := ResolveTuple([]Literal{
+		{Kind: value.KindInt, I: 500}, {Kind: value.KindString, S: "x"}, {Label: "student"},
+	}, sch); err == nil {
+		t.Errorf("subrange violation accepted")
+	}
+
+	key, err := KeyTuple([]Literal{{Kind: value.KindInt, I: 20}}, sch)
+	if err != nil || key[0].AsInt() != 20 {
+		t.Errorf("KeyTuple = %v, %v", key, err)
+	}
+	if _, err := KeyTuple([]Literal{{Kind: value.KindInt, I: 1}, {Kind: value.KindInt, I: 2}}, sch); err == nil {
+		t.Errorf("oversized key accepted")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"unterminated string", `x := [<e.a> OF EACH e IN r: e.b = 'oops];`},
+		{"missing bracket", `[<e.a> OF EACH e IN r: e.b = 1`},
+		{"reserved word as name", `[<each.a> OF EACH each IN r: TRUE]`},
+		{"bad operator", `[<e.a> OF EACH e IN r: e.a == 1]`},
+		{"empty subrange", `TYPE t = 9..1;`},
+		{"unknown named type", `VAR r : RELATION <a> OF RECORD a : ghost END;`},
+		{"delete with selection", `r :- [<e.a> OF EACH e IN r: TRUE];`},
+		{"assign tuple list", `r := [<1, 2>];`},
+		{"missing relop", `[<e.a> OF EACH e IN r: e.a 1]`},
+		{"stray character", `[<e.a> OF EACH e IN r: e.a = 1] $`},
+	}
+	for _, c := range cases {
+		if _, err := Parse(c.src, nil); err == nil {
+			if _, err := ParseSelection(c.src); err == nil {
+				t.Errorf("%s: accepted", c.name)
+			}
+		}
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	src := `
+(* the sample database *)
+TYPE t = 1..9; { a subrange }
+VAR r : RELATION <a> OF RECORD a : t END;
+r :+ [<3>]; (* insert *)
+`
+	prog, err := Parse(src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Items) != 3 {
+		t.Errorf("parsed %d items, want 3", len(prog.Items))
+	}
+}
+
+func TestParseWithCatalogFallback(t *testing.T) {
+	cat := schema.NewCatalog()
+	cat.DefineType(schema.IntType("oldtype", 0, 5))
+	src := `VAR r : RELATION <a> OF RECORD a : oldtype END;`
+	prog, err := Parse(src, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd := prog.Items[0].(RelDecl)
+	if rd.Schema.Cols[0].Type.Name != "oldtype" {
+		t.Errorf("fallback type not used")
+	}
+}
+
+func TestParseRefType(t *testing.T) {
+	// Figure 2 style auxiliary structure declarations.
+	src := `VAR sl_prof : RELATION <eref> OF RECORD eref : @employees END;`
+	prog, err := Parse(src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd := prog.Items[0].(RelDecl)
+	if rd.Schema.Cols[0].Type.Kind != schema.TRef || rd.Schema.Cols[0].Type.RefRel != "employees" {
+		t.Errorf("ref type = %v", rd.Schema.Cols[0].Type)
+	}
+}
+
+func TestOperatorPrecedence(t *testing.T) {
+	sel, err := ParseSelection(`[<e.a> OF EACH e IN r: e.a = 1 OR e.a = 2 AND e.b = 3]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	or, ok := sel.Pred.(*calculus.Or)
+	if !ok || len(or.Fs) != 2 {
+		t.Fatalf("top level = %T %s", sel.Pred, sel.Pred)
+	}
+	if _, ok := or.Fs[1].(*calculus.And); !ok {
+		t.Errorf("AND does not bind tighter than OR: %s", sel.Pred)
+	}
+	// NOT binds tighter than AND.
+	sel, err = ParseSelection(`[<e.a> OF EACH e IN r: NOT e.a = 1 AND e.b = 2]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	and, ok := sel.Pred.(*calculus.And)
+	if !ok {
+		t.Fatalf("top level = %T", sel.Pred)
+	}
+	if _, ok := and.Fs[0].(*calculus.Not); !ok {
+		t.Errorf("NOT does not bind tighter than AND: %s", sel.Pred)
+	}
+}

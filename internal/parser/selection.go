@@ -1,0 +1,279 @@
+package parser
+
+import (
+	"pascalr/internal/calculus"
+	"pascalr/internal/value"
+)
+
+// Selection grammar, following the paper's concrete syntax:
+//
+//	selection  = "[" "<" field {"," field} ">" OF decl {"," decl} [":" wff] "]" .
+//	decl       = EACH name IN range .
+//	range      = name | "[" EACH name IN name ":" wff "]" .
+//	wff        = conj {OR conj} .
+//	conj       = unary {AND unary} .
+//	unary      = NOT unary | quant | "(" wff ")" | TRUE | FALSE | atom .
+//	quant      = (SOME|ALL) name IN range "(" wff ")" .
+//	atom       = operand relop operand .
+//	operand    = name "." name | name | integer | string .
+//	relop      = "=" | "<>" | "<" | "<=" | ">" | ">=" .
+//
+// Bare identifiers in operand position are enumeration labels, resolved
+// later by calculus.Check against the comparison's other side.
+
+func (p *parser) parseSelection() (*calculus.Selection, error) {
+	if err := p.expectSym("["); err != nil {
+		return nil, err
+	}
+	if err := p.expectSym("<"); err != nil {
+		return nil, err
+	}
+	sel := &calculus.Selection{}
+	for {
+		v, err := p.expectName()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSym("."); err != nil {
+			return nil, err
+		}
+		col, err := p.expectName()
+		if err != nil {
+			return nil, err
+		}
+		sel.Proj = append(sel.Proj, calculus.Field{Var: v, Col: col})
+		if p.peekSym(",") {
+			p.next()
+			continue
+		}
+		break
+	}
+	if err := p.expectSym(">"); err != nil {
+		return nil, err
+	}
+	if err := p.expectIdentKw("of"); err != nil {
+		return nil, err
+	}
+	for {
+		if err := p.expectIdentKw("each"); err != nil {
+			return nil, err
+		}
+		v, err := p.expectName()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectIdentKw("in"); err != nil {
+			return nil, err
+		}
+		rng, err := p.parseRange()
+		if err != nil {
+			return nil, err
+		}
+		sel.Free = append(sel.Free, calculus.Decl{Var: v, Range: rng})
+		if p.peekSym(",") {
+			p.next()
+			continue
+		}
+		break
+	}
+	if p.peekSym(":") {
+		p.next()
+		pred, err := p.parseWff()
+		if err != nil {
+			return nil, err
+		}
+		sel.Pred = pred
+	}
+	if err := p.expectSym("]"); err != nil {
+		return nil, err
+	}
+	return sel, nil
+}
+
+// parseRange parses a bare relation name or an extended range
+// [EACH v IN rel: wff].
+func (p *parser) parseRange() (*calculus.RangeExpr, error) {
+	if !p.peekSym("[") {
+		rel, err := p.expectName()
+		if err != nil {
+			return nil, err
+		}
+		return &calculus.RangeExpr{Rel: rel}, nil
+	}
+	p.next()
+	if err := p.expectIdentKw("each"); err != nil {
+		return nil, err
+	}
+	v, err := p.expectName()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectIdentKw("in"); err != nil {
+		return nil, err
+	}
+	rel, err := p.expectName()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectSym(":"); err != nil {
+		return nil, err
+	}
+	filter, err := p.parseWff()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectSym("]"); err != nil {
+		return nil, err
+	}
+	return &calculus.RangeExpr{Rel: rel, FilterVar: v, Filter: filter}, nil
+}
+
+func (p *parser) parseWff() (calculus.Formula, error) {
+	left, err := p.parseConj()
+	if err != nil {
+		return nil, err
+	}
+	fs := []calculus.Formula{left}
+	for p.peekIdent("or") {
+		p.next()
+		right, err := p.parseConj()
+		if err != nil {
+			return nil, err
+		}
+		fs = append(fs, right)
+	}
+	if len(fs) == 1 {
+		return fs[0], nil
+	}
+	return &calculus.Or{Fs: fs}, nil
+}
+
+func (p *parser) parseConj() (calculus.Formula, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	fs := []calculus.Formula{left}
+	for p.peekIdent("and") {
+		p.next()
+		right, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		fs = append(fs, right)
+	}
+	if len(fs) == 1 {
+		return fs[0], nil
+	}
+	return &calculus.And{Fs: fs}, nil
+}
+
+func (p *parser) parseUnary() (calculus.Formula, error) {
+	switch {
+	case p.peekIdent("not"):
+		p.next()
+		sub, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &calculus.Not{F: sub}, nil
+	case p.peekIdent("some"), p.peekIdent("all"):
+		all := p.cur().text == "all"
+		p.next()
+		v, err := p.expectName()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectIdentKw("in"); err != nil {
+			return nil, err
+		}
+		rng, err := p.parseRange()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSym("("); err != nil {
+			return nil, err
+		}
+		body, err := p.parseWff()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSym(")"); err != nil {
+			return nil, err
+		}
+		return &calculus.Quant{All: all, Var: v, Range: rng, Body: body}, nil
+	case p.peekSym("("):
+		p.next()
+		sub, err := p.parseWff()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSym(")"); err != nil {
+			return nil, err
+		}
+		return sub, nil
+	case p.peekIdent("true"):
+		p.next()
+		return &calculus.Lit{Val: true}, nil
+	case p.peekIdent("false"):
+		p.next()
+		return &calculus.Lit{Val: false}, nil
+	default:
+		return p.parseAtom()
+	}
+}
+
+func (p *parser) parseAtom() (calculus.Formula, error) {
+	l, err := p.parseOperand()
+	if err != nil {
+		return nil, err
+	}
+	t := p.cur()
+	op, ok := value.CmpOp(0), false
+	if t.kind == tokSym {
+		op, ok = value.ParseOp(t.text)
+	}
+	if !ok {
+		return nil, p.errf("expected comparison operator, found %q", t.text)
+	}
+	p.next()
+	r, err := p.parseOperand()
+	if err != nil {
+		return nil, err
+	}
+	return &calculus.Cmp{L: l, Op: op, R: r}, nil
+}
+
+func (p *parser) parseOperand() (calculus.Operand, error) {
+	t := p.cur()
+	switch {
+	case t.kind == tokInt:
+		p.next()
+		return calculus.Const{Val: value.Int(t.ival)}, nil
+	case p.peekSym("-"):
+		n, err := p.parseSignedInt()
+		if err != nil {
+			return nil, err
+		}
+		return calculus.Const{Val: value.Int(n)}, nil
+	case t.kind == tokString:
+		p.next()
+		return calculus.Const{Val: value.String_(t.text)}, nil
+	case t.kind == tokIdent && !keywords[t.text]:
+		p.next()
+		if p.peekSym(".") {
+			p.next()
+			col, err := p.expectName()
+			if err != nil {
+				return nil, err
+			}
+			return calculus.Field{Var: t.text, Col: col}, nil
+		}
+		return calculus.Label{Name: t.text}, nil
+	case p.peekIdent("true"), p.peekIdent("false"):
+		p.next()
+		return calculus.Const{Val: value.Bool(t.text == "true")}, nil
+	default:
+		return nil, p.errf("expected operand, found %q", t.text)
+	}
+}

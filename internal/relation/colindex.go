@@ -1,0 +1,187 @@
+package relation
+
+import (
+	"fmt"
+	"sort"
+
+	"pascalr/internal/stats"
+	"pascalr/internal/value"
+)
+
+// ColIndex is a permanent index on one component of a relation,
+// maintained under insert, delete, and assign. The paper's collection
+// phase builds partial indexes on the fly but notes that "the first
+// step can be omitted, if permanent indexes exist" (section 3.2), and
+// names integration with permanent access paths as ongoing research
+// (section 5); ColIndex is that access path.
+type ColIndex struct {
+	rel    *Relation
+	col    string
+	colIdx int
+
+	eq      map[string][]value.Value // encoded value -> refs
+	vals    []value.Value            // distinct values, sorted lazily
+	sorted  bool
+	entries int
+
+	st *stats.Counters
+}
+
+// CreateIndex declares a permanent index on the named component and
+// backfills it from the current contents. Creating the same index twice
+// is an error.
+func (r *Relation) CreateIndex(col string) (*ColIndex, error) {
+	ci, ok := r.sch.ColIndex(col)
+	if !ok {
+		return nil, fmt.Errorf("relation %s: no component %s", r.sch.Name, col)
+	}
+	if _, dup := r.colIndexes[col]; dup {
+		return nil, fmt.Errorf("relation %s: index on %s already exists", r.sch.Name, col)
+	}
+	ix := &ColIndex{rel: r, col: col, colIdx: ci, eq: make(map[string][]value.Value), st: r.st}
+	for si := range r.slots {
+		if r.slots[si].live {
+			ix.add(r.slots[si].tuple[ci], r.refOf(si))
+		}
+	}
+	if r.colIndexes == nil {
+		r.colIndexes = make(map[string]*ColIndex)
+	}
+	r.colIndexes[col] = ix
+	return ix, nil
+}
+
+// Index returns the permanent index on the named component, if any.
+func (r *Relation) Index(col string) (*ColIndex, bool) {
+	ix, ok := r.colIndexes[col]
+	return ix, ok
+}
+
+// Indexes returns the indexed component names, sorted.
+func (r *Relation) Indexes() []string {
+	out := make([]string, 0, len(r.colIndexes))
+	for col := range r.colIndexes {
+		out = append(out, col)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Col returns the indexed component name.
+func (ix *ColIndex) Col() string { return ix.col }
+
+// Len returns the number of indexed entries.
+func (ix *ColIndex) Len() int { return ix.entries }
+
+func (ix *ColIndex) add(v, ref value.Value) {
+	k := value.EncodeKey([]value.Value{v})
+	refs := ix.eq[k]
+	if len(refs) == 0 {
+		ix.vals = append(ix.vals, v)
+		ix.sorted = false
+	}
+	ix.eq[k] = append(refs, ref)
+	ix.entries++
+}
+
+func (ix *ColIndex) remove(v, ref value.Value) {
+	k := value.EncodeKey([]value.Value{v})
+	refs := ix.eq[k]
+	for i, r := range refs {
+		if value.Equal(r, ref) {
+			refs = append(refs[:i], refs[i+1:]...)
+			break
+		}
+	}
+	if len(refs) == 0 {
+		delete(ix.eq, k)
+		for i, val := range ix.vals {
+			if value.Equal(val, v) {
+				ix.vals = append(ix.vals[:i], ix.vals[i+1:]...)
+				break
+			}
+		}
+	} else {
+		ix.eq[k] = refs
+	}
+	ix.entries--
+}
+
+func (ix *ColIndex) reset() {
+	ix.eq = make(map[string][]value.Value)
+	ix.vals = nil
+	ix.sorted = true
+	ix.entries = 0
+}
+
+func (ix *ColIndex) ensureSorted() {
+	if ix.sorted {
+		return
+	}
+	sort.SliceStable(ix.vals, func(i, j int) bool {
+		return value.MustCompare(ix.vals[i], ix.vals[j]) < 0
+	})
+	ix.sorted = true
+}
+
+// ProbeEq returns the references whose indexed component equals v.
+// Callers must not modify the returned slice.
+func (ix *ColIndex) ProbeEq(v value.Value) []value.Value {
+	ix.st.CountProbes(1)
+	return ix.eq[value.EncodeKey([]value.Value{v})]
+}
+
+// Probe calls fn with every reference whose indexed value iv satisfies
+// "pv op iv" — the same contract as the collection phase's transient
+// indexes.
+func (ix *ColIndex) Probe(op value.CmpOp, pv value.Value, fn func(ref value.Value)) {
+	ix.st.CountProbes(1)
+	switch op {
+	case value.OpEq:
+		for _, ref := range ix.eq[value.EncodeKey([]value.Value{pv})] {
+			fn(ref)
+		}
+	case value.OpNe:
+		for _, v := range ix.vals {
+			ix.st.CountComparisons(1)
+			if !value.Equal(v, pv) {
+				for _, ref := range ix.eq[value.EncodeKey([]value.Value{v})] {
+					fn(ref)
+				}
+			}
+		}
+	default:
+		ix.ensureSorted()
+		n := len(ix.vals)
+		var lo, hi int
+		switch op {
+		case value.OpLt:
+			lo = sort.Search(n, func(i int) bool { return value.MustCompare(ix.vals[i], pv) > 0 })
+			hi = n
+		case value.OpLe:
+			lo = sort.Search(n, func(i int) bool { return value.MustCompare(ix.vals[i], pv) >= 0 })
+			hi = n
+		case value.OpGt:
+			lo = 0
+			hi = sort.Search(n, func(i int) bool { return value.MustCompare(ix.vals[i], pv) >= 0 })
+		case value.OpGe:
+			lo = 0
+			hi = sort.Search(n, func(i int) bool { return value.MustCompare(ix.vals[i], pv) > 0 })
+		}
+		for i := lo; i < hi; i++ {
+			for _, ref := range ix.eq[value.EncodeKey([]value.Value{ix.vals[i]})] {
+				fn(ref)
+			}
+		}
+	}
+}
+
+// Entries iterates all (value, ref) pairs in unspecified order; used by
+// deferred index-index joins.
+func (ix *ColIndex) Entries(fn func(v, ref value.Value)) {
+	for _, v := range ix.vals {
+		for _, ref := range ix.eq[value.EncodeKey([]value.Value{v})] {
+			fn(v, ref)
+		}
+	}
+}

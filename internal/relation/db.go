@@ -1,0 +1,97 @@
+package relation
+
+import (
+	"fmt"
+
+	"pascalr/internal/schema"
+	"pascalr/internal/stats"
+	"pascalr/internal/value"
+)
+
+// DB bundles a catalog with the relation variables it declares. It is
+// the database instance the query processor runs against.
+type DB struct {
+	cat    *schema.Catalog
+	rels   map[string]*Relation
+	byID   []*Relation
+	nextID int
+	st     *stats.Counters
+}
+
+// NewDB returns an empty database with a fresh catalog.
+func NewDB() *DB {
+	return &DB{cat: schema.NewCatalog(), rels: make(map[string]*Relation)}
+}
+
+// Catalog returns the database's catalog.
+func (d *DB) Catalog() *schema.Catalog { return d.cat }
+
+// Create declares a relation variable for the given schema and registers
+// it in the catalog.
+func (d *DB) Create(sch *schema.RelSchema) (*Relation, error) {
+	if err := d.cat.DefineRelation(sch); err != nil {
+		return nil, err
+	}
+	r := New(sch, d.nextID)
+	r.SetStats(d.st)
+	d.nextID++
+	d.rels[sch.Name] = r
+	d.byID = append(d.byID, r)
+	return r, nil
+}
+
+// MustCreate is Create that panics on error, for tests and generators.
+func (d *DB) MustCreate(sch *schema.RelSchema) *Relation {
+	r, err := d.Create(sch)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Relation returns the named relation variable.
+func (d *DB) Relation(name string) (*Relation, bool) {
+	r, ok := d.rels[name]
+	return r, ok
+}
+
+// MustRelation returns the named relation variable or panics.
+func (d *DB) MustRelation(name string) *Relation {
+	r, ok := d.rels[name]
+	if !ok {
+		panic(fmt.Sprintf("relation: no relation %s", name))
+	}
+	return r
+}
+
+// ByID returns the relation with the given catalog id, as stored in
+// reference values.
+func (d *DB) ByID(id int) (*Relation, bool) {
+	if id < 0 || id >= len(d.byID) {
+		return nil, false
+	}
+	return d.byID[id], true
+}
+
+// Deref dereferences a reference value against whichever relation owns
+// it.
+func (d *DB) Deref(ref value.Value) ([]value.Value, error) {
+	id, _, _ := ref.AsRef()
+	r, ok := d.ByID(id)
+	if !ok {
+		return nil, fmt.Errorf("relation: reference to unknown relation id %d", id)
+	}
+	return r.Deref(ref)
+}
+
+// SetStats attaches a counter sink to the database and all its
+// relations.
+func (d *DB) SetStats(st *stats.Counters) {
+	d.st = st
+	for _, r := range d.rels {
+		r.SetStats(st)
+	}
+}
+
+// Stats returns the currently attached counter sink (may be nil).
+func (d *DB) Stats() *stats.Counters { return d.st }

@@ -1,0 +1,253 @@
+// Package relation implements PASCAL/R's in-memory relation variables:
+// slotted tuple storage with stable element references (the paper's
+// @rel[keyval] construct), a primary key index that backs selected
+// variables rel[keyval], and the insert (:+), delete (:-), and assign
+// (:=) operators.
+//
+// References are the central intermediate currency of the query
+// processor: the collection phase compresses records to references, and
+// the combination phase manipulates only reference relations. A
+// reference stays valid until its element is deleted; dereferencing a
+// stale reference is detected through per-slot generation counters.
+package relation
+
+import (
+	"fmt"
+
+	"pascalr/internal/schema"
+	"pascalr/internal/stats"
+	"pascalr/internal/value"
+)
+
+type slot struct {
+	tuple []value.Value
+	gen   int
+	live  bool
+}
+
+// Relation is one relation variable: a set of identically structured
+// elements with a declared key.
+type Relation struct {
+	sch   *schema.RelSchema
+	id    int // catalog id used inside reference values
+	slots []slot
+	byKey map[string]int // encoded key -> slot index
+	live  int
+
+	colIndexes map[string]*ColIndex // permanent indexes, by component
+
+	st *stats.Counters
+}
+
+// New creates an empty relation with the given schema and catalog id.
+// The id must fit in 16 bits (it is packed into reference values).
+func New(sch *schema.RelSchema, id int) *Relation {
+	if id < 0 || id > 0xFFFF {
+		panic(fmt.Sprintf("relation: id %d out of range", id))
+	}
+	return &Relation{sch: sch, id: id, byKey: make(map[string]int)}
+}
+
+// Schema returns the relation's schema.
+func (r *Relation) Schema() *schema.RelSchema { return r.sch }
+
+// Name returns the relation's name.
+func (r *Relation) Name() string { return r.sch.Name }
+
+// ID returns the catalog id used in reference values.
+func (r *Relation) ID() int { return r.id }
+
+// Len returns the number of elements.
+func (r *Relation) Len() int { return r.live }
+
+// SetStats attaches a counter sink; scans, reads, and permanent-index
+// probes are recorded there. A nil sink disables counting.
+func (r *Relation) SetStats(st *stats.Counters) {
+	r.st = st
+	for _, ix := range r.colIndexes {
+		ix.st = st
+	}
+}
+
+// Insert implements the :+ operator for a single element. Inserting an
+// element whose key is present with identical non-key components is a
+// no-op (relations are sets); a key collision with different components
+// is an error. It returns the element's reference.
+func (r *Relation) Insert(tuple []value.Value) (value.Value, error) {
+	if err := r.sch.CheckTuple(tuple); err != nil {
+		return value.Value{}, err
+	}
+	k := r.sch.EncodeKeyOf(tuple)
+	if si, ok := r.byKey[k]; ok {
+		if tuplesEqual(r.slots[si].tuple, tuple) {
+			return r.refOf(si), nil
+		}
+		return value.Value{}, fmt.Errorf("relation %s: key %s already present with different components",
+			r.sch.Name, formatKey(r.sch, tuple))
+	}
+	cp := make([]value.Value, len(tuple))
+	copy(cp, tuple)
+	r.slots = append(r.slots, slot{tuple: cp, live: true})
+	si := len(r.slots) - 1
+	r.byKey[k] = si
+	r.live++
+	ref := r.refOf(si)
+	for _, ix := range r.colIndexes {
+		ix.add(cp[ix.colIdx], ref)
+	}
+	return ref, nil
+}
+
+// Delete implements the :- operator for a single element identified by
+// its key values. It reports whether an element was removed. References
+// to the removed element become stale.
+func (r *Relation) Delete(keyVals []value.Value) bool {
+	si, ok := r.byKey[value.EncodeKey(keyVals)]
+	if !ok {
+		return false
+	}
+	for _, ix := range r.colIndexes {
+		ix.remove(r.slots[si].tuple[ix.colIdx], r.refOf(si))
+	}
+	r.slots[si].live = false
+	r.slots[si].gen++
+	r.slots[si].tuple = nil
+	delete(r.byKey, value.EncodeKey(keyVals))
+	r.live--
+	return true
+}
+
+// Assign implements the := operator: it replaces the relation's contents
+// with the given tuples. All previously issued references become stale.
+func (r *Relation) Assign(tuples [][]value.Value) error {
+	for _, t := range tuples {
+		if err := r.sch.CheckTuple(t); err != nil {
+			return err
+		}
+	}
+	// Invalidate everything currently stored.
+	for i := range r.slots {
+		if r.slots[i].live {
+			r.slots[i].live = false
+			r.slots[i].gen++
+			r.slots[i].tuple = nil
+		}
+	}
+	r.byKey = make(map[string]int, len(tuples))
+	r.live = 0
+	for _, ix := range r.colIndexes {
+		ix.reset()
+	}
+	for _, t := range tuples {
+		if _, err := r.Insert(t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Lookup implements the selected variable rel[keyval]: it returns the
+// reference of the element with the given key values.
+func (r *Relation) Lookup(keyVals []value.Value) (value.Value, bool) {
+	si, ok := r.byKey[value.EncodeKey(keyVals)]
+	if !ok {
+		return value.Value{}, false
+	}
+	return r.refOf(si), true
+}
+
+// Get returns the tuple with the given key values.
+func (r *Relation) Get(keyVals []value.Value) ([]value.Value, bool) {
+	si, ok := r.byKey[value.EncodeKey(keyVals)]
+	if !ok {
+		return nil, false
+	}
+	return r.slots[si].tuple, true
+}
+
+// Deref regains the element from a reference (the postfix @ operator).
+// It errors on references to other relations, stale references, and
+// malformed slots.
+func (r *Relation) Deref(ref value.Value) ([]value.Value, error) {
+	rel, si, gen := ref.AsRef()
+	if rel != r.id {
+		return nil, fmt.Errorf("relation %s: reference belongs to relation id %d", r.sch.Name, rel)
+	}
+	if si < 0 || si >= len(r.slots) {
+		return nil, fmt.Errorf("relation %s: reference slot %d out of range", r.sch.Name, si)
+	}
+	s := &r.slots[si]
+	if !s.live || s.gen != gen {
+		return nil, fmt.Errorf("relation %s: stale reference to slot %d", r.sch.Name, si)
+	}
+	return s.tuple, nil
+}
+
+// Scan iterates the elements in insertion order, calling fn with each
+// element's reference and tuple until fn returns false. One Scan call is
+// counted as one base-relation scan. The tuple passed to fn must not be
+// modified or retained.
+func (r *Relation) Scan(fn func(ref value.Value, tuple []value.Value) bool) {
+	r.st.CountScan(r.sch.Name)
+	for si := range r.slots {
+		if !r.slots[si].live {
+			continue
+		}
+		r.st.CountTuples(1)
+		if !fn(r.refOf(si), r.slots[si].tuple) {
+			return
+		}
+	}
+}
+
+// Refs returns the references of all elements in insertion order,
+// counting one scan.
+func (r *Relation) Refs() []value.Value {
+	out := make([]value.Value, 0, r.live)
+	r.Scan(func(ref value.Value, _ []value.Value) bool {
+		out = append(out, ref)
+		return true
+	})
+	return out
+}
+
+// Tuples returns copies of all tuples in insertion order, counting one
+// scan.
+func (r *Relation) Tuples() [][]value.Value {
+	out := make([][]value.Value, 0, r.live)
+	r.Scan(func(_ value.Value, tuple []value.Value) bool {
+		cp := make([]value.Value, len(tuple))
+		copy(cp, tuple)
+		out = append(out, cp)
+		return true
+	})
+	return out
+}
+
+func (r *Relation) refOf(si int) value.Value {
+	return value.Ref(r.id, si, r.slots[si].gen)
+}
+
+func tuplesEqual(a, b []value.Value) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !value.Equal(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func formatKey(sch *schema.RelSchema, tuple []value.Value) string {
+	key := sch.KeyOf(tuple)
+	s := "<"
+	for i, v := range key {
+		if i > 0 {
+			s += ","
+		}
+		s += v.String()
+	}
+	return s + ">"
+}

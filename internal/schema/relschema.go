@@ -1,0 +1,212 @@
+package schema
+
+import (
+	"fmt"
+	"strings"
+
+	"pascalr/internal/value"
+)
+
+// Column is one component of a relation schema.
+type Column struct {
+	Name string
+	Type *Type
+}
+
+// RelSchema describes a RELATION declaration: its component list and the
+// key component identifiers (the list in angular brackets of Figure 1).
+type RelSchema struct {
+	Name string
+	Cols []Column
+	Key  []string
+
+	colIdx map[string]int
+	keyIdx []int
+}
+
+// NewRelSchema builds and validates a relation schema. Component names
+// must be unique, and every key component must exist.
+func NewRelSchema(name string, cols []Column, key []string) (*RelSchema, error) {
+	if name == "" {
+		return nil, fmt.Errorf("schema: relation must be named")
+	}
+	if len(cols) == 0 {
+		return nil, fmt.Errorf("schema: relation %s has no components", name)
+	}
+	if len(key) == 0 {
+		return nil, fmt.Errorf("schema: relation %s has no key", name)
+	}
+	s := &RelSchema{Name: name, Cols: cols, Key: key, colIdx: make(map[string]int, len(cols))}
+	for i, c := range cols {
+		if c.Name == "" {
+			return nil, fmt.Errorf("schema: relation %s: component %d unnamed", name, i)
+		}
+		if c.Type == nil {
+			return nil, fmt.Errorf("schema: relation %s: component %s has no type", name, c.Name)
+		}
+		if _, dup := s.colIdx[c.Name]; dup {
+			return nil, fmt.Errorf("schema: relation %s: duplicate component %s", name, c.Name)
+		}
+		s.colIdx[c.Name] = i
+	}
+	seen := make(map[string]bool, len(key))
+	for _, k := range key {
+		i, ok := s.colIdx[k]
+		if !ok {
+			return nil, fmt.Errorf("schema: relation %s: key component %s not declared", name, k)
+		}
+		if seen[k] {
+			return nil, fmt.Errorf("schema: relation %s: key component %s repeated", name, k)
+		}
+		seen[k] = true
+		s.keyIdx = append(s.keyIdx, i)
+	}
+	return s, nil
+}
+
+// MustRelSchema is NewRelSchema that panics on error; for tests and
+// built-in declarations.
+func MustRelSchema(name string, cols []Column, key []string) *RelSchema {
+	s, err := NewRelSchema(name, cols, key)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// ColIndex returns the position of the named component.
+func (s *RelSchema) ColIndex(name string) (int, bool) {
+	i, ok := s.colIdx[name]
+	return i, ok
+}
+
+// Col returns the named column.
+func (s *RelSchema) Col(name string) (Column, bool) {
+	if i, ok := s.colIdx[name]; ok {
+		return s.Cols[i], true
+	}
+	return Column{}, false
+}
+
+// KeyIndexes returns the column positions of the key components, in key
+// declaration order.
+func (s *RelSchema) KeyIndexes() []int { return s.keyIdx }
+
+// KeyOf extracts the key values of a tuple, in key declaration order.
+func (s *RelSchema) KeyOf(tuple []value.Value) []value.Value {
+	key := make([]value.Value, len(s.keyIdx))
+	for i, ci := range s.keyIdx {
+		key[i] = tuple[ci]
+	}
+	return key
+}
+
+// EncodeKeyOf returns the map-key encoding of a tuple's key values.
+func (s *RelSchema) EncodeKeyOf(tuple []value.Value) string {
+	dst := make([]byte, 0, 16*len(s.keyIdx))
+	for _, ci := range s.keyIdx {
+		dst = value.AppendKey(dst, tuple[ci])
+	}
+	return string(dst)
+}
+
+// CheckTuple verifies arity and per-component types.
+func (s *RelSchema) CheckTuple(tuple []value.Value) error {
+	if len(tuple) != len(s.Cols) {
+		return fmt.Errorf("schema: relation %s: tuple has %d components, want %d",
+			s.Name, len(tuple), len(s.Cols))
+	}
+	for i, v := range tuple {
+		if err := s.Cols[i].Type.Check(v); err != nil {
+			return fmt.Errorf("schema: relation %s component %s: %w", s.Name, s.Cols[i].Name, err)
+		}
+	}
+	return nil
+}
+
+// String renders the declaration in PASCAL/R style.
+func (s *RelSchema) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s : RELATION <%s> OF RECORD ", s.Name, strings.Join(s.Key, ","))
+	for i, c := range s.Cols {
+		if i > 0 {
+			b.WriteString("; ")
+		}
+		fmt.Fprintf(&b, "%s : %s", c.Name, c.Type)
+	}
+	b.WriteString(" END")
+	return b.String()
+}
+
+// Catalog holds a database's type and relation declarations.
+type Catalog struct {
+	types    map[string]*Type
+	rels     map[string]*RelSchema
+	relOrder []string
+}
+
+// NewCatalog returns an empty catalog.
+func NewCatalog() *Catalog {
+	return &Catalog{types: make(map[string]*Type), rels: make(map[string]*RelSchema)}
+}
+
+// DefineType registers a named type.
+func (c *Catalog) DefineType(t *Type) error {
+	if t.Name == "" {
+		return fmt.Errorf("schema: cannot register anonymous type")
+	}
+	if _, dup := c.types[t.Name]; dup {
+		return fmt.Errorf("schema: type %s already declared", t.Name)
+	}
+	c.types[t.Name] = t
+	return nil
+}
+
+// Type looks up a named type.
+func (c *Catalog) Type(name string) (*Type, bool) {
+	t, ok := c.types[name]
+	return t, ok
+}
+
+// DefineRelation registers a relation schema.
+func (c *Catalog) DefineRelation(s *RelSchema) error {
+	if _, dup := c.rels[s.Name]; dup {
+		return fmt.Errorf("schema: relation %s already declared", s.Name)
+	}
+	c.rels[s.Name] = s
+	c.relOrder = append(c.relOrder, s.Name)
+	return nil
+}
+
+// Relation looks up a relation schema.
+func (c *Catalog) Relation(name string) (*RelSchema, bool) {
+	s, ok := c.rels[name]
+	return s, ok
+}
+
+// Relations returns the relation names in declaration order.
+func (c *Catalog) Relations() []string {
+	out := make([]string, len(c.relOrder))
+	copy(out, c.relOrder)
+	return out
+}
+
+// EnumValue resolves a bare label against all declared enumeration types.
+// It returns the value and its type if the label belongs to exactly one
+// enumeration.
+func (c *Catalog) EnumValue(label string) (value.Value, *Type, bool) {
+	var found *Type
+	var ord int
+	for _, t := range c.types {
+		if o, ok := t.Ordinal(label); ok {
+			if found != nil {
+				return value.Value{}, nil, false // ambiguous
+			}
+			found, ord = t, o
+		}
+	}
+	if found == nil {
+		return value.Value{}, nil, false
+	}
+	return value.Enum(found.Name, ord), found, true
+}

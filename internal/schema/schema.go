@@ -1,0 +1,198 @@
+// Package schema models PASCAL/R data definitions: component types
+// (subranges, packed character arrays, booleans, enumerations, and
+// reference types), relation schemas with their key component lists, and
+// the catalog that holds a database's declarations.
+//
+// It corresponds to the TYPE/VAR sections of Figure 1 of the paper: a
+// RELATION holds a variable number of identically structured elements,
+// the elements are defined by component types and denoted by component
+// identifiers, and the component list in angular brackets denotes the
+// key.
+package schema
+
+import (
+	"fmt"
+	"strings"
+
+	"pascalr/internal/value"
+)
+
+// TypeKind classifies component types.
+type TypeKind uint8
+
+// The component type kinds.
+const (
+	TInt    TypeKind = iota // integer subrange, e.g. 1..99
+	TString                 // packed array of char, e.g. PACKED ARRAY [1..10] OF char
+	TBool                   // BOOLEAN
+	TEnum                   // enumeration, e.g. (student, technician, assistant, professor)
+	TRef                    // reference to elements of a relation, e.g. @employees
+)
+
+// Type describes one component type. Types are immutable after creation.
+type Type struct {
+	Kind   TypeKind
+	Name   string   // declared type name; may be "" for anonymous types
+	Lo, Hi int64    // TInt: inclusive subrange bounds
+	MaxLen int      // TString: fixed length of the packed array
+	Labels []string // TEnum: labels in declaration order
+	RefRel string   // TRef: name of the referenced relation
+
+	labelOrd map[string]int
+}
+
+// IntType returns an integer subrange type lo..hi.
+func IntType(name string, lo, hi int64) *Type {
+	return &Type{Kind: TInt, Name: name, Lo: lo, Hi: hi}
+}
+
+// StringType returns a packed-character-array type of the given length.
+func StringType(name string, maxLen int) *Type {
+	return &Type{Kind: TString, Name: name, MaxLen: maxLen}
+}
+
+// BoolType returns the boolean type.
+func BoolType() *Type { return &Type{Kind: TBool, Name: "boolean"} }
+
+// EnumType returns an enumeration type with the given labels. Enumeration
+// values are ordered by declaration ordinal, as in PASCAL.
+func EnumType(name string, labels ...string) (*Type, error) {
+	if name == "" {
+		return nil, fmt.Errorf("schema: enumeration type must be named")
+	}
+	if len(labels) == 0 {
+		return nil, fmt.Errorf("schema: enumeration type %s has no labels", name)
+	}
+	ord := make(map[string]int, len(labels))
+	for i, l := range labels {
+		if _, dup := ord[l]; dup {
+			return nil, fmt.Errorf("schema: enumeration type %s: duplicate label %s", name, l)
+		}
+		ord[l] = i
+	}
+	return &Type{Kind: TEnum, Name: name, Labels: labels, labelOrd: ord}, nil
+}
+
+// RefType returns a reference type @rel, as used by the auxiliary
+// structures of Figure 2 (single lists, indirect joins, indexes).
+func RefType(rel string) *Type {
+	return &Type{Kind: TRef, Name: "@" + rel, RefRel: rel}
+}
+
+// Ordinal returns the declaration ordinal of an enumeration label.
+func (t *Type) Ordinal(label string) (int, bool) {
+	if t.Kind != TEnum {
+		return 0, false
+	}
+	ord, ok := t.labelOrd[label]
+	return ord, ok
+}
+
+// Label returns the enumeration label for an ordinal, or "" if out of
+// range.
+func (t *Type) Label(ord int) string {
+	if t.Kind != TEnum || ord < 0 || ord >= len(t.Labels) {
+		return ""
+	}
+	return t.Labels[ord]
+}
+
+// ValueKind returns the value.Kind that values of this type carry.
+func (t *Type) ValueKind() value.Kind {
+	switch t.Kind {
+	case TInt:
+		return value.KindInt
+	case TString:
+		return value.KindString
+	case TBool:
+		return value.KindBool
+	case TEnum:
+		return value.KindEnum
+	case TRef:
+		return value.KindRef
+	default:
+		return value.KindInvalid
+	}
+}
+
+// Check reports whether v is a legal value of this type, including
+// subrange bounds, string length, enum type identity and ordinal range.
+func (t *Type) Check(v value.Value) error {
+	if v.Kind() != t.ValueKind() {
+		return fmt.Errorf("schema: %s value supplied for component type %s", v.Kind(), t)
+	}
+	switch t.Kind {
+	case TInt:
+		if n := v.AsInt(); n < t.Lo || n > t.Hi {
+			return fmt.Errorf("schema: %d outside subrange %d..%d", n, t.Lo, t.Hi)
+		}
+	case TString:
+		if s := v.AsString(); len(s) > t.MaxLen {
+			return fmt.Errorf("schema: string %q longer than packed array length %d", s, t.MaxLen)
+		}
+	case TEnum:
+		if v.EnumType() != t.Name {
+			return fmt.Errorf("schema: enum value of type %s supplied for type %s", v.EnumType(), t.Name)
+		}
+		if ord := v.EnumOrd(); ord < 0 || ord >= len(t.Labels) {
+			return fmt.Errorf("schema: enum ordinal %d out of range for type %s", ord, t.Name)
+		}
+	}
+	return nil
+}
+
+// Comparable reports whether values of types t and u may appear on the
+// two sides of a join term. The calculus is many-sorted: integers compare
+// with integers (regardless of subrange), strings with strings, booleans
+// with booleans, enums only within the same enumeration type, and
+// references only to the same relation.
+func (t *Type) Comparable(u *Type) bool {
+	if t.Kind != u.Kind {
+		return false
+	}
+	switch t.Kind {
+	case TEnum:
+		return t.Name == u.Name
+	case TRef:
+		return t.RefRel == u.RefRel
+	default:
+		return true
+	}
+}
+
+// Format renders a value of this type for display, using enum labels.
+func (t *Type) Format(v value.Value) string {
+	if t.Kind == TEnum && v.Kind() == value.KindEnum {
+		if l := t.Label(v.EnumOrd()); l != "" {
+			return l
+		}
+	}
+	return v.String()
+}
+
+// String renders the type declaration.
+func (t *Type) String() string {
+	switch t.Kind {
+	case TInt:
+		if t.Name != "" {
+			return t.Name
+		}
+		return fmt.Sprintf("%d..%d", t.Lo, t.Hi)
+	case TString:
+		if t.Name != "" {
+			return t.Name
+		}
+		return fmt.Sprintf("PACKED ARRAY [1..%d] OF char", t.MaxLen)
+	case TBool:
+		return "BOOLEAN"
+	case TEnum:
+		if t.Name != "" {
+			return t.Name
+		}
+		return "(" + strings.Join(t.Labels, ", ") + ")"
+	case TRef:
+		return "@" + t.RefRel
+	default:
+		return "<invalid type>"
+	}
+}

@@ -1,0 +1,253 @@
+package schema
+
+import (
+	"strings"
+	"testing"
+
+	"pascalr/internal/value"
+)
+
+func TestEnumType(t *testing.T) {
+	st, err := EnumType("statustype", "student", "technician", "assistant", "professor")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ord, ok := st.Ordinal("professor")
+	if !ok || ord != 3 {
+		t.Errorf("Ordinal(professor) = %d,%v", ord, ok)
+	}
+	if _, ok := st.Ordinal("janitor"); ok {
+		t.Errorf("unknown label resolved")
+	}
+	if st.Label(1) != "technician" || st.Label(9) != "" {
+		t.Errorf("Label lookup wrong")
+	}
+}
+
+func TestEnumTypeErrors(t *testing.T) {
+	if _, err := EnumType("", "a"); err == nil {
+		t.Errorf("anonymous enum accepted")
+	}
+	if _, err := EnumType("t"); err == nil {
+		t.Errorf("empty enum accepted")
+	}
+	if _, err := EnumType("t", "a", "a"); err == nil {
+		t.Errorf("duplicate label accepted")
+	}
+}
+
+func TestTypeCheck(t *testing.T) {
+	yr := IntType("yeartype", 1900, 1999)
+	if err := yr.Check(value.Int(1977)); err != nil {
+		t.Errorf("1977 rejected: %v", err)
+	}
+	if err := yr.Check(value.Int(2001)); err == nil {
+		t.Errorf("2001 accepted in 1900..1999")
+	}
+	if err := yr.Check(value.String_("x")); err == nil {
+		t.Errorf("string accepted for int type")
+	}
+
+	nm := StringType("nametype", 10)
+	if err := nm.Check(value.String_("Highman")); err != nil {
+		t.Errorf("short string rejected: %v", err)
+	}
+	if err := nm.Check(value.String_("longer than ten")); err == nil {
+		t.Errorf("overlong string accepted")
+	}
+
+	st, _ := EnumType("statustype", "student", "professor")
+	if err := st.Check(value.Enum("statustype", 1)); err != nil {
+		t.Errorf("valid enum rejected: %v", err)
+	}
+	if err := st.Check(value.Enum("othertype", 1)); err == nil {
+		t.Errorf("wrong enum type accepted")
+	}
+	if err := st.Check(value.Enum("statustype", 5)); err == nil {
+		t.Errorf("out-of-range ordinal accepted")
+	}
+
+	if err := BoolType().Check(value.Bool(true)); err != nil {
+		t.Errorf("bool rejected: %v", err)
+	}
+
+	rt := RefType("employees")
+	if err := rt.Check(value.Ref(1, 2, 0)); err != nil {
+		t.Errorf("ref rejected: %v", err)
+	}
+}
+
+func TestComparable(t *testing.T) {
+	a := IntType("", 1, 99)
+	b := IntType("", 1900, 1999)
+	if !a.Comparable(b) {
+		t.Errorf("int subranges not comparable")
+	}
+	e1, _ := EnumType("t1", "x")
+	e2, _ := EnumType("t2", "x")
+	if e1.Comparable(e2) {
+		t.Errorf("different enum types comparable")
+	}
+	if !e1.Comparable(e1) {
+		t.Errorf("same enum type not comparable")
+	}
+	if a.Comparable(StringType("", 4)) {
+		t.Errorf("int comparable with string")
+	}
+	r1, r2 := RefType("a"), RefType("b")
+	if r1.Comparable(r2) || !r1.Comparable(RefType("a")) {
+		t.Errorf("ref comparability wrong")
+	}
+}
+
+func TestFormatUsesEnumLabels(t *testing.T) {
+	st, _ := EnumType("statustype", "student", "professor")
+	if got := st.Format(value.Enum("statustype", 1)); got != "professor" {
+		t.Errorf("Format = %q", got)
+	}
+	if got := IntType("", 0, 9).Format(value.Int(7)); got != "7" {
+		t.Errorf("int Format = %q", got)
+	}
+}
+
+func employeesSchema(t *testing.T) *RelSchema {
+	t.Helper()
+	st, _ := EnumType("statustype", "student", "technician", "assistant", "professor")
+	s, err := NewRelSchema("employees", []Column{
+		{Name: "enr", Type: IntType("enumbertype", 1, 99)},
+		{Name: "ename", Type: StringType("nametype", 10)},
+		{Name: "estatus", Type: st},
+	}, []string{"enr"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestRelSchema(t *testing.T) {
+	s := employeesSchema(t)
+	if i, ok := s.ColIndex("ename"); !ok || i != 1 {
+		t.Errorf("ColIndex(ename) = %d,%v", i, ok)
+	}
+	if _, ok := s.ColIndex("nope"); ok {
+		t.Errorf("unknown column resolved")
+	}
+	if got := s.KeyIndexes(); len(got) != 1 || got[0] != 0 {
+		t.Errorf("KeyIndexes = %v", got)
+	}
+	tup := []value.Value{value.Int(20), value.String_("Highman"), value.Enum("statustype", 1)}
+	if err := s.CheckTuple(tup); err != nil {
+		t.Errorf("valid tuple rejected: %v", err)
+	}
+	if err := s.CheckTuple(tup[:2]); err == nil {
+		t.Errorf("short tuple accepted")
+	}
+	bad := []value.Value{value.Int(200), value.String_("x"), value.Enum("statustype", 1)}
+	if err := s.CheckTuple(bad); err == nil {
+		t.Errorf("out-of-subrange key accepted")
+	}
+	key := s.KeyOf(tup)
+	if len(key) != 1 || key[0].AsInt() != 20 {
+		t.Errorf("KeyOf = %v", key)
+	}
+	if s.EncodeKeyOf(tup) != value.EncodeKey(key) {
+		t.Errorf("EncodeKeyOf mismatch")
+	}
+}
+
+func TestRelSchemaCompositeKey(t *testing.T) {
+	it := IntType("", 1, 99)
+	s, err := NewRelSchema("timetable", []Column{
+		{Name: "tenr", Type: it},
+		{Name: "tcnr", Type: it},
+		{Name: "tday", Type: it},
+		{Name: "ttime", Type: it},
+	}, []string{"tenr", "tcnr", "tday"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.KeyIndexes(); len(got) != 3 {
+		t.Errorf("KeyIndexes = %v", got)
+	}
+	tup := []value.Value{value.Int(1), value.Int(2), value.Int(3), value.Int(4)}
+	if k := s.KeyOf(tup); k[2].AsInt() != 3 {
+		t.Errorf("composite KeyOf = %v", k)
+	}
+}
+
+func TestRelSchemaErrors(t *testing.T) {
+	it := IntType("", 0, 9)
+	col := []Column{{Name: "a", Type: it}}
+	cases := []struct {
+		name string
+		cols []Column
+		key  []string
+	}{
+		{"", col, []string{"a"}},
+		{"r", nil, []string{"a"}},
+		{"r", col, nil},
+		{"r", []Column{{Name: "", Type: it}}, []string{"a"}},
+		{"r", []Column{{Name: "a", Type: nil}}, []string{"a"}},
+		{"r", []Column{{Name: "a", Type: it}, {Name: "a", Type: it}}, []string{"a"}},
+		{"r", col, []string{"b"}},
+		{"r", col, []string{"a", "a"}},
+	}
+	for i, c := range cases {
+		if _, err := NewRelSchema(c.name, c.cols, c.key); err == nil {
+			t.Errorf("case %d: invalid schema accepted", i)
+		}
+	}
+}
+
+func TestCatalog(t *testing.T) {
+	c := NewCatalog()
+	st, _ := EnumType("statustype", "student", "professor")
+	if err := c.DefineType(st); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.DefineType(st); err == nil {
+		t.Errorf("duplicate type accepted")
+	}
+	if err := c.DefineType(IntType("", 0, 1)); err == nil {
+		t.Errorf("anonymous type registered")
+	}
+	got, ok := c.Type("statustype")
+	if !ok || got != st {
+		t.Errorf("Type lookup failed")
+	}
+
+	s := employeesSchema(t)
+	if err := c.DefineRelation(s); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.DefineRelation(s); err == nil {
+		t.Errorf("duplicate relation accepted")
+	}
+	if rels := c.Relations(); len(rels) != 1 || rels[0] != "employees" {
+		t.Errorf("Relations = %v", rels)
+	}
+
+	v, typ, ok := c.EnumValue("professor")
+	if !ok || typ.Name != "statustype" || v.EnumOrd() != 1 {
+		t.Errorf("EnumValue(professor) = %v %v %v", v, typ, ok)
+	}
+	if _, _, ok := c.EnumValue("nothing"); ok {
+		t.Errorf("unknown label resolved")
+	}
+	// Ambiguity: same label in two types.
+	dup, _ := EnumType("other", "professor")
+	_ = c.DefineType(dup)
+	if _, _, ok := c.EnumValue("professor"); ok {
+		t.Errorf("ambiguous label resolved")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	s := employeesSchema(t)
+	str := s.String()
+	for _, want := range []string{"employees", "<enr>", "ename", "statustype"} {
+		if !strings.Contains(str, want) {
+			t.Errorf("String() = %q missing %q", str, want)
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNilSafety(t *testing.T) {
+	var c *Counters
+	c.CountScan("r")
+	c.CountTuples(3)
+	c.CountProbes(1)
+	c.CountComparisons(2)
+	c.CountRefTuples(5, 5)
+	c.RecordStructure("x", "index", 1)
+	c.Merge(&Counters{})
+	c.Reset()
+	if c.TotalScans() != 0 {
+		t.Errorf("nil TotalScans != 0")
+	}
+	if c.String() != "stats: disabled" {
+		t.Errorf("nil String = %q", c.String())
+	}
+}
+
+func TestCounting(t *testing.T) {
+	c := &Counters{}
+	c.CountScan("employees")
+	c.CountScan("employees")
+	c.CountScan("papers")
+	c.CountTuples(10)
+	c.CountProbes(4)
+	c.CountComparisons(7)
+	c.CountRefTuples(3, 3)
+	c.CountRefTuples(2, 9)
+	c.RecordStructure("sl_prof", "single-list", 3)
+
+	if c.TotalScans() != 3 {
+		t.Errorf("TotalScans = %d", c.TotalScans())
+	}
+	if c.BaseScans["employees"] != 2 || c.BaseScans["papers"] != 1 {
+		t.Errorf("BaseScans = %v", c.BaseScans)
+	}
+	if c.TuplesRead != 10 || c.IndexProbes != 4 || c.Comparisons != 7 {
+		t.Errorf("counters wrong: %+v", c)
+	}
+	if c.RefTuples != 5 || c.PeakRefTuples != 9 {
+		t.Errorf("ref tuples = %d peak %d", c.RefTuples, c.PeakRefTuples)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := &Counters{}
+	a.CountScan("x")
+	a.CountRefTuples(1, 10)
+	b := &Counters{}
+	b.CountScan("x")
+	b.CountScan("y")
+	b.CountTuples(5)
+	b.CountRefTuples(2, 4)
+	b.RecordStructure("s", "index", 2)
+
+	a.Merge(b)
+	if a.BaseScans["x"] != 2 || a.BaseScans["y"] != 1 {
+		t.Errorf("merged scans = %v", a.BaseScans)
+	}
+	if a.TuplesRead != 5 || a.RefTuples != 3 || a.PeakRefTuples != 10 {
+		t.Errorf("merged counters wrong: %+v", a)
+	}
+	if len(a.Structures) != 1 {
+		t.Errorf("merged structures = %v", a.Structures)
+	}
+	a.Merge(nil) // must not panic
+}
+
+func TestReset(t *testing.T) {
+	c := &Counters{}
+	c.CountScan("x")
+	c.Reset()
+	if c.TotalScans() != 0 || c.TuplesRead != 0 {
+		t.Errorf("Reset left data: %+v", c)
+	}
+}
+
+func TestStringReport(t *testing.T) {
+	c := &Counters{}
+	c.CountScan("courses")
+	c.CountTuples(15)
+	c.RecordStructure("ij_c_t", "indirect-join", 12)
+	s := c.String()
+	for _, want := range []string{"courses=1", "tuples read: 15", "ij_c_t", "indirect-join"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("report %q missing %q", s, want)
+		}
+	}
+}

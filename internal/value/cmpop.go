@@ -1,0 +1,132 @@
+package value
+
+import "fmt"
+
+// CmpOp is one of the six comparison operators of the PASCAL/R calculus:
+// =, <>, <, <=, >, >=. Join terms (the atomic formulae of selection
+// expressions) are built from exactly these operators.
+type CmpOp uint8
+
+// The comparison operators, in the paper's order.
+const (
+	OpEq CmpOp = iota // =
+	OpNe              // <>
+	OpLt              // <
+	OpLe              // <=
+	OpGt              // >
+	OpGe              // >=
+)
+
+// AllOps lists every comparison operator; useful for exhaustive tests and
+// for the random query generator.
+var AllOps = []CmpOp{OpEq, OpNe, OpLt, OpLe, OpGt, OpGe}
+
+// String returns the PASCAL/R spelling of the operator.
+func (op CmpOp) String() string {
+	switch op {
+	case OpEq:
+		return "="
+	case OpNe:
+		return "<>"
+	case OpLt:
+		return "<"
+	case OpLe:
+		return "<="
+	case OpGt:
+		return ">"
+	case OpGe:
+		return ">="
+	default:
+		return fmt.Sprintf("CmpOp(%d)", uint8(op))
+	}
+}
+
+// Negate returns the operator whose result is the logical negation:
+// NOT (a = b) is a <> b, NOT (a < b) is a >= b, and so on. Because every
+// domain is totally ordered this is exact, so negation normal form never
+// needs negated atoms.
+func (op CmpOp) Negate() CmpOp {
+	switch op {
+	case OpEq:
+		return OpNe
+	case OpNe:
+		return OpEq
+	case OpLt:
+		return OpGe
+	case OpLe:
+		return OpGt
+	case OpGt:
+		return OpLe
+	case OpGe:
+		return OpLt
+	default:
+		panic(fmt.Sprintf("value: negate of invalid operator %d", uint8(op)))
+	}
+}
+
+// Flip returns the operator for swapped operands: a < b iff b > a.
+func (op CmpOp) Flip() CmpOp {
+	switch op {
+	case OpLt:
+		return OpGt
+	case OpLe:
+		return OpGe
+	case OpGt:
+		return OpLt
+	case OpGe:
+		return OpLe
+	default: // = and <> are symmetric
+		return op
+	}
+}
+
+// Holds reports whether the operator is satisfied by a three-way
+// comparison result c (negative, zero, positive as in Compare).
+func (op CmpOp) Holds(c int) bool {
+	switch op {
+	case OpEq:
+		return c == 0
+	case OpNe:
+		return c != 0
+	case OpLt:
+		return c < 0
+	case OpLe:
+		return c <= 0
+	case OpGt:
+		return c > 0
+	case OpGe:
+		return c >= 0
+	default:
+		panic(fmt.Sprintf("value: Holds on invalid operator %d", uint8(op)))
+	}
+}
+
+// Apply evaluates "a op b" for two values of the same kind. It reports an
+// error exactly when Compare would.
+func (op CmpOp) Apply(a, b Value) (bool, error) {
+	c, err := Compare(a, b)
+	if err != nil {
+		return false, err
+	}
+	return op.Holds(c), nil
+}
+
+// ParseOp converts the PASCAL/R spelling of a comparison operator.
+func ParseOp(s string) (CmpOp, bool) {
+	switch s {
+	case "=":
+		return OpEq, true
+	case "<>":
+		return OpNe, true
+	case "<":
+		return OpLt, true
+	case "<=":
+		return OpLe, true
+	case ">":
+		return OpGt, true
+	case ">=":
+		return OpGe, true
+	default:
+		return 0, false
+	}
+}

@@ -1,0 +1,97 @@
+package value
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestOpStringsAndParse(t *testing.T) {
+	for _, op := range AllOps {
+		s := op.String()
+		back, ok := ParseOp(s)
+		if !ok || back != op {
+			t.Errorf("ParseOp(%q) = %v,%v, want %v", s, back, ok, op)
+		}
+	}
+	if _, ok := ParseOp("=="); ok {
+		t.Errorf("ParseOp accepted ==")
+	}
+}
+
+func TestNegateIsExactComplement(t *testing.T) {
+	f := func(a, b int64) bool {
+		for _, op := range AllOps {
+			r1, _ := op.Apply(Int(a), Int(b))
+			r2, _ := op.Negate().Apply(Int(a), Int(b))
+			if r1 == r2 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNegateInvolution(t *testing.T) {
+	for _, op := range AllOps {
+		if op.Negate().Negate() != op {
+			t.Errorf("%v: negate not an involution", op)
+		}
+	}
+}
+
+func TestFlipSwapsOperands(t *testing.T) {
+	f := func(a, b int64) bool {
+		for _, op := range AllOps {
+			r1, _ := op.Apply(Int(a), Int(b))
+			r2, _ := op.Flip().Apply(Int(b), Int(a))
+			if r1 != r2 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHoldsTruthTable(t *testing.T) {
+	cases := []struct {
+		op   CmpOp
+		neg  bool // holds for c = -1
+		zero bool // holds for c = 0
+		pos  bool // holds for c = +1
+	}{
+		{OpEq, false, true, false},
+		{OpNe, true, false, true},
+		{OpLt, true, false, false},
+		{OpLe, true, true, false},
+		{OpGt, false, false, true},
+		{OpGe, false, true, true},
+	}
+	for _, c := range cases {
+		if c.op.Holds(-1) != c.neg || c.op.Holds(0) != c.zero || c.op.Holds(1) != c.pos {
+			t.Errorf("%v truth table wrong", c.op)
+		}
+	}
+}
+
+func TestApplyError(t *testing.T) {
+	if _, err := OpEq.Apply(Int(1), String_("x")); err == nil {
+		t.Errorf("Apply across kinds did not error")
+	}
+}
+
+func TestApplyOnStrings(t *testing.T) {
+	ok, err := OpLe.Apply(String_("abc"), String_("abd"))
+	if err != nil || !ok {
+		t.Errorf("'abc' <= 'abd' = %v, %v", ok, err)
+	}
+	ok, err = OpGt.Apply(String_("b"), String_("ab"))
+	if err != nil || !ok {
+		t.Errorf("'b' > 'ab' = %v, %v", ok, err)
+	}
+}

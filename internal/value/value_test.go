@@ -1,0 +1,182 @@
+package value
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestConstructorsAndAccessors(t *testing.T) {
+	if got := Int(42).AsInt(); got != 42 {
+		t.Errorf("Int(42).AsInt() = %d", got)
+	}
+	if got := String_("abc").AsString(); got != "abc" {
+		t.Errorf("String_ round trip = %q", got)
+	}
+	if !Bool(true).AsBool() || Bool(false).AsBool() {
+		t.Errorf("Bool round trip failed")
+	}
+	e := Enum("statustype", 3)
+	if e.EnumOrd() != 3 || e.EnumType() != "statustype" {
+		t.Errorf("Enum round trip = %d %q", e.EnumOrd(), e.EnumType())
+	}
+	r := Ref(7, 123456, 9)
+	rel, slot, gen := r.AsRef()
+	if rel != 7 || slot != 123456 || gen != 9 {
+		t.Errorf("Ref round trip = (%d,%d,%d)", rel, slot, gen)
+	}
+}
+
+func TestRefPackingBounds(t *testing.T) {
+	r := Ref(0xFFFF, 0x7FFFFFFF, 0xFFFF)
+	rel, slot, gen := r.AsRef()
+	if rel != 0xFFFF || slot != 0x7FFFFFFF || gen != 0xFFFF {
+		t.Errorf("max ref round trip = (%d,%d,%d)", rel, slot, gen)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Errorf("out-of-range ref did not panic")
+		}
+	}()
+	Ref(0x10000, 0, 0)
+}
+
+func TestRefRoundTripProperty(t *testing.T) {
+	f := func(rel uint16, slot uint32, gen uint16) bool {
+		s := int(slot & 0x7FFFFFFF)
+		r := Ref(int(rel), s, int(gen))
+		gr, gs, gg := r.AsRef()
+		return gr == int(rel) && gs == s && gg == int(gen)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("AsInt on string did not panic")
+		}
+	}()
+	String_("x").AsInt()
+}
+
+func TestCompare(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want int
+	}{
+		{Int(1), Int(2), -1},
+		{Int(2), Int(2), 0},
+		{Int(3), Int(2), 1},
+		{String_("a"), String_("b"), -1},
+		{String_("b"), String_("b"), 0},
+		{Bool(false), Bool(true), -1},
+		{Bool(true), Bool(true), 0},
+		{Enum("t", 0), Enum("t", 1), -1},
+		{Enum("t", 2), Enum("t", 2), 0},
+	}
+	for _, c := range cases {
+		got, err := Compare(c.a, c.b)
+		if err != nil {
+			t.Errorf("Compare(%v,%v): %v", c.a, c.b, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("Compare(%v,%v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestCompareErrors(t *testing.T) {
+	if _, err := Compare(Int(1), String_("a")); err == nil {
+		t.Errorf("cross-kind compare did not error")
+	}
+	if _, err := Compare(Enum("a", 0), Enum("b", 0)); err == nil {
+		t.Errorf("cross-enum-type compare did not error")
+	}
+	if _, err := Compare(Value{}, Value{}); err == nil {
+		t.Errorf("invalid-value compare did not error")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	if !Equal(Int(5), Int(5)) {
+		t.Errorf("Equal(5,5) = false")
+	}
+	if Equal(Int(5), Int(6)) || Equal(Int(5), String_("5")) {
+		t.Errorf("unequal values reported equal")
+	}
+	if Equal(Enum("a", 0), Enum("b", 0)) {
+		t.Errorf("different enum types reported equal")
+	}
+}
+
+func TestCompareAntisymmetryProperty(t *testing.T) {
+	f := func(a, b int64) bool {
+		x, y := Int(a), Int(b)
+		c1 := MustCompare(x, y)
+		c2 := MustCompare(y, x)
+		return c1 == -c2 && (c1 == 0) == (a == b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEncodeKeyInjective(t *testing.T) {
+	// Distinct values must have distinct encodings, including tricky
+	// string/int boundary cases.
+	vals := []Value{
+		Int(0), Int(1), Int(-1), Int(1 << 40),
+		String_(""), String_("a"), String_("ab"), String_("a\x00b"),
+		Bool(false), Bool(true),
+		Enum("t", 0), Enum("t", 1), Enum("u", 0),
+		Ref(1, 2, 3), Ref(1, 2, 4),
+	}
+	seen := make(map[string]Value)
+	for _, v := range vals {
+		k := EncodeKey([]Value{v})
+		if prev, dup := seen[k]; dup {
+			t.Errorf("EncodeKey collision between %v and %v", prev, v)
+		}
+		seen[k] = v
+	}
+	// Tuple encodings must not collide across boundaries.
+	a := EncodeKey([]Value{String_("ab"), String_("c")})
+	b := EncodeKey([]Value{String_("a"), String_("bc")})
+	if a == b {
+		t.Errorf("tuple key encoding is ambiguous across string boundaries")
+	}
+}
+
+func TestEncodeKeyEqualityProperty(t *testing.T) {
+	f := func(a, b int64, s1, s2 string) bool {
+		va := []Value{Int(a), String_(s1)}
+		vb := []Value{Int(b), String_(s2)}
+		same := a == b && s1 == s2
+		return (EncodeKey(va) == EncodeKey(vb)) == same
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValueString(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{Int(7), "7"},
+		{String_("hi"), "'hi'"},
+		{Bool(true), "TRUE"},
+		{Bool(false), "FALSE"},
+		{Enum("status", 2), "status#2"},
+		{Value{}, "<invalid>"},
+	}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}

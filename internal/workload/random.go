@@ -1,0 +1,181 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"pascalr/internal/calculus"
+	"pascalr/internal/relation"
+	"pascalr/internal/schema"
+	"pascalr/internal/value"
+)
+
+// Random databases and selections for differential testing: the
+// phase-structured engine under every strategy subset must agree with
+// the tuple-substitution baseline on whatever these generate, including
+// empty relations (the Lemma 1 cases).
+
+// RandomDB builds a database with three small integer relations r0, r1,
+// r2, each with key column a and payload column b over the tiny domain
+// 0..7 (to force plenty of join matches). Relations may be empty.
+func RandomDB(rng *rand.Rand, maxRows int) *relation.DB {
+	db := relation.NewDB()
+	dom := schema.IntType("dom", 0, 7)
+	keyt := schema.IntType("keyt", 0, 1023)
+	for i := 0; i < 3; i++ {
+		name := fmt.Sprintf("r%d", i)
+		rs := schema.MustRelSchema(name, []schema.Column{
+			{Name: "a", Type: keyt},
+			{Name: "b", Type: dom},
+		}, []string{"a"})
+		rel := db.MustCreate(rs)
+		n := rng.Intn(maxRows + 1)
+		for j := 0; j < n; j++ {
+			// Key drawn from a small space so sizes vary; collisions are
+			// silently tolerated (identical tuple => no-op, different =>
+			// retry with payload change is unnecessary, just skip).
+			k := int64(rng.Intn(4 * (maxRows + 1)))
+			tup := []value.Value{value.Int(k), value.Int(int64(rng.Intn(8)))}
+			if _, err := rel.Insert(tup); err != nil {
+				continue
+			}
+		}
+	}
+	return db
+}
+
+// randSelCfg bounds the shape of random selections.
+type randSelCfg struct {
+	maxQuants int
+	maxDepth  int
+}
+
+// RandomSelection generates a type-correct selection over a RandomDB:
+// one or two free variables, up to three quantifiers placed anywhere in
+// the formula tree, random comparison operators, and occasional extended
+// ranges. All variable names are unique, as calculus.Check requires.
+func RandomSelection(rng *rand.Rand) *calculus.Selection {
+	g := &randGen{rng: rng, cfg: randSelCfg{maxQuants: 3, maxDepth: 4}}
+	nFree := 1 + rng.Intn(2)
+	sel := &calculus.Selection{}
+	var visible []string
+	for i := 0; i < nFree; i++ {
+		v := fmt.Sprintf("f%d", i)
+		sel.Free = append(sel.Free, calculus.Decl{Var: v, Range: g.randRange(v)})
+		visible = append(visible, v)
+		sel.Proj = append(sel.Proj, calculus.Field{Var: v, Col: "a"})
+	}
+	sel.Pred = g.formula(visible, g.cfg.maxDepth)
+	return sel
+}
+
+type randGen struct {
+	rng     *rand.Rand
+	cfg     randSelCfg
+	nQuants int
+	nVars   int
+}
+
+func (g *randGen) randRel() string {
+	return fmt.Sprintf("r%d", g.rng.Intn(3))
+}
+
+// randRange builds a range over a random relation; one in four ranges is
+// extended with a monadic filter over the given variable name.
+func (g *randGen) randRange(v string) *calculus.RangeExpr {
+	r := &calculus.RangeExpr{Rel: g.randRel()}
+	if g.rng.Intn(4) == 0 {
+		r.FilterVar = v
+		r.Filter = &calculus.Cmp{
+			L:  calculus.Field{Var: v, Col: g.randCol()},
+			Op: g.randOp(),
+			R:  calculus.Const{Val: value.Int(int64(g.rng.Intn(8)))},
+		}
+	}
+	return r
+}
+
+func (g *randGen) randCol() string {
+	if g.rng.Intn(2) == 0 {
+		return "a"
+	}
+	return "b"
+}
+
+func (g *randGen) randOp() value.CmpOp {
+	return value.AllOps[g.rng.Intn(len(value.AllOps))]
+}
+
+func (g *randGen) formula(visible []string, depth int) calculus.Formula {
+	if depth == 0 {
+		return g.atom(visible)
+	}
+	switch g.rng.Intn(10) {
+	case 0, 1, 2:
+		return g.atom(visible)
+	case 3, 4:
+		n := 2 + g.rng.Intn(2)
+		fs := make([]calculus.Formula, n)
+		for i := range fs {
+			fs[i] = g.formula(visible, depth-1)
+		}
+		return &calculus.And{Fs: fs}
+	case 5, 6:
+		n := 2 + g.rng.Intn(2)
+		fs := make([]calculus.Formula, n)
+		for i := range fs {
+			fs[i] = g.formula(visible, depth-1)
+		}
+		return &calculus.Or{Fs: fs}
+	case 7:
+		return &calculus.Not{F: g.formula(visible, depth-1)}
+	default:
+		if g.nQuants >= g.cfg.maxQuants {
+			return g.atom(visible)
+		}
+		g.nQuants++
+		g.nVars++
+		v := fmt.Sprintf("q%d", g.nVars)
+		inner := append(append([]string(nil), visible...), v)
+		return &calculus.Quant{
+			All:   g.rng.Intn(2) == 0,
+			Var:   v,
+			Range: g.randRange(v),
+			Body:  g.formula(inner, depth-1),
+		}
+	}
+}
+
+// atom builds a random comparison over the visible variables. Roughly a
+// third are monadic against a constant, a third compare two fields, and
+// the rest mix in constant-constant terms and same-variable field pairs.
+func (g *randGen) atom(visible []string) calculus.Formula {
+	v1 := visible[g.rng.Intn(len(visible))]
+	switch g.rng.Intn(6) {
+	case 0, 1:
+		return &calculus.Cmp{
+			L:  calculus.Field{Var: v1, Col: g.randCol()},
+			Op: g.randOp(),
+			R:  calculus.Const{Val: value.Int(int64(g.rng.Intn(8)))},
+		}
+	case 2, 3:
+		v2 := visible[g.rng.Intn(len(visible))]
+		return &calculus.Cmp{
+			L:  calculus.Field{Var: v1, Col: g.randCol()},
+			Op: g.randOp(),
+			R:  calculus.Field{Var: v2, Col: g.randCol()},
+		}
+	case 4:
+		return &calculus.Cmp{
+			L:  calculus.Field{Var: v1, Col: "a"},
+			Op: g.randOp(),
+			R:  calculus.Field{Var: v1, Col: "b"},
+		}
+	default:
+		return &calculus.Cmp{
+			L:  calculus.Const{Val: value.Int(int64(g.rng.Intn(8)))},
+			Op: g.randOp(),
+			R:  calculus.Const{Val: value.Int(int64(g.rng.Intn(8)))},
+		}
+	}
+}

@@ -1,0 +1,488 @@
+// Package pascalr is a Go reproduction of the PASCAL/R relational
+// database management system's query processor, as described in
+// Jarke & Schmidt, "Query Processing Strategies in the PASCAL/R
+// Relational Database Management System", Proc. ACM SIGMOD 1982.
+//
+// A Database holds PASCAL/R relation variables declared with the
+// paper's TYPE/VAR syntax and evaluates selections — first-order
+// predicate calculus queries with free (EACH), existential (SOME), and
+// universal (ALL) range-coupled variables — using the paper's
+// phase-structured algorithm (collection, combination, construction)
+// under any combination of its four optimization strategies:
+//
+//	S1  parallel evaluation of subexpressions (one scan per relation)
+//	S2  one-step evaluation of nested subexpressions
+//	S3  extended range expressions
+//	S4  quantifier evaluation in the collection phase (value lists)
+//
+// Quickstart:
+//
+//	db := pascalr.New()
+//	err := db.Exec(`
+//	    TYPE statustype = (student, technician, assistant, professor);
+//	    VAR employees : RELATION <enr> OF
+//	        RECORD enr : 1..99; ename : PACKED ARRAY [1..10] OF char;
+//	               estatus : statustype END;
+//	    employees :+ [<1, 'Ada', professor>, <2, 'Bob', student>];
+//	`)
+//	res, err := db.Query(`[<e.ename> OF EACH e IN employees:
+//	                        e.estatus = professor]`)
+//	fmt.Println(res)
+package pascalr
+
+import (
+	"fmt"
+	"strings"
+
+	"pascalr/internal/baseline"
+	"pascalr/internal/calculus"
+	"pascalr/internal/engine"
+	"pascalr/internal/parser"
+	"pascalr/internal/relation"
+	"pascalr/internal/schema"
+	"pascalr/internal/stats"
+	"pascalr/internal/value"
+)
+
+// Strategy selects the paper's optimization strategies as a bit set.
+type Strategy uint8
+
+// The optimization strategies of section 4 of the paper.
+const (
+	S1 Strategy = Strategy(engine.S1) // one scan per relation
+	S2 Strategy = Strategy(engine.S2) // monadic terms restrict indirect joins
+	S3 Strategy = Strategy(engine.S3) // extended range expressions
+	S4 Strategy = Strategy(engine.S4) // collection-phase quantifier evaluation
+
+	// SCNF is the conjunctive-normal-form range extension the paper
+	// proposes as future work in section 4.3: ranges narrow by the OR of
+	// the per-conjunction monadic restrictions.
+	SCNF Strategy = Strategy(engine.SCNF)
+
+	// NoStrategies is the unoptimized standard algorithm (section 3.3).
+	NoStrategies Strategy = 0
+	// AllStrategies enables every optimization.
+	AllStrategies = S1 | S2 | S3 | S4
+)
+
+// String renders the strategy set, e.g. "S1+S3" or "S0".
+func (s Strategy) String() string { return engine.Strategy(s).String() }
+
+// ParseStrategy parses "s0", "all", or a combination like "s1+s3"
+// (case-insensitive, also accepts comma separators).
+func ParseStrategy(s string) (Strategy, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "s0", "none", "0", "":
+		return NoStrategies, nil
+	case "all":
+		return AllStrategies, nil
+	}
+	var out Strategy
+	for _, part := range strings.FieldsFunc(strings.ToLower(s), func(r rune) bool {
+		return r == '+' || r == ','
+	}) {
+		switch strings.TrimSpace(part) {
+		case "s1":
+			out |= S1
+		case "s2":
+			out |= S2
+		case "s3":
+			out |= S3
+		case "s4":
+			out |= S4
+		case "scnf", "cnf":
+			out |= SCNF
+		default:
+			return 0, fmt.Errorf("pascalr: unknown strategy %q", part)
+		}
+	}
+	return out, nil
+}
+
+// Database is a PASCAL/R database instance: a catalog of types and
+// relation variables plus their contents.
+type Database struct {
+	db         *relation.DB
+	st         *stats.Counters
+	strategies Strategy
+}
+
+// New returns an empty database with all optimization strategies
+// enabled by default.
+func New() *Database {
+	return &Database{db: relation.NewDB(), st: &stats.Counters{}, strategies: AllStrategies}
+}
+
+// Open creates a database and executes the given PASCAL/R script.
+func Open(script string) (*Database, error) {
+	d := New()
+	if err := d.Exec(script); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// SetStrategies changes the default strategy set used by Exec and Query.
+func (d *Database) SetStrategies(s Strategy) { d.strategies = s }
+
+// config carries per-call options.
+type config struct {
+	strategies   Strategy
+	useBaseline  bool
+	maxRefTuples int64
+}
+
+// Option customizes a single Query or Explain call.
+type Option func(*config)
+
+// WithStrategies overrides the database's default strategy set.
+func WithStrategies(s Strategy) Option {
+	return func(c *config) { c.strategies = s }
+}
+
+// WithBaseline evaluates by direct tuple substitution (nested loops over
+// the abstract syntax) instead of the phase-structured engine. Useful
+// for comparisons; the experiments use it as the paper's "evaluate
+// queries directly as given by the user" reference point.
+func WithBaseline() Option {
+	return func(c *config) { c.useBaseline = true }
+}
+
+// WithMaxRefTuples bounds the reference tuples the combination phase may
+// materialize; exceeding it aborts the query with an error.
+func WithMaxRefTuples(n int64) Option {
+	return func(c *config) { c.maxRefTuples = n }
+}
+
+// Exec parses and executes a PASCAL/R script: TYPE and VAR sections,
+// assignments (:=), inserts (:+), and deletes (:-).
+func (d *Database) Exec(src string) error {
+	prog, err := parser.Parse(src, d.db.Catalog())
+	if err != nil {
+		return err
+	}
+	for _, item := range prog.Items {
+		switch it := item.(type) {
+		case parser.TypeDecl:
+			if err := d.db.Catalog().DefineType(it.Type); err != nil {
+				return err
+			}
+		case parser.RelDecl:
+			if _, err := d.db.Create(it.Schema); err != nil {
+				return err
+			}
+		case parser.Stmt:
+			if err := d.execStmt(it); err != nil {
+				return fmt.Errorf("line %d: %w", it.Line, err)
+			}
+		}
+	}
+	return nil
+}
+
+// MustExec is Exec that panics on error; for tests and examples.
+func (d *Database) MustExec(src string) {
+	if err := d.Exec(src); err != nil {
+		panic(err)
+	}
+}
+
+func (d *Database) execStmt(st parser.Stmt) error {
+	switch st.Op {
+	case parser.OpAssign:
+		res, err := d.evalSelection(st.Sel, config{strategies: d.strategies})
+		if err != nil {
+			return err
+		}
+		return d.assign(st.Target, res)
+	case parser.OpInsert:
+		rel, ok := d.db.Relation(st.Target)
+		if !ok {
+			return fmt.Errorf("pascalr: unknown relation %s", st.Target)
+		}
+		if st.Sel != nil {
+			res, err := d.evalSelection(st.Sel, config{strategies: d.strategies})
+			if err != nil {
+				return err
+			}
+			for _, tup := range res.Tuples() {
+				if _, err := rel.Insert(tup); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		for _, lit := range st.Tuples {
+			tup, err := parser.ResolveTuple(lit, rel.Schema())
+			if err != nil {
+				return err
+			}
+			if _, err := rel.Insert(tup); err != nil {
+				return err
+			}
+		}
+		return nil
+	case parser.OpDelete:
+		rel, ok := d.db.Relation(st.Target)
+		if !ok {
+			return fmt.Errorf("pascalr: unknown relation %s", st.Target)
+		}
+		for _, lit := range st.Tuples {
+			key, err := parser.KeyTuple(lit, rel.Schema())
+			if err != nil {
+				return err
+			}
+			rel.Delete(key)
+		}
+		return nil
+	default:
+		return fmt.Errorf("pascalr: unknown statement operator")
+	}
+}
+
+// assign implements `target := selection-result`: the target relation is
+// created on first assignment and replaced on subsequent ones.
+func (d *Database) assign(target string, res *relation.Relation) error {
+	rel, ok := d.db.Relation(target)
+	if !ok {
+		cols := append([]schema.Column(nil), res.Schema().Cols...)
+		sch, err := schema.NewRelSchema(target, cols, res.Schema().Key)
+		if err != nil {
+			return err
+		}
+		rel, err = d.db.Create(sch)
+		if err != nil {
+			return err
+		}
+	} else {
+		if len(rel.Schema().Cols) != len(res.Schema().Cols) {
+			return fmt.Errorf("pascalr: cannot assign %d-component result to relation %s with %d components",
+				len(res.Schema().Cols), target, len(rel.Schema().Cols))
+		}
+		for i, c := range rel.Schema().Cols {
+			if !c.Type.Comparable(res.Schema().Cols[i].Type) {
+				return fmt.Errorf("pascalr: component %s of %s has incompatible type", c.Name, target)
+			}
+		}
+	}
+	return rel.Assign(res.Tuples())
+}
+
+// evalSelection checks and evaluates a parsed selection.
+func (d *Database) evalSelection(sel *calculus.Selection, c config) (*relation.Relation, error) {
+	checked, info, err := calculus.Check(sel, d.db.Catalog())
+	if err != nil {
+		return nil, err
+	}
+	if c.useBaseline {
+		prev := d.db.Stats()
+		d.db.SetStats(d.st)
+		defer d.db.SetStats(prev)
+		return baseline.Eval(checked, info, d.db)
+	}
+	eng := engine.New(d.db, d.st)
+	return eng.Eval(checked, info, engine.Options{
+		Strategies:   engine.Strategy(c.strategies),
+		MaxRefTuples: c.maxRefTuples,
+	})
+}
+
+// Query evaluates a selection expression and returns its result.
+func (d *Database) Query(src string, opts ...Option) (*Result, error) {
+	c := config{strategies: d.strategies}
+	for _, o := range opts {
+		o(&c)
+	}
+	sel, err := parser.ParseSelection(src)
+	if err != nil {
+		return nil, err
+	}
+	res, err := d.evalSelection(sel, c)
+	if err != nil {
+		return nil, err
+	}
+	return newResult(res), nil
+}
+
+// MustQuery is Query that panics on error; for tests and examples.
+func (d *Database) MustQuery(src string, opts ...Option) *Result {
+	r, err := d.Query(src, opts...)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Explain renders the logical transformations and the physical plan the
+// engine would use for a selection, without running its combination
+// phase.
+func (d *Database) Explain(src string, opts ...Option) (string, error) {
+	c := config{strategies: d.strategies}
+	for _, o := range opts {
+		o(&c)
+	}
+	sel, err := parser.ParseSelection(src)
+	if err != nil {
+		return "", err
+	}
+	checked, _, err := calculus.Check(sel, d.db.Catalog())
+	if err != nil {
+		return "", err
+	}
+	eng := engine.New(d.db, nil)
+	return eng.Explain(checked, engine.Options{Strategies: engine.Strategy(c.strategies)})
+}
+
+// CreateIndex declares a permanent index on one component of a
+// relation. The engine's collection phase then probes it instead of
+// building a transient index, and a scan that existed only to build
+// that index disappears — the paper's "the first step can be omitted,
+// if permanent indexes exist" (section 3.2).
+func (d *Database) CreateIndex(rel, col string) error {
+	r, ok := d.db.Relation(rel)
+	if !ok {
+		return fmt.Errorf("pascalr: unknown relation %s", rel)
+	}
+	_, err := r.CreateIndex(col)
+	return err
+}
+
+// Relations returns the declared relation names in declaration order.
+func (d *Database) Relations() []string { return d.db.Catalog().Relations() }
+
+// RelationLen returns the cardinality of a relation.
+func (d *Database) RelationLen(name string) (int, error) {
+	rel, ok := d.db.Relation(name)
+	if !ok {
+		return 0, fmt.Errorf("pascalr: unknown relation %s", name)
+	}
+	return rel.Len(), nil
+}
+
+// Dump returns the contents of a relation as a Result, in insertion
+// order.
+func (d *Database) Dump(name string) (*Result, error) {
+	rel, ok := d.db.Relation(name)
+	if !ok {
+		return nil, fmt.Errorf("pascalr: unknown relation %s", name)
+	}
+	return newResult(rel), nil
+}
+
+// Stats reports the cost counters accumulated since the last ResetStats:
+// base-relation scans, tuples read, index probes, comparisons, and
+// reference tuples materialized.
+type Stats struct {
+	TotalScans    int
+	ScansOf       map[string]int
+	TuplesRead    int64
+	IndexProbes   int64
+	Comparisons   int64
+	RefTuples     int64
+	PeakRefTuples int64
+}
+
+// Stats returns a snapshot of the accumulated counters.
+func (d *Database) Stats() Stats {
+	scans := make(map[string]int, len(d.st.BaseScans))
+	for k, v := range d.st.BaseScans {
+		scans[k] = v
+	}
+	return Stats{
+		TotalScans:    d.st.TotalScans(),
+		ScansOf:       scans,
+		TuplesRead:    d.st.TuplesRead,
+		IndexProbes:   d.st.IndexProbes,
+		Comparisons:   d.st.Comparisons,
+		RefTuples:     d.st.RefTuples,
+		PeakRefTuples: d.st.PeakRefTuples,
+	}
+}
+
+// ResetStats clears the accumulated counters.
+func (d *Database) ResetStats() { d.st.Reset() }
+
+// Result is a query result: a set of tuples with named components.
+type Result struct {
+	cols []string
+	typs []*schema.Type
+	rows [][]value.Value
+}
+
+func newResult(rel *relation.Relation) *Result {
+	sch := rel.Schema()
+	r := &Result{rows: rel.Tuples()}
+	for _, c := range sch.Cols {
+		r.cols = append(r.cols, c.Name)
+		r.typs = append(r.typs, c.Type)
+	}
+	return r
+}
+
+// Columns returns the component names.
+func (r *Result) Columns() []string { return append([]string(nil), r.cols...) }
+
+// Len returns the number of tuples.
+func (r *Result) Len() int { return len(r.rows) }
+
+// Rows converts the tuples to native Go values: int64 for integers,
+// string for character arrays and enumeration labels, bool for booleans.
+func (r *Result) Rows() [][]any {
+	out := make([][]any, len(r.rows))
+	for i, row := range r.rows {
+		conv := make([]any, len(row))
+		for j, v := range row {
+			switch v.Kind() {
+			case value.KindInt:
+				conv[j] = v.AsInt()
+			case value.KindString:
+				conv[j] = v.AsString()
+			case value.KindBool:
+				conv[j] = v.AsBool()
+			case value.KindEnum:
+				conv[j] = r.typs[j].Format(v)
+			default:
+				conv[j] = v.String()
+			}
+		}
+		out[i] = conv
+	}
+	return out
+}
+
+// String renders the result as an aligned text table.
+func (r *Result) String() string {
+	rows := r.Rows()
+	widths := make([]int, len(r.cols))
+	for i, c := range r.cols {
+		widths[i] = len(c)
+	}
+	cells := make([][]string, len(rows))
+	for i, row := range rows {
+		cells[i] = make([]string, len(row))
+		for j, v := range row {
+			s := fmt.Sprintf("%v", v)
+			cells[i][j] = s
+			if len(s) > widths[j] {
+				widths[j] = len(s)
+			}
+		}
+	}
+	var b strings.Builder
+	for j, c := range r.cols {
+		fmt.Fprintf(&b, "%-*s  ", widths[j], c)
+	}
+	b.WriteString("\n")
+	for j := range r.cols {
+		b.WriteString(strings.Repeat("-", widths[j]) + "  ")
+	}
+	b.WriteString("\n")
+	for _, row := range cells {
+		for j, s := range row {
+			fmt.Fprintf(&b, "%-*s  ", widths[j], s)
+		}
+		b.WriteString("\n")
+	}
+	fmt.Fprintf(&b, "(%d tuples)\n", len(rows))
+	return b.String()
+}
