@@ -15,6 +15,7 @@ import (
 	"pascalr/internal/normalize"
 	"pascalr/internal/optimizer"
 	"pascalr/internal/relation"
+	"pascalr/internal/stats"
 	"pascalr/internal/value"
 	"pascalr/internal/workload"
 )
@@ -218,6 +219,72 @@ func BenchmarkE14_CNF(b *testing.B) {
 	}
 	b.Run("S1+S2+S3", func(b *testing.B) { run(b, engine.S1|engine.S2|engine.S3) })
 	b.Run("S1+S2+S3+SCNF", func(b *testing.B) { run(b, engine.S1|engine.S2|engine.S3|engine.SCNF) })
+}
+
+// neJoinSelection pairs professors with the timetable entries of OTHER
+// employees: the <> probe scans the whole indexed side per probing
+// tuple, so the comparison count is |probe side| × |index side| and the
+// planner's choice of probe side dominates the cost.
+func neJoinSelection() *calculus.Selection {
+	return &calculus.Selection{
+		Proj: []calculus.Field{{Var: "e", Col: "ename"}, {Var: "t", Col: "tcnr"}},
+		Free: []calculus.Decl{
+			{Var: "e", Range: &calculus.RangeExpr{Rel: "employees"}},
+			{Var: "t", Range: &calculus.RangeExpr{Rel: "timetable"}},
+		},
+		Pred: calculus.NewAnd(
+			&calculus.Cmp{L: calculus.Field{Var: "e", Col: "estatus"}, Op: value.OpEq, R: calculus.Label{Name: "professor"}},
+			&calculus.Cmp{L: calculus.Field{Var: "e", Col: "enr"}, Op: value.OpNe, R: calculus.Field{Var: "t", Col: "tenr"}},
+		),
+	}
+}
+
+// BenchmarkCostBasedJoin compares the static and the cost-based
+// combination phase on the join-heavy queries, reporting the
+// plan-quality counters (index probes, comparisons, reference tuples)
+// next to wall-clock time.
+func BenchmarkCostBasedJoin(b *testing.B) {
+	queries := []struct {
+		name string
+		sel  *calculus.Selection
+	}{
+		{"eq3way", workload.JoinHeavySelection()},
+		{"ne", neJoinSelection()},
+	}
+	for _, q := range queries {
+		for _, mode := range []struct {
+			name      string
+			costBased bool
+		}{{"static", false}, {"cost", true}} {
+			b.Run(q.name+"/"+mode.name, func(b *testing.B) {
+				cfg := workload.DefaultConfig(2 * benchScale)
+				cfg.ProfFrac = 0.1
+				cfg.SophFrac = 0.1
+				db := workload.MustUniversity(cfg)
+				sel, info, err := calculus.Check(q.sel, db.Catalog())
+				if err != nil {
+					b.Fatal(err)
+				}
+				est := db.Analyze()
+				st := &stats.Counters{}
+				eng := engine.New(db, st)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					st.Reset()
+					opts := engine.Options{Strategies: engine.S1 | engine.S2, CostBased: mode.costBased}
+					if mode.costBased {
+						opts.Estimator = est
+					}
+					if _, err := eng.Eval(sel, info, opts); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(float64(st.IndexProbes), "probes/op")
+				b.ReportMetric(float64(st.Comparisons), "cmps/op")
+				b.ReportMetric(float64(st.RefTuples), "reftuples/op")
+			})
+		}
+	}
 }
 
 // BenchmarkParser measures parsing of the full Figure 1 DDL plus the

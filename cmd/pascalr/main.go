@@ -38,6 +38,7 @@ func main() {
 	explain := flag.Bool("explain", false, "print the plan instead of evaluating")
 	showStats := flag.Bool("stats", false, "print cost counters after each query")
 	useBaseline := flag.Bool("baseline", false, "evaluate by tuple substitution instead of the engine")
+	costBased := flag.Bool("cost", false, "plan from cardinality estimates instead of the static order")
 	university := flag.Int("university", 0, "populate the Figure 1 sample database at this scale")
 	interactive := flag.Bool("i", false, "read statements and queries from stdin")
 	flag.Parse()
@@ -78,6 +79,9 @@ func main() {
 		opts := []pascalr.Option{pascalr.WithStrategies(strat)}
 		if *useBaseline {
 			opts = append(opts, pascalr.WithBaseline())
+		}
+		if *costBased {
+			opts = append(opts, pascalr.WithCostBased())
 		}
 		if *explain {
 			out, err := db.Explain(q, opts...)
@@ -191,6 +195,10 @@ func printStats(st pascalr.Stats) {
 	}
 	fmt.Printf("\ntuples read=%d probes=%d comparisons=%d ref tuples=%d (peak %d)\n",
 		st.TuplesRead, st.IndexProbes, st.Comparisons, st.RefTuples, st.PeakRefTuples)
+	fmt.Printf("joins: hash=%d cartesian=%d\n", st.HashJoins, st.CartesianJoins)
+	if len(st.PlanOrder) > 0 {
+		fmt.Printf("scan order: %s\n", strings.Join(st.PlanOrder, " -> "))
+	}
 }
 
 func repl(db *pascalr.Database, runQuery func(string)) {

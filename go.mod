@@ -1,0 +1,3 @@
+module pascalr
+
+go 1.22

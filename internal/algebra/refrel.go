@@ -24,6 +24,10 @@ type RefRel struct {
 	rows   [][]value.Value
 	set    map[string]struct{}
 	st     *stats.Counters
+
+	// distinctCache memoizes DistinctOn per column set; invalidated on
+	// Add. Join-size estimation queries the same pieces repeatedly.
+	distinctCache map[string]int
 }
 
 // New creates an empty reference relation with the given variable
@@ -73,6 +77,7 @@ func (r *RefRel) Add(row []value.Value) bool {
 	cp := make([]value.Value, len(row))
 	copy(cp, row)
 	r.rows = append(r.rows, cp)
+	r.distinctCache = nil
 	r.st.CountRefTuples(1, len(r.rows))
 	return true
 }
@@ -124,6 +129,7 @@ func Join(a, b *RefRel, st *stats.Counters) *RefRel {
 	}
 	out := New(outVars, st)
 	if len(sv) == 0 {
+		st.CountCartesianJoin()
 		for _, ra := range a.rows {
 			for _, rb := range b.rows {
 				out.Add(concatRows(ra, rb, b, nil))
@@ -131,6 +137,7 @@ func Join(a, b *RefRel, st *stats.Counters) *RefRel {
 		}
 		return out
 	}
+	st.CountHashJoin()
 	// Hash the smaller side on the shared key, probe with the larger.
 	build, probe := a, b
 	bIdx, pIdx := ai, bi
@@ -349,6 +356,56 @@ func FromPairs(lv, rv string, pairs [][2]value.Value, st *stats.Counters) *RefRe
 		out.Add(row)
 	}
 	return out
+}
+
+// DistinctOn returns the number of distinct value combinations of the
+// named columns, for join-size estimation. Absent columns yield 0.
+// Results are memoized until the next Add.
+func (r *RefRel) DistinctOn(vars []string) int {
+	ck := strings.Join(vars, ",")
+	if d, ok := r.distinctCache[ck]; ok {
+		return d
+	}
+	idx := make([]int, len(vars))
+	for i, v := range vars {
+		j, ok := r.varIdx[v]
+		if !ok {
+			return 0
+		}
+		idx[i] = j
+	}
+	seen := make(map[string]struct{}, len(r.rows))
+	for _, row := range r.rows {
+		seen[keyAt(row, idx)] = struct{}{}
+	}
+	if r.distinctCache == nil {
+		r.distinctCache = make(map[string]int)
+	}
+	r.distinctCache[ck] = len(seen)
+	return len(seen)
+}
+
+// EstimateJoinSize predicts |a ⋈ b| from the relations' exact sizes and
+// the distinct counts of their shared variables: the standard
+// |a|·|b|/max(d_a, d_b) equi-join estimate, degenerating to the full
+// cross product when no variable is shared. The second result reports
+// whether the pair shares variables (a hash join vs a Cartesian
+// product).
+func EstimateJoinSize(a, b *RefRel) (float64, bool) {
+	sv, _, _ := shared(a, b)
+	prod := float64(a.Len()) * float64(b.Len())
+	if len(sv) == 0 {
+		return prod, false
+	}
+	da, db := a.DistinctOn(sv), b.DistinctOn(sv)
+	d := da
+	if db > d {
+		d = db
+	}
+	if d == 0 {
+		return 0, true // one side empty: the join is empty
+	}
+	return prod / float64(d), true
 }
 
 // SortedKeys renders the tuples as sorted encoded strings; used by tests

@@ -296,6 +296,37 @@ func TestDivideInvertsCartesian(t *testing.T) {
 	}
 }
 
+func TestDistinctOnAndEstimateJoinSize(t *testing.T) {
+	a := New([]string{"x", "s"}, nil)
+	for i := 0; i < 12; i++ {
+		a.Add(row(ref(0, i), ref(9, i%3))) // 3 distinct s values
+	}
+	b := New([]string{"s", "y"}, nil)
+	for i := 0; i < 6; i++ {
+		b.Add(row(ref(9, i%2), ref(1, i))) // 2 distinct s values
+	}
+	if d := a.DistinctOn([]string{"s"}); d != 3 {
+		t.Errorf("DistinctOn(a.s) = %d, want 3", d)
+	}
+	if d := a.DistinctOn([]string{"nope"}); d != 0 {
+		t.Errorf("DistinctOn(absent) = %d, want 0", d)
+	}
+	est, shared := EstimateJoinSize(a, b)
+	if !shared {
+		t.Fatal("EstimateJoinSize missed the shared variable")
+	}
+	// |a|*|b|/max(3,2) = 12*6/3 = 24.
+	if est != 24 {
+		t.Errorf("estimated join size = %v, want 24", est)
+	}
+	c := New([]string{"z"}, nil)
+	c.Add(row(ref(2, 0)))
+	est, shared = EstimateJoinSize(a, c)
+	if shared || est != 12 {
+		t.Errorf("disjoint estimate = (%v, %v), want (12, false)", est, shared)
+	}
+}
+
 // Property: Join is the subset of the Cartesian product that agrees on
 // the shared column.
 func TestJoinSubsetOfCartesian(t *testing.T) {

@@ -74,6 +74,15 @@ type Options struct {
 	// MaxRefTuples bounds the reference tuples materialized by the
 	// combination phase (0: unlimited).
 	MaxRefTuples int64
+	// CostBased drives scan ordering, probe/index side selection,
+	// combination-phase join ordering, and the optimizer's extraction and
+	// elimination decisions from cardinality estimates instead of the
+	// static priorities. False reproduces the paper's static plan.
+	CostBased bool
+	// Estimator supplies precomputed table statistics for cost-based
+	// planning; when nil and CostBased is set, Eval analyzes the database
+	// first (one uncounted scan per relation).
+	Estimator *stats.Estimator
 	// maxAdaptations guards the adaptation loop; set by Eval.
 	maxAdaptations int
 }
@@ -93,6 +102,7 @@ func New(db *relation.DB, st *stats.Counters) *Engine {
 // Eval evaluates a checked selection (from calculus.Check) and returns
 // the result relation.
 func (e *Engine) Eval(sel *calculus.Selection, info *calculus.Info, opts Options) (*relation.Relation, error) {
+	e.ensureEstimator(&opts)
 	x, err := e.prepare(sel, opts)
 	if err != nil {
 		return nil, err
@@ -155,14 +165,42 @@ func (e *Engine) prepare(sel *calculus.Selection, opts Options) (*optimizer.XFor
 	if opts.Strategies&SCNF != 0 {
 		sf, _ = optimizer.ExtractRangesCNF(sf)
 	}
+	cm := costModel(opts)
 	if opts.Strategies&S3 != 0 {
-		sf, _ = optimizer.ExtractRanges(sf)
+		sf, _ = optimizer.ExtractRangesCost(sf, cm)
 	}
 	x := optimizer.FromStandardForm(sf)
 	if opts.Strategies&S4 != 0 {
-		optimizer.EliminateQuantifiers(x)
+		optimizer.EliminateQuantifiersCost(x, cm)
 	}
 	return x, nil
+}
+
+// ensureEstimator bootstraps cost-based planning: when the caller asked
+// for it without supplying statistics, analyze the database now, so
+// Eval and Explain always plan from the same statistics.
+func (e *Engine) ensureEstimator(opts *Options) {
+	if opts.CostBased && opts.Estimator == nil {
+		opts.Estimator = e.db.Analyze()
+	}
+}
+
+// planEstimator returns the estimator the physical planner should use;
+// nil keeps the static ordering.
+func planEstimator(opts Options) *stats.Estimator {
+	if !opts.CostBased {
+		return nil
+	}
+	return opts.Estimator
+}
+
+// costModel adapts the options' estimator into the optimizer's cost
+// model; nil (the static plan) when cost-based planning is off.
+func costModel(opts Options) optimizer.CostModel {
+	if !opts.CostBased || opts.Estimator == nil {
+		return nil
+	}
+	return opts.Estimator
 }
 
 // collectWithAdaptation plans and runs the collection phase, re-adapting
@@ -172,7 +210,7 @@ func (e *Engine) collectWithAdaptation(x *optimizer.XForm, st *stats.Counters, o
 		if attempt > opts.maxAdaptations {
 			return nil, fmt.Errorf("engine: adaptation loop did not converge")
 		}
-		p, err := buildPlan(x, e.db, st, opts.Strategies)
+		p, err := buildPlan(x, e.db, st, opts.Strategies, planEstimator(opts))
 		if err != nil {
 			return nil, err
 		}
@@ -315,17 +353,21 @@ func rangeRelOf(sel *calculus.Selection, v string) string {
 // Explain renders the logical and physical plan without executing the
 // combination phase. It runs the collection phase's planning only.
 func (e *Engine) Explain(sel *calculus.Selection, opts Options) (string, error) {
+	e.ensureEstimator(&opts)
 	x, err := e.prepare(sel, opts)
 	if err != nil {
 		return "", err
 	}
 	st := &stats.Counters{}
-	p, err := buildPlan(x, e.db, st, opts.Strategies)
+	p, err := buildPlan(x, e.db, st, opts.Strategies, planEstimator(opts))
 	if err != nil {
 		return "", err
 	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "strategies: %s\n", opts.Strategies)
+	if p.est != nil {
+		fmt.Fprintf(&b, "ordering: cost-based (scan order %s)\n", strings.Join(p.order, " -> "))
+	}
 	fmt.Fprintf(&b, "transformed query:\n%s", x)
 	fmt.Fprintf(&b, "collection phase (%d scans):\n", len(p.jobs))
 	for i, job := range p.jobs {

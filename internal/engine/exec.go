@@ -260,9 +260,30 @@ func (p *plan) runScans() error {
 	return nil
 }
 
+// effLen is the number of entries an index side actually contributes: a
+// filtered permanent index is restricted to the variable's range list,
+// so its raw length overstates the drivable entries.
+func (p *plan) effLen(ix *ixSpec) int {
+	if ix.perm != nil && ix.filtered {
+		return len(p.rangeLst[ix.v])
+	}
+	return ix.length()
+}
+
 // materializeDeferred joins two indexes into an indirect join without
-// touching the base relation again.
+// touching the base relation again. For an equi-join under cost-based
+// planning the smaller index's entries drive the probing — each probe is
+// one hash lookup into the larger index, so driving with the smaller
+// side minimizes probe count at identical output.
 func (p *plan) materializeDeferred(d *deferredIJ) {
+	if p.est != nil && d.op == value.OpEq && p.effLen(d.lIx) > p.effLen(d.rIx) {
+		d.rIx.entriesDo(p, func(v, rref value.Value) {
+			d.lIx.probe(p, d.op.Flip(), v, func(lref value.Value) {
+				d.out.Add(lref, rref)
+			})
+		})
+		return
+	}
 	d.lIx.entriesDo(p, func(v, lref value.Value) {
 		d.rIx.probe(p, d.op, v, func(rref value.Value) {
 			d.out.Add(lref, rref)
@@ -440,19 +461,29 @@ func freeVarNames(p *plan) []string {
 	return out
 }
 
-// greedyJoin combines pieces into a single reference relation, joining
-// variable-sharing pairs with the smallest size product first and
-// falling back to Cartesian products for disconnected pieces.
+// greedyJoin combines pieces into a single reference relation. The
+// static plan joins variable-sharing pairs with the smallest size
+// product first; the cost-based plan instead picks the pair with the
+// smallest estimated join output (|a|·|b| over the larger distinct count
+// of the shared variables), so equality-linked pieces whose hash join
+// collapses the product are taken before pairs that merely look small.
+// Disconnected pieces fall back to Cartesian products either way.
 func (p *plan) greedyJoin(pieces []*algebra.RefRel, maxRefTuples int64) (*algebra.RefRel, error) {
 	for len(pieces) > 1 {
 		bi, bj, bestShared, bestProd := -1, -1, false, int64(0)
+		bestEst := 0.0
 		for i := 0; i < len(pieces); i++ {
 			for j := i + 1; j < len(pieces); j++ {
-				sharedVars := false
-				for _, v := range pieces[i].Vars() {
-					if _, ok := pieces[j].ColIdx(v); ok {
-						sharedVars = true
-						break
+				var est float64
+				var sharedVars bool
+				if p.est != nil {
+					est, sharedVars = algebra.EstimateJoinSize(pieces[i], pieces[j])
+				} else {
+					for _, v := range pieces[i].Vars() {
+						if _, ok := pieces[j].ColIdx(v); ok {
+							sharedVars = true
+							break
+						}
 					}
 				}
 				prod := int64(pieces[i].Len()) * int64(pieces[j].Len())
@@ -462,11 +493,13 @@ func (p *plan) greedyJoin(pieces []*algebra.RefRel, maxRefTuples int64) (*algebr
 					better = true
 				case sharedVars != bestShared:
 					better = sharedVars
+				case p.est != nil && est != bestEst:
+					better = est < bestEst
 				default:
 					better = prod < bestProd
 				}
 				if better {
-					bi, bj, bestShared, bestProd = i, j, sharedVars, prod
+					bi, bj, bestShared, bestProd, bestEst = i, j, sharedVars, prod, est
 				}
 			}
 		}

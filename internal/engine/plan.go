@@ -165,6 +165,10 @@ type plan struct {
 	db    *relation.DB
 	st    *stats.Counters
 	strat Strategy
+	// est drives cost-based scan ordering and combination-phase join
+	// ordering; nil keeps the paper's static priorities.
+	est       *stats.Estimator
+	costCards map[string]float64 // memoized effective cardinalities
 
 	vars      map[string]*varNode
 	order     []string
@@ -180,9 +184,10 @@ type plan struct {
 	conjs     []*conjPlan
 }
 
-func buildPlan(x *optimizer.XForm, db *relation.DB, st *stats.Counters, strat Strategy) (*plan, error) {
+func buildPlan(x *optimizer.XForm, db *relation.DB, st *stats.Counters, strat Strategy, est *stats.Estimator) (*plan, error) {
 	p := &plan{
-		x: x, db: db, st: st, strat: strat,
+		x: x, db: db, st: st, strat: strat, est: est,
+		costCards: map[string]float64{},
 		vars:      map[string]*varNode{},
 		rangeLst:  map[string][]value.Value{},
 		needRange: map[string]bool{},
@@ -205,6 +210,7 @@ func buildPlan(x *optimizer.XForm, db *relation.DB, st *stats.Counters, strat St
 	if err := p.buildJobs(); err != nil {
 		return nil, err
 	}
+	st.RecordPlanOrder(p.order, p.est != nil)
 	return p, nil
 }
 
@@ -442,13 +448,137 @@ func (p *plan) assignSides(c *calculus.Cmp) (dyAssign, error) {
 	return a, nil
 }
 
-// scanBefore reports whether a's scan will precede b's in the base
-// ordering (specs first in creation order, then prefix right-to-left,
-// then free variables). Dependency edges can only push a variable later
-// relative to its dependencies, which themselves respect this base
-// order, so the base order is a sound oracle for index-side selection.
+// scanBefore reports whether a's scan will precede b's in the planned
+// ordering. Statically that is the base ordering (specs first in
+// creation order, then prefix right-to-left, then free variables); with
+// an estimator it is the cost ordering of costBefore. Either way it is a
+// fixed total order: dependency edges added from it all point forward in
+// it, and the topological sort of orderVars breaks ties with the same
+// order, so it is a sound oracle for index-side selection.
 func (p *plan) scanBefore(a, b string) bool {
+	if p.est == nil {
+		return p.basePriority(a) < p.basePriority(b)
+	}
+	return p.costBefore(a, b)
+}
+
+// costBefore orders scans by descending estimated effective cardinality
+// (ties fall back to the base priority). The later scan of a dyadic term
+// is the probe side, which is where monadic restrictions apply during
+// probing (strategy 2) and whose post-restriction cardinality bounds the
+// indirect join — so the variable expected to retain the fewest elements
+// scans last, probing with few tuples and keeping the indirect join
+// small, while the bulky side merely gets indexed.
+func (p *plan) costBefore(a, b string) bool {
+	ca, cb := p.estCard(a), p.estCard(b)
+	if ca != cb {
+		return ca > cb
+	}
 	return p.basePriority(a) < p.basePriority(b)
+}
+
+// estCard estimates the number of elements of v's range that survive
+// its range filter and its monadic matrix restrictions — the variable's
+// effective cardinality in the combination phase.
+func (p *plan) estCard(v string) float64 {
+	if c, ok := p.costCards[v]; ok {
+		return c
+	}
+	node := p.vars[v]
+	sel := 1.0
+	if node.rng.Extended() {
+		sel *= optimizer.FormulaSelectivity(p.est, node.rng.Rel, node.rng.FilterVar, node.rng.Filter)
+	}
+	if node.rt != nil {
+		spec := node.rt.spec
+		for _, m := range spec.Monadic {
+			sel *= optimizer.TermSelectivity(p.est, node.rng.Rel, spec.Var, m)
+		}
+		for range spec.NestedMonadic {
+			sel *= stats.DefaultSemiSel
+		}
+	} else {
+		sel *= p.matrixSelectivity(v)
+	}
+	c := p.est.Card(node.rng.Rel) * sel
+	p.costCards[v] = c
+	return c
+}
+
+// matrixSelectivity estimates the monadic restriction the matrix puts on
+// v: per conjunction mentioning v, the product of its monadic-term
+// selectivities over v; across the disjunction, the maximum (a union
+// bound — an element survives if any disjunct admits it). Conjunctions
+// not mentioning v leave it unrestricted. Terms that are witness copies
+// of extracted range-filter conjuncts are skipped — their selectivity is
+// already counted through the filter, and multiplying both would square
+// it.
+func (p *plan) matrixSelectivity(v string) float64 {
+	node := p.vars[v]
+	inFilter := p.filterTermKeys(v)
+	best, mentioned := 0.0, false
+	for _, conj := range p.x.Matrix {
+		s, hasV := 1.0, false
+		for _, a := range conj {
+			vars := a.Vars()
+			if len(vars) != 1 || vars[0] != v {
+				for _, av := range vars {
+					if av == v {
+						hasV = true
+					}
+				}
+				continue
+			}
+			hasV = true
+			if a.Cmp != nil {
+				if !inFilter[a.Cmp.String()] {
+					s *= optimizer.TermSelectivity(p.est, node.rng.Rel, v, a.Cmp)
+				}
+			} else {
+				s *= stats.DefaultSemiSel
+			}
+		}
+		if !hasV {
+			return 1 // some disjunct admits every element of the range
+		}
+		if !mentioned || s > best {
+			best, mentioned = s, true
+		}
+	}
+	if !mentioned {
+		return 1
+	}
+	return best
+}
+
+// filterTermKeys returns the string forms of the comparison conjuncts of
+// v's range filter, renamed to v — the shape extraction's witness copies
+// take in the matrix.
+func (p *plan) filterTermKeys(v string) map[string]bool {
+	rng := p.vars[v].rng
+	if !rng.Extended() {
+		return nil
+	}
+	keys := map[string]bool{}
+	var walk func(f calculus.Formula)
+	walk = func(f calculus.Formula) {
+		switch g := f.(type) {
+		case *calculus.And:
+			for _, sub := range g.Fs {
+				walk(sub)
+			}
+		case *calculus.Cmp:
+			t := calculus.Formula(g)
+			if rng.FilterVar != v {
+				t = calculus.RenameVar(calculus.Clone(g), rng.FilterVar, v)
+			}
+			if c, ok := t.(*calculus.Cmp); ok {
+				keys[c.String()] = true
+			}
+		}
+	}
+	walk(rng.Filter)
+	return keys
 }
 
 func (p *plan) basePriority(v string) int {
@@ -641,15 +771,17 @@ func (p *plan) compileAtoms(v string, atoms []optimizer.Atom) ([]rowPred, error)
 }
 
 // orderVars topologically sorts the variables by scan dependencies,
-// breaking ties with the base priority (specs in creation order, prefix
-// right-to-left, then free variables).
+// breaking ties with the same total order assignSides consulted: the
+// base priority (specs in creation order, prefix right-to-left, then
+// free variables) statically, or descending effective cardinality under
+// cost-based planning.
 func (p *plan) orderVars() error {
 	names := make([]string, 0, len(p.vars))
 	for v := range p.vars {
 		names = append(names, v)
 	}
 	sort.Slice(names, func(i, j int) bool {
-		return p.basePriority(names[i]) < p.basePriority(names[j])
+		return p.scanBefore(names[i], names[j])
 	})
 	done := map[string]bool{}
 	for len(p.order) < len(names) {

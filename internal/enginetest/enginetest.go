@@ -1,0 +1,102 @@
+// Package enginetest is the differential test harness for the query
+// engine: every query in the table of queries.go runs under every
+// strategy combination — and under both the static and the cost-based
+// planner — and must produce exactly the relation the tuple-substitution
+// baseline produces. The pattern follows go-mysql-server's enginetest:
+// a declarative query table, a set of workload databases, and one
+// runner that cross-checks all engine configurations against the
+// oracle, so a new query or a new planner feature is covered by adding
+// one table entry.
+package enginetest
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"pascalr/internal/baseline"
+	"pascalr/internal/calculus"
+	"pascalr/internal/engine"
+	"pascalr/internal/parser"
+	"pascalr/internal/relation"
+	"pascalr/internal/value"
+)
+
+// StrategySets returns all 16 combinations of the paper's four
+// optimization strategies, S0 through S1+S2+S3+S4.
+func StrategySets() []engine.Strategy {
+	out := make([]engine.Strategy, 0, 16)
+	for s := engine.Strategy(0); s <= engine.AllStrategies; s++ {
+		out = append(out, s)
+	}
+	return out
+}
+
+// RelKey renders a relation's contents as a sorted string, for
+// order-independent equality.
+func RelKey(rel *relation.Relation) string {
+	var keys []string
+	for _, tup := range rel.Tuples() {
+		keys = append(keys, value.EncodeKey(tup))
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, "|")
+}
+
+// RunSelection evaluates one checked selection against the baseline and
+// against every strategy set × {static, cost-based} planner, failing the
+// test on any disagreement. It returns the baseline's row count so
+// callers can assert workload coverage.
+func RunSelection(t *testing.T, label string, db *relation.DB, sel *calculus.Selection, info *calculus.Info) int {
+	t.Helper()
+	want, err := baseline.Eval(sel, info, db)
+	if err != nil {
+		t.Fatalf("%s: baseline: %v", label, err)
+	}
+	wantKey := RelKey(want)
+	est := db.Analyze()
+	for _, strat := range StrategySets() {
+		for _, costBased := range []bool{false, true} {
+			opts := engine.Options{Strategies: strat, CostBased: costBased}
+			if costBased {
+				opts.Estimator = est
+			}
+			got, err := engine.New(db, nil).Eval(sel, info, opts)
+			if err != nil {
+				t.Fatalf("%s [%s cost=%v]: engine: %v", label, strat, costBased, err)
+			}
+			if gotKey := RelKey(got); gotKey != wantKey {
+				t.Fatalf("%s [%s cost=%v]: result mismatch\nwant %d rows, got %d rows\nquery: %s",
+					label, strat, costBased, want.Len(), got.Len(), sel)
+			}
+		}
+	}
+	return want.Len()
+}
+
+// RunQuery parses a query source against db's catalog, checks it, and
+// runs the full differential matrix.
+func RunQuery(t *testing.T, label string, db *relation.DB, src string) int {
+	t.Helper()
+	sel, err := parser.ParseSelection(src)
+	if err != nil {
+		t.Fatalf("%s: parse: %v", label, err)
+	}
+	checked, info, err := calculus.Check(sel, db.Catalog())
+	if err != nil {
+		t.Fatalf("%s: check: %v", label, err)
+	}
+	return RunSelection(t, label, db, checked, info)
+}
+
+// RunTable runs every table query against one workload database.
+func RunTable(t *testing.T, workload string, db *relation.DB, queries []QueryTest) {
+	t.Helper()
+	for _, q := range queries {
+		q := q
+		t.Run(fmt.Sprintf("%s/%s", workload, q.Name), func(t *testing.T) {
+			RunQuery(t, q.Name, db, q.Src)
+		})
+	}
+}

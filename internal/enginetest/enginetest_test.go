@@ -1,0 +1,82 @@
+package enginetest
+
+import (
+	"testing"
+
+	"pascalr/internal/relation"
+	"pascalr/internal/workload"
+)
+
+// universityDB builds the Figure 1 database at a small scale.
+func universityDB(t *testing.T, scale int) *relation.DB {
+	t.Helper()
+	db, err := workload.University(workload.DefaultConfig(scale))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+// TestUniversityWorkload is the headline differential matrix: every
+// table query × all 16 strategy combinations × {static, cost-based}
+// planning against the populated university database.
+func TestUniversityWorkload(t *testing.T) {
+	db := universityDB(t, 12)
+	RunTable(t, "university", db, UniversityQueries)
+}
+
+// TestSkewedWorkload repeats the matrix on a skewed database — almost
+// everyone a professor, almost no sophomore courses — where the
+// cost-based planner picks different scan orders than the static one.
+func TestSkewedWorkload(t *testing.T) {
+	cfg := workload.DefaultConfig(12)
+	cfg.ProfFrac = 0.95
+	cfg.SophFrac = 0.05
+	cfg.Seed = 7
+	db, err := workload.University(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	RunTable(t, "skewed", db, UniversityQueries)
+}
+
+// TestEmptyRelationWorkloads covers the Lemma 1 adaptation cases: each
+// relation emptied in turn, plus the fully empty database. The baseline
+// implements the calculus semantics directly (SOME over empty is false,
+// ALL over empty is true), so agreement here proves the engine's
+// runtime adaptation under every configuration.
+func TestEmptyRelationWorkloads(t *testing.T) {
+	for _, empty := range [][]string{
+		{"papers"},
+		{"courses"},
+		{"timetable"},
+		{"employees"},
+		{"papers", "courses"},
+		{"employees", "papers", "courses", "timetable"},
+	} {
+		db := universityDB(t, 10)
+		name := "empty"
+		for _, rel := range empty {
+			if err := db.MustRelation(rel).Assign(nil); err != nil {
+				t.Fatal(err)
+			}
+			name += "-" + rel
+		}
+		RunTable(t, name, db, UniversityQueries)
+	}
+}
+
+// TestPermanentIndexWorkload repeats the matrix with permanent access
+// paths declared on the join columns, exercising the filtered and
+// unfiltered permanent-index probe paths under both planners.
+func TestPermanentIndexWorkload(t *testing.T) {
+	db := universityDB(t, 10)
+	for _, ix := range []struct{ rel, col string }{
+		{"courses", "cnr"}, {"timetable", "tcnr"}, {"employees", "enr"},
+	} {
+		if _, err := db.MustRelation(ix.rel).CreateIndex(ix.col); err != nil {
+			t.Fatal(err)
+		}
+	}
+	RunTable(t, "permindex", db, UniversityQueries)
+}

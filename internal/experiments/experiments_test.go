@@ -15,7 +15,8 @@ func TestAllExperimentsRun(t *testing.T) {
 	}
 	out := buf.String()
 	for _, want := range []string{
-		"==== E1", "==== E13", "==== E14",
+		"==== E1", "==== E13", "==== E14", "==== E15",
+		"cost-based", // E15
 		"ALL p IN papers, SOME c IN courses, SOME t IN timetable", // E3
 		"indirect-join", // E2
 		"value-list",    // E2/E10
@@ -36,8 +37,8 @@ func TestRunUnknownExperiment(t *testing.T) {
 }
 
 func TestExperimentList(t *testing.T) {
-	if len(All()) != 14 {
-		t.Errorf("expected 14 experiments, got %d", len(All()))
+	if len(All()) != 15 {
+		t.Errorf("expected 15 experiments, got %d", len(All()))
 	}
 	seen := map[string]bool{}
 	for _, e := range All() {

@@ -1,0 +1,108 @@
+package optimizer
+
+import (
+	"pascalr/internal/calculus"
+	"pascalr/internal/normalize"
+	"pascalr/internal/stats"
+	"pascalr/internal/value"
+)
+
+// CostModel answers the cardinality and selectivity questions the
+// optimizer's and planner's cost-based decisions consult.
+// *stats.Estimator implements it.
+type CostModel interface {
+	Card(rel string) float64
+	DistinctValues(rel, col string) float64
+	SelectivityConst(rel, col string, op value.CmpOp, c value.Value) float64
+	JoinSelectivity(lrel, lcol string, op value.CmpOp, rrel, rcol string) float64
+}
+
+// TermSelectivity estimates the fraction of rel's tuples that satisfy a
+// monadic comparison over variable v.
+func TermSelectivity(cm CostModel, rel, v string, c *calculus.Cmp) float64 {
+	if cm == nil {
+		return stats.DefaultRangeSel
+	}
+	lf, lok := c.L.(calculus.Field)
+	rf, rok := c.R.(calculus.Field)
+	lc, lconst := c.L.(calculus.Const)
+	rc, rconst := c.R.(calculus.Const)
+	switch {
+	case lok && rconst && lf.Var == v:
+		return cm.SelectivityConst(rel, lf.Col, c.Op, rc.Val)
+	case rok && lconst && rf.Var == v:
+		return cm.SelectivityConst(rel, rf.Col, c.Op.Flip(), lc.Val)
+	case lok && rok:
+		// Same-variable field pair (v.a op v.b): a self-comparison with
+		// no usable statistic.
+		return stats.DefaultRangeSel
+	}
+	return stats.DefaultRangeSel
+}
+
+// FormulaSelectivity estimates the fraction of rel's tuples satisfying a
+// monadic formula over variable v — the shape extended range filters
+// take. Conjunctions multiply (independence), disjunctions combine by
+// inclusion-exclusion, and NOT complements.
+func FormulaSelectivity(cm CostModel, rel, v string, f calculus.Formula) float64 {
+	switch g := f.(type) {
+	case nil:
+		return 1
+	case *calculus.Lit:
+		if g.Val {
+			return 1
+		}
+		return 0
+	case *calculus.Cmp:
+		return TermSelectivity(cm, rel, v, g)
+	case *calculus.Not:
+		return 1 - FormulaSelectivity(cm, rel, v, g.F)
+	case *calculus.And:
+		s := 1.0
+		for _, sub := range g.Fs {
+			s *= FormulaSelectivity(cm, rel, v, sub)
+		}
+		return s
+	case *calculus.Or:
+		miss := 1.0
+		for _, sub := range g.Fs {
+			miss *= 1 - FormulaSelectivity(cm, rel, v, sub)
+		}
+		return 1 - miss
+	default:
+		return stats.DefaultRangeSel
+	}
+}
+
+// extractSelThreshold gates cost-based range extraction: moving a term
+// whose selectivity is above it buys almost nothing (the range barely
+// shrinks) while forcing a materialized range list and filtered
+// permanent-index probes, so the term stays in the matrix.
+const extractSelThreshold = 0.9
+
+// ExtractRangesCost is ExtractRanges with extraction decisions consulting
+// the cost model: monadic terms of free and existentially quantified
+// variables move into the range only when their estimated selectivity is
+// at most extractSelThreshold. The universal single-term-disjunct rule is
+// unconditional — it removes a whole conjunction from the matrix, which
+// pays regardless of selectivity. A nil cost model reproduces
+// ExtractRanges exactly.
+func ExtractRangesCost(sf *normalize.StandardForm, cm CostModel) (*normalize.StandardForm, int) {
+	var gate extractGate
+	if cm != nil {
+		gate = func(rng *calculus.RangeExpr, v string, c *calculus.Cmp) bool {
+			return TermSelectivity(cm, rng.Rel, v, c) <= extractSelThreshold
+		}
+	}
+	return extractRanges(sf, gate)
+}
+
+// EliminateQuantifiersCost is EliminateQuantifiers with the elimination
+// order consulting the cost model: among the eligible variables of the
+// suffix run, the one ranging over the largest estimated relation is
+// eliminated first, removing the biggest contributor to combination-phase
+// growth early (which can also steer which cascade of nested value lists
+// forms). A nil cost model reproduces EliminateQuantifiers exactly.
+func EliminateQuantifiersCost(x *XForm, cm CostModel) int {
+	return eliminateQuantifiers(x, cm)
+}

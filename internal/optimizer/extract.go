@@ -40,19 +40,28 @@ import (
 // fixpoint: removing a universal disjunct can make terms of existential
 // variables extractable and vice versa.
 func ExtractRanges(sf *normalize.StandardForm) (*normalize.StandardForm, int) {
+	return extractRanges(sf, nil)
+}
+
+// extractGate decides whether a monadic term of v may move into the
+// range; nil admits every term. ExtractRangesCost supplies a
+// selectivity-based gate.
+type extractGate func(rng *calculus.RangeExpr, v string, c *calculus.Cmp) bool
+
+func extractRanges(sf *normalize.StandardForm, gate extractGate) (*normalize.StandardForm, int) {
 	out := sf.Clone()
 	if out.Const != nil {
 		return out, 0
 	}
 	moved := 0
 	for _, d := range out.Free {
-		moved += extractEvery(out, d.Var, d.Range, true)
+		moved += extractEvery(out, d.Var, d.Range, true, gate)
 		if out.Const != nil {
 			return out, moved
 		}
 	}
 	for {
-		n := extractQuantPass(out)
+		n := extractQuantPass(out, gate)
 		moved += n
 		if n == 0 || out.Const != nil {
 			return out, moved
@@ -60,13 +69,13 @@ func ExtractRanges(sf *normalize.StandardForm) (*normalize.StandardForm, int) {
 	}
 }
 
-func extractQuantPass(sf *normalize.StandardForm) int {
+func extractQuantPass(sf *normalize.StandardForm, gate extractGate) int {
 	moved := 0
 	for _, q := range sf.Prefix {
 		if q.All {
 			moved += extractUniversal(sf, q.Var, q.Range)
 		} else {
-			moved += extractEvery(sf, q.Var, q.Range, false)
+			moved += extractEvery(sf, q.Var, q.Range, false, gate)
 		}
 		if sf.Const != nil {
 			return moved
@@ -86,16 +95,20 @@ func extractQuantPass(sf *normalize.StandardForm) int {
 // extended range, which the runtime adaptation checks — so one
 // (now redundant) term stays behind to keep the witness requirement in
 // the matrix.
-func extractEvery(sf *normalize.StandardForm, v string, rng *calculus.RangeExpr, everyConj bool) int {
+func extractEvery(sf *normalize.StandardForm, v string, rng *calculus.RangeExpr, everyConj bool, gate extractGate) int {
 	relevant := relevantConjs(sf, v, everyConj)
 	if len(relevant) == 0 {
 		return 0
 	}
 	// Candidate terms: monadic terms of v present in the first relevant
-	// conjunction; keep those present in all of them.
+	// conjunction (and admitted by the gate); keep those present in all
+	// of them.
 	counts := map[string]*calculus.Cmp{}
 	for _, c := range sf.Matrix[relevant[0]] {
 		if mv, ok := calculus.Monadic(c); ok && mv == v {
+			if gate != nil && !gate(rng, v, c) {
+				continue
+			}
 			counts[c.String()] = c
 		}
 	}

@@ -30,6 +30,13 @@ import (
 // (the cset/tset/pset chain of Example 4.7). The function iterates until
 // no variable is eligible and returns the number eliminated.
 func EliminateQuantifiers(x *XForm) int {
+	return eliminateQuantifiers(x, nil)
+}
+
+// eliminateQuantifiers is the shared driver: a nil cost model picks the
+// rightmost eligible variable of the suffix run (the paper's order), a
+// non-nil one the eligible variable over the largest estimated relation.
+func eliminateQuantifiers(x *XForm, cm CostModel) int {
 	if x.Const != nil {
 		// With a constant matrix every surviving quantifier is decided by
 		// range emptiness alone, which the engine's adaptation handles.
@@ -37,7 +44,7 @@ func EliminateQuantifiers(x *XForm) int {
 	}
 	eliminated := 0
 	for {
-		idx, plans := findEligible(x)
+		idx, plans := findEligible(x, cm)
 		if idx < 0 {
 			return eliminated
 		}
@@ -55,9 +62,11 @@ type elimPlan struct {
 }
 
 // findEligible scans the suffix run of equal quantifiers right-to-left
-// and returns the prefix index of the first eliminable variable along
-// with its per-conjunction rewrite plans.
-func findEligible(x *XForm) (int, []elimPlan) {
+// and returns the prefix index of an eliminable variable along with its
+// per-conjunction rewrite plans: the first (rightmost) one statically,
+// or — with a cost model — the one over the largest estimated relation
+// (ties keep the rightmost, matching the static order).
+func findEligible(x *XForm, cm CostModel) (int, []elimPlan) {
 	n := len(x.Prefix)
 	if n == 0 {
 		return -1, nil
@@ -66,12 +75,22 @@ func findEligible(x *XForm) (int, []elimPlan) {
 	for runStart > 0 && x.Prefix[runStart-1].All == x.Prefix[n-1].All {
 		runStart--
 	}
+	bestIdx, bestCard := -1, 0.0
+	var bestPlans []elimPlan
 	for i := n - 1; i >= runStart; i-- {
-		if plans, ok := analyze(x, i); ok {
+		plans, ok := analyze(x, i)
+		if !ok {
+			continue
+		}
+		if cm == nil {
 			return i, plans
 		}
+		card := cm.Card(x.Prefix[i].Range.Rel)
+		if bestIdx < 0 || card > bestCard {
+			bestIdx, bestCard, bestPlans = i, card, plans
+		}
 	}
-	return -1, nil
+	return bestIdx, bestPlans
 }
 
 // analyze decides eligibility of prefix variable i and builds its

@@ -1,0 +1,36 @@
+package relation
+
+import (
+	"pascalr/internal/stats"
+	"pascalr/internal/value"
+)
+
+// Analyze scans every relation once and returns an estimator over the
+// database's current contents. The analysis scans are planning work, not
+// query work, so they bypass the attached counter sink.
+func (d *DB) Analyze() *stats.Estimator {
+	est := stats.NewEstimator()
+	for _, r := range d.byID {
+		est.AddTable(AnalyzeRelation(r))
+	}
+	return est
+}
+
+// AnalyzeRelation summarizes one relation's current contents, bypassing
+// the relation's counter sink.
+func AnalyzeRelation(r *Relation) *stats.TableStats {
+	sch := r.Schema()
+	cols := make([]string, len(sch.Cols))
+	for i, c := range sch.Cols {
+		cols[i] = c.Name
+	}
+	ts := stats.NewTableStats(sch.Name, cols)
+	prev := r.st
+	r.SetStats(nil)
+	r.Scan(func(_ value.Value, tuple []value.Value) bool {
+		ts.Observe(tuple)
+		return true
+	})
+	r.SetStats(prev)
+	return ts
+}

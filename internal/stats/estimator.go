@@ -1,0 +1,303 @@
+// Selectivity estimation for the cost-based combination phase. The
+// paper's processor picks its scan order statically (spec priority,
+// prefix right-to-left, declaration order); section 5 names smarter
+// ordering as the limiting factor once relations grow skewed. The
+// estimator holds the per-relation statistics — cardinality, per-column
+// distinct counts and min/max — that the planner's greedy ordering and
+// the optimizer's extraction gate consult.
+//
+// The formulas are the classic System R ones: 1/distinct for equality
+// against a constant, linear interpolation over [min, max] for ordered
+// comparisons, 1/max(distinct_l, distinct_r) for equi-joins, and fixed
+// fractions where nothing better is known.
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"pascalr/internal/value"
+)
+
+// Default selectivities when no statistic applies (System R's magic
+// numbers, still the standard fallbacks).
+const (
+	DefaultEqSel    = 0.1       // equality with no distinct count
+	DefaultRangeSel = 1.0 / 3.0 // ordered comparison with no min/max
+	DefaultNeSel    = 0.9       // inequality (<>)
+	DefaultSemiSel  = 0.5       // derived (value-list) predicates
+)
+
+// ColStats summarizes one column of one relation.
+type ColStats struct {
+	Distinct int         // number of distinct values observed
+	Min, Max value.Value // extrema; invalid when the column is empty
+	ordered  bool        // Min/Max comparable (int, enum, bool, string)
+
+	seen map[string]struct{} // distinct-value builder; nil once finished
+}
+
+// TableStats summarizes one relation: its cardinality and per-column
+// statistics.
+type TableStats struct {
+	Name string
+	Rows int
+
+	cols    map[string]*ColStats
+	colList []string
+}
+
+// NewTableStats creates an empty summary for a relation with the given
+// columns, ready to Observe tuples.
+func NewTableStats(name string, cols []string) *TableStats {
+	t := &TableStats{Name: name, cols: make(map[string]*ColStats, len(cols)), colList: append([]string(nil), cols...)}
+	for _, c := range cols {
+		t.cols[c] = &ColStats{seen: make(map[string]struct{})}
+	}
+	return t
+}
+
+// Observe folds one tuple (in column order) into the statistics.
+func (t *TableStats) Observe(tuple []value.Value) {
+	t.Rows++
+	for i, c := range t.colList {
+		if i >= len(tuple) {
+			break
+		}
+		cs := t.cols[c]
+		v := tuple[i]
+		if cs.seen != nil {
+			k := value.EncodeKey([]value.Value{v})
+			if _, dup := cs.seen[k]; !dup {
+				cs.seen[k] = struct{}{}
+				cs.Distinct++
+			}
+		}
+		if !cs.Min.IsValid() {
+			cs.Min, cs.Max, cs.ordered = v, v, true
+			continue
+		}
+		if !cs.ordered {
+			continue
+		}
+		cmpMin, err1 := value.Compare(v, cs.Min)
+		cmpMax, err2 := value.Compare(v, cs.Max)
+		if err1 != nil || err2 != nil {
+			cs.ordered = false // mixed kinds: extrema unusable
+			continue
+		}
+		if cmpMin < 0 {
+			cs.Min = v
+		}
+		if cmpMax > 0 {
+			cs.Max = v
+		}
+	}
+}
+
+// Finish releases the distinct-value builders; further Observe calls
+// stop updating distinct counts.
+func (t *TableStats) Finish() {
+	for _, cs := range t.cols {
+		cs.seen = nil
+	}
+}
+
+// Col returns the statistics of a column, or nil.
+func (t *TableStats) Col(name string) *ColStats {
+	if t == nil {
+		return nil
+	}
+	return t.cols[name]
+}
+
+// Estimator answers cardinality and selectivity questions from collected
+// table statistics. A nil Estimator answers every question with its
+// default, so call sites need no guards.
+type Estimator struct {
+	tables map[string]*TableStats
+}
+
+// NewEstimator creates an empty estimator.
+func NewEstimator() *Estimator {
+	return &Estimator{tables: make(map[string]*TableStats)}
+}
+
+// AddTable registers (or replaces) one relation's statistics.
+func (e *Estimator) AddTable(t *TableStats) {
+	t.Finish()
+	e.tables[t.Name] = t
+}
+
+// Table returns the named relation's statistics, or nil.
+func (e *Estimator) Table(rel string) *TableStats {
+	if e == nil {
+		return nil
+	}
+	return e.tables[rel]
+}
+
+// Card returns the estimated cardinality of a relation; unknown
+// relations estimate as 1 so products stay meaningful.
+func (e *Estimator) Card(rel string) float64 {
+	if t := e.Table(rel); t != nil {
+		return float64(t.Rows)
+	}
+	return 1
+}
+
+// DistinctValues returns the number of distinct values of rel.col, or 0
+// when unknown.
+func (e *Estimator) DistinctValues(rel, col string) float64 {
+	if cs := e.Table(rel).Col(col); cs != nil {
+		return float64(cs.Distinct)
+	}
+	return 0
+}
+
+// SelectivityConst estimates the fraction of rel's tuples whose column
+// satisfies "col op c".
+func (e *Estimator) SelectivityConst(rel, col string, op value.CmpOp, c value.Value) float64 {
+	cs := e.Table(rel).Col(col)
+	switch op {
+	case value.OpEq:
+		if cs != nil && cs.Distinct > 0 {
+			return clampSel(1 / float64(cs.Distinct))
+		}
+		return DefaultEqSel
+	case value.OpNe:
+		if cs != nil && cs.Distinct > 0 {
+			return clampSel(1 - 1/float64(cs.Distinct))
+		}
+		return DefaultNeSel
+	default:
+		if f, ok := rangeFraction(cs, op, c); ok {
+			return clampSel(f)
+		}
+		return DefaultRangeSel
+	}
+}
+
+// rangeFraction interpolates an ordered comparison over [Min, Max] for
+// kinds with a usable numeric ordinal (int, enum, bool).
+func rangeFraction(cs *ColStats, op value.CmpOp, c value.Value) (float64, bool) {
+	if cs == nil || !cs.ordered || !cs.Min.IsValid() {
+		return 0, false
+	}
+	lo, ok1 := ordinal(cs.Min)
+	hi, ok2 := ordinal(cs.Max)
+	v, ok3 := ordinal(c)
+	if !ok1 || !ok2 || !ok3 {
+		return 0, false
+	}
+	if hi <= lo {
+		// Single-point column: the comparison either always or never holds.
+		holds := op.Holds(cmpFloat(lo, v))
+		if holds {
+			return 1, true
+		}
+		return 0, true
+	}
+	// Model c's own value as one "bucket" of 1/distinct probability and
+	// interpolate the rest: below = frac·(1-bucket). This keeps the
+	// boundaries honest — an inclusive comparison at a domain extremum
+	// ("col <= Min", "col >= Max") estimates one bucket, not zero rows.
+	frac := (v - lo) / (hi - lo)
+	bucket := 1.0
+	if cs.Distinct > 0 {
+		bucket = 1 / float64(cs.Distinct)
+	}
+	below := frac * (1 - bucket)
+	switch op {
+	case value.OpLt:
+		return below, true
+	case value.OpLe:
+		return below + bucket, true
+	case value.OpGt:
+		return 1 - below - bucket, true
+	case value.OpGe:
+		return 1 - below, true
+	}
+	return 0, false
+}
+
+func cmpFloat(a, b float64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}
+
+// ordinal maps a value onto the number line for interpolation.
+func ordinal(v value.Value) (float64, bool) {
+	switch v.Kind() {
+	case value.KindInt:
+		return float64(v.AsInt()), true
+	case value.KindEnum:
+		return float64(v.EnumOrd()), true
+	case value.KindBool:
+		if v.AsBool() {
+			return 1, true
+		}
+		return 0, true
+	}
+	return 0, false
+}
+
+// JoinSelectivity estimates the fraction of the cross product of two
+// relations surviving "l.lcol op r.rcol".
+func (e *Estimator) JoinSelectivity(lrel, lcol string, op value.CmpOp, rrel, rcol string) float64 {
+	switch op {
+	case value.OpEq:
+		dl, dr := e.DistinctValues(lrel, lcol), e.DistinctValues(rrel, rcol)
+		d := dl
+		if dr > d {
+			d = dr
+		}
+		if d > 0 {
+			return clampSel(1 / d)
+		}
+		return DefaultEqSel
+	case value.OpNe:
+		return DefaultNeSel
+	default:
+		return DefaultRangeSel
+	}
+}
+
+// clampSel keeps selectivities inside [0, 1].
+func clampSel(s float64) float64 {
+	if s < 0 {
+		return 0
+	}
+	if s > 1 {
+		return 1
+	}
+	return s
+}
+
+// String renders the collected statistics for EXPLAIN-style output.
+func (e *Estimator) String() string {
+	if e == nil {
+		return "estimator: none"
+	}
+	names := make([]string, 0, len(e.tables))
+	for n := range e.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, n := range names {
+		t := e.tables[n]
+		fmt.Fprintf(&b, "%s: rows=%d", n, t.Rows)
+		for _, c := range t.colList {
+			fmt.Fprintf(&b, " %s(d=%d)", c, t.cols[c].Distinct)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

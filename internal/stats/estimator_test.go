@@ -1,0 +1,113 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"pascalr/internal/value"
+)
+
+func almost(t *testing.T, what string, got, want float64) {
+	t.Helper()
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("%s = %v, want %v", what, got, want)
+	}
+}
+
+func buildEstimator() *Estimator {
+	e := NewEstimator()
+	ts := NewTableStats("emp", []string{"id", "grade"})
+	for i := 0; i < 100; i++ {
+		ts.Observe([]value.Value{value.Int(int64(i)), value.Int(int64(i % 4))})
+	}
+	e.AddTable(ts)
+	return e
+}
+
+func TestTableStatsCollection(t *testing.T) {
+	e := buildEstimator()
+	ts := e.Table("emp")
+	if ts.Rows != 100 {
+		t.Fatalf("rows = %d, want 100", ts.Rows)
+	}
+	if d := ts.Col("id").Distinct; d != 100 {
+		t.Errorf("distinct(id) = %d, want 100", d)
+	}
+	if d := ts.Col("grade").Distinct; d != 4 {
+		t.Errorf("distinct(grade) = %d, want 4", d)
+	}
+	if mn, mx := ts.Col("id").Min.AsInt(), ts.Col("id").Max.AsInt(); mn != 0 || mx != 99 {
+		t.Errorf("id extrema = [%d, %d], want [0, 99]", mn, mx)
+	}
+}
+
+func TestCardAndDistinct(t *testing.T) {
+	e := buildEstimator()
+	almost(t, "Card(emp)", e.Card("emp"), 100)
+	almost(t, "Card(unknown)", e.Card("nope"), 1)
+	almost(t, "DistinctValues(emp.grade)", e.DistinctValues("emp", "grade"), 4)
+	almost(t, "DistinctValues(unknown)", e.DistinctValues("emp", "nope"), 0)
+}
+
+func TestSelectivityConst(t *testing.T) {
+	e := buildEstimator()
+	almost(t, "grade = c", e.SelectivityConst("emp", "grade", value.OpEq, value.Int(2)), 0.25)
+	almost(t, "grade <> c", e.SelectivityConst("emp", "grade", value.OpNe, value.Int(2)), 0.75)
+	// id ranges over [0, 99]: id < 50 interpolates to ~half.
+	got := e.SelectivityConst("emp", "id", value.OpLt, value.Int(50))
+	if got < 0.4 || got > 0.6 {
+		t.Errorf("id < 50 selectivity = %v, want ~0.5", got)
+	}
+	// Beyond the observed maximum everything qualifies.
+	almost(t, "id <= 200", e.SelectivityConst("emp", "id", value.OpLe, value.Int(200)), 1)
+	// An inclusive comparison at the domain minimum still matches the
+	// boundary bucket, not zero rows.
+	almost(t, "grade <= 0", e.SelectivityConst("emp", "grade", value.OpLe, value.Int(0)), 0.25)
+	almost(t, "grade >= 3", e.SelectivityConst("emp", "grade", value.OpGe, value.Int(3)), 0.25)
+	// Unknown column falls back to the defaults.
+	almost(t, "unknown =", e.SelectivityConst("emp", "nope", value.OpEq, value.Int(1)), DefaultEqSel)
+	almost(t, "unknown <", e.SelectivityConst("emp", "nope", value.OpLt, value.Int(1)), DefaultRangeSel)
+}
+
+func TestJoinSelectivity(t *testing.T) {
+	e := buildEstimator()
+	other := NewTableStats("dept", []string{"gid"})
+	for i := 0; i < 10; i++ {
+		other.Observe([]value.Value{value.Int(int64(i % 2))})
+	}
+	e.AddTable(other)
+	// max(distinct) = max(4, 2) = 4.
+	almost(t, "equi-join", e.JoinSelectivity("emp", "grade", value.OpEq, "dept", "gid"), 0.25)
+	almost(t, "ne-join", e.JoinSelectivity("emp", "grade", value.OpNe, "dept", "gid"), DefaultNeSel)
+	almost(t, "range-join", e.JoinSelectivity("emp", "grade", value.OpLt, "dept", "gid"), DefaultRangeSel)
+}
+
+func TestNilEstimatorDefaults(t *testing.T) {
+	var e *Estimator
+	almost(t, "nil Card", e.Card("x"), 1)
+	almost(t, "nil eq", e.SelectivityConst("x", "y", value.OpEq, value.Int(1)), DefaultEqSel)
+	if e.Table("x") != nil {
+		t.Error("nil estimator returned a table")
+	}
+}
+
+func TestSinglePointColumn(t *testing.T) {
+	e := NewEstimator()
+	ts := NewTableStats("one", []string{"k"})
+	for i := 0; i < 5; i++ {
+		ts.Observe([]value.Value{value.Int(7)})
+	}
+	e.AddTable(ts)
+	almost(t, "k < 7", e.SelectivityConst("one", "k", value.OpLt, value.Int(7)), 0)
+	almost(t, "k <= 7", e.SelectivityConst("one", "k", value.OpLe, value.Int(7)), 1)
+	almost(t, "k > 3", e.SelectivityConst("one", "k", value.OpGt, value.Int(3)), 1)
+}
+
+func TestMixedKindColumnFallsBack(t *testing.T) {
+	e := NewEstimator()
+	ts := NewTableStats("mix", []string{"k"})
+	ts.Observe([]value.Value{value.Int(1)})
+	ts.Observe([]value.Value{value.String_("a")})
+	e.AddTable(ts)
+	almost(t, "mixed <", e.SelectivityConst("mix", "k", value.OpLt, value.Int(5)), DefaultRangeSel)
+}

@@ -30,6 +30,17 @@ type Counters struct {
 	RefTuples     int64 // reference tuples materialized in the combination phase
 	PeakRefTuples int64 // largest single reference relation built
 
+	HashJoins      int64 // combination-phase joins resolved through a hash table
+	CartesianJoins int64 // combination-phase joins with no shared variable (cross products)
+
+	// PlanOrder is the scan order the planner chose for the most recent
+	// evaluation, for plan-quality reporting.
+	PlanOrder []string
+	// CostBasedPlans counts physical plans built with the cost-based
+	// ordering (vs the static tie-break); one evaluation may build
+	// several when the Lemma 1 adaptation re-plans.
+	CostBasedPlans int64
+
 	Structures []StructStat // sizes of named intermediate structures
 }
 
@@ -88,6 +99,34 @@ func (c *Counters) CountRefTuples(n, sz int) {
 	}
 }
 
+// CountHashJoin records one hash-resolved combination-phase join.
+func (c *Counters) CountHashJoin() {
+	if c == nil {
+		return
+	}
+	c.HashJoins++
+}
+
+// CountCartesianJoin records one variable-disjoint (cross product) join.
+func (c *Counters) CountCartesianJoin() {
+	if c == nil {
+		return
+	}
+	c.CartesianJoins++
+}
+
+// RecordPlanOrder notes the scan order the planner chose; costBased
+// reports whether the cost-based ordering produced it.
+func (c *Counters) RecordPlanOrder(order []string, costBased bool) {
+	if c == nil {
+		return
+	}
+	c.PlanOrder = append(c.PlanOrder[:0], order...)
+	if costBased {
+		c.CostBasedPlans++
+	}
+}
+
 // RecordStructure notes the final size of a named intermediate structure.
 func (c *Counters) RecordStructure(name, kind string, size int) {
 	if c == nil {
@@ -127,6 +166,12 @@ func (c *Counters) Merge(other *Counters) {
 	if other.PeakRefTuples > c.PeakRefTuples {
 		c.PeakRefTuples = other.PeakRefTuples
 	}
+	c.HashJoins += other.HashJoins
+	c.CartesianJoins += other.CartesianJoins
+	c.CostBasedPlans += other.CostBasedPlans
+	if len(other.PlanOrder) > 0 {
+		c.PlanOrder = append(c.PlanOrder[:0], other.PlanOrder...)
+	}
 	c.Structures = append(c.Structures, other.Structures...)
 }
 
@@ -156,6 +201,10 @@ func (c *Counters) String() string {
 	fmt.Fprintf(&b, "\ntuples read: %d, index probes: %d, comparisons: %d\n",
 		c.TuplesRead, c.IndexProbes, c.Comparisons)
 	fmt.Fprintf(&b, "ref tuples built: %d (peak structure %d)\n", c.RefTuples, c.PeakRefTuples)
+	fmt.Fprintf(&b, "combination joins: hash=%d cartesian=%d\n", c.HashJoins, c.CartesianJoins)
+	if len(c.PlanOrder) > 0 {
+		fmt.Fprintf(&b, "scan order: %s\n", strings.Join(c.PlanOrder, " -> "))
+	}
 	for _, s := range c.Structures {
 		fmt.Fprintf(&b, "  %-16s %-13s size=%d\n", s.Name, s.Kind, s.Size)
 	}

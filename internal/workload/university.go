@@ -322,6 +322,29 @@ func DisjunctiveSelection() *calculus.Selection {
 	}
 }
 
+// JoinHeavySelection builds the cost-ordering showcase: a three-way
+// join whose selective variables (professors, sophomore courses) are
+// declared BEFORE the bulky timetable, so the static planner indexes
+// the selective sides and probes with every timetable tuple while the
+// cost-based planner scans timetable first and probes with the few
+// restricted tuples. BenchmarkCostBasedJoin and experiment E15 share it.
+func JoinHeavySelection() *calculus.Selection {
+	return &calculus.Selection{
+		Proj: []calculus.Field{{Var: "e", Col: "ename"}, {Var: "c", Col: "cnr"}},
+		Free: []calculus.Decl{
+			{Var: "e", Range: &calculus.RangeExpr{Rel: "employees"}},
+			{Var: "c", Range: &calculus.RangeExpr{Rel: "courses"}},
+			{Var: "t", Range: &calculus.RangeExpr{Rel: "timetable"}},
+		},
+		Pred: calculus.NewAnd(
+			&calculus.Cmp{L: calculus.Field{Var: "e", Col: "estatus"}, Op: value.OpEq, R: calculus.Label{Name: "professor"}},
+			&calculus.Cmp{L: calculus.Field{Var: "c", Col: "clevel"}, Op: value.OpLe, R: calculus.Label{Name: "sophomore"}},
+			&calculus.Cmp{L: calculus.Field{Var: "e", Col: "enr"}, Op: value.OpEq, R: calculus.Field{Var: "t", Col: "tenr"}},
+			&calculus.Cmp{L: calculus.Field{Var: "c", Col: "cnr"}, Op: value.OpEq, R: calculus.Field{Var: "t", Col: "tcnr"}},
+		),
+	}
+}
+
 // ProfessorsSelection builds the trivial monadic query the adapted form
 // of Example 2.2 reduces to when papers is empty:
 // the names of all professors.

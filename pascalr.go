@@ -105,6 +105,9 @@ type Database struct {
 	db         *relation.DB
 	st         *stats.Counters
 	strategies Strategy
+	// est caches the statistics cost-based planning needs; Exec (the
+	// only public mutation path) invalidates it.
+	est *stats.Estimator
 }
 
 // New returns an empty database with all optimization strategies
@@ -130,6 +133,7 @@ type config struct {
 	strategies   Strategy
 	useBaseline  bool
 	maxRefTuples int64
+	costBased    bool
 }
 
 // Option customizes a single Query or Explain call.
@@ -154,9 +158,19 @@ func WithMaxRefTuples(n int64) Option {
 	return func(c *config) { c.maxRefTuples = n }
 }
 
+// WithCostBased plans the evaluation from cardinality estimates: scan
+// ordering, probe/index side selection, combination-phase join ordering,
+// and the optimizer's extraction decisions all consult per-relation
+// statistics collected just before planning, instead of the paper's
+// static priorities.
+func WithCostBased() Option {
+	return func(c *config) { c.costBased = true }
+}
+
 // Exec parses and executes a PASCAL/R script: TYPE and VAR sections,
 // assignments (:=), inserts (:+), and deletes (:-).
 func (d *Database) Exec(src string) error {
+	d.est = nil // contents may change; invalidate cached statistics
 	prog, err := parser.Parse(src, d.db.Catalog())
 	if err != nil {
 		return err
@@ -284,7 +298,21 @@ func (d *Database) evalSelection(sel *calculus.Selection, c config) (*relation.R
 	return eng.Eval(checked, info, engine.Options{
 		Strategies:   engine.Strategy(c.strategies),
 		MaxRefTuples: c.maxRefTuples,
+		CostBased:    c.costBased,
+		Estimator:    d.estimator(c),
 	})
+}
+
+// estimator returns the cached statistics for cost-based calls,
+// analyzing the database on first use after a mutation.
+func (d *Database) estimator(c config) *stats.Estimator {
+	if !c.costBased {
+		return nil
+	}
+	if d.est == nil {
+		d.est = d.db.Analyze()
+	}
+	return d.est
 }
 
 // Query evaluates a selection expression and returns its result.
@@ -330,7 +358,11 @@ func (d *Database) Explain(src string, opts ...Option) (string, error) {
 		return "", err
 	}
 	eng := engine.New(d.db, nil)
-	return eng.Explain(checked, engine.Options{Strategies: engine.Strategy(c.strategies)})
+	return eng.Explain(checked, engine.Options{
+		Strategies: engine.Strategy(c.strategies),
+		CostBased:  c.costBased,
+		Estimator:  d.estimator(c),
+	})
 }
 
 // CreateIndex declares a permanent index on one component of a
@@ -373,13 +405,16 @@ func (d *Database) Dump(name string) (*Result, error) {
 // base-relation scans, tuples read, index probes, comparisons, and
 // reference tuples materialized.
 type Stats struct {
-	TotalScans    int
-	ScansOf       map[string]int
-	TuplesRead    int64
-	IndexProbes   int64
-	Comparisons   int64
-	RefTuples     int64
-	PeakRefTuples int64
+	TotalScans     int
+	ScansOf        map[string]int
+	TuplesRead     int64
+	IndexProbes    int64
+	Comparisons    int64
+	RefTuples      int64
+	PeakRefTuples  int64
+	HashJoins      int64
+	CartesianJoins int64
+	PlanOrder      []string // scan order of the most recent evaluation
 }
 
 // Stats returns a snapshot of the accumulated counters.
@@ -389,13 +424,16 @@ func (d *Database) Stats() Stats {
 		scans[k] = v
 	}
 	return Stats{
-		TotalScans:    d.st.TotalScans(),
-		ScansOf:       scans,
-		TuplesRead:    d.st.TuplesRead,
-		IndexProbes:   d.st.IndexProbes,
-		Comparisons:   d.st.Comparisons,
-		RefTuples:     d.st.RefTuples,
-		PeakRefTuples: d.st.PeakRefTuples,
+		TotalScans:     d.st.TotalScans(),
+		ScansOf:        scans,
+		TuplesRead:     d.st.TuplesRead,
+		IndexProbes:    d.st.IndexProbes,
+		Comparisons:    d.st.Comparisons,
+		RefTuples:      d.st.RefTuples,
+		PeakRefTuples:  d.st.PeakRefTuples,
+		HashJoins:      d.st.HashJoins,
+		CartesianJoins: d.st.CartesianJoins,
+		PlanOrder:      append([]string(nil), d.st.PlanOrder...),
 	}
 }
 

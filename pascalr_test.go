@@ -93,6 +93,27 @@ func TestStrategySubsetsAgree(t *testing.T) {
 	}
 }
 
+// TestCostBasedThroughPublicAPI checks that WithCostBased yields the
+// same result as the static planner and surfaces in EXPLAIN output.
+func TestCostBasedThroughPublicAPI(t *testing.T) {
+	db, err := Open(sampleScript)
+	if err != nil {
+		t.Fatal(err)
+	}
+	static := names(t, db.MustQuery(example21))
+	cost := names(t, db.MustQuery(example21, WithCostBased()))
+	if strings.Join(static, ",") != strings.Join(cost, ",") {
+		t.Errorf("cost-based result %v differs from static %v", cost, static)
+	}
+	plan, err := db.Explain(example21, WithCostBased())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan, "cost-based") {
+		t.Errorf("EXPLAIN under WithCostBased missing ordering note:\n%s", plan)
+	}
+}
+
 func TestExecStatements(t *testing.T) {
 	db, err := Open(sampleScript)
 	if err != nil {
