@@ -1,0 +1,299 @@
+package pascalr
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// TestPrepareAndRows drives the prepared-statement API end to end:
+// prepared executions must match the one-shot result, and the cursor
+// must stream the same tuples with working typed Scan.
+func TestPrepareAndRows(t *testing.T) {
+	ctx := context.Background()
+	db := New()
+	db.MustExec(sampleScript)
+
+	want := names(t, db.MustQuery(example21))
+
+	stmt, err := db.Prepare(example21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for run := 1; run <= 2; run++ {
+		res, err := stmt.Query(ctx)
+		if err != nil {
+			t.Fatalf("prepared run %d: %v", run, err)
+		}
+		got := names(t, res)
+		if fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Fatalf("prepared run %d: got %v, want %v", run, got, want)
+		}
+	}
+
+	rows, err := stmt.Rows(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rows.Close()
+	if cols := rows.Columns(); len(cols) != 1 || cols[0] != "ename" {
+		t.Fatalf("columns: got %v", cols)
+	}
+	var streamed []string
+	for rows.Next() {
+		var name string
+		if err := rows.Scan(&name); err != nil {
+			t.Fatal(err)
+		}
+		streamed = append(streamed, name)
+	}
+	if err := rows.Err(); err != nil {
+		t.Fatal(err)
+	}
+	sortAndCompare(t, streamed, want)
+	// After exhaustion the current row is gone: Scan must error rather
+	// than silently re-reading the final tuple, and Values returns nil.
+	var stale string
+	if err := rows.Scan(&stale); err == nil {
+		t.Fatal("Scan after exhausted Next should error")
+	}
+	if vals := rows.Values(); vals != nil {
+		t.Fatalf("Values after exhausted Next: got %v, want nil", vals)
+	}
+}
+
+func sortAndCompare(t *testing.T, got, want []string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	seen := map[string]int{}
+	for _, g := range got {
+		seen[g]++
+	}
+	for _, w := range want {
+		seen[w]--
+	}
+	for k, n := range seen {
+		if n != 0 {
+			t.Fatalf("mismatch on %q: got %v, want %v", k, got, want)
+		}
+	}
+}
+
+// TestStmtObservesMutations: a prepared statement must see inserts,
+// deletes, and emptied relations performed after Prepare.
+func TestStmtObservesMutations(t *testing.T) {
+	ctx := context.Background()
+	db := New()
+	db.MustExec(sampleScript)
+	stmt, err := db.Prepare(`[<e.ename> OF EACH e IN employees: (e.estatus = professor)]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := stmt.Query(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 3 {
+		t.Fatalf("initial professors: got %d, want 3", res.Len())
+	}
+	db.MustExec(`employees :+ [<5, 'eve', professor>];`)
+	if res, err = stmt.Query(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 4 {
+		t.Fatalf("after insert: got %d, want 4", res.Len())
+	}
+	// Emptying papers changes the Lemma 1 fold of example21; the sample
+	// query must recompile and then match ALL-over-empty semantics.
+	full, err := db.Prepare(example21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := full.Query(ctx); err != nil {
+		t.Fatal(err)
+	}
+	db.MustExec(`papers :- [<'t1', 1>, <'t2', 3>];`)
+	got, err := full.Query(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oneShot := db.MustQuery(example21, WithoutPlanCache())
+	if fmt.Sprint(names(t, got)) != fmt.Sprint(names(t, oneShot)) {
+		t.Fatalf("prepared after emptying papers: got %v, want %v", names(t, got), names(t, oneShot))
+	}
+}
+
+// TestStmtRejectsCompileOptions: compile-time options on a prepared
+// execution must error instead of silently running a different plan.
+func TestStmtRejectsCompileOptions(t *testing.T) {
+	db := New()
+	db.MustExec(sampleScript)
+	stmt, err := db.Prepare(example21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := stmt.Query(context.Background(), WithStrategies(S1)); err == nil {
+		t.Fatal("WithStrategies on a prepared statement should error")
+	}
+	if _, err := stmt.Rows(context.Background(), WithCostBased()); err == nil {
+		t.Fatal("WithCostBased on a prepared statement should error")
+	}
+	if _, err := db.Prepare(example21, WithBaseline()); err == nil {
+		t.Fatal("Prepare(WithBaseline) should error")
+	}
+}
+
+// TestQueryPlanCache: repeated one-shot queries must reuse one prepared
+// statement, and WithoutPlanCache must bypass it.
+func TestQueryPlanCache(t *testing.T) {
+	db := New()
+	db.MustExec(sampleScript)
+	if _, err := db.Query(example21); err != nil {
+		t.Fatal(err)
+	}
+	s1, ok := db.plans.get(cacheKey(example21, db.newConfig(nil)))
+	if !ok {
+		t.Fatal("query did not populate the plan cache")
+	}
+	if _, err := db.Query(example21); err != nil {
+		t.Fatal(err)
+	}
+	s2, _ := db.plans.get(cacheKey(example21, db.newConfig(nil)))
+	if s1 != s2 {
+		t.Fatal("second query compiled a new statement instead of reusing the cached one")
+	}
+	// Different compile options get a distinct entry.
+	if _, err := db.Query(example21, WithStrategies(S1)); err != nil {
+		t.Fatal(err)
+	}
+	if db.plans.len() != 2 {
+		t.Fatalf("plan cache has %d entries, want 2", db.plans.len())
+	}
+	before := db.plans.len()
+	if _, err := db.Query(example21, WithoutPlanCache()); err != nil {
+		t.Fatal(err)
+	}
+	if db.plans.len() != before {
+		t.Fatal("WithoutPlanCache still touched the cache")
+	}
+}
+
+// TestPlanCacheLRU: the cache must evict its least-recently-used entry
+// at capacity.
+func TestPlanCacheLRU(t *testing.T) {
+	pc := newPlanCache(2)
+	a, b, c := &Stmt{}, &Stmt{}, &Stmt{}
+	pc.put("a", a)
+	pc.put("b", b)
+	if _, ok := pc.get("a"); !ok { // refresh a; b becomes LRU
+		t.Fatal("a missing")
+	}
+	pc.put("c", c)
+	if _, ok := pc.get("b"); ok {
+		t.Fatal("b should have been evicted")
+	}
+	if got, ok := pc.get("a"); !ok || got != a {
+		t.Fatal("a lost")
+	}
+	if got, ok := pc.get("c"); !ok || got != c {
+		t.Fatal("c lost")
+	}
+}
+
+// TestEstimatorSurvivesDeclarations is the over-eager-invalidation fix:
+// scripts that only declare types or relations, and statements that
+// mutate nothing, must keep the cached statistics; content mutations
+// must refresh them.
+func TestEstimatorSurvivesDeclarations(t *testing.T) {
+	db := New()
+	db.MustExec(sampleScript)
+	if _, err := db.Query(example21, WithCostBased()); err != nil {
+		t.Fatal(err)
+	}
+	est := db.est
+	if est == nil {
+		t.Fatal("cost-based query did not populate the estimator")
+	}
+	db.MustExec(`TYPE gradetype = 1..5;`)
+	db.MustExec(`VAR grades : RELATION <g> OF RECORD g : gradetype END;`)
+	db.MustExec(`papers :- [<'absent', 99>];`) // deletes nothing
+	if _, err := db.Query(example21, WithCostBased(), WithoutPlanCache()); err != nil {
+		t.Fatal(err)
+	}
+	if db.est != est {
+		t.Fatal("TYPE/VAR declarations or no-op statements invalidated the estimator")
+	}
+	db.MustExec(`papers :+ [<4, 1981, 't9'>];`)
+	if _, err := db.Query(example21, WithCostBased(), WithoutPlanCache()); err != nil {
+		t.Fatal(err)
+	}
+	if db.est == est {
+		t.Fatal("content mutation did not refresh the estimator")
+	}
+}
+
+// TestQueryRowsCancellation cancels a streaming query mid-iteration
+// through the public API.
+func TestQueryRowsCancellation(t *testing.T) {
+	db := New()
+	db.MustExec(sampleScript)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	rows, err := db.QueryRows(ctx, example21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rows.Close()
+	if !rows.Next() {
+		t.Fatalf("first Next failed: %v", rows.Err())
+	}
+	if vals := rows.Values(); len(vals) != 1 {
+		t.Fatalf("Values: got %v", vals)
+	}
+	cancel()
+	if rows.Next() {
+		t.Fatal("Next succeeded after cancellation")
+	}
+	if !errors.Is(rows.Err(), context.Canceled) {
+		t.Fatalf("rows error: got %v, want context.Canceled", rows.Err())
+	}
+	// A fresh context keeps working — cancellation is per call, not per
+	// statement.
+	if _, err := db.QueryContext(context.Background(), example21); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMaxRefTuplesPerExecution: the reference-tuple budget bounds each
+// execution, not the shared counter's lifetime total — re-executing a
+// prepared or cached plan within budget must never trip it.
+func TestMaxRefTuplesPerExecution(t *testing.T) {
+	ctx := context.Background()
+	db := New()
+	db.MustExec(sampleScript)
+	// Measure one execution's materialization.
+	db.ResetStats()
+	if _, err := db.Query(example21, WithStrategies(NoStrategies), WithoutPlanCache()); err != nil {
+		t.Fatal(err)
+	}
+	n := db.Stats().RefTuples
+	if n == 0 {
+		t.Fatal("query materialized no reference tuples; budget test is vacuous")
+	}
+	stmt, err := db.Prepare(example21, WithStrategies(NoStrategies))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for run := 1; run <= 4; run++ {
+		if _, err := stmt.Query(ctx, WithMaxRefTuples(2*n)); err != nil {
+			t.Fatalf("run %d exceeded a budget every single execution fits in: %v", run, err)
+		}
+	}
+	// A genuinely too-small budget must still abort.
+	if _, err := stmt.Query(ctx, WithMaxRefTuples(n/2)); err == nil {
+		t.Fatal("half-budget execution should fail")
+	}
+}

@@ -6,6 +6,7 @@ package pascalr
 // scale sweeps.
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -48,7 +49,7 @@ func BenchmarkE2_Collection(b *testing.B) {
 	eng := engine.New(db, nil)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := eng.Eval(sel, info, engine.Options{Strategies: engine.AllStrategies}); err != nil {
+		if _, err := eng.Eval(context.Background(), sel, info, engine.Options{Strategies: engine.AllStrategies}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -76,7 +77,7 @@ func BenchmarkE4_Adaptation(b *testing.B) {
 	eng := engine.New(db, nil)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := eng.Eval(sel, info, engine.Options{Strategies: engine.AllStrategies}); err != nil {
+		if _, err := eng.Eval(context.Background(), sel, info, engine.Options{Strategies: engine.AllStrategies}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -106,7 +107,7 @@ func BenchmarkE6_Phases(b *testing.B) {
 	eng := engine.New(db, nil)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := eng.Eval(sel, info, engine.Options{Strategies: engine.S1}); err != nil {
+		if _, err := eng.Eval(context.Background(), sel, info, engine.Options{Strategies: engine.S1}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -119,7 +120,7 @@ func benchStrategy(b *testing.B, strat engine.Strategy) {
 	eng := engine.New(db, nil)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := eng.Eval(sel, info, engine.Options{Strategies: strat}); err != nil {
+		if _, err := eng.Eval(context.Background(), sel, info, engine.Options{Strategies: strat}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -212,7 +213,7 @@ func BenchmarkE14_CNF(b *testing.B) {
 		eng := engine.New(db, nil)
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			if _, err := eng.Eval(sel, info, engine.Options{Strategies: strat}); err != nil {
+			if _, err := eng.Eval(context.Background(), sel, info, engine.Options{Strategies: strat}); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -275,7 +276,7 @@ func BenchmarkCostBasedJoin(b *testing.B) {
 					if mode.costBased {
 						opts.Estimator = est
 					}
-					if _, err := eng.Eval(sel, info, opts); err != nil {
+					if _, err := eng.Eval(context.Background(), sel, info, opts); err != nil {
 						b.Fatal(err)
 					}
 				}
@@ -319,6 +320,56 @@ func BenchmarkOptimizerTransforms(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			x := optimizer.FromStandardForm(extracted)
 			optimizer.EliminateQuantifiers(x)
+		}
+	})
+}
+
+// BenchmarkPreparedRepeat measures the compile/execute split on the
+// Figure 1 university workload running the paper's Example 2.1 query
+// repeatedly: "oneshot" compiles from scratch every iteration
+// (WithoutPlanCache), "cached" goes through the one-shot Query path and
+// its LRU plan cache, and "prepared" re-executes a single Stmt.
+// Prepared and cached executions skip parsing, checking,
+// standardization, and logical optimization; the gap between "oneshot"
+// and the other two is the amortized compilation cost that CI watches
+// for plan-cache regressions.
+func BenchmarkPreparedRepeat(b *testing.B) {
+	mk := func(b *testing.B) *Database {
+		b.Helper()
+		db := New()
+		db.MustExec(sampleScript)
+		return db
+	}
+	b.Run("oneshot", func(b *testing.B) {
+		db := mk(b)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := db.Query(example21, WithoutPlanCache()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("cached", func(b *testing.B) {
+		db := mk(b)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := db.Query(example21); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("prepared", func(b *testing.B) {
+		db := mk(b)
+		stmt, err := db.Prepare(example21)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ctx := context.Background()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := stmt.Query(ctx); err != nil {
+				b.Fatal(err)
+			}
 		}
 	})
 }

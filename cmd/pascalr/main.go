@@ -12,9 +12,12 @@ package main
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
 	"strings"
 
@@ -93,12 +96,32 @@ func main() {
 			return
 		}
 		db.ResetStats()
-		res, err := db.Query(q, opts...)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			return
+		if *useBaseline {
+			// The tuple-substitution oracle observes no context, so no
+			// SIGINT handler is installed — Ctrl-C keeps its default
+			// process-killing behaviour instead of being swallowed.
+			res, err := db.Query(q, opts...)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			fmt.Print(res)
+		} else {
+			// Ctrl-C cancels the running query (and only it): the signal
+			// context is cancelled by SIGINT and released when the query
+			// finishes, so the next interrupt reaches the process again.
+			ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+			err := streamQuery(ctx, db, q, opts)
+			stop()
+			if err != nil {
+				if errors.Is(err, context.Canceled) {
+					fmt.Fprintln(os.Stderr, "query cancelled")
+				} else {
+					fmt.Fprintln(os.Stderr, err)
+				}
+				return
+			}
 		}
-		fmt.Print(res)
 		if *showStats {
 			printStats(db.Stats())
 		}
@@ -114,6 +137,39 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+// streamQuery evaluates q through the streaming cursor API, printing
+// result tuples as the construction phase yields them — output starts
+// before the full result is materialized, and a cancelled context stops
+// mid-stream.
+func streamQuery(ctx context.Context, db *pascalr.Database, q string, opts []pascalr.Option) error {
+	rows, err := db.QueryRows(ctx, q, opts...)
+	if err != nil {
+		return err
+	}
+	defer rows.Close()
+	cols := rows.Columns()
+	fmt.Println(strings.Join(cols, "  "))
+	dashes := make([]string, len(cols))
+	for i, c := range cols {
+		dashes[i] = strings.Repeat("-", len(c))
+	}
+	fmt.Println(strings.Join(dashes, "  "))
+	n := 0
+	for rows.Next() {
+		parts := make([]string, 0, len(cols))
+		for _, v := range rows.Values() {
+			parts = append(parts, fmt.Sprintf("%v", v))
+		}
+		fmt.Println(strings.Join(parts, "  "))
+		n++
+	}
+	if err := rows.Err(); err != nil {
+		return err
+	}
+	fmt.Printf("(%d tuples)\n", n)
+	return nil
 }
 
 func loadUniversity(db *pascalr.Database, scale int) error {
@@ -204,6 +260,7 @@ func printStats(st pascalr.Stats) {
 func repl(db *pascalr.Database, runQuery func(string)) {
 	fmt.Println("PASCAL/R — statements end with ';', selections start with '[<'.")
 	fmt.Println("Commands: \\q quit, \\d list relations, \\d NAME dump relation.")
+	fmt.Println("Ctrl-C cancels the running query.")
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	var buf strings.Builder

@@ -8,6 +8,7 @@
 package algebra
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -15,6 +16,24 @@ import (
 	"pascalr/internal/stats"
 	"pascalr/internal/value"
 )
+
+// cancelCheckInterval is how many row operations pass between context
+// checks inside the set operations; combination-phase loops over large
+// intermediate results stay responsive to cancellation.
+const cancelCheckInterval = 4096
+
+// ticker checks a context every cancelCheckInterval ticks.
+type ticker struct {
+	ctx context.Context
+	n   int
+}
+
+func (t *ticker) tick() error {
+	if t.n++; t.n%cancelCheckInterval == 0 {
+		return t.ctx.Err()
+	}
+	return nil
+}
 
 // RefRel is a set of tuples of references, with one named column per
 // selection-expression variable.
@@ -118,8 +137,10 @@ func shared(a, b *RefRel) (vars []string, ai, bi []int) {
 // Join computes the natural join of a and b on their shared variables.
 // With no shared variables it degenerates to the Cartesian product,
 // which is exactly the standard algorithm's behaviour for conjunctions
-// that do not link all variables.
-func Join(a, b *RefRel, st *stats.Counters) *RefRel {
+// that do not link all variables. The context is checked periodically —
+// a runaway product aborts with ctx.Err() instead of materializing.
+func Join(ctx context.Context, a, b *RefRel, st *stats.Counters) (*RefRel, error) {
+	tk := ticker{ctx: ctx}
 	sv, ai, bi := shared(a, b)
 	outVars := append([]string(nil), a.vars...)
 	for _, v := range b.vars {
@@ -132,10 +153,13 @@ func Join(a, b *RefRel, st *stats.Counters) *RefRel {
 		st.CountCartesianJoin()
 		for _, ra := range a.rows {
 			for _, rb := range b.rows {
+				if err := tk.tick(); err != nil {
+					return nil, err
+				}
 				out.Add(concatRows(ra, rb, b, nil))
 			}
 		}
-		return out
+		return out, nil
 	}
 	st.CountHashJoin()
 	// Hash the smaller side on the shared key, probe with the larger.
@@ -149,12 +173,21 @@ func Join(a, b *RefRel, st *stats.Counters) *RefRel {
 	}
 	ht := make(map[string][]int, build.Len())
 	for i, row := range build.rows {
+		if err := tk.tick(); err != nil {
+			return nil, err
+		}
 		k := keyAt(row, bIdx)
 		ht[k] = append(ht[k], i)
 	}
 	for _, prow := range probe.rows {
 		st.CountProbes(1)
+		if err := tk.tick(); err != nil {
+			return nil, err
+		}
 		for _, i := range ht[keyAt(prow, pIdx)] {
+			if err := tk.tick(); err != nil {
+				return nil, err
+			}
 			brow := build.rows[i]
 			var arow, brow2 []value.Value
 			if buildIsA {
@@ -165,7 +198,7 @@ func Join(a, b *RefRel, st *stats.Counters) *RefRel {
 			out.Add(concatRows(arow, brow2, b, a))
 		}
 	}
-	return out
+	return out, nil
 }
 
 // concatRows builds an output row: all of a's columns, then b's columns
@@ -186,16 +219,16 @@ func concatRows(arow, brow []value.Value, bRel, aRel *RefRel) []value.Value {
 
 // Cartesian computes the Cartesian product of a and b, which must share
 // no variables.
-func Cartesian(a, b *RefRel, st *stats.Counters) *RefRel {
+func Cartesian(ctx context.Context, a, b *RefRel, st *stats.Counters) (*RefRel, error) {
 	if sv, _, _ := shared(a, b); len(sv) != 0 {
 		panic(fmt.Sprintf("algebra: Cartesian with shared variables %v", sv))
 	}
-	return Join(a, b, st)
+	return Join(ctx, a, b, st)
 }
 
 // Union computes a ∪ b; both must have the same variable set (column
 // order may differ; b's rows are permuted to a's order).
-func Union(a, b *RefRel, st *stats.Counters) (*RefRel, error) {
+func Union(ctx context.Context, a, b *RefRel, st *stats.Counters) (*RefRel, error) {
 	if len(a.vars) != len(b.vars) {
 		return nil, fmt.Errorf("algebra: union arity mismatch (%v vs %v)", a.vars, b.vars)
 	}
@@ -207,12 +240,19 @@ func Union(a, b *RefRel, st *stats.Counters) (*RefRel, error) {
 		}
 		perm[i] = j
 	}
+	tk := ticker{ctx: ctx}
 	out := New(a.vars, st)
 	for _, row := range a.rows {
+		if err := tk.tick(); err != nil {
+			return nil, err
+		}
 		out.Add(row)
 	}
 	tmp := make([]value.Value, len(a.vars))
 	for _, row := range b.rows {
+		if err := tk.tick(); err != nil {
+			return nil, err
+		}
 		for i, j := range perm {
 			tmp[i] = row[j]
 		}
@@ -223,7 +263,7 @@ func Union(a, b *RefRel, st *stats.Counters) (*RefRel, error) {
 
 // Project keeps only the named variables (existential quantifier
 // elimination), deduplicating the result.
-func Project(a *RefRel, keep []string, st *stats.Counters) (*RefRel, error) {
+func Project(ctx context.Context, a *RefRel, keep []string, st *stats.Counters) (*RefRel, error) {
 	idx := make([]int, len(keep))
 	for i, v := range keep {
 		j, ok := a.varIdx[v]
@@ -232,9 +272,13 @@ func Project(a *RefRel, keep []string, st *stats.Counters) (*RefRel, error) {
 		}
 		idx[i] = j
 	}
+	tk := ticker{ctx: ctx}
 	out := New(keep, st)
 	tmp := make([]value.Value, len(keep))
 	for _, row := range a.rows {
+		if err := tk.tick(); err != nil {
+			return nil, err
+		}
 		for i, j := range idx {
 			tmp[i] = row[j]
 		}
@@ -251,7 +295,7 @@ func Project(a *RefRel, keep []string, st *stats.Counters) (*RefRel, error) {
 // variables; callers evaluating ALL over a possibly-empty range must
 // fold that case out beforehand (Lemma 1), because the correct answer
 // there is "all bindings", not "all bindings present in a".
-func Divide(a *RefRel, v string, divisor []value.Value, st *stats.Counters) (*RefRel, error) {
+func Divide(ctx context.Context, a *RefRel, v string, divisor []value.Value, st *stats.Counters) (*RefRel, error) {
 	vi, ok := a.varIdx[v]
 	if !ok {
 		return nil, fmt.Errorf("algebra: divide on absent variable %s", v)
@@ -277,9 +321,13 @@ func Divide(a *RefRel, v string, divisor []value.Value, st *stats.Counters) (*Re
 		row  []value.Value
 		seen map[string]struct{}
 	}
+	tk := ticker{ctx: ctx}
 	groups := make(map[string]*group)
 	order := make([]string, 0)
 	for _, row := range a.rows {
+		if err := tk.tick(); err != nil {
+			return nil, err
+		}
 		gk := keyAt(row, restIdx)
 		g := groups[gk]
 		if g == nil {
@@ -309,28 +357,38 @@ func Divide(a *RefRel, v string, divisor []value.Value, st *stats.Counters) (*Re
 // Semijoin returns the rows of a that join with at least one row of b on
 // their shared variables. It backs strategy-2 style restriction between
 // intermediate structures.
-func Semijoin(a, b *RefRel, st *stats.Counters) *RefRel {
+func Semijoin(ctx context.Context, a, b *RefRel, st *stats.Counters) (*RefRel, error) {
+	tk := ticker{ctx: ctx}
 	sv, ai, bi := shared(a, b)
 	out := New(a.vars, st)
 	if len(sv) == 0 {
 		if b.Len() > 0 {
 			for _, row := range a.rows {
+				if err := tk.tick(); err != nil {
+					return nil, err
+				}
 				out.Add(row)
 			}
 		}
-		return out
+		return out, nil
 	}
 	ht := make(map[string]struct{}, b.Len())
 	for _, row := range b.rows {
+		if err := tk.tick(); err != nil {
+			return nil, err
+		}
 		ht[keyAt(row, bi)] = struct{}{}
 	}
 	for _, row := range a.rows {
 		st.CountProbes(1)
+		if err := tk.tick(); err != nil {
+			return nil, err
+		}
 		if _, ok := ht[keyAt(row, ai)]; ok {
 			out.Add(row)
 		}
 	}
-	return out
+	return out, nil
 }
 
 // FromRefs builds a single-column reference relation from a reference

@@ -1,6 +1,8 @@
 package algebra
 
 import (
+	"context"
+	"errors"
 	"reflect"
 	"testing"
 	"testing/quick"
@@ -62,6 +64,35 @@ func TestDuplicateVarsPanics(t *testing.T) {
 	New([]string{"a", "a"}, nil)
 }
 
+// joinT / cartesianT / semijoinT unwrap the context-taking operations
+// for tests that never cancel.
+func joinT(t *testing.T, a, b *RefRel) *RefRel {
+	t.Helper()
+	out, err := Join(context.Background(), a, b, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func cartesianT(t *testing.T, a, b *RefRel) *RefRel {
+	t.Helper()
+	out, err := Cartesian(context.Background(), a, b, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func semijoinT(t *testing.T, a, b *RefRel) *RefRel {
+	t.Helper()
+	out, err := Semijoin(context.Background(), a, b, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
 func TestJoinShared(t *testing.T) {
 	// a(x,y): (1,10),(2,20); b(y,z): (10,100),(10,101),(30,300)
 	a := mk(t, []string{"x", "y"},
@@ -71,7 +102,7 @@ func TestJoinShared(t *testing.T) {
 		row(ref(1, 10), ref(2, 100)),
 		row(ref(1, 10), ref(2, 101)),
 		row(ref(1, 30), ref(2, 300)))
-	out := Join(a, b, nil)
+	out := joinT(t, a, b)
 	if !reflect.DeepEqual(out.Vars(), []string{"x", "y", "z"}) {
 		t.Fatalf("vars = %v", out.Vars())
 	}
@@ -93,18 +124,18 @@ func TestJoinSymmetric(t *testing.T) {
 		row(ref(1, 10), ref(2, 1)),
 		row(ref(1, 10), ref(2, 2)),
 		row(ref(1, 11), ref(2, 3)))
-	ab := Join(small, big, nil)
+	ab := joinT(t, small, big)
 	// Reverse roles: same shared var, flipped argument order. Column
 	// order differs but contents on shared semantics must match.
-	ba := Join(big, small, nil)
+	ba := joinT(t, big, small)
 	if ab.Len() != 2 || ba.Len() != 2 {
 		t.Fatalf("asymmetric join: %d vs %d", ab.Len(), ba.Len())
 	}
-	proj1, err := Project(ab, []string{"x", "y", "z"}, nil)
+	proj1, err := Project(context.Background(), ab, []string{"x", "y", "z"}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	proj2, err := Project(ba, []string{"x", "y", "z"}, nil)
+	proj2, err := Project(context.Background(), ba, []string{"x", "y", "z"}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,11 +147,11 @@ func TestJoinSymmetric(t *testing.T) {
 func TestJoinNoSharedIsCartesian(t *testing.T) {
 	a := mk(t, []string{"x"}, row(ref(0, 1)), row(ref(0, 2)))
 	b := mk(t, []string{"y"}, row(ref(1, 1)), row(ref(1, 2)), row(ref(1, 3)))
-	out := Join(a, b, nil)
+	out := joinT(t, a, b)
 	if out.Len() != 6 {
 		t.Errorf("cartesian size = %d", out.Len())
 	}
-	cart := Cartesian(a, b, nil)
+	cart := cartesianT(t, a, b)
 	if !reflect.DeepEqual(cart.SortedKeys(), out.SortedKeys()) {
 		t.Errorf("Cartesian differs from Join")
 	}
@@ -134,7 +165,7 @@ func TestCartesianPanicsOnShared(t *testing.T) {
 			t.Errorf("Cartesian with shared vars accepted")
 		}
 	}()
-	Cartesian(a, b, nil)
+	Cartesian(context.Background(), a, b, nil)
 }
 
 func TestUnion(t *testing.T) {
@@ -143,7 +174,7 @@ func TestUnion(t *testing.T) {
 	b := mk(t, []string{"y", "x"},
 		row(ref(1, 1), ref(0, 1)), // same tuple as a's, permuted
 		row(ref(1, 2), ref(0, 2)))
-	out, err := Union(a, b, nil)
+	out, err := Union(context.Background(), a, b, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -152,11 +183,11 @@ func TestUnion(t *testing.T) {
 	}
 	// Mismatched vars error.
 	c := mk(t, []string{"z"}, row(ref(2, 1)))
-	if _, err := Union(a, c, nil); err == nil {
+	if _, err := Union(context.Background(), a, c, nil); err == nil {
 		t.Errorf("union with mismatched vars accepted")
 	}
 	d := mk(t, []string{"x", "z"}, row(ref(0, 1), ref(2, 1)))
-	if _, err := Union(a, d, nil); err == nil {
+	if _, err := Union(context.Background(), a, d, nil); err == nil {
 		t.Errorf("union with differing var sets accepted")
 	}
 }
@@ -166,14 +197,14 @@ func TestProject(t *testing.T) {
 		row(ref(0, 1), ref(1, 1)),
 		row(ref(0, 1), ref(1, 2)),
 		row(ref(0, 2), ref(1, 3)))
-	out, err := Project(a, []string{"x"}, nil)
+	out, err := Project(context.Background(), a, []string{"x"}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if out.Len() != 2 {
 		t.Errorf("projection size = %d", out.Len())
 	}
-	if _, err := Project(a, []string{"zz"}, nil); err == nil {
+	if _, err := Project(context.Background(), a, []string{"zz"}, nil); err == nil {
 		t.Errorf("projection on absent var accepted")
 	}
 }
@@ -185,7 +216,7 @@ func TestDivide(t *testing.T) {
 		row(ref(0, 1), ref(1, 2)),
 		row(ref(0, 2), ref(1, 1)))
 	divisor := []value.Value{ref(1, 1), ref(1, 2)}
-	out, err := Divide(a, "p", divisor, nil)
+	out, err := Divide(context.Background(), a, "p", divisor, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -193,7 +224,7 @@ func TestDivide(t *testing.T) {
 		t.Errorf("division = %v", out.Rows())
 	}
 	// Duplicate divisor entries must not double-count.
-	out, err = Divide(a, "p", []value.Value{ref(1, 1), ref(1, 1)}, nil)
+	out, err = Divide(context.Background(), a, "p", []value.Value{ref(1, 1), ref(1, 1)}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -201,7 +232,7 @@ func TestDivide(t *testing.T) {
 		t.Errorf("division with dup divisor = %d rows, want 2", out.Len())
 	}
 	// Empty divisor degrades to projection (documented behaviour).
-	out, err = Divide(a, "p", nil, nil)
+	out, err = Divide(context.Background(), a, "p", nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -209,7 +240,7 @@ func TestDivide(t *testing.T) {
 		t.Errorf("division by empty = %d rows", out.Len())
 	}
 	// Absent variable errors.
-	if _, err := Divide(a, "zz", divisor, nil); err == nil {
+	if _, err := Divide(context.Background(), a, "zz", divisor, nil); err == nil {
 		t.Errorf("division on absent var accepted")
 	}
 }
@@ -220,7 +251,7 @@ func TestDivideMultiColumnRest(t *testing.T) {
 		row(ref(0, 1), ref(3, 1), ref(1, 1)),
 		row(ref(0, 1), ref(3, 1), ref(1, 2)),
 		row(ref(0, 1), ref(3, 2), ref(1, 1)))
-	out, err := Divide(a, "p", []value.Value{ref(1, 1), ref(1, 2)}, nil)
+	out, err := Divide(context.Background(), a, "p", []value.Value{ref(1, 1), ref(1, 2)}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -238,17 +269,17 @@ func TestSemijoin(t *testing.T) {
 		row(ref(0, 1), ref(1, 1)),
 		row(ref(0, 2), ref(1, 2)))
 	b := mk(t, []string{"y"}, row(ref(1, 1)))
-	out := Semijoin(a, b, nil)
+	out := semijoinT(t, a, b)
 	if out.Len() != 1 || !value.Equal(out.Rows()[0][0], ref(0, 1)) {
 		t.Errorf("semijoin = %v", out.Rows())
 	}
 	// No shared vars: b non-empty keeps everything; empty drops all.
 	c := mk(t, []string{"z"}, row(ref(2, 1)))
-	if Semijoin(a, c, nil).Len() != 2 {
+	if semijoinT(t, a, c).Len() != 2 {
 		t.Errorf("semijoin with disjoint non-empty b should keep all")
 	}
 	empty := New([]string{"z"}, nil)
-	if Semijoin(a, empty, nil).Len() != 0 {
+	if semijoinT(t, a, empty).Len() != 0 {
 		t.Errorf("semijoin with disjoint empty b should drop all")
 	}
 }
@@ -284,8 +315,8 @@ func TestDivideInvertsCartesian(t *testing.T) {
 			divisor = append(divisor, r)
 			d.Add(row(r))
 		}
-		prod := Cartesian(a, d, nil)
-		q, err := Divide(prod, "p", divisor, nil)
+		prod := cartesianT(t, a, d)
+		q, err := Divide(context.Background(), prod, "p", divisor, nil)
 		if err != nil {
 			return false
 		}
@@ -339,7 +370,7 @@ func TestJoinSubsetOfCartesian(t *testing.T) {
 		for i, s := range bv {
 			b.Add(row(ref(9, int(s%4)), ref(1, i)))
 		}
-		j := Join(a, b, nil)
+		j := joinT(t, a, b)
 		// Verify each joined row agrees and count against the naive loop.
 		n := 0
 		for _, ra := range a.Rows() {
@@ -353,5 +384,25 @@ func TestJoinSubsetOfCartesian(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestJoinCancellation: a cancelled context must abort a large product
+// mid-materialization with ctx.Err().
+func TestJoinCancellation(t *testing.T) {
+	rows := make([][]value.Value, 0, 3000)
+	for i := 0; i < 3000; i++ {
+		rows = append(rows, row(ref(0, i)))
+	}
+	a := mk(t, []string{"x"}, rows...)
+	brows := make([][]value.Value, 0, 3000)
+	for i := 0; i < 3000; i++ {
+		brows = append(brows, row(ref(1, i)))
+	}
+	b := mk(t, []string{"y"}, brows...)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Join(ctx, a, b, nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled cartesian join: got %v, want context.Canceled", err)
 	}
 }

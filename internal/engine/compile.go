@@ -1,0 +1,175 @@
+package engine
+
+import (
+	"context"
+	"sync"
+
+	"pascalr/internal/baseline"
+	"pascalr/internal/calculus"
+	"pascalr/internal/normalize"
+	"pascalr/internal/optimizer"
+	"pascalr/internal/relation"
+	"pascalr/internal/stats"
+)
+
+// Plan is a compiled, reusable evaluation plan: the compile-time half of
+// the query processor (empty-range fold, standardization, and the
+// logical strategies 3/4) run once, with the result held as an immutable
+// XForm template. Eval and Rows re-execute the run-time half —
+// collection, combination, construction — against the template, so
+// repeated executions of one selection skip parsing, checking, and
+// standardization entirely.
+//
+// The template is tagged with the database's content version. When the
+// database mutates, the next execution revalidates: statistics the plan
+// derived itself are refreshed, and the template is recompiled if the
+// Lemma 1 empty-range fold would now produce a different formula (the
+// prenex transformation assumed the ranges that were non-empty at
+// compile time — Example 2.2). Executions therefore always see current
+// data; only the compile work is amortized.
+//
+// A Plan's revalidation state is mutex-guarded, but executions share the
+// engine's counter sink and the underlying relations, which are not
+// synchronized — like the rest of the engine, a Plan is safe for
+// sequential reuse, not for concurrent execution.
+type Plan struct {
+	eng  *Engine
+	sel  *calculus.Selection
+	info *calculus.Info
+
+	mu   sync.Mutex
+	opts Options
+	// autoEst marks statistics the plan derived itself (Compile with
+	// CostBased and no estimator); they are refreshed on version change.
+	// Caller-supplied statistics are left alone — SetEstimator replaces
+	// them.
+	autoEst bool
+	tmpl    *optimizer.XForm
+	foldKey string // rendering of the folded predicate the template assumed
+	version uint64 // db content version the template was validated against
+}
+
+// Compile runs the compile-time pipeline for a checked selection and
+// returns the reusable plan. The selection and info must not be mutated
+// afterwards.
+func (e *Engine) Compile(sel *calculus.Selection, info *calculus.Info, opts Options) (*Plan, error) {
+	autoEst := opts.CostBased && opts.Estimator == nil
+	e.ensureEstimator(&opts)
+	p := &Plan{eng: e, sel: sel, info: info, opts: opts, autoEst: autoEst, version: e.db.Version()}
+	folded := normalize.Fold(sel.Pred, baseline.Emptiness(e.db))
+	x, err := e.prepareFolded(sel, folded, p.opts)
+	if err != nil {
+		return nil, err
+	}
+	p.tmpl, p.foldKey = x, folded.String()
+	return p, nil
+}
+
+// SetEstimator replaces the statistics subsequent executions plan with.
+// Callers that maintain their own estimator cache (keyed by the database
+// version) push refreshed statistics here; the plan then never
+// re-analyzes on its own.
+func (p *Plan) SetEstimator(est *stats.Estimator) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.opts.Estimator = est
+	p.autoEst = false
+}
+
+// SetMaxRefTuples changes the reference-tuple budget of subsequent
+// executions.
+func (p *Plan) SetMaxRefTuples(n int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.opts.MaxRefTuples = n
+}
+
+// instance revalidates the template against the database's content
+// version and returns a private XForm copy for one execution (the
+// runtime adaptation mutates it) together with the options to run
+// under.
+func (p *Plan) instance() (*optimizer.XForm, Options, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if v := p.eng.db.Version(); v != p.version {
+		if p.autoEst {
+			p.opts.Estimator = p.eng.db.Analyze()
+		}
+		folded := normalize.Fold(p.sel.Pred, baseline.Emptiness(p.eng.db))
+		if key := folded.String(); key != p.foldKey {
+			x, err := p.eng.prepareFolded(p.sel, folded, p.opts)
+			if err != nil {
+				return nil, Options{}, err
+			}
+			p.tmpl, p.foldKey = x, key
+		}
+		p.version = v
+	}
+	return p.tmpl.Clone(), p.opts, nil
+}
+
+// Eval executes the plan to completion and returns the materialized
+// result relation. It is the run-time half of the old one-shot Eval:
+// collection, combination, and construction against the compiled
+// template.
+func (p *Plan) Eval(ctx context.Context) (*relation.Relation, error) {
+	cur, err := p.Rows(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer cur.Close()
+	for cur.Next() {
+	}
+	if err := cur.Err(); err != nil {
+		return nil, err
+	}
+	return cur.result, nil
+}
+
+// Rows executes the collection and combination phases eagerly and
+// returns a streaming cursor that runs the construction phase one
+// result tuple at a time. The cursor observes ctx: cancellation
+// mid-stream surfaces as ctx.Err() from Err after Next returns false.
+func (p *Plan) Rows(ctx context.Context) (*Cursor, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	x, opts, err := p.instance()
+	if err != nil {
+		return nil, err
+	}
+	e := p.eng
+	result := relation.New(p.info.Result, 0xFFFF)
+
+	st := e.st
+	if st == nil {
+		st = &stats.Counters{}
+	}
+	// The database's scan counters must flow into the same sink. The
+	// construction phase only dereferences, so the sink can be restored
+	// before the cursor is consumed.
+	prev := e.db.Stats()
+	e.db.SetStats(st)
+	defer e.db.SetStats(prev)
+
+	opts.maxAdaptations = len(x.Prefix) + len(x.Free) + len(x.Specs) + 2
+	pp, err := e.collectWithAdaptation(ctx, x, st, opts)
+	if err != nil {
+		return nil, err
+	}
+	// An empty free range, or a constant-FALSE matrix, yields the empty
+	// relation.
+	if x.Const != nil && !*x.Const {
+		return newCursor(ctx, e.db, p.sel, result, nil)
+	}
+	for _, d := range x.Free {
+		if pp.freeRangeEmpty(d.Var) {
+			return newCursor(ctx, e.db, p.sel, result, nil)
+		}
+	}
+	refs, err := pp.combine(ctx, opts.MaxRefTuples)
+	if err != nil {
+		return nil, err
+	}
+	return newCursor(ctx, e.db, p.sel, result, refs)
+}

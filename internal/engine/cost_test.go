@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -126,7 +127,7 @@ func TestCostOrderingReducesWork(t *testing.T) {
 
 	run := func(costBased bool) (*stats.Counters, string) {
 		st := &stats.Counters{}
-		res, err := New(db, st).Eval(checked, info, Options{Strategies: S1 | S2, CostBased: costBased})
+		res, err := New(db, st).Eval(context.Background(), checked, info, Options{Strategies: S1 | S2, CostBased: costBased})
 		if err != nil {
 			t.Fatal(err)
 		}

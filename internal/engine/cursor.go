@@ -1,0 +1,150 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+
+	"pascalr/internal/algebra"
+	"pascalr/internal/calculus"
+	"pascalr/internal/relation"
+	"pascalr/internal/schema"
+	"pascalr/internal/value"
+)
+
+// Cursor streams the construction phase: the combination result (a
+// reference relation over the free variables) is materialized, but the
+// dereference-and-project step runs lazily, one result tuple per Next.
+// Duplicate projections are suppressed on the fly, preserving the set
+// semantics of the materializing path — the tuples yielded are exactly
+// the tuples Eval would return, in the same order.
+type Cursor struct {
+	ctx       context.Context
+	db        *relation.DB
+	result    *relation.Relation // accumulates yielded tuples; dedup + schema
+	rows      [][]value.Value    // combination-phase reference tuples
+	cols      []int              // projection: combination column per output component
+	fieldCols []int              // projection: relation component per output component
+	i         int
+	buf       []value.Value // scratch projection buffer, reused per row
+	cur       []value.Value
+	err       error
+	closed    bool
+}
+
+// newCursor prepares the construction projection. A nil refs means the
+// combination phase proved the result empty.
+func newCursor(ctx context.Context, db *relation.DB, sel *calculus.Selection, result *relation.Relation, refs *algebra.RefRel) (*Cursor, error) {
+	c := &Cursor{ctx: ctx, db: db, result: result}
+	if refs == nil || refs.Len() == 0 {
+		return c, nil
+	}
+	varIdx := map[string]int{}
+	for i, v := range refs.Vars() {
+		varIdx[v] = i
+	}
+	c.cols = make([]int, len(sel.Proj))
+	c.fieldCols = make([]int, len(sel.Proj))
+	for i, pr := range sel.Proj {
+		vi, ok := varIdx[pr.Var]
+		if !ok {
+			return nil, fmt.Errorf("engine: projected variable %s missing from combination result", pr.Var)
+		}
+		c.cols[i] = vi
+		rel, ok := db.Relation(rangeRelOf(sel, pr.Var))
+		if !ok {
+			return nil, fmt.Errorf("engine: unknown relation for variable %s", pr.Var)
+		}
+		ci, ok := rel.Schema().ColIndex(pr.Col)
+		if !ok {
+			return nil, fmt.Errorf("engine: relation %s has no component %s", rel.Name(), pr.Col)
+		}
+		c.fieldCols[i] = ci
+	}
+	c.rows = refs.Rows()
+	return c, nil
+}
+
+func rangeRelOf(sel *calculus.Selection, v string) string {
+	for _, d := range sel.Free {
+		if d.Var == v {
+			return d.Range.Rel
+		}
+	}
+	return ""
+}
+
+// Next advances to the next distinct result tuple. It returns false at
+// the end of the result, on error, or once the cursor's context is
+// cancelled; consult Err to distinguish. Once Next has returned false
+// the current row is cleared, so a late Row (or a Scan through the
+// public wrapper) cannot silently re-read the final tuple.
+func (c *Cursor) Next() bool {
+	if c.closed || c.err != nil {
+		c.cur = nil
+		return false
+	}
+	if c.buf == nil {
+		c.buf = make([]value.Value, len(c.cols))
+	}
+	for c.i < len(c.rows) {
+		if err := c.ctx.Err(); err != nil {
+			c.err = err
+			c.cur = nil
+			return false
+		}
+		row := c.rows[c.i]
+		c.i++
+		for j := range c.cols {
+			elem, err := c.db.Deref(row[c.cols[j]])
+			if err != nil {
+				c.err = err
+				c.cur = nil
+				return false
+			}
+			c.buf[j] = elem[c.fieldCols[j]]
+		}
+		// Insert copies the buffer; only genuinely new tuples are
+		// yielded, and the yielded slice is the result relation's stored
+		// copy, so duplicate rows cost no allocation at all.
+		before := c.result.Len()
+		ref, err := c.result.Insert(c.buf)
+		if err != nil {
+			c.err = err
+			c.cur = nil
+			return false
+		}
+		if c.result.Len() > before {
+			stored, err := c.result.Deref(ref)
+			if err != nil {
+				c.err = err
+				c.cur = nil
+				return false
+			}
+			c.cur = stored
+			return true
+		}
+	}
+	c.cur = nil
+	return false
+}
+
+// Row returns the current tuple. It is valid until the next Next call
+// and must not be modified.
+func (c *Cursor) Row() []value.Value { return c.cur }
+
+// Err returns the error that terminated iteration, if any — including
+// ctx.Err() when the cursor's context was cancelled mid-stream.
+func (c *Cursor) Err() error { return c.err }
+
+// Close releases the buffered combination result. Further Next calls
+// return false. Close is idempotent and never fails; it exists for the
+// database/sql-style defer rows.Close() idiom.
+func (c *Cursor) Close() error {
+	c.closed = true
+	c.rows = nil
+	c.cur = nil
+	return nil
+}
+
+// Schema returns the schema of the result relation the cursor produces.
+func (c *Cursor) Schema() *schema.RelSchema { return c.result.Schema() }

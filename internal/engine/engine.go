@@ -21,6 +21,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -30,7 +31,6 @@ import (
 	"pascalr/internal/optimizer"
 	"pascalr/internal/relation"
 	"pascalr/internal/stats"
-	"pascalr/internal/value"
 )
 
 // Strategy is a bit set of the paper's optimization strategies.
@@ -99,49 +99,15 @@ func New(db *relation.DB, st *stats.Counters) *Engine {
 	return &Engine{db: db, st: st}
 }
 
-// Eval evaluates a checked selection (from calculus.Check) and returns
-// the result relation.
-func (e *Engine) Eval(sel *calculus.Selection, info *calculus.Info, opts Options) (*relation.Relation, error) {
-	e.ensureEstimator(&opts)
-	x, err := e.prepare(sel, opts)
+// Eval compiles and executes a checked selection (from calculus.Check)
+// in one shot and returns the result relation. Callers that re-execute
+// the same selection should Compile once and reuse the returned Plan.
+func (e *Engine) Eval(ctx context.Context, sel *calculus.Selection, info *calculus.Info, opts Options) (*relation.Relation, error) {
+	p, err := e.Compile(sel, info, opts)
 	if err != nil {
 		return nil, err
 	}
-	result := relation.New(info.Result, 0xFFFF)
-
-	st := e.st
-	if st == nil {
-		st = &stats.Counters{}
-	}
-	// The database's scan counters must flow into the same sink.
-	prev := e.db.Stats()
-	e.db.SetStats(st)
-	defer e.db.SetStats(prev)
-
-	opts.maxAdaptations = len(x.Prefix) + len(x.Free) + len(x.Specs) + 2
-	p, err := e.collectWithAdaptation(x, st, opts)
-	if err != nil {
-		return nil, err
-	}
-	// An empty free range, or a constant-FALSE matrix, yields the empty
-	// relation.
-	if x.Const != nil && !*x.Const {
-		return result, nil
-	}
-	for _, d := range x.Free {
-		if p.freeRangeEmpty(d.Var) {
-			return result, nil
-		}
-	}
-
-	refs, err := p.combine(opts.MaxRefTuples)
-	if err != nil {
-		return nil, err
-	}
-	if err := e.construct(refs, sel, result); err != nil {
-		return nil, err
-	}
-	return result, nil
+	return p.Eval(ctx)
 }
 
 // prepare folds empty ranges out of the original formula (Lemma 1: the
@@ -151,7 +117,13 @@ func (e *Engine) Eval(sel *calculus.Selection, info *calculus.Info, opts Options
 // employees instead of the professors), then runs standardization and
 // the logical strategies (3 and 4).
 func (e *Engine) prepare(sel *calculus.Selection, opts Options) (*optimizer.XForm, error) {
-	folded := normalize.Fold(sel.Pred, baseline.Emptiness(e.db))
+	return e.prepareFolded(sel, normalize.Fold(sel.Pred, baseline.Emptiness(e.db)), opts)
+}
+
+// prepareFolded is prepare for a predicate already adapted to the
+// current empty ranges; Plan revalidation computes the fold itself to
+// detect staleness, then hands it over.
+func (e *Engine) prepareFolded(sel *calculus.Selection, folded calculus.Formula, opts Options) (*optimizer.XForm, error) {
 	sel = &calculus.Selection{Proj: sel.Proj, Free: sel.Free, Pred: folded}
 	sf, err := normalize.Standardize(sel, normalize.Options{MaxConjunctions: opts.MaxConjunctions})
 	if err != nil {
@@ -205,16 +177,19 @@ func costModel(opts Options) optimizer.CostModel {
 
 // collectWithAdaptation plans and runs the collection phase, re-adapting
 // and re-planning whenever a live range turns out to be empty (Lemma 1).
-func (e *Engine) collectWithAdaptation(x *optimizer.XForm, st *stats.Counters, opts Options) (*plan, error) {
+func (e *Engine) collectWithAdaptation(ctx context.Context, x *optimizer.XForm, st *stats.Counters, opts Options) (*plan, error) {
 	for attempt := 0; ; attempt++ {
 		if attempt > opts.maxAdaptations {
 			return nil, fmt.Errorf("engine: adaptation loop did not converge")
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
 		}
 		p, err := buildPlan(x, e.db, st, opts.Strategies, planEstimator(opts))
 		if err != nil {
 			return nil, err
 		}
-		if err := p.runScans(); err != nil {
+		if err := p.runScans(ctx); err != nil {
 			return nil, err
 		}
 		empties := map[string]bool{}
@@ -293,61 +268,6 @@ func adaptXForm(x *optimizer.XForm, empty map[string]bool) {
 		x.Matrix = nil
 		x.Prefix = x.Prefix[:i]
 	}
-}
-
-// construct runs the construction phase: dereference the free-variable
-// references of the combination result and project onto the component
-// selection.
-func (e *Engine) construct(refs interface {
-	Vars() []string
-	Rows() [][]value.Value
-}, sel *calculus.Selection, result *relation.Relation) error {
-	cols := make([]int, len(sel.Proj))
-	fieldCols := make([]int, len(sel.Proj))
-	vars := refs.Vars()
-	varIdx := map[string]int{}
-	for i, v := range vars {
-		varIdx[v] = i
-	}
-	for i, pr := range sel.Proj {
-		vi, ok := varIdx[pr.Var]
-		if !ok {
-			return fmt.Errorf("engine: projected variable %s missing from combination result", pr.Var)
-		}
-		cols[i] = vi
-		rel, ok := e.db.Relation(rangeRelOf(sel, pr.Var))
-		if !ok {
-			return fmt.Errorf("engine: unknown relation for variable %s", pr.Var)
-		}
-		ci, ok := rel.Schema().ColIndex(pr.Col)
-		if !ok {
-			return fmt.Errorf("engine: relation %s has no component %s", rel.Name(), pr.Col)
-		}
-		fieldCols[i] = ci
-	}
-	tuple := make([]value.Value, len(sel.Proj))
-	for _, row := range refs.Rows() {
-		for i := range sel.Proj {
-			elem, err := e.db.Deref(row[cols[i]])
-			if err != nil {
-				return err
-			}
-			tuple[i] = elem[fieldCols[i]]
-		}
-		if _, err := result.Insert(tuple); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-func rangeRelOf(sel *calculus.Selection, v string) string {
-	for _, d := range sel.Free {
-		if d.Var == v {
-			return d.Range.Rel
-		}
-	}
-	return ""
 }
 
 // Explain renders the logical and physical plan without executing the

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"math/rand"
 	"sort"
 	"strings"
@@ -60,7 +61,7 @@ func evalWith(t *testing.T, db *relation.DB, sel *calculus.Selection, strat Stra
 	}
 	st := &stats.Counters{}
 	eng := New(db, st)
-	res, err := eng.Eval(checked, info, Options{Strategies: strat})
+	res, err := eng.Eval(context.Background(), checked, info, Options{Strategies: strat})
 	if err != nil {
 		t.Fatalf("strategies %s: %v", strat, err)
 	}
@@ -275,7 +276,7 @@ func TestMaxRefTuplesGuard(t *testing.T) {
 		t.Fatal(err)
 	}
 	eng := New(db, nil)
-	_, err = eng.Eval(checked, info, Options{Strategies: 0, MaxRefTuples: 10})
+	_, err = eng.Eval(context.Background(), checked, info, Options{Strategies: 0, MaxRefTuples: 10})
 	if err == nil || !strings.Contains(err.Error(), "exceeded") {
 		t.Errorf("budget guard did not trigger: %v", err)
 	}
@@ -318,7 +319,7 @@ func TestDifferentialAgainstBaseline(t *testing.T) {
 		wantKey := resultKey(want)
 		for _, strat := range subsets {
 			eng := New(db, nil)
-			got, err := eng.Eval(checked, info, Options{Strategies: strat})
+			got, err := eng.Eval(context.Background(), checked, info, Options{Strategies: strat})
 			if err != nil {
 				t.Fatalf("seed %d %s: engine: %v\nquery: %s", seed, strat, err, checked)
 			}

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 
 	"pascalr/internal/algebra"
@@ -231,10 +232,23 @@ func (p *plan) rangePredsFor(v string) ([]rowPred, error) {
 }
 
 // runScans executes the collection phase: every job is one scan.
-func (p *plan) runScans() error {
+// Cancellation is checked between jobs and every scanCheckInterval
+// tuples within a scan, so a long scan aborts promptly with ctx.Err().
+func (p *plan) runScans(ctx context.Context) error {
 	for _, job := range p.jobs {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		var scanErr error
+		n := 0
 		job.rel.Scan(func(ref value.Value, tuple []value.Value) bool {
+			if n%scanCheckInterval == 0 {
+				if err := ctx.Err(); err != nil {
+					scanErr = err
+					return false
+				}
+			}
+			n++
 			for _, t := range job.tasks {
 				if err := t.process(ref, tuple); err != nil {
 					scanErr = err
@@ -254,11 +268,18 @@ func (p *plan) runScans() error {
 	}
 	// Materialize deferred index-index joins.
 	for _, d := range p.deferred {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		p.materializeDeferred(d)
 	}
 	p.recordStructures()
 	return nil
 }
+
+// scanCheckInterval is how many scanned tuples pass between context
+// checks inside one relation scan.
+const scanCheckInterval = 1024
 
 // effLen is the number of entries an index side actually contributes: a
 // filtered permanent index is restricted to the variable's range list,
@@ -351,8 +372,9 @@ func (p *plan) liveVars() []string {
 // combine runs the combination phase: per-conjunction n-tuples of
 // references, union over the disjunction, then quantifier elimination
 // right-to-left (projection for SOME, division for ALL). It returns a
-// reference relation over the free variables.
-func (p *plan) combine(maxRefTuples int64) (*algebra.RefRel, error) {
+// reference relation over the free variables. Cancellation and the
+// reference-tuple budget are checked between algebra operations.
+func (p *plan) combine(ctx context.Context, maxRefTuples int64) (*algebra.RefRel, error) {
 	live := p.liveVars()
 	var union *algebra.RefRel
 
@@ -365,7 +387,7 @@ func (p *plan) combine(maxRefTuples int64) (*algebra.RefRel, error) {
 		for _, d := range p.x.Free {
 			pieces = append(pieces, algebra.FromRefs(d.Var, p.rangeLst[d.Var], p.st))
 		}
-		joined, err := p.greedyJoin(pieces, maxRefTuples)
+		joined, err := p.greedyJoin(ctx, pieces, maxRefTuples)
 		if err != nil {
 			return nil, err
 		}
@@ -403,7 +425,7 @@ func (p *plan) combine(maxRefTuples int64) (*algebra.RefRel, error) {
 		if len(pieces) == 0 {
 			return nil, fmt.Errorf("engine: conjunction %d has no pieces", ci)
 		}
-		joined, err := p.greedyJoin(pieces, maxRefTuples)
+		joined, err := p.greedyJoin(ctx, pieces, maxRefTuples)
 		if err != nil {
 			return nil, err
 		}
@@ -416,7 +438,7 @@ func (p *plan) combine(maxRefTuples int64) (*algebra.RefRel, error) {
 	}
 	union = conjRels[0]
 	for _, r := range conjRels[1:] {
-		u, err := algebra.Union(union, r, p.st)
+		u, err := algebra.Union(ctx, union, r, p.st)
 		if err != nil {
 			return nil, err
 		}
@@ -428,7 +450,7 @@ func (p *plan) combine(maxRefTuples int64) (*algebra.RefRel, error) {
 	for i := len(p.x.Prefix) - 1; i >= 0; i-- {
 		q := p.x.Prefix[i]
 		if q.All {
-			div, err := algebra.Divide(union, q.Var, p.rangeLst[q.Var], p.st)
+			div, err := algebra.Divide(ctx, union, q.Var, p.rangeLst[q.Var], p.st)
 			if err != nil {
 				return nil, err
 			}
@@ -440,13 +462,13 @@ func (p *plan) combine(maxRefTuples int64) (*algebra.RefRel, error) {
 					keep = append(keep, v)
 				}
 			}
-			proj, err := algebra.Project(union, keep, p.st)
+			proj, err := algebra.Project(ctx, union, keep, p.st)
 			if err != nil {
 				return nil, err
 			}
 			union = proj
 		}
-		if err := checkBudget(p, maxRefTuples); err != nil {
+		if err := checkLimits(ctx, p, maxRefTuples); err != nil {
 			return nil, err
 		}
 	}
@@ -468,7 +490,7 @@ func freeVarNames(p *plan) []string {
 // of the shared variables), so equality-linked pieces whose hash join
 // collapses the product are taken before pairs that merely look small.
 // Disconnected pieces fall back to Cartesian products either way.
-func (p *plan) greedyJoin(pieces []*algebra.RefRel, maxRefTuples int64) (*algebra.RefRel, error) {
+func (p *plan) greedyJoin(ctx context.Context, pieces []*algebra.RefRel, maxRefTuples int64) (*algebra.RefRel, error) {
 	for len(pieces) > 1 {
 		bi, bj, bestShared, bestProd := -1, -1, false, int64(0)
 		bestEst := 0.0
@@ -503,7 +525,10 @@ func (p *plan) greedyJoin(pieces []*algebra.RefRel, maxRefTuples int64) (*algebr
 				}
 			}
 		}
-		joined := algebra.Join(pieces[bi], pieces[bj], p.st)
+		joined, err := algebra.Join(ctx, pieces[bi], pieces[bj], p.st)
+		if err != nil {
+			return nil, err
+		}
 		next := make([]*algebra.RefRel, 0, len(pieces)-1)
 		for k, r := range pieces {
 			if k != bi && k != bj {
@@ -511,15 +536,22 @@ func (p *plan) greedyJoin(pieces []*algebra.RefRel, maxRefTuples int64) (*algebr
 			}
 		}
 		pieces = append(next, joined)
-		if err := checkBudget(p, maxRefTuples); err != nil {
+		if err := checkLimits(ctx, p, maxRefTuples); err != nil {
 			return nil, err
 		}
 	}
 	return pieces[0], nil
 }
 
-func checkBudget(p *plan, maxRefTuples int64) error {
-	if maxRefTuples > 0 && p.st != nil && p.st.RefTuples > maxRefTuples {
+// checkLimits enforces the combination phase's two abort conditions:
+// context cancellation and the reference-tuple budget. The budget
+// bounds this execution's materialization (the counter delta since plan
+// creation), not the shared sink's cumulative total.
+func checkLimits(ctx context.Context, p *plan, maxRefTuples int64) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if maxRefTuples > 0 && p.st != nil && p.st.RefTuples-p.refBase > maxRefTuples {
 		return fmt.Errorf("engine: combination phase exceeded %d reference tuples", maxRefTuples)
 	}
 	return nil

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -39,7 +40,7 @@ func TestPermanentIndexSkipsScan(t *testing.T) {
 		}
 		st := &stats.Counters{}
 		eng := New(db, st)
-		res, err := eng.Eval(checked, info, Options{Strategies: S1})
+		res, err := eng.Eval(context.Background(), checked, info, Options{Strategies: S1})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -115,7 +116,7 @@ func TestDifferentialWithPermanentIndexes(t *testing.T) {
 		wantKey := resultKey(want)
 		for _, strat := range subsets {
 			eng := New(db, nil)
-			got, err := eng.Eval(checked, info, Options{Strategies: strat})
+			got, err := eng.Eval(context.Background(), checked, info, Options{Strategies: strat})
 			if err != nil {
 				t.Fatalf("seed %d %s: %v\nquery: %s", seed, strat, err, checked)
 			}

@@ -170,6 +170,13 @@ type plan struct {
 	est       *stats.Estimator
 	costCards map[string]float64 // memoized effective cardinalities
 
+	// refBase snapshots the sink's cumulative RefTuples counter at plan
+	// creation: the MaxRefTuples budget bounds this execution's delta,
+	// not the sink's lifetime total, so re-executing a prepared or
+	// cached plan against a shared sink never trips the budget
+	// spuriously.
+	refBase int64
+
 	vars      map[string]*varNode
 	order     []string
 	jobs      []*scanJob
@@ -187,6 +194,7 @@ type plan struct {
 func buildPlan(x *optimizer.XForm, db *relation.DB, st *stats.Counters, strat Strategy, est *stats.Estimator) (*plan, error) {
 	p := &plan{
 		x: x, db: db, st: st, strat: strat, est: est,
+		refBase:   st.RefTuples,
 		costCards: map[string]float64{},
 		vars:      map[string]*varNode{},
 		rangeLst:  map[string][]value.Value{},

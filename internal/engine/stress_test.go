@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -32,7 +33,7 @@ func TestStressDifferential(t *testing.T) {
 		wantKey := resultKey(want)
 		for _, strat := range subsets {
 			eng := New(db, nil)
-			got, err := eng.Eval(checked, info, Options{Strategies: strat})
+			got, err := eng.Eval(context.Background(), checked, info, Options{Strategies: strat})
 			if err != nil {
 				t.Fatalf("seed %d %s: engine: %v\nquery: %s", seed, strat, err, checked)
 			}

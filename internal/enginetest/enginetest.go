@@ -2,14 +2,18 @@
 // engine: every query in the table of queries.go runs under every
 // strategy combination — and under both the static and the cost-based
 // planner — and must produce exactly the relation the tuple-substitution
-// baseline produces. The pattern follows go-mysql-server's enginetest:
-// a declarative query table, a set of workload databases, and one
-// runner that cross-checks all engine configurations against the
-// oracle, so a new query or a new planner feature is covered by adding
-// one table entry.
+// baseline produces. Each configuration is exercised three ways: as a
+// one-shot Eval, and twice through a compiled Plan (the second time via
+// the streaming cursor), proving that plan reuse and streaming
+// construction are result-identical to compile-and-run. The pattern
+// follows go-mysql-server's enginetest: a declarative query table, a set
+// of workload databases, and one runner that cross-checks all engine
+// configurations against the oracle, so a new query or a new planner
+// feature is covered by adding one table entry.
 package enginetest
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -23,12 +27,13 @@ import (
 	"pascalr/internal/value"
 )
 
-// StrategySets returns all 16 combinations of the paper's four
-// optimization strategies, S0 through S1+S2+S3+S4.
+// StrategySets returns all 32 combinations of the paper's four
+// optimization strategies — S0 through S1+S2+S3+S4 — each with and
+// without the CNF range extension of section 4.3.
 func StrategySets() []engine.Strategy {
-	out := make([]engine.Strategy, 0, 16)
+	out := make([]engine.Strategy, 0, 32)
 	for s := engine.Strategy(0); s <= engine.AllStrategies; s++ {
-		out = append(out, s)
+		out = append(out, s, s|engine.SCNF)
 	}
 	return out
 }
@@ -46,10 +51,15 @@ func RelKey(rel *relation.Relation) string {
 
 // RunSelection evaluates one checked selection against the baseline and
 // against every strategy set × {static, cost-based} planner, failing the
-// test on any disagreement. It returns the baseline's row count so
-// callers can assert workload coverage.
+// test on any disagreement. Each configuration runs three times: once
+// through the one-shot Eval, then twice against a single compiled Plan —
+// the first reuse materialized, the second streamed through the cursor —
+// so compile/execute splitting and streaming construction are covered by
+// the same oracle. It returns the baseline's row count so callers can
+// assert workload coverage.
 func RunSelection(t *testing.T, label string, db *relation.DB, sel *calculus.Selection, info *calculus.Info) int {
 	t.Helper()
+	ctx := context.Background()
 	want, err := baseline.Eval(sel, info, db)
 	if err != nil {
 		t.Fatalf("%s: baseline: %v", label, err)
@@ -62,7 +72,8 @@ func RunSelection(t *testing.T, label string, db *relation.DB, sel *calculus.Sel
 			if costBased {
 				opts.Estimator = est
 			}
-			got, err := engine.New(db, nil).Eval(sel, info, opts)
+			eng := engine.New(db, nil)
+			got, err := eng.Eval(ctx, sel, info, opts)
 			if err != nil {
 				t.Fatalf("%s [%s cost=%v]: engine: %v", label, strat, costBased, err)
 			}
@@ -70,9 +81,46 @@ func RunSelection(t *testing.T, label string, db *relation.DB, sel *calculus.Sel
 				t.Fatalf("%s [%s cost=%v]: result mismatch\nwant %d rows, got %d rows\nquery: %s",
 					label, strat, costBased, want.Len(), got.Len(), sel)
 			}
+			plan, err := eng.Compile(sel, info, opts)
+			if err != nil {
+				t.Fatalf("%s [%s cost=%v]: compile: %v", label, strat, costBased, err)
+			}
+			prepared, err := plan.Eval(ctx)
+			if err != nil {
+				t.Fatalf("%s [%s cost=%v]: prepared run 1: %v", label, strat, costBased, err)
+			}
+			if gotKey := RelKey(prepared); gotKey != wantKey {
+				t.Fatalf("%s [%s cost=%v]: prepared run 1 mismatch\nwant %d rows, got %d rows\nquery: %s",
+					label, strat, costBased, want.Len(), prepared.Len(), sel)
+			}
+			if gotKey, err := cursorKey(plan, ctx); err != nil {
+				t.Fatalf("%s [%s cost=%v]: prepared run 2 (cursor): %v", label, strat, costBased, err)
+			} else if gotKey != wantKey {
+				t.Fatalf("%s [%s cost=%v]: prepared run 2 (cursor) mismatch\nquery: %s",
+					label, strat, costBased, sel)
+			}
 		}
 	}
 	return want.Len()
+}
+
+// cursorKey re-executes a compiled plan through the streaming cursor and
+// renders the yielded tuples as a sorted key.
+func cursorKey(plan *engine.Plan, ctx context.Context) (string, error) {
+	cur, err := plan.Rows(ctx)
+	if err != nil {
+		return "", err
+	}
+	defer cur.Close()
+	var keys []string
+	for cur.Next() {
+		keys = append(keys, value.EncodeKey(cur.Row()))
+	}
+	if err := cur.Err(); err != nil {
+		return "", err
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, "|"), nil
 }
 
 // RunQuery parses a query source against db's catalog, checks it, and

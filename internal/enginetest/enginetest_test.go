@@ -18,8 +18,9 @@ func universityDB(t *testing.T, scale int) *relation.DB {
 }
 
 // TestUniversityWorkload is the headline differential matrix: every
-// table query × all 16 strategy combinations × {static, cost-based}
-// planning against the populated university database.
+// table query × all 32 strategy combinations (including SCNF) ×
+// {static, cost-based} planning × {one-shot, prepared-twice} execution
+// against the populated university database.
 func TestUniversityWorkload(t *testing.T) {
 	db := universityDB(t, 12)
 	RunTable(t, "university", db, UniversityQueries)
@@ -79,4 +80,38 @@ func TestPermanentIndexWorkload(t *testing.T) {
 		}
 	}
 	RunTable(t, "permindex", db, UniversityQueries)
+}
+
+// TestPermanentIndexEmptyRelationCross crosses the two workloads above:
+// permanent access paths declared on the join columns while relations
+// are emptied in turn. This hits the paths where a scan was elided
+// because a permanent index serves the variable, yet the Lemma 1
+// adaptation must still see the relation as empty — and where an empty
+// permanent index is probed directly.
+func TestPermanentIndexEmptyRelationCross(t *testing.T) {
+	for _, empty := range [][]string{
+		{"timetable"},
+		{"courses"},
+		{"employees"},
+		{"papers"},
+		{"courses", "timetable"},
+		{"employees", "papers", "courses", "timetable"},
+	} {
+		db := universityDB(t, 10)
+		for _, ix := range []struct{ rel, col string }{
+			{"courses", "cnr"}, {"timetable", "tcnr"}, {"employees", "enr"},
+		} {
+			if _, err := db.MustRelation(ix.rel).CreateIndex(ix.col); err != nil {
+				t.Fatal(err)
+			}
+		}
+		name := "permindex-empty"
+		for _, rel := range empty {
+			if err := db.MustRelation(rel).Assign(nil); err != nil {
+				t.Fatal(err)
+			}
+			name += "-" + rel
+		}
+		RunTable(t, name, db, UniversityQueries)
+	}
 }

@@ -12,6 +12,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -147,7 +148,7 @@ func evalWith(db *relation.DB, sel *calculus.Selection, info *calculus.Info, str
 	st := &stats.Counters{}
 	eng := engine.New(db, st)
 	start := time.Now()
-	res, err := eng.Eval(sel, info, engine.Options{Strategies: strat, MaxRefTuples: refTupleBudget})
+	res, err := eng.Eval(context.Background(), sel, info, engine.Options{Strategies: strat, MaxRefTuples: refTupleBudget})
 	return res, st, time.Since(start), err
 }
 
@@ -616,7 +617,7 @@ func runE11(w io.Writer, scales []int) error {
 				res, err = baseline.Eval(sel, info, db)
 			} else {
 				eng := engine.New(db, st)
-				res, err = eng.Eval(sel, info, engine.Options{Strategies: e.strat, MaxRefTuples: refTupleBudget})
+				res, err = eng.Eval(context.Background(), sel, info, engine.Options{Strategies: e.strat, MaxRefTuples: refTupleBudget})
 			}
 			el := time.Since(start)
 			if overBudget(err) {
@@ -681,7 +682,7 @@ func runE12(w io.Writer, scales []int) error {
 		db.SetStats(st)
 		eng := engine.New(db, st)
 		start := time.Now()
-		res, err := eng.Eval(checked, info, engine.Options{Strategies: engine.AllStrategies})
+		res, err := eng.Eval(context.Background(), checked, info, engine.Options{Strategies: engine.AllStrategies})
 		el := time.Since(start)
 		if err != nil {
 			return err
@@ -780,7 +781,7 @@ func runE15(w io.Writer, scales []int) error {
 			st := &stats.Counters{}
 			eng := engine.New(db, st)
 			start := time.Now()
-			res, err := eng.Eval(sel, info, engine.Options{
+			res, err := eng.Eval(context.Background(), sel, info, engine.Options{
 				Strategies: engine.S1 | engine.S2, MaxRefTuples: refTupleBudget,
 				CostBased: costBased, Estimator: est,
 			})

@@ -147,6 +147,31 @@ func FromStandardForm(sf *normalize.StandardForm) *XForm {
 	return x
 }
 
+// Clone returns a copy of x whose prefix, matrix slices, and constant
+// the runtime empty-range adaptation (Lemma 1) may mutate without
+// affecting x. Specs, atoms, declarations, and ranges are shared: the
+// engine treats them as read-only, so one compiled XForm can serve as
+// the immutable template behind many executions.
+func (x *XForm) Clone() *XForm {
+	c := &XForm{
+		Proj:   x.Proj,
+		Free:   append([]calculus.Decl(nil), x.Free...),
+		Prefix: append([]normalize.QDecl(nil), x.Prefix...),
+		Specs:  x.Specs,
+	}
+	if x.Const != nil {
+		v := *x.Const
+		c.Const = &v
+	}
+	if x.Matrix != nil {
+		c.Matrix = make([][]Atom, len(x.Matrix))
+		for i, conj := range x.Matrix {
+			c.Matrix[i] = append([]Atom(nil), conj...)
+		}
+	}
+	return c
+}
+
 // Vars returns free variables then prefix variables, in order.
 func (x *XForm) Vars() []string {
 	out := make([]string, 0, len(x.Free)+len(x.Prefix))

@@ -16,6 +16,13 @@ type DB struct {
 	byID   []*Relation
 	nextID int
 	st     *stats.Counters
+	// version counts content mutations (insert, delete, assign) across
+	// all relations of this database. Compiled plans and cached
+	// statistics compare it to decide whether they are stale. Schema
+	// growth (new types, new empty relations) does not bump it: existing
+	// plans cannot reference objects that did not exist when they were
+	// compiled.
+	version uint64
 }
 
 // NewDB returns an empty database with a fresh catalog.
@@ -33,6 +40,7 @@ func (d *DB) Create(sch *schema.RelSchema) (*Relation, error) {
 		return nil, err
 	}
 	r := New(sch, d.nextID)
+	r.onMutate = d.bumpVersion
 	r.SetStats(d.st)
 	d.nextID++
 	d.rels[sch.Name] = r
@@ -95,3 +103,12 @@ func (d *DB) SetStats(st *stats.Counters) {
 
 // Stats returns the currently attached counter sink (may be nil).
 func (d *DB) Stats() *stats.Counters { return d.st }
+
+// Version returns the database's content version: a counter bumped by
+// every successful insert, delete, and assignment against any relation
+// of this database. Two equal versions guarantee unchanged contents, so
+// compiled plans and cached statistics tagged with a version can be
+// reused without revalidation while it holds still.
+func (d *DB) Version() uint64 { return d.version }
+
+func (d *DB) bumpVersion() { d.version++ }

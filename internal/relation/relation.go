@@ -36,6 +36,10 @@ type Relation struct {
 
 	colIndexes map[string]*ColIndex // permanent indexes, by component
 
+	// onMutate, when set (by DB.Create), is called after every content
+	// mutation — the hook behind DB.Version.
+	onMutate func()
+
 	st *stats.Counters
 }
 
@@ -95,6 +99,7 @@ func (r *Relation) Insert(tuple []value.Value) (value.Value, error) {
 	for _, ix := range r.colIndexes {
 		ix.add(cp[ix.colIdx], ref)
 	}
+	r.mutated()
 	return ref, nil
 }
 
@@ -114,6 +119,7 @@ func (r *Relation) Delete(keyVals []value.Value) bool {
 	r.slots[si].tuple = nil
 	delete(r.byKey, value.EncodeKey(keyVals))
 	r.live--
+	r.mutated()
 	return true
 }
 
@@ -138,6 +144,7 @@ func (r *Relation) Assign(tuples [][]value.Value) error {
 	for _, ix := range r.colIndexes {
 		ix.reset()
 	}
+	r.mutated()
 	for _, t := range tuples {
 		if _, err := r.Insert(t); err != nil {
 			return err
@@ -222,6 +229,16 @@ func (r *Relation) Tuples() [][]value.Value {
 		return true
 	})
 	return out
+}
+
+// mutated reports a content change to the owning database (no-op for
+// standalone relations). Insert calls it only for genuinely new
+// elements, Delete only for present keys, so no-op statements leave the
+// database version — and everything tagged with it — untouched.
+func (r *Relation) mutated() {
+	if r.onMutate != nil {
+		r.onMutate()
+	}
 }
 
 func (r *Relation) refOf(si int) value.Value {

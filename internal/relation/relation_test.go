@@ -328,3 +328,52 @@ func TestDBSetStatsAfterCreate(t *testing.T) {
 		t.Errorf("SetStats after create not applied")
 	}
 }
+
+// TestDBVersion: the content version must bump exactly on content
+// mutations — new inserts, effective deletes, assignments — and stay
+// put on no-ops and schema growth.
+func TestDBVersion(t *testing.T) {
+	d := NewDB()
+	v0 := d.Version()
+	r := d.MustCreate(employeesSchema(t))
+	if d.Version() != v0 {
+		t.Errorf("creating a relation bumped the version")
+	}
+	if _, err := r.Insert(emp(1, "A", 0)); err != nil {
+		t.Fatal(err)
+	}
+	v1 := d.Version()
+	if v1 == v0 {
+		t.Errorf("insert did not bump the version")
+	}
+	if _, err := r.Insert(emp(1, "A", 0)); err != nil { // duplicate: no-op
+		t.Fatal(err)
+	}
+	if d.Version() != v1 {
+		t.Errorf("duplicate insert bumped the version")
+	}
+	if r.Delete([]value.Value{value.Int(99)}) { // absent key: no-op
+		t.Fatal("deleted a missing key")
+	}
+	if d.Version() != v1 {
+		t.Errorf("no-op delete bumped the version")
+	}
+	if !r.Delete([]value.Value{value.Int(1)}) {
+		t.Fatal("delete failed")
+	}
+	v2 := d.Version()
+	if v2 == v1 {
+		t.Errorf("delete did not bump the version")
+	}
+	if err := r.Assign(nil); err != nil {
+		t.Fatal(err)
+	}
+	if d.Version() == v2 {
+		t.Errorf("assign did not bump the version")
+	}
+	// Standalone relations (no owning DB) must not panic on mutation.
+	solo := New(employeesSchema(t), 7)
+	if _, err := solo.Insert(emp(2, "B", 0)); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -28,9 +28,33 @@
 //	res, err := db.Query(`[<e.ename> OF EACH e IN employees:
 //	                        e.estatus = professor]`)
 //	fmt.Println(res)
+//
+// Queries embedded in a host program are typically executed many times,
+// so the API splits compile time from run time: Prepare parses,
+// type-checks, optimizes, and plans once, and the returned Stmt
+// re-executes the compiled plan. Results can be streamed through a
+// cursor instead of materialized, with context cancellation observed
+// throughout evaluation:
+//
+//	stmt, err := db.Prepare(`[<e.ename> OF EACH e IN employees:
+//	                           e.estatus = professor]`)
+//	rows, err := stmt.Rows(ctx)
+//	defer rows.Close()
+//	for rows.Next() {
+//	    var name string
+//	    if err := rows.Scan(&name); err != nil { ... }
+//	    fmt.Println(name)
+//	}
+//	err = rows.Err() // ctx.Err() after a cancellation
+//
+// One-shot Query calls share the machinery through an LRU plan cache
+// keyed by source and compile options, and every cached plan is
+// revalidated against the database's content version, so mutations are
+// always observed.
 package pascalr
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -105,15 +129,26 @@ type Database struct {
 	db         *relation.DB
 	st         *stats.Counters
 	strategies Strategy
-	// est caches the statistics cost-based planning needs; Exec (the
-	// only public mutation path) invalidates it.
-	est *stats.Estimator
+	// est caches the statistics cost-based planning needs, tagged with
+	// the content version it was computed at; any content mutation
+	// (insert, delete, assign — but not TYPE/VAR declarations) makes the
+	// next cost-based call re-analyze.
+	est        *stats.Estimator
+	estVersion uint64
+	// plans is the LRU of prepared statements behind the one-shot Query
+	// path.
+	plans *planCache
 }
 
 // New returns an empty database with all optimization strategies
 // enabled by default.
 func New() *Database {
-	return &Database{db: relation.NewDB(), st: &stats.Counters{}, strategies: AllStrategies}
+	return &Database{
+		db:         relation.NewDB(),
+		st:         &stats.Counters{},
+		strategies: AllStrategies,
+		plans:      newPlanCache(planCacheSize),
+	}
 }
 
 // Open creates a database and executes the given PASCAL/R script.
@@ -134,6 +169,23 @@ type config struct {
 	useBaseline  bool
 	maxRefTuples int64
 	costBased    bool
+	noCache      bool
+}
+
+// newConfig resolves options against the database defaults.
+func (d *Database) newConfig(opts []Option) config {
+	c := config{strategies: d.strategies}
+	for _, o := range opts {
+		o(&c)
+	}
+	return c
+}
+
+// cacheKey identifies a compiled plan: the source text plus the options
+// that influence compilation. Execution-time options (the
+// reference-tuple budget) deliberately stay out.
+func cacheKey(src string, c config) string {
+	return fmt.Sprintf("%s|%s|cost=%v", src, c.strategies, c.costBased)
 }
 
 // Option customizes a single Query or Explain call.
@@ -167,10 +219,20 @@ func WithCostBased() Option {
 	return func(c *config) { c.costBased = true }
 }
 
+// WithoutPlanCache makes a one-shot Query or QueryRows call bypass the
+// LRU plan cache: the query is compiled from scratch and the plan is
+// discarded afterwards. Useful for queries known to run once, and for
+// measuring the cache's effect.
+func WithoutPlanCache() Option {
+	return func(c *config) { c.noCache = true }
+}
+
 // Exec parses and executes a PASCAL/R script: TYPE and VAR sections,
-// assignments (:=), inserts (:+), and deletes (:-).
+// assignments (:=), inserts (:+), and deletes (:-). Statements that
+// mutate relation contents bump the database's content version, which
+// transparently invalidates cached statistics and compiled plans;
+// scripts containing only TYPE/VAR declarations leave both intact.
 func (d *Database) Exec(src string) error {
-	d.est = nil // contents may change; invalidate cached statistics
 	prog, err := parser.Parse(src, d.db.Catalog())
 	if err != nil {
 		return err
@@ -204,7 +266,7 @@ func (d *Database) MustExec(src string) {
 func (d *Database) execStmt(st parser.Stmt) error {
 	switch st.Op {
 	case parser.OpAssign:
-		res, err := d.evalSelection(st.Sel, config{strategies: d.strategies})
+		res, err := d.evalSelection(context.Background(), st.Sel, config{strategies: d.strategies})
 		if err != nil {
 			return err
 		}
@@ -215,7 +277,7 @@ func (d *Database) execStmt(st parser.Stmt) error {
 			return fmt.Errorf("pascalr: unknown relation %s", st.Target)
 		}
 		if st.Sel != nil {
-			res, err := d.evalSelection(st.Sel, config{strategies: d.strategies})
+			res, err := d.evalSelection(context.Background(), st.Sel, config{strategies: d.strategies})
 			if err != nil {
 				return err
 			}
@@ -283,7 +345,7 @@ func (d *Database) assign(target string, res *relation.Relation) error {
 }
 
 // evalSelection checks and evaluates a parsed selection.
-func (d *Database) evalSelection(sel *calculus.Selection, c config) (*relation.Relation, error) {
+func (d *Database) evalSelection(ctx context.Context, sel *calculus.Selection, c config) (*relation.Relation, error) {
 	checked, info, err := calculus.Check(sel, d.db.Catalog())
 	if err != nil {
 		return nil, err
@@ -295,7 +357,7 @@ func (d *Database) evalSelection(sel *calculus.Selection, c config) (*relation.R
 		return baseline.Eval(checked, info, d.db)
 	}
 	eng := engine.New(d.db, d.st)
-	return eng.Eval(checked, info, engine.Options{
+	return eng.Eval(ctx, checked, info, engine.Options{
 		Strategies:   engine.Strategy(c.strategies),
 		MaxRefTuples: c.maxRefTuples,
 		CostBased:    c.costBased,
@@ -303,33 +365,96 @@ func (d *Database) evalSelection(sel *calculus.Selection, c config) (*relation.R
 	})
 }
 
-// estimator returns the cached statistics for cost-based calls,
-// analyzing the database on first use after a mutation.
+// estimator returns the statistics for cost-based calls. The cache is
+// tagged with the database's content version: mutated contents
+// re-analyze on next use, while TYPE/VAR declarations and no-op
+// statements reuse the existing statistics.
 func (d *Database) estimator(c config) *stats.Estimator {
 	if !c.costBased {
 		return nil
 	}
-	if d.est == nil {
+	if d.est == nil || d.estVersion != d.db.Version() {
 		d.est = d.db.Analyze()
+		d.estVersion = d.db.Version()
 	}
 	return d.est
 }
 
-// Query evaluates a selection expression and returns its result.
+// preparedStmt returns the prepared statement the one-shot path should
+// execute: a cache hit, or a freshly compiled (and, unless noCache,
+// cached) statement.
+func (d *Database) preparedStmt(src string, c config) (*Stmt, error) {
+	if c.noCache {
+		return d.prepare(src, c)
+	}
+	key := cacheKey(src, c)
+	if s, ok := d.plans.get(key); ok {
+		return s, nil
+	}
+	s, err := d.prepare(src, c)
+	if err != nil {
+		return nil, err
+	}
+	d.plans.put(key, s)
+	return s, nil
+}
+
+// Query evaluates a selection expression and returns its result. Behind
+// the scenes the compiled plan is kept in an LRU cache keyed by source
+// and compile options, so repeated ad-hoc queries pay parsing, checking,
+// and planning only once.
 func (d *Database) Query(src string, opts ...Option) (*Result, error) {
-	c := config{strategies: d.strategies}
-	for _, o := range opts {
-		o(&c)
+	return d.QueryContext(context.Background(), src, opts...)
+}
+
+// QueryContext is Query with a context: cancellation and deadlines are
+// observed between scanned tuples and combination-phase operations, and
+// surface as ctx.Err(). The baseline evaluator (WithBaseline) does not
+// observe the context.
+func (d *Database) QueryContext(ctx context.Context, src string, opts ...Option) (*Result, error) {
+	c := d.newConfig(opts)
+	if c.useBaseline {
+		sel, err := parser.ParseSelection(src)
+		if err != nil {
+			return nil, err
+		}
+		res, err := d.evalSelection(ctx, sel, c)
+		if err != nil {
+			return nil, err
+		}
+		return newResult(res), nil
 	}
-	sel, err := parser.ParseSelection(src)
+	s, err := d.preparedStmt(src, c)
 	if err != nil {
 		return nil, err
 	}
-	res, err := d.evalSelection(sel, c)
+	s.refresh(c)
+	rel, err := s.plan.Eval(ctx)
 	if err != nil {
 		return nil, err
 	}
-	return newResult(res), nil
+	return newResult(rel), nil
+}
+
+// QueryRows evaluates a selection expression and returns a streaming
+// cursor over its result; see Rows. It shares the plan cache with
+// Query. The baseline evaluator cannot stream, so WithBaseline is
+// rejected here.
+func (d *Database) QueryRows(ctx context.Context, src string, opts ...Option) (*Rows, error) {
+	c := d.newConfig(opts)
+	if c.useBaseline {
+		return nil, fmt.Errorf("pascalr: the baseline evaluator does not support cursors")
+	}
+	s, err := d.preparedStmt(src, c)
+	if err != nil {
+		return nil, err
+	}
+	s.refresh(c)
+	cur, err := s.plan.Rows(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return newRows(cur), nil
 }
 
 // MustQuery is Query that panics on error; for tests and examples.
@@ -345,10 +470,7 @@ func (d *Database) MustQuery(src string, opts ...Option) *Result {
 // engine would use for a selection, without running its combination
 // phase.
 func (d *Database) Explain(src string, opts ...Option) (string, error) {
-	c := config{strategies: d.strategies}
-	for _, o := range opts {
-		o(&c)
-	}
+	c := d.newConfig(opts)
 	sel, err := parser.ParseSelection(src)
 	if err != nil {
 		return "", err
@@ -470,22 +592,29 @@ func (r *Result) Rows() [][]any {
 	for i, row := range r.rows {
 		conv := make([]any, len(row))
 		for j, v := range row {
-			switch v.Kind() {
-			case value.KindInt:
-				conv[j] = v.AsInt()
-			case value.KindString:
-				conv[j] = v.AsString()
-			case value.KindBool:
-				conv[j] = v.AsBool()
-			case value.KindEnum:
-				conv[j] = r.typs[j].Format(v)
-			default:
-				conv[j] = v.String()
-			}
+			conv[j] = convertValue(v, r.typs[j])
 		}
 		out[i] = conv
 	}
 	return out
+}
+
+// convertValue maps a PASCAL/R value to its native Go representation:
+// int64 for integers, string for character arrays and enumeration
+// labels, bool for booleans.
+func convertValue(v value.Value, t *schema.Type) any {
+	switch v.Kind() {
+	case value.KindInt:
+		return v.AsInt()
+	case value.KindString:
+		return v.AsString()
+	case value.KindBool:
+		return v.AsBool()
+	case value.KindEnum:
+		return t.Format(v)
+	default:
+		return v.String()
+	}
 }
 
 // String renders the result as an aligned text table.

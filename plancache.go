@@ -1,0 +1,52 @@
+package pascalr
+
+import "container/list"
+
+// planCacheSize bounds the prepared statements the one-shot Query path
+// keeps behind the scenes.
+const planCacheSize = 64
+
+// planCache is a small LRU of prepared statements keyed by source text
+// and compile options. It sits behind the one-shot Query/QueryRows
+// calls, so repeated ad-hoc queries get prepared-statement speed
+// without the caller managing Stmt objects. Entries never go stale:
+// each Stmt revalidates its plan against the database's content
+// version on execution, so the cache only ever amortizes compilation.
+type planCache struct {
+	cap   int
+	ll    *list.List // front = most recently used
+	byKey map[string]*list.Element
+}
+
+type planEntry struct {
+	key  string
+	stmt *Stmt
+}
+
+func newPlanCache(capacity int) *planCache {
+	return &planCache{cap: capacity, ll: list.New(), byKey: make(map[string]*list.Element)}
+}
+
+func (pc *planCache) get(key string) (*Stmt, bool) {
+	if el, ok := pc.byKey[key]; ok {
+		pc.ll.MoveToFront(el)
+		return el.Value.(*planEntry).stmt, true
+	}
+	return nil, false
+}
+
+func (pc *planCache) put(key string, s *Stmt) {
+	if el, ok := pc.byKey[key]; ok {
+		pc.ll.MoveToFront(el)
+		el.Value.(*planEntry).stmt = s
+		return
+	}
+	pc.byKey[key] = pc.ll.PushFront(&planEntry{key: key, stmt: s})
+	if pc.ll.Len() > pc.cap {
+		last := pc.ll.Back()
+		pc.ll.Remove(last)
+		delete(pc.byKey, last.Value.(*planEntry).key)
+	}
+}
+
+func (pc *planCache) len() int { return pc.ll.Len() }

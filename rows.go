@@ -1,0 +1,125 @@
+package pascalr
+
+import (
+	"fmt"
+
+	"pascalr/internal/engine"
+	"pascalr/internal/schema"
+	"pascalr/internal/value"
+)
+
+// Rows is a streaming query result in the database/sql idiom:
+//
+//	rows, err := db.QueryRows(ctx, src)
+//	if err != nil { ... }
+//	defer rows.Close()
+//	for rows.Next() {
+//	    var name string
+//	    if err := rows.Scan(&name); err != nil { ... }
+//	}
+//	if err := rows.Err(); err != nil { ... }
+//
+// The construction phase runs lazily: each Next dereferences and
+// projects one result tuple. Cancelling the context passed to QueryRows
+// or Stmt.Rows stops iteration; Err then returns ctx.Err().
+//
+// A cursor holds references into the base relations, so mutating the
+// database (Exec with :+/:-/:=) between opening the cursor and
+// exhausting it invalidates it: a Next that dereferences a deleted
+// element stops with a stale-reference error. Materialize with Query
+// when mutations may interleave with consumption.
+type Rows struct {
+	cur  *engine.Cursor
+	cols []string
+	typs []*schema.Type
+}
+
+func newRows(cur *engine.Cursor) *Rows {
+	r := &Rows{cur: cur}
+	for _, c := range cur.Schema().Cols {
+		r.cols = append(r.cols, c.Name)
+		r.typs = append(r.typs, c.Type)
+	}
+	return r
+}
+
+// Columns returns the component names of the result.
+func (r *Rows) Columns() []string { return append([]string(nil), r.cols...) }
+
+// Next advances to the next result tuple, returning false when the
+// result is exhausted, the context is cancelled, or an error occurs.
+func (r *Rows) Next() bool { return r.cur.Next() }
+
+// Err returns the error that ended iteration, if any.
+func (r *Rows) Err() error { return r.cur.Err() }
+
+// Close releases the buffered combination result; further Next calls
+// return false. It is idempotent and safe to defer.
+func (r *Rows) Close() error { return r.cur.Close() }
+
+// Scan copies the current tuple into the destinations: *int64 or *int
+// for integer components, *string for character arrays and enumeration
+// labels, *bool for booleans, and *any for the native conversion.
+func (r *Rows) Scan(dest ...any) error {
+	row := r.cur.Row()
+	if row == nil {
+		return fmt.Errorf("pascalr: Scan called without a successful Next")
+	}
+	if len(dest) != len(row) {
+		return fmt.Errorf("pascalr: Scan expects %d destinations, got %d", len(row), len(dest))
+	}
+	for i, v := range row {
+		if err := scanValue(v, r.typs[i], dest[i]); err != nil {
+			return fmt.Errorf("pascalr: component %s: %w", r.cols[i], err)
+		}
+	}
+	return nil
+}
+
+// Values converts the current tuple to native Go values, with the same
+// mapping Result.Rows uses. It returns nil before the first Next.
+func (r *Rows) Values() []any {
+	row := r.cur.Row()
+	if row == nil {
+		return nil
+	}
+	out := make([]any, len(row))
+	for i, v := range row {
+		out[i] = convertValue(v, r.typs[i])
+	}
+	return out
+}
+
+func scanValue(v value.Value, t *schema.Type, dest any) error {
+	switch d := dest.(type) {
+	case *any:
+		*d = convertValue(v, t)
+	case *int64:
+		if v.Kind() != value.KindInt {
+			return fmt.Errorf("cannot scan %s into *int64", v)
+		}
+		*d = v.AsInt()
+	case *int:
+		if v.Kind() != value.KindInt {
+			return fmt.Errorf("cannot scan %s into *int", v)
+		}
+		*d = int(v.AsInt())
+	case *string:
+		switch v.Kind() {
+		case value.KindString:
+			*d = v.AsString()
+		case value.KindEnum:
+			*d = t.Format(v)
+		default:
+			return fmt.Errorf("cannot scan %s into *string", v)
+		}
+	case *bool:
+		if v.Kind() != value.KindBool {
+			return fmt.Errorf("cannot scan %s into *bool", v)
+		}
+		*d = v.AsBool()
+	default:
+		return fmt.Errorf("unsupported Scan destination type %T", dest)
+	}
+	return nil
+}

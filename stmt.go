@@ -1,0 +1,121 @@
+package pascalr
+
+import (
+	"context"
+	"fmt"
+
+	"pascalr/internal/calculus"
+	"pascalr/internal/engine"
+	"pascalr/internal/parser"
+)
+
+// Stmt is a prepared selection: the query is parsed, type-checked,
+// optimized, and planned once at Prepare, and each Query or Rows call
+// re-executes the compiled plan against the database's current
+// contents. Mutations between executions are observed — the plan is
+// revalidated against the database's content version, refreshing
+// statistics and recompiling only when the Lemma 1 empty-range
+// adaptation demands it — so a Stmt trades no correctness for the
+// amortized compilation.
+//
+// Like the Database it belongs to, a Stmt is not safe for concurrent
+// use.
+type Stmt struct {
+	d    *Database
+	src  string
+	c    config
+	plan *engine.Plan
+}
+
+// Prepare compiles a selection expression for repeated execution.
+// Compile-time options — WithStrategies and WithCostBased — are fixed
+// here; WithBaseline cannot be prepared (the tuple-substitution oracle
+// has no plan to cache).
+func (d *Database) Prepare(src string, opts ...Option) (*Stmt, error) {
+	return d.prepare(src, d.newConfig(opts))
+}
+
+func (d *Database) prepare(src string, c config) (*Stmt, error) {
+	if c.useBaseline {
+		return nil, fmt.Errorf("pascalr: cannot prepare a baseline evaluation")
+	}
+	sel, err := parser.ParseSelection(src)
+	if err != nil {
+		return nil, err
+	}
+	checked, info, err := calculus.Check(sel, d.db.Catalog())
+	if err != nil {
+		return nil, err
+	}
+	plan, err := engine.New(d.db, d.st).Compile(checked, info, engine.Options{
+		Strategies:   engine.Strategy(c.strategies),
+		MaxRefTuples: c.maxRefTuples,
+		CostBased:    c.costBased,
+		Estimator:    d.estimator(c),
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Stmt{d: d, src: src, c: c, plan: plan}, nil
+}
+
+// Src returns the selection source the statement was prepared from.
+func (s *Stmt) Src() string { return s.src }
+
+// execConfig merges per-execution options into the prepared
+// configuration. Only execution-time options are accepted; the
+// compile-time ones are baked into the plan, so changing them requires
+// a new Prepare.
+func (s *Stmt) execConfig(opts []Option) (config, error) {
+	c := s.c
+	for _, o := range opts {
+		o(&c)
+	}
+	if c.strategies != s.c.strategies || c.costBased != s.c.costBased || c.useBaseline {
+		return config{}, fmt.Errorf("pascalr: WithStrategies, WithCostBased, and WithBaseline are fixed at Prepare; prepare a new statement instead")
+	}
+	return c, nil
+}
+
+// refresh pushes execution-time state into the plan: the current
+// statistics (the Database's estimator cache is keyed by the content
+// version, so mutated data re-analyzes exactly once) and the
+// reference-tuple budget.
+func (s *Stmt) refresh(c config) {
+	if c.costBased {
+		s.plan.SetEstimator(s.d.estimator(c))
+	}
+	s.plan.SetMaxRefTuples(c.maxRefTuples)
+}
+
+// Query re-executes the compiled plan and returns the materialized
+// result. The context cancels the evaluation between scanned tuples and
+// combination-phase operations; the error is then ctx.Err().
+func (s *Stmt) Query(ctx context.Context, opts ...Option) (*Result, error) {
+	c, err := s.execConfig(opts)
+	if err != nil {
+		return nil, err
+	}
+	s.refresh(c)
+	rel, err := s.plan.Eval(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return newResult(rel), nil
+}
+
+// Rows re-executes the compiled plan and returns a streaming cursor:
+// the collection and combination phases run eagerly, and the
+// construction phase is driven one tuple at a time by Next.
+func (s *Stmt) Rows(ctx context.Context, opts ...Option) (*Rows, error) {
+	c, err := s.execConfig(opts)
+	if err != nil {
+		return nil, err
+	}
+	s.refresh(c)
+	cur, err := s.plan.Rows(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return newRows(cur), nil
+}
