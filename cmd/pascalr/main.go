@@ -42,6 +42,7 @@ func main() {
 	showStats := flag.Bool("stats", false, "print cost counters after each query")
 	useBaseline := flag.Bool("baseline", false, "evaluate by tuple substitution instead of the engine")
 	costBased := flag.Bool("cost", false, "plan from cardinality estimates instead of the static order")
+	parallel := flag.Int("parallel", 1, "collection-phase scan workers (1 = serial)")
 	university := flag.Int("university", 0, "populate the Figure 1 sample database at this scale")
 	interactive := flag.Bool("i", false, "read statements and queries from stdin")
 	flag.Parse()
@@ -85,6 +86,9 @@ func main() {
 		}
 		if *costBased {
 			opts = append(opts, pascalr.WithCostBased())
+		}
+		if *parallel > 1 {
+			opts = append(opts, pascalr.WithParallelism(*parallel))
 		}
 		if *explain {
 			out, err := db.Explain(q, opts...)

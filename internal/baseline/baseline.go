@@ -17,6 +17,7 @@ import (
 	"pascalr/internal/calculus"
 	"pascalr/internal/relation"
 	"pascalr/internal/schema"
+	"pascalr/internal/stats"
 	"pascalr/internal/value"
 )
 
@@ -34,10 +35,17 @@ type Env map[string]Binding
 // the given schema. Scans of base relations are counted through the
 // database's attached stats sink.
 func Eval(sel *calculus.Selection, info *calculus.Info, db *relation.DB) (*relation.Relation, error) {
+	return EvalStats(sel, info, db, db.Stats())
+}
+
+// EvalStats is Eval with an explicit counter sink, so concurrent
+// baseline evaluations can count into private sinks instead of racing
+// on the database's attached one.
+func EvalStats(sel *calculus.Selection, info *calculus.Info, db *relation.DB, st *stats.Counters) (*relation.Relation, error) {
 	result := relation.New(info.Result, 0xFFFF)
 	env := Env{}
-	err := forEachRange(db, sel.Free, 0, env, func() error {
-		ok, err := EvalFormula(sel.Pred, env, db)
+	err := forEachRange(db, st, sel.Free, 0, env, func() error {
+		ok, err := evalFormula(sel.Pred, env, db, st)
 		if err != nil {
 			return err
 		}
@@ -63,31 +71,31 @@ func Eval(sel *calculus.Selection, info *calculus.Info, db *relation.DB) (*relat
 
 // forEachRange enumerates all combinations of bindings for the declared
 // free variables, invoking body for each.
-func forEachRange(db *relation.DB, decls []calculus.Decl, i int, env Env, body func() error) error {
+func forEachRange(db *relation.DB, st *stats.Counters, decls []calculus.Decl, i int, env Env, body func() error) error {
 	if i == len(decls) {
 		return body()
 	}
 	d := decls[i]
-	return scanRange(db, d.Range, func(tuple []value.Value, sch *schema.RelSchema) error {
+	return scanRange(db, st, d.Range, func(tuple []value.Value, sch *schema.RelSchema) error {
 		env[d.Var] = Binding{Tuple: tuple, Schema: sch}
 		defer delete(env, d.Var)
-		return forEachRange(db, decls, i+1, env, body)
+		return forEachRange(db, st, decls, i+1, env, body)
 	})
 }
 
 // scanRange scans a (possibly extended) range expression, invoking fn
 // with each qualifying element.
-func scanRange(db *relation.DB, r *calculus.RangeExpr, fn func([]value.Value, *schema.RelSchema) error) error {
+func scanRange(db *relation.DB, st *stats.Counters, r *calculus.RangeExpr, fn func([]value.Value, *schema.RelSchema) error) error {
 	rel, ok := db.Relation(r.Rel)
 	if !ok {
 		return fmt.Errorf("baseline: unknown relation %s", r.Rel)
 	}
 	sch := rel.Schema()
 	var scanErr error
-	rel.Scan(func(_ value.Value, tuple []value.Value) bool {
+	rel.ScanStats(st, func(_ value.Value, tuple []value.Value) bool {
 		if r.Extended() {
 			env := Env{r.FilterVar: {Tuple: tuple, Schema: sch}}
-			ok, err := EvalFormula(r.Filter, env, db)
+			ok, err := evalFormula(r.Filter, env, db, st)
 			if err != nil {
 				scanErr = err
 				return false
@@ -106,10 +114,16 @@ func scanRange(db *relation.DB, r *calculus.RangeExpr, fn func([]value.Value, *s
 }
 
 // EvalFormula evaluates a formula under an environment binding its free
-// variables. Quantifiers scan their range relation; SOME over an empty
-// range is false and ALL over an empty range is true, matching the
-// calculus semantics that Lemma 1 is about.
+// variables, counting against the database's attached sink. Quantifiers
+// scan their range relation; SOME over an empty range is false and ALL
+// over an empty range is true, matching the calculus semantics that
+// Lemma 1 is about.
 func EvalFormula(f calculus.Formula, env Env, db *relation.DB) (bool, error) {
+	return evalFormula(f, env, db, db.Stats())
+}
+
+// evalFormula is EvalFormula against an explicit sink.
+func evalFormula(f calculus.Formula, env Env, db *relation.DB, st *stats.Counters) (bool, error) {
 	switch g := f.(type) {
 	case nil:
 		return true, nil
@@ -126,11 +140,11 @@ func EvalFormula(f calculus.Formula, env Env, db *relation.DB) (bool, error) {
 		}
 		return g.Op.Apply(l, r)
 	case *calculus.Not:
-		ok, err := EvalFormula(g.F, env, db)
+		ok, err := evalFormula(g.F, env, db, st)
 		return !ok, err
 	case *calculus.And:
 		for _, sub := range g.Fs {
-			ok, err := EvalFormula(sub, env, db)
+			ok, err := evalFormula(sub, env, db, st)
 			if err != nil || !ok {
 				return false, err
 			}
@@ -138,7 +152,7 @@ func EvalFormula(f calculus.Formula, env Env, db *relation.DB) (bool, error) {
 		return true, nil
 	case *calculus.Or:
 		for _, sub := range g.Fs {
-			ok, err := EvalFormula(sub, env, db)
+			ok, err := evalFormula(sub, env, db, st)
 			if err != nil || ok {
 				return ok, err
 			}
@@ -146,10 +160,10 @@ func EvalFormula(f calculus.Formula, env Env, db *relation.DB) (bool, error) {
 		return false, nil
 	case *calculus.Quant:
 		result := g.All // ALL starts true, SOME starts false
-		err := scanRange(db, g.Range, func(tuple []value.Value, sch *schema.RelSchema) error {
+		err := scanRange(db, st, g.Range, func(tuple []value.Value, sch *schema.RelSchema) error {
 			env[g.Var] = Binding{Tuple: tuple, Schema: sch}
 			defer delete(env, g.Var)
-			ok, err := EvalFormula(g.Body, env, db)
+			ok, err := evalFormula(g.Body, env, db, st)
 			if err != nil {
 				return err
 			}

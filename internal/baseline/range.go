@@ -23,7 +23,7 @@ func RangeEmpty(db *relation.DB, r *calculus.RangeExpr) (bool, error) {
 	empty := true
 	var scanErr error
 	sch := rel.Schema()
-	rel.Scan(func(_ value.Value, tuple []value.Value) bool {
+	rel.ScanStats(db.Stats(), func(_ value.Value, tuple []value.Value) bool {
 		ok, err := EvalFormula(r.Filter, Env{r.FilterVar: {Tuple: tuple, Schema: sch}}, db)
 		if err != nil {
 			scanErr = err

@@ -12,6 +12,7 @@ package collection
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"pascalr/internal/stats"
 	"pascalr/internal/value"
@@ -40,6 +41,16 @@ func (sl *SingleList) Add(ref value.Value) {
 	sl.refs = append(sl.refs, ref)
 }
 
+// Merge appends another single list built from a disjoint slice of the
+// same scan (a shard): references append in order and the dedup set
+// unions without re-encoding keys.
+func (sl *SingleList) Merge(other *SingleList) {
+	for k := range other.set {
+		sl.set[k] = struct{}{}
+	}
+	sl.refs = append(sl.refs, other.refs...)
+}
+
 // Refs returns the references in insertion order.
 func (sl *SingleList) Refs() []value.Value { return sl.refs }
 
@@ -59,30 +70,79 @@ type IndexEntry struct {
 }
 
 // Index is a (partial) index on one relation: component value ->
-// references, e.g. ind_t_cnr in Figure 2. Equality probes use a hash
-// table; ordered probes (<, <=, >, >=) use a sorted entry list built
-// lazily on first use.
+// references, e.g. ind_t_cnr in Figure 2. The build phase appends plain
+// (value, reference) entries; the entry list is immutable once the
+// build scan completes, and both access structures derive from it
+// lazily, each under its own sync.Once so concurrent probers share one
+// build — the equality hash table on the first =-probe, and a sorted
+// *copy* of the entries on the first ordered probe. Because the
+// insertion-order list is never mutated after the build, <>-probes and
+// the equality map always see the same deterministic order no matter
+// how probes interleave, scans that build an index nobody
+// equality-probes never pay the hashing, and shard merges are plain
+// slice concatenation.
+//
+// The build phase (Add, Merge) is single-writer: the scheduler
+// guarantees an index's build scan completes before any probing scan
+// starts. Probes are concurrent — parallel scan workers share built
+// indexes — and count into explicit per-worker sinks instead of a
+// field.
 type Index struct {
 	Rel string
 	Col string
 
-	eq      map[string][]value.Value
-	entries []IndexEntry
-	sorted  bool
-	st      *stats.Counters
+	entries []IndexEntry // insertion order; immutable once built
+
+	eqOnce sync.Once
+	eq     map[string][]value.Value
+
+	sortOnce sync.Once
+	sorted   []IndexEntry // ascending by Val, stable; derived copy
 }
 
 // NewIndex creates an empty index over rel.col.
-func NewIndex(rel, col string, st *stats.Counters) *Index {
-	return &Index{Rel: rel, Col: col, eq: make(map[string][]value.Value), st: st}
+func NewIndex(rel, col string) *Index {
+	return &Index{Rel: rel, Col: col}
 }
 
 // Add indexes one element's component value.
 func (ix *Index) Add(v, ref value.Value) {
-	k := value.EncodeKey([]value.Value{v})
-	ix.eq[k] = append(ix.eq[k], ref)
 	ix.entries = append(ix.entries, IndexEntry{Val: v, Ref: ref})
-	ix.sorted = false
+}
+
+// Merge appends another index built from a disjoint slice of the same
+// scan (a shard). Entries append in their insertion order, so absorbing
+// shard-local indexes shard by shard reproduces exactly the entry (and
+// derived per-value reference) order a serial scan would have built.
+func (ix *Index) Merge(other *Index) {
+	ix.entries = append(ix.entries, other.entries...)
+}
+
+// eqMap builds (once, first =-probe) and returns the equality hash
+// table. Entries are immutable by then: builds complete before probes.
+func (ix *Index) eqMap() map[string][]value.Value {
+	ix.eqOnce.Do(func() {
+		m := make(map[string][]value.Value, len(ix.entries))
+		for _, e := range ix.entries {
+			k := value.EncodeKey([]value.Value{e.Val})
+			m[k] = append(m[k], e.Ref)
+		}
+		ix.eq = m
+	})
+	return ix.eq
+}
+
+// sortedEntries builds (once, first ordered probe) and returns a stable
+// sorted copy of the entries; the insertion-order list stays untouched.
+func (ix *Index) sortedEntries() []IndexEntry {
+	ix.sortOnce.Do(func() {
+		cp := append([]IndexEntry(nil), ix.entries...)
+		sort.SliceStable(cp, func(i, j int) bool {
+			return value.MustCompare(cp[i].Val, cp[j].Val) < 0
+		})
+		ix.sorted = cp
+	})
+	return ix.sorted
 }
 
 // Len returns the number of indexed entries.
@@ -92,87 +152,88 @@ func (ix *Index) Len() int { return len(ix.entries) }
 // modify them. The order is unspecified.
 func (ix *Index) Entries() []IndexEntry { return ix.entries }
 
-// ProbeEq returns the references whose indexed value equals v.
-func (ix *Index) ProbeEq(v value.Value) []value.Value {
-	ix.st.CountProbes(1)
-	return ix.eq[value.EncodeKey([]value.Value{v})]
+// ProbeEq returns the references whose indexed value equals v, counting
+// one probe into st.
+func (ix *Index) ProbeEq(st *stats.Counters, v value.Value) []value.Value {
+	st.CountProbes(1)
+	return ix.eqMap()[value.EncodeKey([]value.Value{v})]
 }
 
 // Probe calls fn with every reference whose indexed value iv satisfies
 // "pv op iv" — the probe value on the left, as in a join term
 // probe.col OP index.col. Equality uses the hash table; the ordered
 // operators use binary search over the sorted entries; <> scans.
-func (ix *Index) Probe(op value.CmpOp, pv value.Value, fn func(ref value.Value)) {
-	ix.st.CountProbes(1)
+// Probes and comparisons count into st, the probing worker's sink.
+func (ix *Index) Probe(st *stats.Counters, op value.CmpOp, pv value.Value, fn func(ref value.Value)) {
+	st.CountProbes(1)
 	switch op {
 	case value.OpEq:
-		for _, ref := range ix.eq[value.EncodeKey([]value.Value{pv})] {
+		for _, ref := range ix.eqMap()[value.EncodeKey([]value.Value{pv})] {
 			fn(ref)
 		}
 	case value.OpNe:
+		// Insertion order, always: the list is immutable post-build, so
+		// emission order is deterministic regardless of which probes ran
+		// before (serial and parallel runs agree byte for byte).
 		for _, e := range ix.entries {
-			ix.st.CountComparisons(1)
+			st.CountComparisons(1)
 			if !value.Equal(e.Val, pv) {
 				fn(e.Ref)
 			}
 		}
 	default:
-		ix.ensureSorted()
+		se := ix.sortedEntries()
 		// entries sorted ascending by Val; find the range of indexed
 		// values iv with "pv op iv" true.
-		n := len(ix.entries)
+		n := len(se)
 		var lo, hi int // half-open [lo, hi)
 		switch op {
 		case value.OpLt: // pv < iv: iv strictly greater than pv
-			lo = sort.Search(n, func(i int) bool { return value.MustCompare(ix.entries[i].Val, pv) > 0 })
+			lo = sort.Search(n, func(i int) bool { return value.MustCompare(se[i].Val, pv) > 0 })
 			hi = n
 		case value.OpLe: // pv <= iv
-			lo = sort.Search(n, func(i int) bool { return value.MustCompare(ix.entries[i].Val, pv) >= 0 })
+			lo = sort.Search(n, func(i int) bool { return value.MustCompare(se[i].Val, pv) >= 0 })
 			hi = n
 		case value.OpGt: // pv > iv: iv strictly less than pv
 			lo = 0
-			hi = sort.Search(n, func(i int) bool { return value.MustCompare(ix.entries[i].Val, pv) >= 0 })
+			hi = sort.Search(n, func(i int) bool { return value.MustCompare(se[i].Val, pv) >= 0 })
 		case value.OpGe: // pv >= iv
 			lo = 0
-			hi = sort.Search(n, func(i int) bool { return value.MustCompare(ix.entries[i].Val, pv) > 0 })
+			hi = sort.Search(n, func(i int) bool { return value.MustCompare(se[i].Val, pv) > 0 })
 		}
 		for i := lo; i < hi; i++ {
-			fn(ix.entries[i].Ref)
+			fn(se[i].Ref)
 		}
 	}
-}
-
-func (ix *Index) ensureSorted() {
-	if ix.sorted {
-		return
-	}
-	sort.SliceStable(ix.entries, func(i, j int) bool {
-		return value.MustCompare(ix.entries[i].Val, ix.entries[j].Val) < 0
-	})
-	ix.sorted = true
 }
 
 // IndirectJoin is a binary relation of reference pairs satisfying a
-// dyadic join term, e.g. ij_c_t in Figure 2.
+// dyadic join term, e.g. ij_c_t in Figure 2. Pairs are stored as
+// emitted, without a dedup table: every producer emits each pair at
+// most once (a probing element is scanned once, an index entry is
+// enumerated once), and the combination phase's reference relations
+// deduplicate on ingestion anyway — the set semantics of the paper's
+// Figure 2 relations are preserved downstream.
 type IndirectJoin struct {
 	LVar, RVar string
 	pairs      [][2]value.Value
-	set        map[string]struct{}
 }
 
 // NewIndirectJoin creates an empty indirect join between two variables.
 func NewIndirectJoin(lv, rv string) *IndirectJoin {
-	return &IndirectJoin{LVar: lv, RVar: rv, set: make(map[string]struct{})}
+	return &IndirectJoin{LVar: lv, RVar: rv}
 }
 
 // Add inserts a reference pair.
 func (ij *IndirectJoin) Add(l, r value.Value) {
-	k := value.EncodeKey([]value.Value{l, r})
-	if _, dup := ij.set[k]; dup {
-		return
-	}
-	ij.set[k] = struct{}{}
 	ij.pairs = append(ij.pairs, [2]value.Value{l, r})
+}
+
+// Merge appends another indirect join built from a disjoint slice of
+// the same scan (a shard — every pair's probing reference belongs to
+// exactly one shard): pairs append in shard order.
+func (ij *IndirectJoin) Merge(other *IndirectJoin) {
+	ij.pairs = append(ij.pairs, other.pairs...)
 }
 
 // Pairs returns the reference pairs in insertion order.

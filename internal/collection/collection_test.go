@@ -28,18 +28,18 @@ func TestSingleList(t *testing.T) {
 
 func TestIndexProbeEq(t *testing.T) {
 	st := &stats.Counters{}
-	ix := NewIndex("timetable", "tcnr", st)
+	ix := NewIndex("timetable", "tcnr")
 	ix.Add(value.Int(10), ref(1))
 	ix.Add(value.Int(10), ref(2))
 	ix.Add(value.Int(20), ref(3))
 	if ix.Len() != 3 {
 		t.Errorf("Len = %d", ix.Len())
 	}
-	got := ix.ProbeEq(value.Int(10))
+	got := ix.ProbeEq(st, value.Int(10))
 	if len(got) != 2 {
 		t.Errorf("ProbeEq(10) = %v", got)
 	}
-	if len(ix.ProbeEq(value.Int(99))) != 0 {
+	if len(ix.ProbeEq(st, value.Int(99))) != 0 {
 		t.Errorf("ProbeEq(99) non-empty")
 	}
 	if st.IndexProbes != 2 {
@@ -49,12 +49,12 @@ func TestIndexProbeEq(t *testing.T) {
 
 func collectProbe(ix *Index, op value.CmpOp, pv value.Value) []value.Value {
 	var out []value.Value
-	ix.Probe(op, pv, func(r value.Value) { out = append(out, r) })
+	ix.Probe(nil, op, pv, func(r value.Value) { out = append(out, r) })
 	return out
 }
 
 func TestIndexProbeOperators(t *testing.T) {
-	ix := NewIndex("r", "a", nil)
+	ix := NewIndex("r", "a")
 	// values 1,3,3,5 with refs 1,2,3,4
 	ix.Add(value.Int(1), ref(1))
 	ix.Add(value.Int(3), ref(2))
@@ -87,7 +87,7 @@ func TestIndexProbeOperators(t *testing.T) {
 // Property: Probe(op, pv) returns exactly the entries where pv op iv.
 func TestIndexProbeMatchesNaive(t *testing.T) {
 	f := func(vals []int16, probe int16) bool {
-		ix := NewIndex("r", "a", nil)
+		ix := NewIndex("r", "a")
 		for i, v := range vals {
 			ix.Add(value.Int(int64(v%10)), ref(i))
 		}
@@ -112,15 +112,23 @@ func TestIndexProbeMatchesNaive(t *testing.T) {
 }
 
 func TestIndirectJoin(t *testing.T) {
+	// Producers emit each pair at most once, so the structure stores
+	// pairs as given; set semantics are restored by the combination
+	// phase's reference relations.
 	ij := NewIndirectJoin("c", "t")
 	ij.Add(ref(1), ref(10))
-	ij.Add(ref(1), ref(10)) // duplicate
 	ij.Add(ref(2), ref(20))
 	if ij.Len() != 2 {
 		t.Errorf("Len = %d", ij.Len())
 	}
 	if got := ij.Pairs(); !value.Equal(got[0][0], ref(1)) || !value.Equal(got[1][1], ref(20)) {
 		t.Errorf("Pairs = %v", got)
+	}
+	other := NewIndirectJoin("c", "t")
+	other.Add(ref(3), ref(30))
+	ij.Merge(other)
+	if ij.Len() != 3 || !value.Equal(ij.Pairs()[2][0], ref(3)) {
+		t.Errorf("after merge: %v", ij.Pairs())
 	}
 }
 

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"context"
+	"errors"
 	"sync"
 
 	"pascalr/internal/baseline"
@@ -28,10 +29,12 @@ import (
 // compile time — Example 2.2). Executions therefore always see current
 // data; only the compile work is amortized.
 //
-// A Plan's revalidation state is mutex-guarded, but executions share the
-// engine's counter sink and the underlying relations, which are not
-// synchronized — like the rest of the engine, a Plan is safe for
-// sequential reuse, not for concurrent execution.
+// A Plan is safe for concurrent execution: revalidation state is
+// mutex-guarded, every execution counts into a private sink merged into
+// the engine's cumulative sink on completion, and the collection phase
+// runs under the database's read lock — validated against the content
+// version the template assumed, so each execution reads one consistent
+// snapshot and concurrent relation writers simply wait.
 type Plan struct {
 	eng  *Engine
 	sel  *calculus.Selection
@@ -41,8 +44,9 @@ type Plan struct {
 	opts Options
 	// autoEst marks statistics the plan derived itself (Compile with
 	// CostBased and no estimator); they are refreshed on version change.
-	// Caller-supplied statistics are left alone — SetEstimator replaces
-	// them.
+	// Caller-supplied statistics are left alone — executions that
+	// maintain their own cache push fresh statistics through the
+	// EvalWith/RowsWith override instead.
 	autoEst bool
 	tmpl    *optimizer.XForm
 	foldKey string // rendering of the folded predicate the template assumed
@@ -65,30 +69,13 @@ func (e *Engine) Compile(sel *calculus.Selection, info *calculus.Info, opts Opti
 	return p, nil
 }
 
-// SetEstimator replaces the statistics subsequent executions plan with.
-// Callers that maintain their own estimator cache (keyed by the database
-// version) push refreshed statistics here; the plan then never
-// re-analyzes on its own.
-func (p *Plan) SetEstimator(est *stats.Estimator) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.opts.Estimator = est
-	p.autoEst = false
-}
-
-// SetMaxRefTuples changes the reference-tuple budget of subsequent
-// executions.
-func (p *Plan) SetMaxRefTuples(n int64) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.opts.MaxRefTuples = n
-}
-
 // instance revalidates the template against the database's content
 // version and returns a private XForm copy for one execution (the
 // runtime adaptation mutates it) together with the options to run
-// under.
-func (p *Plan) instance() (*optimizer.XForm, Options, error) {
+// under and the content version the template was validated against —
+// the execution re-checks that version under the database read lock
+// (snapshot validation) before scanning.
+func (p *Plan) instance() (*optimizer.XForm, Options, uint64, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if v := p.eng.db.Version(); v != p.version {
@@ -99,64 +86,123 @@ func (p *Plan) instance() (*optimizer.XForm, Options, error) {
 		if key := folded.String(); key != p.foldKey {
 			x, err := p.eng.prepareFolded(p.sel, folded, p.opts)
 			if err != nil {
-				return nil, Options{}, err
+				return nil, Options{}, 0, err
 			}
 			p.tmpl, p.foldKey = x, key
 		}
 		p.version = v
 	}
-	return p.tmpl.Clone(), p.opts, nil
+	return p.tmpl.Clone(), p.opts, p.version, nil
 }
+
+// maxStaleRetries bounds Eval's optimistic re-executions when a
+// concurrent writer deletes referenced elements between the combination
+// phase and construction.
+const maxStaleRetries = 4
 
 // Eval executes the plan to completion and returns the materialized
 // result relation. It is the run-time half of the old one-shot Eval:
 // collection, combination, and construction against the compiled
-// template.
+// template. When a concurrent writer invalidates references before
+// construction finishes (relation.ErrStale), Eval re-executes against
+// the new contents — optimistic concurrency for the materializing
+// path; only a writer that keeps winning the race through every retry
+// surfaces the error.
 func (p *Plan) Eval(ctx context.Context) (*relation.Relation, error) {
-	cur, err := p.Rows(ctx)
-	if err != nil {
-		return nil, err
-	}
-	defer cur.Close()
-	for cur.Next() {
-	}
-	if err := cur.Err(); err != nil {
-		return nil, err
-	}
-	return cur.result, nil
+	return p.EvalWith(ctx, nil)
 }
+
+// EvalWith is Eval with per-execution option overrides: the override
+// runs against a private copy of the plan's options after
+// revalidation, so concurrent executions with different
+// execution-time options (budget, parallelism, statistics) never
+// contaminate each other or the plan.
+func (p *Plan) EvalWith(ctx context.Context, override func(*Options)) (*relation.Relation, error) {
+	var lastErr error
+	for attempt := 0; attempt <= maxStaleRetries; attempt++ {
+		cur, err := p.RowsWith(ctx, override)
+		if err != nil {
+			return nil, err
+		}
+		for cur.Next() {
+		}
+		err = cur.Err()
+		cur.Close()
+		if err == nil {
+			return cur.result, nil
+		}
+		if !errors.Is(err, relation.ErrStale) {
+			return nil, err
+		}
+		lastErr = err
+	}
+	return nil, lastErr
+}
+
+// maxSnapshotRetries bounds the optimistic loop that aligns a
+// revalidated template with the contents the collection phase will
+// read: when a writer commits between revalidation and lock
+// acquisition, the execution refolds and retries. After the budget it
+// proceeds with the latest template — the runtime Lemma 1 adaptation
+// still catches ranges that emptied, matching the serial engine's
+// behaviour under interleaved mutations.
+const maxSnapshotRetries = 3
 
 // Rows executes the collection and combination phases eagerly and
 // returns a streaming cursor that runs the construction phase one
 // result tuple at a time. The cursor observes ctx: cancellation
 // mid-stream surfaces as ctx.Err() from Err after Next returns false.
+//
+// The collection phase holds the database read lock: one acquisition
+// covers every scan and permanent-index probe of the execution
+// (version-checked against the template's snapshot), so concurrent
+// Exec writers serialize against it. Counters accumulate in a
+// per-execution sink that merges into the engine's cumulative sink when
+// the phases complete — successful or not.
 func (p *Plan) Rows(ctx context.Context) (*Cursor, error) {
+	return p.RowsWith(ctx, nil)
+}
+
+// RowsWith is Rows with per-execution option overrides; see EvalWith.
+func (p *Plan) RowsWith(ctx context.Context, override func(*Options)) (*Cursor, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	x, opts, err := p.instance()
-	if err != nil {
-		return nil, err
-	}
 	e := p.eng
+	execSt := &stats.Counters{}
+	defer e.mergeStats(execSt)
+
+	var x *optimizer.XForm
+	var opts Options
+	var pp *plan
+	for attempt := 0; ; attempt++ {
+		var ver uint64
+		var err error
+		x, opts, ver, err = p.instance()
+		if err != nil {
+			return nil, err
+		}
+		if override != nil {
+			override(&opts)
+		}
+		e.db.RLock()
+		if e.db.Version() != ver && attempt < maxSnapshotRetries {
+			// A writer committed since revalidation: the fold (and any
+			// self-derived statistics) may describe contents the scans
+			// will not see. Retry against the new version.
+			e.db.RUnlock()
+			continue
+		}
+		opts.maxAdaptations = len(x.Prefix) + len(x.Free) + len(x.Specs) + 2
+		pp, err = e.collectWithAdaptation(ctx, x, execSt, opts)
+		e.db.RUnlock()
+		if err != nil {
+			return nil, err
+		}
+		break
+	}
+
 	result := relation.New(p.info.Result, 0xFFFF)
-
-	st := e.st
-	if st == nil {
-		st = &stats.Counters{}
-	}
-	// The database's scan counters must flow into the same sink. The
-	// construction phase only dereferences, so the sink can be restored
-	// before the cursor is consumed.
-	prev := e.db.Stats()
-	e.db.SetStats(st)
-	defer e.db.SetStats(prev)
-
-	opts.maxAdaptations = len(x.Prefix) + len(x.Free) + len(x.Specs) + 2
-	pp, err := e.collectWithAdaptation(ctx, x, st, opts)
-	if err != nil {
-		return nil, err
-	}
 	// An empty free range, or a constant-FALSE matrix, yields the empty
 	// relation.
 	if x.Const != nil && !*x.Const {

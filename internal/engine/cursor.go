@@ -94,15 +94,23 @@ func (c *Cursor) Next() bool {
 		}
 		row := c.rows[c.i]
 		c.i++
+		// Dereference the row's references under the database read
+		// lock: construction is race-free against concurrent writers,
+		// and an element deleted since the combination phase surfaces
+		// as a stale-reference error (per-slot generations), not as a
+		// torn read.
+		c.db.RLock()
 		for j := range c.cols {
 			elem, err := c.db.Deref(row[c.cols[j]])
 			if err != nil {
+				c.db.RUnlock()
 				c.err = err
 				c.cur = nil
 				return false
 			}
 			c.buf[j] = elem[c.fieldCols[j]]
 		}
+		c.db.RUnlock()
 		// Insert copies the buffer; only genuinely new tuples are
 		// yielded, and the yielded slice is the result relation's stored
 		// copy, so duplicate rows cost no allocation at all.

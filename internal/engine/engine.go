@@ -24,6 +24,7 @@ import (
 	"context"
 	"fmt"
 	"strings"
+	"sync"
 
 	"pascalr/internal/baseline"
 	"pascalr/internal/calculus"
@@ -83,20 +84,65 @@ type Options struct {
 	// planning; when nil and CostBased is set, Eval analyzes the database
 	// first (one uncounted scan per relation).
 	Estimator *stats.Estimator
+	// Parallelism is the collection phase's worker budget: independent
+	// scan jobs run on up to this many goroutines, and large scans split
+	// into balanced slot-range shards (see internal/sched). Values below
+	// 2 run the paper's serial schedule on the calling goroutine, with
+	// bit-identical results and counters; higher values produce the same
+	// results and the same merged counters, faster.
+	Parallelism int
 	// maxAdaptations guards the adaptation loop; set by Eval.
 	maxAdaptations int
 }
 
-// Engine evaluates selections against one database.
+// parallelism normalizes the worker budget: at least one.
+func parallelism(opts Options) int {
+	if opts.Parallelism < 1 {
+		return 1
+	}
+	return opts.Parallelism
+}
+
+// Engine evaluates selections against one database. Engines are safe
+// for concurrent use: every execution counts into a private sink that
+// merges into the engine's cumulative sink (under stMu) on completion,
+// and executions hold the database's read lock during their collection
+// phase, so they are race-free against relation writers.
 type Engine struct {
-	db *relation.DB
-	st *stats.Counters // caller's sink; may be nil
+	db   *relation.DB
+	stMu sync.Mutex
+	st   *stats.Counters // caller's sink; may be nil
 }
 
 // New creates an engine. Counters, if non-nil, accumulate across
 // evaluations.
 func New(db *relation.DB, st *stats.Counters) *Engine {
 	return &Engine{db: db, st: st}
+}
+
+// mergeStats folds one execution's counters into the engine's
+// cumulative sink.
+func (e *Engine) mergeStats(execSt *stats.Counters) {
+	if e.st == nil {
+		return
+	}
+	e.stMu.Lock()
+	e.st.Merge(execSt)
+	e.stMu.Unlock()
+}
+
+// Stats runs f with the engine's cumulative counter sink while holding
+// the merge lock, so snapshots and resets cannot race with completing
+// executions. With no sink attached, f receives a throwaway empty
+// sink.
+func (e *Engine) Stats(f func(*stats.Counters)) {
+	e.stMu.Lock()
+	defer e.stMu.Unlock()
+	st := e.st
+	if st == nil {
+		st = &stats.Counters{}
+	}
+	f(st)
 }
 
 // Eval compiles and executes a checked selection (from calculus.Check)
@@ -185,7 +231,7 @@ func (e *Engine) collectWithAdaptation(ctx context.Context, x *optimizer.XForm, 
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		p, err := buildPlan(x, e.db, st, opts.Strategies, planEstimator(opts))
+		p, err := buildPlan(x, e.db, st, opts.Strategies, planEstimator(opts), parallelism(opts))
 		if err != nil {
 			return nil, err
 		}
@@ -279,7 +325,9 @@ func (e *Engine) Explain(sel *calculus.Selection, opts Options) (string, error) 
 		return "", err
 	}
 	st := &stats.Counters{}
-	p, err := buildPlan(x, e.db, st, opts.Strategies, planEstimator(opts))
+	e.db.RLock()
+	p, err := buildPlan(x, e.db, st, opts.Strategies, planEstimator(opts), parallelism(opts))
+	e.db.RUnlock()
 	if err != nil {
 		return "", err
 	}

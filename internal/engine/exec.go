@@ -5,20 +5,37 @@ import (
 	"fmt"
 
 	"pascalr/internal/algebra"
+	"pascalr/internal/collection"
+	"pascalr/internal/stats"
 	"pascalr/internal/value"
 )
 
-// scanTask processes elements during one relation scan.
+// scanTask processes elements during one relation scan. The sink passed
+// to process is the scanning worker's — per job, or per shard when the
+// scan is split — so counting never races; finish runs once per task
+// after the whole logical scan (all shards) completed.
 type scanTask interface {
-	process(ref value.Value, tuple []value.Value) error
+	process(ref value.Value, tuple []value.Value, st *stats.Counters) error
 	finish() error
 	describe() string
 }
 
+// shardableTask is a scanTask whose scan may be split into consecutive
+// slot-range shards: shardClone returns a fresh task accumulating into
+// shard-local structures, and absorb folds a shard's accumulation back
+// into the parent. Absorbing shards in shard order reproduces exactly
+// the structures (content and order) a serial scan would have built, so
+// a sharded collection phase stays bit-identical to the serial one.
+type shardableTask interface {
+	scanTask
+	shardClone() scanTask
+	absorb(shard scanTask) error
+}
+
 // evalPreds evaluates a predicate chain; all must hold.
-func evalPreds(preds []rowPred, tuple []value.Value) (bool, error) {
+func evalPreds(preds []rowPred, tuple []value.Value, st *stats.Counters) (bool, error) {
 	for _, p := range preds {
-		ok, err := p(tuple)
+		ok, err := p(tuple, st)
 		if err != nil || !ok {
 			return false, err
 		}
@@ -27,78 +44,137 @@ func evalPreds(preds []rowPred, tuple []value.Value) (bool, error) {
 }
 
 // rangeTask collects the references of a live variable's range —
-// "the collection phase evaluates range expressions".
+// "the collection phase evaluates range expressions". References
+// accumulate task-locally and publish into the plan's range-list map at
+// finish, under the plan lock: concurrent scans of other variables may
+// be reading the map (filtered permanent-index probes) at that moment.
 type rangeTask struct {
 	p     *plan
 	v     string
 	preds []rowPred // the range filter, if extended
+	refs  []value.Value
 }
 
-func (t *rangeTask) process(ref value.Value, tuple []value.Value) error {
-	ok, err := evalPreds(t.preds, tuple)
+func (t *rangeTask) process(ref value.Value, tuple []value.Value, st *stats.Counters) error {
+	ok, err := evalPreds(t.preds, tuple, st)
 	if err != nil || !ok {
 		return err
 	}
-	t.p.rangeLst[t.v] = append(t.p.rangeLst[t.v], ref)
+	t.refs = append(t.refs, ref)
 	return nil
 }
-func (t *rangeTask) finish() error    { return nil }
+
+func (t *rangeTask) finish() error {
+	t.p.publishRange(t.v, t.refs)
+	return nil
+}
 func (t *rangeTask) describe() string { return "range " + t.v }
 
-// slTask builds a single list.
+func (t *rangeTask) shardClone() scanTask {
+	return &rangeTask{p: t.p, v: t.v, preds: t.preds}
+}
+
+func (t *rangeTask) absorb(shard scanTask) error {
+	t.refs = append(t.refs, shard.(*rangeTask).refs...)
+	return nil
+}
+
+// slTask builds a single list; shard clones accumulate into a private
+// list merged back in shard order.
 type slTask struct {
 	spec       *slSpec
 	rangePreds []rowPred
+	out        *collection.SingleList // spec.out, or shard-local
 }
 
-func (t *slTask) process(ref value.Value, tuple []value.Value) error {
-	ok, err := evalPreds(t.rangePreds, tuple)
+func newSLTask(spec *slSpec, rangePreds []rowPred) *slTask {
+	return &slTask{spec: spec, rangePreds: rangePreds, out: spec.out}
+}
+
+func (t *slTask) process(ref value.Value, tuple []value.Value, st *stats.Counters) error {
+	ok, err := evalPreds(t.rangePreds, tuple, st)
 	if err != nil || !ok {
 		return err
 	}
-	ok, err = evalPreds(t.spec.preds, tuple)
+	ok, err = evalPreds(t.spec.preds, tuple, st)
 	if err != nil || !ok {
 		return err
 	}
-	t.spec.out.Add(ref)
+	t.out.Add(ref)
 	return nil
 }
 func (t *slTask) finish() error    { return nil }
 func (t *slTask) describe() string { return "single-list " + t.spec.key }
 
-// ixTask builds an index over the variable's range.
+func (t *slTask) shardClone() scanTask {
+	return &slTask{spec: t.spec, rangePreds: t.rangePreds, out: collection.NewSingleList(t.spec.v)}
+}
+
+func (t *slTask) absorb(shard scanTask) error {
+	t.out.Merge(shard.(*slTask).out)
+	return nil
+}
+
+// ixTask builds an index over the variable's range; shard clones build
+// private indexes merged back in shard order.
 type ixTask struct {
 	spec       *ixSpec
 	rangePreds []rowPred
+	out        *collection.Index // spec.out, or shard-local
 }
 
-func (t *ixTask) process(ref value.Value, tuple []value.Value) error {
-	ok, err := evalPreds(t.rangePreds, tuple)
+func newIxTask(spec *ixSpec, rangePreds []rowPred) *ixTask {
+	return &ixTask{spec: spec, rangePreds: rangePreds, out: spec.out}
+}
+
+func (t *ixTask) process(ref value.Value, tuple []value.Value, st *stats.Counters) error {
+	ok, err := evalPreds(t.rangePreds, tuple, st)
 	if err != nil || !ok {
 		return err
 	}
-	t.spec.out.Add(tuple[t.spec.colIdx], ref)
+	t.out.Add(tuple[t.spec.colIdx], ref)
 	return nil
 }
 func (t *ixTask) finish() error    { return nil }
 func (t *ixTask) describe() string { return "index " + t.spec.key }
 
+func (t *ixTask) shardClone() scanTask {
+	return &ixTask{spec: t.spec, rangePreds: t.rangePreds, out: collection.NewIndex(t.out.Rel, t.out.Col)}
+}
+
+func (t *ixTask) absorb(shard scanTask) error {
+	t.out.Merge(shard.(*ixTask).out)
+	return nil
+}
+
 // groupTask probes earlier-built indexes to produce indirect joins.
 // With mutual restriction (strategy 2), an element emits pairs only when
-// every probe in the group matched.
+// every probe in the group matched. The probed indexes are read-only by
+// the time the task runs (the scheduler orders builds before probes);
+// shard clones emit into private indirect joins merged back in shard
+// order.
 type groupTask struct {
 	p          *plan
 	grp        *probeGroup
 	rangePreds []rowPred
+	outs       []*collection.IndirectJoin // per probe: pr.out, or shard-local
 	matchBuf   [][]value.Value
 }
 
-func (t *groupTask) process(ref value.Value, tuple []value.Value) error {
-	ok, err := evalPreds(t.rangePreds, tuple)
+func newGroupTask(p *plan, grp *probeGroup, rangePreds []rowPred) *groupTask {
+	t := &groupTask{p: p, grp: grp, rangePreds: rangePreds}
+	for _, pr := range grp.probes {
+		t.outs = append(t.outs, pr.out)
+	}
+	return t
+}
+
+func (t *groupTask) process(ref value.Value, tuple []value.Value, st *stats.Counters) error {
+	ok, err := evalPreds(t.rangePreds, tuple, st)
 	if err != nil || !ok {
 		return err
 	}
-	ok, err = evalPreds(t.grp.preds, tuple)
+	ok, err = evalPreds(t.grp.preds, tuple, st)
 	if err != nil || !ok {
 		return err
 	}
@@ -107,16 +183,16 @@ func (t *groupTask) process(ref value.Value, tuple []value.Value) error {
 	}
 	for i, pr := range t.grp.probes {
 		t.matchBuf[i] = t.matchBuf[i][:0]
-		pr.index.probe(t.p, pr.op, tuple[pr.probeCol], func(r value.Value) {
+		pr.index.probe(t.p, st, pr.op, tuple[pr.probeCol], func(r value.Value) {
 			t.matchBuf[i] = append(t.matchBuf[i], r)
 		})
 		if t.grp.mutual && len(t.matchBuf[i]) == 0 {
 			return nil // another probe failed: suppress all pairs (4.2)
 		}
 	}
-	for i, pr := range t.grp.probes {
+	for i := range t.grp.probes {
 		for _, r := range t.matchBuf[i] {
-			pr.out.Add(ref, r)
+			t.outs[i].Add(ref, r)
 		}
 	}
 	return nil
@@ -124,8 +200,24 @@ func (t *groupTask) process(ref value.Value, tuple []value.Value) error {
 func (t *groupTask) finish() error    { return nil }
 func (t *groupTask) describe() string { return "probe " + t.grp.key }
 
+func (t *groupTask) shardClone() scanTask {
+	c := &groupTask{p: t.p, grp: t.grp, rangePreds: t.rangePreds}
+	for _, pr := range t.grp.probes {
+		c.outs = append(c.outs, collection.NewIndirectJoin(pr.out.LVar, pr.out.RVar))
+	}
+	return c
+}
+
+func (t *groupTask) absorb(shard scanTask) error {
+	for i, out := range shard.(*groupTask).outs {
+		t.outs[i].Merge(out)
+	}
+	return nil
+}
+
 // specTask feeds a strategy-4 spec while scanning the eliminated
-// variable's range.
+// variable's range; shard clones feed private runtimes merged back in
+// shard order before the parent's finish resolves the predicate.
 type specTask struct {
 	rt         *specRuntime
 	rangePreds []rowPred
@@ -133,12 +225,12 @@ type specTask struct {
 	dyCols     []int
 }
 
-func (t *specTask) process(ref value.Value, tuple []value.Value) error {
-	ok, err := evalPreds(t.rangePreds, tuple)
+func (t *specTask) process(ref value.Value, tuple []value.Value, st *stats.Counters) error {
+	ok, err := evalPreds(t.rangePreds, tuple, st)
 	if err != nil || !ok {
 		return err
 	}
-	monOK, err := evalPreds(t.monPreds, tuple)
+	monOK, err := evalPreds(t.monPreds, tuple, st)
 	if err != nil {
 		return err
 	}
@@ -148,6 +240,15 @@ func (t *specTask) process(ref value.Value, tuple []value.Value) error {
 func (t *specTask) finish() error { return t.rt.finish() }
 func (t *specTask) describe() string {
 	return fmt.Sprintf("value-list spec%d (%s)", t.rt.spec.ID, t.rt.spec.Var)
+}
+
+func (t *specTask) shardClone() scanTask {
+	return &specTask{rt: newSpecRuntime(t.rt.spec), rangePreds: t.rangePreds, monPreds: t.monPreds, dyCols: t.dyCols}
+}
+
+func (t *specTask) absorb(shard scanTask) error {
+	t.rt.merge(shard.(*specTask).rt)
+	return nil
 }
 
 // tasksForVar builds the scan tasks of one variable: its range list
@@ -166,24 +267,24 @@ func (p *plan) tasksForVar(v string) []scanTask {
 	}
 	for _, key := range sortedKeys(p.sls) {
 		if sl := p.sls[key]; sl.v == v {
-			tasks = append(tasks, &slTask{spec: sl, rangePreds: rangePreds})
+			tasks = append(tasks, newSLTask(sl, rangePreds))
 		}
 	}
 	for _, key := range sortedKeys(p.ixs) {
 		if ix := p.ixs[key]; ix.v == v && ix.out != nil {
-			tasks = append(tasks, &ixTask{spec: ix, rangePreds: rangePreds})
+			tasks = append(tasks, newIxTask(ix, rangePreds))
 		}
 	}
 	for _, key := range sortedKeys(p.groups) {
 		if grp := p.groups[key]; grp.v == v {
-			tasks = append(tasks, &groupTask{p: p, grp: grp, rangePreds: rangePreds})
+			tasks = append(tasks, newGroupTask(p, grp, rangePreds))
 		}
 	}
 	if node.rt != nil {
 		task := &specTask{rt: node.rt, rangePreds: rangePreds}
 		spec := node.rt.spec
 		for _, m := range spec.Monadic {
-			pr, err := compileMonadic(m, spec.Var, node.sch, p.st)
+			pr, err := compileMonadic(m, spec.Var, node.sch)
 			if err != nil {
 				return []scanTask{&errTask{err: err}}
 			}
@@ -194,7 +295,7 @@ func (p *plan) tasksForVar(v string) []scanTask {
 			if !ok {
 				return []scanTask{&errTask{err: fmt.Errorf("engine: nested spec of %s unplanned", v)}}
 			}
-			pr, err := compileSemiAtom(n, node.sch, rt, p.st)
+			pr, err := compileSemiAtom(n, node.sch, rt)
 			if err != nil {
 				return []scanTask{&errTask{err: err}}
 			}
@@ -215,13 +316,13 @@ func (p *plan) tasksForVar(v string) []scanTask {
 // errTask defers a planning error into the scan phase.
 type errTask struct{ err error }
 
-func (t *errTask) process(value.Value, []value.Value) error { return t.err }
-func (t *errTask) finish() error                            { return t.err }
-func (t *errTask) describe() string                         { return "error" }
+func (t *errTask) process(value.Value, []value.Value, *stats.Counters) error { return t.err }
+func (t *errTask) finish() error                                             { return t.err }
+func (t *errTask) describe() string                                          { return "error" }
 
 func (p *plan) rangePredsFor(v string) ([]rowPred, error) {
 	node := p.vars[v]
-	pr, err := rangeFilterPred(node.rng, node.sch, p.st)
+	pr, err := rangeFilterPred(node.rng, node.sch)
 	if err != nil {
 		return nil, err
 	}
@@ -231,37 +332,22 @@ func (p *plan) rangePredsFor(v string) ([]rowPred, error) {
 	return []rowPred{pr}, nil
 }
 
-// runScans executes the collection phase: every job is one scan.
-// Cancellation is checked between jobs and every scanCheckInterval
-// tuples within a scan, so a long scan aborts promptly with ctx.Err().
+// runScans executes the collection phase: every job is one scan, run
+// serially on this goroutine or — with Parallelism > 1 — fanned out to
+// the sched worker pool (see exec_parallel.go). The caller holds the
+// database read lock for the duration, so scans, permanent-index
+// probes, and the deferred index-index joins all read one consistent
+// snapshot. Cancellation is checked between jobs and every
+// scanCheckInterval tuples within a scan, so a long scan aborts
+// promptly with ctx.Err().
 func (p *plan) runScans(ctx context.Context) error {
-	for _, job := range p.jobs {
-		if err := ctx.Err(); err != nil {
+	if p.par > 1 && len(p.jobs) > 0 {
+		if err := p.runScansParallel(ctx); err != nil {
 			return err
 		}
-		var scanErr error
-		n := 0
-		job.rel.Scan(func(ref value.Value, tuple []value.Value) bool {
-			if n%scanCheckInterval == 0 {
-				if err := ctx.Err(); err != nil {
-					scanErr = err
-					return false
-				}
-			}
-			n++
-			for _, t := range job.tasks {
-				if err := t.process(ref, tuple); err != nil {
-					scanErr = err
-					return false
-				}
-			}
-			return true
-		})
-		if scanErr != nil {
-			return scanErr
-		}
-		for _, t := range job.tasks {
-			if err := t.finish(); err != nil {
+	} else {
+		for _, job := range p.jobs {
+			if err := p.runScanJob(ctx, job, p.st); err != nil {
 				return err
 			}
 		}
@@ -275,6 +361,49 @@ func (p *plan) runScans(ctx context.Context) error {
 	}
 	p.recordStructures()
 	return nil
+}
+
+// runScanJob runs one whole scan job — the unsharded case — counting
+// into st: one scan start, the tuples read, and everything the tasks'
+// predicates and probes count.
+func (p *plan) runScanJob(ctx context.Context, job *scanJob, st *stats.Counters) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	st.CountScan(job.rel.Name())
+	if err := p.scanSlotRange(ctx, job, job.tasks, st, 0, job.rel.SlotSpan()); err != nil {
+		return err
+	}
+	for _, t := range job.tasks {
+		if err := t.finish(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// scanSlotRange drives the given tasks over one slot range of the job's
+// relation — a full scan, or one shard of a split scan.
+func (p *plan) scanSlotRange(ctx context.Context, job *scanJob, tasks []scanTask, st *stats.Counters, lo, hi int) error {
+	var scanErr error
+	n := 0
+	job.rel.ScanSlots(st, lo, hi, func(ref value.Value, tuple []value.Value) bool {
+		if n%scanCheckInterval == 0 {
+			if err := ctx.Err(); err != nil {
+				scanErr = err
+				return false
+			}
+		}
+		n++
+		for _, t := range tasks {
+			if err := t.process(ref, tuple, st); err != nil {
+				scanErr = err
+				return false
+			}
+		}
+		return true
+	})
+	return scanErr
 }
 
 // scanCheckInterval is how many scanned tuples pass between context
@@ -299,14 +428,14 @@ func (p *plan) effLen(ix *ixSpec) int {
 func (p *plan) materializeDeferred(d *deferredIJ) {
 	if p.est != nil && d.op == value.OpEq && p.effLen(d.lIx) > p.effLen(d.rIx) {
 		d.rIx.entriesDo(p, func(v, rref value.Value) {
-			d.lIx.probe(p, d.op.Flip(), v, func(lref value.Value) {
+			d.lIx.probe(p, p.st, d.op.Flip(), v, func(lref value.Value) {
 				d.out.Add(lref, rref)
 			})
 		})
 		return
 	}
 	d.lIx.entriesDo(p, func(v, lref value.Value) {
-		d.rIx.probe(p, d.op, v, func(rref value.Value) {
+		d.rIx.probe(p, p.st, d.op, v, func(rref value.Value) {
 			d.out.Add(lref, rref)
 		})
 	})

@@ -1,0 +1,169 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"pascalr/internal/calculus"
+	"pascalr/internal/relation"
+	"pascalr/internal/stats"
+	"pascalr/internal/workload"
+)
+
+type workloadFixture struct {
+	db   *relation.DB
+	sel  *calculus.Selection
+	info *calculus.Info
+}
+
+// parallelDB builds a university database large enough that every
+// relation scan clears the shard threshold, so cancellation and leak
+// tests actually have shard workers in flight.
+func parallelDB(t testing.TB, scale int) (*workloadFixture, error) {
+	t.Helper()
+	db := workload.MustUniversity(workload.DefaultConfig(scale))
+	checked, info, err := calculus.Check(workload.SampleSelection(), db.Catalog())
+	if err != nil {
+		return nil, err
+	}
+	return &workloadFixture{db: db, sel: checked, info: info}, nil
+}
+
+// TestParallelismOneBitIdentical runs the strategy ladder with
+// Parallelism(1) against the default serial options and requires
+// byte-identical results and counter fingerprints — n=1 is the paper's
+// serial schedule, not a one-worker simulation of the parallel one.
+func TestParallelismOneBitIdentical(t *testing.T) {
+	f, err := parallelDB(t, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for _, strat := range []Strategy{0, S1, S1 | S2, AllStrategies, AllStrategies | SCNF} {
+		stDefault := &stats.Counters{}
+		resDefault, err := New(f.db, stDefault).Eval(ctx, f.sel, f.info, Options{Strategies: strat})
+		if err != nil {
+			t.Fatal(err)
+		}
+		stOne := &stats.Counters{}
+		resOne, err := New(f.db, stOne).Eval(ctx, f.sel, f.info, Options{Strategies: strat, Parallelism: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if relKey(resDefault) != relKey(resOne) {
+			t.Fatalf("%s: Parallelism(1) result differs from default serial", strat)
+		}
+		if stDefault.Fingerprint() != stOne.Fingerprint() {
+			t.Fatalf("%s: Parallelism(1) counters differ from default serial\n%s\nvs\n%s",
+				strat, stDefault.Fingerprint(), stOne.Fingerprint())
+		}
+	}
+}
+
+// TestParallelCancellation sweeps countdown contexts through a parallel
+// evaluation — cancellation can strike while shard workers are in
+// flight at any checkpoint — and requires context.Canceled (never a
+// wrapped or different error), a completed run once the budget
+// suffices, and no goroutines left behind.
+func TestParallelCancellation(t *testing.T) {
+	f, err := parallelDB(t, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := New(f.db, nil)
+	opts := Options{Strategies: AllStrategies, Parallelism: 4}
+
+	before := runtime.NumGoroutine()
+	sawSuccess := false
+	for n := int64(0); n < 400; n++ {
+		ctx := newCountdownCtx(n)
+		res, err := eng.Eval(ctx, f.sel, f.info, opts)
+		if err == nil {
+			sawSuccess = true
+			if res == nil {
+				t.Fatalf("countdown %d: nil result without error", n)
+			}
+			break
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("countdown %d: got %v, want context.Canceled", n, err)
+		}
+	}
+	if !sawSuccess {
+		t.Fatal("evaluation never completed; countdown budget too small to cover all checkpoints")
+	}
+	waitNoExtraGoroutines(t, before)
+}
+
+// TestParallelCursorCloseMidStream closes a cursor after one row while
+// the plan ran with parallel workers: the scheduler must already have
+// drained (Rows returns only after the collection pool exits), so
+// closing mid-stream leaks nothing.
+func TestParallelCursorCloseMidStream(t *testing.T) {
+	f, err := parallelDB(t, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := runtime.NumGoroutine()
+	plan, err := New(f.db, nil).Compile(f.sel, f.info, Options{Strategies: AllStrategies, Parallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cur, err := plan.Rows(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cur.Next() {
+		t.Fatalf("first Next failed: %v", cur.Err())
+	}
+	if err := cur.Close(); err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	waitNoExtraGoroutines(t, before)
+}
+
+// TestParallelCancelWhileWorkersInFlight cancels a context from a
+// second goroutine while shard workers are mid-scan and checks the
+// evaluation returns ctx.Err() and every scheduler goroutine exits.
+func TestParallelCancelWhileWorkersInFlight(t *testing.T) {
+	f, err := parallelDB(t, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := New(f.db, nil)
+	before := runtime.NumGoroutine()
+	for round := 0; round < 20; round++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		go func() {
+			time.Sleep(time.Duration(round) * 100 * time.Microsecond)
+			cancel()
+		}()
+		_, err := eng.Eval(ctx, f.sel, f.info, Options{Strategies: AllStrategies, Parallelism: 8})
+		if err != nil && !errors.Is(err, context.Canceled) {
+			t.Fatalf("round %d: got %v, want nil or context.Canceled", round, err)
+		}
+		cancel()
+	}
+	waitNoExtraGoroutines(t, before)
+}
+
+// waitNoExtraGoroutines lets asynchronous teardown settle, then
+// requires the goroutine count back at (or below) the baseline.
+func waitNoExtraGoroutines(t *testing.T, before int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before {
+		t.Fatalf("goroutines leaked: %d -> %d", before, after)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"pascalr/internal/calculus"
 	"pascalr/internal/collection"
@@ -61,18 +62,19 @@ func (ix *ixSpec) length() int {
 }
 
 // probe enumerates references whose indexed value iv satisfies
-// "pv op iv", applying the range filter for permanent indexes.
-func (ix *ixSpec) probe(p *plan, op value.CmpOp, pv value.Value, fn func(value.Value)) {
+// "pv op iv", applying the range filter for permanent indexes. Probes
+// count into st, the probing worker's sink.
+func (ix *ixSpec) probe(p *plan, st *stats.Counters, op value.CmpOp, pv value.Value, fn func(value.Value)) {
 	if ix.perm == nil {
-		ix.out.Probe(op, pv, fn)
+		ix.out.Probe(st, op, pv, fn)
 		return
 	}
 	if !ix.filtered {
-		ix.perm.Probe(op, pv, fn)
+		ix.perm.ProbeStats(st, op, pv, fn)
 		return
 	}
 	in := p.rangeSet(ix.v)
-	ix.perm.Probe(op, pv, func(ref value.Value) {
+	ix.perm.ProbeStats(st, op, pv, func(ref value.Value) {
 		if _, ok := in[value.EncodeKey([]value.Value{ref})]; ok {
 			fn(ref)
 		}
@@ -165,6 +167,14 @@ type plan struct {
 	db    *relation.DB
 	st    *stats.Counters
 	strat Strategy
+	// par is the collection-phase worker budget; 1 runs the paper's
+	// serial schedule on the calling goroutine.
+	par int
+	// mu guards the structures that scan workers touch across job
+	// boundaries: the range-list map (published by range tasks, read by
+	// filtered permanent-index probes of concurrent scans) and the
+	// lazily built range sets.
+	mu sync.Mutex
 	// est drives cost-based scan ordering and combination-phase join
 	// ordering; nil keeps the paper's static priorities.
 	est       *stats.Estimator
@@ -191,9 +201,12 @@ type plan struct {
 	conjs     []*conjPlan
 }
 
-func buildPlan(x *optimizer.XForm, db *relation.DB, st *stats.Counters, strat Strategy, est *stats.Estimator) (*plan, error) {
+func buildPlan(x *optimizer.XForm, db *relation.DB, st *stats.Counters, strat Strategy, est *stats.Estimator, par int) (*plan, error) {
+	if par < 1 {
+		par = 1
+	}
 	p := &plan{
-		x: x, db: db, st: st, strat: strat, est: est,
+		x: x, db: db, st: st, strat: strat, est: est, par: par,
 		refBase:   st.RefTuples,
 		costCards: map[string]float64{},
 		vars:      map[string]*varNode{},
@@ -627,7 +640,7 @@ func (p *plan) indexFor(v string, f calculus.Field) (*ixSpec, error) {
 		ix.filtered = node.rng.Extended()
 		ix.key = "permix|" + v + "|" + f.Col
 	} else {
-		ix.out = collection.NewIndex(node.rng.Rel, f.Col, p.st)
+		ix.out = collection.NewIndex(node.rng.Rel, f.Col)
 	}
 	p.ixs[ix.key] = ix
 	return ix, nil
@@ -661,9 +674,22 @@ func (p *plan) planRangeLists() {
 	}
 }
 
-// rangeSet returns (building lazily) the set of encoded references in
-// v's range list; valid once v's scan has completed.
+// publishRange stores a variable's collected range list, under the
+// plan lock: jobs of other variables may concurrently consult range
+// sets while this one's scan finishes.
+func (p *plan) publishRange(v string, refs []value.Value) {
+	p.mu.Lock()
+	p.rangeLst[v] = refs
+	p.mu.Unlock()
+}
+
+// rangeSet returns (building lazily, under the plan lock) the set of
+// encoded references in v's range list; valid once v's scan has
+// completed — which the scheduler's dependency edges guarantee for
+// every prober.
 func (p *plan) rangeSet(v string) map[string]struct{} {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if s, ok := p.rangeSets[v]; ok {
 		return s
 	}
@@ -758,7 +784,7 @@ func (p *plan) compileAtoms(v string, atoms []optimizer.Atom) ([]rowPred, error)
 	out := make([]rowPred, 0, len(atoms))
 	for _, a := range atoms {
 		if a.Cmp != nil {
-			pr, err := compileMonadic(a.Cmp, v, node.sch, p.st)
+			pr, err := compileMonadic(a.Cmp, v, node.sch)
 			if err != nil {
 				return nil, err
 			}
@@ -769,7 +795,7 @@ func (p *plan) compileAtoms(v string, atoms []optimizer.Atom) ([]rowPred, error)
 		if !ok {
 			return nil, fmt.Errorf("engine: derived atom %s references unplanned spec", a)
 		}
-		pr, err := compileSemiAtom(a.Semi, node.sch, rt, p.st)
+		pr, err := compileSemiAtom(a.Semi, node.sch, rt)
 		if err != nil {
 			return nil, err
 		}

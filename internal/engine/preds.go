@@ -11,8 +11,11 @@ import (
 	"pascalr/internal/value"
 )
 
-// rowPred tests one element (tuple) of a relation during a scan.
-type rowPred func(tuple []value.Value) (bool, error)
+// rowPred tests one element (tuple) of a relation during a scan,
+// counting comparisons into the scanning worker's sink — predicates are
+// compiled once per plan but evaluated by per-job (and per-shard)
+// workers, so the sink travels with the call, not the closure.
+type rowPred func(tuple []value.Value, st *stats.Counters) (bool, error)
 
 // getter extracts an operand value from the scanned tuple.
 type getter func(tuple []value.Value) value.Value
@@ -38,7 +41,7 @@ func compileOperand(o calculus.Operand, v string, sch *schema.RelSchema) (getter
 
 // compileMonadic compiles a monadic join term over v into a row
 // predicate.
-func compileMonadic(c *calculus.Cmp, v string, sch *schema.RelSchema, st *stats.Counters) (rowPred, error) {
+func compileMonadic(c *calculus.Cmp, v string, sch *schema.RelSchema) (rowPred, error) {
 	getL, err := compileOperand(c.L, v, sch)
 	if err != nil {
 		return nil, err
@@ -48,7 +51,7 @@ func compileMonadic(c *calculus.Cmp, v string, sch *schema.RelSchema, st *stats.
 		return nil, err
 	}
 	op := c.Op
-	return func(tuple []value.Value) (bool, error) {
+	return func(tuple []value.Value, st *stats.Counters) (bool, error) {
 		st.CountComparisons(1)
 		return op.Apply(getL(tuple), getR(tuple))
 	}, nil
@@ -56,32 +59,32 @@ func compileMonadic(c *calculus.Cmp, v string, sch *schema.RelSchema, st *stats.
 
 // compileFilter compiles a (quantifier-free) range filter formula over
 // the filter variable into a row predicate.
-func compileFilter(f calculus.Formula, fv string, sch *schema.RelSchema, st *stats.Counters) (rowPred, error) {
+func compileFilter(f calculus.Formula, fv string, sch *schema.RelSchema) (rowPred, error) {
 	switch g := f.(type) {
 	case nil:
 		return nil, fmt.Errorf("engine: nil filter formula")
 	case *calculus.Lit:
 		val := g.Val
-		return func([]value.Value) (bool, error) { return val, nil }, nil
+		return func([]value.Value, *stats.Counters) (bool, error) { return val, nil }, nil
 	case *calculus.Cmp:
-		return compileMonadic(g, fv, sch, st)
+		return compileMonadic(g, fv, sch)
 	case *calculus.Not:
-		sub, err := compileFilter(g.F, fv, sch, st)
+		sub, err := compileFilter(g.F, fv, sch)
 		if err != nil {
 			return nil, err
 		}
-		return func(tuple []value.Value) (bool, error) {
-			ok, err := sub(tuple)
+		return func(tuple []value.Value, st *stats.Counters) (bool, error) {
+			ok, err := sub(tuple, st)
 			return !ok, err
 		}, nil
 	case *calculus.And:
-		subs, err := compileFilters(g.Fs, fv, sch, st)
+		subs, err := compileFilters(g.Fs, fv, sch)
 		if err != nil {
 			return nil, err
 		}
-		return func(tuple []value.Value) (bool, error) {
+		return func(tuple []value.Value, st *stats.Counters) (bool, error) {
 			for _, s := range subs {
-				ok, err := s(tuple)
+				ok, err := s(tuple, st)
 				if err != nil || !ok {
 					return false, err
 				}
@@ -89,13 +92,13 @@ func compileFilter(f calculus.Formula, fv string, sch *schema.RelSchema, st *sta
 			return true, nil
 		}, nil
 	case *calculus.Or:
-		subs, err := compileFilters(g.Fs, fv, sch, st)
+		subs, err := compileFilters(g.Fs, fv, sch)
 		if err != nil {
 			return nil, err
 		}
-		return func(tuple []value.Value) (bool, error) {
+		return func(tuple []value.Value, st *stats.Counters) (bool, error) {
 			for _, s := range subs {
-				ok, err := s(tuple)
+				ok, err := s(tuple, st)
 				if err != nil || ok {
 					return ok, err
 				}
@@ -107,10 +110,10 @@ func compileFilter(f calculus.Formula, fv string, sch *schema.RelSchema, st *sta
 	}
 }
 
-func compileFilters(fs []calculus.Formula, fv string, sch *schema.RelSchema, st *stats.Counters) ([]rowPred, error) {
+func compileFilters(fs []calculus.Formula, fv string, sch *schema.RelSchema) ([]rowPred, error) {
 	out := make([]rowPred, len(fs))
 	for i, f := range fs {
-		p, err := compileFilter(f, fv, sch, st)
+		p, err := compileFilter(f, fv, sch)
 		if err != nil {
 			return nil, err
 		}
@@ -123,11 +126,11 @@ func compileFilters(fs []calculus.Formula, fv string, sch *schema.RelSchema, st 
 // the variable v (the filter variable is renamed to v implicitly, since
 // both denote the scanned tuple). Returns nil when the range has no
 // filter.
-func rangeFilterPred(r *calculus.RangeExpr, sch *schema.RelSchema, st *stats.Counters) (rowPred, error) {
+func rangeFilterPred(r *calculus.RangeExpr, sch *schema.RelSchema) (rowPred, error) {
 	if !r.Extended() {
 		return nil, nil
 	}
-	return compileFilter(r.Filter, r.FilterVar, sch, st)
+	return compileFilter(r.Filter, r.FilterVar, sch)
 }
 
 // specRuntime holds the execution state of one strategy-4 spec: the
@@ -189,6 +192,29 @@ func (rt *specRuntime) add(tuple []value.Value, monPassed bool, dyCols []int) {
 	}
 }
 
+// merge folds a shard-local runtime into rt, in shard order: counters
+// add up, and the value/tuple lists interleave exactly as one serial
+// scan would have built them (first occurrence wins the dedup, shards
+// cover consecutive slot ranges). Must run before finish.
+func (rt *specRuntime) merge(o *specRuntime) {
+	rt.total += o.total
+	rt.monOK += o.monOK
+	switch {
+	case rt.vl != nil && o.vl != nil:
+		for _, v := range o.vl.Values() {
+			rt.vl.Add(v)
+		}
+	case rt.tupleSet != nil && o.tupleSet != nil:
+		for _, proj := range o.tuples {
+			k := value.EncodeKey(proj)
+			if _, dup := rt.tupleSet[k]; !dup {
+				rt.tupleSet[k] = struct{}{}
+				rt.tuples = append(rt.tuples, proj)
+			}
+		}
+	}
+}
+
 // finish resolves the derived predicate once the eliminated variable's
 // range has been fully scanned.
 func (rt *specRuntime) finish() error {
@@ -244,9 +270,9 @@ func (rt *specRuntime) Size() int {
 
 // compileSemiAtom compiles a derived atom over the remaining variable vm
 // into a row predicate against vm's relation schema.
-func compileSemiAtom(sa *optimizer.SemiAtom, sch *schema.RelSchema, rt *specRuntime, st *stats.Counters) (rowPred, error) {
+func compileSemiAtom(sa *optimizer.SemiAtom, sch *schema.RelSchema, rt *specRuntime) (rowPred, error) {
 	if sa.Spec.ConstOnly() {
-		return func([]value.Value) (bool, error) {
+		return func([]value.Value, *stats.Counters) (bool, error) {
 			if !rt.resolved {
 				return false, fmt.Errorf("engine: spec %d used before its scan finished", sa.Spec.ID)
 			}
@@ -266,7 +292,7 @@ func compileSemiAtom(sa *optimizer.SemiAtom, sch *schema.RelSchema, rt *specRunt
 		ops[i] = d.Op
 	}
 	all := sa.Spec.All
-	return func(tuple []value.Value) (bool, error) {
+	return func(tuple []value.Value, st *stats.Counters) (bool, error) {
 		if rt.resolved {
 			return rt.constVal, nil
 		}

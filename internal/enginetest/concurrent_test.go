@@ -1,0 +1,38 @@
+package enginetest
+
+import (
+	"testing"
+)
+
+// TestConcurrentDifferential runs the concurrent-differential mode over
+// the full strategy matrix: 8 goroutines share one engine and one
+// compiled plan per configuration, every result must match the serial
+// run, and the merged counters must equal 8× the serial counters. The
+// join query exercises index builds, probes, and the combination phase;
+// the quantified query exercises strategy-4 value lists; the permanent
+// index variant exercises shared permanent-index probing (including the
+// concurrent lazy sort).
+func TestConcurrentDifferential(t *testing.T) {
+	const goroutines = 8
+	join := `[<c.cnr, t.tenr> OF EACH c IN courses, EACH t IN timetable: (c.cnr = t.tcnr)]`
+	quantified := `[<e.ename> OF EACH e IN employees:
+		(e.estatus = professor) AND SOME t IN timetable ((t.tenr = e.enr) AND (t.tday = monday))]`
+
+	mixedOp := `[<c.cnr, e.enr> OF EACH c IN courses, EACH e IN employees, EACH t IN timetable:
+		(c.cnr = t.tcnr) AND (e.enr < t.tcnr)]`
+
+	db := universityDB(t, 10)
+	RunConcurrent(t, "concurrent/join", db, join, goroutines)
+	RunConcurrent(t, "concurrent/quantified", db, quantified, goroutines)
+	RunConcurrent(t, "concurrent/mixed-op-shared-index", db, mixedOp, goroutines)
+
+	ixdb := universityDB(t, 10)
+	for _, ix := range []struct{ rel, col string }{
+		{"courses", "cnr"}, {"timetable", "tcnr"},
+	} {
+		if _, err := ixdb.MustRelation(ix.rel).CreateIndex(ix.col); err != nil {
+			t.Fatal(err)
+		}
+	}
+	RunConcurrent(t, "concurrent/permindex", ixdb, join, goroutines)
+}

@@ -24,6 +24,7 @@ import (
 	"pascalr/internal/engine"
 	"pascalr/internal/parser"
 	"pascalr/internal/relation"
+	"pascalr/internal/stats"
 	"pascalr/internal/value"
 )
 
@@ -51,12 +52,13 @@ func RelKey(rel *relation.Relation) string {
 
 // RunSelection evaluates one checked selection against the baseline and
 // against every strategy set × {static, cost-based} planner, failing the
-// test on any disagreement. Each configuration runs three times: once
-// through the one-shot Eval, then twice against a single compiled Plan —
-// the first reuse materialized, the second streamed through the cursor —
-// so compile/execute splitting and streaming construction are covered by
-// the same oracle. It returns the baseline's row count so callers can
-// assert workload coverage.
+// test on any disagreement. Each configuration runs four times: once
+// through the one-shot Eval (serially, with instrumented counters),
+// twice against a single compiled Plan — the first reuse materialized,
+// the second streamed through the cursor — and once with a parallel
+// collection phase (four workers), whose result and merged counters
+// must equal the serial run's exactly. It returns the baseline's row
+// count so callers can assert workload coverage.
 func RunSelection(t *testing.T, label string, db *relation.DB, sel *calculus.Selection, info *calculus.Info) int {
 	t.Helper()
 	ctx := context.Background()
@@ -68,11 +70,12 @@ func RunSelection(t *testing.T, label string, db *relation.DB, sel *calculus.Sel
 	est := db.Analyze()
 	for _, strat := range StrategySets() {
 		for _, costBased := range []bool{false, true} {
-			opts := engine.Options{Strategies: strat, CostBased: costBased}
+			opts := engine.Options{Strategies: strat, CostBased: costBased, Parallelism: 1}
 			if costBased {
 				opts.Estimator = est
 			}
-			eng := engine.New(db, nil)
+			stSerial := &stats.Counters{}
+			eng := engine.New(db, stSerial)
 			got, err := eng.Eval(ctx, sel, info, opts)
 			if err != nil {
 				t.Fatalf("%s [%s cost=%v]: engine: %v", label, strat, costBased, err)
@@ -81,6 +84,9 @@ func RunSelection(t *testing.T, label string, db *relation.DB, sel *calculus.Sel
 				t.Fatalf("%s [%s cost=%v]: result mismatch\nwant %d rows, got %d rows\nquery: %s",
 					label, strat, costBased, want.Len(), got.Len(), sel)
 			}
+			// Snapshot before the prepared re-runs accumulate into the
+			// same engine sink.
+			serialFP := stSerial.Fingerprint()
 			plan, err := eng.Compile(sel, info, opts)
 			if err != nil {
 				t.Fatalf("%s [%s cost=%v]: compile: %v", label, strat, costBased, err)
@@ -98,6 +104,23 @@ func RunSelection(t *testing.T, label string, db *relation.DB, sel *calculus.Sel
 			} else if gotKey != wantKey {
 				t.Fatalf("%s [%s cost=%v]: prepared run 2 (cursor) mismatch\nquery: %s",
 					label, strat, costBased, sel)
+			}
+			// Parallel leg: same results AND the same merged counters
+			// as the serial run — the scheduler's determinism contract.
+			optsPar := opts
+			optsPar.Parallelism = 4
+			stPar := &stats.Counters{}
+			gotPar, err := engine.New(db, stPar).Eval(ctx, sel, info, optsPar)
+			if err != nil {
+				t.Fatalf("%s [%s cost=%v]: parallel: %v", label, strat, costBased, err)
+			}
+			if gotKey := RelKey(gotPar); gotKey != wantKey {
+				t.Fatalf("%s [%s cost=%v]: parallel result mismatch\nwant %d rows, got %d rows\nquery: %s",
+					label, strat, costBased, want.Len(), gotPar.Len(), sel)
+			}
+			if sk, pk := serialFP, stPar.Fingerprint(); sk != pk {
+				t.Fatalf("%s [%s cost=%v]: parallel counters diverge from serial\nserial:   %s\nparallel: %s",
+					label, strat, costBased, sk, pk)
 			}
 		}
 	}

@@ -7,10 +7,16 @@ import (
 
 // Analyze scans every relation once and returns an estimator over the
 // database's current contents. The analysis scans are planning work, not
-// query work, so they bypass the attached counter sink.
+// query work, so they bypass the attached counter sink (ScanStats with a
+// nil sink counts nothing), and they take the content lock per relation
+// like any other reader — Analyze must not be called while holding the
+// database read lock.
 func (d *DB) Analyze() *stats.Estimator {
+	d.catMu.RLock()
+	rels := append([]*Relation(nil), d.byID...)
+	d.catMu.RUnlock()
 	est := stats.NewEstimator()
-	for _, r := range d.byID {
+	for _, r := range rels {
 		est.AddTable(AnalyzeRelation(r))
 	}
 	return est
@@ -25,12 +31,9 @@ func AnalyzeRelation(r *Relation) *stats.TableStats {
 		cols[i] = c.Name
 	}
 	ts := stats.NewTableStats(sch.Name, cols)
-	prev := r.st
-	r.SetStats(nil)
-	r.Scan(func(_ value.Value, tuple []value.Value) bool {
+	r.ScanStats(nil, func(_ value.Value, tuple []value.Value) bool {
 		ts.Observe(tuple)
 		return true
 	})
-	r.SetStats(prev)
 	return ts
 }

@@ -3,6 +3,7 @@ package relation
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"pascalr/internal/stats"
 	"pascalr/internal/value"
@@ -14,15 +15,27 @@ import (
 // step can be omitted, if permanent indexes exist" (section 3.2), and
 // names integration with permanent access paths as ongoing research
 // (section 5); ColIndex is that access path.
+//
+// Mutations happen under the database content write lock (they are
+// called from the relation's mutators only); probes run under the
+// content read lock, so the two never overlap. Ordered probes use a
+// sorted *copy* of the value list, built lazily on first use (under
+// sortMu, so concurrent probers share one build) and invalidated by
+// mutations; the insertion-order list itself is immutable while any
+// reader holds the content lock, so <>-probes and Entries traverse it
+// lock-free in a deterministic order no matter how probes interleave.
 type ColIndex struct {
 	rel    *Relation
 	col    string
 	colIdx int
 
 	eq      map[string][]value.Value // encoded value -> refs
-	vals    []value.Value            // distinct values, sorted lazily
-	sorted  bool
+	vals    []value.Value            // distinct values, insertion order
 	entries int
+
+	sortMu     sync.Mutex    // guards the lazy sorted copy
+	sorted     bool          // sortedVals up to date
+	sortedVals []value.Value // ascending copy of vals
 
 	st *stats.Counters
 }
@@ -31,6 +44,8 @@ type ColIndex struct {
 // backfills it from the current contents. Creating the same index twice
 // is an error.
 func (r *Relation) CreateIndex(col string) (*ColIndex, error) {
+	r.lock()
+	defer r.unlock()
 	ci, ok := r.sch.ColIndex(col)
 	if !ok {
 		return nil, fmt.Errorf("relation %s: no component %s", r.sch.Name, col)
@@ -51,7 +66,9 @@ func (r *Relation) CreateIndex(col string) (*ColIndex, error) {
 	return ix, nil
 }
 
-// Index returns the permanent index on the named component, if any.
+// Index returns the permanent index on the named component, if any. It
+// takes no lock — the engine calls it while already holding the
+// database read lock; other callers must not race it with CreateIndex.
 func (r *Relation) Index(col string) (*ColIndex, bool) {
 	ix, ok := r.colIndexes[col]
 	return ix, ok
@@ -59,6 +76,8 @@ func (r *Relation) Index(col string) (*ColIndex, bool) {
 
 // Indexes returns the indexed component names, sorted.
 func (r *Relation) Indexes() []string {
+	r.rlock()
+	defer r.runlock()
 	out := make([]string, 0, len(r.colIndexes))
 	for col := range r.colIndexes {
 		out = append(out, col)
@@ -78,10 +97,17 @@ func (ix *ColIndex) add(v, ref value.Value) {
 	refs := ix.eq[k]
 	if len(refs) == 0 {
 		ix.vals = append(ix.vals, v)
-		ix.sorted = false
+		ix.invalidateSorted()
 	}
 	ix.eq[k] = append(refs, ref)
 	ix.entries++
+}
+
+// invalidateSorted drops the sorted copy; called from mutators, which
+// hold the content write lock, so no probe is concurrently reading it.
+func (ix *ColIndex) invalidateSorted() {
+	ix.sorted = false
+	ix.sortedVals = nil
 }
 
 func (ix *ColIndex) remove(v, ref value.Value) {
@@ -101,6 +127,7 @@ func (ix *ColIndex) remove(v, ref value.Value) {
 				break
 			}
 		}
+		ix.invalidateSorted()
 	} else {
 		ix.eq[k] = refs
 	}
@@ -110,40 +137,58 @@ func (ix *ColIndex) remove(v, ref value.Value) {
 func (ix *ColIndex) reset() {
 	ix.eq = make(map[string][]value.Value)
 	ix.vals = nil
-	ix.sorted = true
+	ix.invalidateSorted()
 	ix.entries = 0
 }
 
-func (ix *ColIndex) ensureSorted() {
-	if ix.sorted {
-		return
+// sortedSnapshot returns the ascending copy of the value list, building
+// it on first use after a mutation. Mutators run under the content
+// write lock (no concurrent probes), so the flag handoff is safe; the
+// returned slice is immutable until the next mutation.
+func (ix *ColIndex) sortedSnapshot() []value.Value {
+	ix.sortMu.Lock()
+	defer ix.sortMu.Unlock()
+	if !ix.sorted {
+		cp := append([]value.Value(nil), ix.vals...)
+		sort.SliceStable(cp, func(i, j int) bool {
+			return value.MustCompare(cp[i], cp[j]) < 0
+		})
+		ix.sortedVals = cp
+		ix.sorted = true
 	}
-	sort.SliceStable(ix.vals, func(i, j int) bool {
-		return value.MustCompare(ix.vals[i], ix.vals[j]) < 0
-	})
-	ix.sorted = true
+	return ix.sortedVals
 }
 
-// ProbeEq returns the references whose indexed component equals v.
-// Callers must not modify the returned slice.
+// ProbeEq returns the references whose indexed component equals v,
+// counting against the attached sink. Callers must not modify the
+// returned slice.
 func (ix *ColIndex) ProbeEq(v value.Value) []value.Value {
 	ix.st.CountProbes(1)
 	return ix.eq[value.EncodeKey([]value.Value{v})]
 }
 
-// Probe calls fn with every reference whose indexed value iv satisfies
-// "pv op iv" — the same contract as the collection phase's transient
-// indexes.
+// Probe is ProbeStats against the attached counter sink.
 func (ix *ColIndex) Probe(op value.CmpOp, pv value.Value, fn func(ref value.Value)) {
-	ix.st.CountProbes(1)
+	ix.ProbeStats(ix.st, op, pv, fn)
+}
+
+// ProbeStats calls fn with every reference whose indexed value iv
+// satisfies "pv op iv" — the same contract as the collection phase's
+// transient indexes — counting probes and comparisons into st. Parallel
+// scan workers pass their per-job sinks here so counting never races.
+func (ix *ColIndex) ProbeStats(st *stats.Counters, op value.CmpOp, pv value.Value, fn func(ref value.Value)) {
+	st.CountProbes(1)
 	switch op {
 	case value.OpEq:
 		for _, ref := range ix.eq[value.EncodeKey([]value.Value{pv})] {
 			fn(ref)
 		}
 	case value.OpNe:
+		// Insertion order, always: vals is immutable while readers hold
+		// the content lock, so emission order is deterministic no
+		// matter which probes ran before.
 		for _, v := range ix.vals {
-			ix.st.CountComparisons(1)
+			st.CountComparisons(1)
 			if !value.Equal(v, pv) {
 				for _, ref := range ix.eq[value.EncodeKey([]value.Value{v})] {
 					fn(ref)
@@ -151,33 +196,35 @@ func (ix *ColIndex) Probe(op value.CmpOp, pv value.Value, fn func(ref value.Valu
 			}
 		}
 	default:
-		ix.ensureSorted()
-		n := len(ix.vals)
+		sv := ix.sortedSnapshot()
+		n := len(sv)
 		var lo, hi int
 		switch op {
 		case value.OpLt:
-			lo = sort.Search(n, func(i int) bool { return value.MustCompare(ix.vals[i], pv) > 0 })
+			lo = sort.Search(n, func(i int) bool { return value.MustCompare(sv[i], pv) > 0 })
 			hi = n
 		case value.OpLe:
-			lo = sort.Search(n, func(i int) bool { return value.MustCompare(ix.vals[i], pv) >= 0 })
+			lo = sort.Search(n, func(i int) bool { return value.MustCompare(sv[i], pv) >= 0 })
 			hi = n
 		case value.OpGt:
 			lo = 0
-			hi = sort.Search(n, func(i int) bool { return value.MustCompare(ix.vals[i], pv) >= 0 })
+			hi = sort.Search(n, func(i int) bool { return value.MustCompare(sv[i], pv) >= 0 })
 		case value.OpGe:
 			lo = 0
-			hi = sort.Search(n, func(i int) bool { return value.MustCompare(ix.vals[i], pv) > 0 })
+			hi = sort.Search(n, func(i int) bool { return value.MustCompare(sv[i], pv) > 0 })
 		}
 		for i := lo; i < hi; i++ {
-			for _, ref := range ix.eq[value.EncodeKey([]value.Value{ix.vals[i]})] {
+			for _, ref := range ix.eq[value.EncodeKey([]value.Value{sv[i]})] {
 				fn(ref)
 			}
 		}
 	}
 }
 
-// Entries iterates all (value, ref) pairs in unspecified order; used by
-// deferred index-index joins.
+// Entries iterates all (value, ref) pairs in insertion order; used by
+// deferred index-index joins. The value list is immutable while the
+// caller holds the content lock and no probe lock is taken, so fn may
+// probe this very index (a self-join over one indexed column).
 func (ix *ColIndex) Entries(fn func(v, ref value.Value)) {
 	for _, v := range ix.vals {
 		for _, ref := range ix.eq[value.EncodeKey([]value.Value{v})] {

@@ -2,6 +2,8 @@ package relation
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"pascalr/internal/schema"
 	"pascalr/internal/stats"
@@ -10,19 +12,48 @@ import (
 
 // DB bundles a catalog with the relation variables it declares. It is
 // the database instance the query processor runs against.
+//
+// # Locking discipline
+//
+// Two locks protect a database against concurrent use:
+//
+//   - mu, the content lock, is a database-wide RWMutex shared by every
+//     relation of the DB. Content mutators (Insert, Delete, Assign,
+//     CreateIndex) take it exclusively; public read paths (Scan,
+//     ScanStats, Lookup, Get, Deref) take it shared per call. The query
+//     engine instead holds it shared across a whole collection phase
+//     (RLock/RUnlock) and uses the non-locking snapshot accessors
+//     (ScanSlots, SlotSpan, DB.Deref), so one read acquisition covers
+//     every scan and permanent-index probe of an execution — including
+//     probes into relations other than the one being scanned. Code
+//     running under the engine's phase lock must never call the locking
+//     accessors: recursive RLock can deadlock against a queued writer.
+//
+//   - catMu guards the registration maps (name -> relation, id ->
+//     relation) against relation declarations. It nests inside mu
+//     (readers holding mu may take catMu; no path holds catMu while
+//     acquiring mu), so lookups are safe both under the phase lock and
+//     on their own.
+//
+// Version and each relation's length are atomics, readable without any
+// lock — compiled plans compare versions to validate snapshots.
 type DB struct {
+	mu sync.RWMutex // content lock, shared with all relations
+
+	catMu  sync.RWMutex // guards cat growth, rels, byID, nextID
 	cat    *schema.Catalog
 	rels   map[string]*Relation
 	byID   []*Relation
 	nextID int
-	st     *stats.Counters
+
+	st *stats.Counters
 	// version counts content mutations (insert, delete, assign) across
 	// all relations of this database. Compiled plans and cached
 	// statistics compare it to decide whether they are stale. Schema
 	// growth (new types, new empty relations) does not bump it: existing
 	// plans cannot reference objects that did not exist when they were
 	// compiled.
-	version uint64
+	version atomic.Uint64
 }
 
 // NewDB returns an empty database with a fresh catalog.
@@ -30,18 +61,33 @@ func NewDB() *DB {
 	return &DB{cat: schema.NewCatalog(), rels: make(map[string]*Relation)}
 }
 
-// Catalog returns the database's catalog.
+// Catalog returns the database's catalog. The catalog itself is not
+// synchronized: callers interleaving declarations with reads (parsing,
+// checking) must serialize them, as the public pascalr API does.
 func (d *DB) Catalog() *schema.Catalog { return d.cat }
+
+// RLock acquires the database content lock shared, for a consistent
+// multi-relation read phase (the engine's collection phase). Content
+// mutators block until RUnlock. Calls must not nest.
+func (d *DB) RLock() { d.mu.RLock() }
+
+// RUnlock releases the shared content lock.
+func (d *DB) RUnlock() { d.mu.RUnlock() }
 
 // Create declares a relation variable for the given schema and registers
 // it in the catalog.
 func (d *DB) Create(sch *schema.RelSchema) (*Relation, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.catMu.Lock()
+	defer d.catMu.Unlock()
 	if err := d.cat.DefineRelation(sch); err != nil {
 		return nil, err
 	}
 	r := New(sch, d.nextID)
 	r.onMutate = d.bumpVersion
-	r.SetStats(d.st)
+	r.lk = &d.mu
+	r.st = d.st
 	d.nextID++
 	d.rels[sch.Name] = r
 	d.byID = append(d.byID, r)
@@ -59,13 +105,15 @@ func (d *DB) MustCreate(sch *schema.RelSchema) *Relation {
 
 // Relation returns the named relation variable.
 func (d *DB) Relation(name string) (*Relation, bool) {
+	d.catMu.RLock()
 	r, ok := d.rels[name]
+	d.catMu.RUnlock()
 	return r, ok
 }
 
 // MustRelation returns the named relation variable or panics.
 func (d *DB) MustRelation(name string) *Relation {
-	r, ok := d.rels[name]
+	r, ok := d.Relation(name)
 	if !ok {
 		panic(fmt.Sprintf("relation: no relation %s", name))
 	}
@@ -75,6 +123,8 @@ func (d *DB) MustRelation(name string) *Relation {
 // ByID returns the relation with the given catalog id, as stored in
 // reference values.
 func (d *DB) ByID(id int) (*Relation, bool) {
+	d.catMu.RLock()
+	defer d.catMu.RUnlock()
 	if id < 0 || id >= len(d.byID) {
 		return nil, false
 	}
@@ -82,33 +132,46 @@ func (d *DB) ByID(id int) (*Relation, bool) {
 }
 
 // Deref dereferences a reference value against whichever relation owns
-// it.
+// it. It does not take the content lock: callers synchronizing against
+// writers (the construction phase) hold RLock around batches of calls.
 func (d *DB) Deref(ref value.Value) ([]value.Value, error) {
 	id, _, _ := ref.AsRef()
 	r, ok := d.ByID(id)
 	if !ok {
 		return nil, fmt.Errorf("relation: reference to unknown relation id %d", id)
 	}
-	return r.Deref(ref)
+	return r.deref(ref)
 }
 
 // SetStats attaches a counter sink to the database and all its
-// relations.
+// relations. The sink feeds the locking read paths (Scan, public
+// probes); engine executions pass explicit per-execution sinks instead.
 func (d *DB) SetStats(st *stats.Counters) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.catMu.RLock()
+	defer d.catMu.RUnlock()
 	d.st = st
 	for _, r := range d.rels {
-		r.SetStats(st)
+		r.setStats(st)
 	}
 }
 
 // Stats returns the currently attached counter sink (may be nil).
-func (d *DB) Stats() *stats.Counters { return d.st }
+func (d *DB) Stats() *stats.Counters {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.st
+}
 
 // Version returns the database's content version: a counter bumped by
 // every successful insert, delete, and assignment against any relation
 // of this database. Two equal versions guarantee unchanged contents, so
 // compiled plans and cached statistics tagged with a version can be
-// reused without revalidation while it holds still.
-func (d *DB) Version() uint64 { return d.version }
+// reused without revalidation while it holds still. Version is an
+// atomic read, safe without any lock; reading it while holding RLock
+// pins it (writers are blocked), which is how the engine validates
+// snapshots.
+func (d *DB) Version() uint64 { return d.version.Load() }
 
-func (d *DB) bumpVersion() { d.version++ }
+func (d *DB) bumpVersion() { d.version.Add(1) }

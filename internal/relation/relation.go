@@ -9,15 +9,34 @@
 // the combination phase manipulates only reference relations. A
 // reference stays valid until its element is deleted; dereferencing a
 // stale reference is detected through per-slot generation counters.
+//
+// Relations created through DB.Create share the database's content
+// RWMutex (see the locking discipline on DB): exported mutators and
+// readers lock per call, while the snapshot accessors (ScanSlots,
+// SlotSpan, deref via DB.Deref) rely on the caller holding the database
+// read lock. Standalone relations (New) carry no lock and stay as cheap
+// as before — the engine's per-execution result relations are built
+// that way.
 package relation
 
 import (
+	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"pascalr/internal/schema"
 	"pascalr/internal/stats"
 	"pascalr/internal/value"
 )
+
+// ErrStale marks a dereference of a reference whose element was deleted
+// (or replaced by an assignment) after the reference was issued —
+// detected through per-slot generation counters. Under concurrent
+// writers a query's construction phase can observe it; the engine's
+// materializing path retries against a fresh snapshot, while streaming
+// cursors surface it to the caller.
+var ErrStale = errors.New("stale reference")
 
 type slot struct {
 	tuple []value.Value
@@ -32,13 +51,17 @@ type Relation struct {
 	id    int // catalog id used inside reference values
 	slots []slot
 	byKey map[string]int // encoded key -> slot index
-	live  int
+	live  atomic.Int64
 
 	colIndexes map[string]*ColIndex // permanent indexes, by component
 
 	// onMutate, when set (by DB.Create), is called after every content
 	// mutation — the hook behind DB.Version.
 	onMutate func()
+
+	// lk is the owning database's content lock; nil for standalone
+	// relations, which then skip all locking.
+	lk *sync.RWMutex
 
 	st *stats.Counters
 }
@@ -52,6 +75,30 @@ func New(sch *schema.RelSchema, id int) *Relation {
 	return &Relation{sch: sch, id: id, byKey: make(map[string]int)}
 }
 
+func (r *Relation) lock() {
+	if r.lk != nil {
+		r.lk.Lock()
+	}
+}
+
+func (r *Relation) unlock() {
+	if r.lk != nil {
+		r.lk.Unlock()
+	}
+}
+
+func (r *Relation) rlock() {
+	if r.lk != nil {
+		r.lk.RLock()
+	}
+}
+
+func (r *Relation) runlock() {
+	if r.lk != nil {
+		r.lk.RUnlock()
+	}
+}
+
 // Schema returns the relation's schema.
 func (r *Relation) Schema() *schema.RelSchema { return r.sch }
 
@@ -61,12 +108,22 @@ func (r *Relation) Name() string { return r.sch.Name }
 // ID returns the catalog id used in reference values.
 func (r *Relation) ID() int { return r.id }
 
-// Len returns the number of elements.
-func (r *Relation) Len() int { return r.live }
+// Len returns the number of elements. It is an atomic read, safe
+// without any lock (and in particular safe under the engine's phase
+// lock, where the locking accessors would deadlock).
+func (r *Relation) Len() int { return int(r.live.Load()) }
 
 // SetStats attaches a counter sink; scans, reads, and permanent-index
-// probes are recorded there. A nil sink disables counting.
+// probes through the locking accessors are recorded there. A nil sink
+// disables counting. Engine executions bypass the attached sink and
+// pass their own.
 func (r *Relation) SetStats(st *stats.Counters) {
+	r.lock()
+	defer r.unlock()
+	r.setStats(st)
+}
+
+func (r *Relation) setStats(st *stats.Counters) {
 	r.st = st
 	for _, ix := range r.colIndexes {
 		ix.st = st
@@ -78,6 +135,12 @@ func (r *Relation) SetStats(st *stats.Counters) {
 // no-op (relations are sets); a key collision with different components
 // is an error. It returns the element's reference.
 func (r *Relation) Insert(tuple []value.Value) (value.Value, error) {
+	r.lock()
+	defer r.unlock()
+	return r.insert(tuple)
+}
+
+func (r *Relation) insert(tuple []value.Value) (value.Value, error) {
 	if err := r.sch.CheckTuple(tuple); err != nil {
 		return value.Value{}, err
 	}
@@ -94,7 +157,7 @@ func (r *Relation) Insert(tuple []value.Value) (value.Value, error) {
 	r.slots = append(r.slots, slot{tuple: cp, live: true})
 	si := len(r.slots) - 1
 	r.byKey[k] = si
-	r.live++
+	r.live.Add(1)
 	ref := r.refOf(si)
 	for _, ix := range r.colIndexes {
 		ix.add(cp[ix.colIdx], ref)
@@ -107,6 +170,8 @@ func (r *Relation) Insert(tuple []value.Value) (value.Value, error) {
 // its key values. It reports whether an element was removed. References
 // to the removed element become stale.
 func (r *Relation) Delete(keyVals []value.Value) bool {
+	r.lock()
+	defer r.unlock()
 	si, ok := r.byKey[value.EncodeKey(keyVals)]
 	if !ok {
 		return false
@@ -118,7 +183,7 @@ func (r *Relation) Delete(keyVals []value.Value) bool {
 	r.slots[si].gen++
 	r.slots[si].tuple = nil
 	delete(r.byKey, value.EncodeKey(keyVals))
-	r.live--
+	r.live.Add(-1)
 	r.mutated()
 	return true
 }
@@ -126,6 +191,8 @@ func (r *Relation) Delete(keyVals []value.Value) bool {
 // Assign implements the := operator: it replaces the relation's contents
 // with the given tuples. All previously issued references become stale.
 func (r *Relation) Assign(tuples [][]value.Value) error {
+	r.lock()
+	defer r.unlock()
 	for _, t := range tuples {
 		if err := r.sch.CheckTuple(t); err != nil {
 			return err
@@ -140,13 +207,13 @@ func (r *Relation) Assign(tuples [][]value.Value) error {
 		}
 	}
 	r.byKey = make(map[string]int, len(tuples))
-	r.live = 0
+	r.live.Store(0)
 	for _, ix := range r.colIndexes {
 		ix.reset()
 	}
 	r.mutated()
 	for _, t := range tuples {
-		if _, err := r.Insert(t); err != nil {
+		if _, err := r.insert(t); err != nil {
 			return err
 		}
 	}
@@ -156,6 +223,8 @@ func (r *Relation) Assign(tuples [][]value.Value) error {
 // Lookup implements the selected variable rel[keyval]: it returns the
 // reference of the element with the given key values.
 func (r *Relation) Lookup(keyVals []value.Value) (value.Value, bool) {
+	r.rlock()
+	defer r.runlock()
 	si, ok := r.byKey[value.EncodeKey(keyVals)]
 	if !ok {
 		return value.Value{}, false
@@ -165,6 +234,8 @@ func (r *Relation) Lookup(keyVals []value.Value) (value.Value, bool) {
 
 // Get returns the tuple with the given key values.
 func (r *Relation) Get(keyVals []value.Value) ([]value.Value, bool) {
+	r.rlock()
+	defer r.runlock()
 	si, ok := r.byKey[value.EncodeKey(keyVals)]
 	if !ok {
 		return nil, false
@@ -176,6 +247,14 @@ func (r *Relation) Get(keyVals []value.Value) ([]value.Value, bool) {
 // It errors on references to other relations, stale references, and
 // malformed slots.
 func (r *Relation) Deref(ref value.Value) ([]value.Value, error) {
+	r.rlock()
+	defer r.runlock()
+	return r.deref(ref)
+}
+
+// deref is Deref without the lock, for callers that hold the database
+// read lock themselves (DB.Deref under the construction phase).
+func (r *Relation) deref(ref value.Value) ([]value.Value, error) {
 	rel, si, gen := ref.AsRef()
 	if rel != r.id {
 		return nil, fmt.Errorf("relation %s: reference belongs to relation id %d", r.sch.Name, rel)
@@ -185,22 +264,61 @@ func (r *Relation) Deref(ref value.Value) ([]value.Value, error) {
 	}
 	s := &r.slots[si]
 	if !s.live || s.gen != gen {
-		return nil, fmt.Errorf("relation %s: stale reference to slot %d", r.sch.Name, si)
+		return nil, fmt.Errorf("relation %s: %w to slot %d", r.sch.Name, ErrStale, si)
 	}
 	return s.tuple, nil
 }
 
 // Scan iterates the elements in insertion order, calling fn with each
 // element's reference and tuple until fn returns false. One Scan call is
-// counted as one base-relation scan. The tuple passed to fn must not be
-// modified or retained.
+// counted as one base-relation scan against the attached sink. The
+// tuple passed to fn must not be modified or retained. The content read
+// lock is held for the duration of the scan.
 func (r *Relation) Scan(fn func(ref value.Value, tuple []value.Value) bool) {
+	r.rlock()
+	defer r.runlock()
 	r.st.CountScan(r.sch.Name)
-	for si := range r.slots {
+	r.scanSlots(r.st, 0, len(r.slots), fn)
+}
+
+// ScanStats is Scan with an explicit counter sink, so concurrent
+// readers (the baseline oracle, statistics analysis) can count into
+// private sinks instead of racing on the attached one. A nil sink
+// disables counting.
+func (r *Relation) ScanStats(st *stats.Counters, fn func(ref value.Value, tuple []value.Value) bool) {
+	r.rlock()
+	defer r.runlock()
+	st.CountScan(r.sch.Name)
+	r.scanSlots(st, 0, len(r.slots), fn)
+}
+
+// SlotSpan returns the exclusive upper bound of slot indexes, the range
+// ScanSlots shards partition. Callers must hold the database read lock
+// (or otherwise own the relation exclusively).
+func (r *Relation) SlotSpan() int { return len(r.slots) }
+
+// ScanSlots scans the live slots in [lo, hi) in slot order, counting
+// tuples (but no scan start — the caller decides what one logical scan
+// is, so a sharded scan counts once) into st. It takes no lock: callers
+// must hold the database read lock. Sharding a scan into consecutive
+// slot ranges visits exactly the elements of a full scan, in an order
+// that concatenates shard-locally to the serial order.
+func (r *Relation) ScanSlots(st *stats.Counters, lo, hi int, fn func(ref value.Value, tuple []value.Value) bool) {
+	r.scanSlots(st, lo, hi, fn)
+}
+
+func (r *Relation) scanSlots(st *stats.Counters, lo, hi int, fn func(ref value.Value, tuple []value.Value) bool) {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > len(r.slots) {
+		hi = len(r.slots)
+	}
+	for si := lo; si < hi; si++ {
 		if !r.slots[si].live {
 			continue
 		}
-		r.st.CountTuples(1)
+		st.CountTuples(1)
 		if !fn(r.refOf(si), r.slots[si].tuple) {
 			return
 		}
@@ -210,7 +328,7 @@ func (r *Relation) Scan(fn func(ref value.Value, tuple []value.Value) bool) {
 // Refs returns the references of all elements in insertion order,
 // counting one scan.
 func (r *Relation) Refs() []value.Value {
-	out := make([]value.Value, 0, r.live)
+	out := make([]value.Value, 0, r.Len())
 	r.Scan(func(ref value.Value, _ []value.Value) bool {
 		out = append(out, ref)
 		return true
@@ -221,7 +339,7 @@ func (r *Relation) Refs() []value.Value {
 // Tuples returns copies of all tuples in insertion order, counting one
 // scan.
 func (r *Relation) Tuples() [][]value.Value {
-	out := make([][]value.Value, 0, r.live)
+	out := make([][]value.Value, 0, r.Len())
 	r.Scan(func(_ value.Value, tuple []value.Value) bool {
 		cp := make([]value.Value, len(tuple))
 		copy(cp, tuple)

@@ -1,0 +1,262 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestRunRespectsDependencies runs a diamond DAG many times and checks
+// that every job observes its dependencies' effects.
+func TestRunRespectsDependencies(t *testing.T) {
+	for round := 0; round < 50; round++ {
+		var mu sync.Mutex
+		doneSet := map[int]bool{}
+		mark := func(i int, deps ...int) func(context.Context) error {
+			return func(context.Context) error {
+				mu.Lock()
+				defer mu.Unlock()
+				for _, d := range deps {
+					if !doneSet[d] {
+						return fmt.Errorf("job %d ran before dependency %d", i, d)
+					}
+				}
+				doneSet[i] = true
+				return nil
+			}
+		}
+		jobs := []Job{
+			{Name: "a", Run: mark(0)},
+			{Name: "b", Deps: []int{0}, Run: mark(1, 0)},
+			{Name: "c", Deps: []int{0}, Run: mark(2, 0)},
+			{Name: "d", Deps: []int{1, 2}, Run: mark(3, 1, 2)},
+		}
+		if err := Run(context.Background(), 4, jobs); err != nil {
+			t.Fatal(err)
+		}
+		if len(doneSet) != 4 {
+			t.Fatalf("completed %d jobs, want 4", len(doneSet))
+		}
+	}
+}
+
+// TestRunBoundsConcurrency checks that no more than `workers` jobs are
+// in flight at once.
+func TestRunBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	var cur, peak atomic.Int64
+	jobs := make([]Job, 16)
+	for i := range jobs {
+		jobs[i] = Job{Name: fmt.Sprint(i), Run: func(context.Context) error {
+			n := cur.Add(1)
+			for {
+				p := peak.Load()
+				if n <= p || peak.CompareAndSwap(p, n) {
+					break
+				}
+			}
+			time.Sleep(time.Millisecond)
+			cur.Add(-1)
+			return nil
+		}}
+	}
+	if err := Run(context.Background(), workers, jobs); err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > workers {
+		t.Fatalf("observed %d concurrent jobs, want at most %d", p, workers)
+	}
+}
+
+// TestRunDeterministicError makes two independent jobs fail and checks
+// the lowest-indexed job's error wins, whatever the interleaving.
+func TestRunDeterministicError(t *testing.T) {
+	errLow := errors.New("low")
+	errHigh := errors.New("high")
+	for round := 0; round < 50; round++ {
+		jobs := []Job{
+			{Name: "ok", Run: func(context.Context) error { return nil }},
+			{Name: "low", Run: func(context.Context) error { return errLow }},
+			{Name: "high", Run: func(context.Context) error { return errHigh }},
+		}
+		err := Run(context.Background(), 3, jobs)
+		if !errors.Is(err, errLow) {
+			t.Fatalf("round %d: got %v, want %v", round, err, errLow)
+		}
+	}
+}
+
+// TestRunErrorSkipsDependents checks that jobs downstream of a failure
+// never start.
+func TestRunErrorSkipsDependents(t *testing.T) {
+	boom := errors.New("boom")
+	var ran atomic.Bool
+	jobs := []Job{
+		{Name: "fail", Run: func(context.Context) error { return boom }},
+		{Name: "dep", Deps: []int{0}, Run: func(context.Context) error { ran.Store(true); return nil }},
+	}
+	if err := Run(context.Background(), 2, jobs); !errors.Is(err, boom) {
+		t.Fatalf("got %v, want %v", err, boom)
+	}
+	if ran.Load() {
+		t.Fatal("dependent of a failed job ran")
+	}
+}
+
+// TestRunCancellation cancels mid-schedule: Run must return ctx.Err()
+// and leave no goroutines behind.
+func TestRunCancellation(t *testing.T) {
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{})
+	var once sync.Once
+	jobs := make([]Job, 8)
+	for i := range jobs {
+		jobs[i] = Job{Name: fmt.Sprint(i), Run: func(c context.Context) error {
+			once.Do(func() { close(started) })
+			<-c.Done()
+			return c.Err()
+		}}
+	}
+	go func() {
+		<-started
+		cancel()
+	}()
+	if err := Run(ctx, 2, jobs); !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	waitForGoroutines(t, before)
+}
+
+// TestRunPreCancelled returns immediately on an already-cancelled
+// context.
+func TestRunPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Bool
+	jobs := []Job{{Name: "x", Run: func(context.Context) error { ran.Store(true); return nil }}}
+	if err := Run(ctx, 1, jobs); !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+}
+
+// TestRunDetectsCycles reports cyclic dependencies instead of hanging.
+func TestRunDetectsCycles(t *testing.T) {
+	jobs := []Job{
+		{Name: "a", Deps: []int{1}, Run: func(context.Context) error { return nil }},
+		{Name: "b", Deps: []int{0}, Run: func(context.Context) error { return nil }},
+	}
+	err := Run(context.Background(), 2, jobs)
+	if err == nil {
+		t.Fatal("cycle went undetected")
+	}
+}
+
+// TestRunValidatesDeps rejects out-of-range and self dependencies.
+func TestRunValidatesDeps(t *testing.T) {
+	nop := func(context.Context) error { return nil }
+	if err := Run(context.Background(), 1, []Job{{Name: "a", Deps: []int{5}, Run: nop}}); err == nil {
+		t.Fatal("out-of-range dependency accepted")
+	}
+	if err := Run(context.Background(), 1, []Job{{Name: "a", Deps: []int{0}, Run: nop}}); err == nil {
+		t.Fatal("self dependency accepted")
+	}
+}
+
+// TestRunSerialOrder checks that a single worker executes independent
+// jobs in index order — the deterministic schedule the serial engine
+// produces.
+func TestRunSerialOrder(t *testing.T) {
+	var mu sync.Mutex
+	var order []int
+	jobs := make([]Job, 6)
+	for i := range jobs {
+		i := i
+		jobs[i] = Job{Name: fmt.Sprint(i), Run: func(context.Context) error {
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+			return nil
+		}}
+	}
+	if err := Run(context.Background(), 1, jobs); err != nil {
+		t.Fatal(err)
+	}
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("single-worker order %v, want ascending", order)
+		}
+	}
+}
+
+func waitForGoroutines(t *testing.T, before int) {
+	t.Helper()
+	for i := 0; i < 100; i++ {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before {
+		t.Fatalf("goroutines leaked: %d -> %d", before, after)
+	}
+}
+
+// TestShards checks balanced contiguous splitting.
+func TestShards(t *testing.T) {
+	for _, tc := range []struct {
+		n, count int
+		want     int // number of shards
+	}{
+		{10, 3, 3}, {10, 1, 1}, {3, 8, 3}, {0, 4, 1}, {1000, 4, 4},
+	} {
+		got := Shards(tc.n, tc.count)
+		if len(got) != tc.want {
+			t.Fatalf("Shards(%d,%d) = %v, want %d shards", tc.n, tc.count, got, tc.want)
+		}
+		lo, total, minSz, maxSz := 0, 0, int(^uint(0)>>1), 0
+		for _, s := range got {
+			if s[0] != lo {
+				t.Fatalf("Shards(%d,%d) = %v: not contiguous", tc.n, tc.count, got)
+			}
+			sz := s[1] - s[0]
+			total += sz
+			lo = s[1]
+			if sz < minSz {
+				minSz = sz
+			}
+			if sz > maxSz {
+				maxSz = sz
+			}
+		}
+		if total != tc.n {
+			t.Fatalf("Shards(%d,%d) covers %d elements", tc.n, tc.count, total)
+		}
+		if tc.n > 0 && maxSz-minSz > 1 {
+			t.Fatalf("Shards(%d,%d) = %v: unbalanced", tc.n, tc.count, got)
+		}
+	}
+}
+
+// TestShardCount checks the cost-guided shard heuristic.
+func TestShardCount(t *testing.T) {
+	for _, tc := range []struct {
+		card     float64
+		min, max int
+		want     int
+	}{
+		{100, 512, 8, 1},    // too small to shard
+		{2048, 512, 8, 4},   // one shard per 512 elements
+		{100000, 512, 8, 8}, // capped at the worker count
+		{0, 512, 8, 1},
+	} {
+		if got := ShardCount(tc.card, tc.min, tc.max); got != tc.want {
+			t.Fatalf("ShardCount(%v,%d,%d) = %d, want %d", tc.card, tc.min, tc.max, got, tc.want)
+		}
+	}
+}

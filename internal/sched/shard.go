@@ -1,0 +1,52 @@
+package sched
+
+// ShardCount decides how many shards a scan of estimated cardinality
+// card should split into: one shard per minPerShard elements, capped at
+// maxShards. Cardinalities come from the cost estimator when available
+// (the planner's statistics already price every scan) and from the
+// relation's exact length otherwise, so small scans never pay the
+// fork/merge overhead.
+func ShardCount(card float64, minPerShard, maxShards int) int {
+	if maxShards < 1 {
+		maxShards = 1
+	}
+	if minPerShard < 1 {
+		minPerShard = 1
+	}
+	n := int(card) / minPerShard
+	if n < 1 {
+		return 1
+	}
+	if n > maxShards {
+		return maxShards
+	}
+	return n
+}
+
+// Shards splits the half-open range [0, n) into count balanced
+// contiguous sub-ranges. The first n%count shards are one element
+// longer, so shard sizes differ by at most one. count is clamped to
+// [1, n] (an empty range yields a single empty shard).
+func Shards(n, count int) [][2]int {
+	if count < 1 {
+		count = 1
+	}
+	if n < 1 {
+		return [][2]int{{0, n}}
+	}
+	if count > n {
+		count = n
+	}
+	out := make([][2]int, 0, count)
+	base, rem := n/count, n%count
+	lo := 0
+	for i := 0; i < count; i++ {
+		size := base
+		if i < rem {
+			size++
+		}
+		out = append(out, [2]int{lo, lo + size})
+		lo += size
+	}
+	return out
+}

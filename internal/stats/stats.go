@@ -175,6 +175,52 @@ func (c *Counters) Merge(other *Counters) {
 	c.Structures = append(c.Structures, other.Structures...)
 }
 
+// Fingerprint renders the counters as a deterministic string: map keys
+// sorted, structure records sorted (their natural order follows map
+// iteration in parts of the engine, so only the multiset is
+// meaningful). Two runs of the same work — serial or parallel, in any
+// interleaving — must produce equal fingerprints; the differential
+// harness compares them.
+func (c *Counters) Fingerprint() string {
+	if c == nil {
+		return ""
+	}
+	var b strings.Builder
+	rels := make([]string, 0, len(c.BaseScans))
+	for rel := range c.BaseScans {
+		rels = append(rels, rel)
+	}
+	sort.Strings(rels)
+	for _, rel := range rels {
+		fmt.Fprintf(&b, "scan %s=%d;", rel, c.BaseScans[rel])
+	}
+	fmt.Fprintf(&b, "tuples=%d;probes=%d;cmps=%d;ref=%d;peak=%d;hash=%d;cart=%d;costplans=%d;",
+		c.TuplesRead, c.IndexProbes, c.Comparisons, c.RefTuples, c.PeakRefTuples,
+		c.HashJoins, c.CartesianJoins, c.CostBasedPlans)
+	fmt.Fprintf(&b, "order=%s;", strings.Join(c.PlanOrder, ","))
+	structs := make([]string, 0, len(c.Structures))
+	for _, s := range c.Structures {
+		structs = append(structs, fmt.Sprintf("%s|%s|%d", s.Name, s.Kind, s.Size))
+	}
+	sort.Strings(structs)
+	b.WriteString(strings.Join(structs, ";"))
+	return b.String()
+}
+
+// Scale multiplies every additive counter by n (peaks stay, the plan
+// order stays, structure records replicate) — the expected merged sink
+// after n identical executions.
+func (c *Counters) Scale(n int) *Counters {
+	if c == nil {
+		return nil
+	}
+	out := &Counters{}
+	for i := 0; i < n; i++ {
+		out.Merge(c)
+	}
+	return out
+}
+
 // Reset clears all counters for reuse.
 func (c *Counters) Reset() {
 	if c == nil {

@@ -51,12 +51,24 @@
 // keyed by source and compile options, and every cached plan is
 // revalidated against the database's content version, so mutations are
 // always observed.
+//
+// A Database is safe for concurrent use: queries and prepared
+// statements may run from many goroutines while Exec mutates contents —
+// each execution reads a version-validated snapshot under the storage
+// layer's reader lock. The collection phase's independent relation
+// scans can additionally run in parallel within one query:
+//
+//	res, err := db.Query(src, pascalr.WithParallelism(4))
+//
+// (CLI: pascalr -parallel 4). Parallel execution returns exactly the
+// serial result and cost counters, just faster on multi-core hardware.
 package pascalr
 
 import (
 	"context"
 	"fmt"
 	"strings"
+	"sync"
 
 	"pascalr/internal/baseline"
 	"pascalr/internal/calculus"
@@ -125,14 +137,32 @@ func ParseStrategy(s string) (Strategy, error) {
 
 // Database is a PASCAL/R database instance: a catalog of types and
 // relation variables plus their contents.
+//
+// A Database is safe for concurrent use: Exec (DDL and content
+// mutations) serializes against query compilation through a
+// database-level lock and against running executions through the
+// storage layer's content lock, while Query, QueryRows, and prepared
+// statements may run from many goroutines at once — each execution
+// reads a version-validated snapshot and counts into a private sink
+// merged on completion. The plan cache and the cost-statistics cache
+// are individually synchronized.
 type Database struct {
-	db         *relation.DB
-	st         *stats.Counters
+	db  *relation.DB
+	eng *engine.Engine
+
+	// mu guards the catalog-affecting surface: Exec (declarations
+	// mutate the catalog the compile path reads) takes it exclusively;
+	// parse/check/compile paths take it shared. Execution of compiled
+	// plans runs outside it — the storage content lock covers that.
+	mu         sync.RWMutex
 	strategies Strategy
-	// est caches the statistics cost-based planning needs, tagged with
-	// the content version it was computed at; any content mutation
-	// (insert, delete, assign — but not TYPE/VAR declarations) makes the
-	// next cost-based call re-analyze.
+	parallel   int
+
+	// estMu guards the cost-statistics cache: the statistics cost-based
+	// planning needs, tagged with the content version they were computed
+	// at; any content mutation (insert, delete, assign — but not
+	// TYPE/VAR declarations) makes the next cost-based call re-analyze.
+	estMu      sync.Mutex
 	est        *stats.Estimator
 	estVersion uint64
 	// plans is the LRU of prepared statements behind the one-shot Query
@@ -143,9 +173,10 @@ type Database struct {
 // New returns an empty database with all optimization strategies
 // enabled by default.
 func New() *Database {
+	db := relation.NewDB()
 	return &Database{
-		db:         relation.NewDB(),
-		st:         &stats.Counters{},
+		db:         db,
+		eng:        engine.New(db, &stats.Counters{}),
 		strategies: AllStrategies,
 		plans:      newPlanCache(planCacheSize),
 	}
@@ -161,7 +192,20 @@ func Open(script string) (*Database, error) {
 }
 
 // SetStrategies changes the default strategy set used by Exec and Query.
-func (d *Database) SetStrategies(s Strategy) { d.strategies = s }
+func (d *Database) SetStrategies(s Strategy) {
+	d.mu.Lock()
+	d.strategies = s
+	d.mu.Unlock()
+}
+
+// SetParallelism changes the default collection-phase worker budget
+// used by Exec and Query; per-call WithParallelism overrides it. Values
+// below 2 (the initial default) evaluate serially.
+func (d *Database) SetParallelism(n int) {
+	d.mu.Lock()
+	d.parallel = n
+	d.mu.Unlock()
+}
 
 // config carries per-call options.
 type config struct {
@@ -170,11 +214,14 @@ type config struct {
 	maxRefTuples int64
 	costBased    bool
 	noCache      bool
+	parallelism  int
 }
 
 // newConfig resolves options against the database defaults.
 func (d *Database) newConfig(opts []Option) config {
-	c := config{strategies: d.strategies}
+	d.mu.RLock()
+	c := config{strategies: d.strategies, parallelism: d.parallel}
+	d.mu.RUnlock()
 	for _, o := range opts {
 		o(&c)
 	}
@@ -227,12 +274,24 @@ func WithoutPlanCache() Option {
 	return func(c *config) { c.noCache = true }
 }
 
+// WithParallelism runs the collection phase's independent relation
+// scans on up to n goroutines, splitting large scans into
+// cost-balanced shards. n = 1 is the paper's serial schedule with
+// bit-identical results and counters; higher n produces the same
+// results and merged counters. It is an execution-time option: prepared
+// statements accept it per call, and it does not key the plan cache.
+func WithParallelism(n int) Option {
+	return func(c *config) { c.parallelism = n }
+}
+
 // Exec parses and executes a PASCAL/R script: TYPE and VAR sections,
 // assignments (:=), inserts (:+), and deletes (:-). Statements that
 // mutate relation contents bump the database's content version, which
 // transparently invalidates cached statistics and compiled plans;
 // scripts containing only TYPE/VAR declarations leave both intact.
 func (d *Database) Exec(src string) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	prog, err := parser.Parse(src, d.db.Catalog())
 	if err != nil {
 		return err
@@ -344,59 +403,77 @@ func (d *Database) assign(target string, res *relation.Relation) error {
 	return rel.Assign(res.Tuples())
 }
 
-// evalSelection checks and evaluates a parsed selection.
+// evalSelection checks and evaluates a parsed selection. Callers hold
+// the database lock (shared suffices for the engine path; Exec holds it
+// exclusively) so checking reads a stable catalog.
 func (d *Database) evalSelection(ctx context.Context, sel *calculus.Selection, c config) (*relation.Relation, error) {
 	checked, info, err := calculus.Check(sel, d.db.Catalog())
 	if err != nil {
 		return nil, err
 	}
 	if c.useBaseline {
-		prev := d.db.Stats()
-		d.db.SetStats(d.st)
-		defer d.db.SetStats(prev)
-		return baseline.Eval(checked, info, d.db)
+		// The oracle counts into a private sink merged on completion,
+		// like engine executions, so concurrent baseline calls do not
+		// race on the shared counters.
+		local := &stats.Counters{}
+		res, err := baseline.EvalStats(checked, info, d.db, local)
+		d.eng.Stats(func(st *stats.Counters) { st.Merge(local) })
+		return res, err
 	}
-	eng := engine.New(d.db, d.st)
-	return eng.Eval(ctx, checked, info, engine.Options{
+	return d.eng.Eval(ctx, checked, info, engine.Options{
 		Strategies:   engine.Strategy(c.strategies),
 		MaxRefTuples: c.maxRefTuples,
 		CostBased:    c.costBased,
 		Estimator:    d.estimator(c),
+		Parallelism:  c.parallelism,
 	})
 }
 
 // estimator returns the statistics for cost-based calls. The cache is
 // tagged with the database's content version: mutated contents
 // re-analyze on next use, while TYPE/VAR declarations and no-op
-// statements reuse the existing statistics.
+// statements reuse the existing statistics. The cache has its own lock,
+// so concurrent cost-based queries after one mutation analyze once.
 func (d *Database) estimator(c config) *stats.Estimator {
 	if !c.costBased {
 		return nil
 	}
+	d.estMu.Lock()
+	defer d.estMu.Unlock()
 	if d.est == nil || d.estVersion != d.db.Version() {
+		v := d.db.Version()
 		d.est = d.db.Analyze()
-		d.estVersion = d.db.Version()
+		d.estVersion = v
 	}
 	return d.est
 }
 
 // preparedStmt returns the prepared statement the one-shot path should
 // execute: a cache hit, or a freshly compiled (and, unless noCache,
-// cached) statement.
+// cached) statement. On a concurrent miss both goroutines compile and
+// the later put wins — wasted work, never a wrong plan.
 func (d *Database) preparedStmt(src string, c config) (*Stmt, error) {
 	if c.noCache {
-		return d.prepare(src, c)
+		return d.prepareShared(src, c)
 	}
 	key := cacheKey(src, c)
 	if s, ok := d.plans.get(key); ok {
 		return s, nil
 	}
-	s, err := d.prepare(src, c)
+	s, err := d.prepareShared(src, c)
 	if err != nil {
 		return nil, err
 	}
 	d.plans.put(key, s)
 	return s, nil
+}
+
+// prepareShared compiles under the shared database lock, serializing
+// against Exec's catalog mutations.
+func (d *Database) prepareShared(src string, c config) (*Stmt, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.prepare(src, c)
 }
 
 // Query evaluates a selection expression and returns its result. Behind
@@ -418,7 +495,9 @@ func (d *Database) QueryContext(ctx context.Context, src string, opts ...Option)
 		if err != nil {
 			return nil, err
 		}
+		d.mu.RLock()
 		res, err := d.evalSelection(ctx, sel, c)
+		d.mu.RUnlock()
 		if err != nil {
 			return nil, err
 		}
@@ -428,8 +507,7 @@ func (d *Database) QueryContext(ctx context.Context, src string, opts ...Option)
 	if err != nil {
 		return nil, err
 	}
-	s.refresh(c)
-	rel, err := s.plan.Eval(ctx)
+	rel, err := s.plan.EvalWith(ctx, s.override(c))
 	if err != nil {
 		return nil, err
 	}
@@ -449,8 +527,7 @@ func (d *Database) QueryRows(ctx context.Context, src string, opts ...Option) (*
 	if err != nil {
 		return nil, err
 	}
-	s.refresh(c)
-	cur, err := s.plan.Rows(ctx)
+	cur, err := s.plan.RowsWith(ctx, s.override(c))
 	if err != nil {
 		return nil, err
 	}
@@ -475,15 +552,18 @@ func (d *Database) Explain(src string, opts ...Option) (string, error) {
 	if err != nil {
 		return "", err
 	}
+	d.mu.RLock()
 	checked, _, err := calculus.Check(sel, d.db.Catalog())
+	d.mu.RUnlock()
 	if err != nil {
 		return "", err
 	}
 	eng := engine.New(d.db, nil)
 	return eng.Explain(checked, engine.Options{
-		Strategies: engine.Strategy(c.strategies),
-		CostBased:  c.costBased,
-		Estimator:  d.estimator(c),
+		Strategies:  engine.Strategy(c.strategies),
+		CostBased:   c.costBased,
+		Estimator:   d.estimator(c),
+		Parallelism: c.parallelism,
 	})
 }
 
@@ -502,7 +582,11 @@ func (d *Database) CreateIndex(rel, col string) error {
 }
 
 // Relations returns the declared relation names in declaration order.
-func (d *Database) Relations() []string { return d.db.Catalog().Relations() }
+func (d *Database) Relations() []string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.db.Catalog().Relations()
+}
 
 // RelationLen returns the cardinality of a relation.
 func (d *Database) RelationLen(name string) (int, error) {
@@ -539,28 +623,35 @@ type Stats struct {
 	PlanOrder      []string // scan order of the most recent evaluation
 }
 
-// Stats returns a snapshot of the accumulated counters.
+// Stats returns a snapshot of the accumulated counters, taken under
+// the counter lock so completing executions cannot tear it.
 func (d *Database) Stats() Stats {
-	scans := make(map[string]int, len(d.st.BaseScans))
-	for k, v := range d.st.BaseScans {
-		scans[k] = v
-	}
-	return Stats{
-		TotalScans:     d.st.TotalScans(),
-		ScansOf:        scans,
-		TuplesRead:     d.st.TuplesRead,
-		IndexProbes:    d.st.IndexProbes,
-		Comparisons:    d.st.Comparisons,
-		RefTuples:      d.st.RefTuples,
-		PeakRefTuples:  d.st.PeakRefTuples,
-		HashJoins:      d.st.HashJoins,
-		CartesianJoins: d.st.CartesianJoins,
-		PlanOrder:      append([]string(nil), d.st.PlanOrder...),
-	}
+	var out Stats
+	d.eng.Stats(func(st *stats.Counters) {
+		scans := make(map[string]int, len(st.BaseScans))
+		for k, v := range st.BaseScans {
+			scans[k] = v
+		}
+		out = Stats{
+			TotalScans:     st.TotalScans(),
+			ScansOf:        scans,
+			TuplesRead:     st.TuplesRead,
+			IndexProbes:    st.IndexProbes,
+			Comparisons:    st.Comparisons,
+			RefTuples:      st.RefTuples,
+			PeakRefTuples:  st.PeakRefTuples,
+			HashJoins:      st.HashJoins,
+			CartesianJoins: st.CartesianJoins,
+			PlanOrder:      append([]string(nil), st.PlanOrder...),
+		}
+	})
+	return out
 }
 
 // ResetStats clears the accumulated counters.
-func (d *Database) ResetStats() { d.st.Reset() }
+func (d *Database) ResetStats() {
+	d.eng.Stats(func(st *stats.Counters) { st.Reset() })
+}
 
 // Result is a query result: a set of tuples with named components.
 type Result struct {

@@ -1,6 +1,9 @@
 package pascalr
 
-import "container/list"
+import (
+	"container/list"
+	"sync"
+)
 
 // planCacheSize bounds the prepared statements the one-shot Query path
 // keeps behind the scenes.
@@ -12,7 +15,11 @@ const planCacheSize = 64
 // without the caller managing Stmt objects. Entries never go stale:
 // each Stmt revalidates its plan against the database's content
 // version on execution, so the cache only ever amortizes compilation.
+// A mutex makes hits, insertions, and evictions safe from concurrent
+// one-shot queries; on a concurrent miss both compilers race benignly
+// and the later put wins.
 type planCache struct {
+	mu    sync.Mutex
 	cap   int
 	ll    *list.List // front = most recently used
 	byKey map[string]*list.Element
@@ -28,6 +35,8 @@ func newPlanCache(capacity int) *planCache {
 }
 
 func (pc *planCache) get(key string) (*Stmt, bool) {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
 	if el, ok := pc.byKey[key]; ok {
 		pc.ll.MoveToFront(el)
 		return el.Value.(*planEntry).stmt, true
@@ -36,6 +45,8 @@ func (pc *planCache) get(key string) (*Stmt, bool) {
 }
 
 func (pc *planCache) put(key string, s *Stmt) {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
 	if el, ok := pc.byKey[key]; ok {
 		pc.ll.MoveToFront(el)
 		el.Value.(*planEntry).stmt = s
@@ -49,4 +60,8 @@ func (pc *planCache) put(key string, s *Stmt) {
 	}
 }
 
-func (pc *planCache) len() int { return pc.ll.Len() }
+func (pc *planCache) len() int {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	return pc.ll.Len()
+}

@@ -7,6 +7,7 @@ import (
 	"pascalr/internal/calculus"
 	"pascalr/internal/engine"
 	"pascalr/internal/parser"
+	"pascalr/internal/stats"
 )
 
 // Stmt is a prepared selection: the query is parsed, type-checked,
@@ -18,8 +19,9 @@ import (
 // adaptation demands it — so a Stmt trades no correctness for the
 // amortized compilation.
 //
-// Like the Database it belongs to, a Stmt is not safe for concurrent
-// use.
+// A Stmt is safe for concurrent use: executions revalidate and run the
+// shared compiled plan under its own synchronization, each counting
+// into a private sink.
 type Stmt struct {
 	d    *Database
 	src  string
@@ -32,7 +34,7 @@ type Stmt struct {
 // here; WithBaseline cannot be prepared (the tuple-substitution oracle
 // has no plan to cache).
 func (d *Database) Prepare(src string, opts ...Option) (*Stmt, error) {
-	return d.prepare(src, d.newConfig(opts))
+	return d.prepareShared(src, d.newConfig(opts))
 }
 
 func (d *Database) prepare(src string, c config) (*Stmt, error) {
@@ -47,11 +49,12 @@ func (d *Database) prepare(src string, c config) (*Stmt, error) {
 	if err != nil {
 		return nil, err
 	}
-	plan, err := engine.New(d.db, d.st).Compile(checked, info, engine.Options{
+	plan, err := d.eng.Compile(checked, info, engine.Options{
 		Strategies:   engine.Strategy(c.strategies),
 		MaxRefTuples: c.maxRefTuples,
 		CostBased:    c.costBased,
 		Estimator:    d.estimator(c),
+		Parallelism:  c.parallelism,
 	})
 	if err != nil {
 		return nil, err
@@ -77,15 +80,25 @@ func (s *Stmt) execConfig(opts []Option) (config, error) {
 	return c, nil
 }
 
-// refresh pushes execution-time state into the plan: the current
-// statistics (the Database's estimator cache is keyed by the content
-// version, so mutated data re-analyzes exactly once) and the
-// reference-tuple budget.
-func (s *Stmt) refresh(c config) {
+// override returns the per-execution option override for one call:
+// the current statistics (the Database's estimator cache is keyed by
+// the content version, so mutated data re-analyzes exactly once), the
+// reference-tuple budget, and the parallelism budget. The override
+// applies to a private copy of the plan's options inside the
+// execution, so concurrent calls with different execution-time options
+// never contaminate each other.
+func (s *Stmt) override(c config) func(*engine.Options) {
+	var est *stats.Estimator
 	if c.costBased {
-		s.plan.SetEstimator(s.d.estimator(c))
+		est = s.d.estimator(c)
 	}
-	s.plan.SetMaxRefTuples(c.maxRefTuples)
+	return func(o *engine.Options) {
+		if est != nil {
+			o.Estimator = est
+		}
+		o.MaxRefTuples = c.maxRefTuples
+		o.Parallelism = c.parallelism
+	}
 }
 
 // Query re-executes the compiled plan and returns the materialized
@@ -96,8 +109,7 @@ func (s *Stmt) Query(ctx context.Context, opts ...Option) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	s.refresh(c)
-	rel, err := s.plan.Eval(ctx)
+	rel, err := s.plan.EvalWith(ctx, s.override(c))
 	if err != nil {
 		return nil, err
 	}
@@ -112,8 +124,7 @@ func (s *Stmt) Rows(ctx context.Context, opts ...Option) (*Rows, error) {
 	if err != nil {
 		return nil, err
 	}
-	s.refresh(c)
-	cur, err := s.plan.Rows(ctx)
+	cur, err := s.plan.RowsWith(ctx, s.override(c))
 	if err != nil {
 		return nil, err
 	}
