@@ -203,19 +203,21 @@ func TestPlanCacheLRU(t *testing.T) {
 	}
 }
 
-// TestEstimatorSurvivesDeclarations is the over-eager-invalidation fix:
-// scripts that only declare types or relations, and statements that
-// mutate nothing, must keep the cached statistics; content mutations
-// must refresh them.
-func TestEstimatorSurvivesDeclarations(t *testing.T) {
+// TestEstimatorPerRelationStaleness pins the statistics-cache
+// granularity: TYPE/VAR declarations and no-op statements keep every
+// relation's statistics snapshot; a content mutation of one relation
+// refreshes that relation's snapshot and ONLY that one — an insert into
+// papers must not discard the statistics of employees.
+func TestEstimatorPerRelationStaleness(t *testing.T) {
 	db := New()
 	db.MustExec(sampleScript)
 	if _, err := db.Query(example21, WithCostBased()); err != nil {
 		t.Fatal(err)
 	}
-	est := db.est
-	if est == nil {
-		t.Fatal("cost-based query did not populate the estimator")
+	before := db.db.Estimator()
+	emp, pap := before.Table("employees"), before.Table("papers")
+	if emp == nil || pap == nil {
+		t.Fatal("cost-based query did not populate statistics")
 	}
 	db.MustExec(`TYPE gradetype = 1..5;`)
 	db.MustExec(`VAR grades : RELATION <g> OF RECORD g : gradetype END;`)
@@ -223,15 +225,23 @@ func TestEstimatorSurvivesDeclarations(t *testing.T) {
 	if _, err := db.Query(example21, WithCostBased(), WithoutPlanCache()); err != nil {
 		t.Fatal(err)
 	}
-	if db.est != est {
-		t.Fatal("TYPE/VAR declarations or no-op statements invalidated the estimator")
+	mid := db.db.Estimator()
+	if mid.Table("employees") != emp || mid.Table("papers") != pap {
+		t.Fatal("TYPE/VAR declarations or no-op statements invalidated statistics snapshots")
 	}
 	db.MustExec(`papers :+ [<4, 1981, 't9'>];`)
 	if _, err := db.Query(example21, WithCostBased(), WithoutPlanCache()); err != nil {
 		t.Fatal(err)
 	}
-	if db.est == est {
-		t.Fatal("content mutation did not refresh the estimator")
+	after := db.db.Estimator()
+	if after.Table("papers") == pap {
+		t.Fatal("papers mutation did not refresh the papers snapshot")
+	}
+	if after.Table("employees") != emp {
+		t.Fatal("papers mutation discarded the employees snapshot (per-relation staleness broken)")
+	}
+	if got := after.Table("papers").Rows(); got != pap.Rows()+1 {
+		t.Fatalf("refreshed papers snapshot has %d rows, want %d", got, pap.Rows()+1)
 	}
 }
 

@@ -337,6 +337,82 @@ func BenchmarkParallelCollection(b *testing.B) {
 	}
 }
 
+// BenchmarkHistogramPlanning compares the uniform (System R) and
+// histogram estimators on the heavy-hitter join workload: the uniform
+// model believes the filtered facts side is small (1/distinct) when it
+// actually keeps ~90% of the rows, so it probes with the wrong side;
+// the histogram plan probes with the genuinely smaller dims side. The
+// probes/op and reftuples/op metrics are the plan-quality record CI
+// tracks (see .github/workflows/ci.yml, BENCH_histogram_planning.json).
+// The mutate-replan leg re-executes a prepared plan after a mutation
+// every iteration — the path that used to re-Analyze (rescan every
+// relation) per version change and now reads the incrementally
+// maintained statistics: DB.Analyze is on no hot path here.
+func BenchmarkHistogramPlanning(b *testing.B) {
+	mk := func(b *testing.B) (*relation.DB, *calculus.Selection, *calculus.Info) {
+		b.Helper()
+		db := workload.MustSkewedJoin(workload.DefaultSkewedJoinConfig(2500))
+		sel, info, err := calculus.Check(workload.SkewedJoinSelection(), db.Catalog())
+		if err != nil {
+			b.Fatal(err)
+		}
+		return db, sel, info
+	}
+	db, sel, info := mk(b)
+	est := db.Estimator()
+	for _, mode := range []struct {
+		name string
+		est  *stats.Estimator
+	}{{"uniform", est.Uniform()}, {"histogram", est}} {
+		b.Run(mode.name, func(b *testing.B) {
+			st := &stats.Counters{}
+			eng := engine.New(db, st)
+			plan, err := eng.Compile(sel, info, engine.Options{
+				Strategies: engine.S1 | engine.S2, CostBased: true, Estimator: mode.est,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			ctx := context.Background()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				st.Reset()
+				if _, err := plan.Eval(ctx); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(st.IndexProbes), "probes/op")
+			b.ReportMetric(float64(st.RefTuples), "reftuples/op")
+			b.ReportMetric(float64(st.Comparisons), "cmps/op")
+		})
+	}
+	b.Run("mutate-replan", func(b *testing.B) {
+		db, sel, info := mk(b)
+		facts := db.MustRelation("facts")
+		eng := engine.New(db, nil)
+		// No explicit estimator: the plan derives statistics itself and
+		// refreshes them on every version change.
+		plan, err := eng.Compile(sel, info, engine.Options{
+			Strategies: engine.S1 | engine.S2, CostBased: true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ctx := context.Background()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := facts.Insert([]value.Value{
+				value.Int(int64(1<<19 + i)), value.Int(0), value.Int(int64(i % 509)),
+			}); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := plan.Eval(ctx); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // BenchmarkParser measures parsing of the full Figure 1 DDL plus the
 // sample query.
 func BenchmarkParser(b *testing.B) {

@@ -1,0 +1,81 @@
+// Command benchjson converts `go test -bench` output on stdin into a
+// JSON array on stdout, one object per benchmark result:
+//
+//	[{"name": "BenchmarkHistogramPlanning/histogram",
+//	  "iterations": 30, "ns_per_op": 5352584,
+//	  "metrics": {"probes/op": 2651, "reftuples/op": 6014}}]
+//
+// CI pipes benchmark runs through it to emit BENCH_*.json artifacts, so
+// the performance trajectory is machine-readable run over run.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+type result struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+// benchLine matches one benchmark result line: name (with the
+// trailing -GOMAXPROCS stripped), iteration count, ns/op, and any extra
+// ReportMetric pairs.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([0-9.]+) ns/op(.*)$`)
+
+func main() {
+	results := []result{}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		iters, err := strconv.ParseInt(m[2], 10, 64)
+		if err != nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			continue
+		}
+		r := result{Name: m[1], Iterations: iters, NsPerOp: ns}
+		fields := strings.Fields(m[4])
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			if r.Metrics == nil {
+				r.Metrics = make(map[string]float64)
+			}
+			r.Metrics[fields[i+1]] = v
+		}
+		results = append(results, r)
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(results) == 0 {
+		// An empty artifact means the bench did not run or its output
+		// format changed — fail loudly rather than upload nothing.
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark results parsed from stdin")
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(results); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

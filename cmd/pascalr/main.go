@@ -97,6 +97,20 @@ func main() {
 				return
 			}
 			fmt.Print(out)
+			if !*useBaseline {
+				// Execute once and report estimated vs actual
+				// cardinalities per scan and join, so estimate quality is
+				// visible next to the plan. Ctrl-C cancels the run.
+				ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+				rep, err := db.ExplainAnalyze(ctx, q, opts...)
+				stop()
+				if err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					return
+				}
+				fmt.Println("-- executed --")
+				fmt.Print(rep)
+			}
 			return
 		}
 		db.ResetStats()

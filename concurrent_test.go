@@ -164,6 +164,57 @@ func TestConcurrentQueryAndExec(t *testing.T) {
 	}
 }
 
+// TestConcurrentStmtQueryAndDDL races a cost-based prepared statement
+// against a writer that both mutates content (forcing the statement's
+// statistics-staleness path to re-capture every relation's mutation
+// counter) and declares new relations (growing the unsynchronized
+// catalog under the DB's registration lock). Run under -race: the
+// counter capture must read the relation registry through a guarded
+// snapshot, not the bare catalog.
+func TestConcurrentStmtQueryAndDDL(t *testing.T) {
+	db := concurrentDB(t, 40)
+	stmt, err := db.Prepare(`[<s.sname, d.dnr> OF EACH s IN staff, EACH d IN duties:
+		(s.sstatus = professor) AND (s.snr = d.dsnr)]`, WithCostBased())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const reps = 12
+	var wg sync.WaitGroup
+	errCh := make(chan error, 4)
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < reps; i++ {
+			ddl := fmt.Sprintf(`VAR extra%d : RELATION <xnr> OF RECORD xnr : 1..9999 END;
+				staff :+ [<%d, 'd%07d', professor>];`, i, 2000+i, 2000+i)
+			if err := db.Exec(ddl); err != nil {
+				errCh <- fmt.Errorf("ddl writer: %w", err)
+				return
+			}
+		}
+	}()
+
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for r := 0; r < reps; r++ {
+				if _, err := stmt.Query(context.Background()); err != nil {
+					errCh <- fmt.Errorf("reader %d: %w", g, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+}
+
 // TestWithParallelismResultsMatch compares one-shot results across
 // worker budgets on a join query, including through the plan cache.
 func TestWithParallelismResultsMatch(t *testing.T) {

@@ -43,14 +43,22 @@ type Plan struct {
 	mu   sync.Mutex
 	opts Options
 	// autoEst marks statistics the plan derived itself (Compile with
-	// CostBased and no estimator); they are refreshed on version change.
-	// Caller-supplied statistics are left alone — executions that
-	// maintain their own cache push fresh statistics through the
-	// EvalWith/RowsWith override instead.
+	// CostBased and no estimator); they are refreshed whenever the
+	// database's live statistics change (content mutations AND
+	// background rebuilds), and a refresh recompiles the logical
+	// template so the estimator-gated strategy decisions track the
+	// data. Caller-supplied statistics are left alone — executions
+	// that maintain their own cache push fresh statistics through the
+	// EvalWith/RowsWith override, which affects physical planning only.
 	autoEst bool
 	tmpl    *optimizer.XForm
 	foldKey string // rendering of the folded predicate the template assumed
 	version uint64 // db content version the template was validated against
+	// relMuts records, per relation the template ranges over, the
+	// mutation counter its statistics were read at — the per-relation
+	// staleness key: a mutation of a relation the plan never touches
+	// must not force a template recompile.
+	relMuts map[string]uint64
 }
 
 // Compile runs the compile-time pipeline for a checked selection and
@@ -58,15 +66,66 @@ type Plan struct {
 // afterwards.
 func (e *Engine) Compile(sel *calculus.Selection, info *calculus.Info, opts Options) (*Plan, error) {
 	autoEst := opts.CostBased && opts.Estimator == nil
+	p := &Plan{eng: e, sel: sel, info: info, autoEst: autoEst, version: e.db.Version()}
+	// Counters first, estimator second: a mutation racing the compile
+	// then leaves a counter mismatch (an unnecessary refresh next
+	// execution), never a fresh-tagged stale estimator.
+	muts := p.captureMutCounts()
 	e.ensureEstimator(&opts)
-	p := &Plan{eng: e, sel: sel, info: info, opts: opts, autoEst: autoEst, version: e.db.Version()}
+	p.opts = opts
 	folded := normalize.Fold(sel.Pred, baseline.Emptiness(e.db))
 	x, err := e.prepareFolded(sel, folded, p.opts)
 	if err != nil {
 		return nil, err
 	}
 	p.tmpl, p.foldKey = x, folded.String()
+	p.relMuts = templateMuts(x, muts)
 	return p, nil
+}
+
+// captureMutCounts snapshots every relation's mutation counter. Callers
+// must capture BEFORE fetching the estimator they compile with, so a
+// mutation racing the compile leaves a counter mismatch (an unnecessary
+// refresh next execution) rather than a fresh-tagged stale template.
+func (p *Plan) captureMutCounts() map[string]uint64 {
+	muts := map[string]uint64{}
+	for _, r := range p.eng.db.Relations() {
+		muts[r.Name()] = r.MutCount()
+	}
+	return muts
+}
+
+// templateMuts keeps the captured counters of exactly the relations the
+// compiled template ranges over.
+func templateMuts(x *optimizer.XForm, muts map[string]uint64) map[string]uint64 {
+	out := map[string]uint64{}
+	keep := func(rel string) {
+		if m, ok := muts[rel]; ok {
+			out[rel] = m
+		}
+	}
+	for _, d := range x.Free {
+		keep(d.Range.Rel)
+	}
+	for _, q := range x.Prefix {
+		keep(q.Range.Rel)
+	}
+	for _, s := range x.Specs {
+		keep(s.Range.Rel)
+	}
+	return out
+}
+
+// statsStale reports whether any relation the template ranges over
+// mutated (or had its statistics rebuilt) since the template was
+// compiled.
+func (p *Plan) statsStale() bool {
+	for rel, mut := range p.relMuts {
+		if r, ok := p.eng.db.Relation(rel); ok && r.MutCount() != mut {
+			return true
+		}
+	}
+	return false
 }
 
 // instance revalidates the template against the database's content
@@ -78,17 +137,49 @@ func (e *Engine) Compile(sel *calculus.Selection, info *calculus.Info, opts Opti
 func (p *Plan) instance() (*optimizer.XForm, Options, uint64, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if v := p.eng.db.Version(); v != p.version {
-		if p.autoEst {
-			p.opts.Estimator = p.eng.db.Analyze()
-		}
+	statsChanged := false
+	var muts map[string]uint64
+	if p.autoEst && p.statsStale() {
+		// A relation this plan ranges over mutated or had its
+		// statistics rebuilt (rebuilds deliberately do not move the
+		// content version, so this must not hide behind the version
+		// check below); mutations of unrelated relations are ignored —
+		// per-relation staleness, matched to the snapshot cache's
+		// granularity. Counters are captured before the estimator (see
+		// captureMutCounts), and the estimator itself is epoch-cached,
+		// so the refresh allocates only when something actually changed.
+		muts = p.captureMutCounts()
+		p.opts.Estimator = p.eng.db.Estimator()
+		statsChanged = true
+	}
+	if v := p.eng.db.Version(); v != p.version || statsChanged {
 		folded := normalize.Fold(p.sel.Pred, baseline.Emptiness(p.eng.db))
-		if key := folded.String(); key != p.foldKey {
+		// Recompile the template when the empty-range fold changed
+		// (Lemma 1) — and also when this plan's statistics did: the
+		// logical strategies bake estimator-driven decisions (the
+		// extraction gate, the elimination order) into the template,
+		// which would otherwise stay frozen at compile-time statistics
+		// forever.
+		if key := folded.String(); key != p.foldKey || statsChanged {
+			if muts == nil {
+				// The fold changed while every tracked relation held
+				// still: a relation the template does not range over
+				// (typically one the fold eliminated while it was empty)
+				// mutated. Self-derived statistics must refresh here too —
+				// relMuts is restamped with current counters below, which
+				// would otherwise tag the compile-time estimator as fresh
+				// forever. Counters before estimator, as in Compile.
+				muts = p.captureMutCounts()
+				if p.autoEst {
+					p.opts.Estimator = p.eng.db.Estimator()
+				}
+			}
 			x, err := p.eng.prepareFolded(p.sel, folded, p.opts)
 			if err != nil {
 				return nil, Options{}, 0, err
 			}
 			p.tmpl, p.foldKey = x, key
+			p.relMuts = templateMuts(x, muts)
 		}
 		p.version = v
 	}
@@ -165,8 +256,17 @@ func (p *Plan) Rows(ctx context.Context) (*Cursor, error) {
 
 // RowsWith is Rows with per-execution option overrides; see EvalWith.
 func (p *Plan) RowsWith(ctx context.Context, override func(*Options)) (*Cursor, error) {
+	cur, _, err := p.rowsWithPlan(ctx, override)
+	return cur, err
+}
+
+// rowsWithPlan is RowsWith returning the executed physical plan too,
+// for EXPLAIN reporting (the plan holds the materialized range-list
+// sizes, structures, and join log the report compares estimates
+// against).
+func (p *Plan) rowsWithPlan(ctx context.Context, override func(*Options)) (*Cursor, *plan, error) {
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	e := p.eng
 	execSt := &stats.Counters{}
@@ -180,7 +280,7 @@ func (p *Plan) RowsWith(ctx context.Context, override func(*Options)) (*Cursor, 
 		var err error
 		x, opts, ver, err = p.instance()
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		if override != nil {
 			override(&opts)
@@ -197,7 +297,7 @@ func (p *Plan) RowsWith(ctx context.Context, override func(*Options)) (*Cursor, 
 		pp, err = e.collectWithAdaptation(ctx, x, execSt, opts)
 		e.db.RUnlock()
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		break
 	}
@@ -206,16 +306,19 @@ func (p *Plan) RowsWith(ctx context.Context, override func(*Options)) (*Cursor, 
 	// An empty free range, or a constant-FALSE matrix, yields the empty
 	// relation.
 	if x.Const != nil && !*x.Const {
-		return newCursor(ctx, e.db, p.sel, result, nil)
+		cur, err := newCursor(ctx, e.db, p.sel, result, nil)
+		return cur, pp, err
 	}
 	for _, d := range x.Free {
 		if pp.freeRangeEmpty(d.Var) {
-			return newCursor(ctx, e.db, p.sel, result, nil)
+			cur, err := newCursor(ctx, e.db, p.sel, result, nil)
+			return cur, pp, err
 		}
 	}
 	refs, err := pp.combine(ctx, opts.MaxRefTuples)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return newCursor(ctx, e.db, p.sel, result, refs)
+	cur, err := newCursor(ctx, e.db, p.sel, result, refs)
+	return cur, pp, err
 }

@@ -111,6 +111,42 @@ func TestPlanReuseSkipsRecompilation(t *testing.T) {
 	}
 }
 
+// TestFoldRecompileRefreshesAutoStats checks that a fold-driven
+// recompile refreshes self-derived statistics. A relation the fold
+// eliminated while empty is absent from relMuts, so when it gains rows
+// only the fold key notices the change — the recompiled template must
+// read the relation's current statistics, not the compile-time snapshot
+// (which the restamped relMuts would otherwise tag as fresh forever).
+func TestFoldRecompileRefreshesAutoStats(t *testing.T) {
+	ctx := context.Background()
+	db := tinyUniversity(t)
+	papers := db.MustRelation("papers")
+	saved := papers.Tuples()
+	if err := papers.Assign(nil); err != nil {
+		t.Fatal(err)
+	}
+	checked, info, err := calculus.Check(workload.SampleSelection(), db.Catalog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := New(db, nil).Compile(checked, info, Options{Strategies: AllStrategies, CostBased: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := papers.Assign(saved); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := plan.Eval(ctx); err != nil {
+		t.Fatal(err)
+	}
+	plan.mu.Lock()
+	card := plan.opts.Estimator.Card("papers")
+	plan.mu.Unlock()
+	if card != float64(len(saved)) {
+		t.Fatalf("recompiled plan's estimator sees %v papers rows, want %d", card, len(saved))
+	}
+}
+
 // countdownCtx is a context whose Err starts reporting cancellation
 // after a fixed number of checks — a deterministic stand-in for a
 // context cancelled mid-evaluation.

@@ -109,6 +109,139 @@ func TestCostOrderingSkewFlipsOrder(t *testing.T) {
 	}
 }
 
+// transientSelection joins big to small with a selective range filter
+// on big (extracted into an extended range under S3). big is declared
+// first and keeps the larger effective cardinality, so both planners
+// scan it first and index its v component — the index implementation
+// choice is what differs.
+func transientSelection() *calculus.Selection {
+	return &calculus.Selection{
+		Proj: []calculus.Field{{Var: "s", Col: "k"}, {Var: "b", Col: "k"}},
+		Free: []calculus.Decl{
+			{Var: "b", Range: &calculus.RangeExpr{Rel: "big"}},
+			{Var: "s", Range: &calculus.RangeExpr{Rel: "small"}},
+		},
+		Pred: calculus.NewAnd(
+			&calculus.Cmp{L: calculus.Field{Var: "b", Col: "k"}, Op: value.OpLt, R: calculus.Const{Val: value.Int(100)}},
+			&calculus.Cmp{L: calculus.Field{Var: "s", Col: "v"}, Op: value.OpEq, R: calculus.Field{Var: "b", Col: "v"}},
+		),
+	}
+}
+
+// TestCostBasedTransientOverFilteredPermanent pins the cost-based
+// choice between index implementations: with a permanent index on
+// big.v and big's range extended by a selective filter, the static plan
+// keeps the paper's permanent-always-wins rule (probing the full index
+// and filtering hits against the range list), while the cost-based plan
+// builds a transient index over only the surviving tuples — during the
+// scan the extended range forces anyway. Results must agree with the
+// baseline either way.
+func TestCostBasedTransientOverFilteredPermanent(t *testing.T) {
+	db := costDB(t, 40, 400)
+	if _, err := db.MustRelation("big").CreateIndex("v"); err != nil {
+		t.Fatal(err)
+	}
+	checked, info, err := calculus.Check(transientSelection(), db.Catalog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	build := func(costBased bool, strat Strategy) *plan {
+		t.Helper()
+		e := New(db, nil)
+		opts := Options{Strategies: strat, CostBased: costBased}
+		if costBased {
+			opts.Estimator = db.Estimator()
+		}
+		x, err := e.prepare(checked, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := buildPlan(x, db, &stats.Counters{}, opts.Strategies, planEstimator(opts), 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	hasIx := func(p *plan, key string) bool { _, ok := p.ixs[key]; return ok }
+
+	static := build(false, S1|S2|S3)
+	if !hasIx(static, "permix|b|v") {
+		t.Errorf("static plan dropped the permanent index: %v", sortedKeys(static.ixs))
+	}
+	cost := build(true, S1|S2|S3)
+	if !hasIx(cost, "ix|b|v") || hasIx(cost, "permix|b|v") {
+		t.Errorf("cost-based plan should build a transient index over the filtered range: %v", sortedKeys(cost.ixs))
+	}
+	// Without S1's scan fusion a transient build pays its own scan, so
+	// the permanent index stays even under cost-based planning.
+	costS0 := build(true, S2|S3)
+	if !hasIx(costS0, "permix|b|v") {
+		t.Errorf("cost-based plan without S1 should keep the permanent index: %v", sortedKeys(costS0.ixs))
+	}
+
+	// End-to-end: both planners agree with the baseline.
+	want, err := baseline.Eval(checked, info, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, costBased := range []bool{false, true} {
+		opts := Options{Strategies: S1 | S2 | S3, CostBased: costBased}
+		if costBased {
+			opts.Estimator = db.Estimator()
+		}
+		res, err := New(db, nil).Eval(context.Background(), checked, info, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resultKey(res) != resultKey(want) {
+			t.Fatalf("cost=%v: transient/permanent index plans disagree with baseline", costBased)
+		}
+	}
+}
+
+// TestAutoEstimatorRefreshesOnRebuild: a compiled plan that derived its
+// own statistics must pick up a statistics rebuild (Analyze, drift
+// re-bucketing) on the next execution even though rebuilds do not move
+// the content version.
+func TestAutoEstimatorRefreshesOnRebuild(t *testing.T) {
+	db := costDB(t, 10, 20)
+	checked, info, err := calculus.Check(joinSelection(false), db.Catalog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := New(db, nil).Compile(checked, info, Options{Strategies: S1, CostBased: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, opts1, _, err := plan.instance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, optsQuiet, _, err := plan.instance(); err != nil || optsQuiet.Estimator != opts1.Estimator {
+		t.Fatal("quiet database must reuse the cached estimator assembly")
+	}
+	// A mutation of a relation the plan never touches must not disturb
+	// it — per-relation staleness.
+	other := db.MustCreate(schema.MustRelSchema("unrelated", []schema.Column{
+		{Name: "k", Type: schema.IntType("ukt", 0, 100)},
+	}, []string{"k"}))
+	if _, err := other.Insert([]value.Value{value.Int(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, optsOther, _, err := plan.instance(); err != nil || optsOther.Estimator != opts1.Estimator {
+		t.Fatal("unrelated-relation mutation invalidated the plan's estimator")
+	}
+
+	db.Analyze() // rebuild: bumps the plan's relations' counters, not the version
+	_, opts2, _, err := plan.instance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts2.Estimator == opts1.Estimator {
+		t.Fatal("statistics rebuild did not reach the compiled plan's estimator")
+	}
+}
+
 // TestCostOrderingReducesWork verifies the cost argument itself: on the
 // skewed join the cost-based plan issues fewer index probes and
 // materializes fewer reference tuples than the static plan, at an

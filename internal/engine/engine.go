@@ -80,9 +80,9 @@ type Options struct {
 	// elimination decisions from cardinality estimates instead of the
 	// static priorities. False reproduces the paper's static plan.
 	CostBased bool
-	// Estimator supplies precomputed table statistics for cost-based
-	// planning; when nil and CostBased is set, Eval analyzes the database
-	// first (one uncounted scan per relation).
+	// Estimator supplies table statistics for cost-based planning; when
+	// nil and CostBased is set, Eval uses the database's live statistics
+	// (incrementally maintained, no analyze pass).
 	Estimator *stats.Estimator
 	// Parallelism is the collection phase's worker budget: independent
 	// scan jobs run on up to this many goroutines, and large scans split
@@ -195,11 +195,12 @@ func (e *Engine) prepareFolded(sel *calculus.Selection, folded calculus.Formula,
 }
 
 // ensureEstimator bootstraps cost-based planning: when the caller asked
-// for it without supplying statistics, analyze the database now, so
-// Eval and Explain always plan from the same statistics.
+// for it without supplying statistics, take the database's live
+// statistics (incrementally maintained by the mutators — no analyze
+// rescans), so Eval and Explain always plan from the same statistics.
 func (e *Engine) ensureEstimator(opts *Options) {
 	if opts.CostBased && opts.Estimator == nil {
-		opts.Estimator = e.db.Analyze()
+		opts.Estimator = e.db.Estimator()
 	}
 }
 

@@ -3,6 +3,7 @@ package engine
 import (
 	"context"
 	"fmt"
+	"strings"
 
 	"pascalr/internal/algebra"
 	"pascalr/internal/collection"
@@ -420,13 +421,26 @@ func (p *plan) effLen(ix *ixSpec) int {
 	return ix.length()
 }
 
+// driveSmallerSide reports whether a deferred join over op benefits
+// from driving the probing with the smaller index: equality probes are
+// one hash lookup each, ordered probes one binary search each, so for
+// both the probe count — not the output — scales with the driving side.
+// <> probes traverse the other side's whole value list either way, so
+// nothing is gained by flipping.
+func driveSmallerSide(op value.CmpOp) bool {
+	switch op {
+	case value.OpEq, value.OpLt, value.OpLe, value.OpGt, value.OpGe:
+		return true
+	}
+	return false
+}
+
 // materializeDeferred joins two indexes into an indirect join without
-// touching the base relation again. For an equi-join under cost-based
-// planning the smaller index's entries drive the probing — each probe is
-// one hash lookup into the larger index, so driving with the smaller
-// side minimizes probe count at identical output.
+// touching the base relation again. Under cost-based planning the
+// smaller index's entries drive the probing (equality and ordered
+// operators alike), minimizing probe count at identical output.
 func (p *plan) materializeDeferred(d *deferredIJ) {
-	if p.est != nil && d.op == value.OpEq && p.effLen(d.lIx) > p.effLen(d.rIx) {
+	if p.est != nil && driveSmallerSide(d.op) && p.effLen(d.lIx) > p.effLen(d.rIx) {
 		d.rIx.entriesDo(p, func(v, rref value.Value) {
 			d.lIx.probe(p, p.st, d.op.Flip(), v, func(lref value.Value) {
 				d.out.Add(lref, rref)
@@ -658,6 +672,13 @@ func (p *plan) greedyJoin(ctx context.Context, pieces []*algebra.RefRel, maxRefT
 		if err != nil {
 			return nil, err
 		}
+		est := -1.0
+		if p.est != nil {
+			est = bestEst
+		}
+		p.joinLog = append(p.joinLog, joinStep{
+			vars: strings.Join(joined.Vars(), ","), est: est, got: joined.Len(),
+		})
 		next := make([]*algebra.RefRel, 0, len(pieces)-1)
 		for k, r := range pieces {
 			if k != bi && k != bj {

@@ -18,7 +18,12 @@ const shardMinTuples = 512
 // nil (or a single span) means the job runs whole. A job shards only
 // when every task supports shard-local accumulation and the estimated
 // scan cardinality clears shardMinTuples per shard, up to one shard per
-// worker.
+// worker. Shard boundaries balance by the statistics subsystem's slot
+// density — the live-tuple counts per slot stripe — instead of raw slot
+// counts, so after heavy deletions no shard inherits a dead region
+// while another carries all the survivors. The split only moves
+// boundaries; results and merged counters stay bit-identical to a
+// serial scan regardless.
 func (p *plan) jobShardSpans(job *scanJob) [][2]int {
 	for _, t := range job.tasks {
 		if _, ok := t.(shardableTask); !ok {
@@ -34,6 +39,9 @@ func (p *plan) jobShardSpans(job *scanJob) [][2]int {
 	n := sched.ShardCount(card, shardMinTuples, p.par)
 	if n <= 1 {
 		return nil
+	}
+	if weights, stripe := job.rel.SlotWeights(); weights != nil {
+		return sched.WeightedShards(job.rel.SlotSpan(), n, weights, stripe)
 	}
 	return sched.Shards(job.rel.SlotSpan(), n)
 }

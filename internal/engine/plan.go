@@ -199,6 +199,20 @@ type plan struct {
 	deferred  []*deferredIJ
 	specRTs   map[*optimizer.SemiSpec]*specRuntime
 	conjs     []*conjPlan
+
+	// joinLog records each combination-phase join's estimated and
+	// actual output for EXPLAIN reporting. The combination phase is
+	// single-threaded, so no lock guards it.
+	joinLog []joinStep
+}
+
+// joinStep is one greedy-join decision: the variables of the joined
+// piece, the estimated output the planner chose it by (-1 under static
+// planning), and the actual output size.
+type joinStep struct {
+	vars string
+	est  float64
+	got  int
 }
 
 func buildPlan(x *optimizer.XForm, db *relation.DB, st *stats.Counters, strat Strategy, est *stats.Estimator, par int) (*plan, error) {
@@ -622,6 +636,37 @@ func (p *plan) basePriority(v string) int {
 	return base + len(p.x.Free)
 }
 
+// transientIndexSelThreshold gates the cost-based choice between
+// probing a permanent index and building a transient one: when the
+// variable's range filter keeps at most this fraction of the relation,
+// a transient index over the survivors beats filtered permanent-index
+// probes (see usePermIndex).
+const transientIndexSelThreshold = 0.5
+
+// usePermIndex decides, for a variable with a permanent index on the
+// needed component, whether to probe it or to build a transient index
+// instead. The static plan keeps the paper's rule — permanent indexes
+// always win ("the first step can be omitted, if permanent indexes
+// exist"). Under cost-based planning the comparison is real: with an
+// extended range the permanent index covers the whole relation, every
+// probe's hits must be filtered against the range list, and ordered or
+// <> probes traverse entries the filter would have discarded — while
+// the transient index is built during a scan the extended range
+// materializes anyway (the range list forces it), so its marginal build
+// cost is one Add per surviving tuple. When the filter is selective the
+// transient index wins; when it keeps most of the relation, skipping
+// the build and probing the permanent index wins.
+func (p *plan) usePermIndex(node *varNode) bool {
+	// Without strategy 1's scan fusion every structure pays its own
+	// scan, so a transient build is never free — keep the permanent
+	// index.
+	if p.est == nil || !node.rng.Extended() || p.strat&S1 == 0 {
+		return true
+	}
+	sel := optimizer.FormulaSelectivity(p.est, node.rng.Rel, node.rng.FilterVar, node.rng.Filter)
+	return sel > transientIndexSelThreshold
+}
+
 func (p *plan) indexFor(v string, f calculus.Field) (*ixSpec, error) {
 	node := p.vars[v]
 	ci, ok := node.sch.ColIndex(f.Col)
@@ -632,8 +677,11 @@ func (p *plan) indexFor(v string, f calculus.Field) (*ixSpec, error) {
 	if ix, ok := p.ixs[key]; ok {
 		return ix, nil
 	}
+	if ix, ok := p.ixs["permix|"+v+"|"+f.Col]; ok {
+		return ix, nil
+	}
 	ix := &ixSpec{key: key, v: v, colIdx: ci}
-	if perm, ok := node.rel.Index(f.Col); ok {
+	if perm, ok := node.rel.Index(f.Col); ok && p.usePermIndex(node) {
 		// Permanent access path: no build task; filter hits when the
 		// range is extended.
 		ix.perm = perm

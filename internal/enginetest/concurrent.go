@@ -33,7 +33,7 @@ func RunConcurrent(t *testing.T, label string, db *relation.DB, src string, goro
 	if err != nil {
 		t.Fatalf("%s: check: %v", label, err)
 	}
-	est := db.Analyze()
+	est := db.Estimator()
 	for _, strat := range StrategySets() {
 		for _, costBased := range []bool{false, true} {
 			opts := engine.Options{Strategies: strat, CostBased: costBased, Parallelism: 2}

@@ -1,11 +1,14 @@
 // Package enginetest is the differential test harness for the query
 // engine: every query in the table of queries.go runs under every
-// strategy combination — and under both the static and the cost-based
-// planner — and must produce exactly the relation the tuple-substitution
-// baseline produces. Each configuration is exercised three ways: as a
-// one-shot Eval, and twice through a compiled Plan (the second time via
-// the streaming cursor), proving that plan reuse and streaming
-// construction are result-identical to compile-and-run. The pattern
+// strategy combination — and under the static, uniform-cost, and
+// histogram-cost planners, the latter two fed by the live incremental
+// statistics with no Analyze pass — and must produce exactly the
+// relation the tuple-substitution baseline produces. Each configuration
+// is exercised four ways: as a one-shot Eval, twice through a compiled
+// Plan (the second time via the streaming cursor), and once with a
+// parallel collection phase, proving that plan reuse, streaming
+// construction, and parallel scans are result-identical to
+// compile-and-run. The pattern
 // follows go-mysql-server's enginetest: a declarative query table, a set
 // of workload databases, and one runner that cross-checks all engine
 // configurations against the oracle, so a new query or a new planner
@@ -50,15 +53,37 @@ func RelKey(rel *relation.Relation) string {
 	return strings.Join(keys, "|")
 }
 
+// PlannerModes returns the three planner configurations the harness
+// cross-checks: the paper's static plan, the cost-based plan restricted
+// to the System R uniformity formulas, and the cost-based plan reading
+// the histograms. The statistics are the database's live, incrementally
+// maintained ones — deliberately NOT an Analyze pass, so every matrix
+// run also proves the incremental maintenance yields working plans.
+func PlannerModes(db *relation.DB) []PlannerMode {
+	est := db.Estimator()
+	return []PlannerMode{
+		{Name: "static", Est: nil},
+		{Name: "uniform", Est: est.Uniform()},
+		{Name: "hist", Est: est},
+	}
+}
+
+// PlannerMode is one planner configuration of the differential matrix.
+type PlannerMode struct {
+	Name string
+	Est  *stats.Estimator
+}
+
 // RunSelection evaluates one checked selection against the baseline and
-// against every strategy set × {static, cost-based} planner, failing the
-// test on any disagreement. Each configuration runs four times: once
-// through the one-shot Eval (serially, with instrumented counters),
-// twice against a single compiled Plan — the first reuse materialized,
-// the second streamed through the cursor — and once with a parallel
-// collection phase (four workers), whose result and merged counters
-// must equal the serial run's exactly. It returns the baseline's row
-// count so callers can assert workload coverage.
+// against every strategy set × {static, uniform-cost, histogram-cost}
+// planner, failing the test on any disagreement. Each configuration
+// runs four times: once through the one-shot Eval (serially, with
+// instrumented counters), twice against a single compiled Plan — the
+// first reuse materialized, the second streamed through the cursor —
+// and once with a parallel collection phase (four workers), whose
+// result and merged counters must equal the serial run's exactly. It
+// returns the baseline's row count so callers can assert workload
+// coverage.
 func RunSelection(t *testing.T, label string, db *relation.DB, sel *calculus.Selection, info *calculus.Info) int {
 	t.Helper()
 	ctx := context.Background()
@@ -67,43 +92,40 @@ func RunSelection(t *testing.T, label string, db *relation.DB, sel *calculus.Sel
 		t.Fatalf("%s: baseline: %v", label, err)
 	}
 	wantKey := RelKey(want)
-	est := db.Analyze()
+	modes := PlannerModes(db) // the DB is not mutated during the matrix
 	for _, strat := range StrategySets() {
-		for _, costBased := range []bool{false, true} {
-			opts := engine.Options{Strategies: strat, CostBased: costBased, Parallelism: 1}
-			if costBased {
-				opts.Estimator = est
-			}
+		for _, mode := range modes {
+			opts := engine.Options{Strategies: strat, CostBased: mode.Est != nil, Estimator: mode.Est, Parallelism: 1}
 			stSerial := &stats.Counters{}
 			eng := engine.New(db, stSerial)
 			got, err := eng.Eval(ctx, sel, info, opts)
 			if err != nil {
-				t.Fatalf("%s [%s cost=%v]: engine: %v", label, strat, costBased, err)
+				t.Fatalf("%s [%s %s]: engine: %v", label, strat, mode.Name, err)
 			}
 			if gotKey := RelKey(got); gotKey != wantKey {
-				t.Fatalf("%s [%s cost=%v]: result mismatch\nwant %d rows, got %d rows\nquery: %s",
-					label, strat, costBased, want.Len(), got.Len(), sel)
+				t.Fatalf("%s [%s %s]: result mismatch\nwant %d rows, got %d rows\nquery: %s",
+					label, strat, mode.Name, want.Len(), got.Len(), sel)
 			}
 			// Snapshot before the prepared re-runs accumulate into the
 			// same engine sink.
 			serialFP := stSerial.Fingerprint()
 			plan, err := eng.Compile(sel, info, opts)
 			if err != nil {
-				t.Fatalf("%s [%s cost=%v]: compile: %v", label, strat, costBased, err)
+				t.Fatalf("%s [%s %s]: compile: %v", label, strat, mode.Name, err)
 			}
 			prepared, err := plan.Eval(ctx)
 			if err != nil {
-				t.Fatalf("%s [%s cost=%v]: prepared run 1: %v", label, strat, costBased, err)
+				t.Fatalf("%s [%s %s]: prepared run 1: %v", label, strat, mode.Name, err)
 			}
 			if gotKey := RelKey(prepared); gotKey != wantKey {
-				t.Fatalf("%s [%s cost=%v]: prepared run 1 mismatch\nwant %d rows, got %d rows\nquery: %s",
-					label, strat, costBased, want.Len(), prepared.Len(), sel)
+				t.Fatalf("%s [%s %s]: prepared run 1 mismatch\nwant %d rows, got %d rows\nquery: %s",
+					label, strat, mode.Name, want.Len(), prepared.Len(), sel)
 			}
 			if gotKey, err := cursorKey(plan, ctx); err != nil {
-				t.Fatalf("%s [%s cost=%v]: prepared run 2 (cursor): %v", label, strat, costBased, err)
+				t.Fatalf("%s [%s %s]: prepared run 2 (cursor): %v", label, strat, mode.Name, err)
 			} else if gotKey != wantKey {
-				t.Fatalf("%s [%s cost=%v]: prepared run 2 (cursor) mismatch\nquery: %s",
-					label, strat, costBased, sel)
+				t.Fatalf("%s [%s %s]: prepared run 2 (cursor) mismatch\nquery: %s",
+					label, strat, mode.Name, sel)
 			}
 			// Parallel leg: same results AND the same merged counters
 			// as the serial run — the scheduler's determinism contract.
@@ -112,15 +134,15 @@ func RunSelection(t *testing.T, label string, db *relation.DB, sel *calculus.Sel
 			stPar := &stats.Counters{}
 			gotPar, err := engine.New(db, stPar).Eval(ctx, sel, info, optsPar)
 			if err != nil {
-				t.Fatalf("%s [%s cost=%v]: parallel: %v", label, strat, costBased, err)
+				t.Fatalf("%s [%s %s]: parallel: %v", label, strat, mode.Name, err)
 			}
 			if gotKey := RelKey(gotPar); gotKey != wantKey {
-				t.Fatalf("%s [%s cost=%v]: parallel result mismatch\nwant %d rows, got %d rows\nquery: %s",
-					label, strat, costBased, want.Len(), gotPar.Len(), sel)
+				t.Fatalf("%s [%s %s]: parallel result mismatch\nwant %d rows, got %d rows\nquery: %s",
+					label, strat, mode.Name, want.Len(), gotPar.Len(), sel)
 			}
 			if sk, pk := serialFP, stPar.Fingerprint(); sk != pk {
-				t.Fatalf("%s [%s cost=%v]: parallel counters diverge from serial\nserial:   %s\nparallel: %s",
-					label, strat, costBased, sk, pk)
+				t.Fatalf("%s [%s %s]: parallel counters diverge from serial\nserial:   %s\nparallel: %s",
+					label, strat, mode.Name, sk, pk)
 			}
 		}
 	}

@@ -1,0 +1,97 @@
+package enginetest
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+
+	"pascalr/internal/calculus"
+	"pascalr/internal/engine"
+	"pascalr/internal/relation"
+	"pascalr/internal/stats"
+	"pascalr/internal/value"
+	"pascalr/internal/workload"
+)
+
+// planOrderFor evaluates one selection cost-based with the given
+// estimator and returns the chosen scan order.
+func planOrderFor(t *testing.T, db *relation.DB, sel *calculus.Selection, info *calculus.Info, strat engine.Strategy, est *stats.Estimator) string {
+	t.Helper()
+	st := &stats.Counters{}
+	if _, err := engine.New(db, st).Eval(context.Background(), sel, info,
+		engine.Options{Strategies: strat, CostBased: true, Estimator: est}); err != nil {
+		t.Fatalf("[%s] eval: %v", strat, err)
+	}
+	return strings.Join(st.PlanOrder, ",")
+}
+
+// TestIncrementalStatsMatchAnalyzePlans is the no-analyze contract: on
+// a mutated database, planning from the incrementally maintained
+// statistics (never Analyzed) must choose the same plans as planning
+// after a forced full rebuild — across the whole strategy matrix. The
+// incremental statistics may differ internally (bucket boundaries,
+// stale extrema); they must not differ in the decisions they drive.
+func TestIncrementalStatsMatchAnalyzePlans(t *testing.T) {
+	// Workload 1: the university database after an insert+delete wave.
+	uni := workload.MustUniversity(workload.DefaultConfig(12))
+	for i := 1; i <= 4; i++ { // delete a third of the employees
+		uni.MustRelation("employees").Delete([]value.Value{value.Int(int64(i * 3))})
+	}
+	for i := 0; i < 10; i++ { // grow papers
+		if _, err := uni.MustRelation("papers").Insert([]value.Value{
+			value.Int(int64(1 + i%12)), value.Int(1977), value.String_(fmt.Sprintf("mut%05d", i)),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Workload 2: the heavy-hitter join after a deletion wave (its join
+	// column lives in equi-depth buckets, so the incremental and rebuilt
+	// histograms genuinely differ internally).
+	skew := workload.MustSkewedJoin(workload.DefaultSkewedJoinConfig(1500))
+	for i := 0; i < 300; i++ {
+		skew.MustRelation("facts").Delete([]value.Value{value.Int(int64(i * 4))})
+	}
+
+	cases := []struct {
+		name string
+		db   *relation.DB
+		sel  *calculus.Selection
+	}{
+		{"uni/join-heavy", uni, workload.JoinHeavySelection()},
+		{"uni/sample-2.1", uni, workload.SampleSelection()},
+		{"uni/subexpr", uni, workload.SubexprSelection()},
+		{"uni/disjunctive", uni, workload.DisjunctiveSelection()},
+		{"skew/join", skew, workload.SkewedJoinSelection()},
+	}
+	type key struct {
+		c     int
+		strat engine.Strategy
+	}
+	incremental := map[key]string{}
+	for ci, c := range cases {
+		sel, info, err := calculus.Check(c.sel, c.db.Catalog())
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		est := c.db.Estimator() // live — no Analyze has ever run
+		for _, strat := range StrategySets() {
+			incremental[key{ci, strat}] = planOrderFor(t, c.db, sel, info, strat, est)
+		}
+	}
+	for ci, c := range cases {
+		sel, info, err := calculus.Check(c.sel, c.db.Catalog())
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		est := c.db.Analyze() // forced rebuild
+		for _, strat := range StrategySets() {
+			got := planOrderFor(t, c.db, sel, info, strat, est)
+			if want := incremental[key{ci, strat}]; got != want {
+				t.Errorf("%s [%s]: post-Analyze plan order %q differs from incremental %q",
+					c.name, strat, got, want)
+			}
+		}
+	}
+}

@@ -2,38 +2,38 @@ package relation
 
 import (
 	"pascalr/internal/stats"
-	"pascalr/internal/value"
 )
 
-// Analyze scans every relation once and returns an estimator over the
-// database's current contents. The analysis scans are planning work, not
-// query work, so they bypass the attached counter sink (ScanStats with a
-// nil sink counts nothing), and they take the content lock per relation
-// like any other reader — Analyze must not be called while holding the
-// database read lock.
+// Analyze forces a statistics rebuild: every relation is rescanned and
+// its live statistics replaced with freshly bucketed histograms (true
+// quantile boundaries, exact distinct counts), then an estimator over
+// the new statistics is returned.
+//
+// Analyze is no longer a prerequisite for cost-based planning — the
+// mutators maintain the statistics incrementally and Estimator() serves
+// them without any scan. It remains useful after churn heavy enough
+// that the incrementally maintained bucket boundaries degraded (the
+// drift threshold schedules the same rebuild in the background
+// automatically), and as the explicit rebuild hook tests and tools
+// reach for.
+//
+// The rebuild scans take the content lock per relation like any other
+// reader — Analyze must not be called while holding the database read
+// lock.
 func (d *DB) Analyze() *stats.Estimator {
 	d.catMu.RLock()
 	rels := append([]*Relation(nil), d.byID...)
 	d.catMu.RUnlock()
-	est := stats.NewEstimator()
 	for _, r := range rels {
-		est.AddTable(AnalyzeRelation(r))
+		r.rebuildStats()
 	}
-	return est
+	return d.Estimator()
 }
 
-// AnalyzeRelation summarizes one relation's current contents, bypassing
-// the relation's counter sink.
+// AnalyzeRelation rebuilds (and returns) one relation's statistics from
+// a full scan, bypassing the relation's counter sink. For standalone
+// relations — which maintain no live statistics — it returns a detached
+// summary of the current contents.
 func AnalyzeRelation(r *Relation) *stats.TableStats {
-	sch := r.Schema()
-	cols := make([]string, len(sch.Cols))
-	for i, c := range sch.Cols {
-		cols[i] = c.Name
-	}
-	ts := stats.NewTableStats(sch.Name, cols)
-	r.ScanStats(nil, func(_ value.Value, tuple []value.Value) bool {
-		ts.Observe(tuple)
-		return true
-	})
-	return ts
+	return r.rebuildStats()
 }

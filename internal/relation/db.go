@@ -5,6 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"pascalr/internal/sched"
 	"pascalr/internal/schema"
 	"pascalr/internal/stats"
 	"pascalr/internal/value"
@@ -48,17 +49,56 @@ type DB struct {
 
 	st *stats.Counters
 	// version counts content mutations (insert, delete, assign) across
-	// all relations of this database. Compiled plans and cached
-	// statistics compare it to decide whether they are stale. Schema
-	// growth (new types, new empty relations) does not bump it: existing
-	// plans cannot reference objects that did not exist when they were
-	// compiled.
+	// all relations of this database. Compiled plans compare it to
+	// decide whether they are stale. Schema growth (new types, new empty
+	// relations) does not bump it: existing plans cannot reference
+	// objects that did not exist when they were compiled. Statistics are
+	// NOT keyed by it — they use per-relation mutation counters, so an
+	// insert into one relation leaves every other relation's cached
+	// statistics valid.
 	version atomic.Uint64
+
+	// estMu guards the per-relation statistics snapshots handed to
+	// planners: immutable copies of each relation's live statistics,
+	// tagged with the relation's mutation counter and refreshed lazily
+	// only for relations that actually mutated. statsEpoch counts
+	// statistics changes database-wide (mutations and rebuilds); while
+	// it holds still, Estimator() returns the one cached assembly
+	// (estCache) without allocating.
+	estMu      sync.Mutex
+	estSnaps   map[string]estSnap
+	estCache   *stats.Estimator
+	estEpoch   uint64
+	statsEpoch atomic.Uint64
+
+	// async runs drift-triggered histogram rebuilds in the background,
+	// single-flight per relation.
+	async *sched.Async
+}
+
+// estSnap is one relation's immutable statistics snapshot, tagged with
+// the mutation counter it was taken at.
+type estSnap struct {
+	mut uint64
+	ts  *stats.TableStats
 }
 
 // NewDB returns an empty database with a fresh catalog.
 func NewDB() *DB {
-	return &DB{cat: schema.NewCatalog(), rels: make(map[string]*Relation)}
+	return &DB{
+		cat:      schema.NewCatalog(),
+		rels:     make(map[string]*Relation),
+		estSnaps: make(map[string]estSnap),
+		async:    sched.NewAsync(1),
+	}
+}
+
+// Close waits for background statistics work (drift-triggered
+// histogram rebuilds) to finish. The database stays usable; Close
+// exists so tests and shutdown paths can quiesce goroutines.
+func (d *DB) Close() error {
+	d.async.Wait()
+	return nil
 }
 
 // Catalog returns the database's catalog. The catalog itself is not
@@ -88,9 +128,17 @@ func (d *DB) Create(sch *schema.RelSchema) (*Relation, error) {
 	r.onMutate = d.bumpVersion
 	r.lk = &d.mu
 	r.st = d.st
+	cols := make([]string, len(sch.Cols))
+	for i, c := range sch.Cols {
+		cols[i] = c.Name
+	}
+	r.stTable = stats.NewTableStats(sch.Name, cols)
+	r.owner = d
 	d.nextID++
 	d.rels[sch.Name] = r
 	d.byID = append(d.byID, r)
+	// A new relation must show up in the next Estimator() assembly.
+	d.statsEpoch.Add(1)
 	return r, nil
 }
 
@@ -101,6 +149,15 @@ func (d *DB) MustCreate(sch *schema.RelSchema) *Relation {
 		panic(err)
 	}
 	return r
+}
+
+// Relations returns a snapshot of the registered relation variables in
+// creation order. Unlike Catalog().Relations(), it is safe against a
+// concurrent Create (the catalog itself is unsynchronized).
+func (d *DB) Relations() []*Relation {
+	d.catMu.RLock()
+	defer d.catMu.RUnlock()
+	return append([]*Relation(nil), d.byID...)
 }
 
 // Relation returns the named relation variable.
@@ -175,3 +232,50 @@ func (d *DB) Stats() *stats.Counters {
 func (d *DB) Version() uint64 { return d.version.Load() }
 
 func (d *DB) bumpVersion() { d.version.Add(1) }
+
+// Estimator returns a selectivity estimator over the database's live
+// statistics. Each relation contributes an immutable snapshot tagged
+// with its own mutation counter: only relations that mutated since the
+// previous call are re-snapshotted, so an insert into one relation no
+// longer discards the statistics of every other. The returned estimator
+// needs no locks and no analyze pass — the statistics are maintained
+// incrementally by the mutators — making it safe to consult at compile
+// time, outside any database lock.
+func (d *DB) Estimator() *stats.Estimator {
+	// Load the epoch before assembling: a statistics change racing the
+	// assembly at worst leaves a stale-tagged cache that the next call
+	// refreshes, never a fresh-tagged stale one.
+	epoch := d.statsEpoch.Load()
+	rels := d.Relations()
+	d.estMu.Lock()
+	defer d.estMu.Unlock()
+	if d.estCache != nil && d.estEpoch == epoch {
+		return d.estCache
+	}
+	est := stats.NewEstimator()
+	for _, r := range rels {
+		if r.stTable == nil {
+			continue
+		}
+		// Read the counter before snapshotting: a concurrent mutation
+		// between the two at worst re-snapshots next call, never tags a
+		// stale snapshot as fresh.
+		mut := r.MutCount()
+		snap, ok := d.estSnaps[r.sch.Name]
+		if !ok || snap.mut != mut {
+			snap = estSnap{mut: mut, ts: r.stTable.Snapshot()}
+			d.estSnaps[r.sch.Name] = snap
+		}
+		est.AddTable(snap.ts)
+	}
+	d.estCache, d.estEpoch = est, epoch
+	return est
+}
+
+// scheduleStatsRebuild queues a background re-bucketing of one
+// relation's histograms (single-flight per relation). Called by
+// mutators under the content write lock; the rebuild itself runs later
+// under the content read lock.
+func (d *DB) scheduleStatsRebuild(r *Relation) {
+	d.async.Submit("stats:"+r.sch.Name, func() { r.rebuildStats() })
+}

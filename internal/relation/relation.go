@@ -59,6 +59,19 @@ type Relation struct {
 	// mutation — the hook behind DB.Version.
 	onMutate func()
 
+	// stTable is the incrementally maintained statistics of this
+	// relation (histograms, distinct counts, slot density), fed by every
+	// insert, delete, and assignment under the content write lock; nil
+	// for standalone relations, which skip all statistics work. owner
+	// points back at the database for drift-triggered background
+	// rebuilds.
+	stTable *stats.TableStats
+	owner   *DB
+	// mutCount counts this relation's content mutations — the
+	// per-relation staleness key for statistics snapshots, so a mutation
+	// of one relation invalidates only its own cached statistics.
+	mutCount atomic.Uint64
+
 	// lk is the owning database's content lock; nil for standalone
 	// relations, which then skip all locking.
 	lk *sync.RWMutex
@@ -162,7 +175,8 @@ func (r *Relation) insert(tuple []value.Value) (value.Value, error) {
 	for _, ix := range r.colIndexes {
 		ix.add(cp[ix.colIdx], ref)
 	}
-	r.mutated()
+	drifted := r.stTable.ObserveInsert(si, cp)
+	r.mutated(drifted)
 	return ref, nil
 }
 
@@ -179,12 +193,13 @@ func (r *Relation) Delete(keyVals []value.Value) bool {
 	for _, ix := range r.colIndexes {
 		ix.remove(r.slots[si].tuple[ix.colIdx], r.refOf(si))
 	}
+	drifted := r.stTable.ObserveDelete(si, r.slots[si].tuple)
 	r.slots[si].live = false
 	r.slots[si].gen++
 	r.slots[si].tuple = nil
 	delete(r.byKey, value.EncodeKey(keyVals))
 	r.live.Add(-1)
-	r.mutated()
+	r.mutated(drifted)
 	return true
 }
 
@@ -211,7 +226,8 @@ func (r *Relation) Assign(tuples [][]value.Value) error {
 	for _, ix := range r.colIndexes {
 		ix.reset()
 	}
-	r.mutated()
+	r.stTable.Reset()
+	r.mutated(false)
 	for _, t := range tuples {
 		if _, err := r.insert(t); err != nil {
 			return err
@@ -352,11 +368,86 @@ func (r *Relation) Tuples() [][]value.Value {
 // mutated reports a content change to the owning database (no-op for
 // standalone relations). Insert calls it only for genuinely new
 // elements, Delete only for present keys, so no-op statements leave the
-// database version — and everything tagged with it — untouched.
-func (r *Relation) mutated() {
+// database version — and everything tagged with it — untouched. The
+// per-relation mutation counter bumps strictly after the statistics
+// observed the change, so a snapshot tagged with a counter value never
+// misses the mutations that counter covers. drifted is the Observe
+// call's verdict (computed under the statistics lock it already held);
+// when set, a background re-bucketing is scheduled (single-flight per
+// relation).
+func (r *Relation) mutated(drifted bool) {
+	r.bumpStatsVersion()
 	if r.onMutate != nil {
 		r.onMutate()
 	}
+	if drifted && r.owner != nil {
+		r.owner.scheduleStatsRebuild(r)
+	}
+}
+
+// bumpStatsVersion advances the per-relation mutation counter and the
+// owning database's statistics epoch (strictly after the statistics
+// observed the change — see mutated).
+func (r *Relation) bumpStatsVersion() {
+	r.mutCount.Add(1)
+	if r.owner != nil {
+		r.owner.statsEpoch.Add(1)
+	}
+}
+
+// MutCount returns the relation's content-mutation counter: the
+// per-relation staleness key for cached statistics. Atomic, safe
+// without any lock.
+func (r *Relation) MutCount() uint64 { return r.mutCount.Load() }
+
+// LiveStats returns the relation's incrementally maintained statistics
+// (nil for standalone relations). The returned TableStats is internally
+// synchronized; mutators keep feeding it.
+func (r *Relation) LiveStats() *stats.TableStats { return r.stTable }
+
+// SlotWeights returns per-stripe live-tuple counts and the stripe
+// width, for density-balanced shard splitting; nil when no statistics
+// are maintained.
+func (r *Relation) SlotWeights() ([]int32, int) { return r.stTable.SlotWeights() }
+
+// rebuildStats rescans the relation and replaces its statistics with
+// freshly built ones (true quantile bucket boundaries, exact distinct
+// counts). It takes the content read lock like any other reader — do
+// not call it while holding the database read lock.
+func (r *Relation) rebuildStats() *stats.TableStats {
+	r.rlock()
+	defer r.runlock()
+	return r.rebuildStatsLocked()
+}
+
+// rebuildStatsLocked is rebuildStats for callers already holding the
+// content (read) lock. Standalone relations build a detached summary.
+func (r *Relation) rebuildStatsLocked() *stats.TableStats {
+	ts := r.stTable
+	if ts == nil {
+		cols := make([]string, len(r.sch.Cols))
+		for i, c := range r.sch.Cols {
+			cols[i] = c.Name
+		}
+		ts = stats.NewTableStats(r.sch.Name, cols)
+	}
+	rb := ts.NewRebuild()
+	for si := range r.slots {
+		if r.slots[si].live {
+			rb.Add(si, r.slots[si].tuple)
+		}
+	}
+	rb.Commit()
+	if r.stTable != nil {
+		// The rebuild changed the statistics without changing contents:
+		// bump the statistics version (after the commit, so a snapshot
+		// tagged with the new value always includes the rebuilt state)
+		// or cached estimator snapshots would keep serving the
+		// pre-rebuild histograms. Deliberately not mutated(): the DB
+		// content version must not move — compiled plans stay valid.
+		r.bumpStatsVersion()
+	}
+	return ts
 }
 
 func (r *Relation) refOf(si int) value.Value {

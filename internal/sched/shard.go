@@ -23,6 +23,67 @@ func ShardCount(card float64, minPerShard, maxShards int) int {
 	return n
 }
 
+// WeightedShards splits the half-open range [0, n) into count
+// contiguous sub-ranges balanced by per-stripe weights: weights[i]
+// covers the slot range [i·stripe, (i+1)·stripe). Shard boundaries
+// interpolate linearly inside a stripe, so each shard carries
+// approximately total/count weight — with the weights coming from the
+// statistics subsystem's slot density, shards balance by estimated
+// surviving tuples instead of raw slot counts, which matters once
+// deletions leave some slot regions dead. Zero total weight (or no
+// weights) falls back to uniform Shards.
+func WeightedShards(n, count int, weights []int32, stripe int) [][2]int {
+	if count < 1 {
+		count = 1
+	}
+	if n < 1 {
+		return [][2]int{{0, n}}
+	}
+	if count > n {
+		count = n
+	}
+	total := int64(0)
+	for _, w := range weights {
+		total += int64(w)
+	}
+	if total <= 0 || stripe <= 0 {
+		return Shards(n, count)
+	}
+	// Walk the stripes once, emitting a boundary each time the running
+	// weight crosses the next target quantile.
+	out := make([][2]int, 0, count)
+	lo := 0
+	cum := int64(0)
+	si := 0
+	for k := 1; k < count; k++ {
+		target := total * int64(k) / int64(count)
+		for si < len(weights) && cum+int64(weights[si]) < target {
+			cum += int64(weights[si])
+			si++
+		}
+		pos := n
+		if si < len(weights) {
+			within := 0
+			if w := int64(weights[si]); w > 0 {
+				within = int(int64(stripe) * (target - cum) / w)
+				if within > stripe {
+					within = stripe
+				}
+			}
+			pos = si*stripe + within
+		}
+		if pos > n {
+			pos = n
+		}
+		if pos < lo {
+			pos = lo
+		}
+		out = append(out, [2]int{lo, pos})
+		lo = pos
+	}
+	return append(out, [2]int{lo, n})
+}
+
 // Shards splits the half-open range [0, n) into count balanced
 // contiguous sub-ranges. The first n%count shards are one element
 // longer, so shard sizes differ by at most one. count is clamped to

@@ -3,13 +3,16 @@
 // prefix right-to-left, declaration order); section 5 names smarter
 // ordering as the limiting factor once relations grow skewed. The
 // estimator holds the per-relation statistics — cardinality, per-column
-// distinct counts and min/max — that the planner's greedy ordering and
-// the optimizer's extraction gate consult.
+// histograms — that the planner's greedy ordering and the optimizer's
+// extraction gate consult.
 //
-// The formulas are the classic System R ones: 1/distinct for equality
-// against a constant, linear interpolation over [min, max] for ordered
-// comparisons, 1/max(distinct_l, distinct_r) for equi-joins, and fixed
-// fractions where nothing better is known.
+// Estimates read the column histograms first (exact frequency tables or
+// equi-depth buckets, see histogram.go) and fall back to the classic
+// System R formulas — 1/distinct for equality against a constant,
+// linear interpolation over [min, max] for ordered comparisons,
+// 1/max(distinct_l, distinct_r) for equi-joins, fixed fractions where
+// nothing better is known. Uniform() returns a view restricted to the
+// System R formulas, for measuring what the histograms buy.
 package stats
 
 import (
@@ -29,94 +32,14 @@ const (
 	DefaultSemiSel  = 0.5       // derived (value-list) predicates
 )
 
-// ColStats summarizes one column of one relation.
-type ColStats struct {
-	Distinct int         // number of distinct values observed
-	Min, Max value.Value // extrema; invalid when the column is empty
-	ordered  bool        // Min/Max comparable (int, enum, bool, string)
-
-	seen map[string]struct{} // distinct-value builder; nil once finished
-}
-
-// TableStats summarizes one relation: its cardinality and per-column
-// statistics.
-type TableStats struct {
-	Name string
-	Rows int
-
-	cols    map[string]*ColStats
-	colList []string
-}
-
-// NewTableStats creates an empty summary for a relation with the given
-// columns, ready to Observe tuples.
-func NewTableStats(name string, cols []string) *TableStats {
-	t := &TableStats{Name: name, cols: make(map[string]*ColStats, len(cols)), colList: append([]string(nil), cols...)}
-	for _, c := range cols {
-		t.cols[c] = &ColStats{seen: make(map[string]struct{})}
-	}
-	return t
-}
-
-// Observe folds one tuple (in column order) into the statistics.
-func (t *TableStats) Observe(tuple []value.Value) {
-	t.Rows++
-	for i, c := range t.colList {
-		if i >= len(tuple) {
-			break
-		}
-		cs := t.cols[c]
-		v := tuple[i]
-		if cs.seen != nil {
-			k := value.EncodeKey([]value.Value{v})
-			if _, dup := cs.seen[k]; !dup {
-				cs.seen[k] = struct{}{}
-				cs.Distinct++
-			}
-		}
-		if !cs.Min.IsValid() {
-			cs.Min, cs.Max, cs.ordered = v, v, true
-			continue
-		}
-		if !cs.ordered {
-			continue
-		}
-		cmpMin, err1 := value.Compare(v, cs.Min)
-		cmpMax, err2 := value.Compare(v, cs.Max)
-		if err1 != nil || err2 != nil {
-			cs.ordered = false // mixed kinds: extrema unusable
-			continue
-		}
-		if cmpMin < 0 {
-			cs.Min = v
-		}
-		if cmpMax > 0 {
-			cs.Max = v
-		}
-	}
-}
-
-// Finish releases the distinct-value builders; further Observe calls
-// stop updating distinct counts.
-func (t *TableStats) Finish() {
-	for _, cs := range t.cols {
-		cs.seen = nil
-	}
-}
-
-// Col returns the statistics of a column, or nil.
-func (t *TableStats) Col(name string) *ColStats {
-	if t == nil {
-		return nil
-	}
-	return t.cols[name]
-}
-
-// Estimator answers cardinality and selectivity questions from collected
-// table statistics. A nil Estimator answers every question with its
-// default, so call sites need no guards.
+// Estimator answers cardinality and selectivity questions from table
+// statistics. A nil Estimator answers every question with its default,
+// so call sites need no guards.
 type Estimator struct {
 	tables map[string]*TableStats
+	// uniform disables the histogram reads, restricting answers to the
+	// System R formulas over distinct counts and extrema.
+	uniform bool
 }
 
 // NewEstimator creates an empty estimator.
@@ -126,8 +49,18 @@ func NewEstimator() *Estimator {
 
 // AddTable registers (or replaces) one relation's statistics.
 func (e *Estimator) AddTable(t *TableStats) {
-	t.Finish()
 	e.tables[t.Name] = t
+}
+
+// Uniform returns a view of the same statistics restricted to the
+// uniformity assumptions (1/distinct, min/max interpolation) — the
+// estimator's behavior before histograms, kept for comparison
+// benchmarks and tests.
+func (e *Estimator) Uniform() *Estimator {
+	if e == nil {
+		return nil
+	}
+	return &Estimator{tables: e.tables, uniform: true}
 }
 
 // Table returns the named relation's statistics, or nil.
@@ -142,7 +75,7 @@ func (e *Estimator) Table(rel string) *TableStats {
 // relations estimate as 1 so products stay meaningful.
 func (e *Estimator) Card(rel string) float64 {
 	if t := e.Table(rel); t != nil {
-		return float64(t.Rows)
+		return float64(t.Rows())
 	}
 	return 1
 }
@@ -151,50 +84,76 @@ func (e *Estimator) Card(rel string) float64 {
 // when unknown.
 func (e *Estimator) DistinctValues(rel, col string) float64 {
 	if cs := e.Table(rel).Col(col); cs != nil {
-		return float64(cs.Distinct)
+		return float64(cs.DistinctCount())
 	}
 	return 0
 }
 
 // SelectivityConst estimates the fraction of rel's tuples whose column
-// satisfies "col op c".
+// satisfies "col op c". Histogram-backed columns answer from their
+// frequency tables or buckets; otherwise the System R formulas apply.
 func (e *Estimator) SelectivityConst(rel, col string, op value.CmpOp, c value.Value) float64 {
-	cs := e.Table(rel).Col(col)
+	var cs ColumnStats
+	if e != nil {
+		cs = e.Table(rel).Col(col)
+	}
 	switch op {
 	case value.OpEq:
-		if cs != nil && cs.Distinct > 0 {
-			return clampSel(1 / float64(cs.Distinct))
+		if cs != nil {
+			if !e.uniform {
+				if f, ok := cs.EqFraction(c); ok {
+					return clampSel(f)
+				}
+			}
+			if d := cs.DistinctCount(); d > 0 {
+				return clampSel(1 / float64(d))
+			}
 		}
 		return DefaultEqSel
 	case value.OpNe:
-		if cs != nil && cs.Distinct > 0 {
-			return clampSel(1 - 1/float64(cs.Distinct))
+		if cs != nil {
+			if !e.uniform {
+				if f, ok := cs.EqFraction(c); ok {
+					return clampSel(1 - f)
+				}
+			}
+			if d := cs.DistinctCount(); d > 0 {
+				return clampSel(1 - 1/float64(d))
+			}
 		}
 		return DefaultNeSel
 	default:
-		if f, ok := rangeFraction(cs, op, c); ok {
-			return clampSel(f)
+		if cs != nil {
+			if !e.uniform {
+				if f, ok := cs.CmpFraction(op, c); ok {
+					return clampSel(f)
+				}
+			}
+			if f, ok := uniformRangeFraction(cs, op, c); ok {
+				return clampSel(f)
+			}
 		}
 		return DefaultRangeSel
 	}
 }
 
-// rangeFraction interpolates an ordered comparison over [Min, Max] for
-// kinds with a usable numeric ordinal (int, enum, bool).
-func rangeFraction(cs *ColStats, op value.CmpOp, c value.Value) (float64, bool) {
-	if cs == nil || !cs.ordered || !cs.Min.IsValid() {
+// uniformRangeFraction interpolates an ordered comparison over
+// [Min, Max] assuming uniform spread — the System R model, used when no
+// histogram backs the column (and by the Uniform view always).
+func uniformRangeFraction(cs ColumnStats, op value.CmpOp, c value.Value) (float64, bool) {
+	mn, mx, ok := cs.Bounds()
+	if !ok {
 		return 0, false
 	}
-	lo, ok1 := ordinal(cs.Min)
-	hi, ok2 := ordinal(cs.Max)
+	lo, ok1 := ordinal(mn)
+	hi, ok2 := ordinal(mx)
 	v, ok3 := ordinal(c)
 	if !ok1 || !ok2 || !ok3 {
 		return 0, false
 	}
 	if hi <= lo {
 		// Single-point column: the comparison either always or never holds.
-		holds := op.Holds(cmpFloat(lo, v))
-		if holds {
+		if op.Holds(cmpFloat(lo, v)) {
 			return 1, true
 		}
 		return 0, true
@@ -204,9 +163,15 @@ func rangeFraction(cs *ColStats, op value.CmpOp, c value.Value) (float64, bool) 
 	// boundaries honest — an inclusive comparison at a domain extremum
 	// ("col <= Min", "col >= Max") estimates one bucket, not zero rows.
 	frac := (v - lo) / (hi - lo)
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
 	bucket := 1.0
-	if cs.Distinct > 0 {
-		bucket = 1 / float64(cs.Distinct)
+	if d := cs.DistinctCount(); d > 0 {
+		bucket = 1 / float64(d)
 	}
 	below := frac * (1 - bucket)
 	switch op {
@@ -232,27 +197,20 @@ func cmpFloat(a, b float64) int {
 	return 0
 }
 
-// ordinal maps a value onto the number line for interpolation.
-func ordinal(v value.Value) (float64, bool) {
-	switch v.Kind() {
-	case value.KindInt:
-		return float64(v.AsInt()), true
-	case value.KindEnum:
-		return float64(v.EnumOrd()), true
-	case value.KindBool:
-		if v.AsBool() {
-			return 1, true
-		}
-		return 0, true
-	}
-	return 0, false
-}
-
 // JoinSelectivity estimates the fraction of the cross product of two
-// relations surviving "l.lcol op r.rcol".
+// relations surviving "l.lcol op r.rcol". For equi-joins over columns
+// with exact frequency tables the match probability is computed from
+// the distributions directly (Σ f_l(v)·f_r(v)); columns with disjoint
+// value ranges join to (almost) nothing; otherwise the System R
+// 1/max(distinct) applies.
 func (e *Estimator) JoinSelectivity(lrel, lcol string, op value.CmpOp, rrel, rcol string) float64 {
 	switch op {
 	case value.OpEq:
+		if e != nil && !e.uniform {
+			if f, ok := e.histEqJoin(lrel, lcol, rrel, rcol); ok {
+				return clampSel(f)
+			}
+		}
 		dl, dr := e.DistinctValues(lrel, lcol), e.DistinctValues(rrel, rcol)
 		d := dl
 		if dr > d {
@@ -267,6 +225,74 @@ func (e *Estimator) JoinSelectivity(lrel, lcol string, op value.CmpOp, rrel, rco
 	default:
 		return DefaultRangeSel
 	}
+}
+
+// histEqJoin computes the equi-join selectivity from the two columns'
+// distributions. Exact mode on both sides gives the true match
+// probability of the observed distributions; disjoint observed bounds
+// short-circuit to near zero.
+func (e *Estimator) histEqJoin(lrel, lcol, rrel, rcol string) (float64, bool) {
+	lt, rt := e.Table(lrel), e.Table(rrel)
+	lc, rc := lt.col(lcol), rt.col(rcol)
+	if lc == nil || rc == nil {
+		return 0, false
+	}
+	// Copy each frequency table under its own lock, one at a time —
+	// never holding both locks — then probe the bigger copy with the
+	// smaller. Both tables are bounded by MaxExactValues entries.
+	lPairs, lN, lok := snapshotExact(lt, lc)
+	rPairs, rN, rok := snapshotExact(rt, rc)
+	if lok && rok && lN > 0 && rN > 0 {
+		small, big := lPairs, rPairs
+		smallN, bigN := float64(lN), float64(rN)
+		if len(rPairs) < len(lPairs) {
+			small, big = rPairs, lPairs
+			smallN, bigN = float64(rN), float64(lN)
+		}
+		bigByKey := make(map[string]int, len(big))
+		for _, p := range big {
+			bigByKey[encVal(p.v)] = p.n
+		}
+		sel := 0.0
+		for _, p := range small {
+			if bn, ok := bigByKey[encVal(p.v)]; ok {
+				sel += (float64(p.n) / smallN) * (float64(bn) / bigN)
+			}
+		}
+		if sel <= 0 {
+			sel = 1 / (smallN * bigN) // disjoint distributions: near zero, never zero
+		}
+		return sel, true
+	}
+	// Bounds disjointness: if the observed value ranges cannot overlap,
+	// almost nothing joins.
+	lmn, lmx, ok1 := e.Table(lrel).Col(lcol).Bounds()
+	rmn, rmx, ok2 := e.Table(rrel).Col(rcol).Bounds()
+	if ok1 && ok2 {
+		lo1, a1 := ordinal(lmn)
+		hi1, a2 := ordinal(lmx)
+		lo2, a3 := ordinal(rmn)
+		hi2, a4 := ordinal(rmx)
+		if a1 && a2 && a3 && a4 && (hi1 < lo2 || hi2 < lo1) {
+			return 1e-9, true
+		}
+	}
+	return 0, false
+}
+
+// snapshotExact copies a column's exact frequency table under the table
+// lock; ok is false when the column is not in exact mode.
+func snapshotExact(t *TableStats, c *colStats) ([]valCount, int, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if c.counts == nil {
+		return nil, 0, false
+	}
+	out := make([]valCount, 0, len(c.counts))
+	for _, vc := range c.counts {
+		out = append(out, *vc)
+	}
+	return out, c.n, true
 }
 
 // clampSel keeps selectivities inside [0, 1].
@@ -291,13 +317,11 @@ func (e *Estimator) String() string {
 	}
 	sort.Strings(names)
 	var b strings.Builder
+	if e.uniform {
+		b.WriteString("(uniform view)\n")
+	}
 	for _, n := range names {
-		t := e.tables[n]
-		fmt.Fprintf(&b, "%s: rows=%d", n, t.Rows)
-		for _, c := range t.colList {
-			fmt.Fprintf(&b, " %s(d=%d)", c, t.cols[c].Distinct)
-		}
-		b.WriteString("\n")
+		fmt.Fprintf(&b, "%s\n", e.tables[n])
 	}
 	return b.String()
 }

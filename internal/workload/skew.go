@@ -1,0 +1,106 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"pascalr/internal/calculus"
+	"pascalr/internal/relation"
+	"pascalr/internal/schema"
+	"pascalr/internal/value"
+)
+
+// SkewedJoinConfig sizes the heavy-hitter join workload.
+type SkewedJoinConfig struct {
+	Facts   int     // cardinality of facts
+	Dims    int     // cardinality of dims
+	HotFrac float64 // fraction of facts with hot = 0 (the heavy hitter)
+	Seed    int64
+}
+
+// DefaultSkewedJoinConfig returns the standard shape: facts 2.5× dims,
+// 90% of facts carrying the heavy-hitter value.
+func DefaultSkewedJoinConfig(n int) SkewedJoinConfig {
+	return SkewedJoinConfig{Facts: n, Dims: 2 * n / 5, HotFrac: 0.9, Seed: 11}
+}
+
+// SkewedJoin builds the workload the uniform estimator misplans: facts
+// with a heavy-hitter filter column ("hot", HotFrac of the rows share
+// value 0 but ten values exist, so the uniformity assumption predicts
+// 1/10 where the truth is ~9/10) joined to dims under a moderately
+// selective dims filter. The uniform plan believes the filtered facts
+// side is small and probes with it — issuing one index probe per
+// surviving fact tuple — while the histogram plan knows better and
+// probes with the genuinely smaller dims side. The "val" join column
+// carries more distinct values than the frequency-table bound, so its
+// statistics exercise the equi-depth bucket path.
+func SkewedJoin(cfg SkewedJoinConfig) (*relation.DB, error) {
+	db := relation.NewDB()
+	// The key domain leaves ample headroom above the populated range so
+	// benchmarks can keep inserting fresh keys for millions of
+	// iterations (BenchmarkHistogramPlanning/mutate-replan starts at
+	// 1<<19).
+	keyt := schema.IntType("skeyt", 0, 1<<40)
+	hott := schema.IntType("shott", 0, 9)
+	valt := schema.IntType("svalt", 0, 1<<20)
+	facts := db.MustCreate(schema.MustRelSchema("facts", []schema.Column{
+		{Name: "k", Type: keyt},
+		{Name: "hot", Type: hott},
+		{Name: "v", Type: valt},
+	}, []string{"k"}))
+	dims := db.MustCreate(schema.MustRelSchema("dims", []schema.Column{
+		{Name: "k", Type: keyt},
+		{Name: "b", Type: hott},
+		{Name: "v", Type: valt},
+	}, []string{"k"}))
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	for i := 0; i < cfg.Facts; i++ {
+		hot := int64(0)
+		if rng.Float64() >= cfg.HotFrac {
+			hot = int64(1 + rng.Intn(9))
+		}
+		// More distinct join values than MaxExactValues, so the column's
+		// statistics live in equi-depth buckets.
+		v := int64(i % 509)
+		if _, err := facts.Insert([]value.Value{value.Int(int64(i)), value.Int(hot), value.Int(v)}); err != nil {
+			return nil, err
+		}
+	}
+	for i := 0; i < cfg.Dims; i++ {
+		if _, err := dims.Insert([]value.Value{
+			value.Int(int64(i)), value.Int(int64(i % 10)), value.Int(int64(i % 509)),
+		}); err != nil {
+			return nil, err
+		}
+	}
+	return db, nil
+}
+
+// MustSkewedJoin is SkewedJoin that panics on error.
+func MustSkewedJoin(cfg SkewedJoinConfig) *relation.DB {
+	db, err := SkewedJoin(cfg)
+	if err != nil {
+		panic(fmt.Sprintf("workload: %v", err))
+	}
+	return db
+}
+
+// SkewedJoinSelection is the query over SkewedJoin's schema whose plan
+// quality separates the estimators: the heavy-hitter filter keeps ~90%
+// of facts (uniform model: 10%), the dims filter keeps ~40% of dims, so
+// the histogram plan probes with the small dims side while the uniform
+// plan probes with the large filtered facts side.
+func SkewedJoinSelection() *calculus.Selection {
+	return &calculus.Selection{
+		Proj: []calculus.Field{{Var: "f", Col: "k"}, {Var: "d", Col: "k"}},
+		Free: []calculus.Decl{
+			{Var: "f", Range: &calculus.RangeExpr{Rel: "facts"}},
+			{Var: "d", Range: &calculus.RangeExpr{Rel: "dims"}},
+		},
+		Pred: calculus.NewAnd(
+			&calculus.Cmp{L: calculus.Field{Var: "f", Col: "hot"}, Op: value.OpEq, R: calculus.Const{Val: value.Int(0)}},
+			&calculus.Cmp{L: calculus.Field{Var: "d", Col: "b"}, Op: value.OpLe, R: calculus.Const{Val: value.Int(3)}},
+			&calculus.Cmp{L: calculus.Field{Var: "f", Col: "v"}, Op: value.OpEq, R: calculus.Field{Var: "d", Col: "v"}},
+		),
+	}
+}

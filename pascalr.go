@@ -158,13 +158,6 @@ type Database struct {
 	strategies Strategy
 	parallel   int
 
-	// estMu guards the cost-statistics cache: the statistics cost-based
-	// planning needs, tagged with the content version they were computed
-	// at; any content mutation (insert, delete, assign — but not
-	// TYPE/VAR declarations) makes the next cost-based call re-analyze.
-	estMu      sync.Mutex
-	est        *stats.Estimator
-	estVersion uint64
 	// plans is the LRU of prepared statements behind the one-shot Query
 	// path.
 	plans *planCache
@@ -424,28 +417,8 @@ func (d *Database) evalSelection(ctx context.Context, sel *calculus.Selection, c
 		Strategies:   engine.Strategy(c.strategies),
 		MaxRefTuples: c.maxRefTuples,
 		CostBased:    c.costBased,
-		Estimator:    d.estimator(c),
 		Parallelism:  c.parallelism,
 	})
-}
-
-// estimator returns the statistics for cost-based calls. The cache is
-// tagged with the database's content version: mutated contents
-// re-analyze on next use, while TYPE/VAR declarations and no-op
-// statements reuse the existing statistics. The cache has its own lock,
-// so concurrent cost-based queries after one mutation analyze once.
-func (d *Database) estimator(c config) *stats.Estimator {
-	if !c.costBased {
-		return nil
-	}
-	d.estMu.Lock()
-	defer d.estMu.Unlock()
-	if d.est == nil || d.estVersion != d.db.Version() {
-		v := d.db.Version()
-		d.est = d.db.Analyze()
-		d.estVersion = v
-	}
-	return d.est
 }
 
 // preparedStmt returns the prepared statement the one-shot path should
@@ -562,10 +535,29 @@ func (d *Database) Explain(src string, opts ...Option) (string, error) {
 	return eng.Explain(checked, engine.Options{
 		Strategies:  engine.Strategy(c.strategies),
 		CostBased:   c.costBased,
-		Estimator:   d.estimator(c),
 		Parallelism: c.parallelism,
 	})
 }
+
+// ExplainAnalyze executes a selection once and reports estimated
+// versus actual cardinalities per scan and per combination-phase join —
+// the observable record of estimate quality. The query runs through the
+// same plan cache as Query; counters accumulate as for any execution.
+func (d *Database) ExplainAnalyze(ctx context.Context, src string, opts ...Option) (string, error) {
+	c := d.newConfig(opts)
+	if c.useBaseline {
+		return "", fmt.Errorf("pascalr: the baseline evaluator has no plan to explain")
+	}
+	s, err := d.preparedStmt(src, c)
+	if err != nil {
+		return "", err
+	}
+	return s.plan.ExplainWith(ctx, s.override(c))
+}
+
+// Close waits for background statistics maintenance (drift-triggered
+// histogram rebuilds) to finish. The database remains usable.
+func (d *Database) Close() error { return d.db.Close() }
 
 // CreateIndex declares a permanent index on one component of a
 // relation. The engine's collection phase then probes it instead of

@@ -7,7 +7,6 @@ import (
 	"pascalr/internal/calculus"
 	"pascalr/internal/engine"
 	"pascalr/internal/parser"
-	"pascalr/internal/stats"
 )
 
 // Stmt is a prepared selection: the query is parsed, type-checked,
@@ -49,11 +48,13 @@ func (d *Database) prepare(src string, c config) (*Stmt, error) {
 	if err != nil {
 		return nil, err
 	}
+	// No explicit estimator: the engine derives statistics from the
+	// database's live snapshots and refreshes them (recompiling the
+	// template's cost-gated decisions) whenever they change.
 	plan, err := d.eng.Compile(checked, info, engine.Options{
 		Strategies:   engine.Strategy(c.strategies),
 		MaxRefTuples: c.maxRefTuples,
 		CostBased:    c.costBased,
-		Estimator:    d.estimator(c),
 		Parallelism:  c.parallelism,
 	})
 	if err != nil {
@@ -80,22 +81,14 @@ func (s *Stmt) execConfig(opts []Option) (config, error) {
 	return c, nil
 }
 
-// override returns the per-execution option override for one call:
-// the current statistics (the Database's estimator cache is keyed by
-// the content version, so mutated data re-analyzes exactly once), the
-// reference-tuple budget, and the parallelism budget. The override
-// applies to a private copy of the plan's options inside the
-// execution, so concurrent calls with different execution-time options
-// never contaminate each other.
+// override returns the per-execution option override for one call: the
+// reference-tuple budget and the parallelism budget. Statistics need no
+// override — the plan derives them from the database's live snapshots
+// and refreshes them itself. The override applies to a private copy of
+// the plan's options inside the execution, so concurrent calls with
+// different execution-time options never contaminate each other.
 func (s *Stmt) override(c config) func(*engine.Options) {
-	var est *stats.Estimator
-	if c.costBased {
-		est = s.d.estimator(c)
-	}
 	return func(o *engine.Options) {
-		if est != nil {
-			o.Estimator = est
-		}
 		o.MaxRefTuples = c.maxRefTuples
 		o.Parallelism = c.parallelism
 	}
