@@ -1,0 +1,436 @@
+// Package client is the Go client for the pascald network server. It
+// speaks the length-prefixed binary protocol of internal/protocol over
+// a single TCP connection:
+//
+//	conn, err := client.Dial(addr)
+//	if err != nil { ... }
+//	defer conn.Close()
+//	res, err := conn.Query("[each e in employees: e.status = active]", client.Options{})
+//
+// A Conn serializes its requests (the protocol is a strict
+// request/response alternation), so share one Conn across goroutines
+// only behind the embedded mutex it already holds, or open one Conn
+// per worker — connections are cheap and the server admits up to its
+// configured session limit.
+package client
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"pascalr/internal/protocol"
+)
+
+// Typed errors mapped back from server error codes, so callers can
+// errors.Is instead of parsing messages.
+var (
+	// ErrStaleRead mirrors pascalr.ErrStaleRead: a concurrent writer
+	// invalidated a streaming cursor; re-executing the statement is safe.
+	ErrStaleRead = errors.New("client: stale read, retry the statement")
+	// ErrCancelled reports a statement aborted by Cancel.
+	ErrCancelled = errors.New("client: statement cancelled")
+	// ErrKilled reports a session terminated by KILL.
+	ErrKilled = errors.New("client: session killed")
+	// ErrTooManySessions reports admission-control rejection.
+	ErrTooManySessions = errors.New("client: server session limit reached")
+	// ErrShuttingDown reports a server refusing new work while draining.
+	ErrShuttingDown = errors.New("client: server shutting down")
+)
+
+// Error is a server-reported failure: a protocol error code plus the
+// server's message. It unwraps to the matching typed error above.
+type Error struct {
+	Code    uint64
+	Message string
+}
+
+func (e *Error) Error() string { return "pascald: " + e.Message }
+
+// Unwrap maps the code to the package-level typed errors.
+func (e *Error) Unwrap() error {
+	switch e.Code {
+	case protocol.CodeStale:
+		return ErrStaleRead
+	case protocol.CodeCancelled:
+		return ErrCancelled
+	case protocol.CodeKilled:
+		return ErrKilled
+	case protocol.CodeTooManySessions:
+		return ErrTooManySessions
+	case protocol.CodeShuttingDown:
+		return ErrShuttingDown
+	default:
+		return nil
+	}
+}
+
+// Options carries per-call execution options; the zero value defers
+// everything to the session defaults.
+type Options struct {
+	// Strategies, when HasStrategies, fixes the optimization strategy
+	// bitset (the pascalr.Strategy flags).
+	HasStrategies bool
+	Strategies    uint8
+	// CostBased, when HasCostBased, selects the cost-based planner.
+	HasCostBased bool
+	CostBased    bool
+	// Parallelism > 0 bounds collection-phase workers.
+	Parallelism int
+	// MaxRefTuples > 0 bounds the reference-tuple working set.
+	MaxRefTuples int64
+}
+
+func (o Options) wire() protocol.QueryOpts {
+	return protocol.QueryOpts{
+		HasStrategies: o.HasStrategies,
+		Strategies:    o.Strategies,
+		HasCostBased:  o.HasCostBased,
+		CostBased:     o.CostBased,
+		Parallelism:   uint32(o.Parallelism),
+		MaxRefTuples:  uint64(o.MaxRefTuples),
+	}
+}
+
+// Conn is one client session.
+type Conn struct {
+	mu        sync.Mutex
+	conn      net.Conn
+	br        *bufio.Reader
+	bw        *bufio.Writer
+	sessionID uint64
+	closed    bool
+}
+
+// Dial connects to a pascald server and performs the Hello handshake.
+// An admission-control rejection surfaces as ErrTooManySessions.
+func Dial(addr string) (*Conn, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Conn{conn: nc, br: bufio.NewReader(nc), bw: bufio.NewWriter(nc)}
+	op, payload, err := protocol.ReadFrame(c.br)
+	if err != nil {
+		nc.Close()
+		return nil, fmt.Errorf("client: handshake: %w", err)
+	}
+	r := protocol.NewReader(payload)
+	switch op {
+	case protocol.OpHello:
+		ver, err := r.Uvarint()
+		if err != nil {
+			nc.Close()
+			return nil, err
+		}
+		if ver != protocol.Version {
+			nc.Close()
+			return nil, fmt.Errorf("client: protocol version %d, want %d", ver, protocol.Version)
+		}
+		if c.sessionID, err = r.Uvarint(); err != nil {
+			nc.Close()
+			return nil, err
+		}
+		return c, nil
+	case protocol.OpErr:
+		nc.Close()
+		return nil, readErrPayload(r)
+	default:
+		nc.Close()
+		return nil, fmt.Errorf("client: unexpected handshake opcode %#x", op)
+	}
+}
+
+func readErrPayload(r *protocol.Reader) error {
+	code, err := r.Uvarint()
+	if err != nil {
+		return err
+	}
+	msg, err := r.String()
+	if err != nil {
+		return err
+	}
+	return &Error{Code: code, Message: msg}
+}
+
+// SessionID returns the server-assigned session id (the KILL target).
+func (c *Conn) SessionID() uint64 { return c.sessionID }
+
+// Close closes the connection. Open statements on the server are
+// released when the server notices the disconnect.
+func (c *Conn) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	return c.conn.Close()
+}
+
+// roundTrip sends one request frame and reads one response frame under
+// the connection lock.
+func (c *Conn) roundTrip(op byte, payload []byte) (byte, *protocol.Reader, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.roundTripLocked(op, payload)
+}
+
+func (c *Conn) roundTripLocked(op byte, payload []byte) (byte, *protocol.Reader, error) {
+	if c.closed {
+		return 0, nil, errors.New("client: connection closed")
+	}
+	if err := protocol.WriteFrame(c.bw, op, payload); err != nil {
+		return 0, nil, err
+	}
+	rop, rp, err := protocol.ReadFrame(c.br)
+	if err != nil {
+		return 0, nil, err
+	}
+	r := protocol.NewReader(rp)
+	if rop == protocol.OpErr {
+		return 0, nil, readErrPayload(r)
+	}
+	return rop, r, nil
+}
+
+func (c *Conn) expect(op byte, payload []byte, want byte) (*protocol.Reader, error) {
+	rop, r, err := c.roundTrip(op, payload)
+	if err != nil {
+		return nil, err
+	}
+	if rop != want {
+		return nil, fmt.Errorf("client: unexpected response opcode %#x, want %#x", rop, want)
+	}
+	return r, nil
+}
+
+// Ping round-trips an empty frame.
+func (c *Conn) Ping() error {
+	_, err := c.expect(protocol.OpPing, nil, protocol.OpPong)
+	return err
+}
+
+// Exec runs a PASCAL/R script (DDL and mutations) on the server.
+func (c *Conn) Exec(src string) error {
+	w := protocol.NewWriter()
+	w.String(src)
+	_, err := c.expect(protocol.OpExec, w.Bytes(), protocol.OpOK)
+	return err
+}
+
+// Result is a materialized query result.
+type Result struct {
+	Columns []string
+	Rows    [][]any
+}
+
+func readResult(r *protocol.Reader) (*Result, error) {
+	cols, err := r.Strings()
+	if err != nil {
+		return nil, err
+	}
+	rows, err := r.Rows()
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Columns: cols, Rows: rows}, nil
+}
+
+// Query evaluates a selection and returns the materialized result.
+func (c *Conn) Query(src string, opts Options) (*Result, error) {
+	w := protocol.NewWriter()
+	w.String(src)
+	w.Opts(opts.wire())
+	r, err := c.expect(protocol.OpQuery, w.Bytes(), protocol.OpResult)
+	if err != nil {
+		return nil, err
+	}
+	return readResult(r)
+}
+
+// Stmt is a server-side prepared statement.
+type Stmt struct {
+	conn *Conn
+	id   uint64
+}
+
+// Prepare compiles a selection on the server for repeated execution.
+func (c *Conn) Prepare(src string, opts Options) (*Stmt, error) {
+	w := protocol.NewWriter()
+	w.String(src)
+	w.Opts(opts.wire())
+	r, err := c.expect(protocol.OpPrepare, w.Bytes(), protocol.OpStmtBound)
+	if err != nil {
+		return nil, err
+	}
+	id, err := r.Uvarint()
+	if err != nil {
+		return nil, err
+	}
+	return &Stmt{conn: c, id: id}, nil
+}
+
+// Execute re-executes the prepared statement, opening a server-side
+// cursor drained through Rows.
+func (s *Stmt) Execute() (*Rows, error) {
+	w := protocol.NewWriter()
+	w.Uvarint(s.id)
+	r, err := s.conn.expect(protocol.OpExecStmt, w.Bytes(), protocol.OpCursor)
+	if err != nil {
+		return nil, err
+	}
+	cols, err := r.Strings()
+	if err != nil {
+		return nil, err
+	}
+	return &Rows{stmt: s, cols: cols}, nil
+}
+
+// Close releases the server-side statement and any open cursor.
+func (s *Stmt) Close() error {
+	w := protocol.NewWriter()
+	w.Uvarint(s.id)
+	_, err := s.conn.expect(protocol.OpCloseStmt, w.Bytes(), protocol.OpOK)
+	return err
+}
+
+// Rows streams a cursor in fetch batches, in the database/sql idiom:
+// Next, Values, then Err after Next returns false.
+type Rows struct {
+	stmt  *Stmt
+	cols  []string
+	batch [][]any
+	i     int
+	done  bool
+	err   error
+
+	// FetchSize overrides the per-Fetch row ask (default 256).
+	FetchSize int
+}
+
+// Columns returns the component names of the result.
+func (r *Rows) Columns() []string { return append([]string(nil), r.cols...) }
+
+// Next advances to the next row, fetching the next batch from the
+// server when the buffered one is drained.
+func (r *Rows) Next() bool {
+	if r.err != nil {
+		return false
+	}
+	if r.i < len(r.batch) {
+		r.i++
+		return true
+	}
+	if r.done {
+		return false
+	}
+	n := r.FetchSize
+	if n <= 0 {
+		n = 256
+	}
+	w := protocol.NewWriter()
+	w.Uvarint(r.stmt.id)
+	w.Uvarint(uint64(n))
+	rd, err := r.stmt.conn.expect(protocol.OpFetch, w.Bytes(), protocol.OpRowBatch)
+	if err != nil {
+		r.err = err
+		r.done = true
+		return false
+	}
+	done, err := rd.Bool()
+	if err != nil {
+		r.err = err
+		return false
+	}
+	rows, err := rd.Rows()
+	if err != nil {
+		r.err = err
+		return false
+	}
+	r.done = done
+	r.batch = rows
+	r.i = 0
+	if len(rows) == 0 {
+		return false
+	}
+	r.i = 1
+	return true
+}
+
+// Values returns the current row.
+func (r *Rows) Values() []any {
+	if r.i == 0 || r.i > len(r.batch) {
+		return nil
+	}
+	return r.batch[r.i-1]
+}
+
+// Err returns the error that ended iteration, if any. A concurrent
+// writer invalidating the stream surfaces as ErrStaleRead; a Cancel as
+// ErrCancelled.
+func (r *Rows) Err() error { return r.err }
+
+// Close stops iteration client-side. The server cursor is released on
+// Stmt.Close or when the statement is re-executed.
+func (r *Rows) Close() error {
+	r.done = true
+	r.batch = nil
+	r.i = 0
+	return nil
+}
+
+// Cancel aborts the session's open statement contexts on the server: a
+// cursor mid-fetch observes the cancellation on its next batch.
+func (c *Conn) Cancel() error {
+	_, err := c.expect(protocol.OpCancel, nil, protocol.OpOK)
+	return err
+}
+
+// Kill terminates another session by id (see ProcessList). The
+// victim's running statement aborts at the engine's next cancellation
+// checkpoint and its connection closes.
+func (c *Conn) Kill(sessionID uint64) error {
+	w := protocol.NewWriter()
+	w.Uvarint(sessionID)
+	_, err := c.expect(protocol.OpKill, w.Bytes(), protocol.OpOK)
+	return err
+}
+
+// ProcessList returns the live sessions as a result with columns
+// id, addr, state, query, age_ms.
+func (c *Conn) ProcessList() (*Result, error) {
+	r, err := c.expect(protocol.OpProcessList, nil, protocol.OpResult)
+	if err != nil {
+		return nil, err
+	}
+	return readResult(r)
+}
+
+// ResetStats zeroes the server's evaluation counters.
+func (c *Conn) ResetStats() error {
+	_, err := c.expect(protocol.OpResetStats, nil, protocol.OpOK)
+	return err
+}
+
+// StatsFingerprint returns the server's deterministic counter
+// fingerprint (see pascalr.Database.StatsFingerprint).
+func (c *Conn) StatsFingerprint() (string, error) {
+	r, err := c.expect(protocol.OpFingerprint, nil, protocol.OpStr)
+	if err != nil {
+		return "", err
+	}
+	return r.String()
+}
+
+// SetOption sets a session default on the server. Keys: "strategies",
+// "cost_based" (1 to enable), "parallelism", "max_ref_tuples".
+func (c *Conn) SetOption(key string, value int64) error {
+	w := protocol.NewWriter()
+	w.String(key)
+	w.Int64(value)
+	_, err := c.expect(protocol.OpSetOption, w.Bytes(), protocol.OpOK)
+	return err
+}

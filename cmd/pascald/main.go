@@ -1,0 +1,98 @@
+// Command pascald serves a PASCAL/R database over TCP: the binary
+// request protocol on -addr, and HTTP monitoring (/metrics,
+// /processlist) on -http. SIGINT/SIGTERM trigger a graceful shutdown —
+// accepts stop, sessions drain their in-flight request, background
+// statistics work quiesces — with a bounded grace period after which
+// running statements are cancelled.
+//
+// Usage:
+//
+//	pascald -addr :7583 -http :7584 -university 200
+//	pascald -addr 127.0.0.1:7583 -f schema.pas -f data.pas -max-sessions 64
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"pascalr"
+	"pascalr/internal/server"
+	"pascalr/internal/workload"
+)
+
+type fileList []string
+
+func (f *fileList) String() string     { return strings.Join(*f, ",") }
+func (f *fileList) Set(s string) error { *f = append(*f, s); return nil }
+
+func main() {
+	var files fileList
+	addr := flag.String("addr", "127.0.0.1:7583", "TCP listen address for the binary protocol")
+	httpAddr := flag.String("http", "", "HTTP monitoring address (empty = disabled)")
+	maxSessions := flag.Int("max-sessions", server.DefaultMaxSessions, "maximum concurrent sessions")
+	university := flag.Int("university", 0, "populate the Figure 1 sample database at this scale")
+	parallel := flag.Int("parallel", 0, "database-wide collection-phase parallelism default")
+	grace := flag.Duration("grace", 10*time.Second, "graceful-shutdown drain budget")
+	flag.Parse()
+
+	db := pascalr.New()
+	if *parallel > 1 {
+		db.SetParallelism(*parallel)
+	}
+	if *university > 0 {
+		script, err := workload.UniversityScript(*university)
+		if err != nil {
+			fatal(err)
+		}
+		if err := db.Exec(script); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("loaded Figure 1 university database at scale %d\n", *university)
+	}
+	for _, f := range files {
+		src, err := os.ReadFile(f)
+		if err != nil {
+			fatal(err)
+		}
+		if err := db.Exec(string(src)); err != nil {
+			fatal(fmt.Errorf("%s: %w", f, err))
+		}
+	}
+
+	srv := server.New(db, server.Config{
+		Addr:        *addr,
+		MonitorAddr: *httpAddr,
+		MaxSessions: *maxSessions,
+	})
+	if err := srv.Start(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("pascald listening on %s", srv.Addr())
+	if m := srv.MonitorAddr(); m != nil {
+		fmt.Printf(" (monitor http://%s)", m)
+	}
+	fmt.Println()
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	<-stop
+	fmt.Println("pascald: draining sessions")
+	ctx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "pascald: shutdown:", err)
+		os.Exit(1)
+	}
+	fmt.Println("pascald: stopped")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

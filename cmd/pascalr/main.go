@@ -22,7 +22,6 @@ import (
 	"strings"
 
 	"pascalr"
-	"pascalr/internal/value"
 	"pascalr/internal/workload"
 )
 
@@ -191,70 +190,13 @@ func streamQuery(ctx context.Context, db *pascalr.Database, q string, opts []pas
 }
 
 func loadUniversity(db *pascalr.Database, scale int) error {
-	// Build the Figure 1 schema via DDL, then copy the generated data in
-	// through the public API so the CLI exercises the same path users do.
-	gen, err := workload.University(workload.DefaultConfig(scale))
+	// Render schema and data as one script and load it through the
+	// public API, so the CLI exercises the same path users do.
+	script, err := workload.UniversityScript(scale)
 	if err != nil {
 		return err
 	}
-	maxN := scale
-	if maxN < 99 {
-		maxN = 99
-	}
-	courses := scale/2 + 1
-	maxC := courses
-	if maxC < 99 {
-		maxC = 99
-	}
-	ddl := fmt.Sprintf(`
-TYPE statustype = (student, technician, assistant, professor);
-     nametype   = PACKED ARRAY [1..10] OF char;
-     titletype  = PACKED ARRAY [1..40] OF char;
-     roomtype   = PACKED ARRAY [1..5] OF char;
-     yeartype   = 1900..1999;
-     timetype   = 8000900..18002000;
-     daytype    = (monday, tuesday, wednesday, thursday, friday);
-     leveltype  = (freshman, sophomore, junior, senior);
-     enumbertype = 1..%d;
-     cnumbertype = 1..%d;
-VAR employees : RELATION <enr> OF
-      RECORD enr : enumbertype; ename : nametype; estatus : statustype END;
-    papers : RELATION <ptitle, penr> OF
-      RECORD penr : enumbertype; pyear : yeartype; ptitle : titletype END;
-    courses : RELATION <cnr> OF
-      RECORD cnr : cnumbertype; clevel : leveltype; ctitle : titletype END;
-    timetable : RELATION <tenr, tcnr, tday> OF
-      RECORD tenr : enumbertype; tcnr : cnumbertype; tday : daytype;
-             ttime : timetype; troom : roomtype END;
-`, maxN, maxC)
-	if err := db.Exec(ddl); err != nil {
-		return err
-	}
-	// Copy generated tuples via :+ statements, rendering enumeration
-	// ordinals back to labels through the generator's catalog.
-	var b strings.Builder
-	for _, relName := range []string{"employees", "papers", "courses", "timetable"} {
-		rel, _ := gen.Relation(relName)
-		for _, tup := range rel.Tuples() {
-			b.WriteString(relName + " :+ [<")
-			for i, v := range tup {
-				if i > 0 {
-					b.WriteString(", ")
-				}
-				switch v.Kind() {
-				case value.KindInt:
-					fmt.Fprintf(&b, "%d", v.AsInt())
-				case value.KindString:
-					fmt.Fprintf(&b, "'%s'", strings.ReplaceAll(v.AsString(), "'", "''"))
-				case value.KindEnum:
-					t, _ := gen.Catalog().Type(v.EnumType())
-					b.WriteString(t.Label(v.EnumOrd()))
-				}
-			}
-			b.WriteString(">];\n")
-		}
-	}
-	return db.Exec(b.String())
+	return db.Exec(script)
 }
 
 func printStats(st pascalr.Stats) {

@@ -1,0 +1,45 @@
+package pascalr
+
+import (
+	"errors"
+
+	"pascalr/internal/relation"
+)
+
+// ErrStaleRead reports that a streaming cursor dereferenced a tuple a
+// concurrent writer deleted between the combination phase and
+// construction — the optimistic-concurrency outcome of reading through
+// references while Exec mutates the database. It is retryable: the
+// same query re-executed against the new contents succeeds (the
+// one-shot QueryRows path performs one such retry transparently;
+// prepared Stmt.Rows surfaces the error so callers control the retry).
+// Match with errors.Is:
+//
+//	rows, _ := stmt.Rows(ctx)
+//	for rows.Next() { ... }
+//	if errors.Is(rows.Err(), pascalr.ErrStaleRead) {
+//	    // re-execute stmt.Rows, or fall back to stmt.Query
+//	}
+var ErrStaleRead = errors.New("pascalr: stale read, retry the query")
+
+// staleReadError classifies a storage-layer stale-reference error as
+// the public retryable ErrStaleRead while keeping the original error
+// in the chain.
+type staleReadError struct{ err error }
+
+func (e *staleReadError) Error() string { return "pascalr: stale read: " + e.err.Error() }
+
+func (e *staleReadError) Unwrap() []error { return []error{ErrStaleRead, e.err} }
+
+// classifyErr maps internal errors crossing the public API boundary to
+// their documented public forms; today, stale references become
+// ErrStaleRead.
+func classifyErr(err error) error {
+	if err == nil {
+		return nil
+	}
+	if errors.Is(err, relation.ErrStale) && !errors.Is(err, ErrStaleRead) {
+		return &staleReadError{err: err}
+	}
+	return err
+}

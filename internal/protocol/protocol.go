@@ -1,0 +1,402 @@
+// Package protocol defines the wire protocol of the pascald network
+// server: length-prefixed binary frames carrying a one-byte opcode and
+// a varint-encoded payload. Both the server (internal/server) and the
+// Go client (client) speak exactly this package, so the framing and the
+// value encoding live in one place.
+//
+// # Framing
+//
+// Every message is one frame:
+//
+//	uint32 big-endian length  (= 1 + len(payload))
+//	byte   opcode
+//	bytes  payload
+//
+// Integers inside payloads are unsigned varints (uvarint) or zigzag
+// varints (int64); strings and byte slices are length-prefixed with a
+// uvarint. A frame larger than MaxFrameSize is a protocol error — the
+// peer must close the connection.
+//
+// # Conversation
+//
+// The server sends a Hello frame (protocol version + session id) on
+// accept, or an Err frame with CodeTooManySessions when the session
+// limit is reached. After that the client drives a strict
+// request/response alternation; the only multi-frame response is a
+// query result (Result) and the fetch stream of a cursor (RowBatch
+// frames, each self-contained). Cancellation of a *running* statement
+// happens from another connection via Kill; Cancel on the own
+// connection aborts the statement context between requests, which a
+// subsequent Fetch observes.
+package protocol
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Version is the protocol version announced in the Hello frame.
+const Version = 1
+
+// MaxFrameSize bounds a single frame (length header value). It is large
+// enough for any realistic row batch and small enough to keep a
+// malformed length prefix from allocating gigabytes.
+const MaxFrameSize = 64 << 20
+
+// Request opcodes (client -> server).
+const (
+	OpPing        byte = 0x01 // ()                      -> Pong
+	OpExec        byte = 0x02 // (script)                -> OK
+	OpQuery       byte = 0x03 // (src, QueryOpts)        -> Result
+	OpPrepare     byte = 0x04 // (src, QueryOpts)        -> StmtBound
+	OpExecStmt    byte = 0x05 // (stmtID)                -> Cursor
+	OpFetch       byte = 0x06 // (stmtID, maxRows)       -> RowBatch
+	OpCloseStmt   byte = 0x07 // (stmtID)                -> OK
+	OpCancel      byte = 0x08 // ()                      -> OK
+	OpKill        byte = 0x09 // (sessionID)             -> OK
+	OpProcessList byte = 0x0A // ()                      -> Result
+	OpResetStats  byte = 0x0B // ()                      -> OK
+	OpFingerprint byte = 0x0C // ()                      -> Str
+	OpSetOption   byte = 0x0D // (key, int64)            -> OK
+)
+
+// Response opcodes (server -> client).
+const (
+	OpOK        byte = 0x80 // ()
+	OpErr       byte = 0x81 // (code, message)
+	OpHello     byte = 0x82 // (version, sessionID)
+	OpPong      byte = 0x83 // ()
+	OpResult    byte = 0x84 // (cols, nrows, rows)
+	OpStmtBound byte = 0x85 // (stmtID)
+	OpCursor    byte = 0x86 // (cols)
+	OpRowBatch  byte = 0x87 // (done, nrows, rows)
+	OpStr       byte = 0x88 // (string)
+)
+
+// Error codes carried by Err frames. The client maps them back to
+// typed errors so retry and shutdown logic does not parse messages.
+const (
+	CodeInternal        uint64 = 1 // unclassified server-side error
+	CodeStale           uint64 = 2 // retryable stale read (pascalr.ErrStaleRead)
+	CodeCancelled       uint64 = 3 // statement context cancelled (own Cancel)
+	CodeKilled          uint64 = 4 // session killed via KILL
+	CodeTooManySessions uint64 = 5 // admission control rejected the connection
+	CodeUnknownStmt     uint64 = 6 // stmt/cursor id not found in this session
+	CodeShuttingDown    uint64 = 7 // server is draining
+	CodeBadRequest      uint64 = 8 // malformed frame or unknown opcode
+)
+
+// QueryOpts carries per-call execution options. Zero values mean
+// "session default": Strategies/CostBased are tri-state through their
+// Has flags, Parallelism 0 and MaxRefTuples 0 defer to the session.
+type QueryOpts struct {
+	HasStrategies bool
+	Strategies    uint8
+	HasCostBased  bool
+	CostBased     bool
+	Parallelism   uint32
+	MaxRefTuples  uint64
+}
+
+const (
+	optFlagStrategies = 1 << 0
+	optFlagCostBased  = 1 << 1
+	optFlagCostValue  = 1 << 2
+)
+
+// WriteFrame writes one frame (opcode + payload) to w.
+func WriteFrame(w *bufio.Writer, op byte, payload []byte) error {
+	if 1+len(payload) > MaxFrameSize {
+		return fmt.Errorf("protocol: frame of %d bytes exceeds limit", len(payload))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(1+len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if err := w.WriteByte(op); err != nil {
+		return err
+	}
+	if _, err := w.Write(payload); err != nil {
+		return err
+	}
+	return w.Flush()
+}
+
+// ReadFrame reads one frame from r, returning the opcode and payload.
+func ReadFrame(r *bufio.Reader) (byte, []byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n < 1 || n > MaxFrameSize {
+		return 0, nil, fmt.Errorf("protocol: bad frame length %d", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return 0, nil, err
+	}
+	return buf[0], buf[1:], nil
+}
+
+// Writer accumulates a payload.
+type Writer struct{ buf []byte }
+
+// NewWriter returns an empty payload writer.
+func NewWriter() *Writer { return &Writer{} }
+
+// Bytes returns the accumulated payload.
+func (w *Writer) Bytes() []byte { return w.buf }
+
+// Uvarint appends an unsigned varint.
+func (w *Writer) Uvarint(v uint64) { w.buf = binary.AppendUvarint(w.buf, v) }
+
+// Int64 appends a zigzag-encoded signed integer.
+func (w *Writer) Int64(v int64) { w.buf = binary.AppendVarint(w.buf, v) }
+
+// Bool appends a boolean byte.
+func (w *Writer) Bool(v bool) {
+	if v {
+		w.buf = append(w.buf, 1)
+	} else {
+		w.buf = append(w.buf, 0)
+	}
+}
+
+// String appends a length-prefixed string.
+func (w *Writer) String(s string) {
+	w.Uvarint(uint64(len(s)))
+	w.buf = append(w.buf, s...)
+}
+
+// Value tags used by Value/ReadValue: results travel as the native Go
+// representations of pascalr results (int64, string, bool).
+const (
+	tagInt    = 0
+	tagString = 1
+	tagBool   = 2
+)
+
+// Value appends one result value. Only int64, string, and bool occur —
+// the pascalr native conversions.
+func (w *Writer) Value(v any) error {
+	switch x := v.(type) {
+	case int64:
+		w.buf = append(w.buf, tagInt)
+		w.Int64(x)
+	case string:
+		w.buf = append(w.buf, tagString)
+		w.String(x)
+	case bool:
+		w.buf = append(w.buf, tagBool)
+		w.Bool(x)
+	default:
+		return fmt.Errorf("protocol: cannot encode value of type %T", v)
+	}
+	return nil
+}
+
+// Opts appends a QueryOpts block.
+func (w *Writer) Opts(o QueryOpts) {
+	flags := byte(0)
+	if o.HasStrategies {
+		flags |= optFlagStrategies
+	}
+	if o.HasCostBased {
+		flags |= optFlagCostBased
+		if o.CostBased {
+			flags |= optFlagCostValue
+		}
+	}
+	w.buf = append(w.buf, flags)
+	if o.HasStrategies {
+		w.buf = append(w.buf, o.Strategies)
+	}
+	w.Uvarint(uint64(o.Parallelism))
+	w.Uvarint(o.MaxRefTuples)
+}
+
+// Rows appends a row block: count followed by the tagged values of each
+// row. Callers write the column header separately.
+func (w *Writer) Rows(rows [][]any) error {
+	w.Uvarint(uint64(len(rows)))
+	for _, row := range rows {
+		w.Uvarint(uint64(len(row)))
+		for _, v := range row {
+			if err := w.Value(v); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Strings appends a length-prefixed string list.
+func (w *Writer) Strings(ss []string) {
+	w.Uvarint(uint64(len(ss)))
+	for _, s := range ss {
+		w.String(s)
+	}
+}
+
+// Reader decodes a payload.
+type Reader struct {
+	buf []byte
+	i   int
+}
+
+// NewReader wraps a payload for decoding.
+func NewReader(buf []byte) *Reader { return &Reader{buf: buf} }
+
+// Len returns the number of unread bytes.
+func (r *Reader) Len() int { return len(r.buf) - r.i }
+
+// Uvarint reads an unsigned varint.
+func (r *Reader) Uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.buf[r.i:])
+	if n <= 0 {
+		return 0, fmt.Errorf("protocol: truncated uvarint")
+	}
+	r.i += n
+	return v, nil
+}
+
+// Int64 reads a zigzag-encoded signed integer.
+func (r *Reader) Int64() (int64, error) {
+	v, n := binary.Varint(r.buf[r.i:])
+	if n <= 0 {
+		return 0, fmt.Errorf("protocol: truncated varint")
+	}
+	r.i += n
+	return v, nil
+}
+
+// Bool reads a boolean byte.
+func (r *Reader) Bool() (bool, error) {
+	b, err := r.Byte()
+	return b != 0, err
+}
+
+// Byte reads one byte.
+func (r *Reader) Byte() (byte, error) {
+	if r.i >= len(r.buf) {
+		return 0, fmt.Errorf("protocol: truncated byte")
+	}
+	b := r.buf[r.i]
+	r.i++
+	return b, nil
+}
+
+// String reads a length-prefixed string.
+func (r *Reader) String() (string, error) {
+	n, err := r.Uvarint()
+	if err != nil {
+		return "", err
+	}
+	if uint64(r.Len()) < n {
+		return "", fmt.Errorf("protocol: truncated string of %d bytes", n)
+	}
+	s := string(r.buf[r.i : r.i+int(n)])
+	r.i += int(n)
+	return s, nil
+}
+
+// Value reads one tagged result value.
+func (r *Reader) Value() (any, error) {
+	tag, err := r.Byte()
+	if err != nil {
+		return nil, err
+	}
+	switch tag {
+	case tagInt:
+		return r.Int64()
+	case tagString:
+		return r.String()
+	case tagBool:
+		return r.Bool()
+	default:
+		return nil, fmt.Errorf("protocol: unknown value tag %d", tag)
+	}
+}
+
+// Opts reads a QueryOpts block.
+func (r *Reader) Opts() (QueryOpts, error) {
+	var o QueryOpts
+	flags, err := r.Byte()
+	if err != nil {
+		return o, err
+	}
+	if flags&optFlagStrategies != 0 {
+		o.HasStrategies = true
+		if o.Strategies, err = r.Byte(); err != nil {
+			return o, err
+		}
+	}
+	if flags&optFlagCostBased != 0 {
+		o.HasCostBased = true
+		o.CostBased = flags&optFlagCostValue != 0
+	}
+	par, err := r.Uvarint()
+	if err != nil {
+		return o, err
+	}
+	o.Parallelism = uint32(par)
+	if o.MaxRefTuples, err = r.Uvarint(); err != nil {
+		return o, err
+	}
+	return o, nil
+}
+
+// Rows reads a row block.
+func (r *Reader) Rows() ([][]any, error) {
+	n, err := r.Uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(r.Len()) { // every row costs at least one byte
+		return nil, fmt.Errorf("protocol: row count %d exceeds frame", n)
+	}
+	rows := make([][]any, 0, n)
+	for range n {
+		m, err := r.Uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if m > uint64(r.Len()) {
+			return nil, fmt.Errorf("protocol: value count %d exceeds frame", m)
+		}
+		row := make([]any, 0, m)
+		for range m {
+			v, err := r.Value()
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, v)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Strings reads a length-prefixed string list.
+func (r *Reader) Strings() ([]string, error) {
+	n, err := r.Uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(r.Len()) {
+		return nil, fmt.Errorf("protocol: string count %d exceeds frame", n)
+	}
+	out := make([]string, 0, n)
+	for range n {
+		s, err := r.String()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}

@@ -74,6 +74,12 @@ type DB struct {
 	// async runs drift-triggered histogram rebuilds in the background,
 	// single-flight per relation.
 	async *sched.Async
+	// closed marks the database as shut down: no further background
+	// statistics work may be scheduled. Mutators and readers keep
+	// working — Close quiesces maintenance, it does not tear down
+	// storage — but a drift trigger after Close must not resurrect a
+	// background goroutine the shutdown already waited for.
+	closed atomic.Bool
 }
 
 // estSnap is one relation's immutable statistics snapshot, tagged with
@@ -93,11 +99,17 @@ func NewDB() *DB {
 	}
 }
 
-// Close waits for background statistics work (drift-triggered
-// histogram rebuilds) to finish. The database stays usable; Close
-// exists so tests and shutdown paths can quiesce goroutines.
+// Close quiesces the database's background work for shutdown: it waits
+// for in-flight drift-triggered histogram rebuilds to finish and
+// rejects any rebuild scheduled from then on, so no maintenance
+// goroutine can outlive Close or touch the database during teardown.
+// The relations themselves stay readable and writable (Close does not
+// tear down storage — mutations after Close simply run with statistics
+// that no longer re-bucket in the background). Close is idempotent and
+// safe to call concurrently with mutators.
 func (d *DB) Close() error {
-	d.async.Wait()
+	d.closed.Store(true)
+	d.async.Close()
 	return nil
 }
 
@@ -275,7 +287,13 @@ func (d *DB) Estimator() *stats.Estimator {
 // scheduleStatsRebuild queues a background re-bucketing of one
 // relation's histograms (single-flight per relation). Called by
 // mutators under the content write lock; the rebuild itself runs later
-// under the content read lock.
+// under the content read lock. After Close the submission is rejected
+// (by the flag here and, authoritatively, by the closed executor), so
+// a drift trigger racing shutdown cannot schedule work the shutdown
+// will not wait for.
 func (d *DB) scheduleStatsRebuild(r *Relation) {
+	if d.closed.Load() {
+		return
+	}
 	d.async.Submit("stats:"+r.sch.Name, func() { r.rebuildStats() })
 }

@@ -14,6 +14,7 @@ type Async struct {
 	cond    *sync.Cond // signalled when the executor drains empty
 	workers int
 	running int
+	closed  bool
 	pending map[string]func()
 	order   []string // FIFO over pending keys
 }
@@ -30,10 +31,14 @@ func NewAsync(workers int) *Async {
 }
 
 // Submit enqueues fn under key unless a job with that key is already
-// pending or running. It returns whether the job was accepted.
+// pending or running, or the executor is closed. It returns whether the
+// job was accepted.
 func (a *Async) Submit(key string, fn func()) bool {
 	a.mu.Lock()
 	defer a.mu.Unlock()
+	if a.closed {
+		return false
+	}
 	if _, dup := a.pending[key]; dup {
 		return false
 	}
@@ -77,6 +82,21 @@ func (a *Async) drain() {
 // Wait are safe: both operate under the executor's mutex.
 func (a *Async) Wait() {
 	a.mu.Lock()
+	for a.running > 0 || len(a.pending) > 0 {
+		a.cond.Wait()
+	}
+	a.mu.Unlock()
+}
+
+// Close quiesces the executor for shutdown: submissions from this point
+// on are rejected (Submit returns false), and Close blocks until every
+// already-accepted job has finished. Unlike Wait alone, the rejection
+// guarantees that no job can slip in between the drain and the caller's
+// teardown — the race Wait-then-teardown would otherwise leave open.
+// Close is idempotent and safe to call concurrently with Submit.
+func (a *Async) Close() {
+	a.mu.Lock()
+	a.closed = true
 	for a.running > 0 || len(a.pending) > 0 {
 		a.cond.Wait()
 	}

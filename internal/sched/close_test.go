@@ -1,0 +1,71 @@
+package sched
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestAsyncClose: Close waits for accepted jobs, rejects later ones,
+// and is idempotent.
+func TestAsyncClose(t *testing.T) {
+	a := NewAsync(2)
+	var ran atomic.Int32
+	release := make(chan struct{})
+	if !a.Submit("slow", func() { <-release; ran.Add(1) }) {
+		t.Fatal("submit rejected on open executor")
+	}
+	if !a.Submit("fast", func() { ran.Add(1) }) {
+		t.Fatal("second submit rejected")
+	}
+	closed := make(chan struct{})
+	go func() { a.Close(); close(closed) }()
+	select {
+	case <-closed:
+		t.Fatal("Close returned while an accepted job was still running")
+	case <-time.After(20 * time.Millisecond):
+	}
+	close(release)
+	<-closed
+	if got := ran.Load(); got != 2 {
+		t.Fatalf("ran %d accepted jobs, want 2", got)
+	}
+	if a.Submit("late", func() { ran.Add(1) }) {
+		t.Fatal("Submit accepted after Close")
+	}
+	a.Close() // idempotent
+	if got := ran.Load(); got != 2 {
+		t.Fatalf("late job ran; count = %d, want 2", got)
+	}
+}
+
+// TestAsyncCloseConcurrentSubmit hammers Submit from many goroutines
+// while Close runs: every accepted job must complete before Close
+// returns, and nothing accepted after it runs at all. Run under -race.
+func TestAsyncCloseConcurrentSubmit(t *testing.T) {
+	a := NewAsync(4)
+	var accepted, ran atomic.Int32
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := string(rune('a'+g)) + string(rune('0'+i%10))
+				if a.Submit(key, func() { ran.Add(1) }) {
+					accepted.Add(1)
+				}
+			}
+		}(g)
+	}
+	a.Close()
+	wg.Wait()
+	// Jobs accepted after Close started cannot exist; jobs accepted
+	// before must all have run by the time the executor drained. Between
+	// Close returning and wg.Wait, Submit only rejects, so the counts
+	// are final.
+	if accepted.Load() != ran.Load() {
+		t.Fatalf("accepted %d jobs but ran %d", accepted.Load(), ran.Load())
+	}
+}

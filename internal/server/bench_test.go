@@ -1,0 +1,82 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"pascalr"
+	"pascalr/client"
+	"pascalr/internal/workload"
+)
+
+// BenchmarkServerSessions measures query throughput through the full
+// serving stack — protocol framing, session dispatch, engine execution
+// — at 1, 4, and 8 concurrent sessions over loopback TCP.
+func BenchmarkServerSessions(b *testing.B) {
+	script, err := workload.UniversityScript(100)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const q = `[<c.cnr, t.tenr, t.tday> OF EACH c IN courses, EACH t IN timetable:
+		(c.clevel <= sophomore) AND (c.cnr = t.tcnr)]`
+	for _, sessions := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("sessions=%d", sessions), func(b *testing.B) {
+			db, err := pascalr.Open(script)
+			if err != nil {
+				b.Fatal(err)
+			}
+			srv := New(db, Config{Addr: "127.0.0.1:0", MaxSessions: sessions + 1})
+			if err := srv.Start(); err != nil {
+				b.Fatal(err)
+			}
+			defer func() {
+				ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+				defer cancel()
+				if err := srv.Shutdown(ctx); err != nil {
+					b.Fatal(err)
+				}
+			}()
+			conns := make([]*client.Conn, sessions)
+			for i := range conns {
+				c, err := client.Dial(srv.Addr().String())
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer c.Close()
+				conns[i] = c
+				// Warm the shared plan cache so the benchmark measures
+				// execution, not compilation.
+				if _, err := c.Query(q, client.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ResetTimer()
+			var next atomic.Int64
+			var wg sync.WaitGroup
+			errs := make(chan error, sessions)
+			for _, c := range conns {
+				wg.Add(1)
+				go func(c *client.Conn) {
+					defer wg.Done()
+					for next.Add(1) <= int64(b.N) {
+						if _, err := c.Query(q, client.Options{}); err != nil {
+							errs <- err
+							return
+						}
+					}
+				}(c)
+			}
+			wg.Wait()
+			b.StopTimer()
+			select {
+			case err := <-errs:
+				b.Fatal(err)
+			default:
+			}
+		})
+	}
+}

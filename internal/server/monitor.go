@@ -1,0 +1,72 @@
+package server
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+
+	"pascalr"
+)
+
+// metricsPayload is the /metrics document: serving-layer gauges, the
+// live engine counters, and a per-relation statistics snapshot.
+type metricsPayload struct {
+	Sessions sessionMetrics      `json:"sessions"`
+	Counters pascalr.Stats       `json:"counters"`
+	Tables   []pascalr.TableStat `json:"tables"`
+}
+
+type sessionMetrics struct {
+	Active   int    `json:"active"`
+	Peak     int    `json:"peak"`
+	Accepted uint64 `json:"accepted"`
+	Rejected uint64 `json:"rejected"`
+	Killed   uint64 `json:"killed"`
+	Max      int    `json:"max"`
+}
+
+// startMonitor binds the HTTP monitoring listener and serves /metrics
+// and /processlist until Shutdown closes it.
+func (s *Server) startMonitor() error {
+	ln, err := net.Listen("tcp", s.cfg.MonitorAddr)
+	if err != nil {
+		return err
+	}
+	s.httpLn = ln
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/processlist", s.handleProcessList)
+	s.httpSrv = &http.Server{Handler: mux}
+	go s.httpSrv.Serve(ln)
+	return nil
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	active, peak := len(s.sessions), s.peak
+	s.mu.Unlock()
+	payload := metricsPayload{
+		Sessions: sessionMetrics{
+			Active:   active,
+			Peak:     peak,
+			Accepted: s.accepted.Load(),
+			Rejected: s.rejected.Load(),
+			Killed:   s.killed.Load(),
+			Max:      s.cfg.MaxSessions,
+		},
+		Counters: s.db.Stats(),
+		Tables:   s.db.TableStats(),
+	}
+	writeJSON(w, payload)
+}
+
+func (s *Server) handleProcessList(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, s.processList())
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}

@@ -1,0 +1,277 @@
+// Package server is the pascald network serving layer: a TCP server
+// speaking the length-prefixed binary protocol of internal/protocol,
+// with per-connection sessions, admission control, a process list with
+// kill, and an HTTP monitoring endpoint exposing the live engine
+// counters and per-relation statistics snapshots.
+//
+// The design follows go-mysql-server's interface-first server/session
+// split: the engine (a *pascalr.Database) knows nothing about the
+// network; each accepted connection owns a session-scoped handle
+// (pascalr.Session) carrying its execution defaults and a
+// context.Context wired into the engine's ~100ms cancellation
+// checkpoints, so KILL and graceful shutdown abort running queries
+// promptly without poisoning shared state.
+package server
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pascalr"
+	"pascalr/internal/protocol"
+)
+
+// DefaultMaxSessions is the admission-control limit applied when the
+// configuration leaves MaxSessions zero.
+const DefaultMaxSessions = 256
+
+// Config configures a server.
+type Config struct {
+	// Addr is the TCP listen address for the binary protocol
+	// (e.g. "127.0.0.1:5432"; ":0" picks a free port).
+	Addr string
+	// MonitorAddr, when non-empty, serves the HTTP monitoring endpoints
+	// (/metrics, /processlist) on this address.
+	MonitorAddr string
+	// MaxSessions bounds concurrently connected sessions; connections
+	// beyond it are rejected with a protocol error frame rather than
+	// queued, so overload surfaces immediately at the client instead of
+	// as silent accept-queue latency. Zero means DefaultMaxSessions.
+	MaxSessions int
+}
+
+// Server serves one pascalr.Database over TCP.
+type Server struct {
+	db  *pascalr.Database
+	cfg Config
+
+	ln      net.Listener
+	httpLn  net.Listener
+	httpSrv *http.Server
+
+	mu       sync.Mutex
+	sessions map[uint64]*session
+	nextID   uint64
+	draining bool
+	peak     int
+
+	wg sync.WaitGroup // session + accept-loop goroutines
+
+	accepted atomic.Uint64
+	rejected atomic.Uint64
+	killed   atomic.Uint64
+}
+
+// New creates a server for db. Start actually listens.
+func New(db *pascalr.Database, cfg Config) *Server {
+	if cfg.MaxSessions <= 0 {
+		cfg.MaxSessions = DefaultMaxSessions
+	}
+	return &Server{db: db, cfg: cfg, sessions: make(map[uint64]*session)}
+}
+
+// Start binds the listeners and begins accepting sessions. It returns
+// once the server is reachable; serving continues in background
+// goroutines until Shutdown.
+func (s *Server) Start() error {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return err
+	}
+	s.ln = ln
+	if s.cfg.MonitorAddr != "" {
+		if err := s.startMonitor(); err != nil {
+			ln.Close()
+			return err
+		}
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return nil
+}
+
+// Addr returns the bound protocol address (for ":0" configs).
+func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+// MonitorAddr returns the bound monitoring address, or nil when the
+// monitor is disabled.
+func (s *Server) MonitorAddr() net.Addr {
+	if s.httpLn == nil {
+		return nil
+	}
+	return s.httpLn.Addr()
+}
+
+// acceptLoop admits connections until the listener closes. Admission
+// control runs here: beyond MaxSessions the connection is answered
+// with a single error frame and closed.
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed by Shutdown
+		}
+		sess, reject := s.register(conn)
+		if reject != 0 {
+			s.rejected.Add(1)
+			bw := bufio.NewWriter(conn)
+			w := protocol.NewWriter()
+			w.Uvarint(reject)
+			w.String("pascald: connection rejected")
+			protocol.WriteFrame(bw, protocol.OpErr, w.Bytes())
+			conn.Close()
+			continue
+		}
+		s.accepted.Add(1)
+		s.wg.Add(1)
+		go sess.serve()
+	}
+}
+
+// register admits a connection as a session, or returns the rejection
+// error code.
+func (s *Server) register(conn net.Conn) (*session, uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return nil, protocol.CodeShuttingDown
+	}
+	if len(s.sessions) >= s.cfg.MaxSessions {
+		return nil, protocol.CodeTooManySessions
+	}
+	s.nextID++
+	sess := newSession(s, s.nextID, conn)
+	s.sessions[sess.id] = sess
+	if len(s.sessions) > s.peak {
+		s.peak = len(s.sessions)
+	}
+	return sess, 0
+}
+
+// unregister removes a finished session.
+func (s *Server) unregister(sess *session) {
+	s.mu.Lock()
+	delete(s.sessions, sess.id)
+	s.mu.Unlock()
+}
+
+// session returns a live session by id.
+func (s *Server) session(id uint64) (*session, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sess, ok := s.sessions[id]
+	return sess, ok
+}
+
+// Kill cancels the identified session's context (aborting its running
+// statement and open cursors within the engine's cancellation
+// checkpoints) and closes its connection.
+func (s *Server) Kill(id uint64) error {
+	sess, ok := s.session(id)
+	if !ok {
+		return fmt.Errorf("server: no session %d", id)
+	}
+	s.killed.Add(1)
+	sess.kill()
+	return nil
+}
+
+// SessionCount returns the number of live sessions.
+func (s *Server) SessionCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.sessions)
+}
+
+// Shutdown drains the server gracefully: stop accepting, let sessions
+// finish their in-flight request, close their connections, and — only
+// after every session goroutine has exited — quiesce the database's
+// background statistics work via Close. If ctx expires before the
+// drain completes, running statements are cancelled (they abort at the
+// engine's ~100ms checkpoints) and the remaining sessions are closed
+// hard; Shutdown still waits for the goroutines so none leak.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return nil
+	}
+	s.draining = true
+	sessions := make([]*session, 0, len(s.sessions))
+	for _, sess := range s.sessions {
+		sessions = append(sessions, sess)
+	}
+	s.mu.Unlock()
+
+	s.ln.Close()
+	for _, sess := range sessions {
+		sess.drain()
+	}
+
+	done := make(chan struct{})
+	go func() { s.wg.Wait(); close(done) }()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = ctx.Err()
+		// Force: cancel running statements and close connections; the
+		// engine observes the contexts within ~100ms, so this wait is
+		// bounded.
+		for _, sess := range sessions {
+			sess.kill()
+		}
+		<-done
+	}
+
+	if s.httpSrv != nil {
+		s.httpSrv.Close()
+	}
+	// Sessions have drained (cursors closed, no execution in flight):
+	// now quiesce background statistics maintenance. A drift-triggered
+	// rebuild scheduled during the drain either completes inside Close
+	// or is rejected by it — either way no goroutine survives.
+	if cerr := s.db.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// processList snapshots the live sessions for the PROCESSLIST surfaces
+// (binary op and HTTP endpoint), ordered by session id.
+type processEntry struct {
+	ID    uint64 `json:"id"`
+	Addr  string `json:"addr"`
+	State string `json:"state"`
+	Query string `json:"query,omitempty"`
+	AgeMS int64  `json:"age_ms"`
+}
+
+func (s *Server) processList() []processEntry {
+	s.mu.Lock()
+	sessions := make([]*session, 0, len(s.sessions))
+	for _, sess := range s.sessions {
+		sessions = append(sessions, sess)
+	}
+	s.mu.Unlock()
+	out := make([]processEntry, 0, len(sessions))
+	for _, sess := range sessions {
+		out = append(out, sess.entry())
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j-1].ID > out[j].ID; j-- {
+			out[j-1], out[j] = out[j], out[j-1]
+		}
+	}
+	return out
+}
+
+// now is a time source seam kept in one place.
+func now() time.Time { return time.Now() }

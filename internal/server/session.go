@@ -1,0 +1,506 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"pascalr"
+	"pascalr/internal/protocol"
+)
+
+// session is one accepted connection. The protocol is a strict
+// request/response alternation, so a single goroutine owns the
+// connection's read and write side; Kill and Shutdown interact with it
+// only through the session context and by closing the connection.
+type session struct {
+	srv  *Server
+	id   uint64
+	conn net.Conn
+	br   *bufio.Reader
+	bw   *bufio.Writer
+
+	ps *pascalr.Session
+
+	// ctx is the session's root context: every statement context derives
+	// from it, so cancelling it (kill, forced shutdown) aborts whatever
+	// the session is executing at the engine's cancellation checkpoints.
+	ctx      context.Context
+	cancelFn context.CancelFunc
+
+	mu       sync.Mutex
+	busy     bool
+	draining bool
+	killed   bool
+	state    string
+	query    string
+	since    time.Time
+
+	// open prepared statements and their cursors, keyed by the id handed
+	// to the client in StmtBound.
+	stmts      map[uint64]*serverStmt
+	nextStmtID uint64
+}
+
+// serverStmt is a prepared statement with at most one open cursor.
+type serverStmt struct {
+	stmt   *pascalr.Stmt
+	rows   *pascalr.Rows
+	cancel context.CancelFunc // cancels the cursor's statement context
+}
+
+func newSession(srv *Server, id uint64, conn net.Conn) *session {
+	ctx, cancel := context.WithCancel(context.Background())
+	return &session{
+		srv:      srv,
+		id:       id,
+		conn:     conn,
+		br:       bufio.NewReader(conn),
+		bw:       bufio.NewWriter(conn),
+		ps:       srv.db.NewSession(),
+		ctx:      ctx,
+		cancelFn: cancel,
+		state:    "idle",
+		since:    now(),
+		stmts:    make(map[uint64]*serverStmt),
+	}
+}
+
+// kill cancels the session context and closes the connection. The
+// running statement (if any) aborts at the next engine checkpoint; the
+// serve loop then fails to write its response and exits.
+func (s *session) kill() {
+	s.mu.Lock()
+	s.killed = true
+	s.mu.Unlock()
+	s.cancelFn()
+	s.conn.Close()
+}
+
+// drain asks the session to exit after its in-flight request. An idle
+// session (blocked reading the next frame) is unblocked by closing the
+// connection; a busy one observes the flag when its handler returns.
+func (s *session) drain() {
+	s.mu.Lock()
+	s.draining = true
+	idle := !s.busy
+	s.mu.Unlock()
+	if idle {
+		s.conn.Close()
+	}
+}
+
+func (s *session) entry() processEntry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return processEntry{
+		ID:    s.id,
+		Addr:  s.conn.RemoteAddr().String(),
+		State: s.state,
+		Query: s.query,
+		AgeMS: now().Sub(s.since).Milliseconds(),
+	}
+}
+
+// setState records the process-list state; query may be empty.
+func (s *session) setState(state, query string) {
+	s.mu.Lock()
+	s.state = state
+	s.query = query
+	s.since = now()
+	s.mu.Unlock()
+}
+
+// serve runs the session until the connection closes or the server
+// drains. It owns both directions of the connection.
+func (s *session) serve() {
+	defer func() {
+		s.cancelFn()
+		s.closeStmts()
+		s.conn.Close()
+		s.srv.unregister(s)
+		s.srv.wg.Done()
+	}()
+
+	hello := protocol.NewWriter()
+	hello.Uvarint(protocol.Version)
+	hello.Uvarint(s.id)
+	if protocol.WriteFrame(s.bw, protocol.OpHello, hello.Bytes()) != nil {
+		return
+	}
+
+	for {
+		op, payload, err := protocol.ReadFrame(s.br)
+		if err != nil {
+			return // connection closed (client, kill, or drain)
+		}
+		s.mu.Lock()
+		s.busy = true
+		s.mu.Unlock()
+
+		writeErr := s.dispatch(op, payload)
+
+		s.mu.Lock()
+		s.busy = false
+		done := s.draining || s.killed
+		s.mu.Unlock()
+		s.setState("idle", "")
+		if writeErr != nil || done {
+			return
+		}
+	}
+}
+
+// closeStmts releases every open cursor and statement context.
+func (s *session) closeStmts() {
+	s.mu.Lock()
+	stmts := s.stmts
+	s.stmts = map[uint64]*serverStmt{}
+	s.mu.Unlock()
+	for _, st := range stmts {
+		if st.rows != nil {
+			st.rows.Close()
+		}
+		if st.cancel != nil {
+			st.cancel()
+		}
+	}
+}
+
+// dispatch handles one request frame and writes exactly one response
+// frame. The returned error is a *write* failure (fatal for the
+// connection); request-level failures travel as Err frames.
+func (s *session) dispatch(op byte, payload []byte) error {
+	r := protocol.NewReader(payload)
+	switch op {
+	case protocol.OpPing:
+		return protocol.WriteFrame(s.bw, protocol.OpPong, nil)
+
+	case protocol.OpExec:
+		src, err := r.String()
+		if err != nil {
+			return s.writeErr(protocol.CodeBadRequest, err)
+		}
+		s.setState("exec", firstLine(src))
+		if err := s.ps.Exec(src); err != nil {
+			return s.writeErr(protocol.CodeInternal, err)
+		}
+		return protocol.WriteFrame(s.bw, protocol.OpOK, nil)
+
+	case protocol.OpQuery:
+		return s.handleQuery(r)
+
+	case protocol.OpPrepare:
+		return s.handlePrepare(r)
+
+	case protocol.OpExecStmt:
+		return s.handleExecStmt(r)
+
+	case protocol.OpFetch:
+		return s.handleFetch(r)
+
+	case protocol.OpCloseStmt:
+		id, err := r.Uvarint()
+		if err != nil {
+			return s.writeErr(protocol.CodeBadRequest, err)
+		}
+		s.mu.Lock()
+		st, ok := s.stmts[id]
+		delete(s.stmts, id)
+		s.mu.Unlock()
+		if !ok {
+			return s.writeErr(protocol.CodeUnknownStmt, fmt.Errorf("no statement %d", id))
+		}
+		if st.rows != nil {
+			st.rows.Close()
+		}
+		if st.cancel != nil {
+			st.cancel()
+		}
+		return protocol.WriteFrame(s.bw, protocol.OpOK, nil)
+
+	case protocol.OpCancel:
+		// Cancel the session's open statement contexts; a cursor mid-fetch
+		// observes the cancellation on its next row. The session itself
+		// stays usable.
+		s.mu.Lock()
+		for _, st := range s.stmts {
+			if st.cancel != nil {
+				st.cancel()
+			}
+		}
+		s.mu.Unlock()
+		return protocol.WriteFrame(s.bw, protocol.OpOK, nil)
+
+	case protocol.OpKill:
+		id, err := r.Uvarint()
+		if err != nil {
+			return s.writeErr(protocol.CodeBadRequest, err)
+		}
+		if err := s.srv.Kill(id); err != nil {
+			return s.writeErr(protocol.CodeBadRequest, err)
+		}
+		return protocol.WriteFrame(s.bw, protocol.OpOK, nil)
+
+	case protocol.OpProcessList:
+		entries := s.srv.processList()
+		rows := make([][]any, 0, len(entries))
+		for _, e := range entries {
+			rows = append(rows, []any{int64(e.ID), e.Addr, e.State, e.Query, e.AgeMS})
+		}
+		w := protocol.NewWriter()
+		w.Strings([]string{"id", "addr", "state", "query", "age_ms"})
+		if err := w.Rows(rows); err != nil {
+			return s.writeErr(protocol.CodeInternal, err)
+		}
+		return protocol.WriteFrame(s.bw, protocol.OpResult, w.Bytes())
+
+	case protocol.OpResetStats:
+		s.srv.db.ResetStats()
+		return protocol.WriteFrame(s.bw, protocol.OpOK, nil)
+
+	case protocol.OpFingerprint:
+		w := protocol.NewWriter()
+		w.String(s.srv.db.StatsFingerprint())
+		return protocol.WriteFrame(s.bw, protocol.OpStr, w.Bytes())
+
+	case protocol.OpSetOption:
+		return s.handleSetOption(r)
+
+	default:
+		return s.writeErr(protocol.CodeBadRequest, fmt.Errorf("unknown opcode %#x", op))
+	}
+}
+
+// stmtCtx derives a cancelable statement context from the session
+// context.
+func (s *session) stmtCtx() (context.Context, context.CancelFunc) {
+	return context.WithCancel(s.ctx)
+}
+
+// optionsFor converts wire options into pascalr per-call options; zero
+// fields defer to the session defaults set via OpSetOption.
+func optionsFor(o protocol.QueryOpts) []pascalr.Option {
+	var opts []pascalr.Option
+	if o.HasStrategies {
+		opts = append(opts, pascalr.WithStrategies(pascalr.Strategy(o.Strategies)))
+	}
+	if o.HasCostBased && o.CostBased {
+		opts = append(opts, pascalr.WithCostBased())
+	}
+	if o.Parallelism > 0 {
+		opts = append(opts, pascalr.WithParallelism(int(o.Parallelism)))
+	}
+	if o.MaxRefTuples > 0 {
+		opts = append(opts, pascalr.WithMaxRefTuples(int64(o.MaxRefTuples)))
+	}
+	return opts
+}
+
+func (s *session) handleQuery(r *protocol.Reader) error {
+	src, err := r.String()
+	if err != nil {
+		return s.writeErr(protocol.CodeBadRequest, err)
+	}
+	wopts, err := r.Opts()
+	if err != nil {
+		return s.writeErr(protocol.CodeBadRequest, err)
+	}
+	s.setState("query", firstLine(src))
+	ctx, cancel := s.stmtCtx()
+	defer cancel()
+	res, err := s.ps.Query(ctx, src, optionsFor(wopts)...)
+	if err != nil {
+		return s.writeErr(s.errCode(err), err)
+	}
+	w := protocol.NewWriter()
+	w.Strings(res.Columns())
+	if err := w.Rows(res.Rows()); err != nil {
+		return s.writeErr(protocol.CodeInternal, err)
+	}
+	return protocol.WriteFrame(s.bw, protocol.OpResult, w.Bytes())
+}
+
+func (s *session) handlePrepare(r *protocol.Reader) error {
+	src, err := r.String()
+	if err != nil {
+		return s.writeErr(protocol.CodeBadRequest, err)
+	}
+	wopts, err := r.Opts()
+	if err != nil {
+		return s.writeErr(protocol.CodeBadRequest, err)
+	}
+	s.setState("prepare", firstLine(src))
+	stmt, err := s.ps.Prepare(src, optionsFor(wopts)...)
+	if err != nil {
+		return s.writeErr(protocol.CodeInternal, err)
+	}
+	s.mu.Lock()
+	s.nextStmtID++
+	id := s.nextStmtID
+	s.stmts[id] = &serverStmt{stmt: stmt}
+	s.mu.Unlock()
+	w := protocol.NewWriter()
+	w.Uvarint(id)
+	return protocol.WriteFrame(s.bw, protocol.OpStmtBound, w.Bytes())
+}
+
+func (s *session) handleExecStmt(r *protocol.Reader) error {
+	id, err := r.Uvarint()
+	if err != nil {
+		return s.writeErr(protocol.CodeBadRequest, err)
+	}
+	s.mu.Lock()
+	st, ok := s.stmts[id]
+	s.mu.Unlock()
+	if !ok {
+		return s.writeErr(protocol.CodeUnknownStmt, fmt.Errorf("no statement %d", id))
+	}
+	// Re-executing an open statement replaces its cursor.
+	if st.rows != nil {
+		st.rows.Close()
+		st.rows = nil
+	}
+	if st.cancel != nil {
+		st.cancel()
+	}
+	s.setState("execute", firstLine(st.stmt.Src()))
+	ctx, cancel := s.stmtCtx()
+	rows, err := st.stmt.Rows(ctx)
+	if err != nil {
+		cancel()
+		return s.writeErr(s.errCode(err), err)
+	}
+	s.mu.Lock()
+	st.rows, st.cancel = rows, cancel
+	s.mu.Unlock()
+	w := protocol.NewWriter()
+	w.Strings(rows.Columns())
+	return protocol.WriteFrame(s.bw, protocol.OpCursor, w.Bytes())
+}
+
+// fetchBatchLimit caps rows per RowBatch frame regardless of the
+// client's ask, keeping frames under MaxFrameSize.
+const fetchBatchLimit = 4096
+
+func (s *session) handleFetch(r *protocol.Reader) error {
+	id, err := r.Uvarint()
+	if err != nil {
+		return s.writeErr(protocol.CodeBadRequest, err)
+	}
+	n, err := r.Uvarint()
+	if err != nil {
+		return s.writeErr(protocol.CodeBadRequest, err)
+	}
+	if n == 0 || n > fetchBatchLimit {
+		n = fetchBatchLimit
+	}
+	s.mu.Lock()
+	st, ok := s.stmts[id]
+	s.mu.Unlock()
+	if !ok || st.rows == nil {
+		return s.writeErr(protocol.CodeUnknownStmt, fmt.Errorf("no open cursor for statement %d", id))
+	}
+	s.setState("fetch", firstLine(st.stmt.Src()))
+	var batch [][]any
+	done := false
+	for uint64(len(batch)) < n {
+		if !st.rows.Next() {
+			done = true
+			break
+		}
+		batch = append(batch, st.rows.Values())
+	}
+	if done {
+		err := st.rows.Err()
+		st.rows.Close()
+		st.rows = nil
+		if st.cancel != nil {
+			st.cancel()
+			st.cancel = nil
+		}
+		if err != nil {
+			return s.writeErr(s.errCode(err), err)
+		}
+	}
+	w := protocol.NewWriter()
+	w.Bool(done)
+	if err := w.Rows(batch); err != nil {
+		return s.writeErr(protocol.CodeInternal, err)
+	}
+	return protocol.WriteFrame(s.bw, protocol.OpRowBatch, w.Bytes())
+}
+
+// handleSetOption updates the session defaults. Keys mirror the public
+// Option constructors; the value is an int64 (booleans are 0/1).
+func (s *session) handleSetOption(r *protocol.Reader) error {
+	key, err := r.String()
+	if err != nil {
+		return s.writeErr(protocol.CodeBadRequest, err)
+	}
+	v, err := r.Int64()
+	if err != nil {
+		return s.writeErr(protocol.CodeBadRequest, err)
+	}
+	var opt pascalr.Option
+	switch key {
+	case "strategies":
+		opt = pascalr.WithStrategies(pascalr.Strategy(v))
+	case "cost_based":
+		if v == 0 {
+			return s.writeErr(protocol.CodeBadRequest, fmt.Errorf("cost_based can only be enabled; open a new session for the static planner"))
+		}
+		opt = pascalr.WithCostBased()
+	case "parallelism":
+		opt = pascalr.WithParallelism(int(v))
+	case "max_ref_tuples":
+		opt = pascalr.WithMaxRefTuples(v)
+	default:
+		return s.writeErr(protocol.CodeBadRequest, fmt.Errorf("unknown option %q", key))
+	}
+	s.ps.AddOptions(opt)
+	return protocol.WriteFrame(s.bw, protocol.OpOK, nil)
+}
+
+// errCode classifies an execution error for the wire.
+func (s *session) errCode(err error) uint64 {
+	switch {
+	case errors.Is(err, pascalr.ErrStaleRead):
+		return protocol.CodeStale
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		s.mu.Lock()
+		killed := s.killed
+		s.mu.Unlock()
+		if killed {
+			return protocol.CodeKilled
+		}
+		return protocol.CodeCancelled
+	default:
+		return protocol.CodeInternal
+	}
+}
+
+// writeErr sends an Err frame; the connection stays usable.
+func (s *session) writeErr(code uint64, err error) error {
+	w := protocol.NewWriter()
+	w.Uvarint(code)
+	w.String(err.Error())
+	return protocol.WriteFrame(s.bw, protocol.OpErr, w.Bytes())
+}
+
+// firstLine trims a script to its first line for the process list.
+func firstLine(s string) string {
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			return s[:i]
+		}
+	}
+	if len(s) > 200 {
+		return s[:200]
+	}
+	return s
+}

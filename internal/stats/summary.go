@@ -1,0 +1,47 @@
+package stats
+
+// TableSummary is an immutable, marshal-friendly snapshot of one
+// relation's live statistics, for export surfaces (the server's
+// /metrics endpoint, monitoring dashboards). Unlike Snapshot it carries
+// no histograms — just the headline numbers a dashboard plots — so it
+// is cheap to take under the statistics lock and safe to hand across
+// API boundaries.
+type TableSummary struct {
+	Name    string          `json:"name"`
+	Rows    int             `json:"rows"`
+	Columns []ColumnSummary `json:"columns"`
+}
+
+// ColumnSummary is one column's statistics headline.
+type ColumnSummary struct {
+	Name     string `json:"name"`
+	Distinct int    `json:"distinct"`
+	// Mode reports the statistics representation currently maintained
+	// for the column: "exact" (frequency table), "buckets" (equi-depth
+	// histogram + distinct sketch), or "bounds" (min/max only).
+	Mode string `json:"mode"`
+	// Lo and Hi render the observed value bounds; empty when the column
+	// has no ordinal bounds (or no rows).
+	Lo string `json:"lo,omitempty"`
+	Hi string `json:"hi,omitempty"`
+}
+
+// Summary takes a consistent snapshot of the table's headline
+// statistics under one lock acquisition.
+func (t *TableStats) Summary() TableSummary {
+	if t == nil {
+		return TableSummary{}
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := TableSummary{Name: t.Name, Rows: t.rows, Columns: make([]ColumnSummary, 0, len(t.colList))}
+	for _, name := range t.colList {
+		cs := t.cols[name]
+		col := ColumnSummary{Name: name, Distinct: cs.distinctCount(), Mode: cs.mode()}
+		if lo, hi, ok := cs.bounds(); ok {
+			col.Lo, col.Hi = lo.String(), hi.String()
+		}
+		out.Columns = append(out.Columns, col)
+	}
+	return out
+}

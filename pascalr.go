@@ -482,7 +482,7 @@ func (d *Database) QueryContext(ctx context.Context, src string, opts ...Option)
 	}
 	rel, err := s.plan.EvalWith(ctx, s.override(c))
 	if err != nil {
-		return nil, err
+		return nil, classifyErr(err)
 	}
 	return newResult(rel), nil
 }
@@ -491,6 +491,11 @@ func (d *Database) QueryContext(ctx context.Context, src string, opts ...Option)
 // cursor over its result; see Rows. It shares the plan cache with
 // Query. The baseline evaluator cannot stream, so WithBaseline is
 // rejected here.
+//
+// A concurrent writer invalidating the stream mid-iteration is
+// absorbed once: the query re-executes and the cursor resumes over the
+// new contents without repeating yielded tuples. A writer winning the
+// race a second time surfaces ErrStaleRead from Rows.Err.
 func (d *Database) QueryRows(ctx context.Context, src string, opts ...Option) (*Rows, error) {
 	c := d.newConfig(opts)
 	if c.useBaseline {
@@ -502,9 +507,13 @@ func (d *Database) QueryRows(ctx context.Context, src string, opts ...Option) (*
 	}
 	cur, err := s.plan.RowsWith(ctx, s.override(c))
 	if err != nil {
-		return nil, err
+		return nil, classifyErr(err)
 	}
-	return newRows(cur), nil
+	rows := newRows(cur)
+	rows.enableRetry(func() (*engine.Cursor, error) {
+		return s.plan.RowsWith(ctx, s.override(c))
+	})
+	return rows, nil
 }
 
 // MustQuery is Query that panics on error; for tests and examples.
@@ -555,8 +564,12 @@ func (d *Database) ExplainAnalyze(ctx context.Context, src string, opts ...Optio
 	return s.plan.ExplainWith(ctx, s.override(c))
 }
 
-// Close waits for background statistics maintenance (drift-triggered
-// histogram rebuilds) to finish. The database remains usable.
+// Close quiesces background statistics maintenance for shutdown: it
+// waits for in-flight drift-triggered histogram rebuilds to finish and
+// rejects any rebuild triggered afterwards, so no goroutine outlives
+// Close. The database remains usable for queries and mutations (its
+// degraded statistics simply stop re-bucketing); Close is idempotent.
+// Server shutdown drains sessions first, then calls Close.
 func (d *Database) Close() error { return d.db.Close() }
 
 // CreateIndex declares a permanent index on one component of a
@@ -643,6 +656,55 @@ func (d *Database) Stats() Stats {
 // ResetStats clears the accumulated counters.
 func (d *Database) ResetStats() {
 	d.eng.Stats(func(st *stats.Counters) { st.Reset() })
+}
+
+// StatsFingerprint renders the accumulated counters as the engine's
+// deterministic fingerprint string: two databases that executed the
+// same work since their last ResetStats produce byte-identical
+// fingerprints regardless of interleaving. The differential test
+// harness compares it across in-process and network executions; it is
+// also a cheap change detector for monitoring.
+func (d *Database) StatsFingerprint() string {
+	var fp string
+	d.eng.Stats(func(st *stats.Counters) { fp = st.Fingerprint() })
+	return fp
+}
+
+// TableStat is one relation's live-statistics headline, as exported by
+// TableStats for monitoring surfaces (the server's /metrics endpoint).
+type TableStat struct {
+	Name    string      `json:"name"`
+	Rows    int         `json:"rows"`
+	Columns []ColumnStat `json:"columns"`
+}
+
+// ColumnStat summarizes one column's live statistics: the distinct
+// count, the statistics representation currently maintained ("exact",
+// "buckets", or "bounds"), and the observed value bounds.
+type ColumnStat struct {
+	Name     string `json:"name"`
+	Distinct int    `json:"distinct"`
+	Mode     string `json:"mode"`
+	Lo       string `json:"lo,omitempty"`
+	Hi       string `json:"hi,omitempty"`
+}
+
+// TableStats snapshots the live, incrementally maintained per-relation
+// statistics (cardinalities, distinct counts, histogram modes) in
+// declaration order. The snapshot is consistent per relation and
+// requires no analyze pass.
+func (d *Database) TableStats() []TableStat {
+	rels := d.db.Relations()
+	out := make([]TableStat, 0, len(rels))
+	for _, r := range rels {
+		sum := r.LiveStats().Summary()
+		ts := TableStat{Name: sum.Name, Rows: sum.Rows, Columns: make([]ColumnStat, 0, len(sum.Columns))}
+		for _, c := range sum.Columns {
+			ts.Columns = append(ts.Columns, ColumnStat{Name: c.Name, Distinct: c.Distinct, Mode: c.Mode, Lo: c.Lo, Hi: c.Hi})
+		}
+		out = append(out, ts)
+	}
+	return out
 }
 
 // Result is a query result: a set of tuples with named components.

@@ -1,9 +1,11 @@
 package pascalr
 
 import (
+	"errors"
 	"fmt"
 
 	"pascalr/internal/engine"
+	"pascalr/internal/relation"
 	"pascalr/internal/schema"
 	"pascalr/internal/value"
 )
@@ -26,12 +28,24 @@ import (
 // A cursor holds references into the base relations, so mutating the
 // database (Exec with :+/:-/:=) between opening the cursor and
 // exhausting it invalidates it: a Next that dereferences a deleted
-// element stops with a stale-reference error. Materialize with Query
-// when mutations may interleave with consumption.
+// element stops, and Err reports the retryable ErrStaleRead. The
+// one-shot QueryRows path absorbs one such invalidation transparently —
+// it re-executes the query and resumes the stream without repeating
+// tuples already yielded; a second invalidation (or any on a prepared
+// Stmt.Rows, which performs no retry) surfaces ErrStaleRead to the
+// caller. Materialize with Query when mutations interleave heavily
+// with consumption.
 type Rows struct {
 	cur  *engine.Cursor
 	cols []string
 	typs []*schema.Type
+
+	// reopen re-executes the plan for the bounded mid-stream retry; nil
+	// on prepared statements (their callers own the retry decision).
+	reopen  func() (*engine.Cursor, error)
+	seen    map[string]struct{} // keys already yielded, for resume dedup
+	retried bool
+	err     error // sticky: a reopen that itself failed
 }
 
 func newRows(cur *engine.Cursor) *Rows {
@@ -43,15 +57,62 @@ func newRows(cur *engine.Cursor) *Rows {
 	return r
 }
 
+// enableRetry arms the one-shot stale-read retry: yielded tuples are
+// tracked so a re-executed stream resumes without duplicates.
+func (r *Rows) enableRetry(reopen func() (*engine.Cursor, error)) {
+	r.reopen = reopen
+	r.seen = make(map[string]struct{})
+}
+
 // Columns returns the component names of the result.
 func (r *Rows) Columns() []string { return append([]string(nil), r.cols...) }
 
 // Next advances to the next result tuple, returning false when the
 // result is exhausted, the context is cancelled, or an error occurs.
-func (r *Rows) Next() bool { return r.cur.Next() }
+// On a one-shot QueryRows cursor, a mid-stream stale read triggers one
+// transparent re-execution: the stream resumes over the new contents,
+// skipping tuples already yielded.
+func (r *Rows) Next() bool {
+	for {
+		if r.err != nil {
+			return false
+		}
+		if r.cur.Next() {
+			if r.seen != nil {
+				k := value.EncodeKey(r.cur.Row())
+				if _, dup := r.seen[k]; dup {
+					continue // already yielded before the retry
+				}
+				r.seen[k] = struct{}{}
+			}
+			return true
+		}
+		err := r.cur.Err()
+		if err == nil || r.reopen == nil || r.retried || !errors.Is(err, relation.ErrStale) {
+			return false
+		}
+		// Bounded single retry: re-execute the plan and resume. A writer
+		// winning the race again surfaces ErrStaleRead like the prepared
+		// path does.
+		r.retried = true
+		cur, rerr := r.reopen()
+		if rerr != nil {
+			r.err = rerr
+			return false
+		}
+		r.cur.Close()
+		r.cur = cur
+	}
+}
 
-// Err returns the error that ended iteration, if any.
-func (r *Rows) Err() error { return r.cur.Err() }
+// Err returns the error that ended iteration, if any. Stale references
+// are reported as the retryable ErrStaleRead.
+func (r *Rows) Err() error {
+	if r.err != nil {
+		return classifyErr(r.err)
+	}
+	return classifyErr(r.cur.Err())
+}
 
 // Close releases the buffered combination result; further Next calls
 // return false. It is idempotent and safe to defer.

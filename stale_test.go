@@ -1,0 +1,184 @@
+package pascalr
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestQueryRowsStaleRetry proves the one-shot cursor absorbs a single
+// mid-stream invalidation: a row deleted after the cursor opened makes
+// a later dereference stale, the query re-executes transparently, and
+// the stream resumes over the new contents without repeating the
+// already-yielded tuple. Err reports nothing.
+func TestQueryRowsStaleRetry(t *testing.T) {
+	db, err := Open(sampleScript)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := db.QueryRows(context.Background(), `[<e.enr, e.ename> OF EACH e IN employees: (e.enr >= 1)]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rows.Close()
+	if !rows.Next() {
+		t.Fatalf("no first row: %v", rows.Err())
+	}
+	var first int64
+	var name string
+	if err := rows.Scan(&first, &name); err != nil {
+		t.Fatal(err)
+	}
+	// Delete an employee the cursor has not yielded yet, invalidating
+	// its reference mid-stream.
+	victim := int64(2)
+	if first == victim {
+		victim = 3
+	}
+	if err := db.Exec(fmt.Sprintf("employees :- [<%d>];", victim)); err != nil {
+		t.Fatal(err)
+	}
+	got := map[int64]bool{first: true}
+	for rows.Next() {
+		var enr int64
+		var en string
+		if err := rows.Scan(&enr, &en); err != nil {
+			t.Fatal(err)
+		}
+		if got[enr] {
+			t.Fatalf("row %d yielded twice across the retry", enr)
+		}
+		got[enr] = true
+	}
+	if err := rows.Err(); err != nil {
+		t.Fatalf("retry should absorb the invalidation, got %v", err)
+	}
+	if got[victim] {
+		t.Fatalf("deleted employee %d still yielded", victim)
+	}
+	if len(got) != 3 {
+		t.Fatalf("yielded %d employees, want 3 (all minus the deleted one): %v", len(got), got)
+	}
+}
+
+// TestStmtRowsSurfacesStaleRead proves the prepared path does NOT
+// retry: the caller owns the statement, so the invalidation surfaces
+// as the typed, retryable ErrStaleRead.
+func TestStmtRowsSurfacesStaleRead(t *testing.T) {
+	db, err := Open(sampleScript)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stmt, err := db.Prepare(`[<e.enr, e.ename> OF EACH e IN employees: (e.enr >= 1)]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := stmt.Rows(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rows.Close()
+	if !rows.Next() {
+		t.Fatalf("no first row: %v", rows.Err())
+	}
+	var first int64
+	var name string
+	if err := rows.Scan(&first, &name); err != nil {
+		t.Fatal(err)
+	}
+	victim := int64(2)
+	if first == victim {
+		victim = 3
+	}
+	if err := db.Exec(fmt.Sprintf("employees :- [<%d>];", victim)); err != nil {
+		t.Fatal(err)
+	}
+	for rows.Next() {
+	}
+	err = rows.Err()
+	if err == nil {
+		t.Fatal("prepared cursor absorbed the invalidation; want ErrStaleRead")
+	}
+	if !errors.Is(err, ErrStaleRead) {
+		t.Fatalf("want ErrStaleRead, got %v", err)
+	}
+	// Re-executing the statement is the documented recovery.
+	res, err := stmt.Query(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 3 {
+		t.Fatalf("re-execution saw %d employees, want 3", res.Len())
+	}
+}
+
+// TestQueryRowsStaleRetryConcurrent runs streaming readers against a
+// writer mutating the scanned relation, under the race detector: every
+// cursor either completes (absorbing at most one invalidation) or
+// reports the typed ErrStaleRead — never a torn read, a duplicate row,
+// or an unclassified error.
+func TestQueryRowsStaleRetryConcurrent(t *testing.T) {
+	db, err := Open(sampleScript)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const iters = 40
+	var readers, writer sync.WaitGroup
+	stop := make(chan struct{})
+	writer.Add(1)
+	go func() {
+		defer writer.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			// Churn one employee in and out; enr 9 never appears in the
+			// seed population.
+			if err := db.Exec("employees :+ [<9, 'eve', student>];"); err != nil {
+				t.Error(err)
+				return
+			}
+			if err := db.Exec("employees :- [<9>];"); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	for g := 0; g < 4; g++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for i := 0; i < iters; i++ {
+				rows, err := db.QueryRows(context.Background(), `[<e.enr, e.ename> OF EACH e IN employees: (e.enr >= 1)]`)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				seen := map[int64]bool{}
+				for rows.Next() {
+					var enr int64
+					var name string
+					if err := rows.Scan(&enr, &name); err != nil {
+						t.Error(err)
+						break
+					}
+					if seen[enr] {
+						t.Errorf("duplicate row %d across retry", enr)
+					}
+					seen[enr] = true
+				}
+				if err := rows.Err(); err != nil && !errors.Is(err, ErrStaleRead) {
+					t.Errorf("unclassified cursor error: %v", err)
+				}
+				rows.Close()
+			}
+		}()
+	}
+	readers.Wait()
+	close(stop)
+	writer.Wait()
+}

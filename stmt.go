@@ -104,14 +104,17 @@ func (s *Stmt) Query(ctx context.Context, opts ...Option) (*Result, error) {
 	}
 	rel, err := s.plan.EvalWith(ctx, s.override(c))
 	if err != nil {
-		return nil, err
+		return nil, classifyErr(err)
 	}
 	return newResult(rel), nil
 }
 
 // Rows re-executes the compiled plan and returns a streaming cursor:
 // the collection and combination phases run eagerly, and the
-// construction phase is driven one tuple at a time by Next.
+// construction phase is driven one tuple at a time by Next. Unlike the
+// one-shot QueryRows, a prepared cursor performs no stale-read retry —
+// a concurrent writer invalidating the stream surfaces ErrStaleRead
+// from Rows.Err, and the caller decides whether to re-execute.
 func (s *Stmt) Rows(ctx context.Context, opts ...Option) (*Rows, error) {
 	c, err := s.execConfig(opts)
 	if err != nil {
@@ -119,7 +122,7 @@ func (s *Stmt) Rows(ctx context.Context, opts ...Option) (*Rows, error) {
 	}
 	cur, err := s.plan.RowsWith(ctx, s.override(c))
 	if err != nil {
-		return nil, err
+		return nil, classifyErr(err)
 	}
 	return newRows(cur), nil
 }
