@@ -9,6 +9,15 @@
 //
 //	pascald -addr :7583 -http :7584 -university 200
 //	pascald -addr 127.0.0.1:7583 -f schema.pas -f data.pas -max-sessions 64
+//	pascald -data /var/lib/pascald -addr :7583
+//
+// With -data the database is durable: the directory is opened (or
+// created) and recovered to its last durable state, every mutation is
+// write-ahead logged, relation contents spill to on-disk SSTables, and
+// shutdown takes a final checkpoint. -f scripts still run on startup —
+// on a recovered database re-declaring an existing TYPE or VAR is an
+// error, so either seed once into an empty directory or serve -data
+// alone afterwards.
 package main
 
 import (
@@ -39,9 +48,25 @@ func main() {
 	university := flag.Int("university", 0, "populate the Figure 1 sample database at this scale")
 	parallel := flag.Int("parallel", 0, "database-wide collection-phase parallelism default")
 	grace := flag.Duration("grace", 10*time.Second, "graceful-shutdown drain budget")
+	dataDir := flag.String("data", "", "durable data directory (empty = in-memory)")
+	noFsync := flag.Bool("no-fsync", false, "with -data: skip the per-record WAL fsync")
 	flag.Parse()
 
-	db := pascalr.New()
+	var db *pascalr.Database
+	if *dataDir != "" {
+		var opts []pascalr.DirOption
+		if *noFsync {
+			opts = append(opts, pascalr.WithFsyncNever())
+		}
+		var err error
+		if db, err = pascalr.OpenDir(*dataDir, opts...); err != nil {
+			fatal(err)
+		}
+		defer db.Close()
+		fmt.Printf("recovered durable database in %s\n", *dataDir)
+	} else {
+		db = pascalr.New()
+	}
 	if *parallel > 1 {
 		db.SetParallelism(*parallel)
 	}

@@ -388,7 +388,7 @@ func (p *plan) runScanJob(ctx context.Context, job *scanJob, st *stats.Counters)
 func (p *plan) scanSlotRange(ctx context.Context, job *scanJob, tasks []scanTask, st *stats.Counters, lo, hi int) error {
 	var scanErr error
 	n := 0
-	job.rel.ScanSlots(st, lo, hi, func(ref value.Value, tuple []value.Value) bool {
+	err := job.rel.ScanSlots(st, lo, hi, func(ref value.Value, tuple []value.Value) bool {
 		if n%scanCheckInterval == 0 {
 			if err := ctx.Err(); err != nil {
 				scanErr = err
@@ -404,7 +404,10 @@ func (p *plan) scanSlotRange(ctx context.Context, job *scanJob, tasks []scanTask
 		}
 		return true
 	})
-	return scanErr
+	if scanErr != nil {
+		return scanErr
+	}
+	return err
 }
 
 // scanCheckInterval is how many scanned tuples pass between context

@@ -36,6 +36,12 @@ func (p *plan) jobShardSpans(job *scanJob) [][2]int {
 			card = c
 		}
 	}
+	// A disk-resident scan pays more per tuple, so it amortizes the
+	// fork/merge overhead sooner: the backend's access-cost profile
+	// scales the effective cardinality. Shard count moves boundaries
+	// only — results and counters stay bit-identical either way — so
+	// backend costs feeding this decision cannot perturb fingerprints.
+	card *= job.rel.AccessCost().ScanTuple
 	n := sched.ShardCount(card, shardMinTuples, p.par)
 	if n <= 1 {
 		return nil

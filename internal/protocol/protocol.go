@@ -35,6 +35,8 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+
+	"pascalr/internal/value"
 )
 
 // Version is the protocol version announced in the Hello frame.
@@ -197,6 +199,122 @@ func (w *Writer) Value(v any) error {
 		return fmt.Errorf("protocol: cannot encode value of type %T", v)
 	}
 	return nil
+}
+
+// Typed-value tags used by Val/ReadVal: the storage layer's WAL and
+// checkpoint records carry full value.Value payloads (including enums
+// and references), not just the native result conversions.
+const (
+	tagValInt    = 0
+	tagValString = 1
+	tagValBool   = 2
+	tagValEnum   = 3
+	tagValRef    = 4
+)
+
+// Val appends one typed value.Value — the codec the durable storage
+// layer's WAL and checkpoint records are built from.
+func (w *Writer) Val(v value.Value) error {
+	switch v.Kind() {
+	case value.KindInt:
+		w.buf = append(w.buf, tagValInt)
+		w.Int64(v.AsInt())
+	case value.KindString:
+		w.buf = append(w.buf, tagValString)
+		w.String(v.AsString())
+	case value.KindBool:
+		w.buf = append(w.buf, tagValBool)
+		w.Bool(v.AsBool())
+	case value.KindEnum:
+		w.buf = append(w.buf, tagValEnum)
+		w.String(v.EnumType())
+		w.Int64(int64(v.EnumOrd()))
+	case value.KindRef:
+		rel, slot, gen := v.AsRef()
+		w.buf = append(w.buf, tagValRef)
+		w.Uvarint(uint64(rel))
+		w.Uvarint(uint64(slot))
+		w.Uvarint(uint64(gen))
+	default:
+		return fmt.Errorf("protocol: cannot encode %s value", v.Kind())
+	}
+	return nil
+}
+
+// Vals appends a length-prefixed tuple of typed values.
+func (w *Writer) Vals(tuple []value.Value) error {
+	w.Uvarint(uint64(len(tuple)))
+	for _, v := range tuple {
+		if err := w.Val(v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Val reads one typed value.Value.
+func (r *Reader) Val() (value.Value, error) {
+	tag, err := r.Byte()
+	if err != nil {
+		return value.Value{}, err
+	}
+	switch tag {
+	case tagValInt:
+		n, err := r.Int64()
+		return value.Int(n), err
+	case tagValString:
+		s, err := r.String()
+		return value.String_(s), err
+	case tagValBool:
+		b, err := r.Bool()
+		return value.Bool(b), err
+	case tagValEnum:
+		name, err := r.String()
+		if err != nil {
+			return value.Value{}, err
+		}
+		ord, err := r.Int64()
+		if err != nil {
+			return value.Value{}, err
+		}
+		if ord < 0 || ord > 1<<20 {
+			return value.Value{}, fmt.Errorf("protocol: enum ordinal %d out of range", ord)
+		}
+		return value.Enum(name, int(ord)), nil
+	case tagValRef:
+		rel, err1 := r.Uvarint()
+		slot, err2 := r.Uvarint()
+		gen, err3 := r.Uvarint()
+		if err1 != nil || err2 != nil || err3 != nil {
+			return value.Value{}, fmt.Errorf("protocol: truncated ref value")
+		}
+		if rel > 0xFFFF || slot > 0x7FFFFFFF || gen > 0xFFFF {
+			return value.Value{}, fmt.Errorf("protocol: ref value out of range")
+		}
+		return value.Ref(int(rel), int(slot), int(gen)), nil
+	default:
+		return value.Value{}, fmt.Errorf("protocol: unknown typed-value tag %d", tag)
+	}
+}
+
+// Vals reads a length-prefixed tuple of typed values.
+func (r *Reader) Vals() ([]value.Value, error) {
+	n, err := r.Uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(r.Len()) { // every value costs at least one byte
+		return nil, fmt.Errorf("protocol: value count %d exceeds payload", n)
+	}
+	tuple := make([]value.Value, 0, n)
+	for range n {
+		v, err := r.Val()
+		if err != nil {
+			return nil, err
+		}
+		tuple = append(tuple, v)
+	}
+	return tuple, nil
 }
 
 // Opts appends a QueryOpts block.

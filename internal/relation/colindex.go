@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"pascalr/internal/stats"
+	"pascalr/internal/storage"
 	"pascalr/internal/value"
 )
 
@@ -41,8 +42,10 @@ type ColIndex struct {
 }
 
 // CreateIndex declares a permanent index on the named component and
-// backfills it from the current contents. Creating the same index twice
-// is an error.
+// backfills it from the current contents (through the storage backend,
+// so a disk-resident relation backfills from its SSTables). Creating
+// the same index twice is an error. On a durable database the creation
+// is logged, so recovery recreates the index.
 func (r *Relation) CreateIndex(col string) (*ColIndex, error) {
 	r.lock()
 	defer r.unlock()
@@ -54,15 +57,19 @@ func (r *Relation) CreateIndex(col string) (*ColIndex, error) {
 		return nil, fmt.Errorf("relation %s: index on %s already exists", r.sch.Name, col)
 	}
 	ix := &ColIndex{rel: r, col: col, colIdx: ci, eq: make(map[string][]value.Value), st: r.st}
-	for si := range r.slots {
-		if r.slots[si].live {
-			ix.add(r.slots[si].tuple[ci], r.refOf(si))
-		}
+	if err := r.store.Scan(0, r.store.SlotSpan(), func(si int, tuple []value.Value) bool {
+		ix.add(tuple[ci], r.refOf(si))
+		return true
+	}); err != nil {
+		return nil, fmt.Errorf("relation %s: index backfill: %w", r.sch.Name, err)
 	}
 	if r.colIndexes == nil {
 		r.colIndexes = make(map[string]*ColIndex)
 	}
 	r.colIndexes[col] = ix
+	if err := r.logMutation(storage.Record{Op: storage.OpCreateIndex, Rel: r.id, Col: col}); err != nil {
+		return nil, err
+	}
 	return ix, nil
 }
 

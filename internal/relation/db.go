@@ -8,6 +8,7 @@ import (
 	"pascalr/internal/sched"
 	"pascalr/internal/schema"
 	"pascalr/internal/stats"
+	"pascalr/internal/storage"
 	"pascalr/internal/value"
 )
 
@@ -71,8 +72,9 @@ type DB struct {
 	estEpoch   uint64
 	statsEpoch atomic.Uint64
 
-	// async runs drift-triggered histogram rebuilds in the background,
-	// single-flight per relation.
+	// async runs drift-triggered histogram rebuilds (and, for durable
+	// databases, checkpoints and compactions) in the background,
+	// single-flight per key.
 	async *sched.Async
 	// closed marks the database as shut down: no further background
 	// statistics work may be scheduled. Mutators and readers keep
@@ -80,6 +82,15 @@ type DB struct {
 	// storage — but a drift trigger after Close must not resurrect a
 	// background goroutine the shutdown already waited for.
 	closed atomic.Bool
+
+	// dur is the durability state (WAL, checkpoint orchestration) of a
+	// database opened with OpenDB; nil for in-memory databases, which
+	// then skip all logging.
+	dur *durable
+	// replaying is set while OpenDB replays the WAL: logging and
+	// background maintenance are suppressed, so replay is deterministic
+	// and writes nothing.
+	replaying atomic.Bool
 }
 
 // estSnap is one relation's immutable statistics snapshot, tagged with
@@ -100,18 +111,49 @@ func NewDB() *DB {
 }
 
 // Close quiesces the database's background work for shutdown: it waits
-// for in-flight drift-triggered histogram rebuilds to finish and
-// rejects any rebuild scheduled from then on, so no maintenance
-// goroutine can outlive Close or touch the database during teardown.
-// The relations themselves stay readable and writable (Close does not
-// tear down storage — mutations after Close simply run with statistics
-// that no longer re-bucket in the background). Close is idempotent and
-// safe to call concurrently with mutators.
+// for in-flight drift-triggered histogram rebuilds (and checkpoints) to
+// finish and rejects any maintenance scheduled from then on, so no
+// background goroutine can outlive Close or touch the database during
+// teardown. For an in-memory database the relations stay readable and
+// writable (Close does not tear down storage). A durable database
+// additionally takes a final checkpoint and closes its WAL and SSTable
+// handles — the database must not be used afterwards. Close is
+// idempotent and safe to call concurrently with mutators.
 func (d *DB) Close() error {
-	d.closed.Store(true)
+	first := d.closed.CompareAndSwap(false, true)
 	d.async.Close()
-	return nil
+	if d.dur == nil || !first {
+		return nil
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	err := d.checkpointLocked()
+	if d.dur.wal != nil {
+		if cerr := d.dur.wal.Close(); err == nil {
+			err = cerr
+		}
+	}
+	d.catMu.RLock()
+	rels := append([]*Relation(nil), d.byID...)
+	d.catMu.RUnlock()
+	for _, r := range rels {
+		if cerr := r.store.Close(); err == nil {
+			err = cerr
+		}
+	}
+	if err == nil {
+		err = d.dur.err
+	}
+	return err
 }
+
+// Quiesce blocks until the background maintenance scheduled so far —
+// checkpoints, compactions, drift-triggered histogram rebuilds — has
+// drained, without shutting the executor down. Useful before treating
+// the database directory as an on-disk snapshot (backups, crash-image
+// tests); unlike Close it takes no checkpoint and the database remains
+// fully usable.
+func (d *DB) Quiesce() { d.async.Wait() }
 
 // Catalog returns the database's catalog. The catalog itself is not
 // synchronized: callers interleaving declarations with reads (parsing,
@@ -127,7 +169,8 @@ func (d *DB) RLock() { d.mu.RLock() }
 func (d *DB) RUnlock() { d.mu.RUnlock() }
 
 // Create declares a relation variable for the given schema and registers
-// it in the catalog.
+// it in the catalog. On a durable database the relation's slots live in
+// the SSTable-backed disk tier and the declaration is logged.
 func (d *DB) Create(sch *schema.RelSchema) (*Relation, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -137,21 +180,49 @@ func (d *DB) Create(sch *schema.RelSchema) (*Relation, error) {
 		return nil, err
 	}
 	r := New(sch, d.nextID)
+	if d.dur != nil {
+		r.store = storage.NewDisk(d.dur.dir, r.id, d.dur.opts)
+	}
+	d.attach(r)
+	if err := d.logRecord(r, storage.Record{Op: storage.OpCreateRel, Schema: sch}); err != nil {
+		return r, err
+	}
+	return r, nil
+}
+
+// attach wires a freshly built relation into the database: locking,
+// statistics, registration maps. Callers hold mu and catMu exclusively.
+func (d *DB) attach(r *Relation) {
 	r.onMutate = d.bumpVersion
 	r.lk = &d.mu
 	r.st = d.st
-	cols := make([]string, len(sch.Cols))
-	for i, c := range sch.Cols {
-		cols[i] = c.Name
+	if r.stTable == nil {
+		cols := make([]string, len(r.sch.Cols))
+		for i, c := range r.sch.Cols {
+			cols[i] = c.Name
+		}
+		r.stTable = stats.NewTableStats(r.sch.Name, cols)
 	}
-	r.stTable = stats.NewTableStats(sch.Name, cols)
+	r.stTable.SetAccessCost(r.AccessCost())
 	r.owner = d
 	d.nextID++
-	d.rels[sch.Name] = r
+	d.rels[r.sch.Name] = r
 	d.byID = append(d.byID, r)
 	// A new relation must show up in the next Estimator() assembly.
 	d.statsEpoch.Add(1)
-	return r, nil
+}
+
+// DefineType registers a named type, logging the declaration on a
+// durable database so replay reconstructs the catalog. The unlogged
+// Catalog().DefineType path remains for in-memory use; durable callers
+// must come through here.
+func (d *DB) DefineType(t *schema.Type) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.cat.DefineType(t); err != nil {
+		return err
+	}
+	return d.logRecord(nil, storage.Record{Op: storage.OpDefineType, Type: t})
 }
 
 // MustCreate is Create that panics on error, for tests and generators.
@@ -292,7 +363,7 @@ func (d *DB) Estimator() *stats.Estimator {
 // a drift trigger racing shutdown cannot schedule work the shutdown
 // will not wait for.
 func (d *DB) scheduleStatsRebuild(r *Relation) {
-	if d.closed.Load() {
+	if d.closed.Load() || d.replaying.Load() {
 		return
 	}
 	d.async.Submit("stats:"+r.sch.Name, func() { r.rebuildStats() })

@@ -1,0 +1,322 @@
+// Durable databases: OpenDB composes the storage package's pieces — a
+// per-relation disk backend, the write-ahead log, and the checkpoint
+// manifest — into a crash-recoverable DB.
+//
+// # Write path
+//
+// Every effective mutation (DDL included) appends one WAL record under
+// the content write lock, after the in-memory apply: a crash between
+// apply and append simply loses the not-yet-durable tail, and any
+// SSTable a memtable flush wrote for unlogged appends is an orphan the
+// next open removes before replay deterministically recreates it.
+//
+// # Recovery
+//
+// OpenDB loads the checkpoint manifest (schemas, SSTable metadata,
+// permanent-index columns, serialized statistics), removes orphaned
+// table files, and replays the WAL records with Seq beyond the
+// manifest's LastSeq through the ordinary mutators — with logging and
+// background maintenance suppressed — so indexes, statistics, and
+// memtable flush points all land exactly where the live run put them.
+// The recovered state is bit-for-bit the last durable state: a record
+// is either wholly applied or (torn tail, CRC mismatch) wholly
+// dropped, never half-applied.
+//
+// # Checkpoints
+//
+// A checkpoint flushes every memtable, writes a fresh manifest
+// (tmp+rename), truncates the WAL, and unlinks superseded files. The
+// WAL-size trigger schedules it on the database's async executor,
+// single-flight; Close takes a final one.
+package relation
+
+import (
+	"fmt"
+	"os"
+	"sort"
+
+	"pascalr/internal/stats"
+	"pascalr/internal/storage"
+)
+
+// durable is the durability state of a database opened with OpenDB.
+type durable struct {
+	dir  string
+	opts storage.Options
+	wal  *storage.WAL
+	seq  uint64 // last assigned log sequence number
+	// err is the sticky durability failure: set when a WAL append fails
+	// on a path with no error return (Delete), surfaced by Checkpoint
+	// and Close. Guarded by the content write lock like the rest.
+	err error
+}
+
+// OpenDB opens (creating if needed) a durable database in dir and
+// recovers it to its last durable state.
+func OpenDB(dir string, opts storage.Options) (*DB, error) {
+	opts = opts.Defaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	m, haveManifest, err := storage.ReadManifest(dir)
+	if err != nil {
+		return nil, err
+	}
+	// Drop table files no manifest references: flushes that outran the
+	// last checkpoint (replay recreates them) and crashed checkpoints.
+	if err := storage.CleanOrphans(dir, m); err != nil {
+		return nil, err
+	}
+	d := NewDB()
+	d.dur = &durable{dir: dir, opts: opts}
+	d.replaying.Store(true)
+	defer d.replaying.Store(false)
+	var lastSeq uint64
+	if haveManifest {
+		lastSeq = m.LastSeq
+		d.dur.seq = m.LastSeq
+		for _, t := range m.Types {
+			if err := d.cat.DefineType(t); err != nil {
+				return nil, d.openFailed(err)
+			}
+		}
+		for id, rm := range m.Rels {
+			if err := d.openRelFromManifest(id, rm); err != nil {
+				return nil, d.openFailed(err)
+			}
+		}
+	}
+	wal, payloads, err := storage.RecoverWAL(dir, opts.Fsync)
+	if err != nil {
+		return nil, d.openFailed(err)
+	}
+	d.dur.wal = wal
+	for _, p := range payloads {
+		rec, err := storage.DecodeRecord(p)
+		if err != nil {
+			return nil, d.openFailed(fmt.Errorf("relation: WAL replay: %w", err))
+		}
+		if rec.Seq <= lastSeq {
+			// The record predates the checkpoint: a crash between the
+			// manifest rename and the WAL truncation left it behind.
+			// LastSeq makes replay idempotent.
+			continue
+		}
+		if err := d.applyRecord(rec); err != nil {
+			return nil, d.openFailed(fmt.Errorf("relation: WAL replay seq %d: %w", rec.Seq, err))
+		}
+		d.dur.seq = rec.Seq
+	}
+	return d, nil
+}
+
+// openFailed releases whatever OpenDB had opened before failing.
+func (d *DB) openFailed(err error) error {
+	if d.dur.wal != nil {
+		d.dur.wal.Close()
+	}
+	for _, r := range d.byID {
+		r.store.Close()
+	}
+	return err
+}
+
+// openRelFromManifest reconstitutes one relation from its checkpointed
+// state: disk backend, statistics, permanent indexes.
+func (d *DB) openRelFromManifest(id int, rm storage.RelManifest) error {
+	if err := d.cat.DefineRelation(rm.Schema); err != nil {
+		return err
+	}
+	store, err := storage.OpenDisk(d.dur.dir, id, d.dur.opts, rm.Disk)
+	if err != nil {
+		return err
+	}
+	r := New(rm.Schema, id)
+	r.store = store
+	r.live.Store(int64(rm.Disk.Live))
+	if len(rm.Stats) > 0 {
+		ts, err := stats.Unmarshal(rm.Stats)
+		if err != nil {
+			store.Close()
+			return fmt.Errorf("relation %s: checkpointed statistics: %w", rm.Schema.Name, err)
+		}
+		r.stTable = ts
+	}
+	d.catMu.Lock()
+	if id != len(d.byID) {
+		d.catMu.Unlock()
+		store.Close()
+		return fmt.Errorf("relation %s: manifest id %d out of order", rm.Schema.Name, id)
+	}
+	d.attach(r)
+	d.catMu.Unlock()
+	for _, col := range rm.Indexes {
+		if _, err := r.CreateIndex(col); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// applyRecord replays one WAL record through the ordinary mutators
+// (logging is suppressed by the replaying flag). Replay is strict:
+// every logged record was effective when written, so a record that
+// fails or no-ops now means a corrupt or inconsistent log.
+func (d *DB) applyRecord(rec storage.Record) error {
+	switch rec.Op {
+	case storage.OpDefineType:
+		return d.DefineType(rec.Type)
+	case storage.OpCreateRel:
+		_, err := d.Create(rec.Schema)
+		return err
+	case storage.OpCreateIndex:
+		r, ok := d.ByID(rec.Rel)
+		if !ok {
+			return fmt.Errorf("unknown relation id %d", rec.Rel)
+		}
+		_, err := r.CreateIndex(rec.Col)
+		return err
+	case storage.OpInsert:
+		r, ok := d.ByID(rec.Rel)
+		if !ok {
+			return fmt.Errorf("unknown relation id %d", rec.Rel)
+		}
+		_, err := r.Insert(rec.Tuple)
+		return err
+	case storage.OpDelete:
+		r, ok := d.ByID(rec.Rel)
+		if !ok {
+			return fmt.Errorf("unknown relation id %d", rec.Rel)
+		}
+		if !r.Delete(rec.Key) {
+			return fmt.Errorf("logged delete of absent key in %s", r.sch.Name)
+		}
+		return nil
+	case storage.OpAssign:
+		r, ok := d.ByID(rec.Rel)
+		if !ok {
+			return fmt.Errorf("unknown relation id %d", rec.Rel)
+		}
+		return r.Assign(rec.Tuples)
+	}
+	return fmt.Errorf("unknown WAL op %d", rec.Op)
+}
+
+// logRecord appends one record to the WAL, assigning it the next log
+// sequence number. Callers hold the content write lock (mutators run
+// under it), which also serializes the sequence counter; r is the
+// mutated relation (nil for DDL that touches none) — passed explicitly
+// because some callers also hold the catalog lock, so maintenance must
+// not look it up. In-memory databases and replay no-op.
+func (d *DB) logRecord(r *Relation, rec storage.Record) error {
+	if d.dur == nil || d.replaying.Load() {
+		return nil
+	}
+	d.dur.seq++
+	rec.Seq = d.dur.seq
+	payload, err := storage.EncodeRecord(rec)
+	if err == nil {
+		err = d.dur.wal.Append(payload)
+	}
+	if err != nil {
+		if d.dur.err == nil {
+			d.dur.err = err
+		}
+		return err
+	}
+	d.maybeMaintain(r)
+	return nil
+}
+
+// maybeMaintain schedules background storage maintenance after a logged
+// mutation: a checkpoint when the WAL outgrew its budget (bounding
+// replay time), and a compaction when the mutated relation's disk tier
+// would reclaim enough dead records. Both run on the database's async
+// executor, single-flight per key, and take the content write lock
+// themselves.
+func (d *DB) maybeMaintain(r *Relation) {
+	if d.closed.Load() {
+		return
+	}
+	if t := d.dur.opts.CheckpointWALBytes; t > 0 && d.dur.wal.Size() >= t {
+		d.async.Submit("checkpoint", func() { d.Checkpoint() })
+	}
+	if r == nil {
+		return
+	}
+	if disk, ok := r.store.(*storage.Disk); ok && disk.NeedsCompaction() {
+		d.async.Submit("compact:"+r.sch.Name, func() {
+			d.mu.Lock()
+			defer d.mu.Unlock()
+			disk.Compact()
+		})
+	}
+}
+
+// Checkpoint persists the database's complete current state — flushed
+// memtables, a fresh manifest carrying schemas, SSTable metadata,
+// index columns, and serialized statistics — then truncates the WAL
+// and unlinks superseded table files. Recovery after a checkpoint
+// replays only the records logged since. A no-op on in-memory
+// databases. It also surfaces any sticky durability error recorded by
+// mutators without an error channel.
+func (d *DB) Checkpoint() error {
+	if d.dur == nil {
+		return nil
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.checkpointLocked()
+}
+
+func (d *DB) checkpointLocked() error {
+	if d.dur == nil || d.dur.wal == nil {
+		return nil
+	}
+	d.catMu.RLock()
+	rels := append([]*Relation(nil), d.byID...)
+	d.catMu.RUnlock()
+	m := &storage.Manifest{LastSeq: d.dur.seq}
+	for _, name := range d.cat.Types() {
+		t, ok := d.cat.Type(name)
+		if !ok {
+			return fmt.Errorf("relation: checkpoint: type %s vanished", name)
+		}
+		m.Types = append(m.Types, t)
+	}
+	disks := make([]*storage.Disk, len(rels))
+	for i, r := range rels {
+		disk, ok := r.store.(*storage.Disk)
+		if !ok {
+			return fmt.Errorf("relation %s: not disk-backed", r.sch.Name)
+		}
+		if err := disk.Flush(); err != nil {
+			return err
+		}
+		disks[i] = disk
+		blob, err := r.stTable.Marshal()
+		if err != nil {
+			return err
+		}
+		ixCols := make([]string, 0, len(r.colIndexes))
+		for col := range r.colIndexes {
+			ixCols = append(ixCols, col)
+		}
+		sort.Strings(ixCols)
+		m.Rels = append(m.Rels, storage.RelManifest{
+			Schema: r.sch, Disk: disk.Meta(), Indexes: ixCols, Stats: blob,
+		})
+	}
+	if err := storage.WriteManifest(d.dur.dir, m); err != nil {
+		return err
+	}
+	// The manifest rename is the commit point: every logged record is
+	// now redundant.
+	if err := d.dur.wal.Reset(); err != nil {
+		return err
+	}
+	for _, disk := range disks {
+		disk.DropObsolete()
+	}
+	return d.dur.err
+}

@@ -1,0 +1,394 @@
+package relation
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"pascalr/internal/stats"
+	"pascalr/internal/storage"
+	"pascalr/internal/value"
+)
+
+// tortureOpts forces the disk tier to exercise everything: a tiny
+// memtable spills SSTables constantly, automatic checkpoints are off so
+// the WAL holds the whole history, and fsync is off for speed (the
+// torture kills by truncating copies, not the kernel).
+func tortureOpts() storage.Options {
+	return storage.Options{
+		Fsync:              storage.SyncNever,
+		MemtableEntries:    4,
+		CheckpointWALBytes: -1,
+	}
+}
+
+// fingerprint digests everything a query can observe: per relation (in
+// declaration order) the slot layout, every live (slot, tuple) pair in
+// scan order, the live count, and every permanent index's entries in
+// iteration order. Two databases with equal fingerprints answer every
+// query identically, references included.
+func fingerprint(t *testing.T, d *DB) string {
+	t.Helper()
+	h := sha256.New()
+	sink := &stats.Counters{}
+	for _, name := range d.Catalog().Relations() {
+		r, ok := d.Relation(name)
+		if !ok {
+			t.Fatalf("relation %s in catalog but not attached", name)
+		}
+		// ScanSlots is the lock-free snapshot path: its callers must
+		// hold the content read lock (as the engine does), or a
+		// background compaction can swap SSTables mid-scan. Scoped to
+		// the scan only — Indexes() re-acquires the same lock itself.
+		d.RLock()
+		fmt.Fprintf(h, "rel %s span=%d len=%d\n", name, r.SlotSpan(), r.Len())
+		err := r.ScanSlots(sink, 0, r.SlotSpan(), func(ref value.Value, tuple []value.Value) bool {
+			fmt.Fprintf(h, "  %s -> %s\n", value.EncodeKey([]value.Value{ref}), value.EncodeKey(tuple))
+			return true
+		})
+		d.RUnlock()
+		if err != nil {
+			t.Fatalf("scan %s: %v", name, err)
+		}
+		for _, col := range r.Indexes() {
+			ix, _ := r.Index(col)
+			fmt.Fprintf(h, "  index %s len=%d\n", col, ix.Len())
+			// Sorted: a manifest-restored index backfills in slot order,
+			// which may differ from the live run's insertion order while
+			// indexing the identical set.
+			var lines []string
+			ix.Entries(func(v, ref value.Value) {
+				lines = append(lines, value.EncodeKey([]value.Value{v})+"="+value.EncodeKey([]value.Value{ref}))
+			})
+			sort.Strings(lines)
+			for _, l := range lines {
+				fmt.Fprintf(h, "   %s\n", l)
+			}
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// tortureWorkload drives one logged record per step against d and
+// returns the fingerprint after every step: fps[k] is the state with
+// exactly the first k records applied. The mix covers every WAL op —
+// type and relation DDL, index creation, inserts (spilling SSTables at
+// the tiny memtable threshold), deletes, and a bulk assignment.
+func tortureWorkload(t *testing.T, d *DB) []string {
+	t.Helper()
+	fps := []string{fingerprint(t, d)}
+	step := func(what string, err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatalf("%s: %v", what, err)
+		}
+		fps = append(fps, fingerprint(t, d))
+	}
+
+	sch := employeesSchema(t)
+	enum, _ := sch.Cols[2].Type, ""
+	step("define type", d.DefineType(enum))
+	r, err := d.Create(sch)
+	step("create", err)
+	for i := int64(1); i <= 10; i++ {
+		_, err := r.Insert(emp(i, fmt.Sprintf("P%d", i), int(i%4)))
+		step("insert", err)
+	}
+	_, err = r.CreateIndex("estatus")
+	step("create index", err)
+	for _, k := range []int64{3, 7} {
+		if !r.Delete([]value.Value{value.Int(k)}) {
+			t.Fatalf("delete %d ineffective", k)
+		}
+		step("delete", nil)
+	}
+	for i := int64(11); i <= 16; i++ {
+		_, err := r.Insert(emp(i, fmt.Sprintf("Q%d", i), int(i%4)))
+		step("insert", err)
+	}
+	var bulk [][]value.Value
+	for i := int64(1); i <= 7; i++ {
+		bulk = append(bulk, emp(i*2, fmt.Sprintf("R%d", i), int(i%4)))
+	}
+	step("assign", r.Assign(bulk))
+	for i := int64(30); i <= 34; i++ {
+		_, err := r.Insert(emp(i, fmt.Sprintf("S%d", i), int(i%4)))
+		step("insert", err)
+	}
+	if !r.Delete([]value.Value{value.Int(4)}) {
+		t.Fatal("final delete ineffective")
+	}
+	step("delete", nil)
+	return fps
+}
+
+// cloneDirTruncated copies a database directory, truncating the WAL
+// copy to walLen bytes — the state a crash at that write offset leaves
+// behind.
+func cloneDirTruncated(t *testing.T, src, dst string, walLen int) {
+	t.Helper()
+	if err := os.MkdirAll(dst, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		data, err := os.ReadFile(filepath.Join(src, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e.Name() == storage.WALName {
+			data = data[:walLen]
+		}
+		if err := os.WriteFile(filepath.Join(dst, e.Name()), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestWALTortureEveryOffset kills replay at every byte offset of the
+// log: for each prefix length, recovery must land exactly on the state
+// after the last wholly-durable record — never a half-applied one —
+// including SSTables the memtable had spilled past the checkpoint
+// (orphans are dropped and deterministically recreated by replay).
+func TestWALTortureEveryOffset(t *testing.T) {
+	src := t.TempDir()
+	d, err := OpenDB(src, tortureOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fps := tortureWorkload(t, d)
+	if err := d.dur.wal.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	// Abandon d without Close: Close would checkpoint and reset the
+	// log. Drain background maintenance first so the directory is a
+	// static crash image (any compacted tables become orphans that
+	// recovery deletes and replay deterministically recreates).
+	d.Quiesce()
+	walData, err := os.ReadFile(filepath.Join(src, storage.WALName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, valid := storage.ScanFrames(walData); valid != int64(len(walData)) {
+		t.Fatalf("workload WAL has invalid tail: %d of %d bytes valid", valid, len(walData))
+	}
+
+	stride := 1
+	if testing.Short() {
+		stride = 17
+	}
+	scratch := t.TempDir()
+	for off := 0; off <= len(walData); off += stride {
+		payloads, valid := storage.ScanFrames(walData[:off])
+		k := len(payloads)
+		dir := filepath.Join(scratch, fmt.Sprintf("off%d", off))
+		cloneDirTruncated(t, src, dir, off)
+		rd, err := OpenDB(dir, tortureOpts())
+		if err != nil {
+			t.Fatalf("offset %d: reopen: %v", off, err)
+		}
+		if got := fingerprint(t, rd); got != fps[k] {
+			t.Fatalf("offset %d (%d records durable): recovered state diverged", off, k)
+		}
+		// The torn tail must be gone from the recovered log, so the
+		// next append extends a clean prefix.
+		if rd.dur.wal.Size() != valid {
+			t.Fatalf("offset %d: recovered WAL size %d, want %d", off, rd.dur.wal.Size(), valid)
+		}
+		if err := rd.Close(); err != nil {
+			t.Fatalf("offset %d: close: %v", off, err)
+		}
+		if err := os.RemoveAll(dir); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestWALTortureCorruptTail flips single bytes in the log: the CRC must
+// catch the damage, and recovery must stop at the record before the
+// corrupt frame — wholly dropping it, never applying a mangled version.
+func TestWALTortureCorruptTail(t *testing.T) {
+	src := t.TempDir()
+	d, err := OpenDB(src, tortureOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fps := tortureWorkload(t, d)
+	d.Quiesce() // static crash image; see TestWALTortureEveryOffset
+	walData, err := os.ReadFile(filepath.Join(src, storage.WALName))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stride := 13
+	if testing.Short() {
+		stride = 101
+	}
+	scratch := t.TempDir()
+	for pos := 0; pos < len(walData); pos += stride {
+		// Records wholly before the corrupt byte survive; the frame
+		// containing it and everything after must vanish.
+		payloads, _ := storage.ScanFrames(walData[:pos])
+		k := len(payloads)
+		dir := filepath.Join(scratch, fmt.Sprintf("pos%d", pos))
+		cloneDirTruncated(t, src, dir, len(walData))
+		mangled := append([]byte(nil), walData...)
+		mangled[pos] ^= 0x40
+		if err := os.WriteFile(filepath.Join(dir, storage.WALName), mangled, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		rd, err := OpenDB(dir, tortureOpts())
+		if err != nil {
+			t.Fatalf("corrupt byte %d: reopen: %v", pos, err)
+		}
+		if got := fingerprint(t, rd); got != fps[k] {
+			t.Fatalf("corrupt byte %d (%d records intact): recovered state diverged", pos, k)
+		}
+		if err := rd.Close(); err != nil {
+			t.Fatalf("corrupt byte %d: close: %v", pos, err)
+		}
+		if err := os.RemoveAll(dir); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestCheckpointRoundTrip closes cleanly (checkpoint) and reopens: the
+// state, the WAL (now empty), and the persisted table statistics must
+// all come back exactly — recovery must not reset TableStats.
+func TestCheckpointRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	d, err := OpenDB(dir, tortureOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fps := tortureWorkload(t, d)
+	want := fps[len(fps)-1]
+	r, _ := d.Relation("employees")
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	wantStats, err := r.stTable.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rd, err := OpenDB(dir, tortureOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rd.Close()
+	if got := fingerprint(t, rd); got != want {
+		t.Fatal("checkpointed state diverged after reopen")
+	}
+	if rd.dur.wal.Size() != 0 {
+		t.Fatalf("WAL size %d after checkpointed close, want 0", rd.dur.wal.Size())
+	}
+	rr, _ := rd.Relation("employees")
+	gotStats, err := rr.stTable.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gotStats, wantStats) {
+		t.Fatal("recovered TableStats diverged from checkpointed ones")
+	}
+	if rows := rr.stTable.Rows(); rows != rr.Len() {
+		t.Fatalf("recovered stats row count %d, want %d", rows, rr.Len())
+	}
+	// The recovered database keeps working durably.
+	if _, err := rr.Insert(emp(90, "post", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := rd.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCrashReplayPreservesStats recovers without a checkpoint: pure WAL
+// replay must rebuild the statistics through the same observations the
+// live run made.
+func TestCrashReplayPreservesStats(t *testing.T) {
+	dir := t.TempDir()
+	d, err := OpenDB(dir, tortureOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tortureWorkload(t, d)
+	r, _ := d.Relation("employees")
+	wantStats, err := r.stTable.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.dur.wal.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	// No Close: simulate a kill. Drain maintenance so the abandoned
+	// database stops touching the directory the recovered one reads.
+	d.Quiesce()
+	rd, err := OpenDB(dir, tortureOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rd.Close()
+	rr, _ := rd.Relation("employees")
+	gotStats, err := rr.stTable.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gotStats, wantStats) {
+		t.Fatal("replayed TableStats diverged from the live run's")
+	}
+}
+
+// TestDurableMaintenance exercises the automatic paths the torture
+// tests disable: WAL-size-triggered checkpoints and compaction of a
+// delete-heavy disk tier, racing ordinary traffic.
+func TestDurableMaintenance(t *testing.T) {
+	dir := t.TempDir()
+	opts := storage.Options{
+		Fsync:              storage.SyncNever,
+		MemtableEntries:    8,
+		CheckpointWALBytes: 512,
+	}
+	d, err := OpenDB(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.DefineType(employeesSchema(t).Cols[2].Type); err != nil {
+		t.Fatal(err)
+	}
+	r, err := d.Create(employeesSchema(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(1); i <= 99; i++ {
+		if _, err := r.Insert(emp(i, fmt.Sprintf("N%d", i), int(i%4))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := int64(1); i <= 90; i++ {
+		if !r.Delete([]value.Value{value.Int(i)}) {
+			t.Fatalf("delete %d ineffective", i)
+		}
+	}
+	want := fingerprint(t, d)
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rd, err := OpenDB(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rd.Close()
+	if got := fingerprint(t, rd); got != want {
+		t.Fatal("state diverged across checkpoint/compaction cycle")
+	}
+}

@@ -1,5 +1,5 @@
-// Package relation implements PASCAL/R's in-memory relation variables:
-// slotted tuple storage with stable element references (the paper's
+// Package relation implements PASCAL/R's relation variables: slotted
+// tuple storage with stable element references (the paper's
 // @rel[keyval] construct), a primary key index that backs selected
 // variables rel[keyval], and the insert (:+), delete (:-), and assign
 // (:=) operators.
@@ -8,11 +8,15 @@
 // processor: the collection phase compresses records to references, and
 // the combination phase manipulates only reference relations. A
 // reference stays valid until its element is deleted; dereferencing a
-// stale reference is detected through per-slot generation counters.
+// stale reference is detected through the storage backend's append-only
+// slot discipline (slots never revive, so a live slot is always at
+// generation zero).
 //
-// Relations created through DB.Create share the database's content
-// RWMutex (see the locking discipline on DB): exported mutators and
-// readers lock per call, while the snapshot accessors (ScanSlots,
+// Tuples live in a pluggable storage.Backend: the in-memory slot array
+// by default, or the SSTable-backed disk tier for durable databases
+// (OpenDB). Relations created through DB.Create share the database's
+// content RWMutex (see the locking discipline on DB): exported mutators
+// and readers lock per call, while the snapshot accessors (ScanSlots,
 // SlotSpan, deref via DB.Deref) rely on the caller holding the database
 // read lock. Standalone relations (New) carry no lock and stay as cheap
 // as before — the engine's per-execution result relations are built
@@ -27,30 +31,23 @@ import (
 
 	"pascalr/internal/schema"
 	"pascalr/internal/stats"
+	"pascalr/internal/storage"
 	"pascalr/internal/value"
 )
 
 // ErrStale marks a dereference of a reference whose element was deleted
-// (or replaced by an assignment) after the reference was issued —
-// detected through per-slot generation counters. Under concurrent
-// writers a query's construction phase can observe it; the engine's
-// materializing path retries against a fresh snapshot, while streaming
-// cursors surface it to the caller.
+// (or replaced by an assignment) after the reference was issued. Under
+// concurrent writers a query's construction phase can observe it; the
+// engine's materializing path retries against a fresh snapshot, while
+// streaming cursors surface it to the caller.
 var ErrStale = errors.New("stale reference")
-
-type slot struct {
-	tuple []value.Value
-	gen   int
-	live  bool
-}
 
 // Relation is one relation variable: a set of identically structured
 // elements with a declared key.
 type Relation struct {
 	sch   *schema.RelSchema
-	id    int // catalog id used inside reference values
-	slots []slot
-	byKey map[string]int // encoded key -> slot index
+	id    int             // catalog id used inside reference values
+	store storage.Backend // slot storage (memory by default)
 	live  atomic.Int64
 
 	colIndexes map[string]*ColIndex // permanent indexes, by component
@@ -64,7 +61,7 @@ type Relation struct {
 	// insert, delete, and assignment under the content write lock; nil
 	// for standalone relations, which skip all statistics work. owner
 	// points back at the database for drift-triggered background
-	// rebuilds.
+	// rebuilds and write-ahead logging.
 	stTable *stats.TableStats
 	owner   *DB
 	// mutCount counts this relation's content mutations — the
@@ -79,13 +76,14 @@ type Relation struct {
 	st *stats.Counters
 }
 
-// New creates an empty relation with the given schema and catalog id.
-// The id must fit in 16 bits (it is packed into reference values).
+// New creates an empty relation with the given schema and catalog id,
+// backed by in-memory slot storage. The id must fit in 16 bits (it is
+// packed into reference values).
 func New(sch *schema.RelSchema, id int) *Relation {
 	if id < 0 || id > 0xFFFF {
 		panic(fmt.Sprintf("relation: id %d out of range", id))
 	}
-	return &Relation{sch: sch, id: id, byKey: make(map[string]int)}
+	return &Relation{sch: sch, id: id, store: storage.NewMemory()}
 }
 
 func (r *Relation) lock() {
@@ -143,6 +141,15 @@ func (r *Relation) setStats(st *stats.Counters) {
 	}
 }
 
+// AccessCost returns the storage backend's access-cost profile, in
+// units where an in-memory slot read is 1.0. The shard balancer budgets
+// finer work units for expensive backends; plan shape does not consult
+// it (see stats.CostProfile).
+func (r *Relation) AccessCost() stats.CostProfile {
+	c := r.store.Costs()
+	return stats.CostProfile{ScanTuple: c.ScanTuple, Probe: c.Probe}
+}
+
 // Insert implements the :+ operator for a single element. Inserting an
 // element whose key is present with identical non-key components is a
 // no-op (relations are sets); a key collision with different components
@@ -150,26 +157,38 @@ func (r *Relation) setStats(st *stats.Counters) {
 func (r *Relation) Insert(tuple []value.Value) (value.Value, error) {
 	r.lock()
 	defer r.unlock()
-	return r.insert(tuple)
+	ref, added, err := r.insert(tuple)
+	if err == nil && added {
+		err = r.logMutation(storage.Record{Op: storage.OpInsert, Rel: r.id, Tuple: tuple})
+	}
+	return ref, err
 }
 
-func (r *Relation) insert(tuple []value.Value) (value.Value, error) {
+// insert applies one insertion without logging; it reports whether the
+// relation actually changed (false for the idempotent re-insert of an
+// identical element).
+func (r *Relation) insert(tuple []value.Value) (value.Value, bool, error) {
 	if err := r.sch.CheckTuple(tuple); err != nil {
-		return value.Value{}, err
+		return value.Value{}, false, err
 	}
 	k := r.sch.EncodeKeyOf(tuple)
-	if si, ok := r.byKey[k]; ok {
-		if tuplesEqual(r.slots[si].tuple, tuple) {
-			return r.refOf(si), nil
+	if si, ok := r.store.LookupKey(k); ok {
+		existing, _, err := r.store.Get(si)
+		if err != nil {
+			return value.Value{}, false, err
 		}
-		return value.Value{}, fmt.Errorf("relation %s: key %s already present with different components",
+		if tuplesEqual(existing, tuple) {
+			return r.refOf(si), false, nil
+		}
+		return value.Value{}, false, fmt.Errorf("relation %s: key %s already present with different components",
 			r.sch.Name, formatKey(r.sch, tuple))
 	}
 	cp := make([]value.Value, len(tuple))
 	copy(cp, tuple)
-	r.slots = append(r.slots, slot{tuple: cp, live: true})
-	si := len(r.slots) - 1
-	r.byKey[k] = si
+	si, err := r.store.Append(k, cp)
+	if err != nil {
+		return value.Value{}, false, err
+	}
 	r.live.Add(1)
 	ref := r.refOf(si)
 	for _, ix := range r.colIndexes {
@@ -177,7 +196,7 @@ func (r *Relation) insert(tuple []value.Value) (value.Value, error) {
 	}
 	drifted := r.stTable.ObserveInsert(si, cp)
 	r.mutated(drifted)
-	return ref, nil
+	return ref, true, nil
 }
 
 // Delete implements the :- operator for a single element identified by
@@ -186,18 +205,36 @@ func (r *Relation) insert(tuple []value.Value) (value.Value, error) {
 func (r *Relation) Delete(keyVals []value.Value) bool {
 	r.lock()
 	defer r.unlock()
-	si, ok := r.byKey[value.EncodeKey(keyVals)]
+	if !r.delete(keyVals) {
+		return false
+	}
+	// Delete's boolean signature has no error channel; a WAL failure is
+	// recorded as the database's sticky durability error (surfaced by
+	// Checkpoint and Close).
+	_ = r.logMutation(storage.Record{Op: storage.OpDelete, Rel: r.id, Key: keyVals})
+	return true
+}
+
+// delete applies one deletion without logging.
+func (r *Relation) delete(keyVals []value.Value) bool {
+	k := value.EncodeKey(keyVals)
+	si, ok := r.store.LookupKey(k)
 	if !ok {
 		return false
 	}
-	for _, ix := range r.colIndexes {
-		ix.remove(r.slots[si].tuple[ix.colIdx], r.refOf(si))
+	tuple, live, err := r.store.Get(si)
+	if err != nil || !live {
+		return false
 	}
-	drifted := r.stTable.ObserveDelete(si, r.slots[si].tuple)
-	r.slots[si].live = false
-	r.slots[si].gen++
-	r.slots[si].tuple = nil
-	delete(r.byKey, value.EncodeKey(keyVals))
+	for _, ix := range r.colIndexes {
+		ix.remove(tuple[ix.colIdx], r.refOf(si))
+	}
+	drifted := r.stTable.ObserveDelete(si, tuple)
+	if err := r.store.Delete(si, k); err != nil {
+		// Neither backend can fail here today (deletes touch in-memory
+		// structures only); fail loudly if one ever does.
+		panic(fmt.Sprintf("relation %s: delete slot %d: %v", r.sch.Name, si, err))
+	}
 	r.live.Add(-1)
 	r.mutated(drifted)
 	return true
@@ -205,23 +242,36 @@ func (r *Relation) Delete(keyVals []value.Value) bool {
 
 // Assign implements the := operator: it replaces the relation's contents
 // with the given tuples. All previously issued references become stale.
+// Validation (types and intra-list key conflicts) happens before
+// anything is destroyed, so a failed assignment leaves the contents
+// untouched.
 func (r *Relation) Assign(tuples [][]value.Value) error {
 	r.lock()
 	defer r.unlock()
-	for _, t := range tuples {
+	if err := r.assign(tuples); err != nil {
+		return err
+	}
+	return r.logMutation(storage.Record{Op: storage.OpAssign, Rel: r.id, Tuples: tuples})
+}
+
+// assign applies one assignment without logging.
+func (r *Relation) assign(tuples [][]value.Value) error {
+	byKey := make(map[string]int, len(tuples))
+	for i, t := range tuples {
 		if err := r.sch.CheckTuple(t); err != nil {
 			return err
 		}
+		k := r.sch.EncodeKeyOf(t)
+		if j, dup := byKey[k]; dup && !tuplesEqual(tuples[j], t) {
+			return fmt.Errorf("relation %s: key %s already present with different components",
+				r.sch.Name, formatKey(r.sch, t))
+		}
+		byKey[k] = i
 	}
 	// Invalidate everything currently stored.
-	for i := range r.slots {
-		if r.slots[i].live {
-			r.slots[i].live = false
-			r.slots[i].gen++
-			r.slots[i].tuple = nil
-		}
+	if err := r.store.Reset(); err != nil {
+		return err
 	}
-	r.byKey = make(map[string]int, len(tuples))
 	r.live.Store(0)
 	for _, ix := range r.colIndexes {
 		ix.reset()
@@ -229,11 +279,21 @@ func (r *Relation) Assign(tuples [][]value.Value) error {
 	r.stTable.Reset()
 	r.mutated(false)
 	for _, t := range tuples {
-		if _, err := r.insert(t); err != nil {
+		if _, _, err := r.insert(t); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// logMutation appends one WAL record for this relation's mutation when
+// the owning database is durable; a no-op for standalone relations and
+// in-memory databases. Called under the content write lock.
+func (r *Relation) logMutation(rec storage.Record) error {
+	if r.owner == nil {
+		return nil
+	}
+	return r.owner.logRecord(r, rec)
 }
 
 // Lookup implements the selected variable rel[keyval]: it returns the
@@ -241,7 +301,7 @@ func (r *Relation) Assign(tuples [][]value.Value) error {
 func (r *Relation) Lookup(keyVals []value.Value) (value.Value, bool) {
 	r.rlock()
 	defer r.runlock()
-	si, ok := r.byKey[value.EncodeKey(keyVals)]
+	si, ok := r.store.LookupKey(value.EncodeKey(keyVals))
 	if !ok {
 		return value.Value{}, false
 	}
@@ -252,11 +312,15 @@ func (r *Relation) Lookup(keyVals []value.Value) (value.Value, bool) {
 func (r *Relation) Get(keyVals []value.Value) ([]value.Value, bool) {
 	r.rlock()
 	defer r.runlock()
-	si, ok := r.byKey[value.EncodeKey(keyVals)]
+	si, ok := r.store.LookupKey(value.EncodeKey(keyVals))
 	if !ok {
 		return nil, false
 	}
-	return r.slots[si].tuple, true
+	tuple, live, err := r.store.Get(si)
+	if err != nil || !live {
+		return nil, false
+	}
+	return tuple, true
 }
 
 // Deref regains the element from a reference (the postfix @ operator).
@@ -270,19 +334,30 @@ func (r *Relation) Deref(ref value.Value) ([]value.Value, error) {
 
 // deref is Deref without the lock, for callers that hold the database
 // read lock themselves (DB.Deref under the construction phase).
+//
+// Staleness detection leans on the backend's append-only discipline:
+// slots are never reused, so every live element is at generation zero.
+// A reference carrying a non-zero generation predates that invariant
+// (it cannot have been minted here) and is stale by construction.
 func (r *Relation) deref(ref value.Value) ([]value.Value, error) {
 	rel, si, gen := ref.AsRef()
 	if rel != r.id {
 		return nil, fmt.Errorf("relation %s: reference belongs to relation id %d", r.sch.Name, rel)
 	}
-	if si < 0 || si >= len(r.slots) {
+	if si < 0 || si >= r.store.SlotSpan() {
 		return nil, fmt.Errorf("relation %s: reference slot %d out of range", r.sch.Name, si)
 	}
-	s := &r.slots[si]
-	if !s.live || s.gen != gen {
+	if gen != 0 {
 		return nil, fmt.Errorf("relation %s: %w to slot %d", r.sch.Name, ErrStale, si)
 	}
-	return s.tuple, nil
+	tuple, live, err := r.store.Get(si)
+	if err != nil {
+		return nil, fmt.Errorf("relation %s: slot %d: %w", r.sch.Name, si, err)
+	}
+	if !live {
+		return nil, fmt.Errorf("relation %s: %w to slot %d", r.sch.Name, ErrStale, si)
+	}
+	return tuple, nil
 }
 
 // Scan iterates the elements in insertion order, calling fn with each
@@ -294,7 +369,7 @@ func (r *Relation) Scan(fn func(ref value.Value, tuple []value.Value) bool) {
 	r.rlock()
 	defer r.runlock()
 	r.st.CountScan(r.sch.Name)
-	r.scanSlots(r.st, 0, len(r.slots), fn)
+	_ = r.scanSlots(r.st, 0, r.store.SlotSpan(), fn)
 }
 
 // ScanStats is Scan with an explicit counter sink, so concurrent
@@ -305,40 +380,31 @@ func (r *Relation) ScanStats(st *stats.Counters, fn func(ref value.Value, tuple 
 	r.rlock()
 	defer r.runlock()
 	st.CountScan(r.sch.Name)
-	r.scanSlots(st, 0, len(r.slots), fn)
+	_ = r.scanSlots(st, 0, r.store.SlotSpan(), fn)
 }
 
 // SlotSpan returns the exclusive upper bound of slot indexes, the range
 // ScanSlots shards partition. Callers must hold the database read lock
 // (or otherwise own the relation exclusively).
-func (r *Relation) SlotSpan() int { return len(r.slots) }
+func (r *Relation) SlotSpan() int { return r.store.SlotSpan() }
 
 // ScanSlots scans the live slots in [lo, hi) in slot order, counting
 // tuples (but no scan start — the caller decides what one logical scan
 // is, so a sharded scan counts once) into st. It takes no lock: callers
 // must hold the database read lock. Sharding a scan into consecutive
 // slot ranges visits exactly the elements of a full scan, in an order
-// that concatenates shard-locally to the serial order.
-func (r *Relation) ScanSlots(st *stats.Counters, lo, hi int, fn func(ref value.Value, tuple []value.Value) bool) {
-	r.scanSlots(st, lo, hi, fn)
+// that concatenates shard-locally to the serial order. The error is the
+// backend's (disk-tier reads can fail); fn stopping early is not an
+// error.
+func (r *Relation) ScanSlots(st *stats.Counters, lo, hi int, fn func(ref value.Value, tuple []value.Value) bool) error {
+	return r.scanSlots(st, lo, hi, fn)
 }
 
-func (r *Relation) scanSlots(st *stats.Counters, lo, hi int, fn func(ref value.Value, tuple []value.Value) bool) {
-	if lo < 0 {
-		lo = 0
-	}
-	if hi > len(r.slots) {
-		hi = len(r.slots)
-	}
-	for si := lo; si < hi; si++ {
-		if !r.slots[si].live {
-			continue
-		}
+func (r *Relation) scanSlots(st *stats.Counters, lo, hi int, fn func(ref value.Value, tuple []value.Value) bool) error {
+	return r.store.Scan(lo, hi, func(si int, tuple []value.Value) bool {
 		st.CountTuples(1)
-		if !fn(r.refOf(si), r.slots[si].tuple) {
-			return
-		}
-	}
+		return fn(r.refOf(si), tuple)
+	})
 }
 
 // Refs returns the references of all elements in insertion order,
@@ -432,10 +498,13 @@ func (r *Relation) rebuildStatsLocked() *stats.TableStats {
 		ts = stats.NewTableStats(r.sch.Name, cols)
 	}
 	rb := ts.NewRebuild()
-	for si := range r.slots {
-		if r.slots[si].live {
-			rb.Add(si, r.slots[si].tuple)
-		}
+	// A disk-tier read error aborts the rescan; committing a partial
+	// rebuild would be worse than keeping the drifted statistics.
+	if err := r.store.Scan(0, r.store.SlotSpan(), func(si int, tuple []value.Value) bool {
+		rb.Add(si, tuple)
+		return true
+	}); err != nil {
+		return ts
 	}
 	rb.Commit()
 	if r.stTable != nil {
@@ -450,8 +519,10 @@ func (r *Relation) rebuildStatsLocked() *stats.TableStats {
 	return ts
 }
 
+// refOf mints the reference of slot si. Generation is always zero: the
+// backend never revives a slot, so liveness alone decides staleness.
 func (r *Relation) refOf(si int) value.Value {
-	return value.Ref(r.id, si, r.slots[si].gen)
+	return value.Ref(r.id, si, 0)
 }
 
 func tuplesEqual(a, b []value.Value) bool {

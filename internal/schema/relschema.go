@@ -140,9 +140,10 @@ func (s *RelSchema) String() string {
 
 // Catalog holds a database's type and relation declarations.
 type Catalog struct {
-	types    map[string]*Type
-	rels     map[string]*RelSchema
-	relOrder []string
+	types     map[string]*Type
+	rels      map[string]*RelSchema
+	relOrder  []string
+	typeOrder []string
 }
 
 // NewCatalog returns an empty catalog.
@@ -159,7 +160,16 @@ func (c *Catalog) DefineType(t *Type) error {
 		return fmt.Errorf("schema: type %s already declared", t.Name)
 	}
 	c.types[t.Name] = t
+	c.typeOrder = append(c.typeOrder, t.Name)
 	return nil
+}
+
+// Types returns the declared type names in declaration order — the
+// deterministic iteration the durable checkpoint serializer needs.
+func (c *Catalog) Types() []string {
+	out := make([]string, len(c.typeOrder))
+	copy(out, c.typeOrder)
+	return out
 }
 
 // Type looks up a named type.

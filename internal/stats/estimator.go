@@ -17,6 +17,7 @@ package stats
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 
@@ -229,17 +230,19 @@ func (e *Estimator) JoinSelectivity(lrel, lcol string, op value.CmpOp, rrel, rco
 
 // histEqJoin computes the equi-join selectivity from the two columns'
 // distributions. Exact mode on both sides gives the true match
-// probability of the observed distributions; disjoint observed bounds
-// short-circuit to near zero.
+// probability of the observed distributions; exact against equi-depth
+// probes each frequency-table value into the other side's buckets; two
+// equi-depth histograms convolve bucket against bucket; disjoint
+// observed bounds short-circuit to near zero.
 func (e *Estimator) histEqJoin(lrel, lcol, rrel, rcol string) (float64, bool) {
 	lt, rt := e.Table(lrel), e.Table(rrel)
 	lc, rc := lt.col(lcol), rt.col(rcol)
 	if lc == nil || rc == nil {
 		return 0, false
 	}
-	// Copy each frequency table under its own lock, one at a time —
-	// never holding both locks — then probe the bigger copy with the
-	// smaller. Both tables are bounded by MaxExactValues entries.
+	// Copy each side's distribution under its own lock, one at a time —
+	// never holding both locks. Frequency tables are bounded by
+	// MaxExactValues entries, histograms by their bucket budget.
 	lPairs, lN, lok := snapshotExact(lt, lc)
 	rPairs, rN, rok := snapshotExact(rt, rc)
 	if lok && rok && lN > 0 && rN > 0 {
@@ -264,6 +267,18 @@ func (e *Estimator) histEqJoin(lrel, lcol, rrel, rcol string) (float64, bool) {
 		}
 		return sel, true
 	}
+	lB, lLo, lbN, lbok := snapshotBuckets(lt, lc)
+	rB, rLo, rbN, rbok := snapshotBuckets(rt, rc)
+	switch {
+	case lok && rbok && lN > 0 && rbN > 0:
+		// Exact against equi-depth: Σ f_l(v)·f̂_r(v), probing each known
+		// value into the other side's covering bucket.
+		return probeBuckets(lPairs, lN, rB, rLo, rbN), true
+	case rok && lbok && rN > 0 && lbN > 0:
+		return probeBuckets(rPairs, rN, lB, lLo, lbN), true
+	case lbok && rbok && lbN > 0 && rbN > 0:
+		return convolveBuckets(lB, lLo, lbN, rB, rLo, rbN), true
+	}
 	// Bounds disjointness: if the observed value ranges cannot overlap,
 	// almost nothing joins.
 	lmn, lmx, ok1 := e.Table(lrel).Col(lcol).Bounds()
@@ -278,6 +293,156 @@ func (e *Estimator) histEqJoin(lrel, lcol, rrel, rcol string) (float64, bool) {
 		}
 	}
 	return 0, false
+}
+
+// snapshotBuckets copies a column's equi-depth histogram under the
+// table lock; ok is false when the column has no buckets (exact or
+// bounds-only mode).
+func snapshotBuckets(t *TableStats, c *colStats) ([]bucket, float64, int, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if c.counts != nil || len(c.buckets) == 0 {
+		return nil, 0, 0, false
+	}
+	return append([]bucket(nil), c.buckets...), c.lo, c.n, true
+}
+
+// probeBuckets estimates Σ f_exact(v)·f̂_bucketed(v): each frequency-
+// table value contributes its own fraction times the bucketed side's
+// point estimate at that value (bucket count spread over the bucket's
+// distinct values — the same model eqFraction uses).
+func probeBuckets(pairs []valCount, pn int, bkts []bucket, blo float64, bn int) float64 {
+	n := float64(bn)
+	hi := bkts[len(bkts)-1].upper
+	sel := 0.0
+	for _, p := range pairs {
+		ord, ok := ordinal(p.v)
+		if !ok {
+			continue // non-ordinal value cannot be in an ordinal histogram
+		}
+		fl := float64(p.n) / float64(pn)
+		var fr float64
+		if ord < blo || ord > hi {
+			fr = 0.5 / n // outside the observed domain: near zero, never zero
+		} else {
+			b := bkts[bucketIndex(bkts, ord)]
+			d := b.distinct
+			if d < 1 {
+				d = 1
+			}
+			fr = float64(b.count) / n / float64(d)
+		}
+		sel += fl * fr
+	}
+	if sel <= 0 {
+		sel = 1 / (float64(pn) * n)
+	}
+	return sel
+}
+
+// histSeg is one equi-depth bucket prepared for convolution: either a
+// point mass (all rows at one value) or an interval (lo, up] whose rows
+// and distinct values smear uniformly.
+type histSeg struct {
+	lo, up   float64
+	count    int
+	distinct int
+	point    bool
+}
+
+// histSegs expands buckets into segments, recovering each bucket's
+// lower bound from its predecessor. Single-distinct buckets — the
+// heavy hitters the equi-depth build isolates — become point masses, so
+// partial overlaps cannot dilute them.
+func histSegs(bkts []bucket, lo float64) []histSeg {
+	segs := make([]histSeg, 0, len(bkts))
+	prev := lo
+	for _, b := range bkts {
+		s := histSeg{lo: prev, up: b.upper, count: b.count, distinct: b.distinct}
+		if b.distinct <= 1 || b.upper <= s.lo {
+			s.point, s.lo = true, b.upper
+		}
+		segs = append(segs, s)
+		prev = b.upper
+	}
+	return segs
+}
+
+// convolveBuckets estimates the equi-join selectivity of two equi-depth
+// histograms: every bucket pair's ordinal overlap contributes the rows
+// both sides place there, matched through the overlap's distinct-value
+// count (containment assumption — each value on the sparser side finds
+// a partner). Each join value lies in exactly one bucket per side, so
+// summing over pairs counts nothing twice. O(HistBuckets²).
+func convolveBuckets(lb []bucket, llo float64, ln int, rb []bucket, rlo float64, rn int) float64 {
+	ls, rs := histSegs(lb, llo), histSegs(rb, rlo)
+	nl, nr := float64(ln), float64(rn)
+	sel := 0.0
+	for _, a := range ls {
+		for _, b := range rs {
+			sel += segMatch(a, b, nl, nr)
+		}
+	}
+	if sel <= 0 {
+		sel = 1 / (nl * nr) // disjoint histograms: near zero, never zero
+	}
+	return sel
+}
+
+// segMatch is one bucket pair's contribution to the join selectivity.
+func segMatch(a, b histSeg, nl, nr float64) float64 {
+	switch {
+	case a.point && b.point:
+		if a.up == b.up {
+			return (float64(a.count) / nl) * (float64(b.count) / nr)
+		}
+		return 0
+	case a.point:
+		return pointInSeg(a, b, nl, nr)
+	case b.point:
+		return pointInSeg(b, a, nr, nl)
+	}
+	lo := math.Max(a.lo, b.lo)
+	up := math.Min(a.up, b.up)
+	if up <= lo {
+		return 0
+	}
+	fa := (up - lo) / (a.up - a.lo)
+	fb := (up - lo) / (b.up - b.lo)
+	rowsA := float64(a.count) * fa / nl
+	rowsB := float64(b.count) * fb / nr
+	d := math.Max(float64(a.distinct)*fa, float64(b.distinct)*fb)
+	if d < 1 {
+		d = 1
+	}
+	return rowsA * rowsB / d
+}
+
+// pointInSeg matches a point-mass bucket against an interval bucket.
+func pointInSeg(p, s histSeg, np, ns float64) float64 {
+	if p.up <= s.lo || p.up > s.up {
+		return 0
+	}
+	d := s.distinct
+	if d < 1 {
+		d = 1
+	}
+	return (float64(p.count) / np) * (float64(s.count) / ns / float64(d))
+}
+
+// bucketIndex returns the index of the bucket covering ord (clamped to
+// the last bucket), mirroring colStats.bucketFor for snapshot slices.
+func bucketIndex(bkts []bucket, ord float64) int {
+	lo, hi := 0, len(bkts)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if bkts[mid].upper < ord {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
 }
 
 // snapshotExact copies a column's exact frequency table under the table

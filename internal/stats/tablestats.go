@@ -68,6 +68,18 @@ func (s *slotDensity) clone() slotDensity {
 	return slotDensity{stripe: s.stripe, live: append([]int32(nil), s.live...)}
 }
 
+// CostProfile describes the relative per-tuple access costs of the
+// storage backend holding a relation: how expensive one scanned tuple
+// and one point lookup are, in units where the in-memory backend is
+// 1.0. The planner's shard balancer consults it so a disk-resident
+// relation splits into proportionally finer work units; plan *shape*
+// (index choice, scan order) deliberately does not read it, because
+// index and range structures are RAM-resident on every backend.
+type CostProfile struct {
+	ScanTuple float64
+	Probe     float64
+}
+
 // TableStats is one relation's live statistics: cardinality, per-column
 // histograms, and slot density. All methods are safe for concurrent
 // use; mutators are expected to be serialized by the storage layer's
@@ -81,6 +93,7 @@ type TableStats struct {
 	cols    map[string]*colStats
 	colList []string
 	slots   slotDensity
+	access  CostProfile // backend access costs; zero until SetAccessCost
 
 	drift    int // mutations since the last (re)build
 	baseRows int // rows at the last (re)build
@@ -97,6 +110,36 @@ func NewTableStats(name string, cols []string) *TableStats {
 		t.cols[c] = newColStats()
 	}
 	return t
+}
+
+// SetAccessCost records the access-cost profile of the storage backend
+// currently holding the relation. The relation layer calls it when a
+// relation is attached to (or migrated between) backends.
+func (t *TableStats) SetAccessCost(p CostProfile) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.access = p
+	t.mu.Unlock()
+}
+
+// AccessCost returns the backend access-cost profile, defaulting to
+// in-memory units (1.0/1.0) when none was recorded.
+func (t *TableStats) AccessCost() CostProfile {
+	if t == nil {
+		return CostProfile{ScanTuple: 1, Probe: 1}
+	}
+	t.mu.RLock()
+	p := t.access
+	t.mu.RUnlock()
+	if p.ScanTuple <= 0 {
+		p.ScanTuple = 1
+	}
+	if p.Probe <= 0 {
+		p.Probe = 1
+	}
+	return p
 }
 
 // Rows returns the live cardinality.
@@ -274,6 +317,7 @@ func (t *TableStats) Snapshot() *TableStats {
 		cols:         make(map[string]*colStats, len(t.cols)),
 		colList:      append([]string(nil), t.colList...),
 		slots:        t.slots.clone(),
+		access:       t.access,
 		drift:        t.drift,
 		baseRows:     t.baseRows,
 		degradedCols: t.degradedCols,

@@ -1,0 +1,91 @@
+package storage
+
+import (
+	"hash/fnv"
+	"math"
+)
+
+// bloom is a fixed-parameter bloom filter over encoded primary keys,
+// sized at build time for ~1% false positives (about 10 bits and 7
+// probes per key). Each SSTable carries one so a key lookup that misses
+// every memtable can skip the table — and its I/O — without reading a
+// single record: the negative-probe fast path the LSM read amplification
+// story depends on.
+type bloom struct {
+	bits  []uint64
+	k     int
+	nbits uint64
+}
+
+const (
+	bloomBitsPerKey = 10
+	bloomHashes     = 7
+)
+
+// newBloom sizes an empty filter for n keys. The bit count rounds up to
+// whole 64-bit words: the serialized form carries only the words, and
+// bloomFromParts derives nbits from their count, so the two must agree
+// or probes would hash modulo a different size than adds did.
+func newBloom(n int) *bloom {
+	nbits := uint64(n * bloomBitsPerKey)
+	if nbits < 64 {
+		nbits = 64
+	}
+	nbits = (nbits + 63) / 64 * 64
+	return &bloom{bits: make([]uint64, nbits/64), k: bloomHashes, nbits: nbits}
+}
+
+// bloomFromParts reconstitutes a filter from its serialized parts.
+func bloomFromParts(bits []uint64, k int) *bloom {
+	return &bloom{bits: bits, k: k, nbits: uint64(len(bits)) * 64}
+}
+
+// hash2 derives the double-hashing pair for a key.
+func hash2(key string) (uint64, uint64) {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	h1 := h.Sum64()
+	// Second independent hash by re-mixing (splitmix64 finalizer).
+	z := h1 + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	h2 := z ^ (z >> 31)
+	if h2 == 0 {
+		h2 = 1
+	}
+	return h1, h2
+}
+
+// add inserts a key.
+func (b *bloom) add(key string) {
+	h1, h2 := hash2(key)
+	for i := 0; i < b.k; i++ {
+		bit := (h1 + uint64(i)*h2) % b.nbits
+		b.bits[bit/64] |= 1 << (bit % 64)
+	}
+}
+
+// mayContain reports whether the key might be present (false means
+// definitely absent).
+func (b *bloom) mayContain(key string) bool {
+	if b == nil {
+		return true
+	}
+	h1, h2 := hash2(key)
+	for i := 0; i < b.k; i++ {
+		bit := (h1 + uint64(i)*h2) % b.nbits
+		if b.bits[bit/64]&(1<<(bit%64)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// fpRate returns the theoretical false-positive rate at n keys, for
+// diagnostics.
+func (b *bloom) fpRate(n int) float64 {
+	if b == nil || n == 0 {
+		return 0
+	}
+	return math.Pow(1-math.Exp(-float64(b.k*n)/float64(b.nbits)), float64(b.k))
+}

@@ -1,0 +1,483 @@
+package storage
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"pascalr/internal/value"
+)
+
+// memEntry is one memtable slot: slot index memBase+position.
+type memEntry struct {
+	enc   string
+	tuple []value.Value
+	live  bool
+}
+
+// Disk is the LSM-ish backend: appends land in a slot-ordered in-memory
+// memtable; when it fills, the live entries flush to an immutable
+// SSTable file covering the memtable's slot range. Tables therefore
+// have disjoint, ascending slot ranges, and the merging read path is a
+// walk over tables-then-memtable in range order — exactly the
+// slot-ordered scan the engine consumes, bit-identical to the memory
+// backend's.
+//
+// Deletes of table-resident slots land in the dead set (tombstones);
+// the := assignment raises resetFloor instead (every slot below it is
+// dead), so neither touches the immutable files. Compaction rewrites
+// tables dropping dead and below-floor records; superseded files move
+// to the obsolete list and are unlinked only after the next checkpoint
+// manifest stops referencing them.
+//
+// Like every backend, Disk is unsynchronized: the relation layer's
+// content lock serializes access (compaction runs under an exclusive
+// section scheduled on the database's async executor).
+type Disk struct {
+	dir   string
+	relID int
+	opts  Options
+
+	tables     []*ssTable   // ascending, disjoint slot ranges
+	dead       map[int]bool // table-resident tombstones
+	resetFloor int          // every slot < resetFloor is dead
+
+	mem      []memEntry
+	memBase  int
+	memByKey map[string]int // encoded key -> memtable position (newest)
+
+	memLive   int // live entries in the memtable
+	tableLive int // live (non-dead, above-floor) records in tables
+
+	nextGen  int      // SSTable file-name generation counter
+	obsolete []string // files superseded since the last checkpoint
+
+	// Measured access latencies (EWMA nanoseconds), for observability
+	// and the cost model's learned per-backend profile. Sampled, not
+	// exhaustive: one timing per scan, one per sampled probe.
+	scanTupleNanos  atomicEWMA
+	probeNanos      atomicEWMA
+	probeCount      uint64
+	bloomNegSkipped uint64 // probes answered "absent" by filters alone
+}
+
+// DiskTableMeta is the per-relation durable state a checkpoint manifest
+// records and OpenDisk restores.
+type DiskTableMeta struct {
+	SlotSpan   int
+	ResetFloor int
+	NextGen    int
+	Tables     []string
+	Dead       []int
+	Live       int
+}
+
+// NewDisk creates an empty disk backend writing its files into dir.
+func NewDisk(dir string, relID int, opts Options) *Disk {
+	return &Disk{
+		dir:      dir,
+		relID:    relID,
+		opts:     opts.withDefaults(),
+		dead:     make(map[int]bool),
+		memByKey: make(map[string]int),
+	}
+}
+
+// OpenDisk reconstitutes a disk backend from checkpoint metadata,
+// opening the listed SSTable files (loading their bloom filters and
+// sparse indexes).
+func OpenDisk(dir string, relID int, opts Options, meta DiskTableMeta) (*Disk, error) {
+	d := NewDisk(dir, relID, opts)
+	d.resetFloor = meta.ResetFloor
+	d.nextGen = meta.NextGen
+	d.tableLive = meta.Live
+	for _, name := range meta.Tables {
+		t, err := openSSTable(filepath.Join(dir, name))
+		if err != nil {
+			d.Close()
+			return nil, err
+		}
+		d.tables = append(d.tables, t)
+	}
+	sort.Slice(d.tables, func(i, j int) bool { return d.tables[i].lo < d.tables[j].lo })
+	for _, si := range meta.Dead {
+		d.dead[si] = true
+	}
+	d.memBase = meta.SlotSpan
+	return d, nil
+}
+
+// Meta snapshots the durable state for a checkpoint manifest. The
+// memtable must be empty (Flush first).
+func (d *Disk) Meta() DiskTableMeta {
+	m := DiskTableMeta{
+		SlotSpan:   d.SlotSpan(),
+		ResetFloor: d.resetFloor,
+		NextGen:    d.nextGen,
+		Live:       d.tableLive,
+	}
+	for _, t := range d.tables {
+		m.Tables = append(m.Tables, t.name)
+	}
+	m.Dead = make([]int, 0, len(d.dead))
+	for si := range d.dead {
+		m.Dead = append(m.Dead, si)
+	}
+	sort.Ints(m.Dead)
+	return m
+}
+
+// SlotSpan implements Backend.
+func (d *Disk) SlotSpan() int { return d.memBase + len(d.mem) }
+
+// Get implements Backend.
+func (d *Disk) Get(si int) ([]value.Value, bool, error) {
+	if si < 0 || si >= d.SlotSpan() {
+		return nil, false, nil
+	}
+	if si >= d.memBase {
+		e := &d.mem[si-d.memBase]
+		if !e.live {
+			return nil, false, nil
+		}
+		return e.tuple, true, nil
+	}
+	if si < d.resetFloor || d.dead[si] {
+		return nil, false, nil
+	}
+	t := d.tableFor(si)
+	if t == nil {
+		return nil, false, nil
+	}
+	return t.get(si)
+}
+
+// tableFor returns the table whose range covers si, or nil.
+func (d *Disk) tableFor(si int) *ssTable {
+	i := sort.Search(len(d.tables), func(i int) bool { return d.tables[i].hi > si })
+	if i < len(d.tables) && d.tables[i].lo <= si {
+		return d.tables[i]
+	}
+	return nil
+}
+
+// Scan implements Backend: tables in range order, then the memtable —
+// ascending slot order throughout.
+func (d *Disk) Scan(lo, hi int, fn func(si int, tuple []value.Value) bool) error {
+	if lo < 0 {
+		lo = 0
+	}
+	if span := d.SlotSpan(); hi > span {
+		hi = span
+	}
+	if lo >= hi {
+		return nil
+	}
+	start := time.Now()
+	visited := 0
+	defer func() {
+		if visited > 0 {
+			d.scanTupleNanos.observe(float64(time.Since(start).Nanoseconds()) / float64(visited))
+		}
+	}()
+	for _, t := range d.tables {
+		if t.hi <= lo || t.hi <= d.resetFloor {
+			continue
+		}
+		if t.lo >= hi {
+			break
+		}
+		keep, err := t.scan(lo, hi, func(si int, _ string, tuple []value.Value) bool {
+			if si < d.resetFloor || d.dead[si] {
+				return true
+			}
+			visited++
+			return fn(si, tuple)
+		})
+		if err != nil {
+			return err
+		}
+		if !keep {
+			return nil
+		}
+	}
+	for i := range d.mem {
+		si := d.memBase + i
+		if si >= hi {
+			break
+		}
+		if si < lo || !d.mem[i].live {
+			continue
+		}
+		visited++
+		if !fn(si, d.mem[i].tuple) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// LookupKey implements Backend: memtable first (its key map tracks the
+// newest entry per key, dead entries masking older table occurrences),
+// then tables newest-first — the first table containing the key decides,
+// because a key can only be re-inserted after a delete, and that delete
+// tombstoned every older occurrence.
+func (d *Disk) LookupKey(enc string) (int, bool) {
+	if i, ok := d.memByKey[enc]; ok {
+		if !d.mem[i].live {
+			return 0, false
+		}
+		return d.memBase + i, true
+	}
+	sampled := atomic.AddUint64(&d.probeCount, 1)%16 == 0
+	var start time.Time
+	if sampled {
+		start = time.Now()
+	}
+	for i := len(d.tables) - 1; i >= 0; i-- {
+		t := d.tables[i]
+		if t.hi <= d.resetFloor {
+			break // this and every older table lie wholly below the floor
+		}
+		if !t.filter.mayContain(enc) {
+			atomic.AddUint64(&d.bloomNegSkipped, 1)
+			continue
+		}
+		si, ok, err := t.lookupKey(enc)
+		if err != nil {
+			// A probe has no error channel (the relation layer's Lookup
+			// contract predates I/O): treat unreadable as absent. Scans
+			// surface the corruption with a real error.
+			return 0, false
+		}
+		if ok {
+			if sampled {
+				d.probeNanos.observe(float64(time.Since(start).Nanoseconds()))
+			}
+			if si < d.resetFloor || d.dead[si] {
+				return 0, false
+			}
+			return si, true
+		}
+	}
+	if sampled {
+		d.probeNanos.observe(float64(time.Since(start).Nanoseconds()))
+	}
+	return 0, false
+}
+
+// Append implements Backend, flushing the memtable to an SSTable when
+// it reaches the configured entry budget.
+func (d *Disk) Append(enc string, tuple []value.Value) (int, error) {
+	d.mem = append(d.mem, memEntry{enc: enc, tuple: tuple, live: true})
+	i := len(d.mem) - 1
+	d.memByKey[enc] = i
+	d.memLive++
+	si := d.memBase + i
+	if len(d.mem) >= d.opts.MemtableEntries {
+		if err := d.Flush(); err != nil {
+			return si, err
+		}
+	}
+	return si, nil
+}
+
+// Delete implements Backend.
+func (d *Disk) Delete(si int, enc string) error {
+	if si >= d.memBase {
+		i := si - d.memBase
+		if i < len(d.mem) && d.mem[i].live {
+			d.mem[i].live = false
+			d.mem[i].tuple = nil
+			d.memLive--
+			// The key map entry stays as a tombstone: it masks any older
+			// table-resident occurrence of the same key.
+		}
+		return nil
+	}
+	if si >= d.resetFloor && !d.dead[si] {
+		d.dead[si] = true
+		d.tableLive--
+	}
+	return nil
+}
+
+// Reset implements Backend: raise the floor instead of touching the
+// immutable files; compaction reclaims the space later.
+func (d *Disk) Reset() error {
+	d.resetFloor = d.SlotSpan()
+	for i := range d.mem {
+		if d.mem[i].live {
+			d.mem[i].live = false
+			d.mem[i].tuple = nil
+		}
+	}
+	d.memLive = 0
+	d.tableLive = 0
+	d.dead = make(map[int]bool)
+	return nil
+}
+
+// Flush spills the memtable's live entries to a new SSTable covering
+// the memtable's slot range and advances the base. A memtable with no
+// live entries advances the base without writing a file. Idempotent
+// per fill: replaying the same appends re-flushes at the same point
+// with the same contents.
+func (d *Disk) Flush() error {
+	n := len(d.mem)
+	if n == 0 {
+		return nil
+	}
+	var entries []SSEntry
+	for i := range d.mem {
+		if d.mem[i].live {
+			entries = append(entries, SSEntry{Si: d.memBase + i, Enc: d.mem[i].enc, Tuple: d.mem[i].tuple})
+		}
+	}
+	if len(entries) > 0 {
+		name := fmt.Sprintf("r%d-g%d.sst", d.relID, d.nextGen)
+		d.nextGen++
+		t, err := writeSSTable(d.dir, name, entries, d.memBase, d.memBase+n)
+		if err != nil {
+			return err
+		}
+		d.tables = append(d.tables, t)
+		d.tableLive += len(entries)
+	}
+	d.memBase += n
+	d.mem = nil
+	d.memByKey = make(map[string]int)
+	d.memLive = 0
+	return nil
+}
+
+// NeedsCompaction reports whether rewriting the tables would reclaim a
+// meaningful fraction of their records: more than half of the
+// table-resident records are dead (tombstoned or below the reset
+// floor), or several tables could merge into one.
+func (d *Disk) NeedsCompaction() bool {
+	records := 0
+	belowFloor := 0
+	for _, t := range d.tables {
+		records += t.count
+		if t.hi <= d.resetFloor {
+			belowFloor += t.count
+		}
+	}
+	if records == 0 {
+		return false
+	}
+	deadRecords := len(d.dead) + belowFloor
+	return deadRecords*2 > records || len(d.tables) > 8
+}
+
+// Compact merges every table into one (dropping dead and below-floor
+// records), moving the superseded files to the obsolete list. The
+// caller must hold the relation layer's content write lock.
+func (d *Disk) Compact() error {
+	if len(d.tables) == 0 {
+		return nil
+	}
+	var entries []SSEntry
+	lo, hi := d.tables[0].lo, d.tables[len(d.tables)-1].hi
+	for _, t := range d.tables {
+		if t.hi <= d.resetFloor {
+			continue
+		}
+		_, err := t.scan(t.lo, t.hi, func(si int, enc string, tuple []value.Value) bool {
+			if si >= d.resetFloor && !d.dead[si] {
+				entries = append(entries, SSEntry{Si: si, Enc: enc, Tuple: tuple})
+			}
+			return true
+		})
+		if err != nil {
+			return err
+		}
+	}
+	var merged []*ssTable
+	if len(entries) > 0 {
+		name := fmt.Sprintf("r%d-g%d.sst", d.relID, d.nextGen)
+		d.nextGen++
+		t, err := writeSSTable(d.dir, name, entries, lo, hi)
+		if err != nil {
+			return err
+		}
+		merged = append(merged, t)
+	}
+	for _, t := range d.tables {
+		d.obsolete = append(d.obsolete, t.name)
+		t.close()
+	}
+	d.tables = merged
+	d.dead = make(map[int]bool)
+	d.tableLive = len(entries)
+	return nil
+}
+
+// Obsolete returns files superseded by flush/compaction since the last
+// checkpoint; the checkpoint unlinks them once the new manifest no
+// longer references them.
+func (d *Disk) Obsolete() []string { return d.obsolete }
+
+// DropObsolete unlinks the superseded files (post-checkpoint).
+func (d *Disk) DropObsolete() {
+	for _, name := range d.obsolete {
+		os.Remove(filepath.Join(d.dir, name))
+	}
+	d.obsolete = nil
+}
+
+// Costs implements Backend. The profile is the static disk profile; the
+// measured EWMA latencies are exposed separately (MeasuredCosts) so the
+// planner's decisions stay deterministic across runs.
+func (d *Disk) Costs() CostProfile { return diskCosts }
+
+// MeasuredCosts returns the observed per-tuple scan and per-probe
+// latencies in nanoseconds (0 until observed) — the learned complement
+// to the static profile, surfaced through statistics for monitoring.
+func (d *Disk) MeasuredCosts() (scanTupleNs, probeNs float64) {
+	return d.scanTupleNanos.load(), d.probeNanos.load()
+}
+
+// BloomNegatives returns how many key probes the bloom filters answered
+// without any file I/O.
+func (d *Disk) BloomNegatives() uint64 { return atomic.LoadUint64(&d.bloomNegSkipped) }
+
+// TableCount returns the number of SSTable files currently serving
+// reads.
+func (d *Disk) TableCount() int { return len(d.tables) }
+
+// Close implements Backend.
+func (d *Disk) Close() error {
+	var err error
+	for _, t := range d.tables {
+		if cerr := t.close(); err == nil {
+			err = cerr
+		}
+	}
+	d.tables = nil
+	return err
+}
+
+// atomicEWMA is a lock-free exponentially weighted moving average
+// (alpha 1/8), readable concurrently with single-writer updates.
+type atomicEWMA struct{ bits atomic.Uint64 }
+
+func (e *atomicEWMA) observe(v float64) {
+	old := e.load()
+	if old == 0 {
+		e.store(v)
+		return
+	}
+	e.store(old + (v-old)/8)
+}
+
+func (e *atomicEWMA) load() float64 {
+	return math.Float64frombits(e.bits.Load())
+}
+
+func (e *atomicEWMA) store(v float64) { e.bits.Store(math.Float64bits(v)) }

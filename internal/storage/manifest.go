@@ -1,0 +1,220 @@
+package storage
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"pascalr/internal/protocol"
+	"pascalr/internal/schema"
+)
+
+// ManifestName is the checkpoint manifest's file name inside a database
+// directory.
+const ManifestName = "MANIFEST"
+
+// Manifest is one checkpoint: the complete durable state of a database
+// at a log sequence number. Recovery loads it, then replays only the
+// WAL records with Seq > LastSeq — the checkpoint bounds replay time.
+// It is written tmp + rename, so a crashed checkpoint leaves the
+// previous manifest (and the full WAL) intact.
+type Manifest struct {
+	LastSeq uint64
+	Types   []*schema.Type // catalog types, declaration order
+	Rels    []RelManifest  // relations, creation order (position == id)
+}
+
+// RelManifest is one relation's durable state: its schema, the disk
+// tier's table metadata, the permanent-index columns, and the
+// serialized live statistics (so recovery does not reset TableStats to
+// empty).
+type RelManifest struct {
+	Schema  *schema.RelSchema
+	Disk    DiskTableMeta
+	Indexes []string // indexed columns, creation order
+	Stats   []byte   // opaque stats.Marshal blob
+}
+
+const manifestVersion = 1
+
+// WriteManifest atomically replaces the manifest in dir.
+func WriteManifest(dir string, m *Manifest) error {
+	w := protocol.NewWriter()
+	w.Uvarint(manifestVersion)
+	w.Uvarint(m.LastSeq)
+	w.Uvarint(uint64(len(m.Types)))
+	for _, t := range m.Types {
+		if err := encodeType(w, t); err != nil {
+			return err
+		}
+	}
+	w.Uvarint(uint64(len(m.Rels)))
+	for _, r := range m.Rels {
+		if err := encodeRelSchema(w, r.Schema); err != nil {
+			return err
+		}
+		w.Uvarint(uint64(r.Disk.SlotSpan))
+		w.Uvarint(uint64(r.Disk.ResetFloor))
+		w.Uvarint(uint64(r.Disk.NextGen))
+		w.Uvarint(uint64(r.Disk.Live))
+		w.Strings(r.Disk.Tables)
+		w.Uvarint(uint64(len(r.Disk.Dead)))
+		prev := 0
+		for _, si := range r.Disk.Dead { // sorted; delta-encoded
+			w.Uvarint(uint64(si - prev))
+			prev = si
+		}
+		w.Strings(r.Indexes)
+		w.String(string(r.Stats))
+	}
+	buf := appendFrame(nil, w.Bytes())
+	path := filepath.Join(dir, ManifestName)
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, buf, 0o644); err != nil {
+		return err
+	}
+	f, err := os.Open(tmp)
+	if err == nil {
+		f.Sync()
+		f.Close()
+	}
+	return os.Rename(tmp, path)
+}
+
+// ReadManifest loads the manifest from dir; ok is false when none
+// exists (a fresh database directory).
+func ReadManifest(dir string) (*Manifest, bool, error) {
+	data, err := os.ReadFile(filepath.Join(dir, ManifestName))
+	if os.IsNotExist(err) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, err
+	}
+	payload, _, err := readFrame(data, 0)
+	if err != nil {
+		return nil, false, fmt.Errorf("storage: manifest: %w", err)
+	}
+	m, err := DecodeManifest(payload)
+	if err != nil {
+		return nil, false, fmt.Errorf("storage: manifest: %w", err)
+	}
+	return m, true, nil
+}
+
+// DecodeManifest parses a manifest payload.
+func DecodeManifest(payload []byte) (*Manifest, error) {
+	r := protocol.NewReader(payload)
+	ver, err := r.Uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if ver != manifestVersion {
+		return nil, fmt.Errorf("unsupported manifest version %d", ver)
+	}
+	m := &Manifest{}
+	if m.LastSeq, err = r.Uvarint(); err != nil {
+		return nil, err
+	}
+	nTypes, err := r.Uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if nTypes > uint64(r.Len()) {
+		return nil, fmt.Errorf("type count %d exceeds manifest", nTypes)
+	}
+	for range nTypes {
+		t, err := decodeType(r)
+		if err != nil {
+			return nil, err
+		}
+		m.Types = append(m.Types, t)
+	}
+	nRels, err := r.Uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if nRels > uint64(r.Len()) {
+		return nil, fmt.Errorf("relation count %d exceeds manifest", nRels)
+	}
+	for range nRels {
+		var rm RelManifest
+		if rm.Schema, err = decodeRelSchema(r); err != nil {
+			return nil, err
+		}
+		span, err1 := r.Uvarint()
+		floor, err2 := r.Uvarint()
+		gen, err3 := r.Uvarint()
+		live, err4 := r.Uvarint()
+		if err1 != nil || err2 != nil || err3 != nil || err4 != nil {
+			return nil, fmt.Errorf("truncated relation metadata")
+		}
+		if span > 0x7FFFFFFF || floor > span || live > span {
+			return nil, fmt.Errorf("inconsistent relation metadata")
+		}
+		rm.Disk.SlotSpan, rm.Disk.ResetFloor = int(span), int(floor)
+		rm.Disk.NextGen, rm.Disk.Live = int(gen), int(live)
+		if rm.Disk.Tables, err = r.Strings(); err != nil {
+			return nil, err
+		}
+		nDead, err := r.Uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if nDead > span {
+			return nil, fmt.Errorf("dead count %d exceeds span", nDead)
+		}
+		prev := 0
+		for range nDead {
+			delta, err := r.Uvarint()
+			if err != nil {
+				return nil, err
+			}
+			prev += int(delta)
+			if prev >= int(span) {
+				return nil, fmt.Errorf("dead slot %d out of range", prev)
+			}
+			rm.Disk.Dead = append(rm.Disk.Dead, prev)
+		}
+		if rm.Indexes, err = r.Strings(); err != nil {
+			return nil, err
+		}
+		blob, err := r.String()
+		if err != nil {
+			return nil, err
+		}
+		rm.Stats = []byte(blob)
+		m.Rels = append(m.Rels, rm)
+	}
+	return m, nil
+}
+
+// CleanOrphans removes SSTable files in dir that no manifest relation
+// references — leftovers of flushes or compactions that outran a
+// checkpoint, or of checkpoints that crashed before their rename.
+// Replay deterministically recreates any flush the WAL still implies.
+func CleanOrphans(dir string, m *Manifest) error {
+	referenced := make(map[string]bool)
+	if m != nil {
+		for _, r := range m.Rels {
+			for _, name := range r.Disk.Tables {
+				referenced[name] = true
+			}
+		}
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || referenced[name] {
+			continue
+		}
+		if strings.HasSuffix(name, ".sst") || strings.HasSuffix(name, ".tmp") {
+			os.Remove(filepath.Join(dir, name))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,104 @@
+package storage
+
+import (
+	"pascalr/internal/value"
+)
+
+// memSlot is one in-memory slot: the stored tuple and its liveness.
+// (The relation layer's old per-slot generation counter is gone: slots
+// never revive, so "live" already implies "generation zero" — see the
+// package comment.)
+type memSlot struct {
+	tuple []value.Value
+	live  bool
+}
+
+// Memory is the default backend: the relation layer's original
+// in-memory slot array and key directory, behind the Backend interface.
+// It is volatile; durable databases pair a Disk backend with the WAL.
+type Memory struct {
+	slots []memSlot
+	byKey map[string]int // encoded key -> slot index
+}
+
+// NewMemory returns an empty in-memory backend.
+func NewMemory() *Memory {
+	return &Memory{byKey: make(map[string]int)}
+}
+
+// SlotSpan implements Backend.
+func (m *Memory) SlotSpan() int { return len(m.slots) }
+
+// Get implements Backend.
+func (m *Memory) Get(si int) ([]value.Value, bool, error) {
+	if si < 0 || si >= len(m.slots) {
+		return nil, false, nil
+	}
+	s := &m.slots[si]
+	if !s.live {
+		return nil, false, nil
+	}
+	return s.tuple, true, nil
+}
+
+// Scan implements Backend.
+func (m *Memory) Scan(lo, hi int, fn func(si int, tuple []value.Value) bool) error {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > len(m.slots) {
+		hi = len(m.slots)
+	}
+	for si := lo; si < hi; si++ {
+		if !m.slots[si].live {
+			continue
+		}
+		if !fn(si, m.slots[si].tuple) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// LookupKey implements Backend.
+func (m *Memory) LookupKey(enc string) (int, bool) {
+	si, ok := m.byKey[enc]
+	return si, ok
+}
+
+// Append implements Backend.
+func (m *Memory) Append(enc string, tuple []value.Value) (int, error) {
+	m.slots = append(m.slots, memSlot{tuple: tuple, live: true})
+	si := len(m.slots) - 1
+	m.byKey[enc] = si
+	return si, nil
+}
+
+// Delete implements Backend.
+func (m *Memory) Delete(si int, enc string) error {
+	if si < 0 || si >= len(m.slots) {
+		return nil
+	}
+	m.slots[si].live = false
+	m.slots[si].tuple = nil
+	delete(m.byKey, enc)
+	return nil
+}
+
+// Reset implements Backend.
+func (m *Memory) Reset() error {
+	for i := range m.slots {
+		if m.slots[i].live {
+			m.slots[i].live = false
+			m.slots[i].tuple = nil
+		}
+	}
+	m.byKey = make(map[string]int)
+	return nil
+}
+
+// Costs implements Backend.
+func (m *Memory) Costs() CostProfile { return memoryCosts }
+
+// Close implements Backend.
+func (m *Memory) Close() error { return nil }

@@ -1,0 +1,463 @@
+package storage
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"pascalr/internal/protocol"
+	"pascalr/internal/value"
+)
+
+// An SSTable is one immutable sorted-table file holding the live slots
+// of a contiguous slot range of one relation, flushed from the
+// memtable (or produced by compaction). The layout:
+//
+//	[8]  magic "PRSST001"
+//	     data section: per live slot one CRC frame (record.go framing)
+//	       payload: uvarint si, string encodedKey, tuple values
+//	     index section: entries sorted by encoded key (no framing)
+//	       string encodedKey, uvarint si
+//	     footer: one CRC frame
+//	       payload: count, lo, hi, indexOff, maxSlotSeg, maxKeySeg,
+//	                bloom (k + packed words), sparse slot index
+//	                (every sstSparseEvery-th record: si, offset), sparse
+//	                key index (every sstSparseEvery-th entry: key, offset)
+//	[4]  footer frame length
+//	[8]  magic "PRSSTEND"
+//
+// Data records are in ascending slot order, so the merging read path
+// presents the engine's slot-ordered scan by walking tables in range
+// order. Point reads never touch the data section blindly: a key probe
+// consults the bloom filter first (definitely-absent keys skip the
+// table entirely), then binary-searches the sparse key index and decodes
+// one bounded index segment; a slot fetch binary-searches the sparse
+// slot index and decodes one bounded run of data frames.
+const (
+	sstMagic    = "PRSST001"
+	sstEndMagic = "PRSSTEND"
+
+	// sstSparseEvery is the sparse-index granularity: one retained
+	// (key, offset) / (slot, offset) pair per this many entries.
+	sstSparseEvery = 16
+)
+
+// SSEntry is one live slot handed to the SSTable writer.
+type SSEntry struct {
+	Si    int
+	Enc   string
+	Tuple []value.Value
+}
+
+type spSlot struct {
+	si  int
+	off int64
+}
+
+type spKey struct {
+	key string
+	off int64
+}
+
+// ssTable is an open SSTable file handle plus its in-memory probe
+// structures (bloom filter and sparse indexes); the data itself stays
+// on disk.
+type ssTable struct {
+	path   string
+	name   string
+	f      *os.File
+	lo, hi int // slot range [lo, hi)
+	count  int
+
+	indexOff   int64 // data section ends here
+	footerOff  int64 // index section ends here
+	maxSlotSeg int   // byte bound of one sparse-slot segment
+	maxKeySeg  int   // byte bound of one sparse-key segment
+
+	filter  *bloom
+	spSlots []spSlot
+	spKeys  []spKey
+}
+
+// writeSSTable builds and atomically writes an SSTable (tmp + rename)
+// and returns the opened handle. Entries must be in ascending slot
+// order; span is the exclusive slot range [lo, hi) the table covers
+// (it may exceed the entries' own range when dead slots were dropped).
+func writeSSTable(dir, name string, entries []SSEntry, lo, hi int) (*ssTable, error) {
+	var buf []byte
+	buf = append(buf, sstMagic...)
+
+	// Data section: one frame per entry, recording sparse slot offsets
+	// and segment bounds as we go.
+	var spSlots []spSlot
+	maxSlotSeg, segStart := 0, len(buf)
+	pw := protocol.NewWriter()
+	for i, e := range entries {
+		if i%sstSparseEvery == 0 {
+			if i > 0 && len(buf)-segStart > maxSlotSeg {
+				maxSlotSeg = len(buf) - segStart
+			}
+			spSlots = append(spSlots, spSlot{si: e.Si, off: int64(len(buf))})
+			segStart = len(buf)
+		}
+		pw = protocol.NewWriter()
+		pw.Uvarint(uint64(e.Si))
+		pw.String(e.Enc)
+		if err := pw.Vals(e.Tuple); err != nil {
+			return nil, fmt.Errorf("storage: sstable %s: %w", name, err)
+		}
+		buf = appendFrame(buf, pw.Bytes())
+	}
+	if len(buf)-segStart > maxSlotSeg {
+		maxSlotSeg = len(buf) - segStart
+	}
+	indexOff := int64(len(buf))
+
+	// Index section: (key, si) sorted by encoded key.
+	byKey := make([]int, len(entries))
+	for i := range byKey {
+		byKey[i] = i
+	}
+	sort.Slice(byKey, func(a, b int) bool { return entries[byKey[a]].Enc < entries[byKey[b]].Enc })
+	filter := newBloom(len(entries))
+	var spKeys []spKey
+	maxKeySeg := 0
+	segStart = len(buf)
+	for i, ei := range byKey {
+		e := entries[ei]
+		filter.add(e.Enc)
+		if i%sstSparseEvery == 0 {
+			if i > 0 && len(buf)-segStart > maxKeySeg {
+				maxKeySeg = len(buf) - segStart
+			}
+			spKeys = append(spKeys, spKey{key: e.Enc, off: int64(len(buf))})
+			segStart = len(buf)
+		}
+		iw := protocol.NewWriter()
+		iw.String(e.Enc)
+		iw.Uvarint(uint64(e.Si))
+		buf = append(buf, iw.Bytes()...)
+	}
+	if len(buf)-segStart > maxKeySeg {
+		maxKeySeg = len(buf) - segStart
+	}
+
+	// Footer.
+	fw := protocol.NewWriter()
+	fw.Uvarint(uint64(len(entries)))
+	fw.Uvarint(uint64(lo))
+	fw.Uvarint(uint64(hi))
+	fw.Uvarint(uint64(indexOff))
+	fw.Uvarint(uint64(maxSlotSeg))
+	fw.Uvarint(uint64(maxKeySeg))
+	fw.Uvarint(uint64(filter.k))
+	words := make([]byte, 8*len(filter.bits))
+	for i, wd := range filter.bits {
+		binary.LittleEndian.PutUint64(words[8*i:], wd)
+	}
+	fw.String(string(words))
+	fw.Uvarint(uint64(len(spSlots)))
+	for _, s := range spSlots {
+		fw.Uvarint(uint64(s.si))
+		fw.Uvarint(uint64(s.off))
+	}
+	fw.Uvarint(uint64(len(spKeys)))
+	for _, s := range spKeys {
+		fw.String(s.key)
+		fw.Uvarint(uint64(s.off))
+	}
+	footerStart := len(buf)
+	buf = appendFrame(buf, fw.Bytes())
+	var flen [4]byte
+	binary.BigEndian.PutUint32(flen[:], uint32(len(buf)-footerStart))
+	buf = append(buf, flen[:]...)
+	buf = append(buf, sstEndMagic...)
+
+	path := filepath.Join(dir, name)
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, buf, 0o644); err != nil {
+		return nil, err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return nil, err
+	}
+	return openSSTable(path)
+}
+
+// openSSTable opens an SSTable file, verifying and loading its footer
+// (bloom filter, sparse indexes).
+func openSSTable(path string) (*ssTable, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	t := &ssTable{path: path, name: filepath.Base(path), f: f}
+	if err := t.loadFooter(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("storage: sstable %s: %w", t.name, err)
+	}
+	return t, nil
+}
+
+func (t *ssTable) loadFooter() error {
+	st, err := t.f.Stat()
+	if err != nil {
+		return err
+	}
+	size := st.Size()
+	if size < int64(len(sstMagic))+12 {
+		return fmt.Errorf("file too short (%d bytes)", size)
+	}
+	head := make([]byte, len(sstMagic))
+	if _, err := t.f.ReadAt(head, 0); err != nil {
+		return err
+	}
+	if string(head) != sstMagic {
+		return fmt.Errorf("bad magic")
+	}
+	tail := make([]byte, 12)
+	if _, err := t.f.ReadAt(tail, size-12); err != nil {
+		return err
+	}
+	if string(tail[4:]) != sstEndMagic {
+		return fmt.Errorf("bad end magic")
+	}
+	flen := int64(binary.BigEndian.Uint32(tail[:4]))
+	if flen <= 0 || flen > size-12-int64(len(sstMagic)) {
+		return fmt.Errorf("bad footer length %d", flen)
+	}
+	t.footerOff = size - 12 - flen
+	frame := make([]byte, flen)
+	if _, err := t.f.ReadAt(frame, t.footerOff); err != nil {
+		return err
+	}
+	payload, end, err := readFrame(frame, 0)
+	if err != nil || int64(end) != flen {
+		return fmt.Errorf("corrupt footer: %v", err)
+	}
+	return t.parseFooter(payload)
+}
+
+func (t *ssTable) parseFooter(payload []byte) error {
+	pr := protocol.NewReader(payload)
+	count, err := pr.Uvarint()
+	if err != nil {
+		return err
+	}
+	lo, err := pr.Uvarint()
+	if err != nil {
+		return err
+	}
+	hi, err := pr.Uvarint()
+	if err != nil {
+		return err
+	}
+	indexOff, err := pr.Uvarint()
+	if err != nil {
+		return err
+	}
+	maxSlotSeg, err := pr.Uvarint()
+	if err != nil {
+		return err
+	}
+	maxKeySeg, err := pr.Uvarint()
+	if err != nil {
+		return err
+	}
+	k, err := pr.Uvarint()
+	if err != nil {
+		return err
+	}
+	words, err := pr.String()
+	if err != nil {
+		return err
+	}
+	if hi < lo || count > hi-lo || indexOff > uint64(t.footerOff) || len(words)%8 != 0 || k == 0 || k > 64 {
+		return fmt.Errorf("inconsistent footer")
+	}
+	t.count, t.lo, t.hi = int(count), int(lo), int(hi)
+	t.indexOff = int64(indexOff)
+	t.maxSlotSeg, t.maxKeySeg = int(maxSlotSeg), int(maxKeySeg)
+	bits := make([]uint64, len(words)/8)
+	for i := range bits {
+		bits[i] = binary.LittleEndian.Uint64([]byte(words[8*i : 8*i+8]))
+	}
+	t.filter = bloomFromParts(bits, int(k))
+	nSlots, err := pr.Uvarint()
+	if err != nil || nSlots > count+1 {
+		return fmt.Errorf("bad sparse slot count")
+	}
+	t.spSlots = make([]spSlot, 0, nSlots)
+	for range nSlots {
+		si, err1 := pr.Uvarint()
+		off, err2 := pr.Uvarint()
+		if err1 != nil || err2 != nil {
+			return fmt.Errorf("truncated sparse slot index")
+		}
+		t.spSlots = append(t.spSlots, spSlot{si: int(si), off: int64(off)})
+	}
+	nKeys, err := pr.Uvarint()
+	if err != nil || nKeys > count+1 {
+		return fmt.Errorf("bad sparse key count")
+	}
+	t.spKeys = make([]spKey, 0, nKeys)
+	for range nKeys {
+		key, err1 := pr.String()
+		off, err2 := pr.Uvarint()
+		if err1 != nil || err2 != nil {
+			return fmt.Errorf("truncated sparse key index")
+		}
+		t.spKeys = append(t.spKeys, spKey{key: key, off: int64(off)})
+	}
+	return nil
+}
+
+// decodeDataRecord parses one data-frame payload into (si, enc, tuple).
+func decodeDataRecord(payload []byte) (int, string, []value.Value, error) {
+	pr := protocol.NewReader(payload)
+	si, err := pr.Uvarint()
+	if err != nil {
+		return 0, "", nil, err
+	}
+	if si > 0x7FFFFFFF {
+		return 0, "", nil, fmt.Errorf("slot %d out of range", si)
+	}
+	enc, err := pr.String()
+	if err != nil {
+		return 0, "", nil, err
+	}
+	tuple, err := pr.Vals()
+	if err != nil {
+		return 0, "", nil, err
+	}
+	return int(si), enc, tuple, nil
+}
+
+// scan streams the data section in slot order, calling fn for every
+// record with slot in [lo, hi) until fn returns false; keep reports
+// whether iteration should continue into the next table.
+func (t *ssTable) scan(lo, hi int, fn func(si int, enc string, tuple []value.Value) bool) (keep bool, err error) {
+	start := int64(len(sstMagic))
+	if len(t.spSlots) > 0 && lo > t.lo {
+		// Seek: last sparse entry at or below lo.
+		i := sort.Search(len(t.spSlots), func(i int) bool { return t.spSlots[i].si > lo }) - 1
+		if i >= 0 {
+			start = t.spSlots[i].off
+		}
+	}
+	sec := io.NewSectionReader(t.f, start, t.indexOff-start)
+	br := bufio.NewReaderSize(sec, 32<<10)
+	for {
+		payload, err := readFrameFrom(br)
+		if err == io.EOF {
+			return true, nil
+		}
+		if err != nil {
+			return false, fmt.Errorf("storage: sstable %s: %w", t.name, err)
+		}
+		si, enc, tuple, err := decodeDataRecord(payload)
+		if err != nil {
+			return false, fmt.Errorf("storage: sstable %s: %w", t.name, err)
+		}
+		if si >= hi {
+			return true, nil
+		}
+		if si < lo {
+			continue
+		}
+		if !fn(si, enc, tuple) {
+			return false, nil
+		}
+	}
+}
+
+// get fetches the record at slot si via the sparse slot index; ok is
+// false when the slot is not present (dead at flush time).
+func (t *ssTable) get(si int) ([]value.Value, bool, error) {
+	if si < t.lo || si >= t.hi || len(t.spSlots) == 0 {
+		return nil, false, nil
+	}
+	i := sort.Search(len(t.spSlots), func(i int) bool { return t.spSlots[i].si > si }) - 1
+	if i < 0 {
+		return nil, false, nil
+	}
+	off := t.spSlots[i].off
+	end := t.indexOff
+	if o := off + int64(t.maxSlotSeg); o < end {
+		end = o
+	}
+	seg := make([]byte, end-off)
+	if _, err := t.f.ReadAt(seg, off); err != nil {
+		return nil, false, fmt.Errorf("storage: sstable %s: %w", t.name, err)
+	}
+	for pos := 0; pos < len(seg); {
+		payload, next, err := readFrame(seg, pos)
+		if err != nil {
+			break // segment bound clipped a frame: records beyond it are past the segment
+		}
+		rsi, _, tuple, err := decodeDataRecord(payload)
+		if err != nil {
+			return nil, false, fmt.Errorf("storage: sstable %s: %w", t.name, err)
+		}
+		if rsi == si {
+			return tuple, true, nil
+		}
+		if rsi > si {
+			break
+		}
+		pos = next
+	}
+	return nil, false, nil
+}
+
+// lookupKey resolves an encoded key to its slot: bloom filter first (a
+// definite miss costs no I/O), then one sparse-key segment.
+func (t *ssTable) lookupKey(enc string) (int, bool, error) {
+	if !t.filter.mayContain(enc) || len(t.spKeys) == 0 {
+		return 0, false, nil
+	}
+	i := sort.Search(len(t.spKeys), func(i int) bool { return t.spKeys[i].key > enc }) - 1
+	if i < 0 {
+		return 0, false, nil
+	}
+	off := t.spKeys[i].off
+	end := t.footerOff
+	if o := off + int64(t.maxKeySeg); o < end {
+		end = o
+	}
+	seg := make([]byte, end-off)
+	if _, err := t.f.ReadAt(seg, off); err != nil {
+		return 0, false, fmt.Errorf("storage: sstable %s: %w", t.name, err)
+	}
+	pr := protocol.NewReader(seg)
+	for pr.Len() > 0 {
+		key, err := pr.String()
+		if err != nil {
+			break // segment bound clipped an entry: it is past the segment
+		}
+		si, err := pr.Uvarint()
+		if err != nil {
+			break
+		}
+		if key == enc {
+			return int(si), true, nil
+		}
+		if key > enc {
+			break // entries are key-sorted
+		}
+	}
+	return 0, false, nil
+}
+
+func (t *ssTable) close() error {
+	if t.f == nil {
+		return nil
+	}
+	err := t.f.Close()
+	t.f = nil
+	return err
+}

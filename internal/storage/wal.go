@@ -1,0 +1,141 @@
+package storage
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// WALName is the write-ahead log's file name inside a database
+// directory.
+const WALName = "wal.log"
+
+// WAL is the write-ahead log of one durable database: a single
+// append-only file of framed records (record.go). The relation layer
+// appends one record per effective mutation — under its content write
+// lock, so the WAL needs no locking of its own — and truncates the log
+// after each checkpoint. Recovery (RecoverWAL) validates the frames
+// front to back and chops the file at the first torn or corrupt one:
+// a record is either wholly durable or it never happened.
+type WAL struct {
+	f      *os.File
+	path   string
+	policy FsyncPolicy
+	size   int64
+}
+
+// RecoverWAL opens (creating if absent) the WAL inside dir, scans it,
+// and truncates any torn or corrupt tail. It returns the open log
+// positioned for appends and the payloads of every valid record, in
+// order.
+func RecoverWAL(dir string, policy FsyncPolicy) (*WAL, [][]byte, error) {
+	path := filepath.Join(dir, WALName)
+	data, err := os.ReadFile(path)
+	if err != nil && !os.IsNotExist(err) {
+		return nil, nil, err
+	}
+	payloads, valid := ScanFrames(data)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	if valid < int64(len(data)) {
+		// Torn or corrupt tail: drop it so the next append extends a
+		// clean log instead of burying records behind garbage.
+		if err := f.Truncate(valid); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+	}
+	if _, err := f.Seek(valid, 0); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	return &WAL{f: f, path: path, policy: policy, size: valid}, payloads, nil
+}
+
+// ScanFrames walks framed records from the start of data, returning
+// every valid payload and the offset of the first invalid byte (==
+// len(data) for a fully valid log). Everything from the first bad frame
+// on is discarded — the standard WAL rule: a torn record's successors
+// cannot be trusted either, because the tear may hide a half-written
+// batch.
+func ScanFrames(data []byte) (payloads [][]byte, valid int64) {
+	off := 0
+	for off < len(data) {
+		payload, end, err := readFrame(data, off)
+		if err != nil {
+			break
+		}
+		payloads = append(payloads, payload)
+		off = end
+	}
+	return payloads, int64(off)
+}
+
+// Append frames and writes one record payload, fsyncing per policy.
+func (w *WAL) Append(payload []byte) error {
+	if w.f == nil {
+		return fmt.Errorf("storage: WAL is closed")
+	}
+	frame := appendFrame(nil, payload)
+	if _, err := w.f.Write(frame); err != nil {
+		return fmt.Errorf("storage: WAL append: %w", err)
+	}
+	w.size += int64(len(frame))
+	if w.policy == SyncAlways {
+		if err := w.f.Sync(); err != nil {
+			return fmt.Errorf("storage: WAL fsync: %w", err)
+		}
+	}
+	return nil
+}
+
+// Size returns the current log size in bytes — the checkpoint trigger
+// consults it.
+func (w *WAL) Size() int64 { return w.size }
+
+// Path returns the log file's path.
+func (w *WAL) Path() string { return w.path }
+
+// Reset truncates the log to empty — called after a checkpoint's
+// manifest rename made every logged record redundant. Sequence numbers
+// keep counting; the manifest's LastSeq guards replay idempotence if
+// the truncation itself is lost to a crash.
+func (w *WAL) Reset() error {
+	if w.f == nil {
+		return fmt.Errorf("storage: WAL is closed")
+	}
+	if err := w.f.Truncate(0); err != nil {
+		return err
+	}
+	if _, err := w.f.Seek(0, 0); err != nil {
+		return err
+	}
+	w.size = 0
+	if w.policy == SyncAlways {
+		return w.f.Sync()
+	}
+	return nil
+}
+
+// Sync forces an fsync regardless of policy (clean shutdown).
+func (w *WAL) Sync() error {
+	if w.f == nil {
+		return nil
+	}
+	return w.f.Sync()
+}
+
+// Close syncs and closes the log.
+func (w *WAL) Close() error {
+	if w.f == nil {
+		return nil
+	}
+	err := w.f.Sync()
+	if cerr := w.f.Close(); err == nil {
+		err = cerr
+	}
+	w.f = nil
+	return err
+}

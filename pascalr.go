@@ -77,6 +77,7 @@ import (
 	"pascalr/internal/relation"
 	"pascalr/internal/schema"
 	"pascalr/internal/stats"
+	"pascalr/internal/storage"
 	"pascalr/internal/value"
 )
 
@@ -183,6 +184,60 @@ func Open(script string) (*Database, error) {
 	}
 	return d, nil
 }
+
+// DirOption configures a durable database opened with OpenDir.
+type DirOption func(*storage.Options)
+
+// WithFsyncNever skips the fsync after each write-ahead-log append.
+// Mutations remain atomic and ordered, but a machine crash (not a mere
+// process crash) may lose the most recent ones. Useful for bulk loads
+// and tests.
+func WithFsyncNever() DirOption {
+	return func(o *storage.Options) { o.Fsync = storage.SyncNever }
+}
+
+// WithMemtableEntries sets how many occupied slots a relation buffers
+// in memory before flushing them to an immutable SSTable.
+func WithMemtableEntries(n int) DirOption {
+	return func(o *storage.Options) { o.MemtableEntries = n }
+}
+
+// WithCheckpointWALBytes sets the write-ahead-log size that triggers a
+// background checkpoint (bounding recovery replay). Negative disables
+// automatic checkpoints; Checkpoint and Close still take them.
+func WithCheckpointWALBytes(n int64) DirOption {
+	return func(o *storage.Options) { o.CheckpointWALBytes = n }
+}
+
+// OpenDir opens (creating if needed) a durable database rooted at the
+// given directory and recovers it to its last durable state: the
+// checkpoint manifest restores schemas, disk-resident relation
+// contents, permanent indexes, and cost statistics, and the
+// write-ahead log replays every mutation recorded since. All
+// optimization strategies are enabled by default. Close flushes and
+// checkpoints; killing the process instead merely loses mutations
+// after the last durable log record, never a prefix or a partial one.
+func OpenDir(path string, opts ...DirOption) (*Database, error) {
+	var o storage.Options
+	for _, f := range opts {
+		f(&o)
+	}
+	db, err := relation.OpenDB(path, o)
+	if err != nil {
+		return nil, err
+	}
+	return &Database{
+		db:         db,
+		eng:        engine.New(db, &stats.Counters{}),
+		strategies: AllStrategies,
+		plans:      newPlanCache(planCacheSize),
+	}, nil
+}
+
+// Checkpoint persists the complete current state of a durable database
+// and truncates its write-ahead log, bounding the replay work the next
+// OpenDir performs. On an in-memory database it is a no-op.
+func (d *Database) Checkpoint() error { return d.db.Checkpoint() }
 
 // SetStrategies changes the default strategy set used by Exec and Query.
 func (d *Database) SetStrategies(s Strategy) {
@@ -292,7 +347,7 @@ func (d *Database) Exec(src string) error {
 	for _, item := range prog.Items {
 		switch it := item.(type) {
 		case parser.TypeDecl:
-			if err := d.db.Catalog().DefineType(it.Type); err != nil {
+			if err := d.db.DefineType(it.Type); err != nil {
 				return err
 			}
 		case parser.RelDecl:
@@ -564,11 +619,13 @@ func (d *Database) ExplainAnalyze(ctx context.Context, src string, opts ...Optio
 	return s.plan.ExplainWith(ctx, s.override(c))
 }
 
-// Close quiesces background statistics maintenance for shutdown: it
-// waits for in-flight drift-triggered histogram rebuilds to finish and
-// rejects any rebuild triggered afterwards, so no goroutine outlives
-// Close. The database remains usable for queries and mutations (its
-// degraded statistics simply stop re-bucketing); Close is idempotent.
+// Close quiesces background maintenance for shutdown: it waits for
+// in-flight drift-triggered histogram rebuilds, checkpoints, and
+// compactions to finish and rejects any scheduled afterwards, so no
+// goroutine outlives Close. A durable database additionally takes a
+// final checkpoint and closes its log and table files, and is not
+// usable afterwards; an in-memory database remains usable (its
+// degraded statistics simply stop re-bucketing). Close is idempotent.
 // Server shutdown drains sessions first, then calls Close.
 func (d *Database) Close() error { return d.db.Close() }
 
