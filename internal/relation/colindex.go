@@ -49,6 +49,9 @@ type ColIndex struct {
 func (r *Relation) CreateIndex(col string) (*ColIndex, error) {
 	r.lock()
 	defer r.unlock()
+	if err := r.durableErr(); err != nil {
+		return nil, err
+	}
 	ci, ok := r.sch.ColIndex(col)
 	if !ok {
 		return nil, fmt.Errorf("relation %s: no component %s", r.sch.Name, col)

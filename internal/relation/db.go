@@ -174,6 +174,9 @@ func (d *DB) RUnlock() { d.mu.RUnlock() }
 func (d *DB) Create(sch *schema.RelSchema) (*Relation, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	if d.dur != nil && d.dur.err != nil {
+		return nil, d.dur.err
+	}
 	d.catMu.Lock()
 	defer d.catMu.Unlock()
 	if err := d.cat.DefineRelation(sch); err != nil {
@@ -219,6 +222,9 @@ func (d *DB) attach(r *Relation) {
 func (d *DB) DefineType(t *schema.Type) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	if d.dur != nil && d.dur.err != nil {
+		return d.dur.err
+	}
 	if err := d.cat.DefineType(t); err != nil {
 		return err
 	}

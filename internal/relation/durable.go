@@ -9,6 +9,13 @@
 // apply and append simply loses the not-yet-durable tail, and any
 // SSTable a memtable flush wrote for unlogged appends is an orphan the
 // next open removes before replay deterministically recreates it.
+// Delete is the one exception — it logs before applying, because its
+// boolean signature could not surface a WAL failure afterwards (see
+// Relation.Delete). Assignments whose record would exceed the WAL's
+// frame bound are logged as a chunk group that replay applies only
+// when complete. A WAL append failure is sticky: the database fails
+// stop (every later mutation and checkpoint returns the error) rather
+// than let memory and log drift apart.
 //
 // # Recovery
 //
@@ -37,6 +44,7 @@ import (
 
 	"pascalr/internal/stats"
 	"pascalr/internal/storage"
+	"pascalr/internal/value"
 )
 
 // durable is the durability state of a database opened with OpenDB.
@@ -45,9 +53,12 @@ type durable struct {
 	opts storage.Options
 	wal  *storage.WAL
 	seq  uint64 // last assigned log sequence number
-	// err is the sticky durability failure: set when a WAL append fails
-	// on a path with no error return (Delete), surfaced by Checkpoint
-	// and Close. Guarded by the content write lock like the rest.
+	// err is the sticky durability failure: set when a WAL append
+	// fails. From then on the database fails stop — every mutator and
+	// checkpoint returns it (so the in-memory state cannot drift
+	// further from the durable one, and a checkpoint cannot promote
+	// drifted state to durable truth) and Close surfaces it. Guarded by
+	// the content write lock like the rest.
 	err error
 }
 
@@ -91,6 +102,11 @@ func OpenDB(dir string, opts storage.Options) (*DB, error) {
 		return nil, d.openFailed(err)
 	}
 	d.dur.wal = wal
+	// Open assignment chunk group (storage.SplitRecord): tuples buffered
+	// until the final chunk arrives. A group the log tears mid-way —
+	// every buffered chunk without its final one — is never applied.
+	pendRel := -1
+	var pendTuples [][]value.Value
 	for _, p := range payloads {
 		rec, err := storage.DecodeRecord(p)
 		if err != nil {
@@ -99,9 +115,29 @@ func OpenDB(dir string, opts storage.Options) (*DB, error) {
 		if rec.Seq <= lastSeq {
 			// The record predates the checkpoint: a crash between the
 			// manifest rename and the WAL truncation left it behind.
-			// LastSeq makes replay idempotent.
+			// LastSeq makes replay idempotent. A checkpoint cannot split
+			// a chunk group (both run under the content write lock), so
+			// a group is skipped or replayed in full.
 			continue
 		}
+		if rec.Op == storage.OpAssign {
+			if rec.Cont && (pendRel != rec.Rel || pendTuples == nil) {
+				return nil, d.openFailed(fmt.Errorf("relation: WAL replay seq %d: orphan assignment chunk", rec.Seq))
+			}
+			if !rec.Cont {
+				pendRel, pendTuples = rec.Rel, nil
+			}
+			pendTuples = append(pendTuples, rec.Tuples...)
+			if rec.More {
+				d.dur.seq = rec.Seq
+				continue
+			}
+			rec.Tuples = pendTuples
+		}
+		// Any applied record ends the open group: chunks of one group
+		// are contiguous, so a buffered prefix followed by anything else
+		// is a stale torn group an earlier crash left behind.
+		pendRel, pendTuples = -1, nil
 		if err := d.applyRecord(rec); err != nil {
 			return nil, d.openFailed(fmt.Errorf("relation: WAL replay seq %d: %w", rec.Seq, err))
 		}
@@ -207,22 +243,33 @@ func (d *DB) applyRecord(rec storage.Record) error {
 // under it), which also serializes the sequence counter; r is the
 // mutated relation (nil for DDL that touches none) — passed explicitly
 // because some callers also hold the catalog lock, so maintenance must
-// not look it up. In-memory databases and replay no-op.
+// not look it up. In-memory databases and replay no-op. Once a sticky
+// durability error is recorded, every further logRecord fails with it.
+//
+// Oversized assignments are split into a chunk group (storage.
+// SplitRecord) appended contiguously under the lock; replay applies a
+// group only when its final chunk is durable, so a crash mid-group
+// drops the assignment wholly.
 func (d *DB) logRecord(r *Relation, rec storage.Record) error {
 	if d.dur == nil || d.replaying.Load() {
 		return nil
 	}
-	d.dur.seq++
-	rec.Seq = d.dur.seq
-	payload, err := storage.EncodeRecord(rec)
-	if err == nil {
-		err = d.dur.wal.Append(payload)
+	if d.dur.err != nil {
+		return d.dur.err
 	}
-	if err != nil {
-		if d.dur.err == nil {
-			d.dur.err = err
+	for _, rc := range storage.SplitRecord(rec) {
+		d.dur.seq++
+		rc.Seq = d.dur.seq
+		payload, err := storage.EncodeRecord(rc)
+		if err == nil {
+			err = d.dur.wal.Append(payload)
 		}
-		return err
+		if err != nil {
+			if d.dur.err == nil {
+				d.dur.err = err
+			}
+			return err
+		}
 	}
 	d.maybeMaintain(r)
 	return nil
@@ -273,6 +320,13 @@ func (d *DB) checkpointLocked() error {
 	if d.dur == nil || d.dur.wal == nil {
 		return nil
 	}
+	if d.dur.err != nil {
+		// A WAL append failed earlier: the in-memory state may have
+		// drifted from the log. Checkpointing would persist that drift
+		// as durable truth (and truncate the log) — refuse instead;
+		// recovery from the intact WAL is the trustworthy state.
+		return d.dur.err
+	}
 	d.catMu.RLock()
 	rels := append([]*Relation(nil), d.byID...)
 	d.catMu.RUnlock()
@@ -310,13 +364,15 @@ func (d *DB) checkpointLocked() error {
 	if err := storage.WriteManifest(d.dur.dir, m); err != nil {
 		return err
 	}
-	// The manifest rename is the commit point: every logged record is
-	// now redundant.
+	// The durable manifest rename is the commit point: WriteManifest
+	// returns only once the manifest (and, from their own writes, the
+	// SSTables it references) survives power loss, so every logged
+	// record is now redundant and the log can be truncated.
 	if err := d.dur.wal.Reset(); err != nil {
 		return err
 	}
 	for _, disk := range disks {
 		disk.DropObsolete()
 	}
-	return d.dur.err
+	return nil
 }

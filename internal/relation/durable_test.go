@@ -8,8 +8,10 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 	"testing"
 
+	"pascalr/internal/schema"
 	"pascalr/internal/stats"
 	"pascalr/internal/storage"
 	"pascalr/internal/value"
@@ -390,5 +392,266 @@ func TestDurableMaintenance(t *testing.T) {
 	defer rd.Close()
 	if got := fingerprint(t, rd); got != want {
 		t.Fatal("state diverged across checkpoint/compaction cycle")
+	}
+}
+
+// chunkTestDB builds a durable database holding one checkpointed
+// employee and returns its directory, the checkpoint's last sequence
+// number, and the relation's id — the fixture for hand-written WAL
+// chunk groups.
+func chunkTestDB(t *testing.T) (dir string, seq uint64, relID int) {
+	t.Helper()
+	dir = t.TempDir()
+	d, err := OpenDB(dir, tortureOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.DefineType(employeesSchema(t).Cols[2].Type); err != nil {
+		t.Fatal(err)
+	}
+	r, err := d.Create(employeesSchema(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Insert(emp(1, "base", 1)); err != nil {
+		t.Fatal(err)
+	}
+	relID = r.ID()
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	m, ok, err := storage.ReadManifest(dir)
+	if err != nil || !ok {
+		t.Fatalf("manifest after close: ok=%v err=%v", ok, err)
+	}
+	return dir, m.LastSeq, relID
+}
+
+// appendWALRecords appends hand-built records to a closed database's
+// log, simulating the tail a crash left behind.
+func appendWALRecords(t *testing.T, dir string, recs []storage.Record) {
+	t.Helper()
+	w, _, err := storage.RecoverWAL(dir, storage.SyncNever)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range recs {
+		payload, err := storage.EncodeRecord(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Append(payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// enrs lists a database's employee keys in scan order.
+func enrs(t *testing.T, d *DB) []int64 {
+	t.Helper()
+	r, ok := d.Relation("employees")
+	if !ok {
+		t.Fatal("employees missing")
+	}
+	var out []int64
+	r.Scan(func(_ value.Value, tuple []value.Value) bool {
+		out = append(out, tuple[0].AsInt())
+		return true
+	})
+	return out
+}
+
+// TestAssignChunkReplay replays a hand-written OpAssign chunk group: a
+// complete group must apply as one atomic assignment, a torn group
+// (final chunk missing) must be wholly dropped, and an orphan
+// continuation chunk is corruption.
+func TestAssignChunkReplay(t *testing.T) {
+	t.Run("complete", func(t *testing.T) {
+		dir, seq, relID := chunkTestDB(t)
+		appendWALRecords(t, dir, []storage.Record{
+			{Seq: seq + 1, Op: storage.OpAssign, Rel: relID, More: true, Tuples: [][]value.Value{emp(2, "b", 1)}},
+			{Seq: seq + 2, Op: storage.OpAssign, Rel: relID, Cont: true, Tuples: [][]value.Value{emp(3, "c", 2)}},
+		})
+		d, err := OpenDB(dir, tortureOpts())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer d.Close()
+		if got := enrs(t, d); len(got) != 2 || got[0] != 2 || got[1] != 3 {
+			t.Fatalf("recovered keys %v, want the merged assignment [2 3]", got)
+		}
+	})
+	t.Run("torn", func(t *testing.T) {
+		dir, seq, relID := chunkTestDB(t)
+		appendWALRecords(t, dir, []storage.Record{
+			{Seq: seq + 1, Op: storage.OpAssign, Rel: relID, More: true, Tuples: [][]value.Value{emp(2, "b", 1)}},
+		})
+		d, err := OpenDB(dir, tortureOpts())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := enrs(t, d); len(got) != 1 || got[0] != 1 {
+			t.Fatalf("recovered keys %v, want the pre-assignment [1] (torn group dropped)", got)
+		}
+		// The database must keep working durably past the dropped group.
+		r, _ := d.Relation("employees")
+		if _, err := r.Insert(emp(4, "post", 1)); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Close(); err != nil {
+			t.Fatal(err)
+		}
+		rd, err := OpenDB(dir, tortureOpts())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer rd.Close()
+		if got := enrs(t, rd); len(got) != 2 || got[0] != 1 || got[1] != 4 {
+			t.Fatalf("keys %v after reopen, want [1 4]", got)
+		}
+	})
+	t.Run("orphan", func(t *testing.T) {
+		dir, seq, relID := chunkTestDB(t)
+		appendWALRecords(t, dir, []storage.Record{
+			{Seq: seq + 1, Op: storage.OpAssign, Rel: relID, Cont: true, Tuples: [][]value.Value{emp(2, "b", 1)}},
+		})
+		if d, err := OpenDB(dir, tortureOpts()); err == nil {
+			d.Close()
+			t.Fatal("orphan continuation chunk replayed without error")
+		}
+	})
+}
+
+// TestWALFailureFailsStop: once a WAL append fails, the database must
+// fail stop — the failing delete is refused (not acknowledged and then
+// resurrected by recovery), every later mutation and checkpoint returns
+// the sticky error, Close surfaces it, and reopening recovers the last
+// durable state.
+func TestWALFailureFailsStop(t *testing.T) {
+	dir := t.TempDir()
+	d, err := OpenDB(dir, tortureOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.DefineType(employeesSchema(t).Cols[2].Type); err != nil {
+		t.Fatal(err)
+	}
+	r, err := d.Create(employeesSchema(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(1); i <= 2; i++ {
+		if _, err := r.Insert(emp(i, fmt.Sprintf("N%d", i), 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := fingerprint(t, d)
+
+	// Fault injection: close the log out from under the database; every
+	// append from here on fails.
+	if err := d.dur.wal.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if r.Delete([]value.Value{value.Int(1)}) {
+		t.Fatal("unloggable delete acknowledged")
+	}
+	if _, ok := r.Get([]value.Value{value.Int(1)}); !ok {
+		t.Fatal("refused delete removed the element anyway")
+	}
+	if _, err := r.Insert(emp(9, "late", 1)); err == nil {
+		t.Fatal("insert after durability failure succeeded")
+	}
+	if err := r.Assign([][]value.Value{emp(8, "bulk", 1)}); err == nil {
+		t.Fatal("assign after durability failure succeeded")
+	}
+	if _, err := r.CreateIndex("estatus"); err == nil {
+		t.Fatal("index creation after durability failure succeeded")
+	}
+	if err := d.Checkpoint(); err == nil {
+		t.Fatal("checkpoint after durability failure succeeded")
+	}
+	if got := fingerprint(t, d); got != want {
+		t.Fatal("refused mutations changed the in-memory state")
+	}
+	if err := d.Close(); err == nil {
+		t.Fatal("Close swallowed the sticky durability error")
+	}
+
+	rd, err := OpenDB(dir, tortureOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rd.Close()
+	if got := fingerprint(t, rd); got != want {
+		t.Fatal("recovered state diverged from the last durable state")
+	}
+}
+
+// TestLargeAssignChunkedDurable drives an assignment past the 8 MiB
+// chunk threshold through the public mutator: the log must hold it as
+// multiple bounded frames (a single frame this size would previously
+// poison recovery, which truncates at any over-limit frame), and pure
+// WAL replay must recover the full assignment.
+func TestLargeAssignChunkedDurable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("writes ~20MB")
+	}
+	dir := t.TempDir()
+	opts := storage.Options{Fsync: storage.SyncNever, CheckpointWALBytes: -1}
+	d, err := OpenDB(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sch, err := schema.NewRelSchema("blobs", []schema.Column{
+		{Name: "id", Type: schema.IntType("bidtype", 1, 1<<30)},
+		{Name: "payload", Type: schema.StringType("blobtype", 1 << 20)},
+	}, []string{"id"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := d.Create(sch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob := strings.Repeat("x", 9000)
+	var tuples [][]value.Value
+	for i := int64(1); i <= 1200; i++ {
+		tuples = append(tuples, []value.Value{value.Int(i), value.String_(fmt.Sprintf("%s%d", blob, i))})
+	}
+	if err := r.Assign(tuples); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.dur.wal.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	d.Quiesce() // abandon without Close: recovery must come from the WAL
+
+	walData, err := os.ReadFile(filepath.Join(dir, storage.WALName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	payloads, valid := storage.ScanFrames(walData)
+	if valid != int64(len(walData)) {
+		t.Fatalf("WAL tail invalid: %d of %d bytes", valid, len(walData))
+	}
+	if len(payloads) < 3 { // CreateRel + at least two assignment chunks
+		t.Fatalf("%d WAL records, want the assignment chunked into several", len(payloads))
+	}
+	want := fingerprint(t, d)
+
+	rd, err := OpenDB(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rd.Close()
+	if got := fingerprint(t, rd); got != want {
+		t.Fatal("replayed chunked assignment diverged from the live state")
+	}
+	rr, _ := rd.Relation("blobs")
+	if rr.Len() != len(tuples) {
+		t.Fatalf("recovered %d tuples, want %d", rr.Len(), len(tuples))
 	}
 }

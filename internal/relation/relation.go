@@ -157,6 +157,9 @@ func (r *Relation) AccessCost() stats.CostProfile {
 func (r *Relation) Insert(tuple []value.Value) (value.Value, error) {
 	r.lock()
 	defer r.unlock()
+	if err := r.durableErr(); err != nil {
+		return value.Value{}, err
+	}
 	ref, added, err := r.insert(tuple)
 	if err == nil && added {
 		err = r.logMutation(storage.Record{Op: storage.OpInsert, Rel: r.id, Tuple: tuple})
@@ -202,17 +205,32 @@ func (r *Relation) insert(tuple []value.Value) (value.Value, bool, error) {
 // Delete implements the :- operator for a single element identified by
 // its key values. It reports whether an element was removed. References
 // to the removed element become stale.
+//
+// Unlike Insert and Assign, Delete logs before applying: its boolean
+// signature has no error channel, so a WAL failure after the in-memory
+// delete would acknowledge a mutation that recovery silently undoes.
+// Logging first lets a durability failure refuse the delete outright —
+// the element stays, the caller sees false, and the failure is recorded
+// as the database's sticky durability error (failing every subsequent
+// mutation and checkpoint until the database is reopened). The
+// effectiveness check runs before logging, under the same write lock
+// the apply runs under, so a logged delete is always effective —
+// replay treats a logged delete of an absent key as corruption.
 func (r *Relation) Delete(keyVals []value.Value) bool {
 	r.lock()
 	defer r.unlock()
-	if !r.delete(keyVals) {
+	k := value.EncodeKey(keyVals)
+	si, ok := r.store.LookupKey(k)
+	if !ok {
 		return false
 	}
-	// Delete's boolean signature has no error channel; a WAL failure is
-	// recorded as the database's sticky durability error (surfaced by
-	// Checkpoint and Close).
-	_ = r.logMutation(storage.Record{Op: storage.OpDelete, Rel: r.id, Key: keyVals})
-	return true
+	if _, live, err := r.store.Get(si); err != nil || !live {
+		return false
+	}
+	if r.logMutation(storage.Record{Op: storage.OpDelete, Rel: r.id, Key: keyVals}) != nil {
+		return false
+	}
+	return r.delete(keyVals)
 }
 
 // delete applies one deletion without logging.
@@ -248,6 +266,9 @@ func (r *Relation) delete(keyVals []value.Value) bool {
 func (r *Relation) Assign(tuples [][]value.Value) error {
 	r.lock()
 	defer r.unlock()
+	if err := r.durableErr(); err != nil {
+		return err
+	}
 	if err := r.assign(tuples); err != nil {
 		return err
 	}
@@ -294,6 +315,18 @@ func (r *Relation) logMutation(rec storage.Record) error {
 		return nil
 	}
 	return r.owner.logRecord(r, rec)
+}
+
+// durableErr returns the owning database's sticky durability error: set
+// when a WAL append failed, after which mutators refuse to run so the
+// in-memory state cannot drift further from the durable state. Nil for
+// standalone relations and in-memory databases. Callers hold the
+// content write lock.
+func (r *Relation) durableErr() error {
+	if r.owner == nil || r.owner.dur == nil {
+		return nil
+	}
+	return r.owner.dur.err
 }
 
 // Lookup implements the selected variable rel[keyval]: it returns the

@@ -273,6 +273,7 @@ func (d *Disk) LookupKey(enc string) (int, bool) {
 // Append implements Backend, flushing the memtable to an SSTable when
 // it reaches the configured entry budget.
 func (d *Disk) Append(enc string, tuple []value.Value) (int, error) {
+	prev, hadPrev := d.memByKey[enc]
 	d.mem = append(d.mem, memEntry{enc: enc, tuple: tuple, live: true})
 	i := len(d.mem) - 1
 	d.memByKey[enc] = i
@@ -280,7 +281,18 @@ func (d *Disk) Append(enc string, tuple []value.Value) (int, error) {
 	si := d.memBase + i
 	if len(d.mem) >= d.opts.MemtableEntries {
 		if err := d.Flush(); err != nil {
-			return si, err
+			// The caller treats the append as failed and publishes
+			// nothing (no live count, no index entries), so the entry
+			// must not stay visible here either: roll the memtable back
+			// to its pre-append state (a failed Flush mutated nothing).
+			d.mem = d.mem[:i]
+			if hadPrev {
+				d.memByKey[enc] = prev
+			} else {
+				delete(d.memByKey, enc)
+			}
+			d.memLive--
+			return 0, err
 		}
 	}
 	return si, nil

@@ -1,0 +1,55 @@
+package storage
+
+import (
+	"os"
+	"path/filepath"
+)
+
+// Power-loss durability helpers. An fsynced file whose directory entry
+// was never flushed — or a rename the directory never recorded — can
+// vanish in a crash even though the data hit the platter; every durable
+// file here therefore pairs its own fsync with one of its directory.
+
+// syncDir fsyncs a directory, making the file creations and renames
+// inside it durable.
+func syncDir(dir string) error {
+	f, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = f.Sync()
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// writeFileDurable atomically replaces path with data: write to a .tmp
+// sibling, fsync it, rename over path, fsync the directory. When it
+// returns nil the file is durable under these exact contents; a crash
+// at any earlier point leaves either the previous file or a .tmp
+// leftover (cleaned up by CleanOrphans on the next open), never a
+// partial file at path.
+func writeFileDurable(path string, data []byte) error {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	_, err = f.Write(data)
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return syncDir(filepath.Dir(path))
+}

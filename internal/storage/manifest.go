@@ -68,18 +68,11 @@ func WriteManifest(dir string, m *Manifest) error {
 		w.Strings(r.Indexes)
 		w.String(string(r.Stats))
 	}
-	buf := appendFrame(nil, w.Bytes())
-	path := filepath.Join(dir, ManifestName)
-	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, buf, 0o644); err != nil {
-		return err
-	}
-	f, err := os.Open(tmp)
-	if err == nil {
-		f.Sync()
-		f.Close()
-	}
-	return os.Rename(tmp, path)
+	// Durable write (file fsync, rename, directory fsync): the caller
+	// truncates the WAL right after this returns, so a manifest that
+	// could still vanish in a power failure would take every logged
+	// record down with it.
+	return writeFileDurable(filepath.Join(dir, ManifestName), appendFrame(nil, w.Bytes()))
 }
 
 // ReadManifest loads the manifest from dir; ok is false when none

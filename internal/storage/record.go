@@ -112,6 +112,17 @@ type Record struct {
 	Tuple  []value.Value     // OpInsert
 	Key    []value.Value     // OpDelete
 	Tuples [][]value.Value   // OpAssign
+
+	// Chunk flags, OpAssign only. A whole-relation assignment too large
+	// for one WAL record (maxRecordSize would reject its frame) is
+	// logged as a chunk group: consecutive records carrying slices of
+	// the tuple list. Cont marks a record continuing the previous
+	// chunk's list; More marks one with further chunks following. Replay
+	// reassembles a group and applies it only when the final chunk
+	// (More unset) is durable — a group torn by a crash is wholly
+	// dropped, preserving assignment atomicity.
+	More bool
+	Cont bool
 }
 
 // EncodeRecord serializes a record payload (unframed — the WAL frames
@@ -144,6 +155,14 @@ func EncodeRecord(rec Record) ([]byte, error) {
 		}
 	case OpAssign:
 		w.Uvarint(uint64(rec.Rel))
+		var flags uint64
+		if rec.More {
+			flags |= 1
+		}
+		if rec.Cont {
+			flags |= 2
+		}
+		w.Uvarint(flags)
 		w.Uvarint(uint64(len(rec.Tuples)))
 		for _, t := range rec.Tuples {
 			if err := w.Vals(t); err != nil {
@@ -194,9 +213,16 @@ func DecodeRecord(payload []byte) (Record, error) {
 			rec.Key, err = r.Vals()
 		}
 	case OpAssign:
-		var rel, n uint64
+		var rel, flags, n uint64
 		if rel, err = r.Uvarint(); err == nil {
 			rec.Rel = int(rel)
+			flags, err = r.Uvarint()
+		}
+		if err == nil {
+			if flags > 3 {
+				return rec, fmt.Errorf("storage: bad assignment chunk flags %d", flags)
+			}
+			rec.More, rec.Cont = flags&1 != 0, flags&2 != 0
 			if n, err = r.Uvarint(); err == nil {
 				if n > uint64(r.Len()) {
 					return rec, fmt.Errorf("storage: tuple count %d exceeds record", n)
@@ -221,6 +247,65 @@ func DecodeRecord(payload []byte) (Record, error) {
 		return rec, fmt.Errorf("storage: relation id %d out of range", rec.Rel)
 	}
 	return rec, nil
+}
+
+// assignChunkBytes bounds one OpAssign chunk's encoded tuple bytes —
+// well under maxRecordSize, so a chunk's frame always passes the WAL's
+// size check (a single tuple cannot approach the margin: schema bounds
+// cap every string component at 1 MiB).
+const assignChunkBytes = 8 << 20
+
+// SplitRecord splits a record into WAL-appendable pieces: an OpAssign
+// whose tuple list encodes past assignChunkBytes becomes a chunk group
+// (first chunk Cont unset, every non-final chunk More set) that replay
+// reassembles atomically; every other record passes through unchanged.
+// The caller assigns each returned record its own sequence number and
+// appends them consecutively under the content write lock, so a group
+// is always contiguous in the log.
+func SplitRecord(rec Record) []Record {
+	return splitRecord(rec, assignChunkBytes)
+}
+
+func splitRecord(rec Record, maxBytes int) []Record {
+	if rec.Op != OpAssign || len(rec.Tuples) == 0 {
+		return []Record{rec}
+	}
+	// One measuring pass: per-tuple encoded sizes, via the same codec
+	// EncodeRecord uses.
+	w := protocol.NewWriter()
+	sizes := make([]int, len(rec.Tuples))
+	prev := 0
+	for i, t := range rec.Tuples {
+		if err := w.Vals(t); err != nil {
+			// Undecodable tuple: return the record unsplit and let
+			// EncodeRecord surface the error to the mutator.
+			return []Record{rec}
+		}
+		sizes[i] = len(w.Bytes()) - prev
+		prev = len(w.Bytes())
+	}
+	if prev <= maxBytes {
+		return []Record{rec}
+	}
+	var out []Record
+	start, sz := 0, 0
+	for i := range rec.Tuples {
+		if i > start && sz+sizes[i] > maxBytes {
+			out = append(out, Record{
+				Op: OpAssign, Rel: rec.Rel,
+				Tuples: rec.Tuples[start:i],
+				More:   true, Cont: start > 0,
+			})
+			start, sz = i, 0
+		}
+		sz += sizes[i]
+	}
+	out = append(out, Record{
+		Op: OpAssign, Rel: rec.Rel,
+		Tuples: rec.Tuples[start:],
+		Cont:   start > 0,
+	})
+	return out
 }
 
 // Type and relation-schema encodings for DDL records and the manifest.

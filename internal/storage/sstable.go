@@ -177,12 +177,12 @@ func writeSSTable(dir, name string, entries []SSEntry, lo, hi int) (*ssTable, er
 	buf = append(buf, flen[:]...)
 	buf = append(buf, sstEndMagic...)
 
+	// Durable write: the next checkpoint's manifest will reference this
+	// file by name, and the manifest commit truncates the WAL — so the
+	// table (data and directory entry both) must already be on stable
+	// storage by then, not just in the page cache.
 	path := filepath.Join(dir, name)
-	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, buf, 0o644); err != nil {
-		return nil, err
-	}
-	if err := os.Rename(tmp, path); err != nil {
+	if err := writeFileDurable(path, buf); err != nil {
 		return nil, err
 	}
 	return openSSTable(path)

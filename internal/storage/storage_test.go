@@ -504,3 +504,132 @@ func TestBloomNoFalseNegatives(t *testing.T) {
 		}
 	}
 }
+
+// TestWALAppendRejectsOversized pins the frame-size guard: a payload
+// readFrame would refuse must never reach the log, because recovery
+// truncates at the first refused frame — silently discarding it AND
+// every durable record behind it.
+func TestWALAppendRejectsOversized(t *testing.T) {
+	dir := t.TempDir()
+	w, payloads, err := RecoverWAL(dir, SyncNever)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(payloads) != 0 {
+		t.Fatalf("fresh WAL replayed %d records", len(payloads))
+	}
+	if err := w.Append(make([]byte, maxRecordSize+1)); err == nil {
+		t.Fatal("oversized append accepted")
+	}
+	if w.Size() != 0 {
+		t.Fatalf("failed append grew the log to %d bytes", w.Size())
+	}
+	if err := w.Append([]byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, payloads, err = RecoverWAL(dir, SyncNever)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(payloads) != 1 || string(payloads[0]) != "ok" {
+		t.Fatalf("recovered %d records, want the one valid append", len(payloads))
+	}
+}
+
+// TestSplitRecordChunks pins the OpAssign chunking: oversized tuple
+// lists split into a flagged group that partitions the list in order,
+// every chunk roundtrips through the codec, and everything else passes
+// through untouched.
+func TestSplitRecordChunks(t *testing.T) {
+	var tuples [][]value.Value
+	for i := 0; i < 20; i++ {
+		tuples = append(tuples, ituple(i))
+	}
+	rec := Record{Op: OpAssign, Rel: 3, Tuples: tuples}
+
+	if got := splitRecord(rec, 1<<20); len(got) != 1 || got[0].More || got[0].Cont {
+		t.Fatalf("small assignment split into %d flagged records", len(got))
+	}
+	ins := Record{Op: OpInsert, Rel: 1, Tuple: ituple(1)}
+	if got := splitRecord(ins, 1); len(got) != 1 || !reflect.DeepEqual(got[0], ins) {
+		t.Fatal("non-assign record did not pass through")
+	}
+
+	chunks := splitRecord(rec, 24)
+	if len(chunks) < 3 {
+		t.Fatalf("split produced only %d chunks", len(chunks))
+	}
+	var merged [][]value.Value
+	for i, c := range chunks {
+		if c.Op != OpAssign || c.Rel != rec.Rel || len(c.Tuples) == 0 {
+			t.Fatalf("chunk %d malformed: %+v", i, c)
+		}
+		if wantCont := i > 0; c.Cont != wantCont {
+			t.Fatalf("chunk %d Cont=%v", i, c.Cont)
+		}
+		if wantMore := i < len(chunks)-1; c.More != wantMore {
+			t.Fatalf("chunk %d More=%v", i, c.More)
+		}
+		payload, err := EncodeRecord(c)
+		if err != nil {
+			t.Fatalf("chunk %d encode: %v", i, err)
+		}
+		back, err := DecodeRecord(payload)
+		if err != nil {
+			t.Fatalf("chunk %d decode: %v", i, err)
+		}
+		if back.More != c.More || back.Cont != c.Cont || len(back.Tuples) != len(c.Tuples) {
+			t.Fatalf("chunk %d did not roundtrip: %+v vs %+v", i, back, c)
+		}
+		merged = append(merged, c.Tuples...)
+	}
+	if len(merged) != len(tuples) {
+		t.Fatalf("chunks carry %d tuples, want %d", len(merged), len(tuples))
+	}
+	for i := range tuples {
+		if value.EncodeKey(merged[i]) != value.EncodeKey(tuples[i]) {
+			t.Fatalf("tuple %d reordered by split", i)
+		}
+	}
+}
+
+// TestDiskAppendFlushFailureRollsBack: a memtable flush failing inside
+// Append must leave the backend exactly as before the append — the
+// caller published nothing (no live count, no index entries), so a
+// half-registered entry would answer key probes while being invisible
+// to scans.
+func TestDiskAppendFlushFailureRollsBack(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "missing")
+	d := NewDisk(dir, 0, Options{MemtableEntries: 1, Fsync: SyncNever})
+	defer d.Close()
+	if _, err := d.Append(ikey(1), ituple(1)); err == nil {
+		t.Fatal("append with failing flush reported success")
+	}
+	if span := d.SlotSpan(); span != 0 {
+		t.Fatalf("slot span %d after rolled-back append", span)
+	}
+	if _, ok := d.LookupKey(ikey(1)); ok {
+		t.Fatal("rolled-back entry still answers key lookups")
+	}
+	if got := snapshot(t, d); got != "span=0\n" {
+		t.Fatalf("rolled-back entry visible to scans:\n%s", got)
+	}
+	// With the failure cause repaired, the same append must succeed and
+	// reuse the never-published slot.
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	si, err := d.Append(ikey(1), ituple(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if si != 0 {
+		t.Fatalf("retried append landed on slot %d, want 0", si)
+	}
+	if got, ok := d.LookupKey(ikey(1)); !ok || got != 0 {
+		t.Fatalf("retried append not found: slot %d ok %v", got, ok)
+	}
+}

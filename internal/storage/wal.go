@@ -30,14 +30,26 @@ type WAL struct {
 // order.
 func RecoverWAL(dir string, policy FsyncPolicy) (*WAL, [][]byte, error) {
 	path := filepath.Join(dir, WALName)
+	created := false
 	data, err := os.ReadFile(path)
-	if err != nil && !os.IsNotExist(err) {
-		return nil, nil, err
+	if err != nil {
+		if !os.IsNotExist(err) {
+			return nil, nil, err
+		}
+		created = true
 	}
 	payloads, valid := ScanFrames(data)
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, nil, err
+	}
+	if created {
+		// Make the new log's directory entry durable: an fsynced record
+		// in a file a crash un-creates is no record at all.
+		if err := syncDir(dir); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
 	}
 	if valid < int64(len(data)) {
 		// Torn or corrupt tail: drop it so the next append extends a
@@ -74,9 +86,17 @@ func ScanFrames(data []byte) (payloads [][]byte, valid int64) {
 }
 
 // Append frames and writes one record payload, fsyncing per policy.
+// Payloads beyond maxRecordSize are rejected up front: readFrame would
+// refuse the oversized frame during recovery, truncating the log there
+// and silently discarding every durable record after it — the writer
+// must fail loudly instead (whole-relation assignments stay under the
+// bound by chunking, see SplitRecord).
 func (w *WAL) Append(payload []byte) error {
 	if w.f == nil {
 		return fmt.Errorf("storage: WAL is closed")
+	}
+	if len(payload) > maxRecordSize {
+		return fmt.Errorf("storage: WAL record of %d bytes exceeds the %d-byte limit", len(payload), maxRecordSize)
 	}
 	frame := appendFrame(nil, payload)
 	if _, err := w.f.Write(frame); err != nil {
