@@ -14,6 +14,7 @@ import (
 	"pascalr/internal/calculus"
 	"pascalr/internal/engine"
 	"pascalr/internal/normalize"
+	"pascalr/internal/obs"
 	"pascalr/internal/optimizer"
 	"pascalr/internal/relation"
 	"pascalr/internal/stats"
@@ -495,6 +496,25 @@ func BenchmarkPreparedRepeat(b *testing.B) {
 			if _, err := stmt.Query(ctx); err != nil {
 				b.Fatal(err)
 			}
+		}
+	})
+	// The traced leg re-executes the prepared statement with a live
+	// span recorder per iteration; the delta against "prepared" is the
+	// full cost of recording a span tree.
+	b.Run("prepared_traced", func(b *testing.B) {
+		db := mk(b)
+		stmt, err := db.Prepare(example21)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ctx := context.Background()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			tr := obs.NewTrace("")
+			if _, err := stmt.Query(obs.With(ctx, tr.Root())); err != nil {
+				b.Fatal(err)
+			}
+			tr.Finish()
 		}
 	})
 }

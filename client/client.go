@@ -81,6 +81,12 @@ type Options struct {
 	Parallelism int
 	// MaxRefTuples > 0 bounds the reference-tuple working set.
 	MaxRefTuples int64
+	// TraceID, when non-empty, names the server-side trace of this call,
+	// so the caller can correlate it across the server's process list,
+	// slow-query log, and metrics without asking the server for the
+	// generated ID. Empty lets the server assign one (readable afterwards
+	// via TraceLastQuery).
+	TraceID string
 }
 
 func (o Options) wire() protocol.QueryOpts {
@@ -91,6 +97,7 @@ func (o Options) wire() protocol.QueryOpts {
 		CostBased:     o.CostBased,
 		Parallelism:   uint32(o.Parallelism),
 		MaxRefTuples:  uint64(o.MaxRefTuples),
+		TraceID:       o.TraceID,
 	}
 }
 
@@ -419,6 +426,33 @@ func (c *Conn) ResetStats() error {
 // fingerprint (see pascalr.Database.StatsFingerprint).
 func (c *Conn) StatsFingerprint() (string, error) {
 	r, err := c.expect(protocol.OpFingerprint, nil, protocol.OpStr)
+	if err != nil {
+		return "", err
+	}
+	return r.String()
+}
+
+// ExplainAnalyze executes a selection on the server and returns the
+// engine's estimated-versus-actual cardinality report — the same text
+// in-process callers get from pascalr.Database.ExplainAnalyze. The
+// execution is traced; TraceLastQuery afterwards returns its span tree.
+func (c *Conn) ExplainAnalyze(src string, opts Options) (string, error) {
+	w := protocol.NewWriter()
+	w.String(src)
+	w.Opts(opts.wire())
+	r, err := c.expect(protocol.OpExplainAnalyze, w.Bytes(), protocol.OpStr)
+	if err != nil {
+		return "", err
+	}
+	return r.String()
+}
+
+// TraceLastQuery returns the span tree of the session's most recently
+// traced statement as JSON: the trace ID, start time, and the nested
+// spans with their durations and attributes (estimated and actual
+// cardinalities on scan and join spans).
+func (c *Conn) TraceLastQuery() (string, error) {
+	r, err := c.expect(protocol.OpLastTrace, nil, protocol.OpStr)
 	if err != nil {
 		return "", err
 	}

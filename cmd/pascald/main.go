@@ -24,6 +24,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"os/signal"
 	"strings"
@@ -50,7 +51,20 @@ func main() {
 	grace := flag.Duration("grace", 10*time.Second, "graceful-shutdown drain budget")
 	dataDir := flag.String("data", "", "durable data directory (empty = in-memory)")
 	noFsync := flag.Bool("no-fsync", false, "with -data: skip the per-record WAL fsync")
+	slowQuery := flag.Duration("slow-query", 0, "log statements slower than this threshold, e.g. 100ms (0 = disabled)")
+	logFormat := flag.String("log-format", "text", "structured log format: text or json")
 	flag.Parse()
+
+	var handler slog.Handler
+	switch *logFormat {
+	case "text":
+		handler = slog.NewTextHandler(os.Stderr, nil)
+	case "json":
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	default:
+		fatal(fmt.Errorf("bad -log-format %q, want text or json", *logFormat))
+	}
+	logger := slog.New(handler)
 
 	var db *pascalr.Database
 	if *dataDir != "" {
@@ -94,6 +108,8 @@ func main() {
 		Addr:        *addr,
 		MonitorAddr: *httpAddr,
 		MaxSessions: *maxSessions,
+		Logger:      logger,
+		SlowQuery:   *slowQuery,
 	})
 	if err := srv.Start(); err != nil {
 		fatal(err)

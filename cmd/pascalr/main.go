@@ -22,6 +22,7 @@ import (
 	"strings"
 
 	"pascalr"
+	"pascalr/internal/obs"
 	"pascalr/internal/workload"
 )
 
@@ -44,6 +45,7 @@ func main() {
 	parallel := flag.Int("parallel", 1, "collection-phase scan workers (1 = serial)")
 	university := flag.Int("university", 0, "populate the Figure 1 sample database at this scale")
 	interactive := flag.Bool("i", false, "read statements and queries from stdin")
+	trace := flag.Bool("trace", false, "print each query's span tree (phase and scan/join timings) after execution")
 	flag.Parse()
 
 	strat, err := pascalr.ParseStrategy(*strategies)
@@ -128,8 +130,17 @@ func main() {
 			// context is cancelled by SIGINT and released when the query
 			// finishes, so the next interrupt reaches the process again.
 			ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+			var tr *obs.Trace
+			if *trace {
+				tr = obs.NewTrace("")
+				ctx = obs.With(ctx, tr.Root())
+			}
 			err := streamQuery(ctx, db, q, opts)
 			stop()
+			if tr != nil {
+				tr.Finish()
+				fmt.Print(tr.Render())
+			}
 			if err != nil {
 				if errors.Is(err, context.Canceled) {
 					fmt.Fprintln(os.Stderr, "query cancelled")

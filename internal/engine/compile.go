@@ -4,10 +4,12 @@ import (
 	"context"
 	"errors"
 	"sync"
+	"time"
 
 	"pascalr/internal/baseline"
 	"pascalr/internal/calculus"
 	"pascalr/internal/normalize"
+	"pascalr/internal/obs"
 	"pascalr/internal/optimizer"
 	"pascalr/internal/relation"
 	"pascalr/internal/stats"
@@ -65,6 +67,14 @@ type Plan struct {
 // returns the reusable plan. The selection and info must not be mutated
 // afterwards.
 func (e *Engine) Compile(sel *calculus.Selection, info *calculus.Info, opts Options) (*Plan, error) {
+	return e.CompileCtx(context.Background(), sel, info, opts)
+}
+
+// CompileCtx is Compile carrying a context: when the context carries a
+// trace span (internal/obs), the standardize and optimize phases record
+// child spans. Compilation itself ignores cancellation — it is fast and
+// has no mid-point worth aborting at.
+func (e *Engine) CompileCtx(ctx context.Context, sel *calculus.Selection, info *calculus.Info, opts Options) (*Plan, error) {
 	autoEst := opts.CostBased && opts.Estimator == nil
 	p := &Plan{eng: e, sel: sel, info: info, autoEst: autoEst, version: e.db.Version()}
 	// Counters first, estimator second: a mutation racing the compile
@@ -74,7 +84,7 @@ func (e *Engine) Compile(sel *calculus.Selection, info *calculus.Info, opts Opti
 	e.ensureEstimator(&opts)
 	p.opts = opts
 	folded := normalize.Fold(sel.Pred, baseline.Emptiness(e.db))
-	x, err := e.prepareFolded(sel, folded, p.opts)
+	x, err := e.prepareFoldedCtx(ctx, sel, folded, p.opts)
 	if err != nil {
 		return nil, err
 	}
@@ -271,6 +281,21 @@ func (p *Plan) rowsWithPlan(ctx context.Context, override func(*Options)) (*Curs
 	e := p.eng
 	execSt := &stats.Counters{}
 	defer e.mergeStats(execSt)
+	mQueries.Inc()
+	qStart := time.Now()
+	defer func() { mQueryLatency.Observe(time.Since(qStart)) }()
+	sp := obs.SpanFrom(ctx)
+	if sp != nil {
+		// Runs before the deferred mergeStats (LIFO), when the
+		// execution's private sink is complete: the slow-query log reads
+		// these per-execution counter deltas off the root span.
+		defer func() {
+			sp.SetInt("tuples_read", execSt.TuplesRead)
+			sp.SetInt("index_probes", execSt.IndexProbes)
+			sp.SetInt("comparisons", execSt.Comparisons)
+			sp.SetInt("ref_tuples", execSt.RefTuples)
+		}()
+	}
 
 	var x *optimizer.XForm
 	var opts Options
@@ -301,6 +326,9 @@ func (p *Plan) rowsWithPlan(ctx context.Context, override func(*Options)) (*Curs
 		}
 		break
 	}
+	if len(pp.jobSpans) > 0 {
+		pp.annotateScanSpans()
+	}
 
 	result := relation.New(p.info.Result, 0xFFFF)
 	// An empty free range, or a constant-FALSE matrix, yields the empty
@@ -315,9 +343,15 @@ func (p *Plan) rowsWithPlan(ctx context.Context, override func(*Options)) (*Curs
 			return cur, pp, err
 		}
 	}
+	pp.combSp = sp.Start("combination")
 	refs, err := pp.combine(ctx, opts.MaxRefTuples)
 	if err != nil {
+		pp.combSp.End()
 		return nil, nil, err
+	}
+	if pp.combSp != nil {
+		pp.combSp.SetInt("ref_tuples", int64(refs.Len()))
+		pp.combSp.End()
 	}
 	cur, err := newCursor(ctx, e.db, p.sel, result, refs)
 	return cur, pp, err

@@ -29,6 +29,7 @@ import (
 	"pascalr/internal/baseline"
 	"pascalr/internal/calculus"
 	"pascalr/internal/normalize"
+	"pascalr/internal/obs"
 	"pascalr/internal/optimizer"
 	"pascalr/internal/relation"
 	"pascalr/internal/stats"
@@ -170,11 +171,20 @@ func (e *Engine) prepare(sel *calculus.Selection, opts Options) (*optimizer.XFor
 // current empty ranges; Plan revalidation computes the fold itself to
 // detect staleness, then hands it over.
 func (e *Engine) prepareFolded(sel *calculus.Selection, folded calculus.Formula, opts Options) (*optimizer.XForm, error) {
+	return e.prepareFoldedCtx(context.Background(), sel, folded, opts)
+}
+
+func (e *Engine) prepareFoldedCtx(ctx context.Context, sel *calculus.Selection, folded calculus.Formula, opts Options) (*optimizer.XForm, error) {
+	sp := obs.SpanFrom(ctx)
 	sel = &calculus.Selection{Proj: sel.Proj, Free: sel.Free, Pred: folded}
+	ssp := sp.Start("standardize")
 	sf, err := normalize.Standardize(sel, normalize.Options{MaxConjunctions: opts.MaxConjunctions})
+	ssp.End()
 	if err != nil {
 		return nil, err
 	}
+	osp := sp.Start("optimize")
+	defer osp.End()
 	// The CNF extension runs first: its free-variable rule ("every
 	// conjunction restricts the variable") must judge the original
 	// matrix. Plain extraction may remove whole disjuncts (the universal
@@ -236,7 +246,16 @@ func (e *Engine) collectWithAdaptation(ctx context.Context, x *optimizer.XForm, 
 		if err != nil {
 			return nil, err
 		}
-		if err := p.runScans(ctx); err != nil {
+		if sp := obs.SpanFrom(ctx); sp != nil {
+			p.collSp = sp.Start("collection")
+			if attempt > 0 {
+				p.collSp.SetInt("adaptation", int64(attempt))
+			}
+			p.jobSpans = make([]*obs.Span, len(p.jobs))
+		}
+		err = p.runScans(ctx)
+		p.collSp.End()
+		if err != nil {
 			return nil, err
 		}
 		empties := map[string]bool{}

@@ -347,8 +347,14 @@ func (p *plan) runScans(ctx context.Context) error {
 			return err
 		}
 	} else {
-		for _, job := range p.jobs {
-			if err := p.runScanJob(ctx, job, p.st); err != nil {
+		for ji, job := range p.jobs {
+			sp := p.collSp.Start("scan " + job.rel.Name())
+			if ji < len(p.jobSpans) {
+				p.jobSpans[ji] = sp
+			}
+			err := p.runScanJob(ctx, job, p.st)
+			sp.End()
+			if err != nil {
 				return err
 			}
 		}
@@ -358,7 +364,13 @@ func (p *plan) runScans(ctx context.Context) error {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
+		sp := p.collSp.Start("deferred-join")
 		p.materializeDeferred(d)
+		if sp != nil {
+			sp.SetAttr("key", d.key)
+			sp.SetInt("pairs", int64(d.out.Len()))
+			sp.End()
+		}
 	}
 	p.recordStructures()
 	return nil
@@ -671,8 +683,10 @@ func (p *plan) greedyJoin(ctx context.Context, pieces []*algebra.RefRel, maxRefT
 				}
 			}
 		}
+		jsp := p.combSp.Start("join")
 		joined, err := algebra.Join(ctx, pieces[bi], pieces[bj], p.st)
 		if err != nil {
+			jsp.End()
 			return nil, err
 		}
 		est := -1.0
@@ -682,6 +696,14 @@ func (p *plan) greedyJoin(ctx context.Context, pieces []*algebra.RefRel, maxRefT
 		p.joinLog = append(p.joinLog, joinStep{
 			vars: strings.Join(joined.Vars(), ","), est: est, got: joined.Len(),
 		})
+		if jsp != nil {
+			jsp.SetAttr("vars", strings.Join(joined.Vars(), ","))
+			jsp.SetInt("actual", int64(joined.Len()))
+			if est >= 0 {
+				jsp.SetFloat("est", est)
+			}
+			jsp.End()
+		}
 		next := make([]*algebra.RefRel, 0, len(pieces)-1)
 		for k, r := range pieces {
 			if k != bi && k != bj {

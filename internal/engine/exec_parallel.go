@@ -110,17 +110,28 @@ func (p *plan) runScansParallel(ctx context.Context) error {
 			}
 		}
 
+		// Job spans open at emission time, so a parallel scan's span
+		// includes its scheduler queue wait — deliberately: queueing is
+		// part of what the trace is for.
+		jsp := p.collSp.Start("scan " + job.rel.Name())
+		if jsp != nil {
+			p.jobSpans[ji] = jsp
+		}
+
 		if len(spans[ji]) <= 1 {
 			jb := job
 			sjobs = append(sjobs, sched.Job{
 				Name: "scan " + jb.rel.Name(),
 				Deps: deps,
 				Run: func(ctx context.Context) error {
+					defer jsp.End()
 					return p.runScanJob(ctx, jb, sink)
 				},
 			})
 			continue
 		}
+		jsp.SetInt("shards", int64(len(spans[ji])))
+		mParallelShards.Add(int64(len(spans[ji])))
 
 		shardIDs := make([]int, 0, len(spans[ji]))
 		shardTasks := make([][]scanTask, len(spans[ji]))
@@ -138,6 +149,8 @@ func (p *plan) runScansParallel(ctx context.Context) error {
 				Name: fmt.Sprintf("scan %s [%d:%d)", jb.rel.Name(), lo, hi),
 				Deps: deps,
 				Run: func(ctx context.Context) error {
+					ssp := jsp.Start(fmt.Sprintf("shard [%d:%d)", lo, hi))
+					defer ssp.End()
 					return p.scanSlotRange(ctx, jb, tasks, snk, lo, hi)
 				},
 			})
@@ -147,6 +160,7 @@ func (p *plan) runScansParallel(ctx context.Context) error {
 			Name: "merge " + jb.rel.Name(),
 			Deps: shardIDs,
 			Run: func(context.Context) error {
+				defer jsp.End()
 				// One logical scan: the shards counted the tuples, the
 				// merge counts the scan start, exactly once.
 				sink.CountScan(jb.rel.Name())

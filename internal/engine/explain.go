@@ -80,6 +80,27 @@ func formatExplain(pp *plan, rows int) string {
 	return b.String()
 }
 
+// annotateScanSpans stamps each scan job's trace span with the same
+// estimated and actual cardinalities EXPLAIN reports, per variable the
+// job scanned for. Called once after the collection phase materialized
+// the structures actualCard reads.
+func (pp *plan) annotateScanSpans() {
+	for ji, job := range pp.jobs {
+		sp := pp.jobSpans[ji]
+		if sp == nil {
+			continue
+		}
+		for _, v := range job.vars {
+			if pp.est != nil {
+				sp.SetFloat("est."+v, pp.estCard(v))
+			}
+			actual, how := pp.actualCard(v)
+			sp.SetInt("actual."+v, int64(actual))
+			sp.SetAttr("via."+v, how)
+		}
+	}
+}
+
 // actualCard reports the variable's observed effective cardinality and
 // which structure it was read from: the materialized range list when
 // one exists, a single list built over the variable, the distinct

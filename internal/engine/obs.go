@@ -1,0 +1,17 @@
+package engine
+
+import "pascalr/internal/obs"
+
+// Engine-layer metrics. Registered once at package init; the hot paths
+// touch only the returned atomics. Span tracing (internal/obs) rides the
+// context instead — see collectWithAdaptation and rowsWithPlan — and
+// never writes into stats.Counters, so counter fingerprints are
+// bit-identical with tracing on or off.
+var (
+	mParallelShards = obs.GetCounter("pascal_engine_parallel_shards_total",
+		"Collection-phase scan shards fanned out to the scheduler worker pool")
+	mQueries = obs.GetCounter("pascal_engine_queries_total",
+		"Query executions started (collection + combination phases)")
+	mQueryLatency = obs.GetHistogram("pascal_engine_query_seconds",
+		"Latency of the eager collection + combination phases per execution")
+)

@@ -8,6 +8,7 @@ import (
 
 	"pascalr/internal/calculus"
 	"pascalr/internal/collection"
+	"pascalr/internal/obs"
 	"pascalr/internal/optimizer"
 	"pascalr/internal/relation"
 	"pascalr/internal/schema"
@@ -204,6 +205,15 @@ type plan struct {
 	// actual output for EXPLAIN reporting. The combination phase is
 	// single-threaded, so no lock guards it.
 	joinLog []joinStep
+
+	// collSp/combSp/jobSpans hang this execution's trace spans off the
+	// caller's span tree (internal/obs); all nil/empty when tracing is
+	// off. jobSpans parallels jobs; each entry is written once by the
+	// goroutine that opens the job's span (serially, or at emission time
+	// in the parallel path) and read only after the scans complete.
+	collSp   *obs.Span
+	combSp   *obs.Span
+	jobSpans []*obs.Span
 }
 
 // joinStep is one greedy-join decision: the variables of the joined

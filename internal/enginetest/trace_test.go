@@ -1,0 +1,68 @@
+package enginetest
+
+import (
+	"context"
+	"testing"
+
+	"pascalr/internal/calculus"
+	"pascalr/internal/engine"
+	"pascalr/internal/obs"
+	"pascalr/internal/parser"
+	"pascalr/internal/stats"
+)
+
+// TestTracedFingerprintIdentity proves that span tracing is invisible
+// to execution: for every table query under the full 32-combo strategy
+// matrix × all planner modes × serial and parallel collection, a run
+// with a live trace on the context produces the exact result AND the
+// exact counter fingerprint of the untraced run. Tracing records into
+// its own sink and never touches stats.Counters, so any divergence
+// here is an instrumentation bug leaking into execution.
+func TestTracedFingerprintIdentity(t *testing.T) {
+	db := universityDB(t, 10)
+	ctx := context.Background()
+	modes := PlannerModes(db)
+	for _, q := range UniversityQueries {
+		q := q
+		t.Run(q.Name, func(t *testing.T) {
+			sel, err := parser.ParseSelection(q.Src)
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			checked, info, err := calculus.Check(sel, db.Catalog())
+			if err != nil {
+				t.Fatalf("check: %v", err)
+			}
+			for _, strat := range StrategySets() {
+				for _, mode := range modes {
+					for _, par := range []int{1, 4} {
+						opts := engine.Options{Strategies: strat, CostBased: mode.Est != nil, Estimator: mode.Est, Parallelism: par}
+
+						plain := &stats.Counters{}
+						got, err := engine.New(db, plain).Eval(ctx, checked, info, opts)
+						if err != nil {
+							t.Fatalf("[%s %s par=%d] untraced: %v", strat, mode.Name, par, err)
+						}
+
+						tr := obs.NewTrace("")
+						traced := &stats.Counters{}
+						gotTr, err := engine.New(db, traced).Eval(obs.With(ctx, tr.Root()), checked, info, opts)
+						tr.Finish()
+						if err != nil {
+							t.Fatalf("[%s %s par=%d] traced: %v", strat, mode.Name, par, err)
+						}
+
+						if a, b := RelKey(got), RelKey(gotTr); a != b {
+							t.Fatalf("[%s %s par=%d] traced result diverges\nuntraced: %d rows\ntraced:   %d rows",
+								strat, mode.Name, par, got.Len(), gotTr.Len())
+						}
+						if a, b := plain.Fingerprint(), traced.Fingerprint(); a != b {
+							t.Fatalf("[%s %s par=%d] traced counters diverge\nuntraced: %s\ntraced:   %s",
+								strat, mode.Name, par, a, b)
+						}
+					}
+				}
+			}
+		})
+	}
+}

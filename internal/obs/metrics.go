@@ -1,0 +1,200 @@
+// Package obs is the zero-dependency observability layer: a process-wide
+// registry of typed metrics (atomic counters, gauges, fixed-bucket latency
+// histograms) exposed in Prometheus text format, and per-execution span
+// traces (trace.go) recorded like the engine's per-execution counter sinks.
+//
+// Metric names follow pascal_{layer}_{name}_{unit} with layer one of
+// engine, sched, storage, server and unit one of total, seconds, bytes,
+// count, rows, info — the obs CI job lints every registered name against
+// that pattern and against the ARCHITECTURE.md metrics table.
+//
+// Registration is idempotent by name: tests open many databases and every
+// package registers its metrics in a package-level var block, so the Nth
+// GetCounter("x", ...) returns the same instance as the first. Instruments
+// are all lock-free atomics on the hot path; the registry mutex is touched
+// only at registration and exposition time.
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be >= 0 for Prometheus counter semantics).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Load returns the current value.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// Gauge is an atomic instantaneous value (queue depths, session counts).
+type Gauge struct{ v atomic.Int64 }
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adjusts the value by n (may be negative).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Load returns the current value.
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
+// DefBuckets are the default latency histogram bucket upper bounds in
+// seconds: 100µs to 2.5s, roughly log-spaced, plus the implicit +Inf.
+var DefBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+	0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5,
+}
+
+// Histogram is a fixed-bucket latency histogram. Observations are
+// per-bucket atomic increments — no locks, no allocation.
+type Histogram struct {
+	bounds []float64 // ascending upper bounds in seconds, excluding +Inf
+	counts []atomic.Int64
+	inf    atomic.Int64
+	sumNS  atomic.Int64
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	s := d.Seconds()
+	h.sumNS.Add(d.Nanoseconds())
+	for i, b := range h.bounds {
+		if s <= b {
+			h.counts[i].Add(1)
+			return
+		}
+	}
+	h.inf.Add(1)
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() int64 {
+	n := h.inf.Load()
+	for i := range h.counts {
+		n += h.counts[i].Load()
+	}
+	return n
+}
+
+// Sum returns the sum of all observed durations.
+func (h *Histogram) Sum() time.Duration { return time.Duration(h.sumNS.Load()) }
+
+// Info is a single-series informational metric: a constant 1 carrying a
+// mutable label set (e.g. the trace ID of the most recent slow query).
+// Setting it replaces the labels wholesale, so cardinality stays 1.
+type Info struct {
+	mu     sync.Mutex
+	labels []Attr
+	set    bool
+}
+
+// SetLabels replaces the info metric's label set.
+func (i *Info) SetLabels(labels ...Attr) {
+	i.mu.Lock()
+	i.labels = append(i.labels[:0], labels...)
+	i.set = true
+	i.mu.Unlock()
+}
+
+func (i *Info) snapshot() ([]Attr, bool) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return append([]Attr(nil), i.labels...), i.set
+}
+
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+	kindInfo
+)
+
+type metric struct {
+	name string
+	help string
+	kind metricKind
+
+	counter   *Counter
+	gauge     *Gauge
+	histogram *Histogram
+	info      *Info
+}
+
+var registry = struct {
+	mu     sync.Mutex
+	byName map[string]*metric
+}{byName: make(map[string]*metric)}
+
+func register(name, help string, kind metricKind) *metric {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	if m, ok := registry.byName[name]; ok {
+		if m.kind != kind {
+			panic(fmt.Sprintf("obs: metric %q re-registered with a different kind", name))
+		}
+		return m
+	}
+	m := &metric{name: name, help: help, kind: kind}
+	switch kind {
+	case kindCounter:
+		m.counter = &Counter{}
+	case kindGauge:
+		m.gauge = &Gauge{}
+	case kindHistogram:
+		m.histogram = &Histogram{
+			bounds: DefBuckets,
+			counts: make([]atomic.Int64, len(DefBuckets)),
+		}
+	case kindInfo:
+		m.info = &Info{}
+	}
+	registry.byName[name] = m
+	return m
+}
+
+// GetCounter returns (registering on first use) the named counter.
+func GetCounter(name, help string) *Counter { return register(name, help, kindCounter).counter }
+
+// GetGauge returns (registering on first use) the named gauge.
+func GetGauge(name, help string) *Gauge { return register(name, help, kindGauge).gauge }
+
+// GetHistogram returns (registering on first use) the named latency
+// histogram with the default buckets.
+func GetHistogram(name, help string) *Histogram { return register(name, help, kindHistogram).histogram }
+
+// GetInfo returns (registering on first use) the named info metric.
+func GetInfo(name, help string) *Info { return register(name, help, kindInfo).info }
+
+// Names returns every registered metric name, sorted.
+func Names() []string {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	names := make([]string, 0, len(registry.byName))
+	for n := range registry.byName {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func snapshotMetrics() []*metric {
+	registry.mu.Lock()
+	ms := make([]*metric, 0, len(registry.byName))
+	for _, m := range registry.byName {
+		ms = append(ms, m)
+	}
+	registry.mu.Unlock()
+	sort.Slice(ms, func(i, j int) bool { return ms[i].name < ms[j].name })
+	return ms
+}

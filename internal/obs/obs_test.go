@@ -1,0 +1,209 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestTraceTree: spans nest, attributes attach, and the snapshot
+// mirrors the recorded structure.
+func TestTraceTree(t *testing.T) {
+	tr := NewTrace("cafe0123cafe0123")
+	if tr.ID() != "cafe0123cafe0123" {
+		t.Fatalf("trace id = %q", tr.ID())
+	}
+	root := tr.Root()
+	p := root.Start("parse")
+	p.End()
+	coll := root.Start("collection")
+	sc := coll.Start("scan employees")
+	sc.SetInt("actual.e", 17)
+	sc.SetFloat("est.e", 17)
+	sc.SetAttr("via.e", "range list")
+	sc.End()
+	coll.End()
+	tr.Finish()
+
+	snap := tr.Snapshot()
+	if snap.TraceID != "cafe0123cafe0123" {
+		t.Fatalf("snapshot trace id = %q", snap.TraceID)
+	}
+	if snap.Root.Name != "query" || len(snap.Root.Children) != 2 {
+		t.Fatalf("root = %+v", snap.Root)
+	}
+	scan := snap.Root.Children[1].Children[0]
+	if scan.Name != "scan employees" {
+		t.Fatalf("scan span = %+v", scan)
+	}
+	if scan.Attrs["actual.e"] != "17" || scan.Attrs["via.e"] != "range list" {
+		t.Fatalf("scan attrs = %v", scan.Attrs)
+	}
+
+	js, err := tr.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back TraceJSON
+	if err := json.Unmarshal(js, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Root.Children[0].Name != "parse" {
+		t.Fatalf("round-tripped tree = %+v", back.Root)
+	}
+
+	out := tr.Render()
+	for _, want := range []string{"trace cafe0123cafe0123", "- query", "- parse", "- scan employees", "actual.e=17"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestTracePhases: direct children of the root keyed by name, first
+// occurrence winning.
+func TestTracePhases(t *testing.T) {
+	tr := NewTrace("")
+	a := tr.Root().Start("collection")
+	time.Sleep(time.Millisecond)
+	a.End()
+	b := tr.Root().Start("collection") // re-plan: second occurrence ignored
+	b.End()
+	tr.Finish()
+	ph := tr.Phases()
+	if len(ph) != 1 || ph["collection"] < time.Millisecond {
+		t.Fatalf("phases = %v", ph)
+	}
+}
+
+// TestNilSafety: every operation on a nil trace/span is a no-op, and a
+// nil span never changes the context.
+func TestNilSafety(t *testing.T) {
+	var tr *Trace
+	if tr.ID() != "" || tr.Root() != nil || tr.Duration() != 0 {
+		t.Fatal("nil trace leaked state")
+	}
+	tr.Finish()
+	if _, err := tr.JSON(); err == nil {
+		t.Fatal("nil trace JSON did not error")
+	}
+	if tr.Render() != "" || tr.Phases() != nil {
+		t.Fatal("nil trace rendered")
+	}
+
+	var sp *Span
+	sp.End()
+	sp.SetAttr("k", "v")
+	sp.SetInt("k", 1)
+	sp.SetFloat("k", 1)
+	if sp.Start("child") != nil {
+		t.Fatal("nil span spawned a child")
+	}
+
+	ctx := context.Background()
+	if With(ctx, nil) != ctx {
+		t.Fatal("With(ctx, nil) allocated a new context")
+	}
+	if SpanFrom(ctx) != nil || TraceFrom(ctx) != nil {
+		t.Fatal("empty context carried a span")
+	}
+
+	live := NewTrace("")
+	ctx2 := With(ctx, live.Root())
+	if SpanFrom(ctx2) != live.Root() || TraceFrom(ctx2) != live {
+		t.Fatal("context did not carry the span")
+	}
+}
+
+// TestDisabledTracingAllocatesNothing: the off path — context lookup
+// plus nil checks — must not allocate.
+func TestDisabledTracingAllocatesNothing(t *testing.T) {
+	ctx := context.Background()
+	allocs := testing.AllocsPerRun(1000, func() {
+		sp := SpanFrom(ctx)
+		c := sp.Start("x")
+		c.SetInt("k", 1)
+		c.End()
+		_ = With(ctx, nil)
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled tracing allocates %v per op", allocs)
+	}
+}
+
+func TestNewTraceID(t *testing.T) {
+	a, b := NewTraceID(), NewTraceID()
+	if len(a) != 16 || len(b) != 16 || a == b {
+		t.Fatalf("trace ids %q %q", a, b)
+	}
+}
+
+// TestMetricsPrimitives: counters, gauges, histograms, and the
+// registry's idempotence.
+func TestMetricsPrimitives(t *testing.T) {
+	c := GetCounter("pascal_engine_obstest_total", "test counter")
+	c.Inc()
+	c.Add(2)
+	if c.Load() != 3 {
+		t.Fatalf("counter = %d", c.Load())
+	}
+	if GetCounter("pascal_engine_obstest_total", "test counter") != c {
+		t.Fatal("re-registration returned a different counter")
+	}
+
+	g := GetGauge("pascal_engine_obstest_count", "test gauge")
+	g.Set(5)
+	g.Add(-2)
+	if g.Load() != 3 {
+		t.Fatalf("gauge = %d", g.Load())
+	}
+
+	h := GetHistogram("pascal_engine_obstest_seconds", "test histogram")
+	h.Observe(50 * time.Microsecond) // first bucket is 100µs
+	h.Observe(3 * time.Second)       // beyond the last bound
+	if h.Count() != 2 {
+		t.Fatalf("histogram count = %d", h.Count())
+	}
+	if h.Sum() != 3*time.Second+50*time.Microsecond {
+		t.Fatalf("histogram sum = %v", h.Sum())
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("kind conflict did not panic")
+		}
+	}()
+	GetGauge("pascal_engine_obstest_total", "wrong kind")
+}
+
+// TestWritePrometheus: the exposition carries HELP/TYPE headers, plain
+// samples, cumulative histogram buckets, and the info series' labels.
+func TestWritePrometheus(t *testing.T) {
+	c := GetCounter("pascal_engine_obstest_expo_total", "expo counter")
+	c.Add(7)
+	h := GetHistogram("pascal_engine_obstest_expo_seconds", "expo histogram")
+	h.Observe(time.Millisecond)
+	info := GetInfo("pascal_engine_obstest_expo_info", "expo info")
+	info.SetLabels(Attr{Key: "trace_id", Value: "beef"})
+
+	var sb strings.Builder
+	if err := WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# HELP pascal_engine_obstest_expo_total expo counter",
+		"# TYPE pascal_engine_obstest_expo_total counter",
+		"pascal_engine_obstest_expo_total 7",
+		"# TYPE pascal_engine_obstest_expo_seconds histogram",
+		`pascal_engine_obstest_expo_seconds_bucket{le="+Inf"} 1`,
+		"pascal_engine_obstest_expo_seconds_count 1",
+		`pascal_engine_obstest_expo_info{trace_id="beef"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders every registered metric in the Prometheus text
+// exposition format (version 0.0.4): HELP/TYPE comments, cumulative
+// histogram buckets with le labels plus _sum and _count, info metrics as
+// a constant-1 gauge carrying labels.
+func WritePrometheus(w io.Writer) error {
+	for _, m := range snapshotMetrics() {
+		if err := writeMetric(w, m); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeMetric(w io.Writer, m *metric) error {
+	typ := "counter"
+	switch m.kind {
+	case kindGauge, kindInfo:
+		typ = "gauge"
+	case kindHistogram:
+		typ = "histogram"
+	}
+	if m.help != "" {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n", m.name, escapeHelp(m.help)); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", m.name, typ); err != nil {
+		return err
+	}
+	switch m.kind {
+	case kindCounter:
+		_, err := fmt.Fprintf(w, "%s %d\n", m.name, m.counter.Load())
+		return err
+	case kindGauge:
+		_, err := fmt.Fprintf(w, "%s %d\n", m.name, m.gauge.Load())
+		return err
+	case kindInfo:
+		labels, set := m.info.snapshot()
+		if !set {
+			_, err := fmt.Fprintf(w, "%s 0\n", m.name)
+			return err
+		}
+		_, err := fmt.Fprintf(w, "%s{%s} 1\n", m.name, formatLabels(labels))
+		return err
+	case kindHistogram:
+		h := m.histogram
+		cum := int64(0)
+		for i, b := range h.bounds {
+			cum += h.counts[i].Load()
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", m.name, formatBound(b), cum); err != nil {
+				return err
+			}
+		}
+		cum += h.inf.Load()
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", m.name, cum); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum %g\n", m.name, h.Sum().Seconds()); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintf(w, "%s_count %d\n", m.name, cum)
+		return err
+	}
+	return nil
+}
+
+func formatBound(b float64) string {
+	return strconv.FormatFloat(b, 'g', -1, 64)
+}
+
+func formatLabels(labels []Attr) string {
+	var sb strings.Builder
+	for i, a := range labels {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(a.Key)
+		sb.WriteByte('=')
+		sb.WriteString(strconv.Quote(a.Value))
+	}
+	return sb.String()
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}

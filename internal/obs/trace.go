@@ -1,0 +1,295 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Trace is one query execution's span recorder. Like the engine's
+// per-execution counter sinks, a Trace is created per execution and
+// read only after (or independently of) the execution — a single small
+// mutex guards the span tree, and spans are coarse (phases, scan jobs,
+// joins, fetch batches), so contention is negligible.
+//
+// Every Span method is safe on a nil receiver and does nothing, so
+// instrumented code paths pay one context lookup and a nil check when
+// tracing is off — no allocation, no branch into obs internals.
+type Trace struct {
+	mu    sync.Mutex
+	id    string
+	start time.Time
+	root  *Span
+}
+
+// Attr is one span attribute (estimated cardinality, relation name, ...).
+type Attr struct {
+	Key   string `json:"k"`
+	Value string `json:"v"`
+}
+
+// Span is one timed node of a trace's span tree.
+type Span struct {
+	tr       *Trace
+	name     string
+	start    time.Duration // offset from trace start
+	dur      time.Duration // zero until End
+	ended    bool
+	attrs    []Attr
+	children []*Span
+}
+
+// NewTraceID returns a fresh 16-hex-digit trace ID.
+func NewTraceID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is effectively fatal elsewhere; fall back
+		// to a constant rather than propagate an error channel nobody
+		// can act on.
+		return "0000000000000000"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// NewTrace starts a trace. An empty id draws a fresh one.
+func NewTrace(id string) *Trace {
+	if id == "" {
+		id = NewTraceID()
+	}
+	t := &Trace{id: id, start: time.Now()}
+	t.root = &Span{tr: t, name: "query"}
+	return t
+}
+
+// ID returns the trace ID ("" on a nil trace).
+func (t *Trace) ID() string {
+	if t == nil {
+		return ""
+	}
+	return t.id
+}
+
+// Root returns the trace's root span (nil on a nil trace).
+func (t *Trace) Root() *Span {
+	if t == nil {
+		return nil
+	}
+	return t.root
+}
+
+// Finish ends the root span; the trace is complete.
+func (t *Trace) Finish() {
+	if t == nil {
+		return
+	}
+	t.root.End()
+}
+
+// Duration returns the root span's duration (elapsed time if the trace
+// has not finished yet).
+func (t *Trace) Duration() time.Duration {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.root.ended {
+		return t.root.dur
+	}
+	return time.Since(t.start)
+}
+
+// Start opens a child span. Nil-safe: a nil span returns a nil child.
+func (s *Span) Start(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	t := s.tr
+	c := &Span{tr: t, name: name}
+	t.mu.Lock()
+	c.start = time.Since(t.start)
+	s.children = append(s.children, c)
+	t.mu.Unlock()
+	return c
+}
+
+// End closes the span. Safe on nil; a second End is a no-op.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	t := s.tr
+	t.mu.Lock()
+	if !s.ended {
+		s.dur = time.Since(t.start) - s.start
+		s.ended = true
+	}
+	t.mu.Unlock()
+}
+
+// SetAttr attaches a string attribute. Safe on nil.
+func (s *Span) SetAttr(key, value string) {
+	if s == nil {
+		return
+	}
+	t := s.tr
+	t.mu.Lock()
+	s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+	t.mu.Unlock()
+}
+
+// SetInt attaches an integer attribute. Safe on nil.
+func (s *Span) SetInt(key string, v int64) {
+	s.SetAttr(key, strconv.FormatInt(v, 10))
+}
+
+// SetFloat attaches a float attribute. Safe on nil.
+func (s *Span) SetFloat(key string, v float64) {
+	s.SetAttr(key, strconv.FormatFloat(v, 'g', 4, 64))
+}
+
+type spanKeyType struct{}
+
+var spanKey spanKeyType
+
+// With returns ctx carrying s as the current span. A nil span returns
+// ctx unchanged, so disabled tracing allocates nothing.
+func With(ctx context.Context, s *Span) context.Context {
+	if s == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, spanKey, s)
+}
+
+// SpanFrom returns the current span in ctx, or nil.
+func SpanFrom(ctx context.Context) *Span {
+	s, _ := ctx.Value(spanKey).(*Span)
+	return s
+}
+
+// TraceFrom returns the trace owning the current span in ctx, or nil.
+func TraceFrom(ctx context.Context) *Trace {
+	if s := SpanFrom(ctx); s != nil {
+		return s.tr
+	}
+	return nil
+}
+
+// SpanJSON is the exported form of one span.
+type SpanJSON struct {
+	Name     string            `json:"name"`
+	StartUS  int64             `json:"start_us"`
+	DurUS    int64             `json:"dur_us"`
+	Attrs    map[string]string `json:"attrs,omitempty"`
+	Children []SpanJSON        `json:"children,omitempty"`
+}
+
+// TraceJSON is the exported form of a whole trace.
+type TraceJSON struct {
+	TraceID string   `json:"trace_id"`
+	Start   string   `json:"start"`
+	DurUS   int64    `json:"dur_us"`
+	Root    SpanJSON `json:"root"`
+}
+
+// Snapshot captures the trace's current state as an exportable tree.
+func (t *Trace) Snapshot() TraceJSON {
+	if t == nil {
+		return TraceJSON{}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return TraceJSON{
+		TraceID: t.id,
+		Start:   t.start.UTC().Format(time.RFC3339Nano),
+		DurUS:   t.root.dur.Microseconds(),
+		Root:    t.root.snapshotLocked(),
+	}
+}
+
+func (s *Span) snapshotLocked() SpanJSON {
+	j := SpanJSON{
+		Name:    s.name,
+		StartUS: s.start.Microseconds(),
+		DurUS:   s.dur.Microseconds(),
+	}
+	if len(s.attrs) > 0 {
+		j.Attrs = make(map[string]string, len(s.attrs))
+		for _, a := range s.attrs {
+			j.Attrs[a.Key] = a.Value
+		}
+	}
+	for _, c := range s.children {
+		j.Children = append(j.Children, c.snapshotLocked())
+	}
+	return j
+}
+
+// JSON marshals the trace's span tree.
+func (t *Trace) JSON() ([]byte, error) {
+	if t == nil {
+		return nil, fmt.Errorf("obs: no trace")
+	}
+	return json.Marshal(t.Snapshot())
+}
+
+// Render formats the span tree as an indented text block for CLI output.
+func (t *Trace) Render() string {
+	if t == nil {
+		return ""
+	}
+	snap := t.Snapshot()
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "trace %s  (%s)\n", snap.TraceID, time.Duration(snap.DurUS)*time.Microsecond)
+	renderSpan(&sb, snap.Root, 0)
+	return sb.String()
+}
+
+func renderSpan(sb *strings.Builder, s SpanJSON, depth int) {
+	sb.WriteString(strings.Repeat("  ", depth))
+	fmt.Fprintf(sb, "- %s %s", s.Name, time.Duration(s.DurUS)*time.Microsecond)
+	if len(s.Attrs) > 0 {
+		keys := make([]string, 0, len(s.Attrs))
+		for k := range s.Attrs {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		sb.WriteString("  [")
+		for i, k := range keys {
+			if i > 0 {
+				sb.WriteByte(' ')
+			}
+			fmt.Fprintf(sb, "%s=%s", k, s.Attrs[k])
+		}
+		sb.WriteByte(']')
+	}
+	sb.WriteByte('\n')
+	for _, c := range s.Children {
+		renderSpan(sb, c, depth+1)
+	}
+}
+
+// Phases returns the durations of the root's direct children keyed by
+// span name (first occurrence wins) — the slow-query log's phase
+// breakdown.
+func (t *Trace) Phases() map[string]time.Duration {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make(map[string]time.Duration, len(t.root.children))
+	for _, c := range t.root.children {
+		if _, ok := out[c.name]; !ok {
+			out[c.name] = c.dur
+		}
+	}
+	return out
+}

@@ -1,0 +1,7 @@
+// Package obslint holds the observability conformance tests: every
+// registered metric name matches the pascal_{layer}_{name}_{unit}
+// convention and is documented in ARCHITECTURE.md, and the Prometheus
+// exposition parses. It lives in its own package so its view of the
+// registry is exactly what importing the instrumented layers registers,
+// unpolluted by scratch metrics from other packages' tests.
+package obslint

@@ -1,0 +1,145 @@
+package obslint
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"pascalr/internal/obs"
+
+	// Importing the instrumented layers populates the metrics registry
+	// with every package-level registration, so the lint below sees the
+	// full production namespace.
+	_ "pascalr"
+	_ "pascalr/internal/engine"
+	_ "pascalr/internal/relation"
+	_ "pascalr/internal/sched"
+	_ "pascalr/internal/server"
+	_ "pascalr/internal/storage"
+)
+
+// nameRe is the metric naming convention: pascal_{layer}_{name}_{unit}.
+var nameRe = regexp.MustCompile(`^pascal_(engine|sched|storage|server)_[a-z][a-z0-9_]*_(total|seconds|bytes|count|rows|info)$`)
+
+// TestMetricNames: every registered metric follows the naming
+// convention and appears in ARCHITECTURE.md's metrics documentation.
+func TestMetricNames(t *testing.T) {
+	names := obs.Names()
+	if len(names) < 20 {
+		t.Fatalf("registry holds only %d metrics; the instrumented layers did not register", len(names))
+	}
+	doc, err := os.ReadFile("../../ARCHITECTURE.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range names {
+		if !nameRe.MatchString(name) {
+			t.Errorf("metric %q violates the pascal_{layer}_{name}_{unit} convention", name)
+		}
+		if !strings.Contains(string(doc), name) {
+			t.Errorf("metric %q is not documented in ARCHITECTURE.md", name)
+		}
+	}
+}
+
+// TestPrometheusExposition exercises the full registry end to end: it
+// touches one metric of each kind, renders the exposition, and parses
+// every line — HELP/TYPE headers preceding their series, cumulative
+// non-decreasing histogram buckets ending at +Inf with a matching
+// _count, and numeric sample values throughout.
+func TestPrometheusExposition(t *testing.T) {
+	obs.GetCounter("pascal_server_frames_total", "").Inc()
+	obs.GetHistogram("pascal_storage_checkpoint_seconds", "").Observe(time.Millisecond)
+	obs.GetInfo("pascal_server_last_trace_info", "").SetLabels(obs.Attr{Key: "trace_id", Value: "0b5e1111"})
+
+	var sb strings.Builder
+	if err := obs.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if err := parseExposition(sb.String()); err != nil {
+		t.Fatalf("exposition does not parse: %v\n%s", err, sb.String())
+	}
+	for _, want := range []string{
+		"pascal_server_frames_total",
+		`pascal_storage_checkpoint_seconds_bucket{le="+Inf"}`,
+		`pascal_server_last_trace_info{trace_id="0b5e1111"} 1`,
+	} {
+		if !strings.Contains(sb.String(), want) {
+			t.Fatalf("exposition missing %q", want)
+		}
+	}
+}
+
+var (
+	helpRe   = regexp.MustCompile(`^# HELP ([a-zA-Z_:][a-zA-Z0-9_:]*) .*$`)
+	typeRe   = regexp.MustCompile(`^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (counter|gauge|histogram|summary|untyped)$`)
+	sampleRe = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? (\S+)$`)
+)
+
+// parseExposition validates the Prometheus text format structurally.
+func parseExposition(text string) error {
+	typed := map[string]string{}
+	buckets := map[string][]float64{} // histogram base name -> cumulative counts in order
+	counts := map[string]float64{}
+	sc := bufio.NewScanner(strings.NewReader(text))
+	line := 0
+	for sc.Scan() {
+		line++
+		l := sc.Text()
+		if l == "" {
+			continue
+		}
+		if m := helpRe.FindStringSubmatch(l); m != nil {
+			continue
+		}
+		if m := typeRe.FindStringSubmatch(l); m != nil {
+			typed[m[1]] = m[2]
+			continue
+		}
+		m := sampleRe.FindStringSubmatch(l)
+		if m == nil {
+			return fmt.Errorf("line %d: unparseable %q", line, l)
+		}
+		name, labels, valStr := m[1], m[2], m[3]
+		val, err := strconv.ParseFloat(valStr, 64)
+		if err != nil {
+			return fmt.Errorf("line %d: bad sample value %q", line, valStr)
+		}
+		base := name
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			if strings.HasSuffix(name, suffix) && typed[strings.TrimSuffix(name, suffix)] == "histogram" {
+				base = strings.TrimSuffix(name, suffix)
+			}
+		}
+		if _, ok := typed[base]; !ok {
+			return fmt.Errorf("line %d: series %s has no preceding TYPE header", line, name)
+		}
+		if typed[base] == "histogram" {
+			switch {
+			case strings.HasSuffix(name, "_bucket"):
+				if !strings.Contains(labels, "le=") {
+					return fmt.Errorf("line %d: histogram bucket without le label", line)
+				}
+				buckets[base] = append(buckets[base], val)
+			case strings.HasSuffix(name, "_count"):
+				counts[base] = val
+			}
+		}
+	}
+	for base, cum := range buckets {
+		for i := 1; i < len(cum); i++ {
+			if cum[i] < cum[i-1] {
+				return fmt.Errorf("histogram %s buckets are not cumulative: %v", base, cum)
+			}
+		}
+		if len(cum) == 0 || cum[len(cum)-1] != counts[base] {
+			return fmt.Errorf("histogram %s +Inf bucket %v != count %v", base, cum, counts[base])
+		}
+	}
+	return nil
+}

@@ -62,6 +62,9 @@ const (
 	OpResetStats  byte = 0x0B // ()                      -> OK
 	OpFingerprint byte = 0x0C // ()                      -> Str
 	OpSetOption   byte = 0x0D // (key, int64)            -> OK
+
+	OpExplainAnalyze byte = 0x0E // (src, QueryOpts)     -> Str
+	OpLastTrace      byte = 0x0F // ()                   -> Str (trace JSON)
 )
 
 // Response opcodes (server -> client).
@@ -93,6 +96,8 @@ const (
 // QueryOpts carries per-call execution options. Zero values mean
 // "session default": Strategies/CostBased are tri-state through their
 // Has flags, Parallelism 0 and MaxRefTuples 0 defer to the session.
+// TraceID, when non-empty, names the trace the server records the
+// statement's spans under; an empty TraceID lets the server assign one.
 type QueryOpts struct {
 	HasStrategies bool
 	Strategies    uint8
@@ -100,12 +105,14 @@ type QueryOpts struct {
 	CostBased     bool
 	Parallelism   uint32
 	MaxRefTuples  uint64
+	TraceID       string
 }
 
 const (
 	optFlagStrategies = 1 << 0
 	optFlagCostBased  = 1 << 1
 	optFlagCostValue  = 1 << 2
+	optFlagTraceID    = 1 << 3
 )
 
 // WriteFrame writes one frame (opcode + payload) to w.
@@ -329,12 +336,21 @@ func (w *Writer) Opts(o QueryOpts) {
 			flags |= optFlagCostValue
 		}
 	}
+	if o.TraceID != "" {
+		flags |= optFlagTraceID
+	}
 	w.buf = append(w.buf, flags)
 	if o.HasStrategies {
 		w.buf = append(w.buf, o.Strategies)
 	}
 	w.Uvarint(uint64(o.Parallelism))
 	w.Uvarint(o.MaxRefTuples)
+	// The trace ID travels last so a peer speaking the pre-trace layout
+	// (which never sets the flag) interoperates unchanged: the Opts block
+	// is payload-final in every frame that carries it.
+	if o.TraceID != "" {
+		w.String(o.TraceID)
+	}
 }
 
 // Rows appends a row block: count followed by the tagged values of each
@@ -464,6 +480,11 @@ func (r *Reader) Opts() (QueryOpts, error) {
 	o.Parallelism = uint32(par)
 	if o.MaxRefTuples, err = r.Uvarint(); err != nil {
 		return o, err
+	}
+	if flags&optFlagTraceID != 0 {
+		if o.TraceID, err = r.String(); err != nil {
+			return o, err
+		}
 	}
 	return o, nil
 }

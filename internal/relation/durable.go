@@ -41,6 +41,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"time"
 
 	"pascalr/internal/stats"
 	"pascalr/internal/storage"
@@ -320,6 +321,8 @@ func (d *DB) checkpointLocked() error {
 	if d.dur == nil || d.dur.wal == nil {
 		return nil
 	}
+	start := time.Now()
+	defer func() { mCheckpointLatency.Observe(time.Since(start)) }()
 	if d.dur.err != nil {
 		// A WAL append failed earlier: the in-memory state may have
 		// drifted from the log. Checkpointing would persist that drift

@@ -1,0 +1,9 @@
+package relation
+
+import "pascalr/internal/obs"
+
+// The checkpoint is driven from this layer (it spans memtable flushes,
+// the manifest commit, and the WAL reset), so its duration histogram is
+// registered here; it reports on storage and is named accordingly.
+var mCheckpointLatency = obs.GetHistogram("pascal_storage_checkpoint_seconds",
+	"Checkpoint duration (flushes, manifest write, WAL reset, file cleanup)")

@@ -44,6 +44,8 @@ func (a *Async) Submit(key string, fn func()) bool {
 	}
 	a.pending[key] = fn
 	a.order = append(a.order, key)
+	mAsyncJobs.Inc()
+	mAsyncBacklog.Add(1)
 	if a.running < a.workers {
 		a.running++
 		go a.drain()
@@ -73,6 +75,7 @@ func (a *Async) drain() {
 
 		a.mu.Lock()
 		delete(a.pending, key)
+		mAsyncBacklog.Add(-1)
 		a.mu.Unlock()
 	}
 }

@@ -31,6 +31,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 )
 
 // Job is one schedulable unit of work.
@@ -108,6 +109,7 @@ func Run(ctx context.Context, workers int, jobs []Job) error {
 			s.ready = append(s.ready, i)
 		}
 	}
+	mQueueDepth.Add(int64(len(s.ready)))
 
 	// A cancelled parent context stops the schedule; a failing job
 	// cancels the derived context so sibling jobs abort promptly.
@@ -142,6 +144,10 @@ func Run(ctx context.Context, workers int, jobs []Job) error {
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	// Jobs abandoned by a stop (error or cancellation) never get claimed;
+	// drop them from the queue-depth gauge so it returns to zero.
+	mQueueDepth.Add(-int64(len(s.ready)))
+	s.ready = nil
 	if s.err != nil {
 		return s.err
 	}
@@ -185,9 +191,13 @@ func (s *state) work(ctx context.Context, cancel context.CancelFunc) {
 		s.ready = s.ready[1:]
 		s.pending--
 		s.running++
+		mQueueDepth.Add(-1)
 		s.mu.Unlock()
 
+		start := time.Now()
 		err := s.jobs[idx].Run(ctx)
+		mJobLatency.Observe(time.Since(start))
+		mJobs.Inc()
 
 		s.mu.Lock()
 		s.running--
@@ -201,6 +211,7 @@ func (s *state) work(ctx context.Context, cancel context.CancelFunc) {
 			for _, dep := range s.rdeps[idx] {
 				if s.waiting[dep]--; s.waiting[dep] == 0 {
 					s.ready = insertSorted(s.ready, dep)
+					mQueueDepth.Add(1)
 				}
 			}
 		}

@@ -4,12 +4,14 @@ import (
 	"encoding/json"
 	"net"
 	"net/http"
+	"net/http/pprof"
 
 	"pascalr"
+	"pascalr/internal/obs"
 )
 
-// metricsPayload is the /metrics document: serving-layer gauges, the
-// live engine counters, and a per-relation statistics snapshot.
+// metricsPayload is the /metrics.json document: serving-layer gauges,
+// the live engine counters, and a per-relation statistics snapshot.
 type metricsPayload struct {
 	Sessions sessionMetrics      `json:"sessions"`
 	Counters pascalr.Stats       `json:"counters"`
@@ -26,7 +28,8 @@ type sessionMetrics struct {
 }
 
 // startMonitor binds the HTTP monitoring listener and serves /metrics
-// and /processlist until Shutdown closes it.
+// (Prometheus exposition), /metrics.json (the structured snapshot),
+// /processlist, and /debug/pprof until Shutdown closes it.
 func (s *Server) startMonitor() error {
 	ln, err := net.Listen("tcp", s.cfg.MonitorAddr)
 	if err != nil {
@@ -34,14 +37,34 @@ func (s *Server) startMonitor() error {
 	}
 	s.httpLn = ln
 	mux := http.NewServeMux()
-	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/metrics", handlePrometheus)
+	mux.HandleFunc("/metrics.json", s.handleMetricsJSON)
 	mux.HandleFunc("/processlist", s.handleProcessList)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	s.httpSrv = &http.Server{Handler: mux}
 	go s.httpSrv.Serve(ln)
 	return nil
 }
 
-func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+// handlePrometheus renders the process-wide metrics registry in the
+// Prometheus text exposition format. Every value is read through the
+// registry's atomic snapshot, so scraping during a write-heavy workload
+// sees no torn values.
+func handlePrometheus(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	obs.WritePrometheus(w)
+}
+
+// handleMetricsJSON snapshots through the same paths the binary
+// protocol uses — Database.Stats merges the counter sinks under the
+// engine's lock, TableStats reads the relations' published snapshots —
+// so a scrape concurrent with a write-heavy workload observes a
+// consistent document.
+func (s *Server) handleMetricsJSON(w http.ResponseWriter, _ *http.Request) {
 	s.mu.Lock()
 	active, peak := len(s.sessions), s.peak
 	s.mu.Unlock()

@@ -1,0 +1,51 @@
+package server
+
+import (
+	"pascalr/internal/obs"
+	"pascalr/internal/protocol"
+)
+
+// Serving-layer metrics. The session counts mirror the server's atomic
+// counters (which remain the source for /metrics.json); the per-opcode
+// histograms time dispatch, i.e. the full server-side cost of one
+// request frame including the response write.
+var (
+	mSessions = obs.GetGauge("pascal_server_sessions_count",
+		"Currently connected sessions")
+	mSessionsTotal = obs.GetCounter("pascal_server_sessions_total",
+		"Sessions accepted since start")
+	mSessionsRejected = obs.GetCounter("pascal_server_sessions_rejected_total",
+		"Connections rejected by admission control or drain")
+	mSessionsKilled = obs.GetCounter("pascal_server_sessions_killed_total",
+		"Sessions terminated via KILL")
+	mFrames = obs.GetCounter("pascal_server_frames_total",
+		"Request frames dispatched")
+	mLastTrace = obs.GetInfo("pascal_server_last_trace_info",
+		"Trace ID of the most recently traced statement, for cross-surface correlation")
+)
+
+// opLatencies maps every request opcode to its latency histogram. The
+// registry has no labels by design, so per-opcode series are distinct
+// metric names; all of them share the pascal_server_op_ prefix.
+var opLatencies = map[byte]*obs.Histogram{
+	protocol.OpPing:           opHist("ping"),
+	protocol.OpExec:           opHist("exec"),
+	protocol.OpQuery:          opHist("query"),
+	protocol.OpPrepare:        opHist("prepare"),
+	protocol.OpExecStmt:       opHist("exec_stmt"),
+	protocol.OpFetch:          opHist("fetch"),
+	protocol.OpCloseStmt:      opHist("close_stmt"),
+	protocol.OpCancel:         opHist("cancel"),
+	protocol.OpKill:           opHist("kill"),
+	protocol.OpProcessList:    opHist("process_list"),
+	protocol.OpResetStats:     opHist("reset_stats"),
+	protocol.OpFingerprint:    opHist("fingerprint"),
+	protocol.OpSetOption:      opHist("set_option"),
+	protocol.OpExplainAnalyze: opHist("explain_analyze"),
+	protocol.OpLastTrace:      opHist("last_trace"),
+}
+
+func opHist(name string) *obs.Histogram {
+	return obs.GetHistogram("pascal_server_op_"+name+"_seconds",
+		"Server-side dispatch latency of "+name+" requests")
+}

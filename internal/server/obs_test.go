@@ -1,0 +1,283 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"pascalr"
+	"pascalr/client"
+	"pascalr/internal/workload"
+)
+
+// logBuffer is a concurrency-safe sink for the server's slog output.
+type logBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (l *logBuffer) Write(p []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.b.Write(p)
+}
+
+func (l *logBuffer) String() string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.b.String()
+}
+
+// newObsServer starts a server with the monitor bound, a 1ns slow-query
+// threshold (every statement logs), and slog captured into the returned
+// buffer.
+func newObsServer(t testing.TB, scale int) (*Server, *logBuffer) {
+	t.Helper()
+	script, err := workload.UniversityScript(scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := pascalr.Open(script)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb := &logBuffer{}
+	srv := New(db, Config{
+		Addr:        "127.0.0.1:0",
+		MonitorAddr: "127.0.0.1:0",
+		MaxSessions: 16,
+		Logger:      slog.New(slog.NewTextHandler(lb, nil)),
+		SlowQuery:   time.Nanosecond,
+	})
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	})
+	return srv, lb
+}
+
+// TestTraceEndToEnd drives a traced query through the TCP client and
+// follows its trace ID across every surface: the retrieved span tree,
+// the process list, the slow-query log, and the Prometheus exposition.
+func TestTraceEndToEnd(t *testing.T) {
+	srv, lb := newObsServer(t, 20)
+	c := dial(t, srv)
+
+	const traceID = "deadbeef01dead05"
+	const q = `[<e.ename, p.ptitle> OF EACH e IN employees, EACH p IN papers: (e.enr = p.penr) AND (e.estatus = professor)]`
+	if _, err := c.Query(q, client.Options{TraceID: traceID}); err != nil {
+		t.Fatal(err)
+	}
+
+	// The span tree is retrievable and carries the client's trace ID,
+	// the collection phase, and actual cardinalities on scan spans.
+	raw, err := c.TraceLastQuery()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tree struct {
+		TraceID string `json:"trace_id"`
+	}
+	if err := json.Unmarshal([]byte(raw), &tree); err != nil {
+		t.Fatalf("trace JSON does not parse: %v\n%s", err, raw)
+	}
+	if tree.TraceID != traceID {
+		t.Fatalf("trace id = %q, want %q", tree.TraceID, traceID)
+	}
+	for _, want := range []string{`"collection"`, `"scan employees"`, "actual."} {
+		if !strings.Contains(raw, want) {
+			t.Fatalf("trace missing %q:\n%s", want, raw)
+		}
+	}
+
+	// The same ID shows in the process list row for this session, so a
+	// KILL target correlates with its trace.
+	pl, err := c.ProcessList()
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := -1
+	for i, name := range pl.Columns {
+		if name == "trace_id" {
+			col = i
+		}
+	}
+	if col < 0 {
+		t.Fatalf("process list has no trace_id column: %v", pl.Columns)
+	}
+	found := false
+	for _, row := range pl.Rows {
+		if fmt.Sprint(row[col]) == traceID {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("trace id %s absent from process list %v", traceID, pl.Rows)
+	}
+
+	// The 1ns threshold makes every statement slow: the log line carries
+	// the trace ID, the query, and phase durations.
+	logged := lb.String()
+	for _, want := range []string{"slow query", "trace_id=" + traceID, "phase_collection="} {
+		if !strings.Contains(logged, want) {
+			t.Fatalf("slow-query log missing %q:\n%s", want, logged)
+		}
+	}
+
+	// The Prometheus exposition names the same trace via the info metric.
+	body := httpGet(t, "http://"+srv.MonitorAddr().String()+"/metrics")
+	if want := `pascal_server_last_trace_info{trace_id="` + traceID + `"} 1`; !strings.Contains(body, want) {
+		t.Fatalf("/metrics missing %q", want)
+	}
+
+	// ExplainAnalyze over the wire returns the estimated-vs-actual report.
+	rep, err := c.ExplainAnalyze(q, client.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(rep, "actual") {
+		t.Fatalf("explain analyze report carries no actuals:\n%s", rep)
+	}
+}
+
+func httpGet(t testing.TB, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %d\n%s", url, resp.StatusCode, body)
+	}
+	return string(body)
+}
+
+// TestMetricsScrapeUnderLoad hammers /metrics and /metrics.json while
+// eight writer sessions mutate and query — under -race this proves the
+// scrape path reads only atomics and properly locked snapshots.
+func TestMetricsScrapeUnderLoad(t *testing.T) {
+	srv, _ := newObsServer(t, 20)
+	base := "http://" + srv.MonitorAddr().String()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c, err := client.Dial(srv.Addr().String())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer c.Close()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if err := c.Exec(fmt.Sprintf("papers :+ [<%d, 1982, 'scrape-%d-%d'>];", i%20+1, w, i)); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := c.Query(`[<p.ptitle> OF EACH p IN papers: (p.pyear = 1982)]`, client.Options{}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+
+	deadline := time.Now().Add(200 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		if body := httpGet(t, base+"/metrics"); !strings.Contains(body, "pascal_server_frames_total") {
+			t.Fatal("/metrics lost its series under load")
+		}
+		var payload map[string]any
+		if err := json.Unmarshal([]byte(httpGet(t, base+"/metrics.json")), &payload); err != nil {
+			t.Fatalf("/metrics.json unparseable under load: %v", err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestTracedShutdownNoLeaks runs a traced workload (per-statement
+// traces, slow-query logging on) and verifies the shutdown still
+// terminates every goroutine tracing touched.
+func TestTracedShutdownNoLeaks(t *testing.T) {
+	runtime.GC()
+	before := runtime.NumGoroutine()
+
+	script, err := workload.UniversityScript(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := pascalr.Open(script)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb := &logBuffer{}
+	srv := New(db, Config{
+		Addr:        "127.0.0.1:0",
+		MonitorAddr: "127.0.0.1:0",
+		MaxSessions: 8,
+		Logger:      slog.New(slog.NewTextHandler(lb, nil)),
+		SlowQuery:   time.Nanosecond,
+	})
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	c, err := client.Dial(srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := c.Query(`[<e.enr> OF EACH e IN employees: (e.enr >= 1)]`,
+			client.Options{TraceID: fmt.Sprintf("%016x", i+1)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	c.Close()
+
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= before {
+			break
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			t.Fatalf("goroutines leaked: before=%d after=%d\n%s",
+				before, runtime.NumGoroutine(), buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"bufio"
 	"context"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"sync"
@@ -44,6 +45,13 @@ type Config struct {
 	// queued, so overload surfaces immediately at the client instead of
 	// as silent accept-queue latency. Zero means DefaultMaxSessions.
 	MaxSessions int
+	// Logger receives the server's structured log records (connection
+	// lifecycle at Debug, kills at Info, slow queries at Warn). Nil means
+	// slog.Default().
+	Logger *slog.Logger
+	// SlowQuery, when positive, logs any statement whose traced duration
+	// reaches it — trace ID, query, phase durations, counter deltas.
+	SlowQuery time.Duration
 }
 
 // Server serves one pascalr.Database over TCP.
@@ -73,8 +81,14 @@ func New(db *pascalr.Database, cfg Config) *Server {
 	if cfg.MaxSessions <= 0 {
 		cfg.MaxSessions = DefaultMaxSessions
 	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.Default()
+	}
 	return &Server{db: db, cfg: cfg, sessions: make(map[uint64]*session)}
 }
+
+// logger returns the server's structured logger.
+func (s *Server) logger() *slog.Logger { return s.cfg.Logger }
 
 // Start binds the listeners and begins accepting sessions. It returns
 // once the server is reachable; serving continues in background
@@ -121,6 +135,8 @@ func (s *Server) acceptLoop() {
 		sess, reject := s.register(conn)
 		if reject != 0 {
 			s.rejected.Add(1)
+			mSessionsRejected.Inc()
+			s.logger().Debug("connection rejected", "addr", conn.RemoteAddr().String(), "code", reject)
 			bw := bufio.NewWriter(conn)
 			w := protocol.NewWriter()
 			w.Uvarint(reject)
@@ -130,6 +146,8 @@ func (s *Server) acceptLoop() {
 			continue
 		}
 		s.accepted.Add(1)
+		mSessionsTotal.Inc()
+		s.logger().Debug("session accepted", "session", sess.id, "addr", conn.RemoteAddr().String())
 		s.wg.Add(1)
 		go sess.serve()
 	}
@@ -152,6 +170,7 @@ func (s *Server) register(conn net.Conn) (*session, uint64) {
 	if len(s.sessions) > s.peak {
 		s.peak = len(s.sessions)
 	}
+	mSessions.Add(1)
 	return sess, 0
 }
 
@@ -160,6 +179,8 @@ func (s *Server) unregister(sess *session) {
 	s.mu.Lock()
 	delete(s.sessions, sess.id)
 	s.mu.Unlock()
+	mSessions.Add(-1)
+	s.logger().Debug("session closed", "session", sess.id)
 }
 
 // session returns a live session by id.
@@ -179,6 +200,8 @@ func (s *Server) Kill(id uint64) error {
 		return fmt.Errorf("server: no session %d", id)
 	}
 	s.killed.Add(1)
+	mSessionsKilled.Inc()
+	s.logger().Info("session killed", "session", id, "trace_id", sess.currentTraceID())
 	sess.kill()
 	return nil
 }
@@ -247,11 +270,12 @@ func (s *Server) Shutdown(ctx context.Context) error {
 // processList snapshots the live sessions for the PROCESSLIST surfaces
 // (binary op and HTTP endpoint), ordered by session id.
 type processEntry struct {
-	ID    uint64 `json:"id"`
-	Addr  string `json:"addr"`
-	State string `json:"state"`
-	Query string `json:"query,omitempty"`
-	AgeMS int64  `json:"age_ms"`
+	ID      uint64 `json:"id"`
+	Addr    string `json:"addr"`
+	State   string `json:"state"`
+	Query   string `json:"query,omitempty"`
+	AgeMS   int64  `json:"age_ms"`
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 func (s *Server) processList() []processEntry {

@@ -151,7 +151,7 @@ func TestKillAndProcessList(t *testing.T) {
 	if len(pl.Rows) != 2 {
 		t.Fatalf("process list has %d sessions, want 2", len(pl.Rows))
 	}
-	if got := pl.Columns; !reflect.DeepEqual(got, []string{"id", "addr", "state", "query", "age_ms"}) {
+	if got := pl.Columns; !reflect.DeepEqual(got, []string{"id", "addr", "state", "query", "age_ms", "trace_id"}) {
 		t.Fatalf("process list columns = %v", got)
 	}
 	ids := map[int64]bool{}
@@ -227,9 +227,9 @@ func TestCancelMidFetch(t *testing.T) {
 	}
 }
 
-// TestMonitorEndpoints: /metrics exposes session gauges, live engine
-// counters, and per-relation statistics; /processlist mirrors the
-// binary op.
+// TestMonitorEndpoints: /metrics.json exposes session gauges, live
+// engine counters, and per-relation statistics; /processlist mirrors
+// the binary op.
 func TestMonitorEndpoints(t *testing.T) {
 	srv, _ := newTestServer(t, 20, 4, true)
 	c := dial(t, srv)
@@ -237,7 +237,7 @@ func TestMonitorEndpoints(t *testing.T) {
 		t.Fatal(err)
 	}
 	base := "http://" + srv.MonitorAddr().String()
-	resp, err := http.Get(base + "/metrics")
+	resp, err := http.Get(base + "/metrics.json")
 	if err != nil {
 		t.Fatal(err)
 	}

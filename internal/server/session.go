@@ -6,10 +6,12 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"sort"
 	"sync"
 	"time"
 
 	"pascalr"
+	"pascalr/internal/obs"
 	"pascalr/internal/protocol"
 )
 
@@ -40,6 +42,12 @@ type session struct {
 	query    string
 	since    time.Time
 
+	// traceID names the most recent statement trace; it is retained
+	// after the statement finishes so a process-list reader can correlate
+	// a KILL target with its trace in the slow-query log and /metrics.
+	traceID   string
+	lastTrace *obs.Trace
+
 	// open prepared statements and their cursors, keyed by the id handed
 	// to the client in StmtBound.
 	stmts      map[uint64]*serverStmt
@@ -51,6 +59,7 @@ type serverStmt struct {
 	stmt   *pascalr.Stmt
 	rows   *pascalr.Rows
 	cancel context.CancelFunc // cancels the cursor's statement context
+	tr     *obs.Trace         // trace of the current execution's cursor
 }
 
 func newSession(srv *Server, id uint64, conn net.Conn) *session {
@@ -98,12 +107,67 @@ func (s *session) entry() processEntry {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return processEntry{
-		ID:    s.id,
-		Addr:  s.conn.RemoteAddr().String(),
-		State: s.state,
-		Query: s.query,
-		AgeMS: now().Sub(s.since).Milliseconds(),
+		ID:      s.id,
+		Addr:    s.conn.RemoteAddr().String(),
+		State:   s.state,
+		Query:   s.query,
+		AgeMS:   now().Sub(s.since).Milliseconds(),
+		TraceID: s.traceID,
 	}
+}
+
+// currentTraceID returns the session's most recent trace ID.
+func (s *session) currentTraceID() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.traceID
+}
+
+// beginTrace starts the trace of one statement — under the client's
+// wire-propagated ID when it sent one, a fresh one otherwise — records
+// it as the session's current trace, publishes the ID to the
+// correlation Info metric, and returns a context carrying the root
+// span for the engine to hang its phase spans from.
+func (s *session) beginTrace(ctx context.Context, wireID string) (context.Context, *obs.Trace) {
+	tr := obs.NewTrace(wireID)
+	s.mu.Lock()
+	s.traceID = tr.ID()
+	s.lastTrace = tr
+	s.mu.Unlock()
+	mLastTrace.SetLabels(obs.Attr{Key: "trace_id", Value: tr.ID()})
+	return obs.With(ctx, tr.Root()), tr
+}
+
+// endTrace finishes a statement trace and emits the slow-query log
+// line when the statement ran past the configured threshold: trace ID,
+// normalized query, total and per-phase durations, and the execution's
+// counter deltas (recorded by the engine as root-span attributes).
+func (s *session) endTrace(tr *obs.Trace, query string) {
+	tr.Finish()
+	slow := s.srv.cfg.SlowQuery
+	if slow <= 0 || tr.Duration() < slow {
+		return
+	}
+	attrs := []any{"trace_id", tr.ID(), "query", query, "duration", tr.Duration()}
+	phases := tr.Phases()
+	names := make([]string, 0, len(phases))
+	for name := range phases {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		attrs = append(attrs, "phase_"+name, phases[name])
+	}
+	root := tr.Snapshot().Root
+	keys := make([]string, 0, len(root.Attrs))
+	for k := range root.Attrs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		attrs = append(attrs, k, root.Attrs[k])
+	}
+	s.srv.logger().Warn("slow query", attrs...)
 }
 
 // setState records the process-list state; query may be empty.
@@ -142,7 +206,12 @@ func (s *session) serve() {
 		s.busy = true
 		s.mu.Unlock()
 
+		start := now()
 		writeErr := s.dispatch(op, payload)
+		mFrames.Inc()
+		if h, ok := opLatencies[op]; ok {
+			h.Observe(now().Sub(start))
+		}
 
 		s.mu.Lock()
 		s.busy = false
@@ -186,7 +255,13 @@ func (s *session) dispatch(op byte, payload []byte) error {
 			return s.writeErr(protocol.CodeBadRequest, err)
 		}
 		s.setState("exec", firstLine(src))
-		if err := s.ps.Exec(src); err != nil {
+		// Scripts run without engine spans (Exec has no context seam),
+		// but still get a trace: the root span times the script, and the
+		// ID correlates it across processlist and the slow-query log.
+		_, tr := s.beginTrace(s.ctx, "")
+		err = s.ps.Exec(src)
+		s.endTrace(tr, firstLine(src))
+		if err != nil {
 			return s.writeErr(protocol.CodeInternal, err)
 		}
 		return protocol.WriteFrame(s.bw, protocol.OpOK, nil)
@@ -250,10 +325,10 @@ func (s *session) dispatch(op byte, payload []byte) error {
 		entries := s.srv.processList()
 		rows := make([][]any, 0, len(entries))
 		for _, e := range entries {
-			rows = append(rows, []any{int64(e.ID), e.Addr, e.State, e.Query, e.AgeMS})
+			rows = append(rows, []any{int64(e.ID), e.Addr, e.State, e.Query, e.AgeMS, e.TraceID})
 		}
 		w := protocol.NewWriter()
-		w.Strings([]string{"id", "addr", "state", "query", "age_ms"})
+		w.Strings([]string{"id", "addr", "state", "query", "age_ms", "trace_id"})
 		if err := w.Rows(rows); err != nil {
 			return s.writeErr(protocol.CodeInternal, err)
 		}
@@ -270,6 +345,24 @@ func (s *session) dispatch(op byte, payload []byte) error {
 
 	case protocol.OpSetOption:
 		return s.handleSetOption(r)
+
+	case protocol.OpExplainAnalyze:
+		return s.handleExplainAnalyze(r)
+
+	case protocol.OpLastTrace:
+		s.mu.Lock()
+		tr := s.lastTrace
+		s.mu.Unlock()
+		if tr == nil {
+			return s.writeErr(protocol.CodeBadRequest, fmt.Errorf("no statement traced on this session yet"))
+		}
+		js, err := tr.JSON()
+		if err != nil {
+			return s.writeErr(protocol.CodeInternal, err)
+		}
+		w := protocol.NewWriter()
+		w.String(string(js))
+		return protocol.WriteFrame(s.bw, protocol.OpStr, w.Bytes())
 
 	default:
 		return s.writeErr(protocol.CodeBadRequest, fmt.Errorf("unknown opcode %#x", op))
@@ -313,7 +406,9 @@ func (s *session) handleQuery(r *protocol.Reader) error {
 	s.setState("query", firstLine(src))
 	ctx, cancel := s.stmtCtx()
 	defer cancel()
+	ctx, tr := s.beginTrace(ctx, wopts.TraceID)
 	res, err := s.ps.Query(ctx, src, optionsFor(wopts)...)
+	s.endTrace(tr, firstLine(src))
 	if err != nil {
 		return s.writeErr(s.errCode(err), err)
 	}
@@ -335,7 +430,9 @@ func (s *session) handlePrepare(r *protocol.Reader) error {
 		return s.writeErr(protocol.CodeBadRequest, err)
 	}
 	s.setState("prepare", firstLine(src))
-	stmt, err := s.ps.Prepare(src, optionsFor(wopts)...)
+	ctx, tr := s.beginTrace(s.ctx, wopts.TraceID)
+	stmt, err := s.ps.PrepareContext(ctx, src, optionsFor(wopts)...)
+	s.endTrace(tr, firstLine(src))
 	if err != nil {
 		return s.writeErr(protocol.CodeInternal, err)
 	}
@@ -370,13 +467,18 @@ func (s *session) handleExecStmt(r *protocol.Reader) error {
 	}
 	s.setState("execute", firstLine(st.stmt.Src()))
 	ctx, cancel := s.stmtCtx()
+	ctx, tr := s.beginTrace(ctx, "")
 	rows, err := st.stmt.Rows(ctx)
+	// The collection and combination phases ran eagerly inside Rows, so
+	// the trace is finished here; fetch batches append spans after the
+	// fact, which the recorder permits.
+	s.endTrace(tr, firstLine(st.stmt.Src()))
 	if err != nil {
 		cancel()
 		return s.writeErr(s.errCode(err), err)
 	}
 	s.mu.Lock()
-	st.rows, st.cancel = rows, cancel
+	st.rows, st.cancel, st.tr = rows, cancel, tr
 	s.mu.Unlock()
 	w := protocol.NewWriter()
 	w.Strings(rows.Columns())
@@ -406,6 +508,7 @@ func (s *session) handleFetch(r *protocol.Reader) error {
 		return s.writeErr(protocol.CodeUnknownStmt, fmt.Errorf("no open cursor for statement %d", id))
 	}
 	s.setState("fetch", firstLine(st.stmt.Src()))
+	fsp := st.tr.Root().Start("fetch")
 	var batch [][]any
 	done := false
 	for uint64(len(batch)) < n {
@@ -415,6 +518,8 @@ func (s *session) handleFetch(r *protocol.Reader) error {
 		}
 		batch = append(batch, st.rows.Values())
 	}
+	fsp.SetInt("rows", int64(len(batch)))
+	fsp.End()
 	if done {
 		err := st.rows.Err()
 		st.rows.Close()
@@ -433,6 +538,34 @@ func (s *session) handleFetch(r *protocol.Reader) error {
 		return s.writeErr(protocol.CodeInternal, err)
 	}
 	return protocol.WriteFrame(s.bw, protocol.OpRowBatch, w.Bytes())
+}
+
+// handleExplainAnalyze executes a selection once and returns the
+// engine's estimated-versus-actual cardinality report — the same text
+// in-process callers get from Database.ExplainAnalyze. The execution is
+// traced like any query, so TraceLastQuery afterwards returns the span
+// tree of exactly this run.
+func (s *session) handleExplainAnalyze(r *protocol.Reader) error {
+	src, err := r.String()
+	if err != nil {
+		return s.writeErr(protocol.CodeBadRequest, err)
+	}
+	wopts, err := r.Opts()
+	if err != nil {
+		return s.writeErr(protocol.CodeBadRequest, err)
+	}
+	s.setState("explain", firstLine(src))
+	ctx, cancel := s.stmtCtx()
+	defer cancel()
+	ctx, tr := s.beginTrace(ctx, wopts.TraceID)
+	report, err := s.ps.ExplainAnalyze(ctx, src, optionsFor(wopts)...)
+	s.endTrace(tr, firstLine(src))
+	if err != nil {
+		return s.writeErr(s.errCode(err), err)
+	}
+	w := protocol.NewWriter()
+	w.String(report)
+	return protocol.WriteFrame(s.bw, protocol.OpStr, w.Bytes())
 }
 
 // handleSetOption updates the session defaults. Keys mirror the public

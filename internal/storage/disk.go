@@ -153,6 +153,7 @@ func (d *Disk) Get(si int) ([]value.Value, bool, error) {
 	if t == nil {
 		return nil, false, nil
 	}
+	mSSTableReads.Inc()
 	return t.get(si)
 }
 
@@ -191,6 +192,7 @@ func (d *Disk) Scan(lo, hi int, fn func(si int, tuple []value.Value) bool) error
 		if t.lo >= hi {
 			break
 		}
+		mSSTableReads.Inc()
 		keep, err := t.scan(lo, hi, func(si int, _ string, tuple []value.Value) bool {
 			if si < d.resetFloor || d.dead[si] {
 				return true
@@ -245,8 +247,11 @@ func (d *Disk) LookupKey(enc string) (int, bool) {
 		}
 		if !t.filter.mayContain(enc) {
 			atomic.AddUint64(&d.bloomNegSkipped, 1)
+			mBloomSkips.Inc()
 			continue
 		}
+		mBloomHits.Inc()
+		mSSTableReads.Inc()
 		si, ok, err := t.lookupKey(enc)
 		if err != nil {
 			// A probe has no error channel (the relation layer's Lookup
@@ -359,6 +364,7 @@ func (d *Disk) Flush() error {
 		}
 		d.tables = append(d.tables, t)
 		d.tableLive += len(entries)
+		mMemtableSpills.Inc()
 	}
 	d.memBase += n
 	d.mem = nil
@@ -419,7 +425,11 @@ func (d *Disk) Compact() error {
 			return err
 		}
 		merged = append(merged, t)
+		if fi, err := t.f.Stat(); err == nil {
+			mCompactionBytes.Add(fi.Size())
+		}
 	}
+	mCompactions.Inc()
 	for _, t := range d.tables {
 		d.obsolete = append(d.obsolete, t.name)
 		t.close()

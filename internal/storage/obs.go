@@ -1,0 +1,30 @@
+package storage
+
+import "pascalr/internal/obs"
+
+// Storage metrics. Every hook sits on a path that already holds the
+// relation layer's content lock (WAL appends, flush, compaction) or is
+// a plain atomic increment beside an existing one (bloom counters), so
+// none of them introduces new synchronization.
+var (
+	mWALAppends = obs.GetCounter("pascal_storage_wal_appends_total",
+		"Records appended to the write-ahead log")
+	mWALBytes = obs.GetCounter("pascal_storage_wal_bytes_total",
+		"Framed bytes written to the write-ahead log")
+	mWALFsyncs = obs.GetCounter("pascal_storage_wal_fsyncs_total",
+		"fsync calls issued by the write-ahead log")
+	mWALFsyncLatency = obs.GetHistogram("pascal_storage_wal_fsync_seconds",
+		"Write-ahead log fsync latency")
+	mMemtableSpills = obs.GetCounter("pascal_storage_memtable_spills_total",
+		"Memtable flushes that wrote a new SSTable")
+	mSSTableReads = obs.GetCounter("pascal_storage_sstable_reads_total",
+		"SSTable accesses (point gets, key probes, and per-table scans)")
+	mBloomHits = obs.GetCounter("pascal_storage_bloom_hits_total",
+		"Key probes the bloom filter passed through to the table")
+	mBloomSkips = obs.GetCounter("pascal_storage_bloom_skips_total",
+		"Key probes the bloom filter answered negatively without I/O")
+	mCompactions = obs.GetCounter("pascal_storage_compactions_total",
+		"SSTable compaction runs")
+	mCompactionBytes = obs.GetCounter("pascal_storage_compaction_bytes_total",
+		"Bytes written by SSTable compactions")
+)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"time"
 )
 
 // WALName is the write-ahead log's file name inside a database
@@ -103,8 +104,14 @@ func (w *WAL) Append(payload []byte) error {
 		return fmt.Errorf("storage: WAL append: %w", err)
 	}
 	w.size += int64(len(frame))
+	mWALAppends.Inc()
+	mWALBytes.Add(int64(len(frame)))
 	if w.policy == SyncAlways {
-		if err := w.f.Sync(); err != nil {
+		start := time.Now()
+		err := w.f.Sync()
+		mWALFsyncs.Inc()
+		mWALFsyncLatency.Observe(time.Since(start))
+		if err != nil {
 			return fmt.Errorf("storage: WAL fsync: %w", err)
 		}
 	}

@@ -1,0 +1,17 @@
+package pascalr
+
+import "pascalr/internal/obs"
+
+// Engine-layer metrics owned by the public API surface: the plan cache
+// and the cursor stale-retry path live here rather than in
+// internal/engine, but report under the engine layer's metric prefix.
+// Span tracing rides the context (internal/obs) and never touches
+// stats.Counters, so counter fingerprints are identical with tracing on.
+var (
+	mPlanCacheHits = obs.GetCounter("pascal_engine_plan_cache_hits_total",
+		"One-shot queries served from the LRU plan cache")
+	mPlanCacheMisses = obs.GetCounter("pascal_engine_plan_cache_misses_total",
+		"One-shot queries that compiled a fresh plan (including cache bypasses)")
+	mStaleRetries = obs.GetCounter("pascal_engine_stale_retries_total",
+		"Mid-stream stale-read retries absorbed by one-shot cursors")
+)

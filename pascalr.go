@@ -73,6 +73,7 @@ import (
 	"pascalr/internal/baseline"
 	"pascalr/internal/calculus"
 	"pascalr/internal/engine"
+	"pascalr/internal/obs"
 	"pascalr/internal/parser"
 	"pascalr/internal/relation"
 	"pascalr/internal/schema"
@@ -480,15 +481,21 @@ func (d *Database) evalSelection(ctx context.Context, sel *calculus.Selection, c
 // execute: a cache hit, or a freshly compiled (and, unless noCache,
 // cached) statement. On a concurrent miss both goroutines compile and
 // the later put wins — wasted work, never a wrong plan.
-func (d *Database) preparedStmt(src string, c config) (*Stmt, error) {
+func (d *Database) preparedStmt(ctx context.Context, src string, c config) (*Stmt, error) {
 	if c.noCache {
-		return d.prepareShared(src, c)
+		mPlanCacheMisses.Inc()
+		obs.SpanFrom(ctx).SetAttr("plan_cache", "bypass")
+		return d.prepareShared(ctx, src, c)
 	}
 	key := cacheKey(src, c)
 	if s, ok := d.plans.get(key); ok {
+		mPlanCacheHits.Inc()
+		obs.SpanFrom(ctx).SetAttr("plan_cache", "hit")
 		return s, nil
 	}
-	s, err := d.prepareShared(src, c)
+	mPlanCacheMisses.Inc()
+	obs.SpanFrom(ctx).SetAttr("plan_cache", "miss")
+	s, err := d.prepareShared(ctx, src, c)
 	if err != nil {
 		return nil, err
 	}
@@ -498,10 +505,10 @@ func (d *Database) preparedStmt(src string, c config) (*Stmt, error) {
 
 // prepareShared compiles under the shared database lock, serializing
 // against Exec's catalog mutations.
-func (d *Database) prepareShared(src string, c config) (*Stmt, error) {
+func (d *Database) prepareShared(ctx context.Context, src string, c config) (*Stmt, error) {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
-	return d.prepare(src, c)
+	return d.prepare(ctx, src, c)
 }
 
 // Query evaluates a selection expression and returns its result. Behind
@@ -531,7 +538,7 @@ func (d *Database) QueryContext(ctx context.Context, src string, opts ...Option)
 		}
 		return newResult(res), nil
 	}
-	s, err := d.preparedStmt(src, c)
+	s, err := d.preparedStmt(ctx, src, c)
 	if err != nil {
 		return nil, err
 	}
@@ -556,7 +563,7 @@ func (d *Database) QueryRows(ctx context.Context, src string, opts ...Option) (*
 	if c.useBaseline {
 		return nil, fmt.Errorf("pascalr: the baseline evaluator does not support cursors")
 	}
-	s, err := d.preparedStmt(src, c)
+	s, err := d.preparedStmt(ctx, src, c)
 	if err != nil {
 		return nil, err
 	}
@@ -612,7 +619,7 @@ func (d *Database) ExplainAnalyze(ctx context.Context, src string, opts ...Optio
 	if c.useBaseline {
 		return "", fmt.Errorf("pascalr: the baseline evaluator has no plan to explain")
 	}
-	s, err := d.preparedStmt(src, c)
+	s, err := d.preparedStmt(ctx, src, c)
 	if err != nil {
 		return "", err
 	}

@@ -95,6 +95,7 @@ func (r *Rows) Next() bool {
 		// winning the race again surfaces ErrStaleRead like the prepared
 		// path does.
 		r.retried = true
+		mStaleRetries.Inc()
 		cur, rerr := r.reopen()
 		if rerr != nil {
 			r.err = rerr

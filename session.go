@@ -80,6 +80,19 @@ func (s *Session) Prepare(src string, opts ...Option) (*Stmt, error) {
 	return s.db.Prepare(src, s.merged(opts)...)
 }
 
+// PrepareContext is Prepare with a context; a trace span carried by the
+// context records the parse, check, and compile phases.
+func (s *Session) PrepareContext(ctx context.Context, src string, opts ...Option) (*Stmt, error) {
+	return s.db.PrepareContext(ctx, src, s.merged(opts)...)
+}
+
+// ExplainAnalyze executes a selection under the session defaults and
+// reports estimated versus actual cardinalities; see
+// Database.ExplainAnalyze.
+func (s *Session) ExplainAnalyze(ctx context.Context, src string, opts ...Option) (string, error) {
+	return s.db.ExplainAnalyze(ctx, src, s.merged(opts)...)
+}
+
 // Explain renders the plan under the session defaults; see
 // Database.Explain.
 func (s *Session) Explain(src string, opts ...Option) (string, error) {

@@ -6,6 +6,7 @@ import (
 
 	"pascalr/internal/calculus"
 	"pascalr/internal/engine"
+	"pascalr/internal/obs"
 	"pascalr/internal/parser"
 )
 
@@ -33,30 +34,44 @@ type Stmt struct {
 // here; WithBaseline cannot be prepared (the tuple-substitution oracle
 // has no plan to cache).
 func (d *Database) Prepare(src string, opts ...Option) (*Stmt, error) {
-	return d.prepareShared(src, d.newConfig(opts))
+	return d.PrepareContext(context.Background(), src, opts...)
 }
 
-func (d *Database) prepare(src string, c config) (*Stmt, error) {
+// PrepareContext is Prepare with a context: when the context carries a
+// trace span (server sessions and the -trace CLI flag arrange this),
+// the parse, check, and compile phases record child spans.
+func (d *Database) PrepareContext(ctx context.Context, src string, opts ...Option) (*Stmt, error) {
+	return d.prepareShared(ctx, src, d.newConfig(opts))
+}
+
+func (d *Database) prepare(ctx context.Context, src string, c config) (*Stmt, error) {
 	if c.useBaseline {
 		return nil, fmt.Errorf("pascalr: cannot prepare a baseline evaluation")
 	}
+	sp := obs.SpanFrom(ctx)
+	psp := sp.Start("parse")
 	sel, err := parser.ParseSelection(src)
+	psp.End()
 	if err != nil {
 		return nil, err
 	}
+	csp := sp.Start("check")
 	checked, info, err := calculus.Check(sel, d.db.Catalog())
+	csp.End()
 	if err != nil {
 		return nil, err
 	}
 	// No explicit estimator: the engine derives statistics from the
 	// database's live snapshots and refreshes them (recompiling the
 	// template's cost-gated decisions) whenever they change.
-	plan, err := d.eng.Compile(checked, info, engine.Options{
+	ksp := sp.Start("compile")
+	plan, err := d.eng.CompileCtx(obs.With(ctx, ksp), checked, info, engine.Options{
 		Strategies:   engine.Strategy(c.strategies),
 		MaxRefTuples: c.maxRefTuples,
 		CostBased:    c.costBased,
 		Parallelism:  c.parallelism,
 	})
+	ksp.End()
 	if err != nil {
 		return nil, err
 	}
