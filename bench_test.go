@@ -518,3 +518,140 @@ func BenchmarkPreparedRepeat(b *testing.B) {
 		}
 	})
 }
+
+// batchScanSelection is the selective full-scan shape the vectorized
+// path targets: the bulkiest relation (timetable, 2n rows) filtered by
+// a conjunctive chain of monadic band restrictions — a schedule-window
+// query: employees inside nested validity bands, lectures inside
+// nested time windows, and finally a narrow employee band whose
+// conjunction survives only a handful of rows. The wide bands run at
+// nearly full density, so predicate evaluation dominates the scan and
+// the delta between the path=tuple and path=batch legs is the per-row
+// cost of a closure call and an interface Compare per predicate versus
+// one word-at-a-time FilterOrdBits pass per predicate over an unboxed
+// column the scan materialized once.
+func batchScanSelection(n int64) *calculus.Selection {
+	band := func(col string, op value.CmpOp, v int64) calculus.Formula {
+		return &calculus.Cmp{L: calculus.Field{Var: "t", Col: col}, Op: op, R: calculus.Const{Val: value.Int(v)}}
+	}
+	lecture := func(k int64) int64 { return 8000900 + k*100000 } // the k-th timetable slot
+	return &calculus.Selection{
+		Proj: []calculus.Field{{Var: "t", Col: "tcnr"}, {Var: "t", Col: "troom"}},
+		Free: []calculus.Decl{{Var: "t", Range: &calculus.RangeExpr{Rel: "timetable"}}},
+		Pred: calculus.NewAnd(
+			band("tenr", value.OpGe, n/50), // wide bands: ~80-98% pass each
+			band("tenr", value.OpLt, n-n/50),
+			band("ttime", value.OpGe, lecture(5)),
+			band("ttime", value.OpLt, lecture(95)),
+			band("tenr", value.OpGe, n/10),
+			band("tenr", value.OpLt, n-n/10),
+			band("ttime", value.OpGe, lecture(10)),
+			band("ttime", value.OpLt, lecture(90)),
+			band("tenr", value.OpGe, n/2), // narrow band on the survivors
+			band("tenr", value.OpLt, n/2+n/250),
+		),
+	}
+}
+
+// BenchmarkBatchScan compares the forced tuple-at-a-time collection
+// path against the default vectorized batch path on the selective full
+// scan, from the same precompiled plan. Results and counters are
+// bit-identical across the legs (enginetest and batch_test prove it);
+// this benchmark tracks the wall-clock ratio CI records in
+// BENCH_batch_exec.json — the batch leg is the one expected to hold a
+// >=2x advantage.
+func BenchmarkBatchScan(b *testing.B) {
+	db := workload.MustUniversity(workload.DefaultConfig(25000))
+	db.Quiesce() // drain the population's statistics rebuilds off the timed region
+	sel, info, err := calculus.Check(batchScanSelection(25000), db.Catalog())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, leg := range []struct {
+		name string
+		exec engine.ExecMode
+	}{
+		{"path=tuple", engine.ExecTuple},
+		{"path=batch", engine.ExecAuto},
+	} {
+		b.Run(leg.name, func(b *testing.B) {
+			eng := engine.New(db, nil)
+			plan, err := eng.Compile(sel, info, engine.Options{
+				Strategies: engine.AllStrategies, Exec: leg.exec,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			ctx := context.Background()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := plan.Eval(ctx); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// parallelCombinationSelection fans the three-way join of
+// JoinHeavySelection out over four weekday disjuncts. The standard
+// (disjunctive normal) form lands each day test in its own conjunction,
+// and every conjunction carries BOTH equi-joins (employees-timetable
+// and courses-timetable), so the combination phase runs four
+// independent greedy hash joins — exactly the per-conjunction jobs the
+// parallel combination scheduler spreads across workers.
+func parallelCombinationSelection() *calculus.Selection {
+	day := func(ord int) calculus.Formula {
+		return &calculus.Cmp{L: calculus.Field{Var: "t", Col: "tday"}, Op: value.OpEq,
+			R: calculus.Const{Val: value.Enum("daytype", ord)}}
+	}
+	return &calculus.Selection{
+		Proj: []calculus.Field{{Var: "e", Col: "ename"}, {Var: "c", Col: "cnr"}},
+		Free: []calculus.Decl{
+			{Var: "e", Range: &calculus.RangeExpr{Rel: "employees"}},
+			{Var: "c", Range: &calculus.RangeExpr{Rel: "courses"}},
+			{Var: "t", Range: &calculus.RangeExpr{Rel: "timetable"}},
+		},
+		Pred: calculus.NewAnd(
+			&calculus.Cmp{L: calculus.Field{Var: "e", Col: "enr"}, Op: value.OpEq, R: calculus.Field{Var: "t", Col: "tenr"}},
+			&calculus.Cmp{L: calculus.Field{Var: "c", Col: "cnr"}, Op: value.OpEq, R: calculus.Field{Var: "t", Col: "tcnr"}},
+			calculus.NewOr(calculus.NewOr(day(0), day(1)), calculus.NewOr(day(2), day(3))),
+		),
+	}
+}
+
+// BenchmarkParallelCombination measures the parallel combination phase:
+// the four-conjunction disjunctive join executed with 1 (serial), 2,
+// and 4 workers from a precompiled plan. The collection phase is shared
+// scans either way; the spread across workers is the per-conjunction
+// greedy-join work. Results and merged counters are identical across
+// worker counts (enginetest proves it); CI records the wall-clock
+// effect in BENCH_batch_exec.json.
+func BenchmarkParallelCombination(b *testing.B) {
+	db := workload.MustUniversity(workload.DefaultConfig(4000))
+	db.Quiesce() // drain the population's statistics rebuilds off the timed region
+	sel, info, err := calculus.Check(parallelCombinationSelection(), db.Catalog())
+	if err != nil {
+		b.Fatal(err)
+	}
+	est := db.Analyze()
+	for _, par := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", par), func(b *testing.B) {
+			eng := engine.New(db, nil)
+			plan, err := eng.Compile(sel, info, engine.Options{
+				Strategies: engine.S1 | engine.S2, CostBased: true,
+				Estimator: est, Parallelism: par,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			ctx := context.Background()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := plan.Eval(ctx); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -121,6 +121,17 @@ func keyAt(row []value.Value, idx []int) string {
 	return string(dst)
 }
 
+// keyAtBuf is keyAt into a reused buffer: probe loops encode one key
+// per row, and map lookups via string(buf) do not allocate, so probing
+// stays allocation-free regardless of the probe side's size.
+func keyAtBuf(dst []byte, row []value.Value, idx []int) []byte {
+	dst = dst[:0]
+	for _, i := range idx {
+		dst = value.AppendKey(dst, row[i])
+	}
+	return dst
+}
+
 // shared returns the variables common to a and b, with their column
 // indexes in each, in a's column order.
 func shared(a, b *RefRel) (vars []string, ai, bi []int) {
@@ -172,19 +183,21 @@ func Join(ctx context.Context, a, b *RefRel, st *stats.Counters) (*RefRel, error
 		buildIsA = false
 	}
 	ht := make(map[string][]int, build.Len())
+	kbuf := make([]byte, 0, 16*len(bIdx))
 	for i, row := range build.rows {
 		if err := tk.tick(); err != nil {
 			return nil, err
 		}
-		k := keyAt(row, bIdx)
-		ht[k] = append(ht[k], i)
+		kbuf = keyAtBuf(kbuf, row, bIdx)
+		ht[string(kbuf)] = append(ht[string(kbuf)], i)
 	}
 	for _, prow := range probe.rows {
 		st.CountProbes(1)
 		if err := tk.tick(); err != nil {
 			return nil, err
 		}
-		for _, i := range ht[keyAt(prow, pIdx)] {
+		kbuf = keyAtBuf(kbuf, prow, pIdx)
+		for _, i := range ht[string(kbuf)] {
 			if err := tk.tick(); err != nil {
 				return nil, err
 			}
@@ -373,18 +386,21 @@ func Semijoin(ctx context.Context, a, b *RefRel, st *stats.Counters) (*RefRel, e
 		return out, nil
 	}
 	ht := make(map[string]struct{}, b.Len())
+	kbuf := make([]byte, 0, 16*len(bi))
 	for _, row := range b.rows {
 		if err := tk.tick(); err != nil {
 			return nil, err
 		}
-		ht[keyAt(row, bi)] = struct{}{}
+		kbuf = keyAtBuf(kbuf, row, bi)
+		ht[string(kbuf)] = struct{}{}
 	}
 	for _, row := range a.rows {
 		st.CountProbes(1)
 		if err := tk.tick(); err != nil {
 			return nil, err
 		}
-		if _, ok := ht[keyAt(row, ai)]; ok {
+		kbuf = keyAtBuf(kbuf, row, ai)
+		if _, ok := ht[string(kbuf)]; ok {
 			out.Add(row)
 		}
 	}

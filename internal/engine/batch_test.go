@@ -1,0 +1,209 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"pascalr/internal/calculus"
+	"pascalr/internal/relation"
+	"pascalr/internal/stats"
+	"pascalr/internal/value"
+	"pascalr/internal/workload"
+)
+
+// setBatchSize shrinks the batch capacity for the duration of a test so
+// batch-boundary and tail-bitmap edge cases get exercised with small
+// relations, restoring the default afterwards.
+func setBatchSize(t *testing.T, n int) {
+	t.Helper()
+	old := batchSize
+	batchSize = n
+	t.Cleanup(func() { batchSize = old })
+}
+
+// evalBoth runs one selection on the vectorized path and on the forced
+// tuple path with identical options and asserts bit-identical results
+// and counter fingerprints. It returns the batch run's result.
+func evalBoth(t *testing.T, db *relation.DB, sel *calculus.Selection, opts Options) *relation.Relation {
+	t.Helper()
+	checked, info, err := calculus.Check(sel, db.Catalog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	stBatch := &stats.Counters{}
+	opts.Exec = ExecAuto
+	gotBatch, err := New(db, stBatch).Eval(ctx, checked, info, opts)
+	if err != nil {
+		t.Fatalf("batch path: %v", err)
+	}
+	stTuple := &stats.Counters{}
+	opts.Exec = ExecTuple
+	gotTuple, err := New(db, stTuple).Eval(ctx, checked, info, opts)
+	if err != nil {
+		t.Fatalf("tuple path: %v", err)
+	}
+	if bk, tk := resultKey(gotBatch), resultKey(gotTuple); bk != tk {
+		t.Fatalf("batch result (%d rows) != tuple result (%d rows)", gotBatch.Len(), gotTuple.Len())
+	}
+	if bf, tf := stBatch.Fingerprint(), stTuple.Fingerprint(); bf != tf {
+		t.Fatalf("counter fingerprints diverge\nbatch: %s\ntuple: %s", bf, tf)
+	}
+	return gotBatch
+}
+
+// empnoSelection selects employee names by a single comparison on the
+// unique employee number — the shape whose selection vector density is
+// directly controlled by op and the constant.
+func empnoSelection(op value.CmpOp, n int64) *calculus.Selection {
+	return &calculus.Selection{
+		Proj: []calculus.Field{{Var: "e", Col: "ename"}},
+		Free: []calculus.Decl{{Var: "e", Range: &calculus.RangeExpr{Rel: "employees"}}},
+		Pred: &calculus.Cmp{L: calculus.Field{Var: "e", Col: "enr"}, Op: op, R: calculus.Const{Val: value.Int(n)}},
+	}
+}
+
+// TestBatchSelectionVectorDensityExtremes pins the all-one and all-zero
+// selection vector cases: a predicate every row passes, one no row
+// passes, and a one-row needle — across batch sizes that land the
+// relation on, under, and over word and batch boundaries.
+func TestBatchSelectionVectorDensityExtremes(t *testing.T) {
+	db := workload.MustUniversity(workload.DefaultConfig(70)) // 70 rows: crosses one 64-bit word
+	for _, bs := range []int{1, 3, 64, 70, 1024} {
+		bs := bs
+		t.Run(fmt.Sprintf("bs%d", bs), func(t *testing.T) {
+			setBatchSize(t, bs)
+			allOne := evalBoth(t, db, empnoSelection(value.OpGe, 0), Options{Strategies: AllStrategies})
+			if allOne.Len() != db.MustRelation("employees").Len() {
+				t.Fatalf("all-one selection kept %d of %d rows", allOne.Len(), db.MustRelation("employees").Len())
+			}
+			allZero := evalBoth(t, db, empnoSelection(value.OpLt, 0), Options{Strategies: AllStrategies})
+			if allZero.Len() != 0 {
+				t.Fatalf("all-zero selection kept %d rows", allZero.Len())
+			}
+			needle := evalBoth(t, db, empnoSelection(value.OpEq, 1), Options{Strategies: AllStrategies})
+			if needle.Len() != 1 {
+				t.Fatalf("needle selection kept %d rows, want 1", needle.Len())
+			}
+		})
+	}
+}
+
+// TestBatchEmptyRelations runs the differential pair against empty base
+// relations: zero batches must flow, and results must stay identical.
+func TestBatchEmptyRelations(t *testing.T) {
+	setBatchSize(t, 7)
+	db := relation.NewDB()
+	if err := workload.DefineSchema(db, workload.DefaultConfig(10)); err != nil {
+		t.Fatal(err)
+	}
+	res := evalBoth(t, db, empnoSelection(value.OpGe, 0), Options{Strategies: AllStrategies})
+	if res.Len() != 0 {
+		t.Fatalf("empty relation produced %d rows", res.Len())
+	}
+	res = evalBoth(t, db, workload.SampleSelection(), Options{Strategies: AllStrategies})
+	if res.Len() != 0 {
+		t.Fatalf("empty university produced %d rows", res.Len())
+	}
+}
+
+// TestBatchBoundaryMatrix sweeps the paper's sample queries across odd
+// batch sizes (including sizes that split every quantified scan at
+// non-multiple-of-64 offsets) and every strategy rung, serial and
+// parallel — the bit-identity contract under boundary stress.
+func TestBatchBoundaryMatrix(t *testing.T) {
+	db := workload.MustUniversity(workload.DefaultConfig(17))
+	sels := []*calculus.Selection{
+		workload.SampleSelection(),
+		workload.SubexprSelection(),
+		workload.DisjunctiveSelection(),
+		workload.JoinHeavySelection(),
+	}
+	for _, bs := range []int{3, 65} {
+		for _, sel := range sels {
+			for _, strat := range []Strategy{0, S1 | S2, AllStrategies} {
+				for _, par := range []int{1, 4} {
+					setBatchSize(t, bs)
+					evalBoth(t, db, sel, Options{Strategies: strat, Parallelism: par})
+				}
+			}
+		}
+	}
+}
+
+// TestBatchCursorStreamingDedup streams a compiled plan's rows through
+// the cursor with a batch size that fractures every scan, checking the
+// streamed multiset (including construction-phase dedup) against the
+// tuple path's materialized result.
+func TestBatchCursorStreamingDedup(t *testing.T) {
+	setBatchSize(t, 5)
+	db := workload.MustUniversity(workload.DefaultConfig(40))
+	checked, info, err := calculus.Check(workload.SampleSelection(), db.Catalog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	plan, err := New(db, nil).Compile(checked, info, Options{Strategies: AllStrategies})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur, err := plan.Rows(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var keys []string
+	seen := map[string]bool{}
+	for cur.Next() {
+		k := value.EncodeKey(cur.Row())
+		if seen[k] {
+			t.Fatalf("cursor yielded duplicate row %q across batch boundaries", k)
+		}
+		seen[k] = true
+		keys = append(keys, k)
+	}
+	if err := cur.Err(); err != nil {
+		t.Fatal(err)
+	}
+	cur.Close()
+	sort.Strings(keys)
+
+	tup, err := New(db, nil).Eval(ctx, checked, info, Options{Strategies: AllStrategies, Exec: ExecTuple})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := strings.Join(keys, "|"), resultKey(tup); got != want {
+		t.Fatalf("streamed batch rows != tuple-path result\nbatch: %s\ntuple: %s", got, want)
+	}
+}
+
+// TestBatchJobsActuallyBatch guards the degrade seam from silently
+// pinning everything to the tuple path: a plain monadic query must
+// compile every scan job to batch form under ExecAuto and none under
+// ExecTuple.
+func TestBatchJobsActuallyBatch(t *testing.T) {
+	db := workload.MustUniversity(workload.DefaultConfig(20))
+	checked, _, err := calculus.Check(empnoSelection(value.OpGe, 0), db.Catalog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []ExecMode{ExecAuto, ExecTuple} {
+		e := New(db, nil)
+		opts := Options{Strategies: AllStrategies, Exec: mode}
+		x, err := e.prepare(checked, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := buildPlan(x, db, &stats.Counters{}, opts.Strategies, planEstimator(opts), 1, mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, job := range p.jobs {
+			if want := mode == ExecAuto; job.batch != want {
+				t.Fatalf("mode %s: job over %s batch=%v, want %v", mode, job.rel.Name(), job.batch, want)
+			}
+		}
+	}
+}

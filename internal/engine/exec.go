@@ -7,6 +7,8 @@ import (
 
 	"pascalr/internal/algebra"
 	"pascalr/internal/collection"
+	"pascalr/internal/obs"
+	"pascalr/internal/sched"
 	"pascalr/internal/stats"
 	"pascalr/internal/value"
 )
@@ -54,6 +56,9 @@ type rangeTask struct {
 	v     string
 	preds []rowPred // the range filter, if extended
 	refs  []value.Value
+
+	bRange []batchPred // bulk form of preds (batch.go)
+	bOK    bool
 }
 
 func (t *rangeTask) process(ref value.Value, tuple []value.Value, st *stats.Counters) error {
@@ -72,7 +77,7 @@ func (t *rangeTask) finish() error {
 func (t *rangeTask) describe() string { return "range " + t.v }
 
 func (t *rangeTask) shardClone() scanTask {
-	return &rangeTask{p: t.p, v: t.v, preds: t.preds}
+	return &rangeTask{p: t.p, v: t.v, preds: t.preds, bRange: t.bRange, bOK: t.bOK}
 }
 
 func (t *rangeTask) absorb(shard scanTask) error {
@@ -86,6 +91,9 @@ type slTask struct {
 	spec       *slSpec
 	rangePreds []rowPred
 	out        *collection.SingleList // spec.out, or shard-local
+
+	bRange []batchPred // bulk form of rangePreds (batch.go)
+	bOK    bool
 }
 
 func newSLTask(spec *slSpec, rangePreds []rowPred) *slTask {
@@ -108,7 +116,7 @@ func (t *slTask) finish() error    { return nil }
 func (t *slTask) describe() string { return "single-list " + t.spec.key }
 
 func (t *slTask) shardClone() scanTask {
-	return &slTask{spec: t.spec, rangePreds: t.rangePreds, out: collection.NewSingleList(t.spec.v)}
+	return &slTask{spec: t.spec, rangePreds: t.rangePreds, out: collection.NewSingleList(t.spec.v), bRange: t.bRange, bOK: t.bOK}
 }
 
 func (t *slTask) absorb(shard scanTask) error {
@@ -122,6 +130,9 @@ type ixTask struct {
 	spec       *ixSpec
 	rangePreds []rowPred
 	out        *collection.Index // spec.out, or shard-local
+
+	bRange []batchPred // bulk form of rangePreds (batch.go)
+	bOK    bool
 }
 
 func newIxTask(spec *ixSpec, rangePreds []rowPred) *ixTask {
@@ -140,7 +151,7 @@ func (t *ixTask) finish() error    { return nil }
 func (t *ixTask) describe() string { return "index " + t.spec.key }
 
 func (t *ixTask) shardClone() scanTask {
-	return &ixTask{spec: t.spec, rangePreds: t.rangePreds, out: collection.NewIndex(t.out.Rel, t.out.Col)}
+	return &ixTask{spec: t.spec, rangePreds: t.rangePreds, out: collection.NewIndex(t.out.Rel, t.out.Col), bRange: t.bRange, bOK: t.bOK}
 }
 
 func (t *ixTask) absorb(shard scanTask) error {
@@ -160,6 +171,9 @@ type groupTask struct {
 	rangePreds []rowPred
 	outs       []*collection.IndirectJoin // per probe: pr.out, or shard-local
 	matchBuf   [][]value.Value
+
+	bRange []batchPred // bulk form of rangePreds (batch.go)
+	bOK    bool
 }
 
 func newGroupTask(p *plan, grp *probeGroup, rangePreds []rowPred) *groupTask {
@@ -202,7 +216,7 @@ func (t *groupTask) finish() error    { return nil }
 func (t *groupTask) describe() string { return "probe " + t.grp.key }
 
 func (t *groupTask) shardClone() scanTask {
-	c := &groupTask{p: t.p, grp: t.grp, rangePreds: t.rangePreds}
+	c := &groupTask{p: t.p, grp: t.grp, rangePreds: t.rangePreds, bRange: t.bRange, bOK: t.bOK}
 	for _, pr := range t.grp.probes {
 		c.outs = append(c.outs, collection.NewIndirectJoin(pr.out.LVar, pr.out.RVar))
 	}
@@ -224,6 +238,10 @@ type specTask struct {
 	rangePreds []rowPred
 	monPreds   []rowPred
 	dyCols     []int
+
+	bRange []batchPred // bulk forms of rangePreds/monPreds (batch.go)
+	bMon   []batchPred
+	bOK    bool
 }
 
 func (t *specTask) process(ref value.Value, tuple []value.Value, st *stats.Counters) error {
@@ -244,7 +262,7 @@ func (t *specTask) describe() string {
 }
 
 func (t *specTask) shardClone() scanTask {
-	return &specTask{rt: newSpecRuntime(t.rt.spec), rangePreds: t.rangePreds, monPreds: t.monPreds, dyCols: t.dyCols}
+	return &specTask{rt: newSpecRuntime(t.rt.spec), rangePreds: t.rangePreds, monPreds: t.monPreds, dyCols: t.dyCols, bRange: t.bRange, bMon: t.bMon, bOK: t.bOK}
 }
 
 func (t *specTask) absorb(shard scanTask) error {
@@ -262,27 +280,38 @@ func (p *plan) tasksForVar(v string) []scanTask {
 		// Surfaced during the scan phase via an erroring task.
 		return []scanTask{&errTask{err: err}}
 	}
+	var bRange []batchPred
+	bOK := false
+	if p.exec != ExecTuple {
+		bRange, bOK = p.rangeBatchPredsFor(v)
+	}
 	var tasks []scanTask
 	if node.live && p.needRange[v] {
-		tasks = append(tasks, &rangeTask{p: p, v: v, preds: rangePreds})
+		tasks = append(tasks, &rangeTask{p: p, v: v, preds: rangePreds, bRange: bRange, bOK: bOK})
 	}
 	for _, key := range sortedKeys(p.sls) {
 		if sl := p.sls[key]; sl.v == v {
-			tasks = append(tasks, newSLTask(sl, rangePreds))
+			t := newSLTask(sl, rangePreds)
+			t.bRange, t.bOK = bRange, bOK
+			tasks = append(tasks, t)
 		}
 	}
 	for _, key := range sortedKeys(p.ixs) {
 		if ix := p.ixs[key]; ix.v == v && ix.out != nil {
-			tasks = append(tasks, newIxTask(ix, rangePreds))
+			t := newIxTask(ix, rangePreds)
+			t.bRange, t.bOK = bRange, bOK
+			tasks = append(tasks, t)
 		}
 	}
 	for _, key := range sortedKeys(p.groups) {
 		if grp := p.groups[key]; grp.v == v {
-			tasks = append(tasks, newGroupTask(p, grp, rangePreds))
+			t := newGroupTask(p, grp, rangePreds)
+			t.bRange, t.bOK = bRange, bOK
+			tasks = append(tasks, t)
 		}
 	}
 	if node.rt != nil {
-		task := &specTask{rt: node.rt, rangePreds: rangePreds}
+		task := &specTask{rt: node.rt, rangePreds: rangePreds, bRange: bRange, bOK: bOK}
 		spec := node.rt.spec
 		for _, m := range spec.Monadic {
 			pr, err := compileMonadic(m, spec.Var, node.sch)
@@ -290,6 +319,14 @@ func (p *plan) tasksForVar(v string) []scanTask {
 				return []scanTask{&errTask{err: err}}
 			}
 			task.monPreds = append(task.monPreds, pr)
+			if task.bOK {
+				bp, berr := compileBatchMonadic(m, spec.Var, node.sch)
+				if berr != nil {
+					task.bOK = false
+				} else {
+					task.bMon = append(task.bMon, bp)
+				}
+			}
 		}
 		for _, n := range spec.NestedMonadic {
 			rt, ok := p.specRTs[n.Spec]
@@ -301,6 +338,9 @@ func (p *plan) tasksForVar(v string) []scanTask {
 				return []scanTask{&errTask{err: err}}
 			}
 			task.monPreds = append(task.monPreds, pr)
+			if task.bOK {
+				task.bMon = append(task.bMon, liftRowPred(pr))
+			}
 		}
 		for _, d := range spec.Dyadic {
 			ci, ok := node.sch.ColIndex(d.VnCol)
@@ -359,20 +399,62 @@ func (p *plan) runScans(ctx context.Context) error {
 			}
 		}
 	}
-	// Materialize deferred index-index joins.
+	if err := p.runDeferred(ctx); err != nil {
+		return err
+	}
+	p.recordStructures()
+	return nil
+}
+
+// runDeferred materializes the deferred index-index joins — serially,
+// or as independent sched jobs when the plan has a worker budget and
+// more than one join. Each join reads structures that are frozen once
+// the scans complete (the indexes, the range-list map) and writes only
+// its own output, so the jobs don't conflict; per-job private sinks
+// merge back in deferred order to keep counters bit-identical to the
+// serial pass.
+func (p *plan) runDeferred(ctx context.Context) error {
+	if p.par > 1 && len(p.deferred) > 1 {
+		jobs := make([]sched.Job, len(p.deferred))
+		sinks := make([]*stats.Counters, len(p.deferred))
+		for i, d := range p.deferred {
+			i, d := i, d
+			sinks[i] = &stats.Counters{}
+			jobs[i] = sched.Job{
+				Name: "deferred " + d.key,
+				Run: func(jctx context.Context) error {
+					if err := jctx.Err(); err != nil {
+						return err
+					}
+					sp := p.collSp.Start("deferred-join")
+					p.materializeDeferredInto(d, sinks[i])
+					if sp != nil {
+						sp.SetAttr("key", d.key)
+						sp.SetInt("pairs", int64(d.out.Len()))
+						sp.End()
+					}
+					return nil
+				},
+			}
+		}
+		err := sched.Run(ctx, p.par, jobs)
+		for _, snk := range sinks {
+			p.st.Merge(snk)
+		}
+		return err
+	}
 	for _, d := range p.deferred {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
 		sp := p.collSp.Start("deferred-join")
-		p.materializeDeferred(d)
+		p.materializeDeferredInto(d, p.st)
 		if sp != nil {
 			sp.SetAttr("key", d.key)
 			sp.SetInt("pairs", int64(d.out.Len()))
 			sp.End()
 		}
 	}
-	p.recordStructures()
 	return nil
 }
 
@@ -396,8 +478,12 @@ func (p *plan) runScanJob(ctx context.Context, job *scanJob, st *stats.Counters)
 }
 
 // scanSlotRange drives the given tasks over one slot range of the job's
-// relation — a full scan, or one shard of a split scan.
+// relation — a full scan, or one shard of a split scan. Jobs whose
+// tasks all compiled to batch form take the columnar drive instead.
 func (p *plan) scanSlotRange(ctx context.Context, job *scanJob, tasks []scanTask, st *stats.Counters, lo, hi int) error {
+	if job.batch {
+		return p.scanSlotRangeBatch(ctx, job, tasks, st, lo, hi)
+	}
 	var scanErr error
 	n := 0
 	err := job.rel.ScanSlots(st, lo, hi, func(ref value.Value, tuple []value.Value) bool {
@@ -450,21 +536,23 @@ func driveSmallerSide(op value.CmpOp) bool {
 	return false
 }
 
-// materializeDeferred joins two indexes into an indirect join without
-// touching the base relation again. Under cost-based planning the
-// smaller index's entries drive the probing (equality and ordered
-// operators alike), minimizing probe count at identical output.
-func (p *plan) materializeDeferred(d *deferredIJ) {
+// materializeDeferredInto joins two indexes into an indirect join
+// without touching the base relation again, counting into st (the
+// plan's sink, or a job-private one when deferred joins run in
+// parallel). Under cost-based planning the smaller index's entries
+// drive the probing (equality and ordered operators alike), minimizing
+// probe count at identical output.
+func (p *plan) materializeDeferredInto(d *deferredIJ, st *stats.Counters) {
 	if p.est != nil && driveSmallerSide(d.op) && p.effLen(d.lIx) > p.effLen(d.rIx) {
 		d.rIx.entriesDo(p, func(v, rref value.Value) {
-			d.lIx.probe(p, p.st, d.op.Flip(), v, func(lref value.Value) {
+			d.lIx.probe(p, st, d.op.Flip(), v, func(lref value.Value) {
 				d.out.Add(lref, rref)
 			})
 		})
 		return
 	}
 	d.lIx.entriesDo(p, func(v, lref value.Value) {
-		d.rIx.probe(p, p.st, d.op, v, func(rref value.Value) {
+		d.rIx.probe(p, st, d.op, v, func(rref value.Value) {
 			d.out.Add(lref, rref)
 		})
 	})
@@ -527,31 +615,96 @@ func (p *plan) liveVars() []string {
 	return out
 }
 
+// combState is the per-execution-strand state of the combination
+// phase: the counter sink the strand's algebra operations feed (the
+// plan's, or a private one when conjunctions run as parallel jobs), the
+// span joins hang off, the join log, and the budget checkpoint values
+// recorded for the ordered replay below.
+type combState struct {
+	st *stats.Counters
+	// base is st.RefTuples when the state was created, so checkVals are
+	// deltas regardless of whether st is shared or private.
+	base      int64
+	sp        *obs.Span
+	joinLog   []joinStep
+	checkVals []int64
+}
+
+// combBudget is the reference-tuple budget shared by every combination
+// strand. base0 is the execution's materialization before the
+// combination phase started (relative to the plan's refBase).
+type combBudget struct{ max, base0 int64 }
+
+func (b *combBudget) err() error {
+	return fmt.Errorf("engine: combination phase exceeded %d reference tuples", b.max)
+}
+
+// checkpoint records a budget checkpoint for cs and aborts on
+// cancellation or when the strand's own materialization alone exceeds
+// the budget. The own-only test is deliberately conservative: a
+// strand's delta is a lower bound on the serial cumulative value at the
+// same checkpoint, so it can never error where the serial schedule
+// would not — cross-strand accumulation is caught by the exact ordered
+// replay in combine.
+func (p *plan) checkpoint(ctx context.Context, cs *combState, budget *combBudget) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if cs.st == nil {
+		return nil
+	}
+	val := cs.st.RefTuples - cs.base
+	cs.checkVals = append(cs.checkVals, val)
+	if budget.max > 0 && budget.base0+val > budget.max {
+		return budget.err()
+	}
+	return nil
+}
+
 // combine runs the combination phase: per-conjunction n-tuples of
 // references, union over the disjunction, then quantifier elimination
 // right-to-left (projection for SOME, division for ALL). It returns a
 // reference relation over the free variables. Cancellation and the
 // reference-tuple budget are checked between algebra operations.
+//
+// With Parallelism > 1 and several conjunctions, the per-conjunction
+// greedy joins run as independent sched jobs: each feeds a private
+// counter sink and join log, merged back in conjunction order, so the
+// merged counters — and hence the fingerprint — are bit-identical to
+// the serial schedule. The budget keeps exactly the serial checkpoints
+// (after every join, after every quantifier op), re-checked in
+// conjunction order after the jobs complete, so the error/no-error
+// outcome matches the serial schedule exactly.
 func (p *plan) combine(ctx context.Context, maxRefTuples int64) (*algebra.RefRel, error) {
 	live := p.liveVars()
 	var union *algebra.RefRel
+	budget := &combBudget{max: maxRefTuples, base0: p.st.RefTuples - p.refBase}
 
-	conjRels := make([]*algebra.RefRel, 0, len(p.conjs))
 	if p.x.Const != nil && *p.x.Const {
 		// Constant TRUE matrix: the n-tuples are the full Cartesian
 		// product of the live ranges; quantifiers then collapse over
 		// their (non-empty) ranges, so only the free variables matter.
+		cs := &combState{st: p.st, base: p.st.RefTuples, sp: p.combSp}
 		pieces := make([]*algebra.RefRel, 0, len(p.x.Free))
 		for _, d := range p.x.Free {
 			pieces = append(pieces, algebra.FromRefs(d.Var, p.rangeLst[d.Var], p.st))
 		}
-		joined, err := p.greedyJoin(ctx, pieces, maxRefTuples)
+		joined, err := p.greedyJoin(ctx, pieces, cs, budget)
+		p.joinLog = append(p.joinLog, cs.joinLog...)
 		if err != nil {
 			return nil, err
 		}
 		return joined, nil
 	}
 
+	// Constant gates are resolved up front so their errors stay
+	// deterministic regardless of how the conjunction jobs interleave.
+	type conjJob struct {
+		ci  int
+		cs  *combState
+		rel *algebra.RefRel
+	}
+	var cjobs []*conjJob
 	for ci, cp := range p.conjs {
 		skip := false
 		for _, rt := range cp.consts {
@@ -566,29 +719,93 @@ func (p *plan) combine(ctx context.Context, maxRefTuples int64) (*algebra.RefRel
 		if skip {
 			continue
 		}
+		cjobs = append(cjobs, &conjJob{ci: ci, cs: &combState{st: &stats.Counters{}}})
+	}
+
+	runConj := func(jctx context.Context, cj *conjJob) error {
+		cp, cs := p.conjs[cj.ci], cj.cs
 		var pieces []*algebra.RefRel
 		for i, ij := range cp.ijs {
-			pieces = append(pieces, algebra.FromPairs(cp.ijNames[i][0], cp.ijNames[i][1], ij.Pairs(), p.st))
+			pieces = append(pieces, algebra.FromPairs(cp.ijNames[i][0], cp.ijNames[i][1], ij.Pairs(), cs.st))
 		}
 		for _, sl := range cp.sls {
-			pieces = append(pieces, algebra.FromRefs(sl.v, sl.out.Refs(), p.st))
+			pieces = append(pieces, algebra.FromRefs(sl.v, sl.out.Refs(), cs.st))
 		}
 		// Unconstrained live variables enter as their full range lists —
 		// the Cartesian blow-up the paper's strategies fight.
 		for _, v := range live {
 			if !cp.consumed[v] {
-				pieces = append(pieces, algebra.FromRefs(v, p.rangeLst[v], p.st))
+				pieces = append(pieces, algebra.FromRefs(v, p.rangeLst[v], cs.st))
 			}
 		}
 		if len(pieces) == 0 {
-			return nil, fmt.Errorf("engine: conjunction %d has no pieces", ci)
+			return fmt.Errorf("engine: conjunction %d has no pieces", cj.ci)
 		}
-		joined, err := p.greedyJoin(ctx, pieces, maxRefTuples)
+		joined, err := p.greedyJoin(jctx, pieces, cs, budget)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		p.st.RecordStructure(fmt.Sprintf("conj%d", ci), "refrel", joined.Len())
-		conjRels = append(conjRels, joined)
+		cs.st.RecordStructure(fmt.Sprintf("conj%d", cj.ci), "refrel", joined.Len())
+		cj.rel = joined
+		return nil
+	}
+
+	var runErr error
+	if p.par > 1 && len(cjobs) > 1 {
+		jobs := make([]sched.Job, len(cjobs))
+		for i, cj := range cjobs {
+			cj := cj
+			jobs[i] = sched.Job{
+				Name: fmt.Sprintf("conj%d", cj.ci),
+				Run: func(jctx context.Context) error {
+					cj.cs.sp = p.combSp.Start(fmt.Sprintf("conj%d", cj.ci))
+					err := runConj(jctx, cj)
+					cj.cs.sp.End()
+					return err
+				},
+			}
+		}
+		if p.combSp != nil {
+			p.combSp.SetAttr("exec", "parallel")
+		}
+		runErr = sched.Run(ctx, p.par, jobs)
+	} else {
+		for _, cj := range cjobs {
+			cj.cs.sp = p.combSp
+			if runErr = runConj(ctx, cj); runErr != nil {
+				break
+			}
+		}
+	}
+
+	// Merge the strands back in conjunction order — error or not — so
+	// counters, structure records, and the join log stay deterministic.
+	for _, cj := range cjobs {
+		p.st.Merge(cj.cs.st)
+		p.joinLog = append(p.joinLog, cj.cs.joinLog...)
+	}
+	if runErr != nil {
+		return nil, runErr
+	}
+
+	// Exact budget replay: walk the recorded checkpoints in conjunction
+	// order against the cumulative total, reproducing precisely the
+	// values the serial schedule's checks would have seen.
+	if budget.max > 0 {
+		prev := budget.base0
+		for _, cj := range cjobs {
+			for _, v := range cj.cs.checkVals {
+				if prev+v > budget.max {
+					return nil, budget.err()
+				}
+			}
+			prev += cj.cs.st.RefTuples
+		}
+	}
+
+	conjRels := make([]*algebra.RefRel, 0, len(cjobs))
+	for _, cj := range cjobs {
+		conjRels = append(conjRels, cj.rel)
 	}
 
 	if len(conjRels) == 0 {
@@ -648,7 +865,11 @@ func freeVarNames(p *plan) []string {
 // of the shared variables), so equality-linked pieces whose hash join
 // collapses the product are taken before pairs that merely look small.
 // Disconnected pieces fall back to Cartesian products either way.
-func (p *plan) greedyJoin(ctx context.Context, pieces []*algebra.RefRel, maxRefTuples int64) (*algebra.RefRel, error) {
+// Counters, spans, the join log, and budget checkpoints all go through
+// cs, so the same code serves the serial schedule (cs over the plan's
+// sink and span) and a parallel conjunction job (private sink, per-
+// conjunction span).
+func (p *plan) greedyJoin(ctx context.Context, pieces []*algebra.RefRel, cs *combState, budget *combBudget) (*algebra.RefRel, error) {
 	for len(pieces) > 1 {
 		bi, bj, bestShared, bestProd := -1, -1, false, int64(0)
 		bestEst := 0.0
@@ -683,8 +904,8 @@ func (p *plan) greedyJoin(ctx context.Context, pieces []*algebra.RefRel, maxRefT
 				}
 			}
 		}
-		jsp := p.combSp.Start("join")
-		joined, err := algebra.Join(ctx, pieces[bi], pieces[bj], p.st)
+		jsp := cs.sp.Start("join")
+		joined, err := algebra.Join(ctx, pieces[bi], pieces[bj], cs.st)
 		if err != nil {
 			jsp.End()
 			return nil, err
@@ -693,7 +914,7 @@ func (p *plan) greedyJoin(ctx context.Context, pieces []*algebra.RefRel, maxRefT
 		if p.est != nil {
 			est = bestEst
 		}
-		p.joinLog = append(p.joinLog, joinStep{
+		cs.joinLog = append(cs.joinLog, joinStep{
 			vars: strings.Join(joined.Vars(), ","), est: est, got: joined.Len(),
 		})
 		if jsp != nil {
@@ -711,7 +932,7 @@ func (p *plan) greedyJoin(ctx context.Context, pieces []*algebra.RefRel, maxRefT
 			}
 		}
 		pieces = append(next, joined)
-		if err := checkLimits(ctx, p, maxRefTuples); err != nil {
+		if err := p.checkpoint(ctx, cs, budget); err != nil {
 			return nil, err
 		}
 	}

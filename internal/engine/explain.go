@@ -46,6 +46,19 @@ func formatExplain(pp *plan, rows int) string {
 	}
 	fmt.Fprintf(&b, "strategies: %s, planner: %s\n", pp.strat, planner)
 	fmt.Fprintf(&b, "scan order: %s\n", strings.Join(pp.order, " -> "))
+	batched, totalBatches := 0, int64(0)
+	for _, job := range pp.jobs {
+		if job.batch {
+			batched++
+			totalBatches += job.batches.Load()
+		}
+	}
+	combExec := "serial"
+	if pp.par > 1 && len(pp.conjs) > 1 {
+		combExec = "parallel"
+	}
+	fmt.Fprintf(&b, "execution: %d/%d scans batched (%d batches), combination %s\n",
+		batched, len(pp.jobs), totalBatches, combExec)
 	b.WriteString("scans (estimated vs actual surviving tuples):\n")
 	for _, v := range pp.order {
 		node := pp.vars[v]
@@ -89,6 +102,12 @@ func (pp *plan) annotateScanSpans() {
 		sp := pp.jobSpans[ji]
 		if sp == nil {
 			continue
+		}
+		if job.batch {
+			sp.SetAttr("path", "batch")
+			sp.SetInt("batches", job.batches.Load())
+		} else {
+			sp.SetAttr("path", "tuple")
 		}
 		for _, v := range job.vars {
 			if pp.est != nil {

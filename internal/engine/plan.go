@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"pascalr/internal/calculus"
 	"pascalr/internal/collection"
@@ -38,6 +39,10 @@ type slSpec struct {
 	label string
 	preds []rowPred
 	out   *collection.SingleList
+	// bPreds is the bulk form of preds; bOK=false pins tasks reading
+	// this spec to the tuple path.
+	bPreds []batchPred
+	bOK    bool
 }
 
 // ixSpec describes one index over v's range: either built during v's
@@ -122,6 +127,10 @@ type probeGroup struct {
 	preds  []rowPred
 	probes []probeRef
 	mutual bool
+	// bPreds is the bulk form of preds; bOK=false pins tasks reading
+	// this group to the tuple path.
+	bPreds []batchPred
+	bOK    bool
 }
 
 // dyAssign is a dyadic term with its probe/index side assignment.
@@ -160,6 +169,14 @@ type scanJob struct {
 	rel   *relation.Relation
 	vars  []string
 	tasks []scanTask
+	// batch marks the job for the vectorized drive: every task compiled
+	// to batch form (finalizeBatchJobs). batchCols is the job's column
+	// mask — the sorted union of its tasks' footprints, nil when some
+	// task reads whole rows. batches counts columnar batches produced
+	// across all shards, for EXPLAIN and span attributes.
+	batch     bool
+	batchCols []int
+	batches   atomic.Int64
 }
 
 // plan is the compiled physical plan for one evaluation.
@@ -171,6 +188,10 @@ type plan struct {
 	// par is the collection-phase worker budget; 1 runs the paper's
 	// serial schedule on the calling goroutine.
 	par int
+	// exec selects the collection drive: ExecAuto batches every job
+	// whose tasks all compile to bulk form, ExecTuple forces the
+	// tuple-at-a-time path everywhere.
+	exec ExecMode
 	// mu guards the structures that scan workers touch across job
 	// boundaries: the range-list map (published by range tasks, read by
 	// filtered permanent-index probes of concurrent scans) and the
@@ -202,8 +223,9 @@ type plan struct {
 	conjs     []*conjPlan
 
 	// joinLog records each combination-phase join's estimated and
-	// actual output for EXPLAIN reporting. The combination phase is
-	// single-threaded, so no lock guards it.
+	// actual output for EXPLAIN reporting. Parallel conjunction jobs
+	// append to private logs merged in conjunction order, so no lock
+	// guards it.
 	joinLog []joinStep
 
 	// collSp/combSp/jobSpans hang this execution's trace spans off the
@@ -225,12 +247,12 @@ type joinStep struct {
 	got  int
 }
 
-func buildPlan(x *optimizer.XForm, db *relation.DB, st *stats.Counters, strat Strategy, est *stats.Estimator, par int) (*plan, error) {
+func buildPlan(x *optimizer.XForm, db *relation.DB, st *stats.Counters, strat Strategy, est *stats.Estimator, par int, exec ExecMode) (*plan, error) {
 	if par < 1 {
 		par = 1
 	}
 	p := &plan{
-		x: x, db: db, st: st, strat: strat, est: est, par: par,
+		x: x, db: db, st: st, strat: strat, est: est, par: par, exec: exec,
 		refBase:   st.RefTuples,
 		costCards: map[string]float64{},
 		vars:      map[string]*varNode{},
@@ -255,6 +277,7 @@ func buildPlan(x *optimizer.XForm, db *relation.DB, st *stats.Counters, strat St
 	if err := p.buildJobs(); err != nil {
 		return nil, err
 	}
+	p.finalizeBatchJobs()
 	st.RecordPlanOrder(p.order, p.est != nil)
 	return p, nil
 }
@@ -769,6 +792,9 @@ func (p *plan) singleListFor(v string, atoms []optimizer.Atom) (*slSpec, error) 
 		return nil, err
 	}
 	sl := &slSpec{key: key, v: v, label: sigOf(atoms), preds: preds, out: collection.NewSingleList(v)}
+	if p.exec != ExecTuple {
+		sl.bPreds, sl.bOK = p.compileBatchAtoms(v, atoms)
+	}
 	p.sls[key] = sl
 	return sl, nil
 }
@@ -791,6 +817,9 @@ func (p *plan) probeGroupFor(pv string, as []dyAssign, predAtoms []optimizer.Ato
 		return nil, err
 	}
 	grp := &probeGroup{key: key, v: pv, preds: preds, mutual: mutual}
+	if p.exec != ExecTuple {
+		grp.bPreds, grp.bOK = p.compileBatchAtoms(pv, predAtoms)
+	}
 	for _, a := range as {
 		ci, ok := node.sch.ColIndex(a.probeF.Col)
 		if !ok {

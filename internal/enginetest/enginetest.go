@@ -4,11 +4,13 @@
 // histogram-cost planners, the latter two fed by the live incremental
 // statistics with no Analyze pass — and must produce exactly the
 // relation the tuple-substitution baseline produces. Each configuration
-// is exercised four ways: as a one-shot Eval, twice through a compiled
-// Plan (the second time via the streaming cursor), and once with a
-// parallel collection phase, proving that plan reuse, streaming
-// construction, and parallel scans are result-identical to
-// compile-and-run. The pattern
+// is exercised six ways: as a one-shot Eval (the vectorized batch
+// path), twice through a compiled Plan (the second time via the
+// streaming cursor), once with a parallel collection + combination
+// phase, and twice on the forced tuple-at-a-time path (serial and
+// parallel) — proving that plan reuse, streaming construction,
+// parallel scans, and the batch/tuple execution paths are result- and
+// counter-identical to compile-and-run. The pattern
 // follows go-mysql-server's enginetest: a declarative query table, a set
 // of workload databases, and one runner that cross-checks all engine
 // configurations against the oracle, so a new query or a new planner
@@ -143,6 +145,28 @@ func RunSelection(t *testing.T, label string, db *relation.DB, sel *calculus.Sel
 			if sk, pk := serialFP, stPar.Fingerprint(); sk != pk {
 				t.Fatalf("%s [%s %s]: parallel counters diverge from serial\nserial:   %s\nparallel: %s",
 					label, strat, mode.Name, sk, pk)
+			}
+			// Tuple-path legs: forcing the legacy tuple-at-a-time
+			// collection (serially and with a parallel collection +
+			// combination) must reproduce the vectorized runs above
+			// bit-identically — results and counter fingerprints.
+			for _, par := range []int{1, 4} {
+				optsTup := opts
+				optsTup.Exec = engine.ExecTuple
+				optsTup.Parallelism = par
+				stTup := &stats.Counters{}
+				gotTup, err := engine.New(db, stTup).Eval(ctx, sel, info, optsTup)
+				if err != nil {
+					t.Fatalf("%s [%s %s]: tuple-path par=%d: %v", label, strat, mode.Name, par, err)
+				}
+				if gotKey := RelKey(gotTup); gotKey != wantKey {
+					t.Fatalf("%s [%s %s]: tuple-path par=%d result mismatch\nwant %d rows, got %d rows\nquery: %s",
+						label, strat, mode.Name, par, want.Len(), gotTup.Len(), sel)
+				}
+				if sk, tk := serialFP, stTup.Fingerprint(); sk != tk {
+					t.Fatalf("%s [%s %s]: tuple-path par=%d counters diverge from batch path\nbatch: %s\ntuple: %s",
+						label, strat, mode.Name, par, sk, tk)
+				}
 			}
 		}
 	}

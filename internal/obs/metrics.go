@@ -88,6 +88,42 @@ func (h *Histogram) Count() int64 {
 // Sum returns the sum of all observed durations.
 func (h *Histogram) Sum() time.Duration { return time.Duration(h.sumNS.Load()) }
 
+// ValueHistogram is a fixed-bucket histogram over plain numeric
+// observations (rows per batch, bytes per write) rather than latencies:
+// bucket bounds are raw values and the sum is unitless, where Histogram
+// interprets everything as seconds. Same lock-free per-bucket atomics.
+type ValueHistogram struct {
+	bounds []float64 // ascending upper bounds, excluding +Inf
+	counts []atomic.Int64
+	inf    atomic.Int64
+	sum    atomic.Int64
+}
+
+// Observe records one value.
+func (h *ValueHistogram) Observe(v int64) {
+	h.sum.Add(v)
+	f := float64(v)
+	for i, b := range h.bounds {
+		if f <= b {
+			h.counts[i].Add(1)
+			return
+		}
+	}
+	h.inf.Add(1)
+}
+
+// Count returns the total number of observations.
+func (h *ValueHistogram) Count() int64 {
+	n := h.inf.Load()
+	for i := range h.counts {
+		n += h.counts[i].Load()
+	}
+	return n
+}
+
+// Sum returns the sum of all observed values.
+func (h *ValueHistogram) Sum() int64 { return h.sum.Load() }
+
 // Info is a single-series informational metric: a constant 1 carrying a
 // mutable label set (e.g. the trace ID of the most recent slow query).
 // Setting it replaces the labels wholesale, so cardinality stays 1.
@@ -117,6 +153,7 @@ const (
 	kindCounter metricKind = iota
 	kindGauge
 	kindHistogram
+	kindValueHistogram
 	kindInfo
 )
 
@@ -128,6 +165,7 @@ type metric struct {
 	counter   *Counter
 	gauge     *Gauge
 	histogram *Histogram
+	valueHist *ValueHistogram
 	info      *Info
 }
 
@@ -175,6 +213,27 @@ func GetHistogram(name, help string) *Histogram { return register(name, help, ki
 
 // GetInfo returns (registering on first use) the named info metric.
 func GetInfo(name, help string) *Info { return register(name, help, kindInfo).info }
+
+// GetValueHistogram returns (registering on first use) the named value
+// histogram. The bounds of the first registration win; like every
+// instrument, re-registering under a different kind panics.
+func GetValueHistogram(name, help string, bounds []float64) *ValueHistogram {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	if m, ok := registry.byName[name]; ok {
+		if m.kind != kindValueHistogram {
+			panic(fmt.Sprintf("obs: metric %q re-registered with a different kind", name))
+		}
+		return m.valueHist
+	}
+	m := &metric{name: name, help: help, kind: kindValueHistogram}
+	m.valueHist = &ValueHistogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Int64, len(bounds)),
+	}
+	registry.byName[name] = m
+	return m.valueHist
+}
 
 // Names returns every registered metric name, sorted.
 func Names() []string {

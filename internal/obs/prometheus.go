@@ -25,7 +25,7 @@ func writeMetric(w io.Writer, m *metric) error {
 	switch m.kind {
 	case kindGauge, kindInfo:
 		typ = "gauge"
-	case kindHistogram:
+	case kindHistogram, kindValueHistogram:
 		typ = "histogram"
 	}
 	if m.help != "" {
@@ -65,6 +65,24 @@ func writeMetric(w io.Writer, m *metric) error {
 			return err
 		}
 		if _, err := fmt.Fprintf(w, "%s_sum %g\n", m.name, h.Sum().Seconds()); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintf(w, "%s_count %d\n", m.name, cum)
+		return err
+	case kindValueHistogram:
+		h := m.valueHist
+		cum := int64(0)
+		for i, b := range h.bounds {
+			cum += h.counts[i].Load()
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", m.name, formatBound(b), cum); err != nil {
+				return err
+			}
+		}
+		cum += h.inf.Load()
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", m.name, cum); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum %d\n", m.name, h.Sum()); err != nil {
 			return err
 		}
 		_, err := fmt.Fprintf(w, "%s_count %d\n", m.name, cum)

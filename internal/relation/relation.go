@@ -29,6 +29,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"pascalr/internal/colbatch"
 	"pascalr/internal/schema"
 	"pascalr/internal/stats"
 	"pascalr/internal/storage"
@@ -51,6 +52,15 @@ type Relation struct {
 	live  atomic.Int64
 
 	colIndexes map[string]*ColIndex // permanent indexes, by component
+
+	// batchKinds/batchEnums are the schema-derived per-column storage
+	// classes handed to Batch.Configure on every batch scan: the value
+	// kind of each column and, for enum columns, the enumeration type
+	// name (needed to reconstruct boxed values from ordinals). Computed
+	// once at construction — the schema is immutable — so concurrent
+	// scan shards share them read-only.
+	batchKinds []value.Kind
+	batchEnums []string
 
 	// onMutate, when set (by DB.Create), is called after every content
 	// mutation — the hook behind DB.Version.
@@ -83,7 +93,16 @@ func New(sch *schema.RelSchema, id int) *Relation {
 	if id < 0 || id > 0xFFFF {
 		panic(fmt.Sprintf("relation: id %d out of range", id))
 	}
-	return &Relation{sch: sch, id: id, store: storage.NewMemory()}
+	kinds := make([]value.Kind, len(sch.Cols))
+	enums := make([]string, len(sch.Cols))
+	for i, c := range sch.Cols {
+		kinds[i] = c.Type.ValueKind()
+		if kinds[i] == value.KindEnum {
+			enums[i] = c.Type.Name
+		}
+	}
+	return &Relation{sch: sch, id: id, store: storage.NewMemory(),
+		batchKinds: kinds, batchEnums: enums}
 }
 
 func (r *Relation) lock() {
@@ -438,6 +457,68 @@ func (r *Relation) scanSlots(st *stats.Counters, lo, hi int, fn func(ref value.V
 		st.CountTuples(1)
 		return fn(r.refOf(si), tuple)
 	})
+}
+
+// ScanBatches is the columnar counterpart of ScanSlots: it scans the
+// live slots in [lo, hi) in slot order, copying tuples into b (the
+// storage backend may reuse its tuple buffers, so the batch owns its
+// values) and calling fn whenever b fills, plus once more for a final
+// partial batch. cols selects which columns to materialize — the
+// projection pushdown of the vectorized path: nil materializes every
+// column, a non-nil list (possibly empty, for reference-only scans)
+// only the named ones, leaving the rest unreadable. Tuples are counted
+// in bulk per batch immediately before fn — the sum over batches
+// equals the tuple-at-a-time count. fn must not retain the batch; it
+// is reset after each call. Like ScanSlots it takes no lock and shards
+// concatenate to the serial order. An error from fn aborts the scan
+// and is returned.
+func (r *Relation) ScanBatches(st *stats.Counters, lo, hi int, b *colbatch.Batch, cols []int, fn func() error) error {
+	flush := func() error {
+		st.CountTuples(b.Len())
+		if err := fn(); err != nil {
+			return err
+		}
+		b.Reset()
+		return nil
+	}
+	b.Configure(r.id, r.batchKinds, r.batchEnums)
+	if bf, ok := r.store.(batchFiller); ok {
+		return bf.ScanBatchesInto(lo, hi, cols, b, flush)
+	}
+	appendRow := func(si int, tuple []value.Value) { b.Append(si, tuple) }
+	if cols != nil {
+		appendRow = func(si int, tuple []value.Value) { b.AppendCols(si, tuple, cols) }
+	}
+	var ferr error
+	err := r.store.Scan(lo, hi, func(si int, tuple []value.Value) bool {
+		appendRow(si, tuple)
+		if b.Full() {
+			if ferr = flush(); ferr != nil {
+				return false
+			}
+		}
+		return true
+	})
+	if ferr != nil {
+		return ferr
+	}
+	if err != nil {
+		return err
+	}
+	if b.Len() > 0 {
+		return flush()
+	}
+	return nil
+}
+
+// batchFiller is the optional backend fast path used by ScanBatches:
+// the memory backend fills the batch in one tight loop with no per-row
+// callbacks. flush counts tuples, forwards the batch, and resets it;
+// the backend must call it on every full batch and once for a trailing
+// partial one. Backends without it (the disk tier) fall back to the
+// generic Scan-driven path above.
+type batchFiller interface {
+	ScanBatchesInto(lo, hi int, cols []int, b *colbatch.Batch, flush func() error) error
 }
 
 // Refs returns the references of all elements in insertion order,

@@ -205,6 +205,43 @@ func Equal(a, b Value) bool {
 	return a.kind == b.kind && a.i == b.i && a.s == b.s
 }
 
+// OrdKind reports whether k is an int-backed kind — integers, booleans,
+// enumerations, references — whose values a typed column vector stores
+// as raw Ord payloads. Only strings are excluded.
+func OrdKind(k Kind) bool {
+	switch k {
+	case KindInt, KindBool, KindEnum, KindRef:
+		return true
+	}
+	return false
+}
+
+// Ord returns the integer payload of an int-backed value: the number
+// itself, a boolean as 0/1, an enumeration ordinal, or a packed
+// reference — the raw representation typed column vectors store.
+// Strings and invalid values panic.
+func (v Value) Ord() int64 {
+	if !OrdKind(v.kind) {
+		panic(fmt.Sprintf("value: Ord on %s value", v.kind))
+	}
+	return v.i
+}
+
+// MakeOrd reconstructs an int-backed value from its Ord payload;
+// enumType names the enumeration for KindEnum values and is ignored
+// otherwise. It is the inverse of Ord for the columnar batch layer:
+// reconstructed values are Equal to the originals.
+func MakeOrd(k Kind, ord int64, enumType string) Value {
+	switch k {
+	case KindInt, KindBool, KindRef:
+		return Value{kind: k, i: ord}
+	case KindEnum:
+		return Value{kind: KindEnum, i: ord, s: enumType}
+	default:
+		panic(fmt.Sprintf("value: MakeOrd on %s", k))
+	}
+}
+
 func cmpInt64(a, b int64) int {
 	switch {
 	case a < b:
