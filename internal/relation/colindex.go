@@ -48,10 +48,30 @@ type ColIndex struct {
 // is logged, so recovery recreates the index.
 func (r *Relation) CreateIndex(col string) (*ColIndex, error) {
 	r.lock()
-	defer r.unlock()
 	if err := r.durableErr(); err != nil {
+		r.unlock()
 		return nil, err
 	}
+	ix, err := r.createIndexLocked(col)
+	var tk storage.Ticket
+	if err == nil {
+		tk, err = r.logMutation(storage.Record{Op: storage.OpCreateIndex, Rel: r.id, Col: col})
+	}
+	r.unlock()
+	if err == nil {
+		err = r.waitDurable(tk)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return ix, nil
+}
+
+// createIndexLocked is CreateIndex's core — declaration plus backfill —
+// without locking or logging; parallel replay calls it directly from a
+// relation's replay queue, where CreateIndex's position among the
+// relation's mutations determines what the backfill sees.
+func (r *Relation) createIndexLocked(col string) (*ColIndex, error) {
 	ci, ok := r.sch.ColIndex(col)
 	if !ok {
 		return nil, fmt.Errorf("relation %s: no component %s", r.sch.Name, col)
@@ -70,9 +90,6 @@ func (r *Relation) CreateIndex(col string) (*ColIndex, error) {
 		r.colIndexes = make(map[string]*ColIndex)
 	}
 	r.colIndexes[col] = ix
-	if err := r.logMutation(storage.Record{Op: storage.OpCreateIndex, Rel: r.id, Col: col}); err != nil {
-		return nil, err
-	}
 	return ix, nil
 }
 

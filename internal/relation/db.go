@@ -142,7 +142,7 @@ func (d *DB) Close() error {
 		}
 	}
 	if err == nil {
-		err = d.dur.err
+		err = d.dur.sticky()
 	}
 	return err
 }
@@ -173,21 +173,30 @@ func (d *DB) RUnlock() { d.mu.RUnlock() }
 // the SSTable-backed disk tier and the declaration is logged.
 func (d *DB) Create(sch *schema.RelSchema) (*Relation, error) {
 	d.mu.Lock()
-	defer d.mu.Unlock()
-	if d.dur != nil && d.dur.err != nil {
-		return nil, d.dur.err
+	if d.dur != nil {
+		if err := d.dur.sticky(); err != nil {
+			d.mu.Unlock()
+			return nil, err
+		}
 	}
 	d.catMu.Lock()
-	defer d.catMu.Unlock()
 	if err := d.cat.DefineRelation(sch); err != nil {
+		d.catMu.Unlock()
+		d.mu.Unlock()
 		return nil, err
 	}
 	r := New(sch, d.nextID)
 	if d.dur != nil {
-		r.store = storage.NewDisk(d.dur.dir, r.id, d.dur.opts)
+		r.store = storage.NewDisk(d.dur.dir, r.id, d.dur.opts, d.dur.cache)
 	}
 	d.attach(r)
-	if err := d.logRecord(r, storage.Record{Op: storage.OpCreateRel, Schema: sch}); err != nil {
+	tk, err := d.logRecord(r, storage.Record{Op: storage.OpCreateRel, Schema: sch})
+	d.catMu.Unlock()
+	d.mu.Unlock()
+	if err == nil {
+		err = d.waitDurable(tk)
+	}
+	if err != nil {
 		return r, err
 	}
 	return r, nil
@@ -221,14 +230,22 @@ func (d *DB) attach(r *Relation) {
 // must come through here.
 func (d *DB) DefineType(t *schema.Type) error {
 	d.mu.Lock()
-	defer d.mu.Unlock()
-	if d.dur != nil && d.dur.err != nil {
-		return d.dur.err
+	if d.dur != nil {
+		if err := d.dur.sticky(); err != nil {
+			d.mu.Unlock()
+			return err
+		}
 	}
-	if err := d.cat.DefineType(t); err != nil {
-		return err
+	err := d.cat.DefineType(t)
+	var tk storage.Ticket
+	if err == nil {
+		tk, err = d.logRecord(nil, storage.Record{Op: storage.OpDefineType, Type: t})
 	}
-	return d.logRecord(nil, storage.Record{Op: storage.OpDefineType, Type: t})
+	d.mu.Unlock()
+	if err == nil {
+		err = d.waitDurable(tk)
+	}
+	return err
 }
 
 // MustCreate is Create that panics on error, for tests and generators.

@@ -38,11 +38,14 @@
 package relation
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"sort"
+	"sync"
 	"time"
 
+	"pascalr/internal/sched"
 	"pascalr/internal/stats"
 	"pascalr/internal/storage"
 	"pascalr/internal/value"
@@ -50,17 +53,38 @@ import (
 
 // durable is the durability state of a database opened with OpenDB.
 type durable struct {
-	dir  string
-	opts storage.Options
-	wal  *storage.WAL
-	seq  uint64 // last assigned log sequence number
-	// err is the sticky durability failure: set when a WAL append
-	// fails. From then on the database fails stop — every mutator and
-	// checkpoint returns it (so the in-memory state cannot drift
-	// further from the durable one, and a checkpoint cannot promote
-	// drifted state to durable truth) and Close surfaces it. Guarded by
-	// the content write lock like the rest.
-	err error
+	dir   string
+	opts  storage.Options
+	wal   *storage.WAL
+	cache *storage.BlockCache // shared SSTable block cache (nil when disabled)
+	seq   uint64              // last assigned log sequence number
+
+	// err is the sticky durability failure: set when a WAL append or
+	// its covering group-commit fsync fails. From then on the database
+	// fails stop — every mutator and checkpoint returns it (so the
+	// in-memory state cannot drift further from the durable one, and a
+	// checkpoint cannot promote drifted state to durable truth) and
+	// Close surfaces it. Guarded by its own mutex rather than the
+	// content write lock: group-commit waiters observe fsync failures
+	// after releasing the content lock.
+	errMu sync.Mutex
+	err   error
+}
+
+// sticky returns the recorded durability failure, if any.
+func (du *durable) sticky() error {
+	du.errMu.Lock()
+	defer du.errMu.Unlock()
+	return du.err
+}
+
+// setSticky records a durability failure; the first one wins.
+func (du *durable) setSticky(err error) {
+	du.errMu.Lock()
+	if du.err == nil {
+		du.err = err
+	}
+	du.errMu.Unlock()
 }
 
 // OpenDB opens (creating if needed) a durable database in dir and
@@ -80,7 +104,7 @@ func OpenDB(dir string, opts storage.Options) (*DB, error) {
 		return nil, err
 	}
 	d := NewDB()
-	d.dur = &durable{dir: dir, opts: opts}
+	d.dur = &durable{dir: dir, opts: opts, cache: storage.NewBlockCache(opts.BlockCacheBytes)}
 	d.replaying.Store(true)
 	defer d.replaying.Store(false)
 	var lastSeq uint64
@@ -103,15 +127,43 @@ func OpenDB(dir string, opts storage.Options) (*DB, error) {
 		return nil, d.openFailed(err)
 	}
 	d.dur.wal = wal
-	// Open assignment chunk group (storage.SplitRecord): tuples buffered
-	// until the final chunk arrives. A group the log tears mid-way —
-	// every buffered chunk without its final one — is never applied.
+	recs, maxSeq, err := assembleReplay(payloads, lastSeq)
+	if err != nil {
+		return nil, d.openFailed(err)
+	}
+	if maxSeq > d.dur.seq {
+		// Advance past every decoded seq — including a trailing torn
+		// chunk group's — so new appends never reuse a sequence number
+		// still physically present in the log.
+		d.dur.seq = maxSeq
+	}
+	if opts.ReplayWorkers > 1 {
+		err = d.replayParallel(recs, opts.ReplayWorkers)
+	} else {
+		err = d.replaySerial(recs)
+	}
+	if err != nil {
+		return nil, d.openFailed(err)
+	}
+	return d, nil
+}
+
+// assembleReplay decodes the recovered WAL payloads into the records to
+// replay: pre-checkpoint duplicates (Seq <= lastSeq) are dropped, and
+// assignment chunk groups (storage.SplitRecord) are buffered until
+// their final chunk arrives and assembled into one record. A group the
+// log tears mid-way — every buffered chunk without its final one — is
+// never applied.
+func assembleReplay(payloads [][]byte, lastSeq uint64) (recs []storage.Record, maxSeq uint64, _ error) {
 	pendRel := -1
 	var pendTuples [][]value.Value
 	for _, p := range payloads {
 		rec, err := storage.DecodeRecord(p)
 		if err != nil {
-			return nil, d.openFailed(fmt.Errorf("relation: WAL replay: %w", err))
+			return nil, 0, fmt.Errorf("relation: WAL replay: %w", err)
+		}
+		if rec.Seq > maxSeq {
+			maxSeq = rec.Seq
 		}
 		if rec.Seq <= lastSeq {
 			// The record predates the checkpoint: a crash between the
@@ -123,28 +175,95 @@ func OpenDB(dir string, opts storage.Options) (*DB, error) {
 		}
 		if rec.Op == storage.OpAssign {
 			if rec.Cont && (pendRel != rec.Rel || pendTuples == nil) {
-				return nil, d.openFailed(fmt.Errorf("relation: WAL replay seq %d: orphan assignment chunk", rec.Seq))
+				return nil, 0, fmt.Errorf("relation: WAL replay seq %d: orphan assignment chunk", rec.Seq)
 			}
 			if !rec.Cont {
 				pendRel, pendTuples = rec.Rel, nil
 			}
 			pendTuples = append(pendTuples, rec.Tuples...)
 			if rec.More {
-				d.dur.seq = rec.Seq
 				continue
 			}
 			rec.Tuples = pendTuples
 		}
-		// Any applied record ends the open group: chunks of one group
+		// Any complete record ends the open group: chunks of one group
 		// are contiguous, so a buffered prefix followed by anything else
 		// is a stale torn group an earlier crash left behind.
 		pendRel, pendTuples = -1, nil
-		if err := d.applyRecord(rec); err != nil {
-			return nil, d.openFailed(fmt.Errorf("relation: WAL replay seq %d: %w", rec.Seq, err))
-		}
-		d.dur.seq = rec.Seq
+		recs = append(recs, rec)
 	}
-	return d, nil
+	// A trailing incomplete group (crash mid-assignment) is dropped:
+	// the assignment never becomes durable, though maxSeq still covers
+	// its chunks' sequence numbers.
+	return recs, maxSeq, nil
+}
+
+// replaySerial applies the assembled records in log order through the
+// ordinary mutators.
+func (d *DB) replaySerial(recs []storage.Record) error {
+	for _, rec := range recs {
+		if err := d.applyRecord(rec); err != nil {
+			return fmt.Errorf("relation: WAL replay seq %d: %w", rec.Seq, err)
+		}
+	}
+	return nil
+}
+
+// replayParallel partitions the assembled records by relation and
+// applies the partitions concurrently, one worker per relation at a
+// time, on a bounded sched pool.
+//
+// Correctness rests on two orders being preserved. DDL that shapes the
+// catalog (DefineType, CreateRel) applies serially first, in log order
+// — relation IDs are assigned by creation order, and every mutation of
+// a relation follows its creation in the log, so hoisting creation
+// cannot reorder anything observable. Everything else — mutations AND
+// CreateIndex, whose backfill-then-maintain semantics depend on its
+// position among the relation's mutations — keeps its log order within
+// its relation's queue. Queues touch disjoint state: each replay job
+// owns its relation outright (backend, indexes, statistics), and the
+// cross-relation state the lock-free cores touch (live counts, version,
+// statistics epoch) is atomic. Background maintenance is suppressed by
+// the replaying flag exactly as in serial replay. The result is
+// fingerprint-identical to serial replay: per-relation application
+// order is equal, and no replayed effect depends on cross-relation
+// interleaving.
+func (d *DB) replayParallel(recs []storage.Record, workers int) error {
+	byRel := make(map[int][]storage.Record)
+	var order []int
+	for _, rec := range recs {
+		switch rec.Op {
+		case storage.OpDefineType, storage.OpCreateRel:
+			if err := d.applyRecord(rec); err != nil {
+				return fmt.Errorf("relation: WAL replay seq %d: %w", rec.Seq, err)
+			}
+		default:
+			if _, ok := byRel[rec.Rel]; !ok {
+				order = append(order, rec.Rel)
+			}
+			byRel[rec.Rel] = append(byRel[rec.Rel], rec)
+		}
+	}
+	jobs := make([]sched.Job, 0, len(order))
+	for _, relID := range order {
+		r, ok := d.ByID(relID)
+		if !ok {
+			return fmt.Errorf("relation: WAL replay: unknown relation id %d", relID)
+		}
+		queue := byRel[relID]
+		jobs = append(jobs, sched.Job{
+			Name: "replay:" + r.sch.Name,
+			Run: func(ctx context.Context) error {
+				for _, rec := range queue {
+					if err := r.applyReplay(rec); err != nil {
+						return fmt.Errorf("relation: WAL replay seq %d: %w", rec.Seq, err)
+					}
+				}
+				return nil
+			},
+		})
+	}
+	return sched.Run(context.Background(), workers, jobs)
 }
 
 // openFailed releases whatever OpenDB had opened before failing.
@@ -164,7 +283,7 @@ func (d *DB) openRelFromManifest(id int, rm storage.RelManifest) error {
 	if err := d.cat.DefineRelation(rm.Schema); err != nil {
 		return err
 	}
-	store, err := storage.OpenDisk(d.dur.dir, id, d.dur.opts, rm.Disk)
+	store, err := storage.OpenDisk(d.dur.dir, id, d.dur.opts, d.dur.cache, rm.Disk)
 	if err != nil {
 		return err
 	}
@@ -240,39 +359,62 @@ func (d *DB) applyRecord(rec storage.Record) error {
 }
 
 // logRecord appends one record to the WAL, assigning it the next log
-// sequence number. Callers hold the content write lock (mutators run
-// under it), which also serializes the sequence counter; r is the
-// mutated relation (nil for DDL that touches none) — passed explicitly
-// because some callers also hold the catalog lock, so maintenance must
-// not look it up. In-memory databases and replay no-op. Once a sticky
-// durability error is recorded, every further logRecord fails with it.
+// sequence number, and returns the group-commit ticket covering the
+// append (zero when nothing needs waiting). Callers hold the content
+// write lock (mutators run under it), which also serializes the
+// sequence counter; r is the mutated relation (nil for DDL that touches
+// none) — passed explicitly because some callers also hold the catalog
+// lock, so maintenance must not look it up. In-memory databases and
+// replay no-op. Once a sticky durability error is recorded, every
+// further logRecord fails with it.
+//
+// The append only writes the frame; under SyncAlways the caller must
+// hand the ticket to waitDurable AFTER releasing the content write
+// lock, so concurrent writers' fsyncs coalesce (see storage.WAL).
 //
 // Oversized assignments are split into a chunk group (storage.
 // SplitRecord) appended contiguously under the lock; replay applies a
 // group only when its final chunk is durable, so a crash mid-group
-// drops the assignment wholly.
-func (d *DB) logRecord(r *Relation, rec storage.Record) error {
+// drops the assignment wholly. The final chunk's ticket covers the
+// whole group.
+func (d *DB) logRecord(r *Relation, rec storage.Record) (storage.Ticket, error) {
 	if d.dur == nil || d.replaying.Load() {
-		return nil
+		return 0, nil
 	}
-	if d.dur.err != nil {
-		return d.dur.err
+	if err := d.dur.sticky(); err != nil {
+		return 0, err
 	}
+	var tk storage.Ticket
 	for _, rc := range storage.SplitRecord(rec) {
 		d.dur.seq++
 		rc.Seq = d.dur.seq
 		payload, err := storage.EncodeRecord(rc)
 		if err == nil {
-			err = d.dur.wal.Append(payload)
+			tk, err = d.dur.wal.Append(payload)
 		}
 		if err != nil {
-			if d.dur.err == nil {
-				d.dur.err = err
-			}
-			return err
+			d.dur.setSticky(err)
+			return 0, err
 		}
 	}
 	d.maybeMaintain(r)
+	return tk, nil
+}
+
+// waitDurable blocks until the WAL fsync covering the given ticket has
+// completed — the group-commit rendezvous. Callers must NOT hold the
+// content write lock (Delete is the documented exception): the whole
+// point is that the fsync happens while other writers make progress
+// under the lock, piling their frames into the same sync. A covering-
+// sync failure is recorded as the database's sticky durability error.
+func (d *DB) waitDurable(tk storage.Ticket) error {
+	if d.dur == nil || tk == 0 {
+		return nil
+	}
+	if err := d.dur.wal.WaitDurable(tk); err != nil {
+		d.dur.setSticky(err)
+		return err
+	}
 	return nil
 }
 
@@ -323,12 +465,12 @@ func (d *DB) checkpointLocked() error {
 	}
 	start := time.Now()
 	defer func() { mCheckpointLatency.Observe(time.Since(start)) }()
-	if d.dur.err != nil {
-		// A WAL append failed earlier: the in-memory state may have
-		// drifted from the log. Checkpointing would persist that drift
-		// as durable truth (and truncate the log) — refuse instead;
+	if err := d.dur.sticky(); err != nil {
+		// A WAL append or fsync failed earlier: the in-memory state may
+		// have drifted from the log. Checkpointing would persist that
+		// drift as durable truth (and truncate the log) — refuse instead;
 		// recovery from the intact WAL is the trustworthy state.
-		return d.dur.err
+		return err
 	}
 	d.catMu.RLock()
 	rels := append([]*Relation(nil), d.byID...)
@@ -374,8 +516,18 @@ func (d *DB) checkpointLocked() error {
 	if err := d.dur.wal.Reset(); err != nil {
 		return err
 	}
+	// GC retired table files — but never one the manifest just made
+	// durable truth (defense in depth: compaction retires tables before
+	// the manifest drops them, so by construction none should appear) or
+	// one an in-flight read still pins.
+	referenced := make(map[string]bool)
+	for _, rm := range m.Rels {
+		for _, name := range rm.Disk.Tables {
+			referenced[name] = true
+		}
+	}
 	for _, disk := range disks {
-		disk.DropObsolete()
+		disk.DropObsolete(referenced)
 	}
 	return nil
 }

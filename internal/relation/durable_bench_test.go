@@ -107,7 +107,7 @@ func benchBloomNegativeProbe(b *testing.B) {
 	d := storage.NewDisk(b.TempDir(), 0, storage.Options{
 		Fsync:           storage.SyncNever,
 		MemtableEntries: 64,
-	})
+	}, nil)
 	defer d.Close()
 	const keys = 4096
 	for i := 0; i < keys; i++ {

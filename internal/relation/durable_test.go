@@ -155,14 +155,14 @@ func cloneDirTruncated(t *testing.T, src, dst string, walLen int) {
 	}
 }
 
-// TestWALTortureEveryOffset kills replay at every byte offset of the
-// log: for each prefix length, recovery must land exactly on the state
-// after the last wholly-durable record — never a half-applied one —
-// including SSTables the memtable had spilled past the checkpoint
+// runWALOffsetTorture kills replay at every stride-th byte offset of
+// the log: for each prefix length, recovery must land exactly on the
+// state after the last wholly-durable record — never a half-applied one
+// — including SSTables the memtable had spilled past the checkpoint
 // (orphans are dropped and deterministically recreated by replay).
-func TestWALTortureEveryOffset(t *testing.T) {
+func runWALOffsetTorture(t *testing.T, opts storage.Options, stride int) {
 	src := t.TempDir()
-	d, err := OpenDB(src, tortureOpts())
+	d, err := OpenDB(src, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -183,17 +183,13 @@ func TestWALTortureEveryOffset(t *testing.T) {
 		t.Fatalf("workload WAL has invalid tail: %d of %d bytes valid", valid, len(walData))
 	}
 
-	stride := 1
-	if testing.Short() {
-		stride = 17
-	}
 	scratch := t.TempDir()
 	for off := 0; off <= len(walData); off += stride {
 		payloads, valid := storage.ScanFrames(walData[:off])
 		k := len(payloads)
 		dir := filepath.Join(scratch, fmt.Sprintf("off%d", off))
 		cloneDirTruncated(t, src, dir, off)
-		rd, err := OpenDB(dir, tortureOpts())
+		rd, err := OpenDB(dir, opts)
 		if err != nil {
 			t.Fatalf("offset %d: reopen: %v", off, err)
 		}
@@ -212,6 +208,30 @@ func TestWALTortureEveryOffset(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
+}
+
+func TestWALTortureEveryOffset(t *testing.T) {
+	stride := 1
+	if testing.Short() {
+		stride = 17
+	}
+	runWALOffsetTorture(t, tortureOpts(), stride)
+}
+
+// TestGroupCommitWALTorture reruns the offset torture with SyncAlways —
+// the workload's appends flow through the group-commit ticket path, so
+// the log a crash leaves behind was written by leader-elected batched
+// fsyncs rather than the SyncNever fast path. Recovery semantics must
+// be identical. Real fsyncs make each step expensive, so the stride is
+// coarser than the SyncNever sweep.
+func TestGroupCommitWALTorture(t *testing.T) {
+	opts := tortureOpts()
+	opts.Fsync = storage.SyncAlways
+	stride := 11
+	if testing.Short() {
+		stride = 101
+	}
+	runWALOffsetTorture(t, opts, stride)
 }
 
 // TestWALTortureCorruptTail flips single bytes in the log: the CRC must
@@ -440,7 +460,7 @@ func appendWALRecords(t *testing.T, dir string, recs []storage.Record) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if err := w.Append(payload); err != nil {
+		if _, err := w.Append(payload); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -607,7 +627,7 @@ func TestLargeAssignChunkedDurable(t *testing.T) {
 	}
 	sch, err := schema.NewRelSchema("blobs", []schema.Column{
 		{Name: "id", Type: schema.IntType("bidtype", 1, 1<<30)},
-		{Name: "payload", Type: schema.StringType("blobtype", 1 << 20)},
+		{Name: "payload", Type: schema.StringType("blobtype", 1<<20)},
 	}, []string{"id"})
 	if err != nil {
 		t.Fatal(err)

@@ -175,13 +175,20 @@ func (r *Relation) AccessCost() stats.CostProfile {
 // is an error. It returns the element's reference.
 func (r *Relation) Insert(tuple []value.Value) (value.Value, error) {
 	r.lock()
-	defer r.unlock()
 	if err := r.durableErr(); err != nil {
+		r.unlock()
 		return value.Value{}, err
 	}
 	ref, added, err := r.insert(tuple)
+	var tk storage.Ticket
 	if err == nil && added {
-		err = r.logMutation(storage.Record{Op: storage.OpInsert, Rel: r.id, Tuple: tuple})
+		tk, err = r.logMutation(storage.Record{Op: storage.OpInsert, Rel: r.id, Tuple: tuple})
+	}
+	r.unlock()
+	// Group-commit rendezvous outside the lock: concurrent inserters'
+	// frames coalesce into one fsync (see storage.WAL).
+	if err == nil {
+		err = r.waitDurable(tk)
 	}
 	return ref, err
 }
@@ -235,6 +242,12 @@ func (r *Relation) insert(tuple []value.Value) (value.Value, bool, error) {
 // effectiveness check runs before logging, under the same write lock
 // the apply runs under, so a logged delete is always effective —
 // replay treats a logged delete of an absent key as corruption.
+//
+// For the same reason Delete waits for durability UNDER the write lock,
+// before applying: releasing the lock first would let the delete fail
+// after returning, and the boolean could not take it back. Deletes
+// therefore don't coalesce into group commits — the price of a truthful
+// boolean, and no worse than the old fsync-per-record behavior.
 func (r *Relation) Delete(keyVals []value.Value) bool {
 	r.lock()
 	defer r.unlock()
@@ -246,7 +259,8 @@ func (r *Relation) Delete(keyVals []value.Value) bool {
 	if _, live, err := r.store.Get(si); err != nil || !live {
 		return false
 	}
-	if r.logMutation(storage.Record{Op: storage.OpDelete, Rel: r.id, Key: keyVals}) != nil {
+	tk, err := r.logMutation(storage.Record{Op: storage.OpDelete, Rel: r.id, Key: keyVals})
+	if err != nil || r.waitDurable(tk) != nil {
 		return false
 	}
 	return r.delete(keyVals)
@@ -284,14 +298,20 @@ func (r *Relation) delete(keyVals []value.Value) bool {
 // untouched.
 func (r *Relation) Assign(tuples [][]value.Value) error {
 	r.lock()
-	defer r.unlock()
 	if err := r.durableErr(); err != nil {
+		r.unlock()
 		return err
 	}
-	if err := r.assign(tuples); err != nil {
-		return err
+	err := r.assign(tuples)
+	var tk storage.Ticket
+	if err == nil {
+		tk, err = r.logMutation(storage.Record{Op: storage.OpAssign, Rel: r.id, Tuples: tuples})
 	}
-	return r.logMutation(storage.Record{Op: storage.OpAssign, Rel: r.id, Tuples: tuples})
+	r.unlock()
+	if err == nil {
+		err = r.waitDurable(tk)
+	}
+	return err
 }
 
 // assign applies one assignment without logging.
@@ -327,25 +347,62 @@ func (r *Relation) assign(tuples [][]value.Value) error {
 }
 
 // logMutation appends one WAL record for this relation's mutation when
-// the owning database is durable; a no-op for standalone relations and
-// in-memory databases. Called under the content write lock.
-func (r *Relation) logMutation(rec storage.Record) error {
+// the owning database is durable, returning the group-commit ticket for
+// waitDurable; a no-op for standalone relations and in-memory
+// databases. Called under the content write lock.
+func (r *Relation) logMutation(rec storage.Record) (storage.Ticket, error) {
 	if r.owner == nil {
-		return nil
+		return 0, nil
 	}
 	return r.owner.logRecord(r, rec)
 }
 
+// waitDurable blocks until the logged record behind tk is fsynced; a
+// no-op for standalone relations, in-memory databases, and zero
+// tickets. See DB.waitDurable for the lock discipline.
+func (r *Relation) waitDurable(tk storage.Ticket) error {
+	if r.owner == nil {
+		return nil
+	}
+	return r.owner.waitDurable(tk)
+}
+
 // durableErr returns the owning database's sticky durability error: set
-// when a WAL append failed, after which mutators refuse to run so the
-// in-memory state cannot drift further from the durable state. Nil for
-// standalone relations and in-memory databases. Callers hold the
-// content write lock.
+// when a WAL append or covering fsync failed, after which mutators
+// refuse to run so the in-memory state cannot drift further from the
+// durable state. Nil for standalone relations and in-memory databases.
+// Callers hold the content write lock.
 func (r *Relation) durableErr() error {
 	if r.owner == nil || r.owner.dur == nil {
 		return nil
 	}
-	return r.owner.dur.err
+	return r.owner.dur.sticky()
+}
+
+// applyReplay applies one already-assembled WAL record to this relation
+// during parallel replay. It mirrors applyRecord's per-relation arms but
+// calls the lock-free mutator cores directly: the replay job owns the
+// relation outright, the DB-wide content lock is not taken (jobs for
+// different relations run concurrently), and logging is suppressed by
+// the replaying flag anyway. Replay is strict, as in applyRecord: every
+// logged record was effective when written.
+func (r *Relation) applyReplay(rec storage.Record) error {
+	switch rec.Op {
+	case storage.OpCreateIndex:
+		_, err := r.createIndexLocked(rec.Col)
+		return err
+	case storage.OpInsert:
+		_, _, err := r.insert(rec.Tuple)
+		return err
+	case storage.OpDelete:
+		if !r.delete(rec.Key) {
+			return fmt.Errorf("logged delete of absent key in %s", r.sch.Name)
+		}
+		return nil
+	case storage.OpAssign:
+		return r.assign(rec.Tuples)
+	}
+	return fmt.Errorf("unexpected WAL op %d in relation queue", rec.Op)
 }
 
 // Lookup implements the selected variable rel[keyval]: it returns the

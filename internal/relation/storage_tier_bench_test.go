@@ -1,0 +1,167 @@
+package relation
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"pascalr/internal/schema"
+	"pascalr/internal/storage"
+	"pascalr/internal/value"
+)
+
+// benchWideSchema mirrors wideSchema for benchmarks: a roomy key range
+// so benchmark-sized workloads never exhaust the domain.
+func benchWideSchema(name string) *schema.RelSchema {
+	return schema.MustRelSchema(name, []schema.Column{
+		{Name: "id", Type: schema.IntType("widetype", 1, 1<<30)},
+		{Name: "payload", Type: schema.StringType("padtype", 32)},
+	}, []string{"id"})
+}
+
+// BenchmarkGroupCommit measures SyncAlways insert throughput as writer
+// concurrency grows. With one writer every record pays its own fsync;
+// with several, concurrent commits coalesce behind a single leader
+// sync, so per-insert latency must fall well below the lone-writer
+// price. CI converts the output to BENCH_storage_tier.json and expects
+// the 8-writer leg to be at least 2x the 1-writer throughput.
+func BenchmarkGroupCommit(b *testing.B) {
+	for _, writers := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("writers=%d", writers), func(b *testing.B) {
+			benchGroupCommit(b, writers)
+		})
+	}
+}
+
+func benchGroupCommit(b *testing.B, writers int) {
+	opts := storage.Options{
+		Fsync:              storage.SyncAlways,
+		MemtableEntries:    1 << 20, // keep spills out of the timing
+		CheckpointWALBytes: -1,
+	}
+	d, err := OpenDB(b.TempDir(), opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer d.Close()
+	r, err := d.Create(benchWideSchema("wide"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	var next atomic.Int64
+	var failed atomic.Bool
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for k := w; k < b.N; k += writers {
+				if _, err := r.Insert(wrow(next.Add(1), "pad")); err != nil {
+					failed.Store(true)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	b.StopTimer()
+	if failed.Load() {
+		b.Fatal("insert failed under concurrency")
+	}
+	if r.Len() != int(next.Load()) {
+		b.Fatalf("row count %d, want %d", r.Len(), next.Load())
+	}
+}
+
+// BenchmarkParallelReplay times cold-start recovery of a crash image
+// holding four relations' worth of uncheckpointed WAL, replayed
+// serially versus partitioned across workers. CI converts the output
+// to BENCH_storage_tier.json.
+func BenchmarkParallelReplay(b *testing.B) {
+	b.Run("serial", func(b *testing.B) { benchParallelReplay(b, -1) })
+	b.Run("parallel", func(b *testing.B) { benchParallelReplay(b, 8) })
+}
+
+func benchParallelReplay(b *testing.B, workers int) {
+	opts := storage.Options{
+		Fsync:              storage.SyncNever,
+		MemtableEntries:    256,
+		CheckpointWALBytes: -1, // never checkpoint: keep the full WAL live
+	}
+	src := b.TempDir()
+	d, err := OpenDB(src, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const relCount, rowsPerRel = 4, 1024
+	rels := make([]*Relation, relCount)
+	for i := range rels {
+		r, err := d.Create(benchWideSchema(fmt.Sprintf("wide%d", i)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		rels[i] = r
+	}
+	for i := 0; i < rowsPerRel; i++ { // interleaved so partitions stay even
+		for _, r := range rels {
+			if _, err := r.Insert(wrow(int64(i+1), "pad")); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	for _, r := range rels {
+		for i := 7; i <= rowsPerRel; i += 7 {
+			if !r.Delete([]value.Value{value.Int(int64(i))}) {
+				b.Fatalf("delete %d ineffective", i)
+			}
+		}
+	}
+	if err := d.dur.wal.Sync(); err != nil {
+		b.Fatal(err)
+	}
+	// No Close: Close checkpoints and would leave nothing to replay.
+	d.Quiesce()
+
+	files, err := os.ReadDir(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ropts := opts
+	ropts.ReplayWorkers = workers
+	want := rowsPerRel - rowsPerRel/7
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		dir := filepath.Join(b.TempDir(), "copy")
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			b.Fatal(err)
+		}
+		for _, f := range files {
+			data, err := os.ReadFile(filepath.Join(src, f.Name()))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := os.WriteFile(filepath.Join(dir, f.Name()), data, 0o644); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StartTimer()
+		rd, err := OpenDB(dir, ropts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		for ri := range rels {
+			if rr, _ := rd.Relation(fmt.Sprintf("wide%d", ri)); rr.Len() != want {
+				b.Fatalf("wide%d recovered %d rows, want %d", ri, rr.Len(), want)
+			}
+		}
+		rd.Close()
+		b.StartTimer()
+	}
+	b.ReportMetric(float64(relCount*(rowsPerRel+rowsPerRel/7)+relCount), "records/op")
+}

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"pascalr/internal/colbatch"
 	"pascalr/internal/value"
 )
 
@@ -53,8 +54,10 @@ type Disk struct {
 	memLive   int // live entries in the memtable
 	tableLive int // live (non-dead, above-floor) records in tables
 
-	nextGen  int      // SSTable file-name generation counter
-	obsolete []string // files superseded since the last checkpoint
+	nextGen  int        // SSTable file-name generation counter
+	obsolete []*ssTable // closed tables superseded since the last checkpoint
+
+	cache *BlockCache // shared per-database block cache, nil when disabled
 
 	// Measured access latencies (EWMA nanoseconds), for observability
 	// and the cost model's learned per-backend profile. Sampled, not
@@ -63,6 +66,11 @@ type Disk struct {
 	probeNanos      atomicEWMA
 	probeCount      uint64
 	bloomNegSkipped uint64 // probes answered "absent" by filters alone
+
+	// cacheHitRate tracks the block-cache hit fraction of this
+	// relation's point reads (1.0 per hit, 0.0 per miss) — the signal
+	// that turns the static probe cost into a learned one (Costs).
+	cacheHitRate atomicRate
 }
 
 // DiskTableMeta is the per-relation durable state a checkpoint manifest
@@ -77,26 +85,28 @@ type DiskTableMeta struct {
 }
 
 // NewDisk creates an empty disk backend writing its files into dir.
-func NewDisk(dir string, relID int, opts Options) *Disk {
+// cache is the database's shared block cache (nil disables caching).
+func NewDisk(dir string, relID int, opts Options, cache *BlockCache) *Disk {
 	return &Disk{
 		dir:      dir,
 		relID:    relID,
 		opts:     opts.withDefaults(),
 		dead:     make(map[int]bool),
 		memByKey: make(map[string]int),
+		cache:    cache,
 	}
 }
 
 // OpenDisk reconstitutes a disk backend from checkpoint metadata,
 // opening the listed SSTable files (loading their bloom filters and
 // sparse indexes).
-func OpenDisk(dir string, relID int, opts Options, meta DiskTableMeta) (*Disk, error) {
-	d := NewDisk(dir, relID, opts)
+func OpenDisk(dir string, relID int, opts Options, cache *BlockCache, meta DiskTableMeta) (*Disk, error) {
+	d := NewDisk(dir, relID, opts, cache)
 	d.resetFloor = meta.ResetFloor
 	d.nextGen = meta.NextGen
 	d.tableLive = meta.Live
 	for _, name := range meta.Tables {
-		t, err := openSSTable(filepath.Join(dir, name))
+		t, err := openSSTable(filepath.Join(dir, name), cache)
 		if err != nil {
 			d.Close()
 			return nil, err
@@ -154,7 +164,22 @@ func (d *Disk) Get(si int) ([]value.Value, bool, error) {
 		return nil, false, nil
 	}
 	mSSTableReads.Inc()
-	return t.get(si)
+	tuple, ok, hit, err := t.get(si)
+	d.observeCache(hit)
+	return tuple, ok, err
+}
+
+// observeCache feeds one point read's cache outcome into the hit-rate
+// EWMA behind the learned probe cost.
+func (d *Disk) observeCache(hit bool) {
+	if d.cache == nil {
+		return
+	}
+	if hit {
+		d.cacheHitRate.observe(1)
+	} else {
+		d.cacheHitRate.observe(0)
+	}
 }
 
 // tableFor returns the table whose range covers si, or nil.
@@ -223,6 +248,137 @@ func (d *Disk) Scan(lo, hi int, fn func(si int, tuple []value.Value) bool) error
 	return nil
 }
 
+// ScanBatchesInto is the disk tier's batchFiller: SSTable-resident rows
+// stream through the generic per-record decode (each tuple is freshly
+// decoded from the file, so there is nothing columnar to gather from),
+// but memtable-resident rows get the memory backend's blocked columnar
+// fill — gather a window of live slots, then one tight loop per column
+// over resolved row blocks. A hot relation's recent rows live in the
+// memtable, so the fraction that benefits is exactly the fraction being
+// re-scanned. Flush/batch semantics match Memory.ScanBatchesInto.
+func (d *Disk) ScanBatchesInto(lo, hi int, cols []int, b *colbatch.Batch, flush func() error) error {
+	if lo < 0 {
+		lo = 0
+	}
+	if span := d.SlotSpan(); hi > span {
+		hi = span
+	}
+	start := time.Now()
+	visited := 0
+	defer func() {
+		if visited > 0 {
+			d.scanTupleNanos.observe(float64(time.Since(start).Nanoseconds()) / float64(visited))
+		}
+	}()
+
+	// Phase 1: table-resident rows, generic row-at-a-time fill.
+	appendRow := func(si int, tuple []value.Value) {
+		if cols != nil {
+			b.AppendCols(si, tuple, cols)
+		} else {
+			b.Append(si, tuple)
+		}
+	}
+	for _, t := range d.tables {
+		if t.hi <= lo || t.hi <= d.resetFloor {
+			continue
+		}
+		if t.lo >= hi {
+			break
+		}
+		mSSTableReads.Inc()
+		var ferr error
+		_, err := t.scan(lo, hi, func(si int, _ string, tuple []value.Value) bool {
+			if si < d.resetFloor || d.dead[si] {
+				return true
+			}
+			visited++
+			appendRow(si, tuple)
+			if b.Full() {
+				if ferr = flush(); ferr != nil {
+					return false
+				}
+			}
+			return true
+		})
+		if ferr != nil {
+			return ferr
+		}
+		if err != nil {
+			return err
+		}
+	}
+
+	// Phase 2: memtable-resident rows, blocked columnar fill.
+	mlo := lo
+	if mlo < d.memBase {
+		mlo = d.memBase
+	}
+	ordDsts := make([]ordDst, 0, 8)
+	valDsts := make([]valDst, 0, 8)
+	var tbuf [fillBlock][]value.Value
+	for si := mlo; si < hi; {
+		winStart := b.Len()
+		for ; si < hi && !b.Full(); si++ {
+			if d.mem[si-d.memBase].live {
+				b.AppendSlot(si)
+			}
+		}
+		if n := b.Len() - winStart; n > 0 {
+			visited += n
+			window := b.Slots()[winStart:]
+			ordDsts, valDsts = ordDsts[:0], valDsts[:0]
+			add := func(c int) {
+				if b.IsOrd(c) {
+					ordDsts = append(ordDsts, ordDst{b.GrowOrds(c, n), c})
+				} else {
+					valDsts = append(valDsts, valDst{b.GrowVals(c, n), c})
+				}
+			}
+			if cols == nil {
+				for c := 0; c < b.NumCols(); c++ {
+					add(c)
+				}
+			} else {
+				for _, c := range cols {
+					add(c)
+				}
+			}
+			for base := 0; base < n; base += fillBlock {
+				k := n - base
+				if k > fillBlock {
+					k = fillBlock
+				}
+				rows := tbuf[:k]
+				for j, s := range window[base : base+k] {
+					rows[j] = d.mem[int(s)-d.memBase].tuple
+				}
+				for _, dst := range ordDsts {
+					span := dst.span[base : base+k]
+					for j, t := range rows {
+						span[j] = t[dst.c].Ord()
+					}
+				}
+				for _, dst := range valDsts {
+					span := dst.span[base : base+k]
+					for j, t := range rows {
+						span[j] = t[dst.c]
+					}
+				}
+			}
+		}
+		if b.Full() {
+			if err := flush(); err != nil {
+				return err
+			}
+		}
+	}
+	if b.Len() > 0 {
+		return flush()
+	}
+	return nil
+}
+
 // LookupKey implements Backend: memtable first (its key map tracks the
 // newest entry per key, dead entries masking older table occurrences),
 // then tables newest-first — the first table containing the key decides,
@@ -252,7 +408,8 @@ func (d *Disk) LookupKey(enc string) (int, bool) {
 		}
 		mBloomHits.Inc()
 		mSSTableReads.Inc()
-		si, ok, err := t.lookupKey(enc)
+		si, ok, hit, err := t.lookupKey(enc)
+		d.observeCache(hit)
 		if err != nil {
 			// A probe has no error channel (the relation layer's Lookup
 			// contract predates I/O): treat unreadable as absent. Scans
@@ -358,7 +515,7 @@ func (d *Disk) Flush() error {
 	if len(entries) > 0 {
 		name := fmt.Sprintf("r%d-g%d.sst", d.relID, d.nextGen)
 		d.nextGen++
-		t, err := writeSSTable(d.dir, name, entries, d.memBase, d.memBase+n)
+		t, err := writeSSTable(d.dir, name, entries, d.memBase, d.memBase+n, d.cache)
 		if err != nil {
 			return err
 		}
@@ -373,90 +530,263 @@ func (d *Disk) Flush() error {
 	return nil
 }
 
-// NeedsCompaction reports whether rewriting the tables would reclaim a
-// meaningful fraction of their records: more than half of the
-// table-resident records are dead (tombstoned or below the reset
-// floor), or several tables could merge into one.
-func (d *Disk) NeedsCompaction() bool {
-	records := 0
-	belowFloor := 0
-	for _, t := range d.tables {
-		records += t.count
-		if t.hi <= d.resetFloor {
-			belowFloor += t.count
-		}
+// Size-tiered compaction policy. Tables are bucketed into size tiers
+// (tier = log4 of record count); a run of compactionMinRun contiguous
+// same-tier tables merges into one table of the next tier, touching at
+// most compactionMaxRun inputs per run. Contiguity in slot order is not
+// an optimization but an invariant: tables carry disjoint ascending
+// slot ranges, and only a contiguous run merges into a table whose
+// range stays disjoint from its neighbors'.
+const (
+	compactionMinRun    = 4 // same-tier run length that triggers a merge
+	compactionMaxRun    = 8 // inputs consumed per merge, bounding its cost
+	compactionMaxTables = 8 // total table count that forces a fallback merge
+)
+
+// tableTier buckets a record count into a size tier: 1-3 records tier
+// 0, 4-15 tier 1, 16-63 tier 2, ... A compactionMinRun merge of tier-n
+// tables lands in tier n+1, so repeated merges climb the tiers instead
+// of rewriting the whole keyspace every time.
+func tableTier(count int) int {
+	tier := 0
+	for count >= 4 {
+		count /= 4
+		tier++
 	}
-	if records == 0 {
-		return false
-	}
-	deadRecords := len(d.dead) + belowFloor
-	return deadRecords*2 > records || len(d.tables) > 8
+	return tier
 }
 
-// Compact merges every table into one (dropping dead and below-floor
-// records), moving the superseded files to the obsolete list. The
-// caller must hold the relation layer's content write lock.
+// pickTieredRun returns the table-index range [lo, hi) of the best
+// mergeable run: the lowest-tier run of at least compactionMinRun
+// contiguous same-tier tables, capped at compactionMaxRun inputs.
+// Returns an empty range when no tier has a long-enough run.
+func (d *Disk) pickTieredRun() (lo, hi int) {
+	found := false
+	bestTier := 0
+	for i := 0; i < len(d.tables); {
+		tier := tableTier(d.tables[i].count)
+		j := i + 1
+		for j < len(d.tables) && tableTier(d.tables[j].count) == tier {
+			j++
+		}
+		if j-i >= compactionMinRun && (!found || tier < bestTier) {
+			found, bestTier = true, tier
+			lo = i
+			hi = min(j, i+compactionMaxRun)
+		}
+		i = j
+	}
+	if !found {
+		return 0, 0
+	}
+	return lo, hi
+}
+
+// smallestWindow returns the contiguous window of n tables with the
+// fewest total records — the cheapest merge that still shrinks the
+// table count when tiering alone found no run.
+func (d *Disk) smallestWindow(n int) (lo, hi int) {
+	if len(d.tables) < n {
+		return 0, len(d.tables)
+	}
+	sum := 0
+	for i := 0; i < n; i++ {
+		sum += d.tables[i].count
+	}
+	best, bestSum := 0, sum
+	for i := n; i < len(d.tables); i++ {
+		sum += d.tables[i].count - d.tables[i-n].count
+		if sum < bestSum {
+			best, bestSum = i-n+1, sum
+		}
+	}
+	return best, best + n
+}
+
+// deadHeavy reports whether tombstoned records dominate the tables.
+func (d *Disk) deadHeavy() bool {
+	records := 0
+	for _, t := range d.tables {
+		records += t.count
+	}
+	return records > 0 && len(d.dead)*2 > records
+}
+
+// NeedsCompaction reports whether a compaction run would reclaim space
+// or read amplification: whole tables below the reset floor (droppable
+// without a rewrite), tombstone-dominated tables, a mergeable same-tier
+// run, or simply too many tables.
+func (d *Disk) NeedsCompaction() bool {
+	for _, t := range d.tables {
+		if t.hi <= d.resetFloor {
+			return true
+		}
+	}
+	if d.deadHeavy() {
+		return true
+	}
+	if lo, hi := d.pickTieredRun(); hi > lo {
+		return true
+	}
+	return len(d.tables) > compactionMaxTables
+}
+
+// Compact runs one round of the size-tiered policy. Below-floor tables
+// (wholly dead since a := assignment) retire without any rewrite; then
+// one run merges — the whole table set when tombstones dominate, else
+// the best same-tier run, else (when the table count is still past the
+// bound) the cheapest contiguous window. Superseded files move to the
+// obsolete list and are unlinked only by DropObsolete after a
+// checkpoint manifest stops referencing them. The caller must hold the
+// relation layer's content write lock.
 func (d *Disk) Compact() error {
 	if len(d.tables) == 0 {
 		return nil
 	}
-	var entries []SSEntry
-	lo, hi := d.tables[0].lo, d.tables[len(d.tables)-1].hi
+	acted := false
+
+	// Phase 1: drop whole tables below the reset floor — every record
+	// is dead, so retiring the file reclaims it all for free.
+	kept := d.tables[:0]
 	for _, t := range d.tables {
 		if t.hi <= d.resetFloor {
+			d.retire(t)
+			acted = true
 			continue
 		}
-		_, err := t.scan(t.lo, t.hi, func(si int, enc string, tuple []value.Value) bool {
-			if si >= d.resetFloor && !d.dead[si] {
-				entries = append(entries, SSEntry{Si: si, Enc: enc, Tuple: tuple})
+		kept = append(kept, t)
+	}
+	d.tables = kept
+
+	// Phase 2: pick this round's merge run.
+	lo, hi := 0, 0
+	switch {
+	case d.deadHeavy():
+		// Tombstones dominate: only a full rewrite visits every dead
+		// slot, and it resets the tombstone map in one stroke.
+		lo, hi = 0, len(d.tables)
+	default:
+		lo, hi = d.pickTieredRun()
+		if hi == lo && len(d.tables) > compactionMaxTables {
+			lo, hi = d.smallestWindow(compactionMinRun)
+		}
+	}
+
+	// Phase 3: merge tables[lo:hi) into one, dropping dead records.
+	if hi-lo >= 2 {
+		acted = true
+		run := d.tables[lo:hi]
+		slotLo, slotHi := run[0].lo, run[len(run)-1].hi
+		var entries []SSEntry
+		for _, t := range run {
+			_, err := t.scan(t.lo, t.hi, func(si int, enc string, tuple []value.Value) bool {
+				if si >= d.resetFloor && !d.dead[si] {
+					entries = append(entries, SSEntry{Si: si, Enc: enc, Tuple: tuple})
+				}
+				return true
+			})
+			if err != nil {
+				return err
 			}
-			return true
-		})
-		if err != nil {
-			return err
+		}
+		var merged *ssTable
+		if len(entries) > 0 {
+			name := fmt.Sprintf("r%d-g%d.sst", d.relID, d.nextGen)
+			d.nextGen++
+			t, err := writeSSTable(d.dir, name, entries, slotLo, slotHi, d.cache)
+			if err != nil {
+				return err
+			}
+			merged = t
+			if fi, err := t.f.Stat(); err == nil {
+				mCompactionBytes.Add(fi.Size())
+			}
+		}
+		mCompactionTables.Add(int64(len(run)))
+		for _, t := range run {
+			d.retire(t)
+		}
+		next := make([]*ssTable, 0, len(d.tables)-len(run)+1)
+		next = append(next, d.tables[:lo]...)
+		if merged != nil {
+			next = append(next, merged)
+		}
+		next = append(next, d.tables[hi:]...)
+		d.tables = next
+		// Tombstones inside the merged range are materialized now — the
+		// rewrite dropped those records from disk.
+		for si := range d.dead {
+			if si >= slotLo && si < slotHi {
+				delete(d.dead, si)
+			}
 		}
 	}
-	var merged []*ssTable
-	if len(entries) > 0 {
-		name := fmt.Sprintf("r%d-g%d.sst", d.relID, d.nextGen)
-		d.nextGen++
-		t, err := writeSSTable(d.dir, name, entries, lo, hi)
-		if err != nil {
-			return err
-		}
-		merged = append(merged, t)
-		if fi, err := t.f.Stat(); err == nil {
-			mCompactionBytes.Add(fi.Size())
-		}
+	if acted {
+		mCompactions.Inc()
 	}
-	mCompactions.Inc()
-	for _, t := range d.tables {
-		d.obsolete = append(d.obsolete, t.name)
-		t.close()
-	}
-	d.tables = merged
-	d.dead = make(map[int]bool)
-	d.tableLive = len(entries)
 	return nil
 }
 
-// Obsolete returns files superseded by flush/compaction since the last
-// checkpoint; the checkpoint unlinks them once the new manifest no
-// longer references them.
-func (d *Disk) Obsolete() []string { return d.obsolete }
-
-// DropObsolete unlinks the superseded files (post-checkpoint).
-func (d *Disk) DropObsolete() {
-	for _, name := range d.obsolete {
-		os.Remove(filepath.Join(d.dir, name))
-	}
-	d.obsolete = nil
+// retire closes a superseded table (evicting its cached blocks) and
+// queues it for the obsolete-file GC. The file itself stays on disk:
+// the live manifest may still reference it, and recovery must be able
+// to reopen it until a newer manifest commits without it.
+func (d *Disk) retire(t *ssTable) {
+	t.close()
+	d.obsolete = append(d.obsolete, t)
 }
 
-// Costs implements Backend. The profile is the static disk profile; the
-// measured EWMA latencies are exposed separately (MeasuredCosts) so the
-// planner's decisions stay deterministic across runs.
-func (d *Disk) Costs() CostProfile { return diskCosts }
+// Obsolete returns the names of files superseded by compaction since
+// the last checkpoint; the checkpoint unlinks them (DropObsolete) once
+// the new manifest no longer references them.
+func (d *Disk) Obsolete() []string {
+	names := make([]string, 0, len(d.obsolete))
+	for _, t := range d.obsolete {
+		names = append(names, t.name)
+	}
+	return names
+}
+
+// DropObsolete unlinks superseded files — the GC policy's only delete
+// path. A file survives the sweep if the just-committed manifest still
+// references it (referenced, by name) or an in-flight read still pins
+// the table; survivors stay queued for the next checkpoint. Under the
+// content-lock discipline neither guard should ever fire (compaction
+// and checkpoints exclude readers), but an unlink is unrecoverable, so
+// the policy is enforced here rather than assumed.
+func (d *Disk) DropObsolete(referenced map[string]bool) {
+	kept := d.obsolete[:0]
+	for _, t := range d.obsolete {
+		if referenced[t.name] || t.pins.Load() != 0 {
+			kept = append(kept, t)
+			continue
+		}
+		os.Remove(filepath.Join(d.dir, t.name))
+	}
+	d.obsolete = kept
+}
+
+// Costs implements Backend. ScanTuple stays the static disk estimate
+// (scans bypass the block cache by design), but Probe is learned: it
+// blends the cold probe cost toward the in-memory cost by the measured
+// block-cache hit rate, so the estimator's memory-vs-disk pricing
+// tracks what probes actually pay. Plan shape never reads this (see
+// CostProfile); only shard balancing and the estimator's cost totals
+// do, both counter-invisible.
+func (d *Disk) Costs() CostProfile {
+	c := diskCosts
+	if rate, ok := d.cacheHitRate.load(); ok {
+		// A warm probe still pays bloom checks and segment decoding on
+		// top of the memory backend's map hit.
+		const warmProbe = 2
+		c.Probe = rate*warmProbe + (1-rate)*diskCosts.Probe
+	}
+	return c
+}
+
+// CacheHitRate returns the EWMA block-cache hit fraction of this
+// relation's point reads, and whether any read has been observed.
+func (d *Disk) CacheHitRate() (float64, bool) { return d.cacheHitRate.load() }
 
 // MeasuredCosts returns the observed per-tuple scan and per-probe
 // latencies in nanoseconds (0 until observed) — the learned complement
@@ -503,3 +833,29 @@ func (e *atomicEWMA) load() float64 {
 }
 
 func (e *atomicEWMA) store(v float64) { e.bits.Store(math.Float64bits(v)) }
+
+// atomicRate is an atomicEWMA whose observations legitimately include
+// zero (a cache miss is 0.0), so "unset" needs its own flag instead of
+// the zero value. Concurrent observers race benignly: each
+// read-modify-write is atomic and a lost update only drops one sample
+// from the average.
+type atomicRate struct {
+	bits   atomic.Uint64
+	primed atomic.Bool
+}
+
+func (e *atomicRate) observe(v float64) {
+	if e.primed.CompareAndSwap(false, true) {
+		e.bits.Store(math.Float64bits(v))
+		return
+	}
+	old := math.Float64frombits(e.bits.Load())
+	e.bits.Store(math.Float64bits(old + (v-old)/8))
+}
+
+func (e *atomicRate) load() (float64, bool) {
+	if !e.primed.Load() {
+		return 0, false
+	}
+	return math.Float64frombits(e.bits.Load()), true
+}

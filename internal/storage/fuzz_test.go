@@ -95,7 +95,7 @@ func FuzzOpenSSTable(f *testing.F) {
 		{Si: 0, Enc: ikey(1), Tuple: ituple(1)},
 		{Si: 2, Enc: ikey(2), Tuple: ituple(2)},
 	}
-	tbl, err := writeSSTable(dir, "seed.sst", entries, 0, 3)
+	tbl, err := writeSSTable(dir, "seed.sst", entries, 0, 3, nil)
 	if err != nil {
 		f.Fatal(err)
 	}
@@ -111,14 +111,14 @@ func FuzzOpenSSTable(f *testing.F) {
 		if err := os.WriteFile(path, data, 0o644); err != nil {
 			t.Fatal(err)
 		}
-		tb, err := openSSTable(path)
+		tb, err := openSSTable(path, nil)
 		if err != nil {
 			return
 		}
 		defer tb.close()
 		// An accepted table must serve its read paths without panicking.
 		_, _ = tb.scan(tb.lo, tb.hi, func(int, string, []value.Value) bool { return true })
-		_, _, _ = tb.get(tb.lo)
-		_, _, _ = tb.lookupKey(ikey(1))
+		_, _, _, _ = tb.get(tb.lo)
+		_, _, _, _ = tb.lookupKey(ikey(1))
 	})
 }

@@ -27,4 +27,14 @@ var (
 		"SSTable compaction runs")
 	mCompactionBytes = obs.GetCounter("pascal_storage_compaction_bytes_total",
 		"Bytes written by SSTable compactions")
+	mCompactionTables = obs.GetCounter("pascal_storage_compaction_tables_total",
+		"SSTable files consumed as compaction inputs")
+	mBlockCacheHits = obs.GetCounter("pascal_storage_block_cache_hits_total",
+		"Point-read segments served from the block cache")
+	mBlockCacheMisses = obs.GetCounter("pascal_storage_block_cache_misses_total",
+		"Point-read segments that missed the block cache and paid file I/O")
+	mBlockCacheEvictions = obs.GetCounter("pascal_storage_block_cache_evictions_total",
+		"Blocks evicted from the block cache to hold the byte budget")
+	mGroupCommitBatches = obs.GetCounter("pascal_storage_group_commit_batches_total",
+		"Group-commit fsync batches (each covers >= 1 appended record)")
 )

@@ -8,6 +8,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"sync/atomic"
 
 	"pascalr/internal/protocol"
 	"pascalr/internal/value"
@@ -65,12 +66,13 @@ type spKey struct {
 
 // ssTable is an open SSTable file handle plus its in-memory probe
 // structures (bloom filter and sparse indexes); the data itself stays
-// on disk.
+// on disk, fronted for point reads by the shared block cache.
 type ssTable struct {
 	path   string
 	name   string
 	f      *os.File
-	lo, hi int // slot range [lo, hi)
+	id     uint64 // process-unique block-cache file ID
+	lo, hi int    // slot range [lo, hi)
 	count  int
 
 	indexOff   int64 // data section ends here
@@ -81,13 +83,27 @@ type ssTable struct {
 	filter  *bloom
 	spSlots []spSlot
 	spKeys  []spKey
+
+	cache *BlockCache // shared, nil when caching is disabled
+
+	// pins counts in-flight point reads; the obsolete-file GC refuses
+	// to unlink a table while any read holds a pin (belt and braces on
+	// top of the lock discipline, which already excludes readers during
+	// table swaps).
+	pins atomic.Int32
 }
 
+// nextFileID hands out process-unique cache file IDs. File names cannot
+// serve as cache keys: generations restart per database directory and
+// tests open many databases in one process.
+var nextFileID atomic.Uint64
+
 // writeSSTable builds and atomically writes an SSTable (tmp + rename)
-// and returns the opened handle. Entries must be in ascending slot
-// order; span is the exclusive slot range [lo, hi) the table covers
-// (it may exceed the entries' own range when dead slots were dropped).
-func writeSSTable(dir, name string, entries []SSEntry, lo, hi int) (*ssTable, error) {
+// and returns the opened handle, fronted by cache (nil ok). Entries
+// must be in ascending slot order; span is the exclusive slot range
+// [lo, hi) the table covers (it may exceed the entries' own range when
+// dead slots were dropped).
+func writeSSTable(dir, name string, entries []SSEntry, lo, hi int, cache *BlockCache) (*ssTable, error) {
 	var buf []byte
 	buf = append(buf, sstMagic...)
 
@@ -185,22 +201,41 @@ func writeSSTable(dir, name string, entries []SSEntry, lo, hi int) (*ssTable, er
 	if err := writeFileDurable(path, buf); err != nil {
 		return nil, err
 	}
-	return openSSTable(path)
+	return openSSTable(path, cache)
 }
 
 // openSSTable opens an SSTable file, verifying and loading its footer
-// (bloom filter, sparse indexes).
-func openSSTable(path string) (*ssTable, error) {
+// (bloom filter, sparse indexes). The cache (nil ok) fronts the
+// table's point reads for its lifetime.
+func openSSTable(path string, cache *BlockCache) (*ssTable, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
-	t := &ssTable{path: path, name: filepath.Base(path), f: f}
+	t := &ssTable{path: path, name: filepath.Base(path), f: f, cache: cache, id: nextFileID.Add(1)}
 	if err := t.loadFooter(); err != nil {
 		f.Close()
 		return nil, fmt.Errorf("storage: sstable %s: %w", t.name, err)
 	}
 	return t, nil
+}
+
+// readSegment returns the file bytes [off, end), serving from the block
+// cache when resident; hit reports which way it went so the disk tier
+// can feed its cost EWMAs.
+func (t *ssTable) readSegment(off, end int64) (data []byte, hit bool, err error) {
+	if data, ok := t.cache.Get(t.id, off); ok {
+		return data, true, nil
+	}
+	seg := make([]byte, end-off)
+	if _, err := t.f.ReadAt(seg, off); err != nil {
+		return nil, false, err
+	}
+	// The segment bounds are a pure function of the immutable file and
+	// off (sparse index + max-segment clamp), so (id, off) fully
+	// identifies these bytes and the entry can never go stale.
+	t.cache.Put(t.id, off, seg)
+	return seg, false, nil
 }
 
 func (t *ssTable) loadFooter() error {
@@ -341,6 +376,10 @@ func decodeDataRecord(payload []byte) (int, string, []value.Value, error) {
 // record with slot in [lo, hi) until fn returns false; keep reports
 // whether iteration should continue into the next table.
 func (t *ssTable) scan(lo, hi int, fn func(si int, enc string, tuple []value.Value) bool) (keep bool, err error) {
+	// Scans bypass the block cache (scan resistance — see BlockCache)
+	// but still pin the table against the obsolete-file GC.
+	t.pins.Add(1)
+	defer t.pins.Add(-1)
 	start := int64(len(sstMagic))
 	if len(t.spSlots) > 0 && lo > t.lo {
 		// Seek: last sparse entry at or below lo.
@@ -376,23 +415,26 @@ func (t *ssTable) scan(lo, hi int, fn func(si int, enc string, tuple []value.Val
 }
 
 // get fetches the record at slot si via the sparse slot index; ok is
-// false when the slot is not present (dead at flush time).
-func (t *ssTable) get(si int) ([]value.Value, bool, error) {
+// false when the slot is not present (dead at flush time). hit reports
+// whether the segment came out of the block cache.
+func (t *ssTable) get(si int) (_ []value.Value, ok bool, hit bool, err error) {
 	if si < t.lo || si >= t.hi || len(t.spSlots) == 0 {
-		return nil, false, nil
+		return nil, false, false, nil
 	}
 	i := sort.Search(len(t.spSlots), func(i int) bool { return t.spSlots[i].si > si }) - 1
 	if i < 0 {
-		return nil, false, nil
+		return nil, false, false, nil
 	}
 	off := t.spSlots[i].off
 	end := t.indexOff
 	if o := off + int64(t.maxSlotSeg); o < end {
 		end = o
 	}
-	seg := make([]byte, end-off)
-	if _, err := t.f.ReadAt(seg, off); err != nil {
-		return nil, false, fmt.Errorf("storage: sstable %s: %w", t.name, err)
+	t.pins.Add(1)
+	defer t.pins.Add(-1)
+	seg, hit, err := t.readSegment(off, end)
+	if err != nil {
+		return nil, false, false, fmt.Errorf("storage: sstable %s: %w", t.name, err)
 	}
 	for pos := 0; pos < len(seg); {
 		payload, next, err := readFrame(seg, pos)
@@ -401,37 +443,40 @@ func (t *ssTable) get(si int) ([]value.Value, bool, error) {
 		}
 		rsi, _, tuple, err := decodeDataRecord(payload)
 		if err != nil {
-			return nil, false, fmt.Errorf("storage: sstable %s: %w", t.name, err)
+			return nil, false, hit, fmt.Errorf("storage: sstable %s: %w", t.name, err)
 		}
 		if rsi == si {
-			return tuple, true, nil
+			return tuple, true, hit, nil
 		}
 		if rsi > si {
 			break
 		}
 		pos = next
 	}
-	return nil, false, nil
+	return nil, false, hit, nil
 }
 
 // lookupKey resolves an encoded key to its slot: bloom filter first (a
-// definite miss costs no I/O), then one sparse-key segment.
-func (t *ssTable) lookupKey(enc string) (int, bool, error) {
+// definite miss costs no I/O), then one sparse-key segment. hit reports
+// whether the segment came out of the block cache.
+func (t *ssTable) lookupKey(enc string) (_ int, ok bool, hit bool, err error) {
 	if !t.filter.mayContain(enc) || len(t.spKeys) == 0 {
-		return 0, false, nil
+		return 0, false, false, nil
 	}
 	i := sort.Search(len(t.spKeys), func(i int) bool { return t.spKeys[i].key > enc }) - 1
 	if i < 0 {
-		return 0, false, nil
+		return 0, false, false, nil
 	}
 	off := t.spKeys[i].off
 	end := t.footerOff
 	if o := off + int64(t.maxKeySeg); o < end {
 		end = o
 	}
-	seg := make([]byte, end-off)
-	if _, err := t.f.ReadAt(seg, off); err != nil {
-		return 0, false, fmt.Errorf("storage: sstable %s: %w", t.name, err)
+	t.pins.Add(1)
+	defer t.pins.Add(-1)
+	seg, hit, err := t.readSegment(off, end)
+	if err != nil {
+		return 0, false, false, fmt.Errorf("storage: sstable %s: %w", t.name, err)
 	}
 	pr := protocol.NewReader(seg)
 	for pr.Len() > 0 {
@@ -444,19 +489,20 @@ func (t *ssTable) lookupKey(enc string) (int, bool, error) {
 			break
 		}
 		if key == enc {
-			return int(si), true, nil
+			return int(si), true, hit, nil
 		}
 		if key > enc {
 			break // entries are key-sorted
 		}
 	}
-	return 0, false, nil
+	return 0, false, hit, nil
 }
 
 func (t *ssTable) close() error {
 	if t.f == nil {
 		return nil
 	}
+	t.cache.EvictFile(t.id)
 	err := t.f.Close()
 	t.f = nil
 	return err

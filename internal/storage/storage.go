@@ -29,6 +29,8 @@
 package storage
 
 import (
+	"runtime"
+
 	"pascalr/internal/value"
 )
 
@@ -123,6 +125,15 @@ type Options struct {
 	// checkpoint, bounding replay time. Default 4 MiB; 0 keeps the
 	// default, a negative value disables automatic checkpoints.
 	CheckpointWALBytes int64
+	// BlockCacheBytes is the byte budget of the shared SSTable block
+	// cache fronting point reads. Default 8 MiB; 0 keeps the default, a
+	// negative value disables the cache.
+	BlockCacheBytes int64
+	// ReplayWorkers is the worker count for parallel WAL replay on open.
+	// Replay partitions mutation records by relation, so workers beyond
+	// the number of mutated relations sit idle. Default GOMAXPROCS; 0
+	// keeps the default, a negative value forces serial replay.
+	ReplayWorkers int
 }
 
 // withDefaults fills unset options.
@@ -132,6 +143,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.CheckpointWALBytes == 0 {
 		o.CheckpointWALBytes = 4 << 20
+	}
+	if o.BlockCacheBytes == 0 {
+		o.BlockCacheBytes = 8 << 20
+	}
+	if o.ReplayWorkers == 0 {
+		o.ReplayWorkers = runtime.GOMAXPROCS(0)
 	}
 	return o
 }

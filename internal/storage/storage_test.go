@@ -41,7 +41,7 @@ func snapshot(t *testing.T, b Backend) string {
 // rests on this.
 func TestMemoryDiskEquivalence(t *testing.T) {
 	mem := NewMemory()
-	disk := NewDisk(t.TempDir(), 0, Options{MemtableEntries: 4, Fsync: SyncNever})
+	disk := NewDisk(t.TempDir(), 0, Options{MemtableEntries: 4, Fsync: SyncNever}, nil)
 	defer disk.Close()
 	rng := rand.New(rand.NewSource(7))
 	present := map[int]bool{}
@@ -113,7 +113,7 @@ func TestMemoryDiskEquivalence(t *testing.T) {
 // bug: checkpoints flush partially filled memtables, so tables exist at
 // every size, and a probe must find keys in all of them.
 func TestDiskLookupAfterIrregularFlush(t *testing.T) {
-	d := NewDisk(t.TempDir(), 0, Options{MemtableEntries: 8, Fsync: SyncNever})
+	d := NewDisk(t.TempDir(), 0, Options{MemtableEntries: 8, Fsync: SyncNever}, nil)
 	defer d.Close()
 	for i := 1; i <= 99; i++ {
 		if _, err := d.Append(ikey(i), ituple(i)); err != nil {
@@ -144,7 +144,7 @@ func TestDiskLookupAfterIrregularFlush(t *testing.T) {
 // probing keys that exist in no table must be answered by the bloom
 // filters without I/O for nearly all of them.
 func TestDiskBloomNegativeProbes(t *testing.T) {
-	d := NewDisk(t.TempDir(), 0, Options{MemtableEntries: 64, Fsync: SyncNever})
+	d := NewDisk(t.TempDir(), 0, Options{MemtableEntries: 64, Fsync: SyncNever}, nil)
 	defer d.Close()
 	for i := 0; i < 1024; i++ {
 		if _, err := d.Append(ikey(i), ituple(i)); err != nil {
@@ -177,12 +177,17 @@ func TestDiskBloomNegativeProbes(t *testing.T) {
 // until DropObsolete.
 func TestDiskCompaction(t *testing.T) {
 	dir := t.TempDir()
-	d := NewDisk(dir, 3, Options{MemtableEntries: 8, Fsync: SyncNever})
+	d := NewDisk(dir, 3, Options{MemtableEntries: 8, Fsync: SyncNever}, nil)
 	defer d.Close()
 	for i := 0; i < 64; i++ {
 		if _, err := d.Append(ikey(i), ituple(i)); err != nil {
 			t.Fatal(err)
 		}
+	}
+	// 64 appends through an 8-entry memtable leave 8 same-tier tables —
+	// a mergeable tiered run regardless of tombstones.
+	if !d.NeedsCompaction() {
+		t.Fatal("8 same-tier tables not flagged for compaction")
 	}
 	for i := 0; i < 64; i += 2 {
 		si, ok := d.LookupKey(ikey(i))
@@ -193,15 +198,9 @@ func TestDiskCompaction(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if d.NeedsCompaction() {
-		t.Fatal("exactly-half-dead table set flagged for compaction")
-	}
 	si, _ := d.LookupKey(ikey(1))
 	if err := d.Delete(si, ikey(1)); err != nil { // now more than half dead
 		t.Fatal(err)
-	}
-	if !d.NeedsCompaction() {
-		t.Fatal("half-dead table set not flagged for compaction")
 	}
 	before := snapshot(t, d)
 	nBefore := d.TableCount()
@@ -225,7 +224,7 @@ func TestDiskCompaction(t *testing.T) {
 		}
 	}
 	obs := append([]string(nil), d.Obsolete()...)
-	d.DropObsolete()
+	d.DropObsolete(nil)
 	for _, name := range obs {
 		if _, err := os.Stat(filepath.Join(dir, name)); !os.IsNotExist(err) {
 			t.Fatalf("superseded file %s survived DropObsolete", name)
@@ -241,7 +240,7 @@ func TestDiskCompaction(t *testing.T) {
 func TestDiskMetaRoundTrip(t *testing.T) {
 	dir := t.TempDir()
 	opts := Options{MemtableEntries: 8, Fsync: SyncNever}
-	d := NewDisk(dir, 0, opts)
+	d := NewDisk(dir, 0, opts, nil)
 	for i := 0; i < 50; i++ {
 		if _, err := d.Append(ikey(i), ituple(i)); err != nil {
 			t.Fatal(err)
@@ -261,7 +260,7 @@ func TestDiskMetaRoundTrip(t *testing.T) {
 	if err := d.Close(); err != nil {
 		t.Fatal(err)
 	}
-	rd, err := OpenDisk(dir, 0, opts, meta)
+	rd, err := OpenDisk(dir, 0, opts, nil, meta)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -290,7 +289,7 @@ func TestWALRecovery(t *testing.T) {
 		t.Fatalf("fresh WAL returned %d payloads", len(payloads))
 	}
 	for i := 0; i < 20; i++ {
-		if err := w.Append([]byte(fmt.Sprintf("record-%02d", i))); err != nil {
+		if _, err := w.Append([]byte(fmt.Sprintf("record-%02d", i))); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -323,7 +322,7 @@ func TestWALRecovery(t *testing.T) {
 		t.Fatalf("recovered size %d, want %d", w2.Size(), len(data))
 	}
 	// The next append extends the clean prefix.
-	if err := w2.Append([]byte("post-recovery")); err != nil {
+	if _, err := w2.Append([]byte("post-recovery")); err != nil {
 		t.Fatal(err)
 	}
 	if err := w2.Close(); err != nil {
@@ -518,13 +517,13 @@ func TestWALAppendRejectsOversized(t *testing.T) {
 	if len(payloads) != 0 {
 		t.Fatalf("fresh WAL replayed %d records", len(payloads))
 	}
-	if err := w.Append(make([]byte, maxRecordSize+1)); err == nil {
+	if _, err := w.Append(make([]byte, maxRecordSize+1)); err == nil {
 		t.Fatal("oversized append accepted")
 	}
 	if w.Size() != 0 {
 		t.Fatalf("failed append grew the log to %d bytes", w.Size())
 	}
-	if err := w.Append([]byte("ok")); err != nil {
+	if _, err := w.Append([]byte("ok")); err != nil {
 		t.Fatal(err)
 	}
 	if err := w.Close(); err != nil {
@@ -603,7 +602,7 @@ func TestSplitRecordChunks(t *testing.T) {
 // to scans.
 func TestDiskAppendFlushFailureRollsBack(t *testing.T) {
 	dir := filepath.Join(t.TempDir(), "missing")
-	d := NewDisk(dir, 0, Options{MemtableEntries: 1, Fsync: SyncNever})
+	d := NewDisk(dir, 0, Options{MemtableEntries: 1, Fsync: SyncNever}, nil)
 	defer d.Close()
 	if _, err := d.Append(ikey(1), ituple(1)); err == nil {
 		t.Fatal("append with failing flush reported success")

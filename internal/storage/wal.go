@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sync"
 	"time"
 )
 
@@ -14,15 +15,47 @@ const WALName = "wal.log"
 // WAL is the write-ahead log of one durable database: a single
 // append-only file of framed records (record.go). The relation layer
 // appends one record per effective mutation — under its content write
-// lock, so the WAL needs no locking of its own — and truncates the log
-// after each checkpoint. Recovery (RecoverWAL) validates the frames
+// lock, so file writes need no locking of their own — and truncates the
+// log after each checkpoint. Recovery (RecoverWAL) validates the frames
 // front to back and chops the file at the first torn or corrupt one:
 // a record is either wholly durable or it never happened.
+//
+// # Group commit
+//
+// Under SyncAlways, durability is split from the append: Append writes
+// the frame and returns a ticket, and the writer calls WaitDurable
+// AFTER releasing the content write lock. Concurrent writers therefore
+// pile up in WaitDurable while the lock-holder of the moment appends;
+// one of them leader-elects, issues a single fsync that covers every
+// frame written so far, and releases everyone whose ticket that sync
+// covers — one fsync per batch instead of one per record. A single
+// writer degenerates to exactly the old behavior (one fsync per
+// record); the win scales with writer concurrency.
+//
+// The group-commit fields below are the only WAL state touched outside
+// the content write lock, so they carry their own mutex.
 type WAL struct {
 	f      *os.File
 	path   string
 	policy FsyncPolicy
 	size   int64
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	written Ticket // tickets handed out by Append
+	synced  Ticket // highest ticket covered by a completed fsync
+	syncing bool   // a leader is inside fsync with mu released
+	err     error  // sticky fsync failure — all later waits fail
+}
+
+// Ticket identifies one appended record for WaitDurable. Tickets
+// are handed out in append order; a sync covering ticket t covers every
+// earlier ticket too. The zero ticket is "nothing to wait for".
+type Ticket int64
+
+func (w *WAL) init() *WAL {
+	w.cond = sync.NewCond(&w.mu)
+	return w
 }
 
 // RecoverWAL opens (creating if absent) the WAL inside dir, scans it,
@@ -64,7 +97,7 @@ func RecoverWAL(dir string, policy FsyncPolicy) (*WAL, [][]byte, error) {
 		f.Close()
 		return nil, nil, err
 	}
-	return &WAL{f: f, path: path, policy: policy, size: valid}, payloads, nil
+	return (&WAL{f: f, path: path, policy: policy, size: valid}).init(), payloads, nil
 }
 
 // ScanFrames walks framed records from the start of data, returning
@@ -86,36 +119,91 @@ func ScanFrames(data []byte) (payloads [][]byte, valid int64) {
 	return payloads, int64(off)
 }
 
-// Append frames and writes one record payload, fsyncing per policy.
+// Append frames and writes one record payload, returning the ticket to
+// hand WaitDurable once the caller has released the content write lock.
+// Under SyncNever the ticket is zero and WaitDurable is a no-op.
 // Payloads beyond maxRecordSize are rejected up front: readFrame would
 // refuse the oversized frame during recovery, truncating the log there
 // and silently discarding every durable record after it — the writer
 // must fail loudly instead (whole-relation assignments stay under the
 // bound by chunking, see SplitRecord).
-func (w *WAL) Append(payload []byte) error {
+func (w *WAL) Append(payload []byte) (Ticket, error) {
 	if w.f == nil {
-		return fmt.Errorf("storage: WAL is closed")
+		return 0, fmt.Errorf("storage: WAL is closed")
 	}
 	if len(payload) > maxRecordSize {
-		return fmt.Errorf("storage: WAL record of %d bytes exceeds the %d-byte limit", len(payload), maxRecordSize)
+		return 0, fmt.Errorf("storage: WAL record of %d bytes exceeds the %d-byte limit", len(payload), maxRecordSize)
 	}
 	frame := appendFrame(nil, payload)
 	if _, err := w.f.Write(frame); err != nil {
-		return fmt.Errorf("storage: WAL append: %w", err)
+		return 0, fmt.Errorf("storage: WAL append: %w", err)
 	}
 	w.size += int64(len(frame))
 	mWALAppends.Inc()
 	mWALBytes.Add(int64(len(frame)))
-	if w.policy == SyncAlways {
-		start := time.Now()
-		err := w.f.Sync()
-		mWALFsyncs.Inc()
-		mWALFsyncLatency.Observe(time.Since(start))
-		if err != nil {
-			return fmt.Errorf("storage: WAL fsync: %w", err)
-		}
+	if w.policy != SyncAlways {
+		return 0, nil
 	}
-	return nil
+	w.mu.Lock()
+	w.written++
+	t := w.written
+	w.mu.Unlock()
+	return t, nil
+}
+
+// WaitDurable blocks until an fsync covering ticket t has completed —
+// the group-commit rendezvous. The first waiter to find no sync in
+// flight becomes the leader: it snapshots the written watermark, fsyncs
+// once outside the lock, advances the synced watermark to the snapshot,
+// and wakes everyone. Waiters whose ticket the covering sync reached
+// return without ever touching the file; latecomers re-elect. An fsync
+// failure is sticky — the log's durability can no longer be trusted, so
+// every subsequent wait reports it.
+func (w *WAL) WaitDurable(t Ticket) error {
+	if t == 0 {
+		return nil
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for {
+		if w.err != nil {
+			return w.err
+		}
+		if w.synced >= t {
+			return nil
+		}
+		if w.syncing {
+			w.cond.Wait()
+			continue
+		}
+		w.syncing = true
+		cover := w.written
+		f := w.f
+		w.mu.Unlock()
+
+		var err error
+		if f == nil {
+			err = fmt.Errorf("storage: WAL is closed")
+		} else {
+			start := time.Now()
+			err = f.Sync()
+			mWALFsyncs.Inc()
+			mWALFsyncLatency.Observe(time.Since(start))
+			if err != nil {
+				err = fmt.Errorf("storage: WAL fsync: %w", err)
+			}
+		}
+		mGroupCommitBatches.Inc()
+
+		w.mu.Lock()
+		w.syncing = false
+		if err != nil {
+			w.err = err
+		} else if cover > w.synced {
+			w.synced = cover
+		}
+		w.cond.Broadcast()
+	}
 }
 
 // Size returns the current log size in bytes — the checkpoint trigger
@@ -129,6 +217,12 @@ func (w *WAL) Path() string { return w.path }
 // manifest rename made every logged record redundant. Sequence numbers
 // keep counting; the manifest's LastSeq guards replay idempotence if
 // the truncation itself is lost to a crash.
+//
+// Reset also releases every pending WaitDurable: the checkpoint ran
+// under the content write lock, so every appended frame was already
+// applied and flushed into the manifest the rename just made durable —
+// a stronger durability guarantee than the fsync those waiters came
+// for.
 func (w *WAL) Reset() error {
 	if w.f == nil {
 		return fmt.Errorf("storage: WAL is closed")
@@ -141,7 +235,15 @@ func (w *WAL) Reset() error {
 	}
 	w.size = 0
 	if w.policy == SyncAlways {
-		return w.f.Sync()
+		if err := w.f.Sync(); err != nil {
+			return err
+		}
+		w.mu.Lock()
+		if w.written > w.synced {
+			w.synced = w.written
+		}
+		w.cond.Broadcast()
+		w.mu.Unlock()
 	}
 	return nil
 }
@@ -154,15 +256,32 @@ func (w *WAL) Sync() error {
 	return w.f.Sync()
 }
 
-// Close syncs and closes the log.
+// Close syncs and closes the log, first draining any in-flight group-
+// commit leader so the final sync covers everything and no waiter is
+// left holding the closed file.
 func (w *WAL) Close() error {
 	if w.f == nil {
 		return nil
 	}
+	w.mu.Lock()
+	for w.syncing {
+		w.cond.Wait()
+	}
+	w.mu.Unlock()
 	err := w.f.Sync()
 	if cerr := w.f.Close(); err == nil {
 		err = cerr
 	}
 	w.f = nil
+	w.mu.Lock()
+	if err == nil {
+		if w.written > w.synced {
+			w.synced = w.written
+		}
+	} else if w.err == nil {
+		w.err = fmt.Errorf("storage: WAL close: %w", err)
+	}
+	w.cond.Broadcast()
+	w.mu.Unlock()
 	return err
 }

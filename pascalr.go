@@ -210,6 +210,21 @@ func WithCheckpointWALBytes(n int64) DirOption {
 	return func(o *storage.Options) { o.CheckpointWALBytes = n }
 }
 
+// WithBlockCacheBytes sets the byte budget of the shared SSTable block
+// cache fronting disk point reads (default 8 MiB). Negative disables
+// the cache; reads then always hit the files.
+func WithBlockCacheBytes(n int64) DirOption {
+	return func(o *storage.Options) { o.BlockCacheBytes = n }
+}
+
+// WithReplayWorkers sets the worker count for parallel write-ahead-log
+// replay on open (default GOMAXPROCS). Replay partitions records by
+// relation, so the useful parallelism is bounded by the number of
+// mutated relations; negative forces serial replay.
+func WithReplayWorkers(n int) DirOption {
+	return func(o *storage.Options) { o.ReplayWorkers = n }
+}
+
 // OpenDir opens (creating if needed) a durable database rooted at the
 // given directory and recovers it to its last durable state: the
 // checkpoint manifest restores schemas, disk-resident relation
@@ -737,8 +752,8 @@ func (d *Database) StatsFingerprint() string {
 // TableStat is one relation's live-statistics headline, as exported by
 // TableStats for monitoring surfaces (the server's /metrics endpoint).
 type TableStat struct {
-	Name    string      `json:"name"`
-	Rows    int         `json:"rows"`
+	Name    string       `json:"name"`
+	Rows    int          `json:"rows"`
 	Columns []ColumnStat `json:"columns"`
 }
 
